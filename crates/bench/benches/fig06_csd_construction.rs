@@ -1,0 +1,39 @@
+//! Fig. 6 equivalent: City Semantic Diagram construction statistics (the
+//! paper shows the Shanghai map; we report the structural numbers).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pervasive_miner::core::recognize::stay_points_of;
+use pervasive_miner::prelude::*;
+use pm_bench::{bench_dataset, bench_params, timing_dataset, timing_params};
+
+fn regenerate() {
+    let ds = bench_dataset();
+    let params = bench_params();
+    let stays = stay_points_of(&ds.trajectories);
+    let csd = CitySemanticDiagram::build(&ds.pois, &stays, &params);
+    let s = csd.stats();
+    println!(
+        "\nFig. 6 — CSD construction ({} POIs, {} stay points)",
+        s.n_pois,
+        stays.len()
+    );
+    println!("  coarse clusters (Alg. 1): {}", s.n_coarse);
+    println!("  leftover POIs:            {}", s.n_leftover);
+    println!("  units after purification: {}", s.n_purified);
+    println!("  final units after merge:  {}", s.n_units);
+    println!("  POIs covered:             {}", s.n_covered);
+    println!("  single-category units:    {:.1}%", s.purity * 100.0);
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let ds = timing_dataset();
+    let params = timing_params();
+    let stays = stay_points_of(&ds.trajectories);
+    c.bench_function("fig06/csd_build", |b| {
+        b.iter(|| CitySemanticDiagram::build(&ds.pois, &stays, &params))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

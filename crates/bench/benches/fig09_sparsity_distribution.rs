@@ -1,0 +1,29 @@
+//! Fig. 9: frequency distribution of patterns' spatial sparsity for all six
+//! approaches, with the legend numbers (avg ss / #patterns / coverage).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pervasive_miner::eval::{figures, report, run_all};
+use pervasive_miner::prelude::*;
+use pm_bench::{bench_dataset, bench_params, timing_dataset, timing_params};
+
+fn regenerate() {
+    let ds = bench_dataset();
+    let results = run_all(&ds, &bench_params(), &BaselineParams::default());
+    println!("\n{}", report::render_fig9(&figures::fig9(&results)));
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let ds = timing_dataset();
+    let params = timing_params();
+    let baseline = BaselineParams::default();
+    let recognized = Recognized::compute(&ds, &params, &baseline);
+    c.bench_function("fig09/csd_pm_extraction", |b| {
+        b.iter(|| {
+            pervasive_miner::eval::run_approach(Approach::CsdPm, &recognized, &params, &baseline)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Fig. 10: box plots of patterns' semantic consistency per approach.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pervasive_miner::core::metrics::pattern_metrics;
+use pervasive_miner::eval::{figures, report, run_all};
+use pervasive_miner::prelude::*;
+use pm_bench::{bench_dataset, bench_params, timing_dataset, timing_params};
+
+fn regenerate() {
+    let ds = bench_dataset();
+    let results = run_all(&ds, &bench_params(), &BaselineParams::default());
+    println!("\n{}", report::render_fig10(&figures::fig10(&results)));
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let ds = timing_dataset();
+    let params = timing_params();
+    let baseline = BaselineParams::default();
+    let recognized = Recognized::compute(&ds, &params, &baseline);
+    let patterns =
+        pervasive_miner::eval::run_approach(Approach::CsdPm, &recognized, &params, &baseline);
+    c.bench_function("fig10/pattern_metrics", |b| {
+        b.iter(|| patterns.iter().map(pattern_metrics).collect::<Vec<_>>())
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

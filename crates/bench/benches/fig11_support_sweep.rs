@@ -1,0 +1,44 @@
+//! Fig. 11: #patterns, coverage, avg spatial sparsity and avg semantic
+//! consistency versus the support threshold sigma, for all six approaches.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pervasive_miner::eval::{figures, report};
+use pervasive_miner::prelude::*;
+use pm_bench::{bench_dataset, bench_params, timing_dataset, timing_params};
+
+fn regenerate() {
+    let ds = bench_dataset();
+    let params = bench_params();
+    let baseline = BaselineParams::default();
+    let recognized = Recognized::compute(&ds, &params, &baseline);
+    let points = figures::fig11_support_sweep(&recognized, &params, &baseline, &[25, 50, 75, 100]);
+    println!(
+        "\n{}",
+        report::render_sweep(
+            "Fig. 11 — metrics vs support threshold sigma",
+            "sigma",
+            &points
+        )
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let ds = timing_dataset();
+    let params = timing_params();
+    let baseline = BaselineParams::default();
+    let recognized = Recognized::compute(&ds, &params, &baseline);
+    c.bench_function("fig11/sweep_one_sigma", |b| {
+        b.iter(|| {
+            pervasive_miner::eval::run_approach(
+                Approach::CsdPm,
+                &recognized,
+                &params.with_sigma(30),
+                &baseline,
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

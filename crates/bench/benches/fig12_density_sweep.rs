@@ -1,0 +1,52 @@
+//! Fig. 12: the four metrics versus the density threshold rho.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pervasive_miner::eval::{figures, report};
+use pervasive_miner::prelude::*;
+use pm_bench::{bench_dataset, bench_params, timing_dataset, timing_params};
+
+fn regenerate() {
+    let ds = bench_dataset();
+    let params = bench_params();
+    let baseline = BaselineParams::default();
+    let recognized = Recognized::compute(&ds, &params, &baseline);
+    // The paper sweeps rho in 0.001..0.004; our synthetic venue groups are
+    // an order of magnitude denser (tight compounds, 15 m GPS noise), so
+    // the sweep extends into the regime where the gate actually bites —
+    // same trend, shifted axis (see EXPERIMENTS.md).
+    let points = figures::fig12_density_sweep(
+        &recognized,
+        &params,
+        &baseline,
+        &[0.002, 0.01, 0.02, 0.04, 0.08],
+    );
+    println!(
+        "\n{}",
+        report::render_sweep(
+            "Fig. 12 — metrics vs density threshold rho (m^-2)",
+            "rho",
+            &points
+        )
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let ds = timing_dataset();
+    let params = timing_params();
+    let baseline = BaselineParams::default();
+    let recognized = Recognized::compute(&ds, &params, &baseline);
+    c.bench_function("fig12/sweep_one_rho", |b| {
+        b.iter(|| {
+            pervasive_miner::eval::run_approach(
+                Approach::CsdPm,
+                &recognized,
+                &params.with_rho(0.003),
+                &baseline,
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Fig. 13: the four metrics versus the temporal constraint delta_t.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pervasive_miner::eval::{figures, report};
+use pervasive_miner::prelude::*;
+use pm_bench::{bench_dataset, bench_params, timing_dataset, timing_params};
+
+fn regenerate() {
+    let ds = bench_dataset();
+    let params = bench_params();
+    let baseline = BaselineParams::default();
+    let recognized = Recognized::compute(&ds, &params, &baseline);
+    let points =
+        figures::fig13_temporal_sweep(&recognized, &params, &baseline, &[15, 30, 45, 60, 75]);
+    println!(
+        "\n{}",
+        report::render_sweep(
+            "Fig. 13 — metrics vs temporal constraint delta_t (minutes)",
+            "delta_t",
+            &points
+        )
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let ds = timing_dataset();
+    let params = timing_params();
+    let baseline = BaselineParams::default();
+    let recognized = Recognized::compute(&ds, &params, &baseline);
+    c.bench_function("fig13/sweep_one_delta_t", |b| {
+        b.iter(|| {
+            pervasive_miner::eval::run_approach(
+                Approach::CsdPm,
+                &recognized,
+                &params.with_delta_t(30 * 60),
+                &baseline,
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

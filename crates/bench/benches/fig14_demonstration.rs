@@ -1,0 +1,40 @@
+//! Fig. 14: the demonstration — time-of-week pattern breakdown (a–f),
+//! airport demand (g) and hospital trips vs check-in bias (h).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pervasive_miner::core::recognize::stay_points_of;
+use pervasive_miner::eval::{figures, report};
+use pervasive_miner::prelude::*;
+use pm_bench::{bench_dataset, bench_params, timing_dataset, timing_params, BENCH_SEED};
+
+fn regenerate() {
+    let ds = bench_dataset();
+    // The paper inspects the hospital region specifically; a lower support
+    // threshold surfaces the thinner medical flows alongside the commutes.
+    let params = MinerParams {
+        sigma: 25,
+        ..bench_params()
+    };
+    let stays = stay_points_of(&ds.trajectories);
+    let csd = CitySemanticDiagram::build(&ds.pois, &stays, &params);
+    let recognized = recognize_all(&csd, ds.trajectories.clone(), &params);
+    let patterns = extract_patterns(&recognized, &params);
+    let demo = figures::fig14_full(&ds, &recognized, &patterns, &params, BENCH_SEED);
+    println!("\n{}", report::render_fig14(&demo));
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let ds = timing_dataset();
+    let params = timing_params();
+    let stays = stay_points_of(&ds.trajectories);
+    let csd = CitySemanticDiagram::build(&ds.pois, &stays, &params);
+    let recognized = recognize_all(&csd, ds.trajectories.clone(), &params);
+    let patterns = extract_patterns(&recognized, &params);
+    c.bench_function("fig14/bucket_report", |b| {
+        b.iter(|| figures::fig14(&ds, &patterns, BENCH_SEED))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

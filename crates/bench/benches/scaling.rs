@@ -1,0 +1,39 @@
+//! Runtime scaling of the three pipeline stages versus corpus size — the
+//! systems-performance view the paper omits but a release needs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pervasive_miner::core::recognize::stay_points_of;
+use pervasive_miner::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling");
+    group.sample_size(10);
+    for passengers in [200usize, 400, 800] {
+        let cfg = CityConfig {
+            n_passengers: passengers,
+            ..CityConfig::tiny(7)
+        };
+        let ds = Dataset::generate(&cfg);
+        let params = MinerParams {
+            sigma: 20,
+            ..MinerParams::default()
+        };
+        let stays = stay_points_of(&ds.trajectories);
+
+        group.bench_with_input(BenchmarkId::new("csd_build", passengers), &(), |b, _| {
+            b.iter(|| CitySemanticDiagram::build(&ds.pois, &stays, &params))
+        });
+        let csd = CitySemanticDiagram::build(&ds.pois, &stays, &params);
+        group.bench_with_input(BenchmarkId::new("recognize", passengers), &(), |b, _| {
+            b.iter(|| recognize_all(&csd, ds.trajectories.clone(), &params))
+        });
+        let recognized = recognize_all(&csd, ds.trajectories.clone(), &params);
+        group.bench_with_input(BenchmarkId::new("extract", passengers), &(), |b, _| {
+            b.iter(|| extract_patterns(&recognized, &params))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

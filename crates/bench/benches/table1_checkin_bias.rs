@@ -1,0 +1,28 @@
+//! Table 1: top check-in topics under the New-York-like and Tokyo-like
+//! sharing profiles — the *semantic bias* evidence.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pervasive_miner::eval::figures;
+use pervasive_miner::synth::checkin::{generate_checkins, SharingProfile};
+use pm_bench::{bench_dataset, timing_dataset, BENCH_SEED};
+
+fn regenerate() {
+    let ds = bench_dataset();
+    let tables = figures::table1(&ds, BENCH_SEED, 10);
+    println!(
+        "\n{}",
+        pervasive_miner::eval::report::render_table1(&tables)
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let ds = timing_dataset();
+    let profile = SharingProfile::tokyo();
+    c.bench_function("table1/generate_checkins", |b| {
+        b.iter(|| generate_checkins(&ds.corpus, &profile, BENCH_SEED))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

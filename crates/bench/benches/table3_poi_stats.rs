@@ -1,0 +1,25 @@
+//! Table 3: POI category statistics of the generated city.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pervasive_miner::eval::figures;
+use pervasive_miner::synth::poi::generate_pois;
+use pm_bench::{bench_dataset, timing_dataset};
+
+fn regenerate() {
+    let ds = bench_dataset();
+    println!(
+        "\n{}",
+        pervasive_miner::eval::report::render_table3(&figures::table3(&ds))
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let ds = timing_dataset();
+    c.bench_function("table3/generate_pois", |b| {
+        b.iter(|| generate_pois(&ds.city))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,281 @@
+//! `pervasive-miner` — command-line front end.
+//!
+//! ```text
+//! pervasive-miner mine   [--scale tiny|small|paper] [--seed N] [--sigma N]
+//! pervasive-miner fig    <6|9|10|11|12|13|14>  [--scale ..] [--seed N] [--csv DIR]
+//! pervasive-miner table  <1|3>                 [--scale ..] [--seed N]
+//! pervasive-miner all    [--scale ..] [--seed N] [--csv DIR]
+//! pervasive-miner svg    [--scale ..] [--seed N] [--out FILE]
+//! ```
+//!
+//! `mine` runs the CSD-PM pipeline and prints the top patterns; `fig` and
+//! `table` regenerate one paper figure/table; `all` regenerates everything
+//! (optionally exporting CSVs for plotting).
+
+use pervasive_miner::core::recognize::stay_points_of;
+use pervasive_miner::eval::{export, figures, report, run_all};
+use pervasive_miner::prelude::*;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    command: String,
+    target: Option<String>,
+    scale: String,
+    seed: u64,
+    sigma: Option<usize>,
+    csv: Option<PathBuf>,
+    out: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next().ok_or_else(usage)?;
+    let mut args = Args {
+        command,
+        target: None,
+        scale: "small".into(),
+        seed: 2020,
+        sigma: None,
+        csv: None,
+        out: None,
+    };
+    let mut positional = Vec::new();
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--scale" => args.scale = argv.next().ok_or("--scale needs a value")?,
+            "--seed" => {
+                args.seed = argv
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
+            }
+            "--sigma" => {
+                args.sigma = Some(
+                    argv.next()
+                        .ok_or("--sigma needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --sigma: {e}"))?,
+                )
+            }
+            "--csv" => args.csv = Some(PathBuf::from(argv.next().ok_or("--csv needs a dir")?)),
+            "--out" => args.out = Some(PathBuf::from(argv.next().ok_or("--out needs a file")?)),
+            other if !other.starts_with('-') => positional.push(other.to_string()),
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    args.target = positional.into_iter().next();
+    Ok(args)
+}
+
+fn usage() -> String {
+    "usage: pervasive-miner <mine|fig|table|all|svg> [target] \
+     [--scale tiny|small|paper] [--seed N] [--sigma N] [--csv DIR] [--out FILE]"
+        .into()
+}
+
+fn config(scale: &str, seed: u64) -> Result<CityConfig, String> {
+    match scale {
+        "tiny" => Ok(CityConfig::tiny(seed)),
+        "small" => Ok(CityConfig::small(seed)),
+        "paper" => Ok(CityConfig::paper(seed)),
+        other => Err(format!("unknown scale '{other}' (tiny|small|paper)")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let cfg = config(&args.scale, args.seed)?;
+    let mut params = MinerParams::default();
+    if args.scale == "tiny" {
+        params.sigma = 20; // sensible support for the small corpus
+    }
+    if let Some(s) = args.sigma {
+        params.sigma = s;
+    }
+
+    eprintln!(
+        "generating {} city (seed {}), sigma = {} ...",
+        args.scale, args.seed, params.sigma
+    );
+    let ds = Dataset::generate(&cfg);
+    eprintln!(
+        "  {} POIs, {} journeys, {} trajectories",
+        ds.pois.len(),
+        ds.corpus.journeys.len(),
+        ds.trajectories.len()
+    );
+
+    match args.command.as_str() {
+        "mine" => mine(&ds, &params),
+        "svg" => svg(&ds, &params, &args),
+        "fig" => figure(&ds, &params, args.target.as_deref().ok_or(usage())?, &args),
+        "table" => table(&ds, args.target.as_deref().ok_or(usage())?, &args),
+        "all" => {
+            for t in ["1", "3"] {
+                table(&ds, t, &args)?;
+            }
+            for f in ["6", "9", "10", "11", "12", "13", "14"] {
+                figure(&ds, &params, f, &args)?;
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{}", usage())),
+    }
+}
+
+fn mine(ds: &Dataset, params: &MinerParams) -> Result<(), String> {
+    let stays = stay_points_of(&ds.trajectories);
+    let csd = CitySemanticDiagram::build(&ds.pois, &stays, params);
+    let recognized = recognize_all(&csd, ds.trajectories.clone(), params);
+    let patterns = extract_patterns(&recognized, params);
+    let summary = pervasive_miner::core::metrics::summarize(&patterns);
+    println!(
+        "{} fine-grained patterns, coverage {}, avg sparsity {:.1} m, avg consistency {:.3}",
+        summary.n_patterns, summary.coverage, summary.avg_sparsity, summary.avg_consistency
+    );
+    for p in patterns.iter().take(20) {
+        let m = pervasive_miner::core::metrics::pattern_metrics(p);
+        println!(
+            "  {:<55} support {:>5}  sparsity {:>6.1} m  consistency {:.3}",
+            p.describe(),
+            p.support(),
+            m.spatial_sparsity,
+            m.semantic_consistency
+        );
+    }
+    Ok(())
+}
+
+fn svg(ds: &Dataset, params: &MinerParams, args: &Args) -> Result<(), String> {
+    use pervasive_miner::eval::svg::{render_svg, SvgOptions};
+    let stays = stay_points_of(&ds.trajectories);
+    let csd = CitySemanticDiagram::build(&ds.pois, &stays, params);
+    let recognized = recognize_all(&csd, ds.trajectories.clone(), params);
+    let patterns = extract_patterns(&recognized, params);
+    let document = render_svg(Some(&csd), &patterns, &SvgOptions::default());
+    match &args.out {
+        Some(path) => {
+            std::fs::write(path, &document).map_err(|e| format!("write failed: {e}"))?;
+            eprintln!(
+                "wrote {} ({} units, {} patterns)",
+                path.display(),
+                csd.units().len(),
+                patterns.len()
+            );
+        }
+        None => println!("{document}"),
+    }
+    Ok(())
+}
+
+fn figure(ds: &Dataset, params: &MinerParams, which: &str, args: &Args) -> Result<(), String> {
+    let baseline = BaselineParams::default();
+    let io = |e: std::io::Error| format!("csv write failed: {e}");
+    match which {
+        "6" => {
+            let stays = stay_points_of(&ds.trajectories);
+            let csd = CitySemanticDiagram::build(&ds.pois, &stays, params);
+            let s = csd.stats();
+            println!("Fig. 6 — CSD construction");
+            println!("  coarse clusters {}, leftovers {}, purified {}, final units {}, covered {}, purity {:.1}%",
+                s.n_coarse, s.n_leftover, s.n_purified, s.n_units, s.n_covered, s.purity * 100.0);
+        }
+        "9" | "10" => {
+            let results = run_all(ds, params, &baseline);
+            if which == "9" {
+                let rows = figures::fig9(&results);
+                println!("{}", report::render_fig9(&rows));
+                if let Some(dir) = &args.csv {
+                    export::write_csv(&dir.join("fig09.csv"), &export::fig9_csv(&rows))
+                        .map_err(io)?;
+                }
+            } else {
+                let rows = figures::fig10(&results);
+                println!("{}", report::render_fig10(&rows));
+                if let Some(dir) = &args.csv {
+                    export::write_csv(&dir.join("fig10.csv"), &export::fig10_csv(&rows))
+                        .map_err(io)?;
+                }
+            }
+        }
+        "11" | "12" | "13" => {
+            let recognized = Recognized::compute(ds, params, &baseline);
+            let (title, name, points) = match which {
+                "11" => (
+                    "Fig. 11 — metrics vs support threshold sigma",
+                    "fig11.csv",
+                    figures::fig11_support_sweep(
+                        &recognized,
+                        params,
+                        &baseline,
+                        &[25, 50, 75, 100],
+                    ),
+                ),
+                "12" => (
+                    "Fig. 12 — metrics vs density threshold rho (m^-2)",
+                    "fig12.csv",
+                    figures::fig12_density_sweep(
+                        &recognized,
+                        params,
+                        &baseline,
+                        &[0.002, 0.01, 0.02, 0.04, 0.08],
+                    ),
+                ),
+                _ => (
+                    "Fig. 13 — metrics vs temporal constraint delta_t (minutes)",
+                    "fig13.csv",
+                    figures::fig13_temporal_sweep(
+                        &recognized,
+                        params,
+                        &baseline,
+                        &[15, 30, 45, 60, 75],
+                    ),
+                ),
+            };
+            println!("{}", report::render_sweep(title, "value", &points));
+            if let Some(dir) = &args.csv {
+                export::write_csv(&dir.join(name), &export::sweep_csv(&points)).map_err(io)?;
+            }
+        }
+        "14" => {
+            let stays = stay_points_of(&ds.trajectories);
+            let csd = CitySemanticDiagram::build(&ds.pois, &stays, params);
+            let recognized = recognize_all(&csd, ds.trajectories.clone(), params);
+            let patterns = extract_patterns(&recognized, params);
+            let demo = figures::fig14_full(ds, &recognized, &patterns, params, args.seed);
+            println!("{}", report::render_fig14(&demo));
+            if let Some(dir) = &args.csv {
+                export::write_csv(&dir.join("fig14.csv"), &export::fig14_csv(&demo)).map_err(io)?;
+            }
+        }
+        other => return Err(format!("unknown figure '{other}' (6|9|10|11|12|13|14)")),
+    }
+    Ok(())
+}
+
+fn table(ds: &Dataset, which: &str, args: &Args) -> Result<(), String> {
+    match which {
+        "1" => {
+            let t = figures::table1(ds, args.seed, 10);
+            println!("{}", report::render_table1(&t));
+        }
+        "3" => {
+            let t = figures::table3(ds);
+            println!("{}", report::render_table3(&t));
+        }
+        other => return Err(format!("unknown table '{other}' (1|3)")),
+    }
+    Ok(())
+}

@@ -1,0 +1,258 @@
+//! Shared machinery of the baseline extractors: coarse-pattern membership
+//! (PrefixSpan + embedding mapping), the universal `delta_t`/`rho`/`sigma`
+//! filters, and fine-pattern assembly.
+
+use pm_core::extract::FinePattern;
+use pm_core::params::MinerParams;
+use pm_core::types::{Category, SemanticTrajectory, StayPoint};
+use pm_geo::{centroid, den, LocalPoint};
+use pm_seqmine::{prefixspan, PrefixSpanParams};
+
+/// Baseline-specific tunables (the CSD pipeline needs none of these; the
+/// originals hand-tune them, which is part of why they lose).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BaselineParams {
+    /// Mean Shift bandwidth for Splitter's refinement, in meters.
+    pub ms_bandwidth: f64,
+    /// DBSCAN radius for SDBSCAN's per-position clustering, in meters.
+    pub dbscan_eps: f64,
+    /// DBSCAN radius for ROI hot-region detection — stay-point density
+    /// scale, so venues fragment into several small regions (ref [21]).
+    pub roi_eps: f64,
+    /// DBSCAN minimum points for ROI hot-region detection.
+    pub roi_min_pts: usize,
+    /// A hot region annotates itself with every category holding at least
+    /// this share of the POIs it overlaps.
+    pub roi_tag_share: f64,
+}
+
+impl Default for BaselineParams {
+    fn default() -> Self {
+        Self {
+            ms_bandwidth: 100.0,
+            dbscan_eps: 80.0,
+            roi_eps: 30.0,
+            roi_min_pts: 10,
+            roi_tag_share: 0.12,
+        }
+    }
+}
+
+/// One coarse pattern with its member embeddings, shared by both baseline
+/// extractors.
+pub(crate) struct CoarseMembers {
+    pub categories: Vec<Category>,
+    /// `(trajectory index, stay index per pattern position)`.
+    pub members: Vec<(usize, Vec<usize>)>,
+}
+
+/// Mines coarse patterns and maps occurrences back to stay indices
+/// (untagged stay points are skipped from the sequences).
+pub(crate) fn coarse_patterns(
+    db: &[SemanticTrajectory],
+    params: &MinerParams,
+) -> Vec<CoarseMembers> {
+    let mut sequences: Vec<Vec<u32>> = Vec::with_capacity(db.len());
+    let mut stay_of_item: Vec<Vec<usize>> = Vec::with_capacity(db.len());
+    for st in db {
+        let mut seq = Vec::new();
+        let mut map = Vec::new();
+        for (i, sp) in st.stays.iter().enumerate() {
+            if let Some(cat) = sp.primary_category() {
+                seq.push(cat as u32);
+                map.push(i);
+            }
+        }
+        sequences.push(seq);
+        stay_of_item.push(map);
+    }
+    prefixspan(
+        &sequences,
+        PrefixSpanParams::new(params.sigma, params.min_pattern_len, params.max_pattern_len),
+    )
+    .into_iter()
+    .map(|p| CoarseMembers {
+        categories: p
+            .items
+            .iter()
+            .map(|&i| Category::from_index(i as usize))
+            .collect(),
+        members: p
+            .occurrences
+            .iter()
+            .map(|occ| {
+                (
+                    occ.seq,
+                    occ.positions
+                        .iter()
+                        .map(|&q| stay_of_item[occ.seq][q])
+                        .collect(),
+                )
+            })
+            .collect(),
+    })
+    .collect()
+}
+
+/// The universal temporal constraint: every adjacent stay-point gap of the
+/// member's embedding must be below `delta_t`.
+pub(crate) fn respects_delta_t(
+    db: &[SemanticTrajectory],
+    member: &(usize, Vec<usize>),
+    delta_t: i64,
+) -> bool {
+    let (traj, stays) = member;
+    stays
+        .windows(2)
+        .all(|w| (db[*traj].stays[w[1]].time - db[*traj].stays[w[0]].time).abs() < delta_t)
+}
+
+/// Assembles a [`FinePattern`] from a member set if it passes the universal
+/// support and density gates; returns `None` otherwise.
+pub(crate) fn assemble_pattern(
+    db: &[SemanticTrajectory],
+    categories: &[Category],
+    members: &[(usize, Vec<usize>)],
+    params: &MinerParams,
+) -> Option<FinePattern> {
+    if members.len() < params.sigma {
+        return None;
+    }
+    let m = categories.len();
+    let groups: Vec<Vec<StayPoint>> = (0..m)
+        .map(|k| members.iter().map(|(t, s)| db[*t].stays[s[k]]).collect())
+        .collect();
+    // Universal density gate (rho) on every positional group.
+    for g in &groups {
+        let pts: Vec<LocalPoint> = g.iter().map(|sp| sp.pos).collect();
+        if den(&pts) < params.rho {
+            return None;
+        }
+    }
+    let stays: Vec<StayPoint> = groups.iter().map(|g| representative(g)).collect();
+    Some(FinePattern {
+        categories: categories.to_vec(),
+        stays,
+        members: members.iter().map(|(t, _)| *t).collect(),
+        groups,
+    })
+}
+
+/// Group representative: member stay point closest to the centroid, stamped
+/// with the average time (same convention as Algorithm 4 line 19).
+fn representative(group: &[StayPoint]) -> StayPoint {
+    let pts: Vec<LocalPoint> = group.iter().map(|sp| sp.pos).collect();
+    let center = centroid(&pts).expect("groups are never empty");
+    let closest = group
+        .iter()
+        .min_by(|a, b| {
+            a.pos
+                .distance_sq(&center)
+                .total_cmp(&b.pos.distance_sq(&center))
+        })
+        .expect("groups are never empty");
+    let avg_time = group.iter().map(|sp| sp.time).sum::<i64>() / group.len() as i64;
+    StayPoint::new(closest.pos, avg_time, closest.tags)
+}
+
+/// Deterministic ordering shared by both baseline extractors.
+pub(crate) fn sort_patterns(patterns: &mut [FinePattern]) {
+    patterns.sort_by(|a, b| {
+        b.support()
+            .cmp(&a.support())
+            .then_with(|| a.categories.cmp(&b.categories))
+            .then_with(|| {
+                a.stays[0]
+                    .pos
+                    .x
+                    .total_cmp(&b.stays[0].pos.x)
+                    .then(a.stays[0].pos.y.total_cmp(&b.stays[0].pos.y))
+            })
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_core::types::Tags;
+
+    fn sp(x: f64, t: i64, c: Category) -> StayPoint {
+        StayPoint::new(LocalPoint::new(x, 0.0), t, Tags::only(c))
+    }
+
+    #[test]
+    fn coarse_patterns_map_back_to_stays() {
+        let db = vec![
+            SemanticTrajectory::new(vec![
+                sp(0.0, 0, Category::Residence),
+                StayPoint::untagged(LocalPoint::new(10.0, 0.0), 100),
+                sp(20.0, 200, Category::Business),
+            ]),
+            SemanticTrajectory::new(vec![
+                sp(1.0, 0, Category::Residence),
+                sp(21.0, 200, Category::Business),
+            ]),
+        ];
+        let params = MinerParams {
+            sigma: 2,
+            ..MinerParams::default()
+        };
+        let coarse = coarse_patterns(&db, &params);
+        let two = coarse
+            .iter()
+            .find(|c| c.categories == vec![Category::Residence, Category::Business])
+            .expect("Res->Bus coarse pattern");
+        assert_eq!(two.members.len(), 2);
+        // First trajectory's embedding skips the untagged stay (index 1).
+        assert_eq!(two.members[0], (0, vec![0, 2]));
+        assert_eq!(two.members[1], (1, vec![0, 1]));
+    }
+
+    #[test]
+    fn delta_t_filter() {
+        let db = vec![SemanticTrajectory::new(vec![
+            sp(0.0, 0, Category::Residence),
+            sp(10.0, 1_000, Category::Business),
+        ])];
+        let member = (0usize, vec![0usize, 1usize]);
+        assert!(respects_delta_t(&db, &member, 1_001));
+        assert!(!respects_delta_t(&db, &member, 1_000));
+    }
+
+    #[test]
+    fn assemble_respects_sigma_and_rho() {
+        let db: Vec<SemanticTrajectory> = (0..10)
+            .map(|i| {
+                SemanticTrajectory::new(vec![
+                    sp(i as f64 * 5.0, 0, Category::Residence),
+                    sp(1_000.0 + i as f64 * 5.0, 600, Category::Business),
+                ])
+            })
+            .collect();
+        let members: Vec<(usize, Vec<usize>)> = (0..10).map(|t| (t, vec![0, 1])).collect();
+        let cats = vec![Category::Residence, Category::Business];
+
+        let ok = MinerParams {
+            sigma: 10,
+            rho: 1e-4,
+            ..MinerParams::default()
+        };
+        let p = assemble_pattern(&db, &cats, &members, &ok).expect("passes");
+        assert_eq!(p.support(), 10);
+        assert_eq!(p.groups.len(), 2);
+
+        let too_sparse = MinerParams {
+            sigma: 10,
+            rho: 10.0,
+            ..MinerParams::default()
+        };
+        assert!(assemble_pattern(&db, &cats, &members, &too_sparse).is_none());
+
+        let too_few = MinerParams {
+            sigma: 11,
+            rho: 1e-4,
+            ..MinerParams::default()
+        };
+        assert!(assemble_pattern(&db, &cats, &members, &too_few).is_none());
+    }
+}

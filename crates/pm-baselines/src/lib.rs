@@ -1,0 +1,34 @@
+//! Competitor implementations — the five baselines the paper evaluates
+//! Pervasive Miner against (§5).
+//!
+//! Two building blocks compose into the paper's six pipelines:
+//!
+//! **Semantic recognition** (fills stay-point tags):
+//! - CSD (the paper's contribution, in `pm-core`), or
+//! - [`roi`]: hot-region detection + POI annotation (Chen, Kuo, Peng —
+//!   ref \[21\]). DBSCAN over stay points finds hot regions; each region is
+//!   annotated with the categories of the POIs it overlaps, with no
+//!   purification — the "uncontrolled purity" weakness the paper calls out.
+//!
+//! **Pattern extraction** (turns tagged trajectories into fine patterns):
+//! - CounterpartCluster (Algorithm 4, in `pm-core`), or
+//! - [`splitter`]: PrefixSpan + top-down Mean Shift refinement (Zhang et
+//!   al. — ref \[17\]), or
+//! - [`sdbscan`]: PrefixSpan + per-position DBSCAN (Jiang et al. —
+//!   ref \[19\]).
+//!
+//! Combining them yields CSD-PM, ROI-PM, CSD-Splitter, ROI-Splitter,
+//! CSD-SDBSCAN and ROI-SDBSCAN; `pm-eval` wires the combinations. Support
+//! (`sigma`), temporal constraint (`delta_t`) and density threshold (`rho`)
+//! are "universal factors in all six approaches" (paper §5), so every
+//! extractor honours all three.
+
+pub mod common;
+pub mod roi;
+pub mod sdbscan;
+pub mod splitter;
+
+pub use common::BaselineParams;
+pub use roi::RoiRecognizer;
+pub use sdbscan::sdbscan_extract;
+pub use splitter::splitter_extract;

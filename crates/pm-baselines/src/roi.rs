@@ -1,0 +1,311 @@
+//! ROI-based semantic recognition (Chen, Kuo, Peng — the paper's ref \[21\]).
+//!
+//! The hybrid algorithm: DBSCAN over the stay-point corpus detects *hot
+//! regions* — small, fragmented clusters at stay-point density scale — and
+//! each region is annotated with the categories of the POIs it overlaps.
+//! A stay point inherits the annotation of the region covering it.
+//!
+//! Two structural weaknesses follow, both of which the paper measures:
+//!
+//! - **Uncontrolled purity**: with no purification step, a region's tag set
+//!   is whatever POI mix happens to overlap it. Neighbouring fragments of
+//!   the same venue see different local mixes, so nearby stay points in one
+//!   pattern group carry different tag sets — the wide ROI boxes of
+//!   Fig. 10, and fragmented coarse support in Figs. 11–13.
+//! - **Coverage gaps**: stay points outside every hot region stay untagged
+//!   and drop out of the mined sequences, costing patterns and coverage.
+
+use crate::common::BaselineParams;
+use pm_cluster::{dbscan, DbscanParams};
+use pm_core::params::MinerParams;
+use pm_core::types::{Category, Poi, SemanticTrajectory, Tags};
+use pm_geo::{centroid, GridIndex, KdTree, LocalPoint};
+
+/// A hot region: a dense fragment of stay points with POI-derived semantics.
+#[derive(Debug, Clone)]
+pub struct HotRegion {
+    /// Region centroid.
+    pub center: LocalPoint,
+    /// Radius covering the member stay points (max member distance, floored
+    /// at half the DBSCAN radius).
+    pub radius: f64,
+    /// Categories holding at least `roi_tag_share` of the POIs the region
+    /// overlaps (region radius plus the annotation margin).
+    pub tags: Tags,
+    /// Majority category of the overlapped POIs: the stable region-level
+    /// label that drives the sequence-mining item.
+    pub majority: Option<Category>,
+}
+
+/// The ROI recognizer: hot regions gate coverage; covered stay points are
+/// annotated from their nearest raw POIs.
+#[derive(Debug, Clone)]
+pub struct RoiRecognizer {
+    regions: Vec<HotRegion>,
+    centers: GridIndex,
+    max_radius: f64,
+    poi_tree: KdTree,
+    poi_categories: Vec<Category>,
+}
+
+/// How many nearest POIs annotate a covered stay point. Small by design:
+/// ref [21] queries the semantic background directly, with none of CSD's
+/// popularity-weighted unit smoothing, so whatever mix happens to sit
+/// closest wins — GPS noise reshuffles that mix between nearby stay points.
+const ANNOTATION_KNN: usize = 5;
+
+/// Margin added to a region's radius when gathering annotation POIs. Kept
+/// deliberately local (unlike CSD's R_3sigma smoothing): ref [21] annotates
+/// each hot region from the POIs it spatially overlaps.
+const ANNOTATION_MARGIN_M: f64 = 30.0;
+
+impl RoiRecognizer {
+    /// Detects and annotates hot regions from the stay-point corpus.
+    pub fn build(
+        stay_points: &[LocalPoint],
+        pois: &[Poi],
+        _params: &MinerParams,
+        baseline: &BaselineParams,
+    ) -> Self {
+        let clustering = dbscan(
+            stay_points,
+            DbscanParams::new(baseline.roi_eps, baseline.roi_min_pts),
+        );
+        let poi_positions: Vec<LocalPoint> = pois.iter().map(|p| p.pos).collect();
+        let poi_index = GridIndex::build(&poi_positions, (baseline.roi_eps * 4.0).max(1.0));
+
+        let mut regions = Vec::new();
+        for cluster in clustering.clusters() {
+            let pts: Vec<LocalPoint> = cluster.iter().map(|&i| stay_points[i]).collect();
+            let center = centroid(&pts).expect("cluster non-empty");
+            let radius = pts
+                .iter()
+                .map(|p| p.distance(&center))
+                .fold(0.0f64, f64::max)
+                .max(baseline.roi_eps / 2.0);
+            let mut counts = [0usize; Category::COUNT];
+            let mut total = 0usize;
+            for idx in poi_index.range(center, radius + ANNOTATION_MARGIN_M) {
+                counts[pois[idx].category as usize] += 1;
+                total += 1;
+            }
+            let mut tags = Tags::EMPTY;
+            let mut majority = None;
+            if total > 0 {
+                for (c, &n) in counts.iter().enumerate() {
+                    if n as f64 / total as f64 >= baseline.roi_tag_share {
+                        tags = tags.with(Category::from_index(c));
+                    }
+                }
+                let best = counts
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, &n)| n)
+                    .map(|(c, _)| Category::from_index(c))
+                    .expect("15 categories");
+                majority = Some(best);
+                // At minimum the dominant category describes the region.
+                if tags.is_empty() {
+                    tags = Tags::only(best);
+                }
+            }
+            regions.push(HotRegion {
+                center,
+                radius,
+                tags,
+                majority,
+            });
+        }
+
+        let centers_flat: Vec<LocalPoint> = regions.iter().map(|r| r.center).collect();
+        let max_radius = regions.iter().map(|r| r.radius).fold(1.0f64, f64::max);
+        Self {
+            centers: GridIndex::build(&centers_flat, max_radius.max(1.0)),
+            regions,
+            max_radius,
+            poi_tree: KdTree::build(&poi_positions),
+            poi_categories: pois.iter().map(|p| p.category).collect(),
+        }
+    }
+
+    /// Annotates one covered stay point: the category set of its
+    /// `ANNOTATION_KNN` nearest POIs — raw database-query annotation with
+    /// uncontrolled purity (nearby stay points see different mixes). The
+    /// primary is the majority among those POIs, ties resolved to the
+    /// nearest — so GPS noise reshuffling the top-k flips the label.
+    pub fn annotate(&self, pos: LocalPoint) -> (Tags, Option<Category>) {
+        let nearest = self.poi_tree.k_nearest(pos, ANNOTATION_KNN);
+        let tags: Tags = nearest
+            .iter()
+            .map(|&(idx, _)| self.poi_categories[idx])
+            .collect();
+        let mut counts = [0usize; Category::COUNT];
+        for &(idx, _) in &nearest {
+            counts[self.poi_categories[idx] as usize] += 1;
+        }
+        let primary = nearest.first().map(|&(idx, _)| {
+            let mut best = self.poi_categories[idx];
+            for &(i, _) in &nearest {
+                let c = self.poi_categories[i];
+                if counts[c as usize] > counts[best as usize] {
+                    best = c;
+                }
+            }
+            best
+        });
+        (tags, primary)
+    }
+
+    /// The detected hot regions.
+    pub fn regions(&self) -> &[HotRegion] {
+        &self.regions
+    }
+
+    /// The region covering `pos`, if any (nearest covering center wins).
+    pub fn region_of(&self, pos: LocalPoint) -> Option<&HotRegion> {
+        let mut best: Option<(f64, &HotRegion)> = None;
+        for idx in self.centers.range(pos, self.max_radius) {
+            let r = &self.regions[idx];
+            let d = r.center.distance(&pos);
+            if d <= r.radius && best.is_none_or(|(bd, _)| d < bd) {
+                best = Some((d, r));
+            }
+        }
+        best.map(|(_, r)| r)
+    }
+
+    /// Recognizes every stay point: nearest-POI annotation for points
+    /// covered by a hot region, untagged otherwise.
+    pub fn recognize_all(&self, trajectories: Vec<SemanticTrajectory>) -> Vec<SemanticTrajectory> {
+        trajectories
+            .into_iter()
+            .map(|mut st| {
+                for sp in &mut st.stays {
+                    if self.region_of(sp.pos).is_some() {
+                        let (tags, primary) = self.annotate(sp.pos);
+                        sp.tags = tags;
+                        sp.primary = primary;
+                    } else {
+                        sp.tags = Tags::EMPTY;
+                        sp.primary = None;
+                    }
+                }
+                st
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_core::types::StayPoint;
+
+    fn baseline() -> BaselineParams {
+        BaselineParams::default()
+    }
+
+    /// Two stay-point hot spots: one over a pure shop street, one over a
+    /// mixed shop/office corner.
+    fn setup() -> (Vec<LocalPoint>, Vec<Poi>) {
+        let mut stays = Vec::new();
+        for k in 0..60 {
+            stays.push(LocalPoint::new((k % 6) as f64 * 8.0, (k % 5) as f64 * 8.0));
+        }
+        for k in 0..60 {
+            stays.push(LocalPoint::new(
+                2_000.0 + (k % 6) as f64 * 8.0,
+                (k % 5) as f64 * 8.0,
+            ));
+        }
+        let mut pois = Vec::new();
+        for i in 0..20 {
+            pois.push(Poi::new(
+                i,
+                LocalPoint::new((i % 5) as f64 * 12.0, 10.0),
+                Category::Shop,
+            ));
+        }
+        // The mixed corner: interleaved shops and offices.
+        for i in 0..10 {
+            pois.push(Poi::new(
+                100 + i,
+                LocalPoint::new(2_000.0 + i as f64 * 11.0, 10.0),
+                if i % 2 == 0 {
+                    Category::Shop
+                } else {
+                    Category::Business
+                },
+            ));
+        }
+        (stays, pois)
+    }
+
+    fn build(stays: &[LocalPoint], pois: &[Poi]) -> RoiRecognizer {
+        RoiRecognizer::build(stays, pois, &MinerParams::default(), &baseline())
+    }
+
+    #[test]
+    fn detects_hot_regions() {
+        let (stays, pois) = setup();
+        let roi = build(&stays, &pois);
+        assert!(!roi.regions().is_empty());
+        assert!(roi.region_of(LocalPoint::new(20.0, 16.0)).is_some());
+        assert!(roi.region_of(LocalPoint::new(10_000.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn pure_corner_gets_pure_tags() {
+        let (stays, pois) = setup();
+        let roi = build(&stays, &pois);
+        let r = roi.region_of(LocalPoint::new(20.0, 16.0)).expect("covered");
+        assert!(r.tags.contains(Category::Shop));
+        assert!(!r.tags.contains(Category::Business));
+    }
+
+    #[test]
+    fn mixed_corner_gets_mixed_tags() {
+        let (stays, pois) = setup();
+        let roi = build(&stays, &pois);
+        let r = roi
+            .region_of(LocalPoint::new(2_020.0, 16.0))
+            .expect("covered");
+        assert!(
+            r.tags.contains(Category::Shop) && r.tags.contains(Category::Business),
+            "uncontrolled purity: mixed region keeps both tags, got {}",
+            r.tags
+        );
+    }
+
+    #[test]
+    fn uncovered_points_stay_untagged() {
+        let (stays, pois) = setup();
+        let roi = build(&stays, &pois);
+        let out = roi.recognize_all(vec![SemanticTrajectory::new(vec![
+            StayPoint::untagged(LocalPoint::new(20.0, 16.0), 0),
+            StayPoint::untagged(LocalPoint::new(10_000.0, 0.0), 600),
+        ])]);
+        assert!(!out[0].stays[0].tags.is_empty());
+        assert!(out[0].stays[1].tags.is_empty());
+    }
+
+    #[test]
+    fn sparse_corpus_produces_no_regions() {
+        let stays: Vec<LocalPoint> = (0..10)
+            .map(|i| LocalPoint::new(i as f64 * 5_000.0, 0.0))
+            .collect();
+        let roi = build(&stays, &[]);
+        assert!(roi.regions().is_empty());
+    }
+
+    #[test]
+    fn region_without_pois_is_untagged() {
+        let mut stays = Vec::new();
+        for k in 0..40 {
+            stays.push(LocalPoint::new((k % 6) as f64 * 8.0, (k / 6) as f64 * 8.0));
+        }
+        let roi = build(&stays, &[]);
+        assert!(!roi.regions().is_empty());
+        assert!(roi.regions().iter().all(|r| r.tags.is_empty()));
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests for the baseline extractors: whatever the input,
+//! both must honour the universal sigma / rho / delta_t gates, produce
+//! aligned groups, and stay deterministic.
+
+use pm_baselines::{sdbscan_extract, splitter_extract, BaselineParams};
+use pm_core::params::MinerParams;
+use pm_core::types::{Category, SemanticTrajectory, StayPoint, Tags};
+use pm_geo::LocalPoint;
+use proptest::prelude::*;
+
+/// Random two-stay commuter trajectories around a handful of venues.
+fn trajectory_db() -> impl Strategy<Value = Vec<SemanticTrajectory>> {
+    let venue = 0usize..4;
+    let traj = (
+        venue.clone(),
+        venue,
+        0i64..1_800,
+        -20.0..20.0f64,
+        -20.0..20.0f64,
+    )
+        .prop_map(|(v_from, v_to, dt, jx, jy)| {
+            let venue_pos =
+                |v: usize| LocalPoint::new((v % 2) as f64 * 3_000.0, (v / 2) as f64 * 3_000.0);
+            let cats = [
+                Category::Residence,
+                Category::Business,
+                Category::Shop,
+                Category::Restaurant,
+            ];
+            SemanticTrajectory::new(vec![
+                StayPoint::new(
+                    venue_pos(v_from) + LocalPoint::new(jx, jy),
+                    7 * 3600,
+                    Tags::only(cats[v_from]),
+                ),
+                StayPoint::new(
+                    venue_pos(v_to) + LocalPoint::new(jy, jx),
+                    7 * 3600 + 900 + dt,
+                    Tags::only(cats[v_to]),
+                ),
+            ])
+        });
+    prop::collection::vec(traj, 0..60)
+}
+
+fn params() -> MinerParams {
+    MinerParams {
+        sigma: 8,
+        rho: 1e-5,
+        ..MinerParams::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn splitter_postconditions(db in trajectory_db()) {
+        let ps = splitter_extract(&db, &params(), &BaselineParams::default());
+        for p in &ps {
+            prop_assert!(p.support() >= params().sigma);
+            prop_assert_eq!(p.groups.len(), p.len());
+            for g in &p.groups {
+                prop_assert_eq!(g.len(), p.support());
+                let pts: Vec<LocalPoint> = g.iter().map(|sp| sp.pos).collect();
+                prop_assert!(pm_geo::den(&pts) >= params().rho);
+            }
+            // Members respect delta_t on their embeddings.
+            for &m in &p.members {
+                for w in db[m].stays.windows(2) {
+                    prop_assert!((w[1].time - w[0].time).abs() < params().delta_t);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sdbscan_postconditions(db in trajectory_db()) {
+        let ps = sdbscan_extract(&db, &params(), &BaselineParams::default());
+        for p in &ps {
+            prop_assert!(p.support() >= params().sigma);
+            prop_assert_eq!(p.groups.len(), p.len());
+            for (k, g) in p.groups.iter().enumerate() {
+                prop_assert_eq!(g.len(), p.support());
+                // SDBSCAN groups are DBSCAN clusters: every member has a
+                // same-group neighbour within eps (for non-singleton groups).
+                if g.len() > 1 {
+                    for sp in g {
+                        let near = g.iter().any(|o| {
+                            o.pos != sp.pos
+                                && o.pos.distance(&sp.pos)
+                                    <= BaselineParams::default().dbscan_eps * (g.len() as f64)
+                        });
+                        prop_assert!(near || g.iter().filter(|o| o.pos == sp.pos).count() > 1,
+                            "position {k} has an isolated member");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn both_extractors_are_deterministic(db in trajectory_db()) {
+        let base = BaselineParams::default();
+        let a1 = splitter_extract(&db, &params(), &base);
+        let a2 = splitter_extract(&db, &params(), &base);
+        prop_assert_eq!(a1.len(), a2.len());
+        for (x, y) in a1.iter().zip(&a2) {
+            prop_assert_eq!(&x.members, &y.members);
+        }
+        let b1 = sdbscan_extract(&db, &params(), &base);
+        let b2 = sdbscan_extract(&db, &params(), &base);
+        prop_assert_eq!(b1.len(), b2.len());
+        for (x, y) in b1.iter().zip(&b2) {
+            prop_assert_eq!(&x.members, &y.members);
+        }
+    }
+
+    /// No trajectory supports two patterns with the same category chain
+    /// (buckets partition the members of a coarse pattern).
+    #[test]
+    fn buckets_partition_members(db in trajectory_db()) {
+        let ps = splitter_extract(&db, &params(), &BaselineParams::default());
+        use std::collections::HashMap;
+        let mut seen: HashMap<(Vec<Category>, usize), usize> = HashMap::new();
+        for p in &ps {
+            for &m in &p.members {
+                let count = seen.entry((p.categories.clone(), m)).or_insert(0);
+                *count += 1;
+                prop_assert_eq!(*count, 1, "trajectory {} in two same-chain patterns", m);
+            }
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! DBSCAN density-based clustering (Ester et al. 1996).
+
+use crate::Clustering;
+use pm_geo::{GridIndex, LocalPoint};
+
+/// DBSCAN parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct DbscanParams {
+    /// Neighbourhood radius in meters.
+    pub eps: f64,
+    /// Minimum neighbourhood size (the point itself counts) for a core point.
+    pub min_pts: usize,
+}
+
+impl DbscanParams {
+    /// Creates a parameter set, validating `eps > 0` and `min_pts >= 1`.
+    pub fn new(eps: f64, min_pts: usize) -> Self {
+        assert!(
+            eps.is_finite() && eps > 0.0,
+            "eps must be positive, got {eps}"
+        );
+        assert!(min_pts >= 1, "min_pts must be at least 1");
+        Self { eps, min_pts }
+    }
+}
+
+/// Runs DBSCAN over `points`.
+///
+/// Core points have at least `min_pts` neighbours (self included) within
+/// `eps`; clusters are the transitive closure of core-point adjacency plus
+/// border points; everything else is noise. The implementation is the
+/// standard seed-set expansion using a [`GridIndex`] for neighbourhood
+/// queries, `O(n * q)` where `q` is the cost of a range query.
+pub fn dbscan(points: &[LocalPoint], params: DbscanParams) -> Clustering {
+    const UNVISITED: u32 = u32::MAX;
+    const NOISE: u32 = u32::MAX - 1;
+
+    let n = points.len();
+    let mut labels = vec![UNVISITED; n];
+    if n == 0 {
+        return Clustering {
+            labels: Vec::new(),
+            n_clusters: 0,
+        };
+    }
+    let index = GridIndex::build(points, params.eps.max(1e-9));
+    let mut n_clusters = 0u32;
+    let mut neighbours = Vec::new();
+    let mut frontier_buf = Vec::new();
+
+    for start in 0..n {
+        if labels[start] != UNVISITED {
+            continue;
+        }
+        index.range_into(points[start], params.eps, &mut neighbours);
+        if neighbours.len() < params.min_pts {
+            labels[start] = NOISE;
+            continue;
+        }
+        // New cluster seeded at `start`; expand over density-reachable points.
+        let cluster = n_clusters;
+        n_clusters += 1;
+        labels[start] = cluster;
+        let mut frontier: Vec<usize> = neighbours.clone();
+        while let Some(p) = frontier.pop() {
+            if labels[p] == NOISE {
+                labels[p] = cluster; // border point
+                continue;
+            }
+            if labels[p] != UNVISITED {
+                continue;
+            }
+            labels[p] = cluster;
+            index.range_into(points[p], params.eps, &mut frontier_buf);
+            if frontier_buf.len() >= params.min_pts {
+                frontier.extend(
+                    frontier_buf
+                        .iter()
+                        .copied()
+                        .filter(|&q| labels[q] == UNVISITED || labels[q] == NOISE),
+                );
+            }
+        }
+    }
+
+    Clustering {
+        labels: labels
+            .into_iter()
+            .map(|l| {
+                if l == NOISE || l == UNVISITED {
+                    None
+                } else {
+                    Some(l as usize)
+                }
+            })
+            .collect(),
+        n_clusters: n_clusters as usize,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(cx: f64, cy: f64, n: usize, spread: f64) -> Vec<LocalPoint> {
+        // Deterministic pseudo-blob: points on a small spiral.
+        (0..n)
+            .map(|i| {
+                let a = i as f64 * 2.399963; // golden angle
+                let r = spread * (i as f64 / n as f64).sqrt();
+                LocalPoint::new(cx + r * a.cos(), cy + r * a.sin())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn two_well_separated_blobs() {
+        let mut pts = blob(0.0, 0.0, 40, 20.0);
+        pts.extend(blob(500.0, 500.0, 40, 20.0));
+        let c = dbscan(&pts, DbscanParams::new(15.0, 4));
+        assert_eq!(c.n_clusters, 2);
+        assert_eq!(c.n_noise(), 0);
+        // All of blob 1 shares a label distinct from blob 2.
+        let l0 = c.labels[0].unwrap();
+        let l1 = c.labels[40].unwrap();
+        assert_ne!(l0, l1);
+        assert!(c.labels[..40].iter().all(|l| *l == Some(l0)));
+        assert!(c.labels[40..].iter().all(|l| *l == Some(l1)));
+    }
+
+    #[test]
+    fn isolated_points_are_noise() {
+        let pts = vec![
+            LocalPoint::new(0.0, 0.0),
+            LocalPoint::new(1000.0, 0.0),
+            LocalPoint::new(0.0, 1000.0),
+        ];
+        let c = dbscan(&pts, DbscanParams::new(10.0, 2));
+        assert_eq!(c.n_clusters, 0);
+        assert_eq!(c.n_noise(), 3);
+    }
+
+    #[test]
+    fn empty_input() {
+        let c = dbscan(&[], DbscanParams::new(10.0, 3));
+        assert_eq!(c.n_clusters, 0);
+        assert!(c.labels.is_empty());
+    }
+
+    #[test]
+    fn min_pts_one_makes_every_point_core() {
+        let pts = vec![LocalPoint::new(0.0, 0.0), LocalPoint::new(1000.0, 0.0)];
+        let c = dbscan(&pts, DbscanParams::new(1.0, 1));
+        assert_eq!(c.n_clusters, 2);
+        assert_eq!(c.n_noise(), 0);
+    }
+
+    #[test]
+    fn chain_connectivity() {
+        // Points in a line 5m apart with eps=6: one cluster.
+        let pts: Vec<LocalPoint> = (0..30)
+            .map(|i| LocalPoint::new(i as f64 * 5.0, 0.0))
+            .collect();
+        let c = dbscan(&pts, DbscanParams::new(6.0, 2));
+        assert_eq!(c.n_clusters, 1);
+        assert_eq!(c.n_noise(), 0);
+    }
+
+    #[test]
+    fn chain_breaks_with_small_eps() {
+        let pts: Vec<LocalPoint> = (0..30)
+            .map(|i| LocalPoint::new(i as f64 * 5.0, 0.0))
+            .collect();
+        let c = dbscan(&pts, DbscanParams::new(4.0, 2));
+        assert_eq!(c.n_clusters, 0);
+        assert_eq!(c.n_noise(), 30);
+    }
+
+    #[test]
+    fn border_point_attaches_to_cluster() {
+        // Dense core of 5 coincident-ish points plus one border point within
+        // eps of the core but itself not core.
+        let mut pts = vec![
+            LocalPoint::new(0.0, 0.0),
+            LocalPoint::new(1.0, 0.0),
+            LocalPoint::new(0.0, 1.0),
+            LocalPoint::new(1.0, 1.0),
+            LocalPoint::new(0.5, 0.5),
+        ];
+        pts.push(LocalPoint::new(8.0, 0.0)); // within 10m of core points only
+        let c = dbscan(&pts, DbscanParams::new(10.0, 5));
+        assert_eq!(c.n_clusters, 1);
+        assert_eq!(c.labels[5], Some(0), "border point should join the cluster");
+    }
+
+    #[test]
+    fn all_points_labelled_or_noise() {
+        let mut pts = blob(0.0, 0.0, 25, 30.0);
+        pts.extend(blob(200.0, 0.0, 3, 5.0)); // too small to be a cluster at min_pts=5
+        let c = dbscan(&pts, DbscanParams::new(12.0, 5));
+        assert_eq!(c.labels.len(), pts.len());
+        let clustered: usize = c.clusters().iter().map(Vec::len).sum();
+        assert_eq!(clustered + c.n_noise(), pts.len());
+    }
+}

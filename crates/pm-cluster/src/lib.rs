@@ -1,0 +1,73 @@
+//! Clustering substrate for the Pervasive Miner stack.
+//!
+//! The paper leans on four classical clustering algorithms, none of which it
+//! re-derives; all are implemented here from scratch:
+//!
+//! - [`dbscan`]: density-based clustering — the backbone of the ROI baseline
+//!   (hot-region detection, ref \[21\]) and of the SDBSCAN competitor
+//!   (ref \[19\]).
+//! - [`optics`]: OPTICS ordering (Ankerst et al., ref \[27\]) with automatic
+//!   threshold extraction, used by Algorithm 4 (*CounterpartCluster*) to
+//!   cluster the k-th stay points of each coarse pattern.
+//! - [`meanshift`]: Mean Shift mode seeking (Comaniciu & Meer, ref \[25\]),
+//!   the refinement step of the Splitter competitor (ref \[17\]).
+//! - [`kmeans`]: K-Means (mentioned in ref \[21\]'s hybrid annotation
+//!   algorithm), with k-means++ seeding.
+//!
+//! [`kernel`] holds the Gaussian distribution coefficient of the paper's
+//! Eq. 2, shared by popularity estimation and semantic recognition.
+
+pub mod dbscan;
+pub mod kernel;
+pub mod kmeans;
+pub mod meanshift;
+pub mod optics;
+
+pub use dbscan::{dbscan, DbscanParams};
+pub use kernel::{gaussian_coeff, GaussianKernel};
+pub use kmeans::{kmeans, KMeansParams, KMeansResult};
+pub use meanshift::{mean_shift, MeanShiftParams, MeanShiftResult};
+pub use optics::{Optics, OpticsParams};
+
+/// A flat clustering: `labels[i]` is the cluster of point `i` (`None` =
+/// noise), `n_clusters` the number of clusters, labelled `0..n_clusters`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clustering {
+    /// Per-point cluster assignment; `None` marks noise/outliers.
+    pub labels: Vec<Option<usize>>,
+    /// Number of clusters found.
+    pub n_clusters: usize,
+}
+
+impl Clustering {
+    /// Groups point indices by cluster label; noise points are omitted.
+    pub fn clusters(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.n_clusters];
+        for (i, label) in self.labels.iter().enumerate() {
+            if let Some(c) = label {
+                out[*c].push(i);
+            }
+        }
+        out
+    }
+
+    /// Number of noise points.
+    pub fn n_noise(&self) -> usize {
+        self.labels.iter().filter(|l| l.is_none()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clustering_groups_and_noise() {
+        let c = Clustering {
+            labels: vec![Some(0), None, Some(1), Some(0), None],
+            n_clusters: 2,
+        };
+        assert_eq!(c.clusters(), vec![vec![0, 3], vec![2]]);
+        assert_eq!(c.n_noise(), 2);
+    }
+}

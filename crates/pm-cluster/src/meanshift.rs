@@ -1,0 +1,190 @@
+//! Mean Shift mode seeking (Comaniciu & Meer — the paper's ref \[25\]).
+//!
+//! The Splitter competitor (ref \[17\]) refines each coarse semantic pattern
+//! by mean-shifting the member stay points toward local density modes and
+//! splitting the pattern along distinct modes.
+
+use crate::Clustering;
+use pm_geo::{GridIndex, LocalPoint};
+
+/// Mean Shift parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct MeanShiftParams {
+    /// Kernel bandwidth in meters (flat/uniform kernel radius).
+    pub bandwidth: f64,
+    /// Convergence tolerance: iteration stops when the shift drops below
+    /// this many meters.
+    pub tol: f64,
+    /// Hard cap on iterations per point.
+    pub max_iter: usize,
+}
+
+impl MeanShiftParams {
+    /// Creates a parameter set with default tolerance (`bandwidth * 1e-3`)
+    /// and iteration cap (300).
+    pub fn new(bandwidth: f64) -> Self {
+        assert!(
+            bandwidth.is_finite() && bandwidth > 0.0,
+            "bandwidth must be positive, got {bandwidth}"
+        );
+        Self {
+            bandwidth,
+            tol: bandwidth * 1e-3,
+            max_iter: 300,
+        }
+    }
+}
+
+/// Result of a mean-shift run: a flat clustering plus the converged modes.
+#[derive(Debug, Clone)]
+pub struct MeanShiftResult {
+    /// Cluster assignment per input point. Mean shift assigns every point to
+    /// a mode, so there is no noise; `labels[i]` is always `Some`.
+    pub clustering: Clustering,
+    /// One density mode per cluster, aligned with cluster labels.
+    pub modes: Vec<LocalPoint>,
+}
+
+/// Runs mean shift with a flat (uniform-disk) kernel.
+///
+/// Each point iteratively moves to the centroid of the input points within
+/// `bandwidth` of its current position until convergence; converged
+/// positions within `bandwidth / 2` of each other are merged into one mode.
+pub fn mean_shift(points: &[LocalPoint], params: MeanShiftParams) -> MeanShiftResult {
+    let n = points.len();
+    if n == 0 {
+        return MeanShiftResult {
+            clustering: Clustering {
+                labels: Vec::new(),
+                n_clusters: 0,
+            },
+            modes: Vec::new(),
+        };
+    }
+    let index = GridIndex::build(points, params.bandwidth.max(1e-9));
+    let mut nbrs = Vec::new();
+
+    // Shift every point to its mode.
+    let mut converged = Vec::with_capacity(n);
+    for &start in points {
+        let mut pos = start;
+        for _ in 0..params.max_iter {
+            index.range_into(pos, params.bandwidth, &mut nbrs);
+            if nbrs.is_empty() {
+                break; // can only happen for degenerate bandwidths
+            }
+            let sum = nbrs
+                .iter()
+                .fold(LocalPoint::ORIGIN, |acc, &i| acc + points[i]);
+            let next = sum / nbrs.len() as f64;
+            let shift = next.distance(&pos);
+            pos = next;
+            if shift < params.tol {
+                break;
+            }
+        }
+        converged.push(pos);
+    }
+
+    // Merge modes closer than bandwidth/2; first-come ordering keeps the
+    // result deterministic.
+    let merge_radius = params.bandwidth / 2.0;
+    let mut modes: Vec<LocalPoint> = Vec::new();
+    let mut labels = Vec::with_capacity(n);
+    for pos in &converged {
+        let found = modes.iter().position(|m| m.distance(pos) <= merge_radius);
+        match found {
+            Some(m) => labels.push(Some(m)),
+            None => {
+                modes.push(*pos);
+                labels.push(Some(modes.len() - 1));
+            }
+        }
+    }
+
+    MeanShiftResult {
+        clustering: Clustering {
+            labels,
+            n_clusters: modes.len(),
+        },
+        modes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(cx: f64, cy: f64, n: usize, spread: f64) -> Vec<LocalPoint> {
+        (0..n)
+            .map(|i| {
+                let a = i as f64 * 2.399963;
+                let r = spread * (i as f64 / n as f64).sqrt();
+                LocalPoint::new(cx + r * a.cos(), cy + r * a.sin())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn two_blobs_two_modes() {
+        let mut pts = blob(0.0, 0.0, 40, 20.0);
+        pts.extend(blob(500.0, 0.0, 40, 20.0));
+        let r = mean_shift(&pts, MeanShiftParams::new(60.0));
+        assert_eq!(r.clustering.n_clusters, 2);
+        assert!(r.modes[0].distance(&LocalPoint::ORIGIN) < 15.0);
+        assert!(r.modes[1].distance(&LocalPoint::new(500.0, 0.0)) < 15.0);
+        assert!(r.clustering.labels[..40].iter().all(|l| *l == Some(0)));
+        assert!(r.clustering.labels[40..].iter().all(|l| *l == Some(1)));
+    }
+
+    #[test]
+    fn single_blob_single_mode_near_centroid() {
+        let pts = blob(100.0, -50.0, 60, 25.0);
+        let r = mean_shift(&pts, MeanShiftParams::new(80.0));
+        assert_eq!(r.clustering.n_clusters, 1);
+        assert!(r.modes[0].distance(&LocalPoint::new(100.0, -50.0)) < 10.0);
+    }
+
+    #[test]
+    fn every_point_gets_a_label() {
+        let mut pts = blob(0.0, 0.0, 20, 10.0);
+        pts.push(LocalPoint::new(10_000.0, 0.0)); // isolated: its own mode
+        let r = mean_shift(&pts, MeanShiftParams::new(50.0));
+        assert!(r.clustering.labels.iter().all(Option::is_some));
+        assert_eq!(r.clustering.n_clusters, 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        let r = mean_shift(&[], MeanShiftParams::new(10.0));
+        assert_eq!(r.clustering.n_clusters, 0);
+        assert!(r.modes.is_empty());
+    }
+
+    #[test]
+    fn modes_align_with_labels() {
+        let mut pts = blob(0.0, 0.0, 30, 10.0);
+        pts.extend(blob(300.0, 300.0, 30, 10.0));
+        let r = mean_shift(&pts, MeanShiftParams::new(50.0));
+        for (i, label) in r.clustering.labels.iter().enumerate() {
+            let mode = r.modes[label.unwrap()];
+            // Every point should be much closer to its own mode than to any
+            // other mode.
+            for (m, other) in r.modes.iter().enumerate() {
+                if m != label.unwrap() {
+                    assert!(pts[i].distance(&mode) < pts[i].distance(other));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bandwidth_controls_granularity() {
+        let mut pts = blob(0.0, 0.0, 30, 10.0);
+        pts.extend(blob(120.0, 0.0, 30, 10.0));
+        let fine = mean_shift(&pts, MeanShiftParams::new(40.0));
+        let coarse = mean_shift(&pts, MeanShiftParams::new(400.0));
+        assert!(fine.clustering.n_clusters >= 2);
+        assert_eq!(coarse.clustering.n_clusters, 1);
+    }
+}

@@ -1,0 +1,479 @@
+//! OPTICS: Ordering Points To Identify the Clustering Structure
+//! (Ankerst, Breunig, Kriegel, Sander — the paper's ref \[27\]).
+//!
+//! Algorithm 4 of the paper invokes `Optics({Pt^k(ST)}, sigma)` to cluster
+//! the k-th stay points of a coarse pattern *without* a hand-tuned distance
+//! threshold: "It initiates with a default maximum distance threshold and
+//! cluster size threshold sigma … It chooses an optimal distance threshold
+//! with sufficiently high density for each cluster." We reproduce that with
+//! the classic OPTICS ordering plus an automatic threshold picked at the
+//! largest gap (knee) of the sorted reachability profile.
+
+use crate::Clustering;
+use pm_geo::{GridIndex, LocalPoint};
+
+/// OPTICS parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct OpticsParams {
+    /// Generous upper bound on the neighbourhood radius, in meters. This is
+    /// the "default maximum distance threshold" of the paper; it only bounds
+    /// work, it does not tune the clustering.
+    pub max_eps: f64,
+    /// Minimum cluster size; Algorithm 4 passes the support threshold sigma.
+    pub min_pts: usize,
+}
+
+impl OpticsParams {
+    /// Creates a parameter set, validating `max_eps > 0` and `min_pts >= 1`.
+    pub fn new(max_eps: f64, min_pts: usize) -> Self {
+        assert!(
+            max_eps.is_finite() && max_eps > 0.0,
+            "max_eps must be positive, got {max_eps}"
+        );
+        assert!(min_pts >= 1, "min_pts must be at least 1");
+        Self { max_eps, min_pts }
+    }
+}
+
+/// The OPTICS ordering of a point set.
+#[derive(Debug, Clone)]
+pub struct Optics {
+    params: OpticsParams,
+    /// Visit order: a permutation of `0..n`.
+    order: Vec<usize>,
+    /// Reachability distance of each point *in visit order*;
+    /// `f64::INFINITY` marks the start of a new density-connected component.
+    reachability: Vec<f64>,
+    /// Core distance of each point, indexed by original point id.
+    core_distance: Vec<f64>,
+    /// The input points (kept for border-point recovery in extraction).
+    points: Vec<LocalPoint>,
+}
+
+impl Optics {
+    /// Computes the OPTICS ordering of `points`.
+    pub fn run(points: &[LocalPoint], params: OpticsParams) -> Self {
+        let n = points.len();
+        let mut order = Vec::with_capacity(n);
+        let mut reach_in_order = Vec::with_capacity(n);
+        let mut core_distance = vec![f64::INFINITY; n];
+        if n == 0 {
+            return Self {
+                params,
+                order,
+                reachability: reach_in_order,
+                core_distance,
+                points: Vec::new(),
+            };
+        }
+
+        let index = GridIndex::build(points, params.max_eps.max(1e-9));
+        let mut processed = vec![false; n];
+        // Tentative reachability per original id, updated as the wavefront
+        // expands; INFINITY until first touched.
+        let mut reach = vec![f64::INFINITY; n];
+        let mut nbrs = Vec::new();
+
+        // Lazy-deletion min-heap over (reachability, point): decrease-key is
+        // emulated by pushing a fresh entry and skipping stale pops (the
+        // stored reachability no longer matches). Keeps the sweep
+        // O(n log n + total neighbour work) at corpus scale.
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        #[derive(PartialEq)]
+        struct Entry(f64, usize);
+        impl Eq for Entry {}
+        impl PartialOrd for Entry {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Entry {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
+            }
+        }
+
+        let mut dists: Vec<f64> = Vec::new();
+        for seed in 0..n {
+            if processed[seed] {
+                continue;
+            }
+            let mut heap: BinaryHeap<Reverse<Entry>> = BinaryHeap::new();
+            heap.push(Reverse(Entry(f64::INFINITY, seed)));
+            reach[seed] = f64::INFINITY;
+            while let Some(Reverse(Entry(r, p))) = heap.pop() {
+                if processed[p] || r > reach[p] {
+                    continue; // stale entry
+                }
+                processed[p] = true;
+                order.push(p);
+                reach_in_order.push(reach[p]);
+
+                index.range_into(points[p], params.max_eps, &mut nbrs);
+                if nbrs.len() >= params.min_pts {
+                    // Core distance: distance to the min_pts-th neighbour.
+                    dists.clear();
+                    dists.extend(nbrs.iter().map(|&q| points[q].distance(&points[p])));
+                    dists.sort_by(f64::total_cmp);
+                    let core = dists[params.min_pts - 1];
+                    core_distance[p] = core;
+                    for &q in &nbrs {
+                        if processed[q] {
+                            continue;
+                        }
+                        let new_reach = core.max(points[q].distance(&points[p]));
+                        if new_reach < reach[q] {
+                            reach[q] = new_reach;
+                            heap.push(Reverse(Entry(new_reach, q)));
+                        }
+                    }
+                }
+            }
+        }
+
+        Self {
+            params,
+            order,
+            reachability: reach_in_order,
+            core_distance,
+            points: points.to_vec(),
+        }
+    }
+
+    /// The visit order (a permutation of point indices).
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Reachability distances aligned with [`Optics::order`].
+    pub fn reachability(&self) -> &[f64] {
+        &self.reachability
+    }
+
+    /// Core distance of point `idx` (original indexing); infinite when the
+    /// point is never a core point at `max_eps`.
+    pub fn core_distance(&self, idx: usize) -> f64 {
+        self.core_distance[idx]
+    }
+
+    /// Extracts a flat clustering at a fixed reachability threshold
+    /// `eps_prime`; equivalent to DBSCAN at that radius (border-point
+    /// assignment aside).
+    pub fn extract_at(&self, eps_prime: f64) -> Clustering {
+        let n = self.order.len();
+        let mut labels = vec![None; n];
+        let mut n_clusters = 0usize;
+        let mut current: Option<usize> = None;
+        // Last point provisionally labelled noise; it gets adopted when the
+        // very next point turns out density-reachable at eps' (the component
+        // seed was a border point rather than a core point).
+        let mut pending_noise: Option<usize> = None;
+        for (pos, &p) in self.order.iter().enumerate() {
+            if self.reachability[pos] > eps_prime {
+                // Not density-reachable at eps': start a new cluster only if
+                // p itself is a core point at eps'.
+                if self.core_distance[p] <= eps_prime {
+                    current = Some(n_clusters);
+                    n_clusters += 1;
+                    labels[p] = current;
+                    pending_noise = None;
+                } else {
+                    current = None; // noise (possibly a border seed)
+                    pending_noise = Some(p);
+                }
+            } else {
+                if current.is_none() {
+                    // Density-reachable from the preceding noise point: that
+                    // point seeds a cluster after all.
+                    current = Some(n_clusters);
+                    n_clusters += 1;
+                    if let Some(seed) = pending_noise.take() {
+                        labels[seed] = current;
+                    }
+                }
+                labels[p] = current;
+            }
+        }
+        // Border-point recovery: classic ExtractDBSCAN leaves a point as
+        // noise when it heads its component in the ordering but is not core
+        // at eps'. DBSCAN would label such a point as border; adopt the
+        // label of the nearest clustered point within eps'.
+        if n_clusters > 0 && labels.iter().any(Option::is_none) {
+            let index = GridIndex::build(&self.points, eps_prime.max(1e-9));
+            let mut adopted: Vec<(usize, usize)> = Vec::new();
+            for p in 0..n {
+                if labels[p].is_some() {
+                    continue;
+                }
+                let mut best: Option<(f64, usize)> = None;
+                for q in index.range(self.points[p], eps_prime) {
+                    if let Some(l) = labels[q] {
+                        let d = self.points[p].distance(&self.points[q]);
+                        if best.is_none_or(|(bd, _)| d < bd) {
+                            best = Some((d, l));
+                        }
+                    }
+                }
+                if let Some((_, l)) = best {
+                    adopted.push((p, l));
+                }
+            }
+            for (p, l) in adopted {
+                labels[p] = Some(l);
+            }
+        }
+
+        // Drop clusters smaller than min_pts: OPTICS extraction can emit
+        // fragments at a threshold below the local core distance.
+        let mut sizes = vec![0usize; n_clusters];
+        for l in labels.iter().flatten() {
+            sizes[*l] += 1;
+        }
+        let mut remap = vec![None; n_clusters];
+        let mut kept = 0usize;
+        for (c, &s) in sizes.iter().enumerate() {
+            if s >= self.params.min_pts {
+                remap[c] = Some(kept);
+                kept += 1;
+            }
+        }
+        for l in labels.iter_mut() {
+            *l = l.and_then(|c| remap[c]);
+        }
+        Clustering {
+            labels,
+            n_clusters: kept,
+        }
+    }
+
+    /// Extracts a flat clustering with automatically chosen, *per-cluster*
+    /// thresholds — the behaviour Algorithm 4 relies on ("chooses an
+    /// optimal distance threshold with sufficiently high density for each
+    /// cluster").
+    ///
+    /// A global knee in the sorted reachability profile yields coarse
+    /// clusters (contiguous runs of the ordering); each run is then refined
+    /// recursively: if its own interior reachability shows a strong valley
+    /// structure (a >= 1.5x gap that splits the run into two or more
+    /// `min_pts`-sized sub-runs), the run splits at that local threshold.
+    /// This is what lets one coarse cluster spanning two nearby venues
+    /// resolve into two fine-grained groups — the advantage the paper
+    /// credits OPTICS for in Fig. 11.
+    pub fn extract_auto(&self) -> Clustering {
+        let n = self.order.len();
+        if n == 0 {
+            return Clustering {
+                labels: Vec::new(),
+                n_clusters: 0,
+            };
+        }
+
+        // Components: runs delimited by INFINITY reachability (points not
+        // density-reachable from anything processed before them).
+        let mut runs: Vec<(usize, usize)> = Vec::new(); // [lo, hi) positions
+        let mut lo = 0usize;
+        for pos in 1..n {
+            if self.reachability[pos].is_infinite() {
+                runs.push((lo, pos));
+                lo = pos;
+            }
+        }
+        runs.push((lo, n));
+
+        // Per-run recursive refinement at local valley thresholds.
+        let mut final_runs = Vec::new();
+        for run in runs {
+            self.refine_run(run, &mut final_runs);
+        }
+
+        // Materialize labels; runs smaller than min_pts are noise.
+        let mut labels = vec![None; n];
+        let mut n_clusters = 0usize;
+        for (a, b) in final_runs {
+            if b - a < self.params.min_pts {
+                continue;
+            }
+            for pos in a..b {
+                labels[self.order[pos]] = Some(n_clusters);
+            }
+            n_clusters += 1;
+        }
+        Clustering { labels, n_clusters }
+    }
+
+    /// Recursively splits one ordering run `[lo, hi)` at its strongest
+    /// interior reachability valley — the per-cluster "optimal distance
+    /// threshold" of Algorithm 4. A split happens when the strongest
+    /// relative gap is pronounced (>= 1.5x when it yields two
+    /// `min_pts`-sized sub-runs, >= 5x when it only strips outliers off one
+    /// cluster); otherwise the run is emitted as one cluster.
+    fn refine_run(&self, run: (usize, usize), out: &mut Vec<(usize, usize)>) {
+        let (lo, hi) = run;
+        if hi - lo < self.params.min_pts + 1 {
+            out.push(run);
+            return;
+        }
+        // Interior reachability (the head's value belongs to the previous
+        // run / component boundary).
+        let mut interior: Vec<f64> = self.reachability[lo + 1..hi]
+            .iter()
+            .copied()
+            .filter(|r| r.is_finite())
+            .collect();
+        if interior.len() < 4 {
+            out.push(run);
+            return;
+        }
+        interior.sort_by(f64::total_cmp);
+        // Strongest relative gap anywhere in the interior profile.
+        let mut best_ratio = 1.0;
+        let mut t_local = f64::INFINITY;
+        for i in 0..interior.len() - 1 {
+            let a = interior[i].max(1e-9);
+            let b = interior[i + 1];
+            let ratio = b / a;
+            if ratio > best_ratio {
+                best_ratio = ratio;
+                t_local = a;
+            }
+        }
+        if best_ratio < 1.5 {
+            out.push(run);
+            return;
+        }
+        // Split at positions whose reachability exceeds the local threshold.
+        let mut subs: Vec<(usize, usize)> = Vec::new();
+        let mut a = lo;
+        for pos in lo + 1..hi {
+            if self.reachability[pos] > t_local {
+                subs.push((a, pos));
+                a = pos;
+            }
+        }
+        subs.push((a, hi));
+        let viable = subs
+            .iter()
+            .filter(|(x, y)| y - x >= self.params.min_pts)
+            .count();
+        // A weak gap may only shave noise off one real cluster; demand a
+        // genuine two-cluster split, or an order-of-magnitude gap (a big
+        // venue with a far-away clump) when only one sub-run is viable.
+        if subs.len() < 2 || viable == 0 || (best_ratio < 5.0 && viable < 2) {
+            out.push(run);
+            return;
+        }
+        for sub in subs {
+            self.refine_run(sub, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(cx: f64, cy: f64, n: usize, spread: f64) -> Vec<LocalPoint> {
+        (0..n)
+            .map(|i| {
+                let a = i as f64 * 2.399963;
+                let r = spread * (i as f64 / n as f64).sqrt();
+                LocalPoint::new(cx + r * a.cos(), cy + r * a.sin())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ordering_is_permutation() {
+        let pts = blob(0.0, 0.0, 30, 25.0);
+        let o = Optics::run(&pts, OpticsParams::new(200.0, 4));
+        let mut order = o.order().to_vec();
+        order.sort_unstable();
+        assert_eq!(order, (0..30).collect::<Vec<_>>());
+        assert_eq!(o.reachability().len(), 30);
+    }
+
+    #[test]
+    fn first_point_of_each_component_has_infinite_reachability() {
+        let mut pts = blob(0.0, 0.0, 20, 10.0);
+        pts.extend(blob(10_000.0, 0.0, 20, 10.0));
+        let o = Optics::run(&pts, OpticsParams::new(100.0, 3));
+        let inf_count = o.reachability().iter().filter(|r| r.is_infinite()).count();
+        assert_eq!(inf_count, 2, "one INFINITY per connected component");
+    }
+
+    #[test]
+    fn auto_extraction_separates_two_blobs() {
+        let mut pts = blob(0.0, 0.0, 40, 15.0);
+        pts.extend(blob(600.0, 0.0, 40, 15.0));
+        let o = Optics::run(&pts, OpticsParams::new(1_000.0, 5));
+        let c = o.extract_auto();
+        assert_eq!(c.n_clusters, 2, "labels: {:?}", c.labels);
+        let l0 = c.labels[0].unwrap();
+        let l1 = c.labels[40].unwrap();
+        assert_ne!(l0, l1);
+    }
+
+    #[test]
+    fn extract_at_matches_dbscan_cluster_count() {
+        let mut pts = blob(0.0, 0.0, 30, 12.0);
+        pts.extend(blob(300.0, 300.0, 30, 12.0));
+        pts.push(LocalPoint::new(150.0, 150.0)); // isolated noise
+        let o = Optics::run(&pts, OpticsParams::new(500.0, 4));
+        let c = o.extract_at(20.0);
+        let d = crate::dbscan(&pts, crate::DbscanParams::new(20.0, 4));
+        assert_eq!(c.n_clusters, d.n_clusters);
+        assert!(c.labels[60].is_none(), "isolated point is noise");
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let o = Optics::run(&[], OpticsParams::new(100.0, 3));
+        assert_eq!(o.extract_auto().n_clusters, 0);
+
+        let o = Optics::run(&[LocalPoint::ORIGIN], OpticsParams::new(100.0, 3));
+        let c = o.extract_auto();
+        assert_eq!(c.n_clusters, 0);
+        assert_eq!(c.labels, vec![None]);
+    }
+
+    #[test]
+    fn min_pts_filters_small_fragments() {
+        // 3 points cannot form a cluster when min_pts = 5.
+        let pts = blob(0.0, 0.0, 3, 2.0);
+        let o = Optics::run(&pts, OpticsParams::new(100.0, 5));
+        assert_eq!(o.extract_auto().n_clusters, 0);
+    }
+
+    #[test]
+    fn core_distance_is_kth_neighbour_distance() {
+        // Line of points 10m apart; min_pts=2 => core distance = 10m for
+        // interior points (itself + 1 neighbour at 10m).
+        let pts: Vec<LocalPoint> = (0..5)
+            .map(|i| LocalPoint::new(i as f64 * 10.0, 0.0))
+            .collect();
+        let o = Optics::run(&pts, OpticsParams::new(100.0, 2));
+        assert!((o.core_distance(2) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dense_vs_sparse_blob_auto_threshold() {
+        // A tight blob plus uniform scatter: auto extraction should carve
+        // out at least the tight blob rather than lumping everything.
+        let mut pts = blob(0.0, 0.0, 50, 8.0);
+        for i in 0..30 {
+            let a = i as f64 * 1.7;
+            pts.push(LocalPoint::new(
+                800.0 + 700.0 * a.cos(),
+                800.0 + 700.0 * a.sin(),
+            ));
+        }
+        let o = Optics::run(&pts, OpticsParams::new(5_000.0, 5));
+        let c = o.extract_auto();
+        assert!(c.n_clusters >= 1);
+        // The tight blob must be one cluster.
+        let l0 = c.labels[0];
+        assert!(l0.is_some());
+        assert!(c.labels[..50].iter().all(|l| *l == l0));
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests for the clustering substrate.
+
+use pm_cluster::{
+    dbscan, kmeans, mean_shift, DbscanParams, GaussianKernel, KMeansParams, MeanShiftParams,
+    Optics, OpticsParams,
+};
+use pm_geo::{GridIndex, LocalPoint};
+use proptest::prelude::*;
+
+fn local_point() -> impl Strategy<Value = LocalPoint> {
+    (-1_000.0..1_000.0f64, -1_000.0..1_000.0f64).prop_map(|(x, y)| LocalPoint::new(x, y))
+}
+
+fn point_vec(max: usize) -> impl Strategy<Value = Vec<LocalPoint>> {
+    prop::collection::vec(local_point(), 0..max)
+}
+
+proptest! {
+    /// Every DBSCAN cluster member is density-reachable: each clustered
+    /// point is a core point itself or lies within eps of a core point of
+    /// the same cluster. (Clusters can be smaller than min_pts when border
+    /// points are claimed by a competing cluster, so we do not assert on
+    /// size.)
+    #[test]
+    fn dbscan_clusters_are_connected(
+        points in point_vec(120),
+        eps in 10.0..200.0f64,
+        min_pts in 2usize..6,
+    ) {
+        let c = dbscan(&points, DbscanParams::new(eps, min_pts));
+        prop_assert_eq!(c.labels.len(), points.len());
+        let idx = GridIndex::build(&points, eps);
+        let is_core = |i: usize| idx.count_in_range(points[i], eps) >= min_pts;
+        for cluster in c.clusters() {
+            prop_assert!(!cluster.is_empty());
+            prop_assert!(cluster.iter().any(|&i| is_core(i)),
+                "cluster without a core point");
+            for &i in &cluster {
+                let reachable = is_core(i) || cluster.iter().any(|&j| {
+                    j != i && is_core(j) && points[i].distance(&points[j]) <= eps
+                });
+                prop_assert!(reachable, "point {i} not density-reachable in its cluster");
+            }
+        }
+    }
+
+    /// Noise points are never core points.
+    #[test]
+    fn dbscan_noise_points_are_not_core(
+        points in point_vec(100),
+        eps in 10.0..150.0f64,
+        min_pts in 2usize..6,
+    ) {
+        let c = dbscan(&points, DbscanParams::new(eps, min_pts));
+        let idx = GridIndex::build(&points, eps);
+        for (i, label) in c.labels.iter().enumerate() {
+            if label.is_none() {
+                prop_assert!(idx.count_in_range(points[i], eps) < min_pts,
+                    "noise point {i} is actually core");
+            }
+        }
+    }
+
+    /// OPTICS visit order is a permutation, and reachability values are
+    /// positive (or infinite for component starters).
+    #[test]
+    fn optics_order_is_permutation(
+        points in point_vec(80),
+        max_eps in 50.0..500.0f64,
+        min_pts in 2usize..6,
+    ) {
+        let o = Optics::run(&points, OpticsParams::new(max_eps, min_pts));
+        let mut order = o.order().to_vec();
+        order.sort_unstable();
+        prop_assert_eq!(order, (0..points.len()).collect::<Vec<_>>());
+        for &r in o.reachability() {
+            prop_assert!(r > 0.0 || r.is_infinite() || r == 0.0);
+            if r.is_finite() {
+                prop_assert!(r <= max_eps + 1e-9, "reachability {r} beyond max_eps {max_eps}");
+            }
+        }
+    }
+
+    /// OPTICS extraction at a threshold never yields clusters smaller than
+    /// min_pts.
+    #[test]
+    fn optics_extraction_respects_min_pts(
+        points in point_vec(80),
+        max_eps in 50.0..500.0f64,
+        min_pts in 2usize..6,
+        frac in 0.1..1.0f64,
+    ) {
+        let o = Optics::run(&points, OpticsParams::new(max_eps, min_pts));
+        let c = o.extract_at(max_eps * frac);
+        for cluster in c.clusters() {
+            prop_assert!(cluster.len() >= min_pts);
+        }
+    }
+
+    /// Mean shift labels every point and modes are within the convex hull
+    /// bounding box of the input.
+    #[test]
+    fn mean_shift_total_assignment(
+        points in point_vec(60),
+        bw in 20.0..300.0f64,
+    ) {
+        let r = mean_shift(&points, MeanShiftParams::new(bw));
+        prop_assert_eq!(r.clustering.labels.len(), points.len());
+        if points.is_empty() {
+            prop_assert_eq!(r.clustering.n_clusters, 0);
+        } else {
+            prop_assert!(r.clustering.labels.iter().all(Option::is_some));
+            let bb = pm_geo::BoundingBox::enclosing(&points).unwrap().inflate(1e-6);
+            for m in &r.modes {
+                prop_assert!(bb.contains(*m), "mode {m} escaped the data extent");
+            }
+        }
+    }
+
+    /// K-Means assigns every point to its nearest centroid.
+    #[test]
+    fn kmeans_assignment_is_nearest(
+        points in point_vec(60),
+        k in 1usize..6,
+        seed in 0u64..100,
+    ) {
+        let r = kmeans(&points, KMeansParams::new(k).with_seed(seed));
+        for (i, label) in r.clustering.labels.iter().enumerate() {
+            let Some(l) = label else { continue };
+            let own = points[i].distance_sq(&r.centroids[*l]);
+            for c in &r.centroids {
+                prop_assert!(own <= points[i].distance_sq(c) + 1e-9);
+            }
+        }
+    }
+
+    /// The Gaussian coefficient of Eq. 2 is bounded by its peak and vanishes
+    /// past the cut-off.
+    #[test]
+    fn kernel_bounds(d in 0.0..500.0f64, r3 in 1.0..300.0f64) {
+        let k = GaussianKernel::new(r3);
+        let v = k.coeff_at(d);
+        prop_assert!(v >= 0.0);
+        prop_assert!(v <= k.coeff_at(0.0) + 1e-15);
+        if d >= r3 {
+            prop_assert_eq!(v, 0.0);
+        }
+    }
+}

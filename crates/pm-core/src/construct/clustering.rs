@@ -1,0 +1,237 @@
+//! Algorithm 1: *Popularity Based Clustering*.
+//!
+//! A DB-Scan-alike expansion over the POI set. A neighbour joins the growing
+//! cluster when (a) its popularity is within a factor `alpha` of the seed's
+//! popularity — both directions — and (b) it is either vertically overlapping
+//! (within `d_v`, the multi-purpose-skyscraper case) or shares the seed's
+//! semantic category. Clusters smaller than `MinPts_p` are discarded; their
+//! POIs become *leftovers* that the merging step may still absorb.
+
+use crate::params::MinerParams;
+use crate::types::Poi;
+use pm_geo::GridIndex;
+
+/// Output of the popularity-based clustering step: coarse clusters (lists of
+/// indices into the POI slice) and leftover POIs covered by no cluster.
+#[derive(Debug, Clone, Default)]
+pub struct CoarseClusters {
+    /// Each cluster is a list of POI indices.
+    pub clusters: Vec<Vec<usize>>,
+    /// POI indices not covered by any kept cluster.
+    pub leftovers: Vec<usize>,
+}
+
+/// Runs Algorithm 1 over `pois` with per-POI `popularity` (Eq. 3 values,
+/// aligned with `pois`).
+pub fn popularity_clustering(
+    pois: &[Poi],
+    popularity: &[f64],
+    params: &MinerParams,
+) -> CoarseClusters {
+    assert_eq!(
+        pois.len(),
+        popularity.len(),
+        "popularity must align with pois"
+    );
+    let n = pois.len();
+    let positions: Vec<_> = pois.iter().map(|p| p.pos).collect();
+    let index = GridIndex::build(&positions, params.eps_p.max(1e-9));
+
+    // `claimed[i]`: POI i has been removed from P (line 3 / line 8 of the
+    // pseudo code) — it can seed no further cluster and join no other one.
+    let mut claimed = vec![false; n];
+    let mut clusters = Vec::new();
+    let mut nbr_buf = Vec::new();
+
+    // Popularity-ratio gate of line 5: both ratios >= alpha. Zero-popularity
+    // pairs compare equal (0/0); mixed zero/non-zero pairs fail the gate.
+    let ratio_ok = |a: f64, b: f64| -> bool {
+        if a == 0.0 && b == 0.0 {
+            return true;
+        }
+        if a == 0.0 || b == 0.0 {
+            return false;
+        }
+        a / b >= params.alpha && b / a >= params.alpha
+    };
+
+    for seed in 0..n {
+        if claimed[seed] {
+            continue;
+        }
+        claimed[seed] = true;
+        let mut members = vec![seed];
+        // Work queue `V` of candidate neighbours (line 3/7).
+        index.range_into(pois[seed].pos, params.eps_p, &mut nbr_buf);
+        let mut queue: Vec<usize> = nbr_buf.iter().copied().filter(|&j| !claimed[j]).collect();
+
+        while let Some(j) = queue.pop() {
+            if claimed[j] {
+                continue;
+            }
+            if !ratio_ok(popularity[j], popularity[seed]) {
+                continue;
+            }
+            let vertical = pois[seed].pos.distance(&pois[j].pos) <= params.d_v;
+            if !(vertical || pois[j].category == pois[seed].category) {
+                continue;
+            }
+            claimed[j] = true;
+            members.push(j);
+            index.range_into(pois[j].pos, params.eps_p, &mut nbr_buf);
+            queue.extend(nbr_buf.iter().copied().filter(|&q| !claimed[q]));
+        }
+
+        if members.len() >= params.min_pts {
+            clusters.push(members);
+        }
+        // Discarded members stay claimed: the paper removes them from P
+        // regardless; they surface below as leftovers.
+    }
+
+    let mut in_cluster = vec![false; n];
+    for c in &clusters {
+        for &i in c {
+            in_cluster[i] = true;
+        }
+    }
+    let leftovers = (0..n).filter(|&i| !in_cluster[i]).collect();
+
+    CoarseClusters {
+        clusters,
+        leftovers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Category;
+    use pm_geo::LocalPoint;
+
+    fn poi(id: u64, x: f64, y: f64, c: Category) -> Poi {
+        Poi::new(id, LocalPoint::new(x, y), c)
+    }
+
+    fn uniform_pop(n: usize) -> Vec<f64> {
+        vec![1.0; n]
+    }
+
+    fn small_params() -> MinerParams {
+        MinerParams {
+            min_pts: 3,
+            ..MinerParams::default()
+        }
+    }
+
+    #[test]
+    fn same_category_neighbours_cluster_together() {
+        // 6 restaurants in a 20m row, eps_p = 30m.
+        let pois: Vec<Poi> = (0..6)
+            .map(|i| poi(i, i as f64 * 20.0, 0.0, Category::Restaurant))
+            .collect();
+        let out = popularity_clustering(&pois, &uniform_pop(6), &small_params());
+        assert_eq!(out.clusters.len(), 1);
+        assert_eq!(out.clusters[0].len(), 6);
+        assert!(out.leftovers.is_empty());
+    }
+
+    #[test]
+    fn different_categories_split_beyond_dv() {
+        // Two category rows 20m apart: within eps_p (30m) but beyond d_v
+        // (15m), so they must not merge.
+        let mut pois: Vec<Poi> = (0..4)
+            .map(|i| poi(i, i as f64 * 20.0, 0.0, Category::Restaurant))
+            .collect();
+        pois.extend((0..4).map(|i| poi(10 + i, i as f64 * 20.0, 20.0, Category::Shop)));
+        let out = popularity_clustering(&pois, &uniform_pop(8), &small_params());
+        assert_eq!(out.clusters.len(), 2);
+        for c in &out.clusters {
+            let cat0 = pois[c[0]].category;
+            assert!(c.iter().all(|&i| pois[i].category == cat0));
+        }
+    }
+
+    #[test]
+    fn skyscraper_mixes_categories_within_dv() {
+        // A "tower": mixed categories within 10m of each other (< d_v).
+        let pois = vec![
+            poi(0, 0.0, 0.0, Category::Shop),
+            poi(1, 5.0, 0.0, Category::Restaurant),
+            poi(2, 0.0, 5.0, Category::Business),
+            poi(3, 5.0, 5.0, Category::Hotel),
+            poi(4, 2.0, 2.0, Category::TrafficStation),
+        ];
+        let out = popularity_clustering(&pois, &uniform_pop(5), &small_params());
+        assert_eq!(out.clusters.len(), 1, "clusters: {:?}", out.clusters);
+        assert_eq!(out.clusters[0].len(), 5);
+    }
+
+    #[test]
+    fn popularity_gap_blocks_expansion() {
+        // Same category, same street, but the far half is 10x more popular:
+        // the ratio gate (alpha = 0.8) separates them.
+        let pois: Vec<Poi> = (0..8)
+            .map(|i| poi(i, i as f64 * 20.0, 0.0, Category::Shop))
+            .collect();
+        let pop: Vec<f64> = (0..8).map(|i| if i < 4 { 1.0 } else { 10.0 }).collect();
+        let out = popularity_clustering(&pois, &pop, &small_params());
+        assert_eq!(out.clusters.len(), 2);
+        assert!(out.clusters.iter().all(|c| c.len() == 4));
+    }
+
+    #[test]
+    fn tiny_groups_become_leftovers() {
+        let pois = vec![
+            poi(0, 0.0, 0.0, Category::Shop),
+            poi(1, 10.0, 0.0, Category::Shop),
+            // Isolated distant POI.
+            poi(2, 10_000.0, 0.0, Category::Shop),
+        ];
+        let out = popularity_clustering(&pois, &uniform_pop(3), &small_params());
+        assert!(out.clusters.is_empty());
+        assert_eq!(out.leftovers, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out = popularity_clustering(&[], &[], &small_params());
+        assert!(out.clusters.is_empty());
+        assert!(out.leftovers.is_empty());
+    }
+
+    #[test]
+    fn every_poi_is_clustered_or_leftover_exactly_once() {
+        let mut pois = Vec::new();
+        for i in 0..30 {
+            let cat = if i % 2 == 0 {
+                Category::Shop
+            } else {
+                Category::Residence
+            };
+            pois.push(poi(i, (i % 10) as f64 * 25.0, (i / 10) as f64 * 25.0, cat));
+        }
+        let out = popularity_clustering(&pois, &uniform_pop(30), &small_params());
+        let mut seen = vec![0usize; 30];
+        for c in &out.clusters {
+            for &i in c {
+                seen[i] += 1;
+            }
+        }
+        for &i in &out.leftovers {
+            seen[i] += 1;
+        }
+        assert!(seen.iter().all(|&s| s == 1), "coverage counts: {seen:?}");
+    }
+
+    #[test]
+    fn zero_popularity_pois_cluster_with_each_other() {
+        // A street nobody visits: popularity 0 everywhere, ratio gate passes
+        // (0/0 treated as equal).
+        let pois: Vec<Poi> = (0..5)
+            .map(|i| poi(i, i as f64 * 15.0, 0.0, Category::Industry))
+            .collect();
+        let out = popularity_clustering(&pois, &[0.0; 5], &small_params());
+        assert_eq!(out.clusters.len(), 1);
+    }
+}

@@ -1,0 +1,317 @@
+//! The assembled **City Semantic Diagram** (Definition 4).
+
+use crate::construct::clustering::popularity_clustering;
+use crate::construct::merge::{merge_units, unit_distribution};
+use crate::construct::purify::purify;
+use crate::params::MinerParams;
+use crate::popularity::PopularityModel;
+use crate::types::{Category, Poi, Tags};
+use pm_geo::{centroid, GridIndex, LocalPoint};
+
+/// One fine-grained semantic unit of the diagram (Definition 3): a small
+/// region whose POIs are homogeneous in location or semantics.
+#[derive(Debug, Clone)]
+pub struct SemanticUnit {
+    /// Indices into the diagram's POI slice.
+    pub members: Vec<usize>,
+    /// Union of the member categories.
+    pub tags: Tags,
+    /// Centroid of the member positions.
+    pub center: LocalPoint,
+    /// Eq. 6 popularity-weighted semantic distribution of the unit.
+    pub distribution: [f64; Category::COUNT],
+}
+
+/// Which construction steps to run — the ablation knob for the
+/// `ablation_purification` bench (DESIGN.md §4).
+#[derive(Clone, Copy, Debug)]
+pub struct ConstructionOptions {
+    /// Run Algorithm 2 (semantic purification).
+    pub purify: bool,
+    /// Run the cosine merging step.
+    pub merge: bool,
+}
+
+impl Default for ConstructionOptions {
+    fn default() -> Self {
+        Self {
+            purify: true,
+            merge: true,
+        }
+    }
+}
+
+/// Summary statistics of a construction run (used by the Fig. 6 bench in
+/// lieu of the paper's map rendering).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BuildStats {
+    /// POIs in the input.
+    pub n_pois: usize,
+    /// Coarse clusters out of Algorithm 1.
+    pub n_coarse: usize,
+    /// Leftover POIs after Algorithm 1.
+    pub n_leftover: usize,
+    /// Units after purification (before merging).
+    pub n_purified: usize,
+    /// Final unit count.
+    pub n_units: usize,
+    /// POIs covered by final units.
+    pub n_covered: usize,
+    /// Fraction of final units that are single-category.
+    pub purity: f64,
+}
+
+/// The City Semantic Diagram: the POI database organized into fine-grained
+/// semantic units, with the spatial index and popularity model needed by
+/// semantic recognition (Algorithm 3).
+#[derive(Debug, Clone)]
+pub struct CitySemanticDiagram {
+    pois: Vec<Poi>,
+    popularity: Vec<f64>,
+    units: Vec<SemanticUnit>,
+    /// `unit_of[i]` = unit owning POI `i`, if any.
+    unit_of: Vec<Option<usize>>,
+    index: GridIndex,
+    stats: BuildStats,
+}
+
+impl CitySemanticDiagram {
+    /// Full three-step construction from a POI database and the stay-point
+    /// corpus that defines popularity.
+    pub fn build(pois: &[Poi], stay_points: &[LocalPoint], params: &MinerParams) -> Self {
+        Self::build_with_options(pois, stay_points, params, ConstructionOptions::default())
+    }
+
+    /// Construction with individual steps disabled (ablation studies).
+    pub fn build_with_options(
+        pois: &[Poi],
+        stay_points: &[LocalPoint],
+        params: &MinerParams,
+        options: ConstructionOptions,
+    ) -> Self {
+        params.validate().expect("invalid miner parameters");
+        let model = PopularityModel::build(stay_points, params.r3sigma);
+        let positions: Vec<LocalPoint> = pois.iter().map(|p| p.pos).collect();
+        let popularity = model.popularity_of(&positions);
+
+        let coarse = popularity_clustering(pois, &popularity, params);
+        let n_coarse = coarse.clusters.len();
+        let n_leftover = coarse.leftovers.len();
+
+        let purified = if options.purify {
+            purify(pois, coarse.clusters, params)
+        } else {
+            coarse.clusters
+        };
+        let n_purified = purified.len();
+
+        let final_units = if options.merge {
+            merge_units(pois, &popularity, purified, &coarse.leftovers, params)
+        } else {
+            purified
+        };
+
+        let mut unit_of = vec![None; pois.len()];
+        let units: Vec<SemanticUnit> = final_units
+            .into_iter()
+            .enumerate()
+            .map(|(uid, members)| {
+                for &i in &members {
+                    unit_of[i] = Some(uid);
+                }
+                let pts: Vec<LocalPoint> = members.iter().map(|&i| pois[i].pos).collect();
+                let tags = members.iter().map(|&i| pois[i].category).collect();
+                let distribution = unit_distribution(pois, &popularity, &members);
+                SemanticUnit {
+                    center: centroid(&pts).unwrap_or(LocalPoint::ORIGIN),
+                    members,
+                    tags,
+                    distribution,
+                }
+            })
+            .collect();
+
+        let n_covered = unit_of.iter().filter(|u| u.is_some()).count();
+        let purity = if units.is_empty() {
+            1.0
+        } else {
+            units.iter().filter(|u| u.tags.len() == 1).count() as f64 / units.len() as f64
+        };
+        let stats = BuildStats {
+            n_pois: pois.len(),
+            n_coarse,
+            n_leftover,
+            n_purified,
+            n_units: units.len(),
+            n_covered,
+            purity,
+        };
+
+        Self {
+            popularity,
+            units,
+            unit_of,
+            index: GridIndex::build(&positions, params.r3sigma),
+            pois: pois.to_vec(),
+            stats,
+        }
+    }
+
+    /// The fine-grained semantic units.
+    pub fn units(&self) -> &[SemanticUnit] {
+        &self.units
+    }
+
+    /// The POI database the diagram organizes.
+    pub fn pois(&self) -> &[Poi] {
+        &self.pois
+    }
+
+    /// Eq. 3 popularity of POI `idx`.
+    pub fn popularity(&self, idx: usize) -> f64 {
+        self.popularity[idx]
+    }
+
+    /// `FindSemanticUnit`: the unit owning POI `idx`, if any.
+    pub fn unit_of(&self, idx: usize) -> Option<usize> {
+        self.unit_of[idx]
+    }
+
+    /// Indices of POIs within `radius` of `pos` — the `range` primitive of
+    /// Algorithm 3.
+    pub fn range(&self, pos: LocalPoint, radius: f64) -> Vec<usize> {
+        self.index.range(pos, radius)
+    }
+
+    /// Construction summary statistics.
+    pub fn stats(&self) -> BuildStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny deterministic town: a shop street, an office block, and a
+    /// mixed tower, plus popular stay locations near each.
+    fn town() -> (Vec<Poi>, Vec<LocalPoint>) {
+        let mut pois = Vec::new();
+        let mut id = 0;
+        let mut push = |pois: &mut Vec<Poi>, x: f64, y: f64, c: Category| {
+            pois.push(Poi::new(id, LocalPoint::new(x, y), c));
+            id += 1;
+        };
+        for i in 0..8 {
+            push(&mut pois, i as f64 * 15.0, 0.0, Category::Shop);
+        }
+        for i in 0..8 {
+            push(
+                &mut pois,
+                1_000.0 + i as f64 * 15.0,
+                0.0,
+                Category::Business,
+            );
+        }
+        for i in 0..6 {
+            let (dx, dy) = ((i % 3) as f64 * 4.0, (i / 3) as f64 * 4.0);
+            let c = [Category::Hotel, Category::Restaurant, Category::Shop][i % 3];
+            push(&mut pois, 2_000.0 + dx, dy, c);
+        }
+        let mut stays = Vec::new();
+        for anchor in [0.0, 1_000.0, 2_000.0] {
+            for k in 0..40 {
+                stays.push(LocalPoint::new(
+                    anchor + (k % 7) as f64 * 9.0,
+                    (k % 5) as f64 * 8.0,
+                ));
+            }
+        }
+        (pois, stays)
+    }
+
+    #[test]
+    fn builds_three_units_for_three_places() {
+        let (pois, stays) = town();
+        let params = MinerParams {
+            min_pts: 4,
+            n_min: 4,
+            ..MinerParams::default()
+        };
+        let csd = CitySemanticDiagram::build(&pois, &stays, &params);
+        assert_eq!(csd.units().len(), 3, "stats: {:?}", csd.stats());
+        // The tower unit is multi-category, the street/block units are pure.
+        let multi = csd.units().iter().filter(|u| u.tags.len() > 1).count();
+        assert_eq!(multi, 1);
+    }
+
+    #[test]
+    fn unit_of_is_consistent_with_members() {
+        let (pois, stays) = town();
+        let params = MinerParams {
+            min_pts: 4,
+            ..MinerParams::default()
+        };
+        let csd = CitySemanticDiagram::build(&pois, &stays, &params);
+        for (uid, unit) in csd.units().iter().enumerate() {
+            for &i in &unit.members {
+                assert_eq!(csd.unit_of(i), Some(uid));
+            }
+        }
+    }
+
+    #[test]
+    fn range_query_returns_nearby_pois() {
+        let (pois, stays) = town();
+        let csd = CitySemanticDiagram::build(&pois, &stays, &MinerParams::default());
+        let hits = csd.range(LocalPoint::new(0.0, 0.0), 100.0);
+        assert!(hits.len() >= 7);
+        assert!(hits
+            .iter()
+            .all(|&i| csd.pois()[i].pos.distance(&LocalPoint::ORIGIN) <= 100.0));
+    }
+
+    #[test]
+    fn stats_are_coherent() {
+        let (pois, stays) = town();
+        let params = MinerParams {
+            min_pts: 4,
+            ..MinerParams::default()
+        };
+        let csd = CitySemanticDiagram::build(&pois, &stays, &params);
+        let s = csd.stats();
+        assert_eq!(s.n_pois, pois.len());
+        assert!(s.n_covered <= s.n_pois);
+        assert!(s.n_units >= 1);
+        assert!((0.0..=1.0).contains(&s.purity));
+    }
+
+    #[test]
+    fn ablation_options_change_the_output() {
+        let (pois, stays) = town();
+        let params = MinerParams {
+            min_pts: 4,
+            ..MinerParams::default()
+        };
+        let full = CitySemanticDiagram::build(&pois, &stays, &params);
+        let no_merge = CitySemanticDiagram::build_with_options(
+            &pois,
+            &stays,
+            &params,
+            ConstructionOptions {
+                purify: true,
+                merge: false,
+            },
+        );
+        // Without merging, leftover POIs stay uncovered.
+        assert!(no_merge.stats().n_covered <= full.stats().n_covered);
+    }
+
+    #[test]
+    fn empty_inputs_build_empty_diagram() {
+        let csd = CitySemanticDiagram::build(&[], &[], &MinerParams::default());
+        assert!(csd.units().is_empty());
+        assert!(csd.range(LocalPoint::ORIGIN, 1_000.0).is_empty());
+        assert_eq!(csd.stats().n_units, 0);
+    }
+}

@@ -1,0 +1,282 @@
+//! *Semantic Unit Merging* (paper §4.1, Eq. 6–8).
+//!
+//! Purification can fragment one real-world semantic region (a pedestrian
+//! street or square splits a shopping district). This step measures the
+//! cosine similarity between the popularity-weighted semantic distributions
+//! of nearby units (Eq. 6–8) and merges pairs above the threshold; leftover
+//! POIs from Algorithm 1 are absorbed into the most similar nearby unit.
+
+use crate::params::MinerParams;
+use crate::types::{Category, Poi};
+use pm_geo::GridIndex;
+
+/// Semantic distribution of a unit per Eq. 6: for each category, the share
+/// of the unit's total popularity carried by POIs of that category.
+pub fn unit_distribution(
+    pois: &[Poi],
+    popularity: &[f64],
+    unit: &[usize],
+) -> [f64; Category::COUNT] {
+    let mut dist = [0.0; Category::COUNT];
+    let mut total = 0.0;
+    for &i in unit {
+        // Zero-popularity POIs still carry semantics; floor their weight so
+        // deserted units keep a meaningful distribution.
+        let w = popularity[i].max(1e-12);
+        dist[pois[i].category as usize] += w;
+        total += w;
+    }
+    if total > 0.0 {
+        for d in &mut dist {
+            *d /= total;
+        }
+    }
+    dist
+}
+
+/// Eq. 7–8: cosine similarity between two unit distributions.
+pub fn unit_cosine(a: &[f64; Category::COUNT], b: &[f64; Category::COUNT]) -> f64 {
+    let prod = |x: &[f64; Category::COUNT], y: &[f64; Category::COUNT]| -> f64 {
+        (0..Category::COUNT).map(|k| x[k] * y[k]).sum()
+    };
+    let denom = (prod(a, a) * prod(b, b)).sqrt();
+    if denom <= 0.0 {
+        0.0
+    } else {
+        (prod(a, b) / denom).min(1.0)
+    }
+}
+
+/// Merges nearby, semantically similar units and absorbs leftovers.
+///
+/// Two units are *nearby* when their nearest member POIs are within
+/// `merge_dist`; they merge when their Eq. 8 cosine reaches `merge_cos`.
+/// Merging is transitive (union-find), matching the paper's example where a
+/// chain of office fragments collapses into one unit.
+pub fn merge_units(
+    pois: &[Poi],
+    popularity: &[f64],
+    mut units: Vec<Vec<usize>>,
+    leftovers: &[usize],
+    params: &MinerParams,
+) -> Vec<Vec<usize>> {
+    // ---- Absorb leftovers first, so a lone office POI next to an office
+    // unit joins it before unit-unit merging (paper Fig. 5(b)).
+    if !units.is_empty() {
+        let member_positions: Vec<_> = units
+            .iter()
+            .enumerate()
+            .flat_map(|(u, m)| m.iter().map(move |&i| (u, i)))
+            .collect();
+        let flat_pos: Vec<_> = member_positions.iter().map(|&(_, i)| pois[i].pos).collect();
+        let index = GridIndex::build(&flat_pos, params.merge_dist.max(1e-9));
+        for &lo in leftovers {
+            let mut best: Option<(usize, f64)> = None;
+            let mut lo_dist = [0.0; Category::COUNT];
+            lo_dist[pois[lo].category as usize] = 1.0;
+            // Candidate units: those with a member within merge_dist.
+            let mut seen_units = Vec::new();
+            for entry in index.range(pois[lo].pos, params.merge_dist) {
+                let (u, _) = member_positions[entry];
+                if seen_units.contains(&u) {
+                    continue;
+                }
+                seen_units.push(u);
+                let d = unit_distribution(pois, popularity, &units[u]);
+                let cos = unit_cosine(&lo_dist, &d);
+                if cos >= params.merge_cos && best.is_none_or(|(_, c)| cos > c) {
+                    best = Some((u, cos));
+                }
+            }
+            if let Some((u, _)) = best {
+                units[u].push(lo);
+            }
+        }
+    }
+
+    // ---- Unit-unit merging via union-find over nearby similar pairs.
+    let n = units.len();
+    if n == 0 {
+        return units;
+    }
+    let dists: Vec<[f64; Category::COUNT]> = units
+        .iter()
+        .map(|u| unit_distribution(pois, popularity, u))
+        .collect();
+    let member_positions: Vec<_> = units
+        .iter()
+        .enumerate()
+        .flat_map(|(u, m)| m.iter().map(move |&i| (u, i)))
+        .collect();
+    let flat_pos: Vec<_> = member_positions.iter().map(|&(_, i)| pois[i].pos).collect();
+    let index = GridIndex::build(&flat_pos, params.merge_dist.max(1e-9));
+
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+
+    // Candidate pairs: units owning members within merge_dist of each other.
+    let mut pairs = Vec::new();
+    for (entry, &(u, i)) in member_positions.iter().enumerate() {
+        for other in index.range(pois[i].pos, params.merge_dist) {
+            if other <= entry {
+                continue;
+            }
+            let (v, _) = member_positions[other];
+            if u != v {
+                pairs.push(if u < v { (u, v) } else { (v, u) });
+            }
+        }
+    }
+    pairs.sort_unstable();
+    pairs.dedup();
+
+    for (u, v) in pairs {
+        let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+        if ru == rv {
+            continue;
+        }
+        if unit_cosine(&dists[u], &dists[v]) >= params.merge_cos {
+            parent[ru] = rv;
+        }
+    }
+
+    // Collect merged groups preserving input order of roots.
+    let mut merged: Vec<Vec<usize>> = Vec::new();
+    let mut root_slot: Vec<Option<usize>> = vec![None; n];
+    for (u, unit) in units.iter().enumerate() {
+        let r = find(&mut parent, u);
+        let slot = match root_slot[r] {
+            Some(s) => s,
+            None => {
+                merged.push(Vec::new());
+                root_slot[r] = Some(merged.len() - 1);
+                merged.len() - 1
+            }
+        };
+        merged[slot].extend(unit.iter().copied());
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_geo::LocalPoint;
+
+    fn poi(id: u64, x: f64, y: f64, c: Category) -> Poi {
+        Poi::new(id, LocalPoint::new(x, y), c)
+    }
+
+    fn params() -> MinerParams {
+        MinerParams::default()
+    }
+
+    #[test]
+    fn similar_adjacent_units_merge() {
+        // Two shop fragments 20m apart (within merge_dist = 30m).
+        let pois: Vec<Poi> = (0..6)
+            .map(|i| poi(i, i as f64 * 10.0, 0.0, Category::Shop))
+            .collect();
+        let units = vec![vec![0, 1, 2], vec![3, 4, 5]];
+        let pop = vec![1.0; 6];
+        let merged = merge_units(&pois, &pop, units, &[], &params());
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].len(), 6);
+    }
+
+    #[test]
+    fn dissimilar_adjacent_units_stay_apart() {
+        let mut pois: Vec<Poi> = (0..3)
+            .map(|i| poi(i, i as f64 * 10.0, 0.0, Category::Shop))
+            .collect();
+        pois.extend((0..3).map(|i| poi(3 + i, 30.0 + i as f64 * 10.0, 0.0, Category::Medical)));
+        let units = vec![vec![0, 1, 2], vec![3, 4, 5]];
+        let merged = merge_units(&pois, &[1.0; 6], units, &[], &params());
+        assert_eq!(merged.len(), 2);
+    }
+
+    #[test]
+    fn similar_but_distant_units_stay_apart() {
+        let mut pois: Vec<Poi> = (0..3)
+            .map(|i| poi(i, i as f64 * 10.0, 0.0, Category::Shop))
+            .collect();
+        pois.extend((0..3).map(|i| poi(3 + i, 5_000.0 + i as f64 * 10.0, 0.0, Category::Shop)));
+        let units = vec![vec![0, 1, 2], vec![3, 4, 5]];
+        let merged = merge_units(&pois, &[1.0; 6], units, &[], &params());
+        assert_eq!(merged.len(), 2);
+    }
+
+    #[test]
+    fn leftover_poi_absorbed_by_matching_unit() {
+        // Paper Fig. 5(b): a lone office POI merges into the office unit.
+        let mut pois: Vec<Poi> = (0..4)
+            .map(|i| poi(i, i as f64 * 10.0, 0.0, Category::Business))
+            .collect();
+        pois.push(poi(4, 45.0, 0.0, Category::Business)); // leftover
+        pois.push(poi(5, 45.0, 500.0, Category::Business)); // too far
+        let units = vec![vec![0, 1, 2, 3]];
+        let merged = merge_units(&pois, &[1.0; 6], units, &[4, 5], &params());
+        assert_eq!(merged.len(), 1);
+        assert!(merged[0].contains(&4));
+        assert!(!merged[0].contains(&5));
+    }
+
+    #[test]
+    fn leftover_of_wrong_category_not_absorbed() {
+        let mut pois: Vec<Poi> = (0..4)
+            .map(|i| poi(i, i as f64 * 10.0, 0.0, Category::Business))
+            .collect();
+        pois.push(poi(4, 45.0, 0.0, Category::Medical));
+        let units = vec![vec![0, 1, 2, 3]];
+        let merged = merge_units(&pois, &[1.0; 5], units, &[4], &params());
+        assert_eq!(merged.len(), 1);
+        assert!(!merged[0].contains(&4));
+    }
+
+    #[test]
+    fn transitive_chain_merges_into_one() {
+        // Three shop fragments in a chain, each within merge_dist of the
+        // next but the ends 60m apart.
+        let pois: Vec<Poi> = (0..9)
+            .map(|i| poi(i, i as f64 * 10.0, 0.0, Category::Shop))
+            .collect();
+        let units = vec![vec![0, 1, 2], vec![3, 4, 5], vec![6, 7, 8]];
+        let merged = merge_units(&pois, &[1.0; 9], units, &[], &params());
+        assert_eq!(merged.len(), 1);
+    }
+
+    #[test]
+    fn cosine_extremes() {
+        let mut a = [0.0; Category::COUNT];
+        a[0] = 1.0;
+        let mut b = [0.0; Category::COUNT];
+        b[1] = 1.0;
+        assert_eq!(unit_cosine(&a, &b), 0.0);
+        assert!((unit_cosine(&a, &a) - 1.0).abs() < 1e-12);
+        let zero = [0.0; Category::COUNT];
+        assert_eq!(unit_cosine(&zero, &a), 0.0);
+    }
+
+    #[test]
+    fn distribution_weighted_by_popularity() {
+        let pois = vec![
+            poi(0, 0.0, 0.0, Category::Shop),
+            poi(1, 5.0, 0.0, Category::Restaurant),
+        ];
+        let d = unit_distribution(&pois, &[3.0, 1.0], &[0, 1]);
+        assert!((d[Category::Shop as usize] - 0.75).abs() < 1e-9);
+        assert!((d[Category::Restaurant as usize] - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_units_and_no_leftovers() {
+        let merged = merge_units(&[], &[], Vec::new(), &[], &params());
+        assert!(merged.is_empty());
+    }
+}

@@ -1,0 +1,20 @@
+//! Semantic Diagram Constructor (paper §4.1): the three-step construction
+//! of the City Semantic Diagram.
+//!
+//! 1. [`clustering`] — Algorithm 1, *Popularity Based Clustering*: coarse
+//!    clusters of POIs with similar popularity, allowing mixed semantics
+//!    only at skyscraper range (`d_v`).
+//! 2. [`purify`] — Algorithm 2, *Semantic Purification*: recursive
+//!    KL-divergence median splits until every cluster is a fine-grained
+//!    semantic unit (Definition 3).
+//! 3. [`merge`] — *Semantic Unit Merging*: cosine-similarity merging of
+//!    nearby fragments and absorption of leftover POIs.
+//!
+//! [`diagram`] assembles the steps into [`CitySemanticDiagram`].
+
+pub mod clustering;
+pub mod diagram;
+pub mod merge;
+pub mod purify;
+
+pub use diagram::{BuildStats, CitySemanticDiagram, ConstructionOptions, SemanticUnit};

@@ -1,0 +1,330 @@
+//! Algorithm 2: *Semantic Purification*.
+//!
+//! Coarse clusters may mix semantic categories (the street-level side effect
+//! of the `d_v` skyscraper rule). This step recursively splits each mixed
+//! cluster at the median Kullback–Leibler divergence from its center POI
+//! until every cluster qualifies as a fine-grained semantic unit
+//! (Definition 3): single-category, or spatially tight (`Var <= V_min`).
+
+use crate::params::MinerParams;
+use crate::types::{Category, Poi};
+use pm_cluster::GaussianKernel;
+use pm_geo::{centroid, spatial_variance, LocalPoint};
+
+/// Additive smoothing for the per-tag distributions of Eq. 4. The paper's
+/// Eq. 5 is undefined when a tag is present around one POI and absent around
+/// another; the standard fix keeps `KL(P, P) = 0` and preserves the ordering
+/// of divergences, which is all the median split consumes.
+const KL_EPS: f64 = 1e-9;
+
+/// Runs Algorithm 2: splits every cluster in `coarse` until each qualifies
+/// as a fine-grained semantic unit. Returns the unit list (POI index lists).
+///
+/// Deviations from the pseudo code, documented in DESIGN.md: the paper pops
+/// a *random* cluster per iteration; we process a work stack, which visits
+/// the same clusters in a deterministic order (the result set is identical
+/// because each split decision depends only on the cluster's own content).
+/// And when the KL median split stalls (all divergences tie — e.g. a
+/// two-category cluster in perfect symmetry, where the paper's loop would
+/// never terminate), the farthest POI from the center splits off instead,
+/// which guarantees both termination and that every output unit satisfies
+/// Definition 3.
+pub fn purify(pois: &[Poi], coarse: Vec<Vec<usize>>, params: &MinerParams) -> Vec<Vec<usize>> {
+    let kernel = GaussianKernel::new(params.r3sigma);
+    let mut units = Vec::new();
+    let mut stack = coarse;
+
+    while let Some(cluster) = stack.pop() {
+        if cluster.is_empty() {
+            continue;
+        }
+        if is_fine_grained(pois, &cluster, params) {
+            units.push(cluster);
+            continue;
+        }
+        let (keep, split_off) = median_split(pois, &cluster, &kernel)
+            .or_else(|| farthest_split(pois, &cluster))
+            .expect("non-fine-grained clusters have >= 2 distinct positions");
+        stack.push(keep);
+        stack.push(split_off);
+    }
+    units
+}
+
+/// Fallback when every KL divergence ties: split off the single POI farthest
+/// from the cluster centroid. Returns `None` only when all members share one
+/// position — impossible here because such clusters have zero variance and
+/// were accepted as fine-grained already.
+fn farthest_split(pois: &[Poi], cluster: &[usize]) -> Option<(Vec<usize>, Vec<usize>)> {
+    if cluster.len() < 2 {
+        return None;
+    }
+    let pts: Vec<LocalPoint> = cluster.iter().map(|&i| pois[i].pos).collect();
+    let center = centroid(&pts)?;
+    let (far_pos, far_dist) = cluster
+        .iter()
+        .enumerate()
+        .map(|(pos, &i)| (pos, pois[i].pos.distance_sq(&center)))
+        .max_by(|a, b| a.1.total_cmp(&b.1))?;
+    if far_dist <= 0.0 {
+        return None;
+    }
+    let mut keep = cluster.to_vec();
+    let split_off = vec![keep.swap_remove(far_pos)];
+    Some((keep, split_off))
+}
+
+/// Definition 3's per-cluster acceptance test as used by Algorithm 2 line 4:
+/// single semantic property, or spatial variance below `V_min`.
+pub fn is_fine_grained(pois: &[Poi], cluster: &[usize], params: &MinerParams) -> bool {
+    single_semantic(pois, cluster) || cluster_variance(pois, cluster) <= params.v_min
+}
+
+/// `SingleSemantic(P)`: whether all POIs share one category.
+pub fn single_semantic(pois: &[Poi], cluster: &[usize]) -> bool {
+    let mut iter = cluster.iter();
+    let Some(&first) = iter.next() else {
+        return true;
+    };
+    let cat = pois[first].category;
+    iter.all(|&i| pois[i].category == cat)
+}
+
+fn cluster_variance(pois: &[Poi], cluster: &[usize]) -> f64 {
+    let pts: Vec<LocalPoint> = cluster.iter().map(|&i| pois[i].pos).collect();
+    spatial_variance(&pts)
+}
+
+/// Eq. 4: the local semantic distribution around POI `i` within the cluster —
+/// for each category, the kernel-weighted fraction of cluster mass carrying
+/// that category.
+pub fn local_distribution(
+    pois: &[Poi],
+    cluster: &[usize],
+    i: usize,
+    kernel: &GaussianKernel,
+) -> [f64; Category::COUNT] {
+    let mut dist = [0.0; Category::COUNT];
+    let mut total = 0.0;
+    for &j in cluster {
+        // Eq. 4 sums over all cluster members including i itself. Distances
+        // beyond the kernel cut-off contribute nothing; fall back to a tiny
+        // uniform mass so the distribution stays well-defined for sprawling
+        // clusters.
+        let w = kernel.coeff(pois[j].pos, pois[i].pos).max(KL_EPS);
+        dist[pois[j].category as usize] += w;
+        total += w;
+    }
+    for d in &mut dist {
+        *d /= total;
+    }
+    dist
+}
+
+/// Eq. 5 with additive smoothing: `KL(P || Q)` over the category alphabet.
+pub fn kl_divergence(p: &[f64; Category::COUNT], q: &[f64; Category::COUNT]) -> f64 {
+    let p_total: f64 = p.iter().map(|v| v + KL_EPS).sum();
+    let q_total: f64 = q.iter().map(|v| v + KL_EPS).sum();
+    let mut kl = 0.0;
+    for k in 0..Category::COUNT {
+        let pk = (p[k] + KL_EPS) / p_total;
+        let qk = (q[k] + KL_EPS) / q_total;
+        kl += pk * (pk / qk).ln();
+    }
+    kl.max(0.0) // guard tiny negative rounding
+}
+
+/// Lines 7–14 of Algorithm 2: compute KL divergences from the center POI and
+/// split at the median. Returns `None` when the split makes no progress.
+fn median_split(
+    pois: &[Poi],
+    cluster: &[usize],
+    kernel: &GaussianKernel,
+) -> Option<(Vec<usize>, Vec<usize>)> {
+    let pts: Vec<LocalPoint> = cluster.iter().map(|&i| pois[i].pos).collect();
+    let center = centroid(&pts)?;
+    // CenterPoint: member closest to the centroid.
+    let center_poi = *cluster
+        .iter()
+        .min_by(|&&a, &&b| {
+            pois[a]
+                .pos
+                .distance_sq(&center)
+                .total_cmp(&pois[b].pos.distance_sq(&center))
+        })
+        .expect("cluster non-empty");
+
+    let center_dist = local_distribution(pois, cluster, center_poi, kernel);
+    let kls: Vec<f64> = cluster
+        .iter()
+        .map(|&k| kl_divergence(&center_dist, &local_distribution(pois, cluster, k, kernel)))
+        .collect();
+
+    let mut sorted = kls.clone();
+    sorted.sort_by(f64::total_cmp);
+    let median = sorted[sorted.len() / 2];
+
+    let mut keep = Vec::new();
+    let mut split_off = Vec::new();
+    for (pos, &idx) in cluster.iter().enumerate() {
+        if kls[pos] > median {
+            split_off.push(idx);
+        } else {
+            keep.push(idx);
+        }
+    }
+    if split_off.is_empty() || keep.is_empty() {
+        None
+    } else {
+        Some((keep, split_off))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn poi(id: u64, x: f64, y: f64, c: Category) -> Poi {
+        Poi::new(id, LocalPoint::new(x, y), c)
+    }
+
+    fn params() -> MinerParams {
+        MinerParams::default()
+    }
+
+    #[test]
+    fn single_category_cluster_is_already_a_unit() {
+        let pois: Vec<Poi> = (0..8)
+            .map(|i| poi(i, i as f64 * 50.0, 0.0, Category::Shop))
+            .collect();
+        let units = purify(&pois, vec![(0..8).collect()], &params());
+        assert_eq!(units.len(), 1);
+        assert_eq!(units[0].len(), 8);
+    }
+
+    #[test]
+    fn tight_mixed_cluster_is_kept_as_skyscraper_unit() {
+        // Mixed categories but variance far below V_min (all within 5m).
+        let pois = vec![
+            poi(0, 0.0, 0.0, Category::Shop),
+            poi(1, 2.0, 0.0, Category::Restaurant),
+            poi(2, 0.0, 2.0, Category::Business),
+            poi(3, 2.0, 2.0, Category::Hotel),
+        ];
+        let units = purify(&pois, vec![vec![0, 1, 2, 3]], &params());
+        assert_eq!(units.len(), 1);
+        assert_eq!(units[0].len(), 4);
+    }
+
+    #[test]
+    fn spatially_separated_mixed_cluster_is_split_by_category() {
+        // Two category blobs 300m apart incorrectly fused into one coarse
+        // cluster: purification must separate them.
+        let mut pois: Vec<Poi> = (0..6)
+            .map(|i| {
+                poi(
+                    i,
+                    (i % 3) as f64 * 10.0,
+                    (i / 3) as f64 * 10.0,
+                    Category::Shop,
+                )
+            })
+            .collect();
+        pois.extend((0..6).map(|i| {
+            poi(
+                10 + i,
+                300.0 + (i % 3) as f64 * 10.0,
+                (i / 3) as f64 * 10.0,
+                Category::Medical,
+            )
+        }));
+        let units = purify(&pois, vec![(0..12).collect()], &params());
+        // Every resulting unit must be fine-grained per Definition 3.
+        for u in &units {
+            assert!(
+                is_fine_grained(&pois, u, &params()),
+                "unit {u:?} not fine-grained"
+            );
+        }
+        // And the two categories must not share a (spatially loose) unit.
+        for u in &units {
+            if !single_semantic(&pois, u) {
+                let pts: Vec<LocalPoint> = u.iter().map(|&i| pois[i].pos).collect();
+                assert!(spatial_variance(&pts) <= params().v_min);
+            }
+        }
+        // All POIs preserved.
+        let total: usize = units.iter().map(Vec::len).sum();
+        assert_eq!(total, 12);
+    }
+
+    #[test]
+    fn kl_zero_for_identical_distributions() {
+        let p = {
+            let mut d = [0.0; Category::COUNT];
+            d[0] = 0.5;
+            d[3] = 0.5;
+            d
+        };
+        assert!(kl_divergence(&p, &p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_positive_for_different_distributions() {
+        let mut p = [0.0; Category::COUNT];
+        p[0] = 1.0;
+        let mut q = [0.0; Category::COUNT];
+        q[1] = 1.0;
+        assert!(kl_divergence(&p, &q) > 1.0);
+    }
+
+    #[test]
+    fn kl_handles_disjoint_supports_without_nan() {
+        let mut p = [0.0; Category::COUNT];
+        p[0] = 1.0;
+        let mut q = [0.0; Category::COUNT];
+        q[14] = 1.0;
+        let kl = kl_divergence(&p, &q);
+        assert!(kl.is_finite() && kl > 0.0);
+    }
+
+    #[test]
+    fn local_distribution_sums_to_one() {
+        let pois = vec![
+            poi(0, 0.0, 0.0, Category::Shop),
+            poi(1, 10.0, 0.0, Category::Restaurant),
+            poi(2, 20.0, 0.0, Category::Shop),
+        ];
+        let kernel = GaussianKernel::new(100.0);
+        let d = local_distribution(&pois, &[0, 1, 2], 0, &kernel);
+        let total: f64 = d.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(d[Category::Shop as usize] > d[Category::Restaurant as usize]);
+    }
+
+    #[test]
+    fn termination_on_symmetric_mixed_cluster() {
+        // Perfectly interleaved two-category grid where KL values may tie:
+        // purification must terminate regardless.
+        let mut pois = Vec::new();
+        for i in 0..16 {
+            let cat = if i % 2 == 0 {
+                Category::Shop
+            } else {
+                Category::Restaurant
+            };
+            pois.push(poi(i, (i % 4) as f64 * 40.0, (i / 4) as f64 * 40.0, cat));
+        }
+        let units = purify(&pois, vec![(0..16).collect()], &params());
+        let total: usize = units.iter().map(Vec::len).sum();
+        assert_eq!(total, 16);
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        let pois = vec![poi(0, 0.0, 0.0, Category::Shop)];
+        assert!(purify(&pois, vec![], &params()).is_empty());
+        let units = purify(&pois, vec![vec![], vec![0]], &params());
+        assert_eq!(units, vec![vec![0]]);
+    }
+}

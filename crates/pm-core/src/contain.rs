@@ -1,0 +1,425 @@
+//! Containment, reachable containment, the counterpart function and groups
+//! (paper Definitions 7–10).
+//!
+//! These definitions formalize when one semantic trajectory's pattern is
+//! captured by another: matched stay points must be spatially close
+//! (within `eps_t`), temporally regular (adjacent gaps within `delta_t` on
+//! both sides) and semantically compatible (tag-set superset). Algorithm 4
+//! realizes the same relations through clustering for scalability; the
+//! direct implementations here power the metrics and the test oracles.
+
+use crate::types::{SemanticTrajectory, StayPoint, Timestamp};
+
+/// Checks Definition 7: does `st` contain `st2`?
+///
+/// On success returns the indices into `st` of a witnessing sub-trajectory
+/// `ST''` (one index per stay point of `st2`). The search backtracks over
+/// candidate matches, so a valid witness is found whenever one exists (the
+/// greedy leftmost choice alone can miss witnesses whose time gaps qualify).
+pub fn containment_witness(
+    st: &SemanticTrajectory,
+    st2: &SemanticTrajectory,
+    eps_t: f64,
+    delta_t: Timestamp,
+) -> Option<Vec<usize>> {
+    if st2.len() > st.len() || st2.is_empty() {
+        return None;
+    }
+    // Condition (ii) constrains st2's own adjacent gaps too.
+    for w in st2.stays.windows(2) {
+        if (w[1].time - w[0].time).abs() > delta_t {
+            return None;
+        }
+    }
+    let mut chosen = Vec::with_capacity(st2.len());
+    if search(&st.stays, &st2.stays, 0, 0, eps_t, delta_t, &mut chosen) {
+        Some(chosen)
+    } else {
+        None
+    }
+}
+
+fn matches(a: &StayPoint, b: &StayPoint, eps_t: f64) -> bool {
+    a.pos.distance(&b.pos) <= eps_t && a.tags.is_superset(b.tags)
+}
+
+fn search(
+    big: &[StayPoint],
+    small: &[StayPoint],
+    from: usize,
+    k: usize,
+    eps_t: f64,
+    delta_t: Timestamp,
+    chosen: &mut Vec<usize>,
+) -> bool {
+    if k == small.len() {
+        return true;
+    }
+    for i in from..big.len() {
+        if !matches(&big[i], &small[k], eps_t) {
+            continue;
+        }
+        if let Some(&prev) = chosen.last() {
+            if (big[i].time - big[prev].time).abs() > delta_t {
+                continue;
+            }
+        }
+        chosen.push(i);
+        if search(big, small, i + 1, k + 1, eps_t, delta_t, chosen) {
+            return true;
+        }
+        chosen.pop();
+    }
+    false
+}
+
+/// Convenience wrapper: Definition 7 as a boolean.
+pub fn contains(
+    st: &SemanticTrajectory,
+    st2: &SemanticTrajectory,
+    eps_t: f64,
+    delta_t: Timestamp,
+) -> bool {
+    containment_witness(st, st2, eps_t, delta_t).is_some()
+}
+
+/// Definition 9: the counterpart of `st2` inside `st`, chasing reachable
+/// containment (Definition 8) through the intermediate trajectories of `db`.
+///
+/// Returns the stay points of `st` standing in for each stay point of `st2`,
+/// or `None` when `st` neither contains nor reachable-contains `st2`. The
+/// chain search is breadth-first over `db`, so the shortest containment
+/// chain wins; `db` is typically the members of one coarse pattern (small).
+pub fn counterpart(
+    st: &SemanticTrajectory,
+    st2: &SemanticTrajectory,
+    db: &[SemanticTrajectory],
+    eps_t: f64,
+    delta_t: Timestamp,
+) -> Option<Vec<StayPoint>> {
+    // Case (i): direct containment.
+    if let Some(witness) = containment_witness(st, st2, eps_t, delta_t) {
+        return Some(witness.into_iter().map(|i| st.stays[i]).collect());
+    }
+    // Case (ii): reachable containment — find some ST_j in db with
+    // st ⊒ ST_j (transitively) and ST_j ⊇ st2, then recurse on the
+    // counterpart image per the recursive definition CP(ST, CP(ST_j, ST')).
+    // Breadth-first over chain length. Distinct chains can reach identical
+    // images, so images are deduplicated, and total work is bounded — the
+    // definition only asks whether *some* chain exists.
+    const MAX_IMAGES: usize = 4_096;
+    let mut seen: std::collections::HashSet<Vec<(u64, u64, Timestamp)>> =
+        std::collections::HashSet::new();
+    let image_key = |stays: &[StayPoint]| -> Vec<(u64, u64, Timestamp)> {
+        stays
+            .iter()
+            .map(|sp| (sp.pos.x.to_bits(), sp.pos.y.to_bits(), sp.time))
+            .collect()
+    };
+    seen.insert(image_key(&st2.stays));
+    let mut frontier: Vec<Vec<StayPoint>> = vec![st2.stays.clone()];
+    while !frontier.is_empty() && seen.len() < MAX_IMAGES {
+        let mut next = Vec::new();
+        for target in &frontier {
+            let target_st = SemanticTrajectory::new(target.clone());
+            for mid in db {
+                if mid.stays == st.stays || mid.stays == *target {
+                    continue;
+                }
+                if let Some(w) = containment_witness(mid, &target_st, eps_t, delta_t) {
+                    let image: Vec<StayPoint> = w.into_iter().map(|i| mid.stays[i]).collect();
+                    if !seen.insert(image_key(&image)) {
+                        continue; // reached before through another chain
+                    }
+                    let image_st = SemanticTrajectory::new(image.clone());
+                    if let Some(wit) = containment_witness(st, &image_st, eps_t, delta_t) {
+                        return Some(wit.into_iter().map(|i| st.stays[i]).collect());
+                    }
+                    next.push(image);
+                }
+            }
+        }
+        frontier = next;
+    }
+    None
+}
+
+/// Definition 10: for a reference trajectory `st_ref` and database `db`,
+/// the group of each stay point — the j-th stay points of every counterpart
+/// across the database, plus the reference's own j-th stay point.
+pub fn groups(
+    st_ref: &SemanticTrajectory,
+    db: &[SemanticTrajectory],
+    eps_t: f64,
+    delta_t: Timestamp,
+) -> Vec<Vec<StayPoint>> {
+    let mut out: Vec<Vec<StayPoint>> = st_ref.stays.iter().map(|sp| vec![*sp]).collect();
+    for st in db {
+        if st.stays == st_ref.stays {
+            continue;
+        }
+        if let Some(cp) = counterpart(st, st_ref, db, eps_t, delta_t) {
+            for (j, sp) in cp.into_iter().enumerate() {
+                out[j].push(sp);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Category, Tags};
+    use pm_geo::LocalPoint;
+
+    fn sp(x: f64, t: Timestamp, c: Category) -> StayPoint {
+        StayPoint::new(LocalPoint::new(x, 0.0), t, Tags::only(c))
+    }
+
+    fn st(stays: Vec<StayPoint>) -> SemanticTrajectory {
+        SemanticTrajectory::new(stays)
+    }
+
+    const EPS: f64 = 100.0;
+    const DT: Timestamp = 3600;
+
+    #[test]
+    fn identical_trajectories_contain_each_other() {
+        let a = st(vec![
+            sp(0.0, 0, Category::Residence),
+            sp(1_000.0, 1800, Category::Business),
+        ]);
+        assert!(contains(&a, &a.clone(), EPS, DT));
+    }
+
+    #[test]
+    fn fig1_style_chain() {
+        // Office -> Home -> Restaurant at slightly shifted positions/times.
+        let mk = |shift: f64, t0: Timestamp| {
+            st(vec![
+                sp(0.0 + shift, t0, Category::Business),
+                sp(2_000.0 + shift, t0 + 1_200, Category::Residence),
+                sp(4_000.0 + shift, t0 + 2_400, Category::Restaurant),
+            ])
+        };
+        let st1 = mk(0.0, 0);
+        let st2 = mk(40.0, 300);
+        let st3 = mk(80.0, 600);
+        // st1 contains st2 (within 100m), st2 contains st3, and st1 reaches
+        // st3 directly here too (80m < 100m).
+        assert!(contains(&st1, &st2, EPS, DT));
+        assert!(contains(&st2, &st3, EPS, DT));
+        let witness = containment_witness(&st1, &st2, EPS, DT).unwrap();
+        assert_eq!(witness, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn reachable_containment_bridges_the_gap() {
+        // st1 and st3 are 160m apart (beyond eps) but st2 sits between.
+        let mk = |shift: f64| {
+            st(vec![
+                sp(0.0 + shift, 0, Category::Business),
+                sp(2_000.0 + shift, 1_200, Category::Residence),
+            ])
+        };
+        let st1 = mk(0.0);
+        let st2 = mk(80.0);
+        let st3 = mk(160.0);
+        assert!(!contains(&st1, &st3, EPS, DT));
+        let db = vec![st1.clone(), st2.clone(), st3.clone()];
+        let cp = counterpart(&st1, &st3, &db, EPS, DT).expect("reachable through st2");
+        assert_eq!(cp.len(), 2);
+        assert_eq!(cp[0], st1.stays[0]);
+    }
+
+    #[test]
+    fn semantic_mismatch_blocks_containment() {
+        let a = st(vec![sp(0.0, 0, Category::Business)]);
+        let b = st(vec![sp(0.0, 0, Category::Medical)]);
+        assert!(!contains(&a, &b, EPS, DT));
+    }
+
+    #[test]
+    fn superset_tags_satisfy_containment() {
+        let rich = st(vec![StayPoint::new(
+            LocalPoint::ORIGIN,
+            0,
+            Tags::only(Category::Shop).with(Category::Restaurant),
+        )]);
+        let poor = st(vec![sp(0.0, 0, Category::Shop)]);
+        assert!(contains(&rich, &poor, EPS, DT));
+        assert!(!contains(&poor, &rich, EPS, DT));
+    }
+
+    #[test]
+    fn time_gap_blocks_containment() {
+        let a = st(vec![
+            sp(0.0, 0, Category::Residence),
+            sp(1_000.0, 10_000, Category::Business), // gap > delta_t on st side
+        ]);
+        let b = st(vec![
+            sp(0.0, 0, Category::Residence),
+            sp(1_000.0, 1_800, Category::Business),
+        ]);
+        assert!(!contains(&a, &b, EPS, DT));
+        // And a target whose own gaps violate delta_t is contained by nothing.
+        let c = st(vec![
+            sp(0.0, 0, Category::Residence),
+            sp(1_000.0, 20_000, Category::Business),
+        ]);
+        assert!(!contains(&a, &c, EPS, DT));
+    }
+
+    #[test]
+    fn subsequence_matching_skips_extra_stays() {
+        let long = st(vec![
+            sp(0.0, 0, Category::Residence),
+            sp(500.0, 600, Category::Shop), // extra stop
+            sp(1_000.0, 1_200, Category::Business),
+        ]);
+        let short = st(vec![
+            sp(10.0, 0, Category::Residence),
+            sp(1_010.0, 1_200, Category::Business),
+        ]);
+        let w = containment_witness(&long, &short, EPS, DT).unwrap();
+        assert_eq!(w, vec![0, 2]);
+    }
+
+    #[test]
+    fn backtracking_finds_non_greedy_witness() {
+        // Greedy would match the first Residence (t=0) then fail the time
+        // gap to Business (t=5000); the valid witness uses the second
+        // Residence at t=4000.
+        let long = st(vec![
+            sp(0.0, 0, Category::Residence),
+            sp(5.0, 4_000, Category::Residence),
+            sp(1_000.0, 5_000, Category::Business),
+        ]);
+        let short = st(vec![
+            sp(0.0, 100, Category::Residence),
+            sp(1_000.0, 1_500, Category::Business),
+        ]);
+        let w = containment_witness(&long, &short, EPS, DT).unwrap();
+        assert_eq!(w, vec![1, 2]);
+    }
+
+    #[test]
+    fn longer_cannot_be_contained_by_shorter() {
+        let a = st(vec![sp(0.0, 0, Category::Shop)]);
+        let b = st(vec![
+            sp(0.0, 0, Category::Shop),
+            sp(10.0, 600, Category::Shop),
+        ]);
+        assert!(!contains(&a, &b, EPS, DT));
+    }
+
+    #[test]
+    fn groups_collect_counterparts_per_position() {
+        let mk = |shift: f64| {
+            st(vec![
+                sp(0.0 + shift, 0, Category::Business),
+                sp(2_000.0 + shift, 1_200, Category::Residence),
+            ])
+        };
+        let base = mk(0.0);
+        let db = vec![mk(0.0), mk(30.0), mk(60.0), mk(5_000.0)];
+        let g = groups(&base, &db, EPS, DT);
+        assert_eq!(g.len(), 2);
+        // base + mk(30) + mk(60); mk(0) in db is skipped as identical, and
+        // mk(5000) is out of range.
+        assert_eq!(g[0].len(), 3);
+        assert_eq!(g[1].len(), 3);
+    }
+}
+
+/// Definition 11 support: the number of database trajectories that contain
+/// or reachable-contain `st` (`ST.sup(D)` in the paper's Table 2).
+pub fn support(
+    st: &SemanticTrajectory,
+    db: &[SemanticTrajectory],
+    eps_t: f64,
+    delta_t: Timestamp,
+) -> usize {
+    db.iter()
+        .filter(|candidate| counterpart(candidate, st, db, eps_t, delta_t).is_some())
+        .count()
+}
+
+/// Definition 11 evaluated directly: is `st` a fine-grained pattern of `db`
+/// under support threshold `sigma` and density threshold `rho`? This is the
+/// declarative oracle Algorithm 4 approximates with clustering; use it for
+/// verification, not for mining (it is quadratic in the database).
+pub fn is_fine_grained_pattern(
+    st: &SemanticTrajectory,
+    db: &[SemanticTrajectory],
+    eps_t: f64,
+    delta_t: Timestamp,
+    sigma: usize,
+    rho: f64,
+) -> bool {
+    if st.is_empty() {
+        return false;
+    }
+    let gs = groups(st, db, eps_t, delta_t);
+    // Support counts trajectories beyond the pattern itself.
+    let sup = gs[0].len() - 1;
+    if sup < sigma {
+        return false;
+    }
+    let avg_den = gs
+        .iter()
+        .map(|g| {
+            let pts: Vec<pm_geo::LocalPoint> = g.iter().map(|sp| sp.pos).collect();
+            pm_geo::den(&pts).min(1e6) // cap degenerate infinities
+        })
+        .sum::<f64>()
+        / gs.len() as f64;
+    avg_den >= rho
+}
+
+#[cfg(test)]
+mod def11_tests {
+    use super::*;
+    use crate::types::{Category, Tags};
+    use pm_geo::LocalPoint;
+
+    fn sp(x: f64, t: Timestamp, c: Category) -> StayPoint {
+        StayPoint::new(LocalPoint::new(x, 0.0), t, Tags::only(c))
+    }
+
+    fn commute(shift: f64, t0: Timestamp) -> SemanticTrajectory {
+        SemanticTrajectory::new(vec![
+            sp(shift, t0, Category::Residence),
+            sp(2_000.0 + shift, t0 + 1_500, Category::Business),
+        ])
+    }
+
+    #[test]
+    fn support_counts_containing_trajectories() {
+        let pattern = commute(0.0, 7 * 3600);
+        let db: Vec<SemanticTrajectory> =
+            (0..12).map(|i| commute(i as f64 * 5.0, 7 * 3600 + i as i64 * 60)).collect();
+        let sup = support(&pattern, &db, 100.0, 3_600);
+        assert_eq!(sup, 12, "every jittered commute contains the pattern");
+    }
+
+    #[test]
+    fn definition_11_accepts_dense_supported_patterns() {
+        let pattern = commute(0.0, 7 * 3600);
+        let db: Vec<SemanticTrajectory> =
+            (0..12).map(|i| commute(i as f64 * 5.0, 7 * 3600 + i as i64 * 60)).collect();
+        assert!(is_fine_grained_pattern(&pattern, &db, 100.0, 3_600, 10, 1e-4));
+        // Too-high support bar fails.
+        assert!(!is_fine_grained_pattern(&pattern, &db, 100.0, 3_600, 13, 1e-4));
+        // Too-high density bar fails.
+        assert!(!is_fine_grained_pattern(&pattern, &db, 100.0, 3_600, 10, 10.0));
+    }
+
+    #[test]
+    fn empty_pattern_is_never_fine_grained() {
+        let db = vec![commute(0.0, 0)];
+        let empty = SemanticTrajectory::default();
+        assert!(!is_fine_grained_pattern(&empty, &db, 100.0, 3_600, 1, 1e-9));
+    }
+}

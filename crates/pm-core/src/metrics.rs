@@ -1,0 +1,244 @@
+//! The paper's four evaluation metrics (§5, Eq. 9–12): number of patterns,
+//! coverage, spatial sparsity and semantic consistency.
+
+use crate::extract::FinePattern;
+use pm_geo::{mean_pairwise_distance, LocalPoint};
+
+/// Per-pattern quality metrics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PatternMetrics {
+    /// Eq. 9–10: average over positions of the mean pairwise distance inside
+    /// each positional group, in meters. Smaller is denser/better.
+    pub spatial_sparsity: f64,
+    /// Eq. 11–12: average over positions of the mean pairwise tag-set cosine
+    /// similarity inside each group, in `[0, 1]`. Larger is better.
+    pub semantic_consistency: f64,
+    /// The pattern's support (member count).
+    pub support: usize,
+    /// Pattern length in stay points.
+    pub length: usize,
+}
+
+/// Computes Eq. 9–12 for one pattern from its positional groups.
+pub fn pattern_metrics(pattern: &FinePattern) -> PatternMetrics {
+    let n = pattern.groups.len().max(1);
+    let mut ss_total = 0.0;
+    let mut sc_total = 0.0;
+    for group in &pattern.groups {
+        let pts: Vec<LocalPoint> = group.iter().map(|sp| sp.pos).collect();
+        ss_total += mean_pairwise_distance(&pts);
+        sc_total += group_consistency(group);
+    }
+    PatternMetrics {
+        spatial_sparsity: ss_total / n as f64,
+        semantic_consistency: sc_total / n as f64,
+        support: pattern.support(),
+        length: pattern.len(),
+    }
+}
+
+/// Eq. 11 for one group: mean pairwise cosine similarity of the member tag
+/// sets. Groups with fewer than two members are perfectly consistent.
+fn group_consistency(group: &[crate::types::StayPoint]) -> f64 {
+    let m = group.len();
+    if m < 2 {
+        return 1.0;
+    }
+    let mut total = 0.0;
+    for i in 0..m - 1 {
+        for j in i + 1..m {
+            total += group[i].tags.cosine(group[j].tags);
+        }
+    }
+    total * 2.0 / (m * (m - 1)) as f64
+}
+
+/// Aggregate statistics over a pattern set — the numbers reported in the
+/// legends of Fig. 9 and the y-axes of Figs. 11–13.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PatternSetSummary {
+    /// `#patterns`.
+    pub n_patterns: usize,
+    /// `coverage`: the sum of supports.
+    pub coverage: usize,
+    /// Mean spatial sparsity across patterns, in meters (0 when empty).
+    pub avg_sparsity: f64,
+    /// Mean semantic consistency across patterns (1 when empty).
+    pub avg_consistency: f64,
+}
+
+/// Summarizes a pattern set.
+pub fn summarize(patterns: &[FinePattern]) -> PatternSetSummary {
+    if patterns.is_empty() {
+        return PatternSetSummary {
+            n_patterns: 0,
+            coverage: 0,
+            avg_sparsity: 0.0,
+            avg_consistency: 1.0,
+        };
+    }
+    let metrics: Vec<PatternMetrics> = patterns.iter().map(pattern_metrics).collect();
+    let n = metrics.len() as f64;
+    PatternSetSummary {
+        n_patterns: patterns.len(),
+        coverage: metrics.iter().map(|m| m.support).sum(),
+        avg_sparsity: metrics.iter().map(|m| m.spatial_sparsity).sum::<f64>() / n,
+        avg_consistency: metrics.iter().map(|m| m.semantic_consistency).sum::<f64>() / n,
+    }
+}
+
+/// Distribution summary (min, quartiles, max, mean) — the box-plot numbers
+/// of Fig. 10.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FiveNumber {
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub q2: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+/// Computes a five-number summary plus mean, or `None` for empty input.
+pub fn five_number(values: &[f64]) -> Option<FiveNumber> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(f64::total_cmp);
+    let q = |frac: f64| -> f64 {
+        let pos = frac * (v.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        if lo == hi {
+            v[lo]
+        } else {
+            v[lo] + (v[hi] - v[lo]) * (pos - lo as f64)
+        }
+    };
+    Some(FiveNumber {
+        min: v[0],
+        q1: q(0.25),
+        q2: q(0.5),
+        q3: q(0.75),
+        max: v[v.len() - 1],
+        mean: v.iter().sum::<f64>() / v.len() as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Category, StayPoint, Tags};
+    use pm_geo::LocalPoint;
+
+    fn sp(x: f64, y: f64, c: Category) -> StayPoint {
+        StayPoint::new(LocalPoint::new(x, y), 0, Tags::only(c))
+    }
+
+    fn pattern(groups: Vec<Vec<StayPoint>>) -> FinePattern {
+        let categories = groups
+            .iter()
+            .map(|g| g[0].tags.iter().next().unwrap())
+            .collect();
+        let stays = groups.iter().map(|g| g[0]).collect();
+        let members = (0..groups[0].len()).collect();
+        FinePattern {
+            categories,
+            stays,
+            members,
+            groups,
+        }
+    }
+
+    #[test]
+    fn tight_same_tag_groups_are_dense_and_consistent() {
+        let g0: Vec<StayPoint> = (0..5).map(|i| sp(i as f64, 0.0, Category::Shop)).collect();
+        let g1: Vec<StayPoint> = (0..5)
+            .map(|i| sp(1_000.0 + i as f64, 0.0, Category::Residence))
+            .collect();
+        let m = pattern_metrics(&pattern(vec![g0, g1]));
+        assert!(m.spatial_sparsity < 3.0);
+        assert!((m.semantic_consistency - 1.0).abs() < 1e-12);
+        assert_eq!(m.support, 5);
+        assert_eq!(m.length, 2);
+    }
+
+    #[test]
+    fn mixed_tags_reduce_consistency() {
+        let g: Vec<StayPoint> = vec![
+            sp(0.0, 0.0, Category::Shop),
+            sp(1.0, 0.0, Category::Shop),
+            sp(2.0, 0.0, Category::Medical),
+        ];
+        let m = pattern_metrics(&pattern(vec![g]));
+        // Pairs: (shop,shop)=1, (shop,med)=0, (shop,med)=0 -> 1/3.
+        assert!((m.semantic_consistency - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sparsity_grows_with_spread() {
+        let tight: Vec<StayPoint> = (0..4)
+            .map(|i| sp(i as f64 * 5.0, 0.0, Category::Shop))
+            .collect();
+        let wide: Vec<StayPoint> = (0..4)
+            .map(|i| sp(i as f64 * 50.0, 0.0, Category::Shop))
+            .collect();
+        let mt = pattern_metrics(&pattern(vec![tight]));
+        let mw = pattern_metrics(&pattern(vec![wide]));
+        assert!(mw.spatial_sparsity > mt.spatial_sparsity * 5.0);
+    }
+
+    #[test]
+    fn summarize_aggregates() {
+        let p1 = pattern(vec![(0..5)
+            .map(|i| sp(i as f64, 0.0, Category::Shop))
+            .collect()]);
+        let p2 = pattern(vec![(0..7)
+            .map(|i| sp(i as f64, 0.0, Category::Residence))
+            .collect()]);
+        let s = summarize(&[p1, p2]);
+        assert_eq!(s.n_patterns, 2);
+        assert_eq!(s.coverage, 12);
+        assert!(s.avg_sparsity > 0.0);
+        assert!((s.avg_consistency - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summarize_empty() {
+        let s = summarize(&[]);
+        assert_eq!(s.n_patterns, 0);
+        assert_eq!(s.coverage, 0);
+        assert_eq!(s.avg_sparsity, 0.0);
+        assert_eq!(s.avg_consistency, 1.0);
+    }
+
+    #[test]
+    fn five_number_summary() {
+        let f = five_number(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(f.min, 1.0);
+        assert_eq!(f.q1, 2.0);
+        assert_eq!(f.q2, 3.0);
+        assert_eq!(f.q3, 4.0);
+        assert_eq!(f.max, 5.0);
+        assert_eq!(f.mean, 3.0);
+        assert!(five_number(&[]).is_none());
+        let single = five_number(&[7.0]).unwrap();
+        assert_eq!(single.min, 7.0);
+        assert_eq!(single.max, 7.0);
+        assert_eq!(single.q2, 7.0);
+    }
+
+    #[test]
+    fn singleton_group_is_perfectly_consistent_and_dense() {
+        let m = pattern_metrics(&pattern(vec![vec![sp(0.0, 0.0, Category::Shop)]]));
+        assert_eq!(m.spatial_sparsity, 0.0);
+        assert_eq!(m.semantic_consistency, 1.0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Every tunable of the pipeline in one place, defaulted to the paper's
+//! published settings (§4.1 "In terms of parameter settings …" and §5
+//! "Parameter Setting").
+
+/// Parameters of CSD construction, semantic recognition and pattern
+/// extraction.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MinerParams {
+    // ---- Gaussian popularity model (Eq. 2–3) -------------------------------
+    /// `R_3sigma`: the 3-sigma radius of the GPS-noise Gaussian, in meters.
+    /// Also the range-search radius of semantic recognition (Algorithm 3).
+    pub r3sigma: f64,
+
+    // ---- Algorithm 1: popularity-based clustering --------------------------
+    /// `MinPts_p`: minimum POIs per coarse cluster.
+    pub min_pts: usize,
+    /// `eps_p`: the POI range-search radius in meters.
+    pub eps_p: f64,
+    /// `d_v`: vertical-overlap distance in meters — POIs this close are
+    /// grouped regardless of category (multi-purpose skyscrapers).
+    pub d_v: f64,
+    /// `alpha`: popularity-ratio threshold; neighbours join a cluster only
+    /// when their popularity ratio lies within `[alpha, 1/alpha]`.
+    pub alpha: f64,
+
+    // ---- Definition 3 / Algorithm 2: purification --------------------------
+    /// `V_min`: spatial variance (m²) under which a mixed cluster still
+    /// counts as a fine-grained unit (the skyscraper case).
+    pub v_min: f64,
+    /// `N_min`: minimum unit size in Definition 3.
+    pub n_min: usize,
+
+    // ---- Semantic unit merging ---------------------------------------------
+    /// Cosine-similarity threshold above which nearby units merge (0.9 in
+    /// the paper's experiments).
+    pub merge_cos: f64,
+    /// How far apart (meters, nearest-member distance) two units may be and
+    /// still count as "nearby" for merging. The paper leaves this implicit
+    /// ("each pair of nearby semantic units"); we default to `eps_p`, the
+    /// same neighbourhood scale as clustering.
+    pub merge_dist: f64,
+
+    // ---- Definition 5: stay-point detection --------------------------------
+    /// `theta_t`: minimum dwell duration in seconds.
+    pub theta_t: i64,
+    /// `theta_d`: maximum roaming radius in meters during a dwell.
+    pub theta_d: f64,
+
+    // ---- Algorithm 4 / Definition 11: pattern extraction -------------------
+    /// `sigma`: support threshold — minimum trajectories per pattern.
+    pub sigma: usize,
+    /// `delta_t`: temporal constraint in seconds — maximum time interval
+    /// between adjacent stay points.
+    pub delta_t: i64,
+    /// `rho`: density threshold in points per square meter.
+    pub rho: f64,
+    /// Minimum pattern length in stay points (trips have at least 2).
+    pub min_pattern_len: usize,
+    /// Maximum pattern length to mine.
+    pub max_pattern_len: usize,
+}
+
+impl Default for MinerParams {
+    fn default() -> Self {
+        Self {
+            r3sigma: 100.0,
+            min_pts: 5,
+            eps_p: 30.0,
+            d_v: 15.0,
+            alpha: 0.8,
+            v_min: 400.0, // 20m std-dev: a single building footprint
+            n_min: 5,
+            merge_cos: 0.9,
+            merge_dist: 30.0,
+            theta_t: 20 * 60,
+            theta_d: 100.0,
+            sigma: 50,
+            delta_t: 60 * 60,
+            rho: 0.002,
+            min_pattern_len: 2,
+            max_pattern_len: 5,
+        }
+    }
+}
+
+impl MinerParams {
+    /// Validates parameter sanity; call before a long pipeline run to fail
+    /// fast on nonsensical configurations.
+    pub fn validate(&self) -> Result<(), String> {
+        fn pos(name: &str, v: f64) -> Result<(), String> {
+            if v.is_finite() && v > 0.0 {
+                Ok(())
+            } else {
+                Err(format!("{name} must be positive, got {v}"))
+            }
+        }
+        pos("r3sigma", self.r3sigma)?;
+        pos("eps_p", self.eps_p)?;
+        pos("d_v", self.d_v)?;
+        pos("v_min", self.v_min)?;
+        pos("rho", self.rho)?;
+        pos("theta_d", self.theta_d)?;
+        pos("merge_dist", self.merge_dist)?;
+        if !(0.0 < self.alpha && self.alpha <= 1.0) {
+            return Err(format!("alpha must be in (0, 1], got {}", self.alpha));
+        }
+        if !(0.0 < self.merge_cos && self.merge_cos <= 1.0) {
+            return Err(format!(
+                "merge_cos must be in (0, 1], got {}",
+                self.merge_cos
+            ));
+        }
+        if self.min_pts == 0 || self.n_min == 0 || self.sigma == 0 {
+            return Err("min_pts, n_min and sigma must be at least 1".into());
+        }
+        if self.theta_t <= 0 || self.delta_t <= 0 {
+            return Err("theta_t and delta_t must be positive".into());
+        }
+        if self.min_pattern_len == 0 || self.max_pattern_len < self.min_pattern_len {
+            return Err("pattern length bounds are inconsistent".into());
+        }
+        Ok(())
+    }
+
+    /// Returns a copy with a different support threshold (Fig. 11 sweeps).
+    #[must_use]
+    pub fn with_sigma(mut self, sigma: usize) -> Self {
+        self.sigma = sigma;
+        self
+    }
+
+    /// Returns a copy with a different density threshold (Fig. 12 sweeps).
+    #[must_use]
+    pub fn with_rho(mut self, rho: f64) -> Self {
+        self.rho = rho;
+        self
+    }
+
+    /// Returns a copy with a different temporal constraint (Fig. 13 sweeps).
+    #[must_use]
+    pub fn with_delta_t(mut self, delta_t: i64) -> Self {
+        self.delta_t = delta_t;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let p = MinerParams::default();
+        assert_eq!(p.r3sigma, 100.0);
+        assert_eq!(p.d_v, 15.0);
+        assert_eq!(p.min_pts, 5);
+        assert_eq!(p.eps_p, 30.0);
+        assert_eq!(p.alpha, 0.8);
+        assert_eq!(p.merge_cos, 0.9);
+        assert_eq!(p.sigma, 50);
+        assert_eq!(p.delta_t, 3600);
+        assert_eq!(p.rho, 0.002);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn sweep_builders() {
+        let p = MinerParams::default()
+            .with_sigma(75)
+            .with_rho(0.004)
+            .with_delta_t(900);
+        assert_eq!(p.sigma, 75);
+        assert_eq!(p.rho, 0.004);
+        assert_eq!(p.delta_t, 900);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        assert!(MinerParams {
+            alpha: 1.5,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(MinerParams {
+            r3sigma: -1.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(MinerParams {
+            sigma: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(MinerParams {
+            merge_cos: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(MinerParams {
+            min_pattern_len: 3,
+            max_pattern_len: 2,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(MinerParams {
+            theta_t: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+    }
+}

@@ -1,0 +1,276 @@
+//! Pattern query API: filter and rank mined patterns.
+//!
+//! The paper motivates pattern mining with downstream services — shopping
+//! vouchers for `Office -> Shop` commuters, transit planning from common
+//! flows, site selection from `Residence -> Supermarket` demand. This
+//! module is that service surface: a fluent filter over a mined pattern
+//! set by category transition, spatial region, time-of-week bucket and
+//! support.
+
+use crate::extract::FinePattern;
+use crate::types::{Category, WeekBucket};
+use pm_geo::{BoundingBox, LocalPoint};
+
+/// A fluent query over a pattern set. Filters compose with AND semantics;
+/// results are returned in the pattern set's (support-descending) order.
+#[derive(Debug, Clone, Default)]
+pub struct PatternQuery {
+    from: Option<Category>,
+    to: Option<Category>,
+    involves: Option<Category>,
+    within: Option<BoundingBox>,
+    near: Option<(LocalPoint, f64)>,
+    bucket: Option<WeekBucket>,
+    min_support: Option<usize>,
+    min_len: Option<usize>,
+    max_len: Option<usize>,
+}
+
+impl PatternQuery {
+    /// A query matching every pattern.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Keep patterns whose first stay has this category.
+    #[must_use]
+    pub fn from_category(mut self, c: Category) -> Self {
+        self.from = Some(c);
+        self
+    }
+
+    /// Keep patterns whose last stay has this category.
+    #[must_use]
+    pub fn to_category(mut self, c: Category) -> Self {
+        self.to = Some(c);
+        self
+    }
+
+    /// Keep patterns visiting this category at any position.
+    #[must_use]
+    pub fn involving(mut self, c: Category) -> Self {
+        self.involves = Some(c);
+        self
+    }
+
+    /// Keep patterns whose representative stays all lie inside the box.
+    #[must_use]
+    pub fn within(mut self, bbox: BoundingBox) -> Self {
+        self.within = Some(bbox);
+        self
+    }
+
+    /// Keep patterns with at least one representative stay within `radius`
+    /// meters of `center` (e.g. "around the airport").
+    #[must_use]
+    pub fn near(mut self, center: LocalPoint, radius: f64) -> Self {
+        self.near = Some((center, radius));
+        self
+    }
+
+    /// Keep patterns starting in this time-of-week bucket.
+    #[must_use]
+    pub fn in_bucket(mut self, bucket: WeekBucket) -> Self {
+        self.bucket = Some(bucket);
+        self
+    }
+
+    /// Keep patterns with at least this support.
+    #[must_use]
+    pub fn min_support(mut self, s: usize) -> Self {
+        self.min_support = Some(s);
+        self
+    }
+
+    /// Keep patterns with at least this many stays.
+    #[must_use]
+    pub fn min_len(mut self, l: usize) -> Self {
+        self.min_len = Some(l);
+        self
+    }
+
+    /// Keep patterns with at most this many stays.
+    #[must_use]
+    pub fn max_len(mut self, l: usize) -> Self {
+        self.max_len = Some(l);
+        self
+    }
+
+    /// Whether one pattern matches every filter.
+    pub fn matches(&self, p: &FinePattern) -> bool {
+        if p.is_empty() {
+            return false;
+        }
+        if let Some(c) = self.from {
+            if p.categories[0] != c {
+                return false;
+            }
+        }
+        if let Some(c) = self.to {
+            if *p.categories.last().expect("non-empty") != c {
+                return false;
+            }
+        }
+        if let Some(c) = self.involves {
+            if !p.categories.contains(&c) {
+                return false;
+            }
+        }
+        if let Some(bb) = &self.within {
+            if !p.stays.iter().all(|sp| bb.contains(sp.pos)) {
+                return false;
+            }
+        }
+        if let Some((center, radius)) = self.near {
+            if !p.stays.iter().any(|sp| sp.pos.distance(&center) <= radius) {
+                return false;
+            }
+        }
+        if let Some(b) = self.bucket {
+            if WeekBucket::of(p.stays[0].time) != b {
+                return false;
+            }
+        }
+        if let Some(s) = self.min_support {
+            if p.support() < s {
+                return false;
+            }
+        }
+        if let Some(l) = self.min_len {
+            if p.len() < l {
+                return false;
+            }
+        }
+        if let Some(l) = self.max_len {
+            if p.len() > l {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Runs the query, borrowing matching patterns in input order.
+    pub fn run<'a>(&self, patterns: &'a [FinePattern]) -> Vec<&'a FinePattern> {
+        patterns.iter().filter(|p| self.matches(p)).collect()
+    }
+
+    /// Runs the query and returns the top-`k` by support.
+    pub fn top_k<'a>(&self, patterns: &'a [FinePattern], k: usize) -> Vec<&'a FinePattern> {
+        let mut hits = self.run(patterns);
+        hits.sort_by_key(|p| std::cmp::Reverse(p.support()));
+        hits.truncate(k);
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{StayPoint, Tags};
+
+    fn pattern(cats: &[Category], xs: &[f64], t0: i64, support: usize) -> FinePattern {
+        let stays: Vec<StayPoint> = cats
+            .iter()
+            .zip(xs)
+            .enumerate()
+            .map(|(k, (c, &x))| {
+                StayPoint::new(
+                    LocalPoint::new(x, 0.0),
+                    t0 + k as i64 * 1800,
+                    Tags::only(*c),
+                )
+            })
+            .collect();
+        let groups = stays.iter().map(|sp| vec![*sp; support]).collect();
+        FinePattern {
+            categories: cats.to_vec(),
+            stays,
+            members: (0..support).collect(),
+            groups,
+        }
+    }
+
+    fn sample() -> Vec<FinePattern> {
+        vec![
+            // Monday 08:00 commute.
+            pattern(
+                &[Category::Residence, Category::Business],
+                &[0.0, 2_000.0],
+                8 * 3600,
+                80,
+            ),
+            // Monday 18:00 office -> shop -> home.
+            pattern(
+                &[Category::Business, Category::Shop, Category::Residence],
+                &[2_000.0, 2_500.0, 0.0],
+                18 * 3600,
+                40,
+            ),
+            // Saturday 10:00 hospital run.
+            pattern(
+                &[Category::Residence, Category::Medical],
+                &[0.0, 5_000.0],
+                5 * 86_400 + 10 * 3600,
+                25,
+            ),
+        ]
+    }
+
+    #[test]
+    fn category_filters() {
+        let ps = sample();
+        let q = PatternQuery::new().from_category(Category::Residence);
+        assert_eq!(q.run(&ps).len(), 2);
+        let q = PatternQuery::new().to_category(Category::Residence);
+        assert_eq!(q.run(&ps).len(), 1);
+        let q = PatternQuery::new().involving(Category::Shop);
+        assert_eq!(q.run(&ps).len(), 1);
+        let q = PatternQuery::new()
+            .from_category(Category::Residence)
+            .to_category(Category::Medical);
+        assert_eq!(q.run(&ps).len(), 1);
+    }
+
+    #[test]
+    fn spatial_filters() {
+        let ps = sample();
+        let near_hospital = PatternQuery::new().near(LocalPoint::new(5_000.0, 0.0), 100.0);
+        assert_eq!(near_hospital.run(&ps).len(), 1);
+        let downtown = BoundingBox::new(
+            LocalPoint::new(-100.0, -100.0),
+            LocalPoint::new(3_000.0, 100.0),
+        );
+        let q = PatternQuery::new().within(downtown);
+        assert_eq!(q.run(&ps).len(), 2, "hospital pattern leaves the box");
+    }
+
+    #[test]
+    fn temporal_and_support_filters() {
+        let ps = sample();
+        let q = PatternQuery::new().in_bucket(WeekBucket::WeekdayMorning);
+        assert_eq!(q.run(&ps).len(), 1);
+        let q = PatternQuery::new().in_bucket(WeekBucket::WeekendMorning);
+        assert_eq!(q.run(&ps).len(), 1);
+        let q = PatternQuery::new().min_support(30);
+        assert_eq!(q.run(&ps).len(), 2);
+        let q = PatternQuery::new().min_len(3);
+        assert_eq!(q.run(&ps).len(), 1);
+        let q = PatternQuery::new().max_len(2);
+        assert_eq!(q.run(&ps).len(), 2);
+    }
+
+    #[test]
+    fn top_k_orders_by_support() {
+        let ps = sample();
+        let top = PatternQuery::new().top_k(&ps, 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].support(), 80);
+        assert_eq!(top[1].support(), 40);
+    }
+
+    #[test]
+    fn empty_query_matches_all() {
+        let ps = sample();
+        assert_eq!(PatternQuery::new().run(&ps).len(), 3);
+    }
+}

@@ -1,0 +1,296 @@
+//! Semantic Recognizer (paper §4.2): stay-point detection (Definition 5)
+//! and unit-level voting (Algorithm 3).
+
+use crate::construct::CitySemanticDiagram;
+use crate::params::MinerParams;
+use crate::types::{Category, GpsTrajectory, SemanticTrajectory, StayPoint, Tags};
+use pm_cluster::GaussianKernel;
+use pm_geo::LocalPoint;
+
+/// Detects the stay points of a raw GPS trajectory per Definition 5.
+///
+/// A maximal sub-trajectory whose fixes all stay within `theta_d` of its
+/// first fix and which spans at least `theta_t` seconds collapses into one
+/// stay point at the mean position/time of the window. (The taxi corpus of
+/// §5 bypasses this — pick-up/drop-off records *are* the stay points — but
+/// the general detector is part of the published system.)
+pub fn detect_stay_points(traj: &GpsTrajectory, params: &MinerParams) -> Vec<StayPoint> {
+    let pts = &traj.points;
+    let mut stays = Vec::new();
+    let mut i = 0;
+    while i < pts.len() {
+        // Grow the window while every fix stays within theta_d of fix i.
+        let mut j = i;
+        while j + 1 < pts.len() && pts[j + 1].pos.distance(&pts[i].pos) <= params.theta_d {
+            j += 1;
+        }
+        if pts[j].time - pts[i].time >= params.theta_t {
+            let n = (j - i + 1) as f64;
+            let mut sum = LocalPoint::ORIGIN;
+            let mut t_sum: i64 = 0;
+            for p in &pts[i..=j] {
+                sum = sum + p.pos;
+                t_sum += p.time;
+            }
+            stays.push(StayPoint::untagged(sum / n, t_sum / (j - i + 1) as i64));
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    stays
+}
+
+/// Converts a GPS trajectory into an (untagged) semantic trajectory — the
+/// `SemanticTrajectory` function invoked in Algorithm 3 line 3.
+pub fn semantic_trajectory(traj: &GpsTrajectory, params: &MinerParams) -> SemanticTrajectory {
+    SemanticTrajectory::new(detect_stay_points(traj, params))
+}
+
+/// Algorithm 3 lines 4–11: assigns the semantic property of one stay point
+/// by weighted voting among the fine-grained units around it.
+///
+/// Every POI within `R_3sigma` votes for its unit with weight
+/// `pop(p) * ||p, sp||`; the winning unit donates the union of categories of
+/// its *in-range* members. Stay points with no unit-owned POI in range stay
+/// untagged ([`Tags::EMPTY`]).
+pub fn recognize_stay_point(
+    csd: &CitySemanticDiagram,
+    kernel: &GaussianKernel,
+    pos: LocalPoint,
+) -> Tags {
+    recognize_stay_point_full(csd, kernel, pos).0
+}
+
+/// Like [`recognize_stay_point`], additionally returning the *primary*
+/// category: the strongest-voting category within the winning unit, which
+/// drives the sequence-mining item for multi-tag units.
+pub fn recognize_stay_point_full(
+    csd: &CitySemanticDiagram,
+    kernel: &GaussianKernel,
+    pos: LocalPoint,
+) -> (Tags, Option<Category>) {
+    let in_range = csd.range(pos, kernel.cutoff());
+    if in_range.is_empty() {
+        return (Tags::EMPTY, None);
+    }
+    // Sparse vote accumulation: the candidate unit list is tiny (a handful
+    // of units overlap a 100 m disk), so linear scans beat hashing.
+    let mut unit_ids: Vec<usize> = Vec::new();
+    let mut votes: Vec<f64> = Vec::new();
+    let mut tags: Vec<Tags> = Vec::new();
+    let mut cat_votes: Vec<[f64; Category::COUNT]> = Vec::new();
+    for &i in &in_range {
+        let Some(uid) = csd.unit_of(i) else { continue };
+        let weight = csd.popularity(i) * kernel.coeff(csd.pois()[i].pos, pos);
+        let slot = match unit_ids.iter().position(|&u| u == uid) {
+            Some(s) => s,
+            None => {
+                unit_ids.push(uid);
+                votes.push(0.0);
+                tags.push(Tags::EMPTY);
+                cat_votes.push([0.0; Category::COUNT]);
+                unit_ids.len() - 1
+            }
+        };
+        votes[slot] += weight;
+        tags[slot] = tags[slot].with(csd.pois()[i].category);
+        cat_votes[slot][csd.pois()[i].category as usize] += weight;
+    }
+    if unit_ids.is_empty() {
+        return (Tags::EMPTY, None);
+    }
+    let hv = votes
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .expect("non-empty votes");
+    let primary = cat_votes[hv]
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(c, _)| Category::from_index(c));
+    (tags[hv], primary)
+}
+
+/// Algorithm 3 in full: recognizes the semantic property of every stay point
+/// of every trajectory. Consumes and returns the trajectories with tags
+/// filled in.
+pub fn recognize_all(
+    csd: &CitySemanticDiagram,
+    trajectories: Vec<SemanticTrajectory>,
+    params: &MinerParams,
+) -> Vec<SemanticTrajectory> {
+    let kernel = GaussianKernel::new(params.r3sigma);
+    trajectories
+        .into_iter()
+        .map(|mut st| {
+            for sp in &mut st.stays {
+                let (tags, primary) = recognize_stay_point_full(csd, &kernel, sp.pos);
+                sp.tags = tags;
+                sp.primary = primary;
+            }
+            st
+        })
+        .collect()
+}
+
+/// Collects every stay-point location in a trajectory set — the `D_sp`
+/// corpus that drives popularity estimation (Eq. 3).
+pub fn stay_points_of(trajectories: &[SemanticTrajectory]) -> Vec<LocalPoint> {
+    trajectories
+        .iter()
+        .flat_map(|st| st.stays.iter().map(|sp| sp.pos))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Category, GpsPoint, Poi};
+
+    fn gps(x: f64, y: f64, t: i64) -> GpsPoint {
+        GpsPoint::new(LocalPoint::new(x, y), t)
+    }
+
+    #[test]
+    fn detects_a_dwell_as_one_stay_point() {
+        // 30 minutes parked at ~(100, 100), then movement.
+        let mut pts = Vec::new();
+        for k in 0..30 {
+            pts.push(gps(100.0 + (k % 3) as f64, 100.0, k * 60));
+        }
+        for k in 0..10 {
+            pts.push(gps(100.0 + 500.0 * (k + 1) as f64, 100.0, 1800 + k * 60));
+        }
+        let stays = detect_stay_points(&GpsTrajectory::new(pts), &MinerParams::default());
+        assert_eq!(stays.len(), 1);
+        assert!(stays[0].pos.distance(&LocalPoint::new(101.0, 100.0)) < 5.0);
+        assert!(stays[0].tags.is_empty());
+    }
+
+    #[test]
+    fn short_dwell_is_not_a_stay_point() {
+        // Only 5 minutes below theta_t = 20 min.
+        let pts: Vec<GpsPoint> = (0..5).map(|k| gps(0.0, 0.0, k * 60)).collect();
+        let stays = detect_stay_points(&GpsTrajectory::new(pts), &MinerParams::default());
+        assert!(stays.is_empty());
+    }
+
+    #[test]
+    fn moving_trajectory_has_no_stay_points() {
+        let pts: Vec<GpsPoint> = (0..60)
+            .map(|k| gps(k as f64 * 300.0, 0.0, k * 60))
+            .collect();
+        let stays = detect_stay_points(&GpsTrajectory::new(pts), &MinerParams::default());
+        assert!(stays.is_empty());
+    }
+
+    #[test]
+    fn two_dwells_two_stay_points() {
+        let mut pts = Vec::new();
+        for k in 0..25 {
+            pts.push(gps(0.0, 0.0, k * 60));
+        }
+        for k in 0..5 {
+            pts.push(gps(5_000.0 * (k + 1) as f64 / 5.0, 0.0, 1500 + k * 60));
+        }
+        for k in 0..25 {
+            pts.push(gps(5_000.0, 0.0, 1800 + k * 60));
+        }
+        let stays = detect_stay_points(&GpsTrajectory::new(pts), &MinerParams::default());
+        assert_eq!(stays.len(), 2);
+        assert!(stays[0].time < stays[1].time);
+    }
+
+    #[test]
+    fn empty_trajectory() {
+        let stays = detect_stay_points(&GpsTrajectory::default(), &MinerParams::default());
+        assert!(stays.is_empty());
+    }
+
+    /// Build the diagram of the Fig. 7 scenario: a popular shop unit and a
+    /// less popular office unit near a query stay point.
+    fn fig7_setup() -> (CitySemanticDiagram, MinerParams) {
+        let params = MinerParams {
+            min_pts: 4,
+            ..MinerParams::default()
+        };
+        let mut pois = Vec::new();
+        // Shop unit: 6 POIs ~30m east of the query origin.
+        for i in 0..6 {
+            pois.push(Poi::new(
+                i,
+                LocalPoint::new(30.0 + (i % 3) as f64 * 8.0, (i / 3) as f64 * 8.0),
+                Category::Shop,
+            ));
+        }
+        // Office unit: 6 POIs ~70m west.
+        for i in 0..6 {
+            pois.push(Poi::new(
+                10 + i,
+                LocalPoint::new(-70.0 - (i % 3) as f64 * 8.0, (i / 3) as f64 * 8.0),
+                Category::Business,
+            ));
+        }
+        // Stay corpus: the shop side is visited 5x more.
+        let mut stays = Vec::new();
+        for k in 0..50 {
+            stays.push(LocalPoint::new(
+                32.0 + (k % 5) as f64 * 4.0,
+                (k % 4) as f64 * 4.0,
+            ));
+        }
+        for k in 0..10 {
+            stays.push(LocalPoint::new(
+                -72.0 - (k % 5) as f64 * 4.0,
+                (k % 4) as f64 * 4.0,
+            ));
+        }
+        (CitySemanticDiagram::build(&pois, &stays, &params), params)
+    }
+
+    #[test]
+    fn voting_prefers_popular_nearby_unit() {
+        let (csd, params) = fig7_setup();
+        let kernel = GaussianKernel::new(params.r3sigma);
+        let tags = recognize_stay_point(&csd, &kernel, LocalPoint::ORIGIN);
+        assert!(tags.contains(Category::Shop), "got {tags}");
+        assert!(!tags.contains(Category::Business));
+    }
+
+    #[test]
+    fn far_stay_point_stays_untagged() {
+        let (csd, params) = fig7_setup();
+        let kernel = GaussianKernel::new(params.r3sigma);
+        let tags = recognize_stay_point(&csd, &kernel, LocalPoint::new(10_000.0, 0.0));
+        assert!(tags.is_empty());
+    }
+
+    #[test]
+    fn recognize_all_fills_every_stay() {
+        let (csd, params) = fig7_setup();
+        let trajs = vec![SemanticTrajectory::new(vec![
+            StayPoint::untagged(LocalPoint::new(0.0, 0.0), 0),
+            StayPoint::untagged(LocalPoint::new(-65.0, 0.0), 3600),
+        ])];
+        let out = recognize_all(&csd, trajs, &params);
+        assert!(out[0].stays[0].tags.contains(Category::Shop));
+        assert!(out[0].stays[1].tags.contains(Category::Business));
+    }
+
+    #[test]
+    fn stay_points_of_flattens() {
+        let trajs = vec![
+            SemanticTrajectory::new(vec![StayPoint::untagged(LocalPoint::new(1.0, 2.0), 0)]),
+            SemanticTrajectory::new(vec![
+                StayPoint::untagged(LocalPoint::new(3.0, 4.0), 0),
+                StayPoint::untagged(LocalPoint::new(5.0, 6.0), 10),
+            ]),
+        ];
+        let pts = stay_points_of(&trajs);
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[2], LocalPoint::new(5.0, 6.0));
+    }
+}

@@ -1,0 +1,184 @@
+//! Property-based tests for the pipeline core: containment relations, KL /
+//! cosine invariants, purification postconditions and metric bounds.
+
+use pm_core::construct::purify::{is_fine_grained, kl_divergence, purify};
+use pm_core::contain::{containment_witness, contains};
+use pm_core::prelude::*;
+use pm_geo::LocalPoint;
+use proptest::prelude::*;
+
+fn category() -> impl Strategy<Value = Category> {
+    (0usize..Category::COUNT).prop_map(Category::from_index)
+}
+
+fn tags() -> impl Strategy<Value = Tags> {
+    prop::collection::vec(category(), 1..4).prop_map(Tags::from_iter)
+}
+
+fn stay_point() -> impl Strategy<Value = StayPoint> {
+    (
+        -2_000.0..2_000.0f64,
+        -2_000.0..2_000.0f64,
+        0i64..86_400,
+        tags(),
+    )
+        .prop_map(|(x, y, t, tg)| StayPoint::new(LocalPoint::new(x, y), t, tg))
+}
+
+fn trajectory(max_len: usize) -> impl Strategy<Value = SemanticTrajectory> {
+    prop::collection::vec(stay_point(), 1..max_len).prop_map(|mut stays| {
+        stays.sort_by_key(|sp| sp.time);
+        SemanticTrajectory::new(stays)
+    })
+}
+
+fn distribution() -> impl Strategy<Value = [f64; Category::COUNT]> {
+    prop::collection::vec(0.0..1.0f64, Category::COUNT).prop_map(|v| {
+        let total: f64 = v.iter().sum::<f64>().max(1e-9);
+        let mut d = [0.0; Category::COUNT];
+        for (i, x) in v.into_iter().enumerate() {
+            d[i] = x / total;
+        }
+        d
+    })
+}
+
+proptest! {
+    /// KL divergence is non-negative and zero on identical distributions.
+    #[test]
+    fn kl_gibbs_inequality(p in distribution(), q in distribution()) {
+        prop_assert!(kl_divergence(&p, &q) >= 0.0);
+        prop_assert!(kl_divergence(&p, &p) < 1e-9);
+    }
+
+    /// Tag-set cosine is symmetric, bounded, and 1 exactly on equal sets.
+    #[test]
+    fn tags_cosine_properties(a in tags(), b in tags()) {
+        let ab = a.cosine(b);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&ab));
+        prop_assert!((ab - b.cosine(a)).abs() < 1e-12);
+        prop_assert!((a.cosine(a) - 1.0).abs() < 1e-12);
+        if ab >= 1.0 - 1e-12 {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Containment is reflexive, and any witness returned is valid: index
+    /// positions increase, distances/tags/time gaps all satisfy Def. 7.
+    #[test]
+    fn containment_reflexive_and_witness_valid(
+        st in trajectory(5),
+        st2 in trajectory(4),
+        eps_t in 10.0..500.0f64,
+    ) {
+        let delta_t: i64 = 7_200;
+        let gaps_ok = st.stays.windows(2).all(|w| w[1].time - w[0].time <= delta_t);
+        if gaps_ok {
+            prop_assert!(contains(&st, &st.clone(), eps_t, delta_t));
+        }
+        if let Some(w) = containment_witness(&st, &st2, eps_t, delta_t) {
+            prop_assert_eq!(w.len(), st2.len());
+            for k in 0..w.len() {
+                if k > 0 {
+                    prop_assert!(w[k - 1] < w[k]);
+                    let gap = st.stays[w[k]].time - st.stays[w[k - 1]].time;
+                    prop_assert!(gap.abs() <= delta_t);
+                }
+                prop_assert!(st.stays[w[k]].pos.distance(&st2.stays[k].pos) <= eps_t);
+                prop_assert!(st.stays[w[k]].tags.is_superset(st2.stays[k].tags));
+            }
+        }
+    }
+
+    /// Purification preserves the POI partition and every output unit
+    /// satisfies Definition 3's acceptance test.
+    #[test]
+    fn purification_postconditions(
+        positions in prop::collection::vec(
+            (0.0..500.0f64, 0.0..500.0f64), 2..40),
+        cats in prop::collection::vec(0usize..4, 2..40),
+    ) {
+        let n = positions.len().min(cats.len());
+        let pois: Vec<Poi> = (0..n)
+            .map(|i| Poi::new(i as u64,
+                LocalPoint::new(positions[i].0, positions[i].1),
+                Category::from_index(cats[i])))
+            .collect();
+        let params = MinerParams::default();
+        let units = purify(&pois, vec![(0..n).collect()], &params);
+        // Partition: every POI in exactly one unit.
+        let mut seen = vec![0usize; n];
+        for u in &units {
+            prop_assert!(is_fine_grained(&pois, u, &params));
+            for &i in u {
+                seen[i] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s == 1));
+    }
+
+    /// Extracted patterns satisfy Definition 11's structural guarantees:
+    /// support >= sigma, aligned groups, representative points drawn from
+    /// the groups, and density above rho at every position.
+    #[test]
+    fn extraction_postconditions(
+        n in 6usize..20,
+        jitter in 1.0..20.0f64,
+        seedx in -1_000.0..1_000.0f64,
+    ) {
+        let db: Vec<SemanticTrajectory> = (0..n)
+            .map(|i| {
+                let dx = (i % 4) as f64 * jitter;
+                SemanticTrajectory::new(vec![
+                    StayPoint::new(LocalPoint::new(seedx + dx, 0.0), 7 * 3600,
+                        Tags::only(Category::Residence)),
+                    StayPoint::new(LocalPoint::new(seedx + 2_000.0 + dx, 0.0), 8 * 3600 - 900,
+                        Tags::only(Category::Business)),
+                ])
+            })
+            .collect();
+        let params = MinerParams { sigma: 5, rho: 1e-6, ..MinerParams::default() };
+        let patterns = extract_patterns(&db, &params);
+        for p in &patterns {
+            prop_assert!(p.support() >= params.sigma);
+            prop_assert_eq!(p.groups.len(), p.len());
+            prop_assert_eq!(p.stays.len(), p.len());
+            for (k, g) in p.groups.iter().enumerate() {
+                prop_assert_eq!(g.len(), p.support());
+                prop_assert!(g.iter().any(|sp| sp.pos == p.stays[k].pos));
+                let pts: Vec<LocalPoint> = g.iter().map(|sp| sp.pos).collect();
+                prop_assert!(pm_geo::den(&pts) >= params.rho);
+            }
+            let m = pm_core::metrics::pattern_metrics(p);
+            prop_assert!(m.spatial_sparsity >= 0.0);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&m.semantic_consistency));
+        }
+    }
+
+    /// Stay-point detection output is time-ordered and within the input's
+    /// spatio-temporal envelope.
+    #[test]
+    fn stay_detection_envelope(
+        dwell_minutes in 5i64..90,
+        step in 1.0..40.0f64,
+    ) {
+        let mut pts = Vec::new();
+        for k in 0..dwell_minutes {
+            pts.push(GpsPoint::new(LocalPoint::new((k % 3) as f64 * step.min(30.0), 0.0), k * 60));
+        }
+        let traj = GpsTrajectory::new(pts.clone());
+        let params = MinerParams::default();
+        let stays = pm_core::recognize::detect_stay_points(&traj, &params);
+        for w in stays.windows(2) {
+            prop_assert!(w[0].time <= w[1].time);
+        }
+        for sp in &stays {
+            prop_assert!(sp.time >= 0 && sp.time <= (dwell_minutes - 1) * 60);
+            prop_assert!(sp.pos.x >= 0.0 && sp.pos.x <= 2.0 * step);
+        }
+        // A dwell of >= theta_t at one spot must be found.
+        if dwell_minutes * 60 > params.theta_t + 60 && 2.0 * step <= params.theta_d {
+            prop_assert!(!stays.is_empty());
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! End-to-end smoke: synthetic city -> CSD -> recognition -> extraction.
+
+use pm_core::prelude::*;
+use pm_synth::{CityConfig, CityModel, TaxiCorpus};
+
+#[test]
+fn tiny_city_end_to_end() {
+    let cfg = CityConfig::tiny(42);
+    let city = CityModel::generate(&cfg);
+    let pois = pm_synth::poi::generate_pois(&city);
+    let corpus = TaxiCorpus::generate(&city);
+    let trajs = corpus.semantic_trajectories();
+    eprintln!(
+        "pois={} journeys={} trajs={}",
+        pois.len(),
+        corpus.journeys.len(),
+        trajs.len()
+    );
+
+    let params = MinerParams {
+        sigma: 20,
+        ..MinerParams::default()
+    };
+    let stays = stay_points_of(&trajs);
+    let csd = CitySemanticDiagram::build(&pois, &stays, &params);
+    eprintln!("csd stats: {:?}", csd.stats());
+    assert!(csd.units().len() > 5);
+
+    let recognized = recognize_all(&csd, trajs, &params);
+    let tagged: usize = recognized
+        .iter()
+        .flat_map(|t| &t.stays)
+        .filter(|s| !s.tags.is_empty())
+        .count();
+    let total: usize = recognized.iter().map(|t| t.len()).sum();
+    eprintln!("tagged {tagged}/{total}");
+    assert!(
+        tagged as f64 > total as f64 * 0.5,
+        "tagged {tagged}/{total}"
+    );
+
+    let patterns = extract_patterns(&recognized, &params);
+    eprintln!("patterns: {}", patterns.len());
+    for p in patterns.iter().take(12) {
+        let m = pm_core::metrics::pattern_metrics(p);
+        eprintln!(
+            "  {} sup={} ss={:.1} sc={:.3}",
+            p.describe(),
+            p.support(),
+            m.spatial_sparsity,
+            m.semantic_consistency
+        );
+    }
+    assert!(!patterns.is_empty(), "expected fine-grained patterns");
+    let summary = pm_core::metrics::summarize(&patterns);
+    eprintln!("summary: {summary:?}");
+    assert!(summary.avg_consistency > 0.9);
+}

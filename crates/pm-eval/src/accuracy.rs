@@ -1,0 +1,204 @@
+//! Recognition accuracy against generator ground truth.
+//!
+//! The paper evaluates recognition only indirectly (through pattern
+//! quality) because real taxi data carries no activity labels. The
+//! synthetic substrate knows the true category of every stay point, so the
+//! CSD and ROI recognizers can be scored directly: coverage (how many stay
+//! points get any tag), hit rate (true category contained in the tag set),
+//! exact-primary accuracy, and a full 15x15 confusion matrix over primary
+//! categories.
+
+use crate::dataset::Dataset;
+use pm_core::types::{Category, SemanticTrajectory};
+
+/// Accuracy report for one recognizer over one dataset.
+#[derive(Debug, Clone)]
+pub struct AccuracyReport {
+    /// Total ground-truth stay points.
+    pub total: usize,
+    /// Stay points that received a non-empty tag set.
+    pub tagged: usize,
+    /// Tagged stay points whose tag set contains the true category.
+    pub hits: usize,
+    /// Tagged stay points whose *primary* equals the true category.
+    pub primary_hits: usize,
+    /// `confusion[truth][predicted_primary]` over tagged stay points.
+    pub confusion: [[usize; Category::COUNT]; Category::COUNT],
+}
+
+impl AccuracyReport {
+    /// Fraction of stay points that received any tag.
+    pub fn coverage(&self) -> f64 {
+        self.tagged as f64 / self.total.max(1) as f64
+    }
+
+    /// Fraction of tagged stay points whose set contains the truth.
+    pub fn hit_rate(&self) -> f64 {
+        self.hits as f64 / self.tagged.max(1) as f64
+    }
+
+    /// Fraction of tagged stay points with the exact primary category.
+    pub fn primary_accuracy(&self) -> f64 {
+        self.primary_hits as f64 / self.tagged.max(1) as f64
+    }
+
+    /// Per-category recall of the primary prediction (how often category
+    /// `c`'s stay points are labelled `c`), `None` when `c` never occurs.
+    pub fn recall(&self, c: Category) -> Option<f64> {
+        let row = &self.confusion[c as usize];
+        let total: usize = row.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        Some(row[c as usize] as f64 / total as f64)
+    }
+
+    /// Per-category precision of the primary prediction, `None` when `c`
+    /// is never predicted.
+    pub fn precision(&self, c: Category) -> Option<f64> {
+        let predicted: usize = (0..Category::COUNT)
+            .map(|t| self.confusion[t][c as usize])
+            .sum();
+        if predicted == 0 {
+            return None;
+        }
+        Some(self.confusion[c as usize][c as usize] as f64 / predicted as f64)
+    }
+}
+
+/// Scores recognized trajectories against the dataset's ground truth. The
+/// trajectories must be the dataset's own, in order (as produced by
+/// `recognize_all` / `RoiRecognizer::recognize_all` over
+/// `dataset.trajectories`).
+pub fn score(ds: &Dataset, recognized: &[SemanticTrajectory]) -> AccuracyReport {
+    assert_eq!(
+        recognized.len(),
+        ds.truth.len(),
+        "recognized trajectories must align with the dataset"
+    );
+    let mut report = AccuracyReport {
+        total: 0,
+        tagged: 0,
+        hits: 0,
+        primary_hits: 0,
+        confusion: [[0; Category::COUNT]; Category::COUNT],
+    };
+    for (st, truth) in recognized.iter().zip(&ds.truth) {
+        assert_eq!(st.len(), truth.len(), "stay counts must align");
+        for (sp, &want) in st.stays.iter().zip(truth) {
+            report.total += 1;
+            if sp.tags.is_empty() {
+                continue;
+            }
+            report.tagged += 1;
+            if sp.tags.contains(want) {
+                report.hits += 1;
+            }
+            if let Some(primary) = sp.primary_category() {
+                if primary == want {
+                    report.primary_hits += 1;
+                }
+                report.confusion[want as usize][primary as usize] += 1;
+            }
+        }
+    }
+    report
+}
+
+/// Renders the headline numbers plus the five worst-confused category
+/// pairs.
+pub fn render(name: &str, r: &AccuracyReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{name}: coverage {:.1}%, hit rate {:.1}%, primary accuracy {:.1}% ({} stay points)",
+        r.coverage() * 100.0,
+        r.hit_rate() * 100.0,
+        r.primary_accuracy() * 100.0,
+        r.total
+    );
+    let mut confusions: Vec<(usize, Category, Category)> = Vec::new();
+    for t in 0..Category::COUNT {
+        for p in 0..Category::COUNT {
+            if t != p && r.confusion[t][p] > 0 {
+                confusions.push((
+                    r.confusion[t][p],
+                    Category::from_index(t),
+                    Category::from_index(p),
+                ));
+            }
+        }
+    }
+    confusions.sort_by_key(|c| std::cmp::Reverse(c.0));
+    for (n, truth, predicted) in confusions.into_iter().take(5) {
+        let _ = writeln!(out, "  {truth} mistaken for {predicted}: {n}x");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_baselines::{BaselineParams, RoiRecognizer};
+    use pm_core::prelude::*;
+    use pm_core::recognize::stay_points_of;
+    use pm_synth::CityConfig;
+
+    fn fixture() -> (Dataset, AccuracyReport, AccuracyReport) {
+        let ds = Dataset::generate(&CityConfig::tiny(33));
+        let params = MinerParams::default();
+        let baseline = BaselineParams::default();
+        let stays = stay_points_of(&ds.trajectories);
+        let csd = CitySemanticDiagram::build(&ds.pois, &stays, &params);
+        let csd_tagged = recognize_all(&csd, ds.trajectories.clone(), &params);
+        let roi = RoiRecognizer::build(&stays, &ds.pois, &params, &baseline);
+        let roi_tagged = roi.recognize_all(ds.trajectories.clone());
+        let csd_report = score(&ds, &csd_tagged);
+        let roi_report = score(&ds, &roi_tagged);
+        (ds, csd_report, roi_report)
+    }
+
+    #[test]
+    fn reports_are_internally_consistent() {
+        let (_, csd, roi) = fixture();
+        for r in [&csd, &roi] {
+            assert!(r.tagged <= r.total);
+            assert!(r.hits <= r.tagged);
+            assert!(r.primary_hits <= r.hits + r.tagged); // primary may differ from set-hit
+            let conf_total: usize = r.confusion.iter().flatten().sum();
+            assert!(conf_total <= r.tagged);
+            assert!((0.0..=1.0).contains(&r.coverage()));
+            assert!((0.0..=1.0).contains(&r.hit_rate()));
+        }
+    }
+
+    #[test]
+    fn csd_primary_accuracy_beats_roi() {
+        let (_, csd, roi) = fixture();
+        assert!(
+            csd.primary_accuracy() >= roi.primary_accuracy() - 0.02,
+            "CSD {:.3} vs ROI {:.3}",
+            csd.primary_accuracy(),
+            roi.primary_accuracy()
+        );
+        assert!(csd.primary_accuracy() > 0.6);
+    }
+
+    #[test]
+    fn precision_recall_defined_for_common_categories() {
+        let (_, csd, _) = fixture();
+        let res = csd.recall(Category::Residence);
+        assert!(res.is_some());
+        assert!(res.unwrap() > 0.5);
+        let prec = csd.precision(Category::Residence);
+        assert!(prec.is_some());
+    }
+
+    #[test]
+    fn render_mentions_the_headline_numbers() {
+        let (_, csd, _) = fixture();
+        let text = render("CSD", &csd);
+        assert!(text.contains("coverage") && text.contains("primary accuracy"));
+    }
+}

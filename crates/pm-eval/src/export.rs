@@ -1,0 +1,197 @@
+//! CSV export of the regenerated figures, for external plotting.
+//!
+//! Plain `std::fs` writers — one file per figure, one row per series point,
+//! mirroring the structures in [`crate::figures`].
+
+use crate::figures::{DemoReport, Fig9Row, SweepPoint, FIG9_BIN_WIDTH};
+use crate::pipeline::Approach;
+use pm_core::metrics::FiveNumber;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Fig. 9 as CSV: `approach,bin_low_m,count` rows plus a `summary` section.
+pub fn fig9_csv(rows: &[Fig9Row]) -> String {
+    let mut out = String::from("approach,bin_low_m,count\n");
+    for row in rows {
+        for (b, count) in row.bins.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{},{},{}",
+                row.approach.label(),
+                b as f64 * FIG9_BIN_WIDTH,
+                count
+            );
+        }
+    }
+    out.push_str("\napproach,avg_sparsity_m,n_patterns,coverage\n");
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "{},{:.4},{},{}",
+            row.approach.label(),
+            row.summary.avg_sparsity,
+            row.summary.n_patterns,
+            row.summary.coverage
+        );
+    }
+    out
+}
+
+/// Fig. 10 as CSV: `approach,min,q1,median,q3,max,mean` rows.
+pub fn fig10_csv(rows: &[(Approach, Option<FiveNumber>)]) -> String {
+    let mut out = String::from("approach,min,q1,median,q3,max,mean\n");
+    for (a, f) in rows {
+        match f {
+            Some(f) => {
+                let _ = writeln!(
+                    out,
+                    "{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6}",
+                    a.label(),
+                    f.min,
+                    f.q1,
+                    f.q2,
+                    f.q3,
+                    f.max,
+                    f.mean
+                );
+            }
+            None => {
+                let _ = writeln!(out, "{},,,,,,", a.label());
+            }
+        }
+    }
+    out
+}
+
+/// A sweep (Figs. 11–13) as CSV:
+/// `param,approach,n_patterns,coverage,avg_sparsity_m,avg_consistency`.
+pub fn sweep_csv(points: &[SweepPoint]) -> String {
+    let mut out =
+        String::from("param,approach,n_patterns,coverage,avg_sparsity_m,avg_consistency\n");
+    for p in points {
+        for (a, s) in &p.rows {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{:.4},{:.6}",
+                p.value,
+                a.label(),
+                s.n_patterns,
+                s.coverage,
+                s.avg_sparsity,
+                s.avg_consistency
+            );
+        }
+    }
+    out
+}
+
+/// Fig. 14 as CSV: the bucket table plus the scalar findings.
+pub fn fig14_csv(report: &DemoReport) -> String {
+    let mut out = String::from("bucket,n_patterns,avg_length\n");
+    for (bucket, n, avg_len) in &report.buckets {
+        let _ = writeln!(out, "{},{},{:.4}", bucket.label(), n, avg_len);
+    }
+    out.push_str("\nmetric,value\n");
+    let _ = writeln!(
+        out,
+        "airport_record_share,{:.6}",
+        report.airport_record_share
+    );
+    let _ = writeln!(out, "airport_patterns,{}", report.airport_patterns);
+    let _ = writeln!(out, "hospital_patterns,{}", report.hospital_patterns);
+    let _ = writeln!(
+        out,
+        "medical_checkin_share_ny,{:.6}",
+        report.medical_checkin_share_ny
+    );
+    let _ = writeln!(
+        out,
+        "medical_checkin_share_tokyo,{:.6}",
+        report.medical_checkin_share_tokyo
+    );
+    out
+}
+
+/// Writes a CSV string to disk, creating parent directories.
+pub fn write_csv(path: &Path, csv: &str) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, csv)
+}
+
+/// Sanity check: every bin of Fig. 9 is present exactly once per approach.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+    use crate::figures;
+    use crate::figures::FIG9_BINS;
+    use crate::pipeline::run_all;
+    use pm_baselines::BaselineParams;
+    use pm_core::params::MinerParams;
+    use pm_synth::CityConfig;
+
+    fn results() -> (Dataset, Vec<(Approach, Vec<pm_core::extract::FinePattern>)>) {
+        let ds = Dataset::generate(&CityConfig::tiny(77));
+        let params = MinerParams {
+            sigma: 20,
+            ..MinerParams::default()
+        };
+        let r = run_all(&ds, &params, &BaselineParams::default());
+        (ds, r)
+    }
+
+    #[test]
+    fn fig9_csv_has_all_bins() {
+        let (_, results) = results();
+        let csv = fig9_csv(&figures::fig9(&results));
+        // Header + 6 approaches x 20 bins + blank + summary header + 6 rows.
+        let data_rows = csv
+            .lines()
+            .filter(|l| l.contains(",") && !l.starts_with("approach"))
+            .count();
+        assert_eq!(data_rows, 6 * FIG9_BINS + 6);
+        assert!(csv.starts_with("approach,bin_low_m,count"));
+    }
+
+    #[test]
+    fn fig10_csv_one_row_per_approach() {
+        let (_, results) = results();
+        let csv = fig10_csv(&figures::fig10(&results));
+        assert_eq!(csv.lines().count(), 7);
+    }
+
+    #[test]
+    fn sweep_csv_rows() {
+        let ds = Dataset::generate(&CityConfig::tiny(78));
+        let params = MinerParams {
+            sigma: 20,
+            ..MinerParams::default()
+        };
+        let baseline = BaselineParams::default();
+        let rec = crate::pipeline::Recognized::compute(&ds, &params, &baseline);
+        let pts = figures::fig11_support_sweep(&rec, &params, &baseline, &[15, 30]);
+        let csv = sweep_csv(&pts);
+        assert_eq!(csv.lines().count(), 1 + 2 * 6);
+    }
+
+    #[test]
+    fn fig14_csv_structure() {
+        let (ds, results) = results();
+        let csv = fig14_csv(&figures::fig14(&ds, &results[0].1, 1));
+        assert!(csv.contains("weekday morning"));
+        assert!(csv.contains("airport_record_share"));
+        assert_eq!(csv.lines().filter(|l| !l.is_empty()).count(), 1 + 6 + 1 + 5);
+    }
+
+    #[test]
+    fn write_csv_roundtrip() {
+        let dir = std::env::temp_dir().join("pm_eval_export_test");
+        let path = dir.join("nested/fig.csv");
+        write_csv(&path, "a,b\n1,2\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "a,b\n1,2\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

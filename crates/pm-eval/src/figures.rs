@@ -1,0 +1,415 @@
+//! Builders for every table and figure of the paper's evaluation.
+
+use crate::dataset::Dataset;
+use crate::pipeline::{run_approach, Approach, Recognized};
+use pm_baselines::BaselineParams;
+use pm_core::extract::FinePattern;
+use pm_core::metrics::{five_number, pattern_metrics, summarize, FiveNumber, PatternSetSummary};
+use pm_core::params::MinerParams;
+use pm_core::types::{Category, WeekBucket};
+use pm_synth::checkin::{generate_checkins, topic_ranking, SharingProfile};
+use pm_synth::poi::category_histogram;
+
+/// Number of sparsity histogram bins in Fig. 9.
+pub const FIG9_BINS: usize = 20;
+/// Width of each sparsity bin in meters (x-axis spans 0–100 m).
+pub const FIG9_BIN_WIDTH: f64 = 5.0;
+
+/// One curve of Fig. 9: the sparsity frequency distribution of one
+/// approach, plus the legend numbers (avg ss / #patterns / coverage).
+#[derive(Debug, Clone)]
+pub struct Fig9Row {
+    /// Which approach.
+    pub approach: Approach,
+    /// Pattern count per sparsity bin (`[k*5, (k+1)*5)` meters); patterns
+    /// sparser than 100 m land in the last bin.
+    pub bins: [usize; FIG9_BINS],
+    /// Aggregate metrics shown in the figure legend.
+    pub summary: PatternSetSummary,
+}
+
+/// Builds Fig. 9 from the six approaches' pattern sets.
+pub fn fig9(results: &[(Approach, Vec<FinePattern>)]) -> Vec<Fig9Row> {
+    results
+        .iter()
+        .map(|(approach, patterns)| {
+            let mut bins = [0usize; FIG9_BINS];
+            for p in patterns {
+                let ss = pattern_metrics(p).spatial_sparsity;
+                let bin = ((ss / FIG9_BIN_WIDTH) as usize).min(FIG9_BINS - 1);
+                bins[bin] += 1;
+            }
+            Fig9Row {
+                approach: *approach,
+                bins,
+                summary: summarize(patterns),
+            }
+        })
+        .collect()
+}
+
+/// Builds Fig. 10: the per-approach distribution of pattern semantic
+/// consistency (box-plot five-number summaries plus the mean). Approaches
+/// with no patterns yield `None`.
+pub fn fig10(results: &[(Approach, Vec<FinePattern>)]) -> Vec<(Approach, Option<FiveNumber>)> {
+    results
+        .iter()
+        .map(|(approach, patterns)| {
+            let values: Vec<f64> = patterns
+                .iter()
+                .map(|p| pattern_metrics(p).semantic_consistency)
+                .collect();
+            (*approach, five_number(&values))
+        })
+        .collect()
+}
+
+/// One x-axis point of a Figs. 11–13 sweep: the swept value and each
+/// approach's summary metrics at that value.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// The swept parameter value (sigma, rho, or delta_t in minutes).
+    pub value: f64,
+    /// Per-approach metric summaries.
+    pub rows: Vec<(Approach, PatternSetSummary)>,
+}
+
+fn sweep<F: Fn(&MinerParams, f64) -> MinerParams>(
+    recognized: &Recognized,
+    base: &MinerParams,
+    baseline: &BaselineParams,
+    values: &[f64],
+    apply: F,
+) -> Vec<SweepPoint> {
+    values
+        .iter()
+        .map(|&v| {
+            let params = apply(base, v);
+            let rows = Approach::ALL
+                .iter()
+                .map(|&a| {
+                    (
+                        a,
+                        summarize(&run_approach(a, recognized, &params, baseline)),
+                    )
+                })
+                .collect();
+            SweepPoint { value: v, rows }
+        })
+        .collect()
+}
+
+/// Fig. 11: metrics versus support threshold sigma.
+pub fn fig11_support_sweep(
+    recognized: &Recognized,
+    base: &MinerParams,
+    baseline: &BaselineParams,
+    sigmas: &[usize],
+) -> Vec<SweepPoint> {
+    let values: Vec<f64> = sigmas.iter().map(|&s| s as f64).collect();
+    sweep(recognized, base, baseline, &values, |p, v| {
+        p.with_sigma(v as usize)
+    })
+}
+
+/// Fig. 12: metrics versus density threshold rho (in m^-2).
+pub fn fig12_density_sweep(
+    recognized: &Recognized,
+    base: &MinerParams,
+    baseline: &BaselineParams,
+    rhos: &[f64],
+) -> Vec<SweepPoint> {
+    sweep(recognized, base, baseline, rhos, |p, v| p.with_rho(v))
+}
+
+/// Fig. 13: metrics versus temporal constraint delta_t (in minutes).
+pub fn fig13_temporal_sweep(
+    recognized: &Recognized,
+    base: &MinerParams,
+    baseline: &BaselineParams,
+    minutes: &[i64],
+) -> Vec<SweepPoint> {
+    let values: Vec<f64> = minutes.iter().map(|&m| m as f64).collect();
+    sweep(recognized, base, baseline, &values, |p, v| {
+        p.with_delta_t((v * 60.0) as i64)
+    })
+}
+
+/// The Fig. 14 demonstration report.
+#[derive(Debug, Clone)]
+pub struct DemoReport {
+    /// Per time-of-week bucket: pattern count and average pattern length
+    /// (Fig. 14 a–f).
+    pub buckets: Vec<(WeekBucket, usize, f64)>,
+    /// Fraction of all pick-up/drop-off records near the airport
+    /// (Fig. 14 g — the paper reports ~20% for Hongqiao).
+    pub airport_record_share: f64,
+    /// Patterns whose endpoints touch the airport.
+    pub airport_patterns: usize,
+    /// Patterns involving a Medical stay, discovered from taxi data
+    /// (Fig. 14 h).
+    pub hospital_patterns: usize,
+    /// Share of medical topics in a NYC-like check-in corpus (bias
+    /// contrast: should be ~0 even though taxi data finds the patterns).
+    pub medical_checkin_share_ny: f64,
+    /// Share of medical topics in a Tokyo-like check-in corpus.
+    pub medical_checkin_share_tokyo: f64,
+}
+
+/// Mines patterns from one day's trajectories only — the paper's Fig. 14
+/// protocol ("patterns discovered ... from one day taxi records of weekday
+/// or weekend"). Mining across days would average member timestamps into
+/// mid-week and erase the weekday/weekend contrast.
+pub fn mine_one_day(
+    recognized: &[pm_core::types::SemanticTrajectory],
+    params: &MinerParams,
+    day: i64,
+) -> Vec<FinePattern> {
+    use pm_core::types::DAY_SECS;
+    let day_db: Vec<pm_core::types::SemanticTrajectory> = recognized
+        .iter()
+        .filter(|t| {
+            t.stays
+                .first()
+                .is_some_and(|sp| sp.time.div_euclid(DAY_SECS) == day)
+        })
+        .cloned()
+        .collect();
+    pm_core::extract::extract_patterns(&day_db, params)
+}
+
+/// Builds the Fig. 14 demonstration. `recognized` is the CSD-recognized
+/// trajectory set; `patterns` is the all-days CSD-PM pattern set (for the
+/// airport/hospital panels); per-bucket counts are mined per single day as
+/// in the paper (Wednesday for weekdays, Saturday for weekends).
+pub fn fig14_full(
+    ds: &Dataset,
+    recognized: &[pm_core::types::SemanticTrajectory],
+    patterns: &[FinePattern],
+    params: &MinerParams,
+    seed: u64,
+) -> DemoReport {
+    // (a)-(f): one representative weekday and weekend day. A single day
+    // holds ~1/7 of the corpus, so the per-day support threshold scales
+    // down accordingly (the paper mined each day with its own run).
+    let day_params = params.with_sigma((params.sigma / 5).max(2));
+    let weekday = mine_one_day(recognized, &day_params, 2.min(ds.city.config.n_days as i64 - 1));
+    let weekend_day = if ds.city.config.n_days >= 6 { 5 } else { -1 };
+    let weekend = if weekend_day >= 0 {
+        mine_one_day(recognized, &day_params, weekend_day)
+    } else {
+        Vec::new()
+    };
+    let slot = |p: &FinePattern| -> usize {
+        let hour = p.stays[0].time.rem_euclid(pm_core::types::DAY_SECS) / 3600;
+        match hour {
+            5..=10 => 0,
+            11..=16 => 1,
+            _ => 2,
+        }
+    };
+    let mut buckets = Vec::with_capacity(6);
+    for (set, offset) in [(&weekday, 0usize), (&weekend, 3usize)] {
+        for s in 0..3 {
+            let in_bucket: Vec<&FinePattern> =
+                set.iter().filter(|p| slot(p) == s).collect();
+            let avg_len = if in_bucket.is_empty() {
+                0.0
+            } else {
+                in_bucket.iter().map(|p| p.len() as f64).sum::<f64>() / in_bucket.len() as f64
+            };
+            buckets.push((WeekBucket::ALL[offset + s], in_bucket.len(), avg_len));
+        }
+    }
+    fig14_panels_gh(ds, patterns, seed, buckets)
+}
+
+/// Builds the Fig. 14 demonstration from a precomputed pattern set,
+/// bucketing by the representative stay time (suitable when the pattern set
+/// was mined from a single day already).
+pub fn fig14(ds: &Dataset, patterns: &[FinePattern], seed: u64) -> DemoReport {
+    // (a)-(f): bucket patterns by the time of their first representative
+    // stay point.
+    let buckets = WeekBucket::ALL
+        .iter()
+        .map(|&b| {
+            let in_bucket: Vec<&FinePattern> = patterns
+                .iter()
+                .filter(|p| WeekBucket::of(p.stays[0].time) == b)
+                .collect();
+            let avg_len = if in_bucket.is_empty() {
+                0.0
+            } else {
+                in_bucket.iter().map(|p| p.len() as f64).sum::<f64>() / in_bucket.len() as f64
+            };
+            (b, in_bucket.len(), avg_len)
+        })
+        .collect();
+    fig14_panels_gh(ds, patterns, seed, buckets)
+}
+
+/// Panels (g) and (h), shared by both Fig. 14 builders.
+fn fig14_panels_gh(
+    ds: &Dataset,
+    patterns: &[FinePattern],
+    seed: u64,
+    buckets: Vec<(WeekBucket, usize, f64)>,
+) -> DemoReport {
+
+    // (g): airport demand.
+    let airport_pos = ds.city.districts[ds.city.airport].venues[0];
+    let near_airport = |p: pm_geo::LocalPoint| p.distance(&airport_pos) < 500.0;
+    let touching = ds
+        .corpus
+        .journeys
+        .iter()
+        .flat_map(|j| [j.pickup.pos, j.dropoff.pos])
+        .filter(|&p| near_airport(p))
+        .count();
+    let airport_record_share = touching as f64 / (ds.corpus.journeys.len() * 2).max(1) as f64;
+    let airport_patterns = patterns
+        .iter()
+        .filter(|p| p.stays.iter().any(|sp| near_airport(sp.pos)))
+        .count();
+
+    // (h): hospital patterns from taxi data versus check-in invisibility.
+    let hospital_patterns = patterns
+        .iter()
+        .filter(|p| p.categories.contains(&Category::Medical))
+        .count();
+    let medical_share = |profile: &SharingProfile| -> f64 {
+        let checkins = generate_checkins(&ds.corpus, profile, seed);
+        if checkins.is_empty() {
+            return 0.0;
+        }
+        checkins
+            .iter()
+            .filter(|c| c.topic == Category::Medical)
+            .count() as f64
+            / checkins.len() as f64
+    };
+
+    DemoReport {
+        buckets,
+        airport_record_share,
+        airport_patterns,
+        hospital_patterns,
+        medical_checkin_share_ny: medical_share(&SharingProfile::new_york()),
+        medical_checkin_share_tokyo: medical_share(&SharingProfile::tokyo()),
+    }
+}
+
+/// Table 1 regeneration: top-k reported topics under each sharing profile.
+pub fn table1(ds: &Dataset, seed: u64, top_k: usize) -> Vec<(String, Vec<(Category, f64)>)> {
+    [SharingProfile::new_york(), SharingProfile::tokyo()]
+        .iter()
+        .map(|profile| {
+            let checkins = generate_checkins(&ds.corpus, profile, seed);
+            let rows = topic_ranking(&checkins)
+                .into_iter()
+                .take(top_k)
+                .map(|(c, _, share)| (c, share))
+                .collect();
+            (profile.name.to_string(), rows)
+        })
+        .collect()
+}
+
+/// Table 3 regeneration: POI category counts and percentages.
+pub fn table3(ds: &Dataset) -> Vec<(Category, usize, f64)> {
+    let hist = category_histogram(&ds.pois);
+    let total: usize = hist.iter().sum();
+    let mut rows: Vec<(Category, usize, f64)> = Category::ALL
+        .iter()
+        .map(|&c| {
+            let n = hist[c as usize];
+            (c, n, n as f64 / total.max(1) as f64)
+        })
+        .collect();
+    rows.sort_by_key(|r| std::cmp::Reverse(r.1));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::run_all;
+    use pm_synth::CityConfig;
+
+    fn fixture() -> (Dataset, Vec<(Approach, Vec<FinePattern>)>) {
+        let ds = Dataset::generate(&CityConfig::tiny(7));
+        let params = MinerParams {
+            sigma: 20,
+            ..MinerParams::default()
+        };
+        let results = run_all(&ds, &params, &BaselineParams::default());
+        (ds, results)
+    }
+
+    #[test]
+    fn fig9_bins_count_every_pattern() {
+        let (_, results) = fixture();
+        for row in fig9(&results) {
+            let binned: usize = row.bins.iter().sum();
+            assert_eq!(binned, row.summary.n_patterns, "{}", row.approach.label());
+        }
+    }
+
+    #[test]
+    fn fig10_values_in_unit_interval() {
+        let (_, results) = fixture();
+        for (a, fnum) in fig10(&results) {
+            if let Some(f) = fnum {
+                assert!(f.min >= 0.0 && f.max <= 1.0 + 1e-9, "{}", a.label());
+                assert!(f.q1 <= f.q2 && f.q2 <= f.q3);
+            }
+        }
+    }
+
+    #[test]
+    fn sweeps_have_one_point_per_value() {
+        let ds = Dataset::generate(&CityConfig::tiny(8));
+        let params = MinerParams {
+            sigma: 20,
+            ..MinerParams::default()
+        };
+        let baseline = BaselineParams::default();
+        let rec = Recognized::compute(&ds, &params, &baseline);
+        let pts = fig11_support_sweep(&rec, &params, &baseline, &[10, 20, 40]);
+        assert_eq!(pts.len(), 3);
+        assert!(pts.iter().all(|p| p.rows.len() == 6));
+        // Raising sigma cannot increase pattern count for the same approach.
+        let count = |p: &SweepPoint| p.rows[0].1.n_patterns;
+        assert!(count(&pts[0]) >= count(&pts[2]));
+    }
+
+    #[test]
+    fn fig14_report_shape() {
+        let (ds, results) = fixture();
+        let csd_pm = &results[0].1;
+        let report = fig14(&ds, csd_pm, 1);
+        assert_eq!(report.buckets.len(), 6);
+        assert!(report.airport_record_share > 0.0);
+        assert!(report.medical_checkin_share_ny < 0.02);
+        assert!(report.medical_checkin_share_tokyo < 0.02);
+        let total: usize = report.buckets.iter().map(|b| b.1).sum();
+        assert_eq!(total, csd_pm.len());
+    }
+
+    #[test]
+    fn table1_and_table3_are_well_formed() {
+        let (ds, _) = fixture();
+        let t1 = table1(&ds, 3, 10);
+        assert_eq!(t1.len(), 2);
+        assert!(t1
+            .iter()
+            .all(|(_, rows)| rows.len() <= 10 && !rows.is_empty()));
+        let t3 = table3(&ds);
+        assert_eq!(t3.len(), Category::COUNT);
+        let total_share: f64 = t3.iter().map(|r| r.2).sum();
+        assert!((total_share - 1.0).abs() < 1e-9);
+        for w in t3.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! SVG rendering of the City Semantic Diagram and mined patterns — the
+//! medium of the paper's Fig. 6 (the Shanghai CSD map) and Fig. 14 (pattern
+//! maps), producible without any plotting stack.
+//!
+//! Units draw as translucent disks coloured by dominant category; patterns
+//! draw as arrowed polylines through their representative stay points,
+//! stroke width scaled by support. Pure `std::fmt::Write` string assembly.
+
+use pm_core::construct::CitySemanticDiagram;
+use pm_core::extract::FinePattern;
+use pm_core::types::Category;
+use pm_geo::{BoundingBox, LocalPoint};
+use std::fmt::Write as _;
+
+/// Rendering options.
+#[derive(Clone, Copy, Debug)]
+pub struct SvgOptions {
+    /// Output width in pixels (height follows the data aspect ratio).
+    pub width: f64,
+    /// Margin around the data extent, in meters.
+    pub margin_m: f64,
+    /// Draw the semantic units layer.
+    pub draw_units: bool,
+    /// Draw the pattern layer.
+    pub draw_patterns: bool,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        Self {
+            width: 1_000.0,
+            margin_m: 300.0,
+            draw_units: true,
+            draw_patterns: true,
+        }
+    }
+}
+
+/// A qualitative 15-colour palette, one per category (Fig. 6's "each unit
+/// owns different color").
+pub fn category_color(c: Category) -> &'static str {
+    const COLORS: [&str; Category::COUNT] = [
+        "#1f77b4", // Residence
+        "#ff7f0e", // Shop
+        "#2ca02c", // Business
+        "#d62728", // Restaurant
+        "#9467bd", // Entertainment
+        "#8c564b", // PublicService
+        "#e377c2", // TrafficStation
+        "#7f7f7f", // Education
+        "#bcbd22", // Sports
+        "#17becf", // Government
+        "#aec7e8", // Industry
+        "#ffbb78", // Financial
+        "#98df8a", // Medical
+        "#ff9896", // Hotel
+        "#c5b0d5", // Tourism
+    ];
+    COLORS[c as usize]
+}
+
+/// Renders the diagram and/or patterns to an SVG document string.
+pub fn render_svg(
+    csd: Option<&CitySemanticDiagram>,
+    patterns: &[FinePattern],
+    options: &SvgOptions,
+) -> String {
+    // Data extent: unit centers plus pattern stays.
+    let mut extent_pts: Vec<LocalPoint> = Vec::new();
+    if let Some(csd) = csd {
+        extent_pts.extend(csd.units().iter().map(|u| u.center));
+    }
+    for p in patterns {
+        extent_pts.extend(p.stays.iter().map(|sp| sp.pos));
+    }
+    let bbox = BoundingBox::enclosing(&extent_pts)
+        .unwrap_or(BoundingBox::new(
+            LocalPoint::new(-100.0, -100.0),
+            LocalPoint::new(100.0, 100.0),
+        ))
+        .inflate(options.margin_m);
+
+    let scale = options.width / bbox.width().max(1.0);
+    let height = (bbox.height() * scale).max(1.0);
+    // SVG y grows downward; flip north up.
+    let tx = |p: LocalPoint| -> (f64, f64) {
+        ((p.x - bbox.min.x) * scale, height - (p.y - bbox.min.y) * scale)
+    };
+
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{height:.0}\" \
+         viewBox=\"0 0 {:.0} {height:.0}\">",
+        options.width, options.width
+    );
+    let _ = writeln!(svg, "<rect width=\"100%\" height=\"100%\" fill=\"#fcfcf8\"/>");
+
+    // Units layer (Fig. 6).
+    if let (Some(csd), true) = (csd, options.draw_units) {
+        let _ = writeln!(svg, "<g id=\"units\" stroke=\"none\" fill-opacity=\"0.45\">");
+        for unit in csd.units() {
+            let dominant = unit
+                .distribution
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(c, _)| Category::from_index(c))
+                .unwrap_or(Category::Residence);
+            let (cx, cy) = tx(unit.center);
+            // Disk area tracks member count; clamp to a readable range.
+            let r = (unit.members.len() as f64).sqrt().clamp(2.0, 18.0);
+            let _ = writeln!(
+                svg,
+                "<circle cx=\"{cx:.1}\" cy=\"{cy:.1}\" r=\"{r:.1}\" fill=\"{}\">\
+                 <title>unit: {} POIs, {}</title></circle>",
+                category_color(dominant),
+                unit.members.len(),
+                xml_escape(&unit.tags.to_string())
+            );
+        }
+        let _ = writeln!(svg, "</g>");
+    }
+
+    // Patterns layer (Fig. 14).
+    if options.draw_patterns && !patterns.is_empty() {
+        let max_support = patterns.iter().map(FinePattern::support).max().unwrap_or(1) as f64;
+        let _ = writeln!(
+            svg,
+            "<g id=\"patterns\" fill=\"none\" stroke-linecap=\"round\" stroke-opacity=\"0.8\">"
+        );
+        for p in patterns {
+            if p.stays.len() < 2 {
+                continue;
+            }
+            let width = 1.0 + 4.0 * (p.support() as f64 / max_support);
+            let color = category_color(p.categories[0]);
+            let mut d = String::new();
+            for (i, sp) in p.stays.iter().enumerate() {
+                let (x, y) = tx(sp.pos);
+                let _ = write!(d, "{}{x:.1} {y:.1}", if i == 0 { "M" } else { " L" });
+            }
+            let _ = writeln!(
+                svg,
+                "<path d=\"{d}\" stroke=\"{color}\" stroke-width=\"{width:.1}\">\
+                 <title>{} (support {})</title></path>",
+                xml_escape(&p.describe()),
+                p.support()
+            );
+            // Arrow head: a dot at the destination.
+            let (x, y) = tx(p.stays.last().expect("len >= 2").pos);
+            let _ = writeln!(
+                svg,
+                "<circle cx=\"{x:.1}\" cy=\"{y:.1}\" r=\"{:.1}\" fill=\"{color}\" stroke=\"none\"/>",
+                width * 1.2
+            );
+        }
+        let _ = writeln!(svg, "</g>");
+    }
+
+    svg.push_str("</svg>\n");
+    svg
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_core::types::{StayPoint, Tags};
+
+    fn pattern(x0: f64, support: usize) -> FinePattern {
+        let stays = vec![
+            StayPoint::new(LocalPoint::new(x0, 0.0), 0, Tags::only(Category::Residence)),
+            StayPoint::new(
+                LocalPoint::new(x0 + 1_000.0, 500.0),
+                1_800,
+                Tags::only(Category::Business),
+            ),
+        ];
+        let groups = stays.iter().map(|sp| vec![*sp; support]).collect();
+        FinePattern {
+            categories: vec![Category::Residence, Category::Business],
+            stays,
+            members: (0..support).collect(),
+            groups,
+        }
+    }
+
+    #[test]
+    fn renders_well_formed_svg() {
+        let svg = render_svg(None, &[pattern(0.0, 10), pattern(500.0, 40)], &SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<path").count(), 2);
+        assert!(svg.contains("Residence -&gt; Business &amp; Office"));
+        // Balanced tags.
+        assert_eq!(svg.matches("<g ").count(), svg.matches("</g>").count());
+    }
+
+    #[test]
+    fn stroke_width_scales_with_support() {
+        let svg = render_svg(None, &[pattern(0.0, 10), pattern(500.0, 40)], &SvgOptions::default());
+        // Max support gets width 5.0; the smaller one gets 1 + 4*10/40 = 2.0.
+        assert!(svg.contains("stroke-width=\"5.0\""));
+        assert!(svg.contains("stroke-width=\"2.0\""));
+    }
+
+    #[test]
+    fn empty_input_still_valid() {
+        let svg = render_svg(None, &[], &SvgOptions::default());
+        assert!(svg.starts_with("<svg") && svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn units_layer_draws_the_diagram() {
+        use pm_core::prelude::*;
+        use pm_core::recognize::stay_points_of;
+
+        let ds = crate::dataset::Dataset::generate(&pm_synth::CityConfig::tiny(8));
+        let params = MinerParams::default();
+        let stays = stay_points_of(&ds.trajectories);
+        let csd = CitySemanticDiagram::build(&ds.pois, &stays, &params);
+        let svg = render_svg(Some(&csd), &[], &SvgOptions::default());
+        assert!(svg.contains("id=\"units\""));
+        assert!(svg.matches("<circle").count() >= csd.units().len());
+        // Well-formed XML: every ampersand is an entity (category names
+        // like "Shop & Market" must be escaped inside <title>).
+        for (i, _) in svg.match_indices('&') {
+            let tail = &svg[i..];
+            assert!(
+                tail.starts_with("&amp;") || tail.starts_with("&lt;") || tail.starts_with("&gt;"),
+                "raw ampersand at byte {i}"
+            );
+        }
+    }
+}

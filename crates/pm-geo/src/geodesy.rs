@@ -1,0 +1,76 @@
+//! Great-circle geometry on the WGS-84 sphere approximation.
+
+use crate::point::GeoPoint;
+
+/// Mean Earth radius in meters (IUGG mean radius `R_1`).
+pub const EARTH_RADIUS_M: f64 = 6_371_008.8;
+
+/// Haversine (great-circle) distance between two geodetic points, in meters.
+///
+/// This is the `d(p_i, p_j)` used throughout the paper (Table 2). The
+/// haversine formulation is numerically stable for the short, city-scale
+/// distances the pipeline cares about, unlike the spherical law of cosines.
+pub fn haversine_m(a: GeoPoint, b: GeoPoint) -> f64 {
+    let lat1 = a.lat.to_radians();
+    let lat2 = b.lat.to_radians();
+    let dlat = (b.lat - a.lat).to_radians();
+    let dlon = (b.lon - a.lon).to_radians();
+
+    let s = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+    // Clamp guards against s marginally exceeding 1.0 from rounding on
+    // antipodal inputs.
+    2.0 * EARTH_RADIUS_M * s.min(1.0).sqrt().asin()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // People's Square and Lujiazui, Shanghai: roughly 3.8 km apart.
+    const PEOPLES_SQUARE: GeoPoint = GeoPoint::new(121.4737, 31.2304);
+    const LUJIAZUI: GeoPoint = GeoPoint::new(121.5065, 31.2397);
+
+    #[test]
+    fn zero_for_identical_points() {
+        assert_eq!(haversine_m(PEOPLES_SQUARE, PEOPLES_SQUARE), 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let d1 = haversine_m(PEOPLES_SQUARE, LUJIAZUI);
+        let d2 = haversine_m(LUJIAZUI, PEOPLES_SQUARE);
+        assert!((d1 - d2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shanghai_landmarks_distance_plausible() {
+        let d = haversine_m(PEOPLES_SQUARE, LUJIAZUI);
+        assert!(
+            (3000.0..4500.0).contains(&d),
+            "expected ~3.8km, got {d:.0}m"
+        );
+    }
+
+    #[test]
+    fn one_degree_latitude_is_about_111km() {
+        let a = GeoPoint::new(121.0, 31.0);
+        let b = GeoPoint::new(121.0, 32.0);
+        let d = haversine_m(a, b);
+        assert!((d - 111_195.0).abs() < 500.0, "got {d:.0}m");
+    }
+
+    #[test]
+    fn longitude_shrinks_with_latitude() {
+        let eq = haversine_m(GeoPoint::new(0.0, 0.0), GeoPoint::new(1.0, 0.0));
+        let mid = haversine_m(GeoPoint::new(0.0, 60.0), GeoPoint::new(1.0, 60.0));
+        // cos(60 deg) = 0.5: a degree of longitude at 60N is half as long.
+        assert!((mid / eq - 0.5).abs() < 0.01, "ratio {}", mid / eq);
+    }
+
+    #[test]
+    fn antipodal_does_not_panic() {
+        let d = haversine_m(GeoPoint::new(0.0, 0.0), GeoPoint::new(180.0, 0.0));
+        let half_circumference = std::f64::consts::PI * EARTH_RADIUS_M;
+        assert!((d - half_circumference).abs() < 1.0);
+    }
+}

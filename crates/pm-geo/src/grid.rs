@@ -1,0 +1,268 @@
+//! Uniform bucket-grid spatial index for circular range queries.
+
+use crate::point::LocalPoint;
+
+/// A uniform grid over local points supporting the `range(p, eps, P)` query
+/// the paper uses in Algorithms 1 and 3.
+///
+/// Points are hashed into square cells of a fixed size; a circular query
+/// inspects only the cells overlapping the query disk. With a cell size close
+/// to the typical query radius (`eps_p = 30 m` for clustering, `R_3sigma =
+/// 100 m` for recognition), a query touches at most nine cells.
+///
+/// The index stores `usize` handles into the point slice it was built from;
+/// callers keep ownership of the actual payloads.
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    cell_size: f64,
+    min_x: f64,
+    min_y: f64,
+    cols: usize,
+    rows: usize,
+    /// CSR-style layout: `starts[c]..starts[c+1]` indexes into `entries` for
+    /// cell `c`. Flat layout beats per-cell `Vec`s on cache behaviour.
+    starts: Vec<u32>,
+    entries: Vec<u32>,
+    points: Vec<LocalPoint>,
+}
+
+impl GridIndex {
+    /// Builds an index over `points` with the given cell size in meters.
+    ///
+    /// # Panics
+    /// Panics if `cell_size` is not strictly positive and finite.
+    pub fn build(points: &[LocalPoint], cell_size: f64) -> Self {
+        assert!(
+            cell_size.is_finite() && cell_size > 0.0,
+            "cell_size must be positive, got {cell_size}"
+        );
+        if points.is_empty() {
+            return Self {
+                cell_size,
+                min_x: 0.0,
+                min_y: 0.0,
+                cols: 0,
+                rows: 0,
+                starts: vec![0],
+                entries: Vec::new(),
+                points: Vec::new(),
+            };
+        }
+
+        let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
+        let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for p in points {
+            min_x = min_x.min(p.x);
+            min_y = min_y.min(p.y);
+            max_x = max_x.max(p.x);
+            max_y = max_y.max(p.y);
+        }
+        // Guard against degenerate cell sizes: cap the grid at ~4 cells per
+        // point (beyond that, smaller cells cannot speed queries up, they
+        // only burn memory — a 1e-9 cell over a city extent would otherwise
+        // allocate terabytes).
+        let extent = (max_x - min_x).max(max_y - min_y).max(cell_size);
+        let max_cells_per_axis = ((4 * points.len()) as f64).sqrt().ceil().max(1.0);
+        let cell_size = cell_size.max(extent / max_cells_per_axis);
+        let cols = ((max_x - min_x) / cell_size).floor() as usize + 1;
+        let rows = ((max_y - min_y) / cell_size).floor() as usize + 1;
+        let n_cells = cols * rows;
+
+        // Counting sort of points into cells.
+        let mut counts = vec![0u32; n_cells + 1];
+        let cell_of = |p: &LocalPoint| -> usize {
+            let cx = ((p.x - min_x) / cell_size) as usize;
+            let cy = ((p.y - min_y) / cell_size) as usize;
+            cy.min(rows - 1) * cols + cx.min(cols - 1)
+        };
+        for p in points {
+            counts[cell_of(p) + 1] += 1;
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let starts = counts.clone();
+        let mut entries = vec![0u32; points.len()];
+        let mut cursor = starts.clone();
+        for (i, p) in points.iter().enumerate() {
+            let c = cell_of(p);
+            entries[cursor[c] as usize] = i as u32;
+            cursor[c] += 1;
+        }
+
+        Self {
+            cell_size,
+            min_x,
+            min_y,
+            cols,
+            rows,
+            starts,
+            entries,
+            points: points.to_vec(),
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the index holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The stored coordinates of point `idx`.
+    pub fn point(&self, idx: usize) -> LocalPoint {
+        self.points[idx]
+    }
+
+    /// Indices of all points within `radius` meters of `center` (inclusive).
+    pub fn range(&self, center: LocalPoint, radius: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.range_into(center, radius, &mut out);
+        out
+    }
+
+    /// Like [`GridIndex::range`], appending into a caller-provided buffer to
+    /// avoid per-query allocation in hot loops. The buffer is cleared first.
+    pub fn range_into(&self, center: LocalPoint, radius: f64, out: &mut Vec<usize>) {
+        out.clear();
+        if self.points.is_empty() || radius.is_nan() || radius < 0.0 {
+            return;
+        }
+        let r_sq = radius * radius;
+        let cx_lo = (((center.x - radius - self.min_x) / self.cell_size).floor()).max(0.0) as usize;
+        let cy_lo = (((center.y - radius - self.min_y) / self.cell_size).floor()).max(0.0) as usize;
+        let cx_hi = ((((center.x + radius - self.min_x) / self.cell_size).floor()) as isize).max(0)
+            as usize;
+        let cy_hi = ((((center.y + radius - self.min_y) / self.cell_size).floor()) as isize).max(0)
+            as usize;
+        if cx_lo >= self.cols || cy_lo >= self.rows {
+            return;
+        }
+        let cx_hi = cx_hi.min(self.cols - 1);
+        let cy_hi = cy_hi.min(self.rows - 1);
+
+        for cy in cy_lo..=cy_hi {
+            for cx in cx_lo..=cx_hi {
+                let c = cy * self.cols + cx;
+                let (s, e) = (self.starts[c] as usize, self.starts[c + 1] as usize);
+                for &idx in &self.entries[s..e] {
+                    if self.points[idx as usize].distance_sq(&center) <= r_sq {
+                        out.push(idx as usize);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of points within `radius` of `center` without materializing
+    /// the index list.
+    pub fn count_in_range(&self, center: LocalPoint, radius: f64) -> usize {
+        if self.points.is_empty() || radius.is_nan() || radius < 0.0 {
+            return 0;
+        }
+        let r_sq = radius * radius;
+        let cx_lo = (((center.x - radius - self.min_x) / self.cell_size).floor()).max(0.0) as usize;
+        let cy_lo = (((center.y - radius - self.min_y) / self.cell_size).floor()).max(0.0) as usize;
+        let cx_hi = ((((center.x + radius - self.min_x) / self.cell_size).floor()) as isize).max(0)
+            as usize;
+        let cy_hi = ((((center.y + radius - self.min_y) / self.cell_size).floor()) as isize).max(0)
+            as usize;
+        if cx_lo >= self.cols || cy_lo >= self.rows {
+            return 0;
+        }
+        let cx_hi = cx_hi.min(self.cols - 1);
+        let cy_hi = cy_hi.min(self.rows - 1);
+
+        let mut n = 0;
+        for cy in cy_lo..=cy_hi {
+            for cx in cx_lo..=cx_hi {
+                let c = cy * self.cols + cx;
+                let (s, e) = (self.starts[c] as usize, self.starts[c + 1] as usize);
+                n += self.entries[s..e]
+                    .iter()
+                    .filter(|&&idx| self.points[idx as usize].distance_sq(&center) <= r_sq)
+                    .count();
+            }
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_force(points: &[LocalPoint], center: LocalPoint, radius: f64) -> Vec<usize> {
+        let r_sq = radius * radius;
+        (0..points.len())
+            .filter(|&i| points[i].distance_sq(&center) <= r_sq)
+            .collect()
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = GridIndex::build(&[], 10.0);
+        assert!(idx.is_empty());
+        assert!(idx.range(LocalPoint::ORIGIN, 100.0).is_empty());
+        assert_eq!(idx.count_in_range(LocalPoint::ORIGIN, 100.0), 0);
+    }
+
+    #[test]
+    fn single_point() {
+        let idx = GridIndex::build(&[LocalPoint::new(5.0, 5.0)], 10.0);
+        assert_eq!(idx.range(LocalPoint::new(5.0, 5.0), 0.0), vec![0]);
+        assert_eq!(idx.range(LocalPoint::new(6.0, 5.0), 1.0), vec![0]);
+        assert!(idx.range(LocalPoint::new(6.0, 5.0), 0.5).is_empty());
+    }
+
+    #[test]
+    fn matches_brute_force_on_lattice() {
+        let points: Vec<LocalPoint> = (0..20)
+            .flat_map(|x| (0..20).map(move |y| LocalPoint::new(x as f64 * 7.3, y as f64 * 4.1)))
+            .collect();
+        let idx = GridIndex::build(&points, 13.0);
+        for (cx, cy, r) in [(0.0, 0.0, 25.0), (70.0, 40.0, 11.5), (150.0, 80.0, 60.0)] {
+            let center = LocalPoint::new(cx, cy);
+            let mut got = idx.range(center, r);
+            got.sort_unstable();
+            let want = brute_force(&points, center, r);
+            assert_eq!(got, want, "query ({cx},{cy}) r={r}");
+            assert_eq!(idx.count_in_range(center, r), want.len());
+        }
+    }
+
+    #[test]
+    fn boundary_is_inclusive() {
+        let points = vec![LocalPoint::new(0.0, 0.0), LocalPoint::new(10.0, 0.0)];
+        let idx = GridIndex::build(&points, 5.0);
+        let mut got = idx.range(LocalPoint::ORIGIN, 10.0);
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1]);
+    }
+
+    #[test]
+    fn query_far_outside_extent() {
+        let points = vec![LocalPoint::new(0.0, 0.0), LocalPoint::new(1.0, 1.0)];
+        let idx = GridIndex::build(&points, 10.0);
+        assert!(idx.range(LocalPoint::new(1e6, 1e6), 5.0).is_empty());
+        assert!(idx.range(LocalPoint::new(-1e6, -1e6), 5.0).is_empty());
+        // A huge radius from far away still finds everything.
+        assert_eq!(idx.range(LocalPoint::new(-1e3, 0.0), 2e3).len(), 2);
+    }
+
+    #[test]
+    fn duplicate_points_all_returned() {
+        let p = LocalPoint::new(3.0, 3.0);
+        let idx = GridIndex::build(&[p, p, p], 10.0);
+        assert_eq!(idx.range(p, 0.1).len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_cell_size() {
+        let _ = GridIndex::build(&[LocalPoint::ORIGIN], 0.0);
+    }
+}

@@ -1,0 +1,255 @@
+//! A 2-d tree for nearest-neighbour and k-NN queries.
+
+use crate::point::LocalPoint;
+
+/// A static k-d tree (k = 2) over local points.
+///
+/// Built once, queried many times; used by the ROI baseline (nearest hot
+/// region / nearest POI annotation) and as an oracle in tests. For pure
+/// fixed-radius range search the [`GridIndex`](crate::GridIndex) is faster,
+/// but the k-d tree answers *nearest* queries, which a grid cannot do without
+/// an expanding search.
+#[derive(Debug, Clone)]
+pub struct KdTree {
+    /// Implicit tree over this permutation of input indices: the node for
+    /// slice `[lo, hi)` sits at the median position after partitioning.
+    order: Vec<u32>,
+    points: Vec<LocalPoint>,
+}
+
+impl KdTree {
+    /// Builds a tree over `points`.
+    pub fn build(points: &[LocalPoint]) -> Self {
+        let mut order: Vec<u32> = (0..points.len() as u32).collect();
+        let mut tree = Self {
+            order: Vec::new(),
+            points: points.to_vec(),
+        };
+        if !points.is_empty() {
+            Self::build_rec(&tree.points, &mut order, 0);
+        }
+        tree.order = order;
+        tree
+    }
+
+    fn build_rec(points: &[LocalPoint], idxs: &mut [u32], depth: usize) {
+        if idxs.len() <= 1 {
+            return;
+        }
+        let mid = idxs.len() / 2;
+        let axis_x = depth.is_multiple_of(2);
+        idxs.select_nth_unstable_by(mid, |&a, &b| {
+            let (pa, pb) = (points[a as usize], points[b as usize]);
+            let (ka, kb) = if axis_x { (pa.x, pb.x) } else { (pa.y, pb.y) };
+            ka.total_cmp(&kb)
+        });
+        let (lo, rest) = idxs.split_at_mut(mid);
+        Self::build_rec(points, lo, depth + 1);
+        Self::build_rec(points, &mut rest[1..], depth + 1);
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the tree holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Index and distance of the nearest stored point to `query`, or `None`
+    /// if the tree is empty.
+    pub fn nearest(&self, query: LocalPoint) -> Option<(usize, f64)> {
+        self.k_nearest(query, 1).pop()
+    }
+
+    /// The `k` nearest points to `query`, sorted by increasing distance.
+    /// Returns fewer when the tree holds fewer than `k` points.
+    pub fn k_nearest(&self, query: LocalPoint, k: usize) -> Vec<(usize, f64)> {
+        if k == 0 || self.points.is_empty() {
+            return Vec::new();
+        }
+        // Bounded max-heap of (dist_sq, idx) candidates.
+        let mut heap: Vec<(f64, u32)> = Vec::with_capacity(k + 1);
+        self.knn_rec(&self.order, 0, query, k, &mut heap);
+        heap.sort_by(|a, b| a.0.total_cmp(&b.0));
+        heap.into_iter()
+            .map(|(d_sq, i)| (i as usize, d_sq.sqrt()))
+            .collect()
+    }
+
+    fn knn_rec(
+        &self,
+        idxs: &[u32],
+        depth: usize,
+        query: LocalPoint,
+        k: usize,
+        heap: &mut Vec<(f64, u32)>,
+    ) {
+        if idxs.is_empty() {
+            return;
+        }
+        let mid = idxs.len() / 2;
+        let node = idxs[mid];
+        let p = self.points[node as usize];
+        let d_sq = p.distance_sq(&query);
+        Self::heap_push(heap, k, (d_sq, node));
+
+        let axis_x = depth.is_multiple_of(2);
+        let delta = if axis_x { query.x - p.x } else { query.y - p.y };
+        let (near, far) = if delta < 0.0 {
+            (&idxs[..mid], &idxs[mid + 1..])
+        } else {
+            (&idxs[mid + 1..], &idxs[..mid])
+        };
+        self.knn_rec(near, depth + 1, query, k, heap);
+        // Only descend into the far side if the splitting plane is closer
+        // than the current k-th best distance.
+        let worst = heap.last().map_or(f64::INFINITY, |&(d, _)| d);
+        if heap.len() < k || delta * delta <= worst {
+            self.knn_rec(far, depth + 1, query, k, heap);
+        }
+    }
+
+    /// Push into a small sorted vec acting as a bounded max-heap.
+    fn heap_push(heap: &mut Vec<(f64, u32)>, k: usize, item: (f64, u32)) {
+        let pos = heap.partition_point(|&(d, _)| d <= item.0);
+        heap.insert(pos, item);
+        if heap.len() > k {
+            heap.pop();
+        }
+    }
+
+    /// Indices of all points within `radius` of `query` (inclusive).
+    pub fn range(&self, query: LocalPoint, radius: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        if radius.is_nan() || radius < 0.0 {
+            return out;
+        }
+        self.range_rec(&self.order, 0, query, radius * radius, radius, &mut out);
+        out
+    }
+
+    fn range_rec(
+        &self,
+        idxs: &[u32],
+        depth: usize,
+        query: LocalPoint,
+        r_sq: f64,
+        r: f64,
+        out: &mut Vec<usize>,
+    ) {
+        if idxs.is_empty() {
+            return;
+        }
+        let mid = idxs.len() / 2;
+        let node = idxs[mid];
+        let p = self.points[node as usize];
+        if p.distance_sq(&query) <= r_sq {
+            out.push(node as usize);
+        }
+        let axis_x = depth.is_multiple_of(2);
+        let delta = if axis_x { query.x - p.x } else { query.y - p.y };
+        if delta - r <= 0.0 {
+            self.range_rec(&idxs[..mid], depth + 1, query, r_sq, r, out);
+        }
+        if delta + r >= 0.0 {
+            self.range_rec(&idxs[mid + 1..], depth + 1, query, r_sq, r, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_knn(points: &[LocalPoint], q: LocalPoint, k: usize) -> Vec<(usize, f64)> {
+        let mut all: Vec<(usize, f64)> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i, p.distance(&q)))
+            .collect();
+        all.sort_by(|a, b| a.1.total_cmp(&b.1));
+        all.truncate(k);
+        all
+    }
+
+    fn lattice() -> Vec<LocalPoint> {
+        (0..15)
+            .flat_map(|x| (0..15).map(move |y| LocalPoint::new(x as f64 * 9.7, y as f64 * 6.3)))
+            .collect()
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = KdTree::build(&[]);
+        assert!(t.is_empty());
+        assert!(t.nearest(LocalPoint::ORIGIN).is_none());
+        assert!(t.k_nearest(LocalPoint::ORIGIN, 3).is_empty());
+        assert!(t.range(LocalPoint::ORIGIN, 10.0).is_empty());
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let pts = lattice();
+        let t = KdTree::build(&pts);
+        for q in [
+            LocalPoint::new(1.0, 1.0),
+            LocalPoint::new(70.0, 44.0),
+            LocalPoint::new(-20.0, 200.0),
+        ] {
+            let (gi, gd) = t.nearest(q).unwrap();
+            let (bi, bd) = brute_knn(&pts, q, 1)[0];
+            assert!((gd - bd).abs() < 1e-9);
+            // Ties can legally resolve to different indices; compare distance.
+            assert!((pts[gi].distance(&q) - pts[bi].distance(&q)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn knn_distances_match_brute_force() {
+        let pts = lattice();
+        let t = KdTree::build(&pts);
+        let q = LocalPoint::new(33.3, 21.7);
+        for k in [1, 5, 17, 300] {
+            let got = t.k_nearest(q, k);
+            let want = brute_knn(&pts, q, k);
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g.1 - w.1).abs() < 1e-9, "k={k}: {} vs {}", g.1, w.1);
+            }
+            // Sorted by distance.
+            for pair in got.windows(2) {
+                assert!(pair[0].1 <= pair[1].1);
+            }
+        }
+    }
+
+    #[test]
+    fn range_matches_brute_force() {
+        let pts = lattice();
+        let t = KdTree::build(&pts);
+        let q = LocalPoint::new(50.0, 50.0);
+        let mut got = t.range(q, 30.0);
+        got.sort_unstable();
+        let want: Vec<usize> = (0..pts.len())
+            .filter(|&i| pts[i].distance(&q) <= 30.0)
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn k_zero_returns_empty() {
+        let t = KdTree::build(&[LocalPoint::ORIGIN]);
+        assert!(t.k_nearest(LocalPoint::ORIGIN, 0).is_empty());
+    }
+
+    #[test]
+    fn duplicate_points_counted_individually() {
+        let p = LocalPoint::new(1.0, 2.0);
+        let t = KdTree::build(&[p, p, LocalPoint::new(100.0, 100.0)]);
+        assert_eq!(t.k_nearest(p, 2).len(), 2);
+        assert_eq!(t.range(p, 0.1).len(), 2);
+    }
+}

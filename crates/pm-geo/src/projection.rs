@@ -1,0 +1,118 @@
+//! Equirectangular projection between geodetic and local meter coordinates.
+
+use crate::geodesy::EARTH_RADIUS_M;
+use crate::point::{GeoPoint, LocalPoint};
+
+/// A local tangent-plane projection anchored at a city reference point.
+///
+/// The projection is equirectangular: meters east scale with the cosine of
+/// the reference latitude. At city scale (tens of kilometers) the distortion
+/// versus true geodesics is far below GPS noise (< 0.1% at 50 km from the
+/// anchor), which is why this is the standard frame for urban trajectory
+/// mining.
+#[derive(Clone, Copy, Debug)]
+pub struct Projection {
+    origin: GeoPoint,
+    /// Meters per degree of longitude at the reference latitude.
+    m_per_deg_lon: f64,
+    /// Meters per degree of latitude.
+    m_per_deg_lat: f64,
+}
+
+impl Projection {
+    /// Creates a projection anchored at `origin`.
+    ///
+    /// # Panics
+    /// Panics if `origin` is not a valid WGS-84 coordinate or sits at a pole
+    /// (where east-west scale degenerates).
+    pub fn new(origin: GeoPoint) -> Self {
+        assert!(
+            origin.is_valid(),
+            "projection origin must be valid: {origin}"
+        );
+        assert!(
+            origin.lat.abs() < 89.0,
+            "projection origin too close to a pole: {origin}"
+        );
+        let m_per_deg = EARTH_RADIUS_M * std::f64::consts::PI / 180.0;
+        Self {
+            origin,
+            m_per_deg_lon: m_per_deg * origin.lat.to_radians().cos(),
+            m_per_deg_lat: m_per_deg,
+        }
+    }
+
+    /// The geodetic anchor this projection is centred on.
+    pub fn origin(&self) -> GeoPoint {
+        self.origin
+    }
+
+    /// Projects a geodetic point into the local meter frame.
+    pub fn to_local(&self, p: GeoPoint) -> LocalPoint {
+        LocalPoint::new(
+            (p.lon - self.origin.lon) * self.m_per_deg_lon,
+            (p.lat - self.origin.lat) * self.m_per_deg_lat,
+        )
+    }
+
+    /// Inverse projection from the local frame back to geodetic coordinates.
+    pub fn to_geo(&self, p: LocalPoint) -> GeoPoint {
+        GeoPoint::new(
+            self.origin.lon + p.x / self.m_per_deg_lon,
+            self.origin.lat + p.y / self.m_per_deg_lat,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geodesy::haversine_m;
+
+    const SHANGHAI: GeoPoint = GeoPoint::new(121.4737, 31.2304);
+
+    #[test]
+    fn roundtrip_is_exact_at_origin() {
+        let proj = Projection::new(SHANGHAI);
+        let local = proj.to_local(SHANGHAI);
+        assert!(local.distance(&LocalPoint::ORIGIN) < 1e-9);
+        let back = proj.to_geo(local);
+        assert!((back.lon - SHANGHAI.lon).abs() < 1e-12);
+        assert!((back.lat - SHANGHAI.lat).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roundtrip_recovers_arbitrary_point() {
+        let proj = Projection::new(SHANGHAI);
+        let p = GeoPoint::new(121.60, 31.10);
+        let back = proj.to_geo(proj.to_local(p));
+        assert!((back.lon - p.lon).abs() < 1e-10);
+        assert!((back.lat - p.lat).abs() < 1e-10);
+    }
+
+    #[test]
+    fn local_distance_matches_haversine_at_city_scale() {
+        let proj = Projection::new(SHANGHAI);
+        let a = GeoPoint::new(121.48, 31.24);
+        let b = GeoPoint::new(121.52, 31.20);
+        let planar = proj.to_local(a).distance(&proj.to_local(b));
+        let sphere = haversine_m(a, b);
+        let rel_err = (planar - sphere).abs() / sphere;
+        assert!(rel_err < 1e-3, "relative error {rel_err}");
+    }
+
+    #[test]
+    fn east_is_positive_x_north_is_positive_y() {
+        let proj = Projection::new(SHANGHAI);
+        let east = proj.to_local(GeoPoint::new(SHANGHAI.lon + 0.01, SHANGHAI.lat));
+        let north = proj.to_local(GeoPoint::new(SHANGHAI.lon, SHANGHAI.lat + 0.01));
+        assert!(east.x > 0.0 && east.y.abs() < 1e-9);
+        assert!(north.y > 0.0 && north.x.abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "pole")]
+    fn rejects_polar_origin() {
+        let _ = Projection::new(GeoPoint::new(0.0, 89.5));
+    }
+}

@@ -1,0 +1,229 @@
+//! A static STR-packed R-tree over local points.
+//!
+//! The grid index wins for fixed-radius disks over uniformly dense data;
+//! the R-tree complements it for rectangle queries and for point sets with
+//! wildly varying density (a city's venue blobs + empty periphery), where a
+//! uniform grid wastes cells. Built once by Sort-Tile-Recursive packing;
+//! immutable thereafter.
+
+use crate::bbox::BoundingBox;
+use crate::point::LocalPoint;
+
+/// Maximum entries per node.
+const NODE_CAPACITY: usize = 16;
+
+#[derive(Debug, Clone)]
+struct Node {
+    bbox: BoundingBox,
+    /// Children: `Leaf` holds point indices, `Inner` holds node indices.
+    children: Children,
+}
+
+#[derive(Debug, Clone)]
+enum Children {
+    Leaf(Vec<u32>),
+    Inner(Vec<u32>),
+}
+
+/// A static R-tree packed with the Sort-Tile-Recursive algorithm.
+#[derive(Debug, Clone)]
+pub struct RTree {
+    nodes: Vec<Node>,
+    root: Option<u32>,
+    points: Vec<LocalPoint>,
+}
+
+impl RTree {
+    /// Builds the tree over `points`.
+    pub fn build(points: &[LocalPoint]) -> RTree {
+        let mut tree = RTree {
+            nodes: Vec::new(),
+            root: None,
+            points: points.to_vec(),
+        };
+        if points.is_empty() {
+            return tree;
+        }
+
+        // Leaf level: STR packing. Sort by x, slice into vertical strips of
+        // ~sqrt(n/capacity) tiles, sort each strip by y, chunk into leaves.
+        let n = points.len();
+        let n_leaves = n.div_ceil(NODE_CAPACITY);
+        let n_strips = (n_leaves as f64).sqrt().ceil() as usize;
+        let strip_size = n.div_ceil(n_strips);
+
+        let mut idxs: Vec<u32> = (0..n as u32).collect();
+        idxs.sort_by(|&a, &b| points[a as usize].x.total_cmp(&points[b as usize].x));
+
+        let mut level: Vec<u32> = Vec::new(); // node ids of current level
+        for strip in idxs.chunks(strip_size) {
+            let mut strip = strip.to_vec();
+            strip.sort_by(|&a, &b| points[a as usize].y.total_cmp(&points[b as usize].y));
+            for leaf in strip.chunks(NODE_CAPACITY) {
+                let pts: Vec<LocalPoint> = leaf.iter().map(|&i| points[i as usize]).collect();
+                let bbox = BoundingBox::enclosing(&pts).expect("non-empty leaf");
+                tree.nodes.push(Node {
+                    bbox,
+                    children: Children::Leaf(leaf.to_vec()),
+                });
+                level.push(tree.nodes.len() as u32 - 1);
+            }
+        }
+
+        // Pack upper levels until a single root remains.
+        while level.len() > 1 {
+            let mut next = Vec::new();
+            for group in level.chunks(NODE_CAPACITY) {
+                let mut bbox = tree.nodes[group[0] as usize].bbox;
+                for &nid in &group[1..] {
+                    let b = tree.nodes[nid as usize].bbox;
+                    bbox.expand(b.min);
+                    bbox.expand(b.max);
+                }
+                tree.nodes.push(Node {
+                    bbox,
+                    children: Children::Inner(group.to_vec()),
+                });
+                next.push(tree.nodes.len() as u32 - 1);
+            }
+            level = next;
+        }
+        tree.root = Some(level[0]);
+        tree
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the tree holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Indices of all points inside `query` (boundary inclusive).
+    pub fn query_rect(&self, query: &BoundingBox) -> Vec<usize> {
+        let mut out = Vec::new();
+        if let Some(root) = self.root {
+            self.query_rec(root, query, &mut out);
+        }
+        out
+    }
+
+    fn query_rec(&self, node: u32, query: &BoundingBox, out: &mut Vec<usize>) {
+        let node = &self.nodes[node as usize];
+        if !node.bbox.intersects(query) {
+            return;
+        }
+        match &node.children {
+            Children::Leaf(pts) => {
+                for &i in pts {
+                    if query.contains(self.points[i as usize]) {
+                        out.push(i as usize);
+                    }
+                }
+            }
+            Children::Inner(kids) => {
+                for &k in kids {
+                    self.query_rec(k, query, out);
+                }
+            }
+        }
+    }
+
+    /// Indices of all points within `radius` of `center` (inclusive) —
+    /// rectangle pre-filter plus an exact distance check.
+    pub fn query_circle(&self, center: LocalPoint, radius: f64) -> Vec<usize> {
+        if radius.is_nan() || radius < 0.0 {
+            return Vec::new();
+        }
+        let rect = BoundingBox::new(
+            LocalPoint::new(center.x - radius, center.y - radius),
+            LocalPoint::new(center.x + radius, center.y + radius),
+        );
+        let r_sq = radius * radius;
+        self.query_rect(&rect)
+            .into_iter()
+            .filter(|&i| self.points[i].distance_sq(&center) <= r_sq)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lattice(n: usize) -> Vec<LocalPoint> {
+        (0..n)
+            .map(|i| LocalPoint::new((i % 17) as f64 * 13.0, (i / 17) as f64 * 7.0))
+            .collect()
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = RTree::build(&[]);
+        assert!(t.is_empty());
+        let bb = BoundingBox::new(LocalPoint::new(-1.0, -1.0), LocalPoint::new(1.0, 1.0));
+        assert!(t.query_rect(&bb).is_empty());
+        assert!(t.query_circle(LocalPoint::ORIGIN, 100.0).is_empty());
+    }
+
+    #[test]
+    fn rect_query_matches_brute_force() {
+        let pts = lattice(300);
+        let t = RTree::build(&pts);
+        for (ax, ay, bx, by) in [
+            (0.0, 0.0, 50.0, 30.0),
+            (-10.0, -10.0, 500.0, 500.0),
+            (100.0, 40.0, 130.0, 60.0),
+        ] {
+            let bb = BoundingBox::new(LocalPoint::new(ax, ay), LocalPoint::new(bx, by));
+            let mut got = t.query_rect(&bb);
+            got.sort_unstable();
+            let want: Vec<usize> = (0..pts.len()).filter(|&i| bb.contains(pts[i])).collect();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn circle_query_matches_brute_force() {
+        let pts = lattice(250);
+        let t = RTree::build(&pts);
+        let c = LocalPoint::new(60.0, 40.0);
+        for r in [0.0, 10.0, 55.5, 400.0] {
+            let mut got = t.query_circle(c, r);
+            got.sort_unstable();
+            let want: Vec<usize> = (0..pts.len())
+                .filter(|&i| pts[i].distance(&c) <= r)
+                .collect();
+            assert_eq!(got, want, "radius {r}");
+        }
+    }
+
+    #[test]
+    fn single_point_and_duplicates() {
+        let p = LocalPoint::new(3.0, 4.0);
+        let t = RTree::build(&[p, p, p]);
+        assert_eq!(t.query_circle(p, 0.0).len(), 3);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn disjoint_query_returns_nothing() {
+        let t = RTree::build(&lattice(100));
+        let far = BoundingBox::new(LocalPoint::new(1e6, 1e6), LocalPoint::new(2e6, 2e6));
+        assert!(t.query_rect(&far).is_empty());
+    }
+
+    #[test]
+    fn handles_skewed_density() {
+        // Dense blob + far-away outliers: tree must stay correct.
+        let mut pts = lattice(200);
+        pts.push(LocalPoint::new(1e5, 1e5));
+        pts.push(LocalPoint::new(-1e5, 3.0));
+        let t = RTree::build(&pts);
+        let got = t.query_circle(LocalPoint::new(1e5, 1e5), 1.0);
+        assert_eq!(got, vec![200]);
+    }
+}

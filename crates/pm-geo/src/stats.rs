@@ -1,0 +1,170 @@
+//! Spatial statistics used across the pipeline: centroid, variance (paper
+//! Eq. 1), group density `Den(S)` (Definition 11) and mean pairwise distance
+//! (spatial sparsity, Eq. 9).
+
+use crate::point::LocalPoint;
+
+/// Arithmetic centroid of a point set, or `None` for an empty slice.
+pub fn centroid(points: &[LocalPoint]) -> Option<LocalPoint> {
+    if points.is_empty() {
+        return None;
+    }
+    let sum = points.iter().fold(LocalPoint::ORIGIN, |acc, p| acc + *p);
+    Some(sum / points.len() as f64)
+}
+
+/// Spatial variance of a point set per the paper's Eq. 1:
+///
+/// `Var(S) = sum_i ((x_i - x_c)^2 + (y_i - y_c)^2) / (|S| - 1)`
+///
+/// in square meters. Sets with fewer than two points have zero variance by
+/// convention (the paper's formula is undefined there; a singleton is
+/// maximally concentrated).
+pub fn spatial_variance(points: &[LocalPoint]) -> f64 {
+    if points.len() < 2 {
+        return 0.0;
+    }
+    let c = centroid(points).expect("non-empty by the guard above");
+    let ss: f64 = points.iter().map(|p| p.distance_sq(&c)).sum();
+    ss / (points.len() - 1) as f64
+}
+
+/// Group density `Den(S)` in points per square meter (Definition 11).
+///
+/// The paper leaves `Den` unspecified; we define it as the point count over
+/// the variance-equivalent disk area:
+///
+/// `Den(S) = |S| / (pi * Var(S))`
+///
+/// which makes the paper's default threshold `rho = 0.002 m^-2` correspond to
+/// a ~90 m RMS group radius at the default support `sigma = 50` — consistent
+/// with the 0–100 m sparsity axis of Fig. 9. Degenerate sets (fewer than two
+/// points, or all points coincident) are reported as infinitely dense so they
+/// always pass a density gate.
+pub fn den(points: &[LocalPoint]) -> f64 {
+    let var = spatial_variance(points);
+    if var <= f64::EPSILON {
+        return f64::INFINITY;
+    }
+    points.len() as f64 / (std::f64::consts::PI * var)
+}
+
+/// Mean pairwise Euclidean distance of a point set, in meters — the
+/// `ss(Group(sp_k))` of Eq. 9. Returns 0 for sets with fewer than two points.
+pub fn mean_pairwise_distance(points: &[LocalPoint]) -> f64 {
+    let n = points.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for i in 0..n - 1 {
+        for j in i + 1..n {
+            total += points[i].distance(&points[j]);
+        }
+    }
+    total * 2.0 / (n * (n - 1)) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn centroid_of_empty_is_none() {
+        assert!(centroid(&[]).is_none());
+    }
+
+    #[test]
+    fn centroid_of_symmetric_square() {
+        let pts = vec![
+            LocalPoint::new(0.0, 0.0),
+            LocalPoint::new(2.0, 0.0),
+            LocalPoint::new(0.0, 2.0),
+            LocalPoint::new(2.0, 2.0),
+        ];
+        assert_eq!(centroid(&pts).unwrap(), LocalPoint::new(1.0, 1.0));
+    }
+
+    #[test]
+    fn variance_of_singleton_is_zero() {
+        assert_eq!(spatial_variance(&[LocalPoint::new(5.0, 5.0)]), 0.0);
+        assert_eq!(spatial_variance(&[]), 0.0);
+    }
+
+    #[test]
+    fn variance_matches_hand_computation() {
+        // Two points 10m apart: centroid in the middle, each contributes 25,
+        // divided by (n-1)=1 => 50.
+        let pts = vec![LocalPoint::new(0.0, 0.0), LocalPoint::new(10.0, 0.0)];
+        assert!((spatial_variance(&pts) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn variance_is_translation_invariant() {
+        let pts = vec![
+            LocalPoint::new(0.0, 0.0),
+            LocalPoint::new(3.0, 1.0),
+            LocalPoint::new(-2.0, 4.0),
+        ];
+        let shifted: Vec<LocalPoint> = pts
+            .iter()
+            .map(|p| *p + LocalPoint::new(1e4, -5e3))
+            .collect();
+        assert!((spatial_variance(&pts) - spatial_variance(&shifted)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn den_of_coincident_points_is_infinite() {
+        let p = LocalPoint::new(1.0, 1.0);
+        assert_eq!(den(&[p, p, p]), f64::INFINITY);
+        assert_eq!(den(&[p]), f64::INFINITY);
+    }
+
+    #[test]
+    fn den_decreases_as_points_spread() {
+        let tight: Vec<LocalPoint> = (0..10).map(|i| LocalPoint::new(i as f64, 0.0)).collect();
+        let loose: Vec<LocalPoint> = (0..10)
+            .map(|i| LocalPoint::new(i as f64 * 10.0, 0.0))
+            .collect();
+        assert!(den(&tight) > den(&loose));
+    }
+
+    #[test]
+    fn den_paper_scale_sanity() {
+        // 50 points uniform on a ~90m-RMS blob should sit near the paper's
+        // rho = 0.002 default. Construct a ring of radius 89m: Var ~ 89^2.
+        let n = 50;
+        let pts: Vec<LocalPoint> = (0..n)
+            .map(|i| {
+                let a = i as f64 / n as f64 * std::f64::consts::TAU;
+                LocalPoint::new(89.0 * a.cos(), 89.0 * a.sin())
+            })
+            .collect();
+        let d = den(&pts);
+        assert!((0.001..0.004).contains(&d), "got {d}");
+    }
+
+    #[test]
+    fn mean_pairwise_distance_pair() {
+        let pts = vec![LocalPoint::new(0.0, 0.0), LocalPoint::new(7.0, 0.0)];
+        assert!((mean_pairwise_distance(&pts) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_pairwise_distance_triangle() {
+        // Equilateral triangle with side 2: mean pairwise distance is 2.
+        let h = 3.0_f64.sqrt();
+        let pts = vec![
+            LocalPoint::new(0.0, 0.0),
+            LocalPoint::new(2.0, 0.0),
+            LocalPoint::new(1.0, h),
+        ];
+        assert!((mean_pairwise_distance(&pts) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_pairwise_distance_degenerate() {
+        assert_eq!(mean_pairwise_distance(&[]), 0.0);
+        assert_eq!(mean_pairwise_distance(&[LocalPoint::ORIGIN]), 0.0);
+    }
+}

@@ -1,0 +1,96 @@
+//! A minimal CSV layer: comma-separated, no quoting (the pipeline's fields
+//! are numeric or controlled identifiers), header-aware, line-exact errors.
+
+use crate::error::IoError;
+
+/// Splits one CSV line into trimmed fields.
+pub(crate) fn fields(line: &str) -> Vec<&str> {
+    line.split(',').map(str::trim).collect()
+}
+
+/// Parses a float field with a line-exact error.
+pub(crate) fn parse_f64(field: &str, line: usize, name: &str) -> Result<f64, IoError> {
+    field
+        .parse::<f64>()
+        .map_err(|_| IoError::parse(line, format!("bad {name}: '{field}'")))
+        .and_then(|v| {
+            if v.is_finite() {
+                Ok(v)
+            } else {
+                Err(IoError::parse(
+                    line,
+                    format!("non-finite {name}: '{field}'"),
+                ))
+            }
+        })
+}
+
+/// Parses an integer field with a line-exact error.
+pub(crate) fn parse_i64(field: &str, line: usize, name: &str) -> Result<i64, IoError> {
+    field
+        .parse::<i64>()
+        .map_err(|_| IoError::parse(line, format!("bad {name}: '{field}'")))
+}
+
+/// Parses an unsigned field with a line-exact error.
+pub(crate) fn parse_u64(field: &str, line: usize, name: &str) -> Result<u64, IoError> {
+    field
+        .parse::<u64>()
+        .map_err(|_| IoError::parse(line, format!("bad {name}: '{field}'")))
+}
+
+/// Iterates non-empty data lines of a CSV body, skipping the header when
+/// its first field matches `header_first` case-insensitively. Yields
+/// `(line_number, line)` with 1-based numbering including the header.
+pub(crate) fn data_lines<'a>(
+    text: &'a str,
+    header_first: &'a str,
+) -> impl Iterator<Item = (usize, &'a str)> + 'a {
+    text.lines().enumerate().filter_map(move |(i, line)| {
+        let line_no = i + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            return None;
+        }
+        if i == 0 {
+            let first = fields(trimmed).first().map(|f| f.to_ascii_lowercase());
+            if first.as_deref() == Some(header_first) {
+                return None;
+            }
+        }
+        Some((line_no, trimmed))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_splitting_trims() {
+        assert_eq!(fields(" a , b,c "), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn numeric_parsing_errors_carry_line_numbers() {
+        assert!(parse_f64("1.5", 1, "lon").is_ok());
+        let e = parse_f64("abc", 7, "lon").unwrap_err();
+        assert!(e.to_string().contains("line 7"));
+        let e = parse_f64("NaN", 2, "lat").unwrap_err();
+        assert!(e.to_string().contains("non-finite"));
+        assert!(parse_i64("-3", 1, "t").is_ok());
+        assert!(parse_u64("-3", 1, "card").is_err());
+    }
+
+    #[test]
+    fn header_skipping() {
+        let text = "id,lon,lat\n1,2,3\n\n2,3,4\n";
+        let rows: Vec<_> = data_lines(text, "id").collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], (2, "1,2,3"));
+        assert_eq!(rows[1], (4, "2,3,4"));
+        // No header: first line is data.
+        let rows: Vec<_> = data_lines("5,6,7\n", "id").collect();
+        assert_eq!(rows, vec![(1, "5,6,7")]);
+    }
+}

@@ -1,0 +1,64 @@
+//! Error type for the ingestion layer.
+
+use std::fmt;
+
+/// An error reading or writing pipeline data.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed record: line number (1-based, header included) and
+    /// explanation.
+    Parse {
+        /// 1-based line number in the input.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl IoError {
+    pub(crate) fn parse(line: usize, message: impl Into<String>) -> IoError {
+        IoError::Parse {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            IoError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = IoError::parse(3, "bad longitude");
+        assert_eq!(e.to_string(), "line 3: bad longitude");
+        let io: IoError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(io.to_string().contains("gone"));
+    }
+}

@@ -1,0 +1,24 @@
+//! Data ingestion and serialization for the Pervasive Miner stack.
+//!
+//! Real deployments feed the pipeline from a POI table and a taxi journey
+//! log. This crate reads and writes both as plain CSV (no external parser
+//! dependencies), converting between WGS-84 coordinates and the pipeline's
+//! local meter frame through a [`Projection`](pm_geo::Projection):
+//!
+//! - POIs: `id,lon,lat,category[,minor]` — [`read_pois`] / [`write_pois`].
+//! - Journeys: `pickup_lon,pickup_lat,pickup_t,dropoff_lon,dropoff_lat,
+//!   dropoff_t[,card]` — [`read_journeys`] / [`write_journeys`], with
+//!   [`journeys_to_trajectories`] performing the §5 linking (carded
+//!   passengers' same-day journeys chain into multi-stay trajectories).
+//!
+//! Category names accept both the Table 3 display names ("Shop & Market")
+//! and compact snake-case aliases ("shop").
+
+pub mod csv;
+pub mod error;
+pub mod journeys;
+pub mod pois;
+
+pub use error::IoError;
+pub use journeys::{journeys_to_trajectories, read_journeys, write_journeys, JourneyRecord};
+pub use pois::{parse_category, read_pois, write_pois};

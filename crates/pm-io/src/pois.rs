@@ -1,0 +1,218 @@
+//! POI table I/O: `id,lon,lat,category[,minor]`.
+
+use crate::csv::{data_lines, fields, parse_f64, parse_u64};
+use crate::error::IoError;
+use pm_core::types::{Category, Poi};
+use pm_geo::{GeoPoint, Projection};
+use std::fmt::Write as _;
+
+/// Parses a category from a Table 3 display name ("Shop & Market") or a
+/// compact snake-case alias ("shop", "traffic_station").
+pub fn parse_category(text: &str) -> Option<Category> {
+    let needle = text.trim().to_ascii_lowercase();
+    // Display names first.
+    for c in Category::ALL {
+        if c.name().to_ascii_lowercase() == needle {
+            return Some(c);
+        }
+    }
+    match needle.as_str() {
+        "residence" | "home" => Some(Category::Residence),
+        "shop" | "market" | "supermarket" => Some(Category::Shop),
+        "business" | "office" => Some(Category::Business),
+        "restaurant" | "food" => Some(Category::Restaurant),
+        "entertainment" => Some(Category::Entertainment),
+        "public_service" | "public" => Some(Category::PublicService),
+        "traffic_station" | "traffic" | "station" | "airport" => Some(Category::TrafficStation),
+        "education" | "technology" | "school" => Some(Category::Education),
+        "sports" | "sport" => Some(Category::Sports),
+        "government" => Some(Category::Government),
+        "industry" | "industrial" => Some(Category::Industry),
+        "financial" | "finance" | "bank" => Some(Category::Financial),
+        "medical" | "hospital" => Some(Category::Medical),
+        "hotel" | "accommodation" => Some(Category::Hotel),
+        "tourism" | "attraction" => Some(Category::Tourism),
+        _ => None,
+    }
+}
+
+/// Compact identifier used when writing.
+fn category_slug(c: Category) -> &'static str {
+    match c {
+        Category::Residence => "residence",
+        Category::Shop => "shop",
+        Category::Business => "business",
+        Category::Restaurant => "restaurant",
+        Category::Entertainment => "entertainment",
+        Category::PublicService => "public_service",
+        Category::TrafficStation => "traffic_station",
+        Category::Education => "education",
+        Category::Sports => "sports",
+        Category::Government => "government",
+        Category::Industry => "industry",
+        Category::Financial => "financial",
+        Category::Medical => "medical",
+        Category::Hotel => "hotel",
+        Category::Tourism => "tourism",
+    }
+}
+
+/// Reads a POI table from CSV text. Columns: `id,lon,lat,category[,minor]`;
+/// a header starting with `id` is skipped; positions are projected into the
+/// local frame.
+pub fn read_pois(text: &str, projection: &Projection) -> Result<Vec<Poi>, IoError> {
+    let mut out = Vec::new();
+    for (line_no, line) in data_lines(text, "id") {
+        let f = fields(line);
+        if f.len() < 4 {
+            return Err(IoError::parse(
+                line_no,
+                format!("expected >= 4 fields, got {}", f.len()),
+            ));
+        }
+        let id = parse_u64(f[0], line_no, "id")?;
+        let lon = parse_f64(f[1], line_no, "lon")?;
+        let lat = parse_f64(f[2], line_no, "lat")?;
+        let geo = GeoPoint::new(lon, lat);
+        if !geo.is_valid() {
+            return Err(IoError::parse(
+                line_no,
+                format!("invalid coordinate ({lon}, {lat})"),
+            ));
+        }
+        let category = parse_category(f[3])
+            .ok_or_else(|| IoError::parse(line_no, format!("unknown category '{}'", f[3])))?;
+        let minor = if f.len() > 4 && !f[4].is_empty() {
+            let m = parse_u64(f[4], line_no, "minor")? as u8;
+            if m >= category.minor_count() {
+                return Err(IoError::parse(
+                    line_no,
+                    format!(
+                        "minor {m} out of range for {category} (< {})",
+                        category.minor_count()
+                    ),
+                ));
+            }
+            m
+        } else {
+            0
+        };
+        out.push(Poi {
+            id,
+            pos: projection.to_local(geo),
+            category,
+            minor,
+        });
+    }
+    Ok(out)
+}
+
+/// Writes a POI table as CSV text (with header), projecting back to WGS-84.
+pub fn write_pois(pois: &[Poi], projection: &Projection) -> String {
+    let mut out = String::from("id,lon,lat,category,minor\n");
+    for p in pois {
+        let geo = projection.to_geo(p.pos);
+        let _ = writeln!(
+            out,
+            "{},{:.7},{:.7},{},{}",
+            p.id,
+            geo.lon,
+            geo.lat,
+            category_slug(p.category),
+            p.minor
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_geo::LocalPoint;
+
+    fn proj() -> Projection {
+        Projection::new(GeoPoint::new(121.4737, 31.2304))
+    }
+
+    #[test]
+    fn category_parsing_accepts_names_and_slugs() {
+        assert_eq!(parse_category("Shop & Market"), Some(Category::Shop));
+        assert_eq!(parse_category("shop"), Some(Category::Shop));
+        assert_eq!(parse_category("  HOSPITAL "), Some(Category::Medical));
+        assert_eq!(
+            parse_category("Traffic Stations"),
+            Some(Category::TrafficStation)
+        );
+        assert_eq!(parse_category("nonsense"), None);
+    }
+
+    #[test]
+    fn roundtrip_preserves_pois() {
+        let pois = vec![
+            Poi {
+                id: 1,
+                pos: LocalPoint::new(100.0, -50.0),
+                category: Category::Shop,
+                minor: 3,
+            },
+            Poi {
+                id: 2,
+                pos: LocalPoint::new(-2_000.0, 900.0),
+                category: Category::Medical,
+                minor: 0,
+            },
+        ];
+        let text = write_pois(&pois, &proj());
+        let back = read_pois(&text, &proj()).unwrap();
+        assert_eq!(back.len(), 2);
+        for (a, b) in pois.iter().zip(&back) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.category, b.category);
+            assert_eq!(a.minor, b.minor);
+            assert!(
+                a.pos.distance(&b.pos) < 0.05,
+                "roundtrip moved {:.3} m",
+                a.pos.distance(&b.pos)
+            );
+        }
+    }
+
+    #[test]
+    fn parse_errors_are_line_exact() {
+        let text = "id,lon,lat,category\n1,121.5,31.2,shop\n2,oops,31.2,shop\n";
+        let err = read_pois(text, &proj()).unwrap_err();
+        assert!(err.to_string().contains("line 3"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_categories_and_coordinates() {
+        let bad_cat = "1,121.5,31.2,palace\n";
+        assert!(read_pois(bad_cat, &proj())
+            .unwrap_err()
+            .to_string()
+            .contains("category"));
+        let bad_coord = "1,200.0,31.2,shop\n";
+        assert!(read_pois(bad_coord, &proj())
+            .unwrap_err()
+            .to_string()
+            .contains("invalid"));
+        let short = "1,121.5,31.2\n";
+        assert!(read_pois(short, &proj())
+            .unwrap_err()
+            .to_string()
+            .contains("fields"));
+        let bad_minor = "1,121.5,31.2,tourism,99\n";
+        assert!(read_pois(bad_minor, &proj())
+            .unwrap_err()
+            .to_string()
+            .contains("minor"));
+    }
+
+    #[test]
+    fn empty_input_gives_empty_table() {
+        assert!(read_pois("", &proj()).unwrap().is_empty());
+        assert!(read_pois("id,lon,lat,category\n", &proj())
+            .unwrap()
+            .is_empty());
+    }
+}

@@ -1,0 +1,109 @@
+//! Round-trip and end-to-end tests: the synthetic corpus serialized to CSV,
+//! read back, and mined — proving the ingestion path carries everything the
+//! pipeline needs.
+
+use pm_core::prelude::*;
+use pm_core::recognize::stay_points_of;
+use pm_geo::{GeoPoint, Projection};
+use pm_io::{
+    journeys_to_trajectories, read_journeys, read_pois, write_journeys, write_pois, JourneyRecord,
+};
+use pm_synth::{CityConfig, CityModel, TaxiCorpus};
+use proptest::prelude::*;
+
+fn proj() -> Projection {
+    Projection::new(GeoPoint::new(121.4737, 31.2304))
+}
+
+#[test]
+fn synthetic_corpus_roundtrips_and_mines() {
+    let cfg = CityConfig::tiny(99);
+    let city = CityModel::generate(&cfg);
+    let pois = pm_synth::poi::generate_pois(&city);
+    let corpus = TaxiCorpus::generate(&city);
+
+    // Serialize through CSV and back.
+    let poi_text = write_pois(&pois, &proj());
+    let pois_back = read_pois(&poi_text, &proj()).unwrap();
+    assert_eq!(pois.len(), pois_back.len());
+
+    let records: Vec<JourneyRecord> = corpus
+        .journeys
+        .iter()
+        .map(|j| JourneyRecord {
+            pickup: j.pickup,
+            dropoff: j.dropoff,
+            card: j.passenger,
+        })
+        .collect();
+    let journey_text = write_journeys(&records, &proj());
+    let records_back = read_journeys(&journey_text, &proj()).unwrap();
+    assert_eq!(records.len(), records_back.len());
+
+    // Link and mine from the deserialized data.
+    let trajectories = journeys_to_trajectories(&records_back);
+    assert_eq!(trajectories.len(), corpus.semantic_trajectories().len());
+
+    let params = MinerParams {
+        sigma: 20,
+        ..MinerParams::default()
+    };
+    let stays = stay_points_of(&trajectories);
+    let csd = CitySemanticDiagram::build(&pois_back, &stays, &params);
+    let recognized = recognize_all(&csd, trajectories, &params);
+    let patterns = extract_patterns(&recognized, &params);
+    assert!(
+        !patterns.is_empty(),
+        "CSV-ingested corpus must still mine patterns"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// POI positions survive a CSV round trip to sub-decimeter precision.
+    #[test]
+    fn poi_roundtrip_precision(
+        x in -20_000.0..20_000.0f64,
+        y in -20_000.0..20_000.0f64,
+        cat in 0usize..15,
+    ) {
+        let p = Poi::new(9, pm_geo::LocalPoint::new(x, y), Category::from_index(cat));
+        let text = write_pois(&[p], &proj());
+        let back = read_pois(&text, &proj()).unwrap();
+        prop_assert_eq!(back.len(), 1);
+        prop_assert!(back[0].pos.distance(&p.pos) < 0.1);
+        prop_assert_eq!(back[0].category, p.category);
+    }
+
+    /// Journey linking never loses or invents stay points.
+    #[test]
+    fn linking_preserves_stay_count(
+        n_anon in 0usize..20,
+        n_carded in 0usize..20,
+    ) {
+        let mut records = Vec::new();
+        for i in 0..n_anon {
+            records.push(JourneyRecord {
+                pickup: GpsPoint::new(pm_geo::LocalPoint::new(i as f64, 0.0), i as i64 * 100),
+                dropoff: GpsPoint::new(pm_geo::LocalPoint::new(i as f64, 10.0), i as i64 * 100 + 50),
+                card: None,
+            });
+        }
+        for i in 0..n_carded {
+            records.push(JourneyRecord {
+                pickup: GpsPoint::new(pm_geo::LocalPoint::new(i as f64, 0.0), i as i64 * 1_000),
+                dropoff: GpsPoint::new(pm_geo::LocalPoint::new(i as f64, 10.0), i as i64 * 1_000 + 500),
+                card: Some(1), // one passenger, one day -> one chain
+            });
+        }
+        let trajs = journeys_to_trajectories(&records);
+        let total_stays: usize = trajs.iter().map(|t| t.len()).sum();
+        // Every journey contributes its drop-off; each trajectory adds one
+        // pick-up.
+        prop_assert_eq!(total_stays, records.len() + trajs.len());
+        for t in &trajs {
+            prop_assert!(t.stays.windows(2).all(|w| w[0].time <= w[1].time));
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Post-filters over mined pattern sets: *closed* and *maximal* patterns.
+//!
+//! PrefixSpan enumerates every frequent subsequence, which is redundant for
+//! reporting: `Residence -> Business` is implied by `Residence -> Business
+//! -> Restaurant` whenever both have the same supporters. The closed set
+//! (no super-pattern with equal support) is lossless; the maximal set (no
+//! frequent super-pattern at all) is the tersest summary.
+
+use crate::prefixspan::{leftmost_embedding, SequencePattern};
+
+/// Whether `small` is a (not necessarily contiguous) subsequence of `big`.
+fn is_subsequence(small: &[u32], big: &[u32]) -> bool {
+    small.len() < big.len() && leftmost_embedding(big, small).is_some()
+}
+
+/// Keeps the *closed* patterns: those with no proper super-pattern of equal
+/// support. Input order is preserved.
+pub fn closed_patterns(patterns: &[SequencePattern]) -> Vec<SequencePattern> {
+    patterns
+        .iter()
+        .filter(|p| {
+            !patterns
+                .iter()
+                .any(|q| q.support() == p.support() && is_subsequence(&p.items, &q.items))
+        })
+        .cloned()
+        .collect()
+}
+
+/// Keeps the *maximal* patterns: those with no frequent proper
+/// super-pattern in the set. Input order is preserved.
+pub fn maximal_patterns(patterns: &[SequencePattern]) -> Vec<SequencePattern> {
+    patterns
+        .iter()
+        .filter(|p| !patterns.iter().any(|q| is_subsequence(&p.items, &q.items)))
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prefixspan::{prefixspan, PrefixSpanParams};
+
+    fn mine(db: &[Vec<u32>], min_support: usize) -> Vec<SequencePattern> {
+        prefixspan(db, PrefixSpanParams::new(min_support, 1, 5))
+    }
+
+    #[test]
+    fn closed_drops_equal_support_prefixes() {
+        // Every sequence is [1, 2]: [1], [2] and [1,2] all have support 3;
+        // only [1,2] is closed.
+        let db = vec![vec![1, 2], vec![1, 2], vec![1, 2]];
+        let all = mine(&db, 2);
+        assert_eq!(all.len(), 3);
+        let closed = closed_patterns(&all);
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].items, vec![1, 2]);
+    }
+
+    #[test]
+    fn closed_keeps_higher_support_sub_patterns() {
+        // [1] appears in 4 sequences but [1,2] only in 2: both are closed.
+        let db = vec![vec![1, 2], vec![1, 2], vec![1], vec![1]];
+        let closed = closed_patterns(&mine(&db, 2));
+        let items: Vec<&[u32]> = closed.iter().map(|p| p.items.as_slice()).collect();
+        assert!(items.contains(&&[1u32][..]));
+        assert!(items.contains(&&[1u32, 2][..]));
+        assert!(
+            !items.contains(&&[2u32][..]),
+            "[2] has the same support as [1,2]"
+        );
+    }
+
+    #[test]
+    fn maximal_is_subset_of_closed() {
+        let db = vec![vec![1, 2, 3], vec![1, 2, 3], vec![1, 2], vec![3, 1]];
+        let all = mine(&db, 2);
+        let closed = closed_patterns(&all);
+        let maximal = maximal_patterns(&all);
+        assert!(maximal.len() <= closed.len());
+        // Every maximal pattern is closed.
+        for m in &maximal {
+            assert!(closed.iter().any(|c| c.items == m.items));
+        }
+        // The longest frequent pattern survives both.
+        assert!(maximal.iter().any(|p| p.items == vec![1, 2, 3]));
+        // Its sub-pattern [1,2] (support 3 > 2) is closed but not maximal.
+        assert!(closed.iter().any(|p| p.items == vec![1, 2]));
+        assert!(!maximal.iter().any(|p| p.items == vec![1, 2]));
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        assert!(closed_patterns(&[]).is_empty());
+        assert!(maximal_patterns(&[]).is_empty());
+        let db = vec![vec![7]];
+        let all = mine(&db, 1);
+        assert_eq!(closed_patterns(&all).len(), 1);
+        assert_eq!(maximal_patterns(&all).len(), 1);
+    }
+}

@@ -1,0 +1,15 @@
+//! Sequential pattern mining substrate: **PrefixSpan** (Pei, Han et al.,
+//! ICDE 2001 — the paper's ref \[24\]).
+//!
+//! The Pattern Extractor of Pervasive Miner (and both competitor pipelines,
+//! Splitter and SDBSCAN) first mine *coarse semantic patterns*: frequent
+//! sequences of semantic categories across the semantic-trajectory database.
+//! This crate implements PrefixSpan's prefix-projected growth plus the
+//! occurrence bookkeeping Algorithm 4 needs (which trajectories support a
+//! pattern, and at which stay-point positions).
+
+pub mod filter;
+pub mod prefixspan;
+
+pub use filter::{closed_patterns, maximal_patterns};
+pub use prefixspan::{prefixspan, Occurrence, PrefixSpanParams, SequencePattern};

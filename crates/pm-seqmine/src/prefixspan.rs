@@ -1,0 +1,298 @@
+//! PrefixSpan: mining sequential patterns by prefix-projected growth.
+//!
+//! Sequences are slices of `u32` item ids (semantic category ids in the
+//! mobility pipeline). A pattern is frequent when at least `min_support`
+//! distinct sequences contain it as a (not necessarily contiguous)
+//! subsequence. The classic optimization applies: rather than re-scanning
+//! the database, each prefix keeps a *projected database* of (sequence id,
+//! suffix offset) pairs, and frequent items local to the projection extend
+//! the prefix recursively.
+
+use std::collections::HashMap;
+
+/// PrefixSpan parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct PrefixSpanParams {
+    /// Minimum number of distinct supporting sequences.
+    pub min_support: usize,
+    /// Minimum pattern length to report (>= 1).
+    pub min_len: usize,
+    /// Maximum pattern length to grow to (bounds the search).
+    pub max_len: usize,
+}
+
+impl PrefixSpanParams {
+    /// Creates a parameter set reporting patterns of length
+    /// `min_len..=max_len` with at least `min_support` supporters.
+    pub fn new(min_support: usize, min_len: usize, max_len: usize) -> Self {
+        assert!(min_support >= 1, "min_support must be at least 1");
+        assert!(min_len >= 1, "min_len must be at least 1");
+        assert!(max_len >= min_len, "max_len must be >= min_len");
+        Self {
+            min_support,
+            min_len,
+            max_len,
+        }
+    }
+}
+
+/// One supporting sequence of a pattern.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Occurrence {
+    /// Index of the supporting sequence in the input database.
+    pub seq: usize,
+    /// Leftmost embedding: for each pattern item, the position in the
+    /// sequence where it matched (strictly increasing).
+    pub positions: Vec<usize>,
+}
+
+/// A frequent sequential pattern.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SequencePattern {
+    /// The item sequence of the pattern.
+    pub items: Vec<u32>,
+    /// Supporting sequences with their leftmost embeddings. `support` is
+    /// `occurrences.len()`.
+    pub occurrences: Vec<Occurrence>,
+}
+
+impl SequencePattern {
+    /// Number of distinct sequences supporting the pattern.
+    pub fn support(&self) -> usize {
+        self.occurrences.len()
+    }
+
+    /// Pattern length in items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the pattern is empty (never produced by the miner).
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// Mines all frequent sequential patterns of `db` under `params`.
+///
+/// Output patterns are sorted by descending support, ties broken by
+/// lexicographic item order, so results are deterministic.
+pub fn prefixspan(db: &[Vec<u32>], params: PrefixSpanParams) -> Vec<SequencePattern> {
+    // Initial projection: every sequence from offset 0.
+    let projection: Vec<(usize, usize)> = (0..db.len()).map(|i| (i, 0)).collect();
+    let mut out = Vec::new();
+    let mut prefix = Vec::new();
+    grow(db, &params, &mut prefix, &projection, &mut out);
+
+    // Attach leftmost embeddings and order deterministically.
+    let mut patterns: Vec<SequencePattern> = out
+        .into_iter()
+        .map(|(items, supporters)| {
+            let occurrences = supporters
+                .into_iter()
+                .map(|seq| Occurrence {
+                    positions: leftmost_embedding(&db[seq], &items)
+                        .expect("supporter must embed the pattern"),
+                    seq,
+                })
+                .collect();
+            SequencePattern { items, occurrences }
+        })
+        .collect();
+    patterns.sort_by(|a, b| {
+        b.support()
+            .cmp(&a.support())
+            .then_with(|| a.items.cmp(&b.items))
+    });
+    patterns
+}
+
+/// Recursive prefix growth. `projection` holds (sequence id, offset of the
+/// unmatched suffix) for every sequence containing the current prefix.
+fn grow(
+    db: &[Vec<u32>],
+    params: &PrefixSpanParams,
+    prefix: &mut Vec<u32>,
+    projection: &[(usize, usize)],
+    out: &mut Vec<(Vec<u32>, Vec<usize>)>,
+) {
+    if prefix.len() >= params.max_len {
+        return;
+    }
+    // Count, for each item, the number of distinct sequences whose suffix
+    // contains it.
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for &(seq, off) in projection {
+        let mut seen = Vec::new();
+        for &item in &db[seq][off..] {
+            if !seen.contains(&item) {
+                seen.push(item);
+                *counts.entry(item).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut frequent: Vec<u32> = counts
+        .iter()
+        .filter(|&(_, &c)| c >= params.min_support)
+        .map(|(&item, _)| item)
+        .collect();
+    frequent.sort_unstable();
+
+    for item in frequent {
+        // Project: for each supporting sequence, advance past the first
+        // occurrence of `item` in its suffix.
+        let mut next_projection = Vec::new();
+        let mut supporters = Vec::new();
+        for &(seq, off) in projection {
+            if let Some(pos) = db[seq][off..].iter().position(|&x| x == item) {
+                next_projection.push((seq, off + pos + 1));
+                supporters.push(seq);
+            }
+        }
+        prefix.push(item);
+        if prefix.len() >= params.min_len {
+            out.push((prefix.clone(), supporters));
+        }
+        grow(db, params, prefix, &next_projection, out);
+        prefix.pop();
+    }
+}
+
+/// Computes the leftmost embedding of `pattern` in `seq` by greedy matching,
+/// or `None` when `seq` does not contain `pattern` as a subsequence.
+pub fn leftmost_embedding(seq: &[u32], pattern: &[u32]) -> Option<Vec<usize>> {
+    let mut positions = Vec::with_capacity(pattern.len());
+    let mut from = 0usize;
+    for &want in pattern {
+        let pos = seq[from..].iter().position(|&x| x == want)? + from;
+        positions.push(pos);
+        from = pos + 1;
+    }
+    Some(positions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db1() -> Vec<Vec<u32>> {
+        vec![vec![1, 2, 3], vec![1, 3], vec![2, 3], vec![1, 2]]
+    }
+
+    fn find<'a>(ps: &'a [SequencePattern], items: &[u32]) -> Option<&'a SequencePattern> {
+        ps.iter().find(|p| p.items == items)
+    }
+
+    #[test]
+    fn single_item_supports() {
+        let ps = prefixspan(&db1(), PrefixSpanParams::new(2, 1, 3));
+        assert_eq!(find(&ps, &[1]).unwrap().support(), 3);
+        assert_eq!(find(&ps, &[2]).unwrap().support(), 3);
+        assert_eq!(find(&ps, &[3]).unwrap().support(), 3);
+    }
+
+    #[test]
+    fn pair_patterns() {
+        let ps = prefixspan(&db1(), PrefixSpanParams::new(2, 2, 3));
+        assert_eq!(find(&ps, &[1, 2]).unwrap().support(), 2);
+        assert_eq!(find(&ps, &[1, 3]).unwrap().support(), 2);
+        assert_eq!(find(&ps, &[2, 3]).unwrap().support(), 2);
+        // [3, x] never frequent; [1,2,3] support 1 < 2.
+        assert!(find(&ps, &[1, 2, 3]).is_none());
+        assert!(find(&ps, &[3, 1]).is_none());
+    }
+
+    #[test]
+    fn min_len_filters_short_patterns() {
+        let ps = prefixspan(&db1(), PrefixSpanParams::new(2, 2, 3));
+        assert!(ps.iter().all(|p| p.len() >= 2));
+    }
+
+    #[test]
+    fn max_len_bounds_growth() {
+        let db = vec![vec![1, 2, 3, 4], vec![1, 2, 3, 4]];
+        let ps = prefixspan(&db, PrefixSpanParams::new(2, 1, 2));
+        assert!(ps.iter().all(|p| p.len() <= 2));
+        assert!(find(&ps, &[1, 2]).is_some());
+    }
+
+    #[test]
+    fn subsequence_matching_is_noncontiguous() {
+        let db = vec![vec![1, 9, 9, 2], vec![1, 2]];
+        let ps = prefixspan(&db, PrefixSpanParams::new(2, 2, 2));
+        assert_eq!(find(&ps, &[1, 2]).unwrap().support(), 2);
+    }
+
+    #[test]
+    fn repeated_items_count_once_per_sequence() {
+        let db = vec![vec![5, 5, 5], vec![5]];
+        let ps = prefixspan(&db, PrefixSpanParams::new(2, 1, 3));
+        assert_eq!(find(&ps, &[5]).unwrap().support(), 2);
+        // [5,5] supported only by the first sequence.
+        assert!(find(&ps, &[5, 5]).is_none());
+        let ps1 = prefixspan(&db, PrefixSpanParams::new(1, 1, 3));
+        assert_eq!(find(&ps1, &[5, 5]).unwrap().support(), 1);
+        assert_eq!(find(&ps1, &[5, 5, 5]).unwrap().support(), 1);
+    }
+
+    #[test]
+    fn occurrences_record_leftmost_embeddings() {
+        let db = vec![vec![7, 1, 7, 2, 2]];
+        let ps = prefixspan(&db, PrefixSpanParams::new(1, 2, 2));
+        let p = find(&ps, &[7, 2]).unwrap();
+        assert_eq!(p.occurrences.len(), 1);
+        assert_eq!(p.occurrences[0].seq, 0);
+        assert_eq!(p.occurrences[0].positions, vec![0, 3]);
+    }
+
+    #[test]
+    fn empty_database() {
+        let ps = prefixspan(&[], PrefixSpanParams::new(1, 1, 3));
+        assert!(ps.is_empty());
+    }
+
+    #[test]
+    fn empty_sequences_support_nothing() {
+        let db = vec![Vec::new(), vec![1]];
+        let ps = prefixspan(&db, PrefixSpanParams::new(1, 1, 2));
+        assert_eq!(find(&ps, &[1]).unwrap().support(), 1);
+    }
+
+    #[test]
+    fn support_is_antimonotone() {
+        let db = vec![
+            vec![1, 2, 3, 4],
+            vec![2, 3, 4],
+            vec![1, 3, 4],
+            vec![4, 3, 2, 1],
+        ];
+        let ps = prefixspan(&db, PrefixSpanParams::new(1, 1, 4));
+        for p in &ps {
+            if p.len() < 2 {
+                continue;
+            }
+            let parent = &p.items[..p.len() - 1];
+            let parent_support = find(&ps, parent).unwrap().support();
+            assert!(parent_support >= p.support(), "{:?}", p.items);
+        }
+    }
+
+    #[test]
+    fn deterministic_ordering() {
+        let a = prefixspan(&db1(), PrefixSpanParams::new(1, 1, 3));
+        let b = prefixspan(&db1(), PrefixSpanParams::new(1, 1, 3));
+        assert_eq!(a, b);
+        // Descending support.
+        for w in a.windows(2) {
+            assert!(w[0].support() >= w[1].support());
+        }
+    }
+
+    #[test]
+    fn leftmost_embedding_basics() {
+        assert_eq!(leftmost_embedding(&[1, 2, 3], &[1, 3]), Some(vec![0, 2]));
+        assert_eq!(leftmost_embedding(&[1, 2, 3], &[3, 1]), None);
+        assert_eq!(leftmost_embedding(&[1, 2], &[]), Some(vec![]));
+        assert_eq!(leftmost_embedding(&[], &[1]), None);
+    }
+}

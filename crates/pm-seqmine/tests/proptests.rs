@@ -1,0 +1,101 @@
+//! Property-based tests: PrefixSpan must agree with a brute-force frequent
+//! subsequence enumerator on small alphabets.
+
+use pm_seqmine::{prefixspan, PrefixSpanParams};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Brute-force enumeration of frequent subsequences up to `max_len`.
+fn brute_force(
+    db: &[Vec<u32>],
+    min_support: usize,
+    min_len: usize,
+    max_len: usize,
+) -> BTreeMap<Vec<u32>, usize> {
+    // Grow candidates level-wise from the alphabet.
+    let mut alphabet: Vec<u32> = db.iter().flatten().copied().collect();
+    alphabet.sort_unstable();
+    alphabet.dedup();
+
+    let contains = |seq: &[u32], pat: &[u32]| -> bool {
+        let mut it = seq.iter();
+        pat.iter().all(|p| it.any(|x| x == p))
+    };
+    let support = |pat: &[u32]| db.iter().filter(|s| contains(s, pat)).count();
+
+    let mut out = BTreeMap::new();
+    let mut frontier: Vec<Vec<u32>> = vec![Vec::new()];
+    for _ in 0..max_len {
+        let mut next = Vec::new();
+        for pat in &frontier {
+            for &a in &alphabet {
+                let mut cand = pat.clone();
+                cand.push(a);
+                let sup = support(&cand);
+                if sup >= min_support {
+                    if cand.len() >= min_len {
+                        out.insert(cand.clone(), sup);
+                    }
+                    next.push(cand);
+                }
+            }
+        }
+        frontier = next;
+    }
+    out
+}
+
+fn small_db() -> impl Strategy<Value = Vec<Vec<u32>>> {
+    prop::collection::vec(prop::collection::vec(0u32..4, 0..6), 0..8)
+}
+
+proptest! {
+    #[test]
+    fn matches_brute_force(db in small_db(), min_support in 1usize..4) {
+        let params = PrefixSpanParams::new(min_support, 1, 4);
+        let mined = prefixspan(&db, params);
+        let expect = brute_force(&db, min_support, 1, 4);
+
+        let got: BTreeMap<Vec<u32>, usize> = mined
+            .iter()
+            .map(|p| (p.items.clone(), p.support()))
+            .collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn occurrences_are_valid_embeddings(db in small_db()) {
+        let mined = prefixspan(&db, PrefixSpanParams::new(1, 1, 4));
+        for p in &mined {
+            prop_assert_eq!(p.support(), p.occurrences.len());
+            for occ in &p.occurrences {
+                prop_assert_eq!(occ.positions.len(), p.items.len());
+                // Positions strictly increasing and matching the items.
+                for (k, &pos) in occ.positions.iter().enumerate() {
+                    prop_assert_eq!(db[occ.seq][pos], p.items[k]);
+                    if k > 0 {
+                        prop_assert!(occ.positions[k - 1] < pos);
+                    }
+                }
+            }
+            // Supporting sequences are distinct.
+            let mut seqs: Vec<usize> = p.occurrences.iter().map(|o| o.seq).collect();
+            seqs.sort_unstable();
+            seqs.dedup();
+            prop_assert_eq!(seqs.len(), p.occurrences.len());
+        }
+    }
+
+    #[test]
+    fn antimonotone_support(db in small_db()) {
+        let mined = prefixspan(&db, PrefixSpanParams::new(1, 1, 4));
+        let lookup: BTreeMap<&[u32], usize> =
+            mined.iter().map(|p| (p.items.as_slice(), p.support())).collect();
+        for p in &mined {
+            if p.items.len() >= 2 {
+                let parent = &p.items[..p.items.len() - 1];
+                prop_assert!(lookup[parent] >= p.support());
+            }
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Check-in simulation with per-category sharing bias — the *semantic bias*
+//! mechanism behind the paper's Table 1.
+//!
+//! Check-in corpora are not a faithful sample of activities: users share
+//! dinners and gyms, not doctor visits; Tokyo users additionally keep their
+//! homes off the grid. The simulator replays the taxi corpus's ground-truth
+//! destination activities through a sharing-probability profile, so the
+//! *reported* topic distribution diverges from the *actual* one exactly the
+//! way Table 1 shows.
+
+use crate::trips::TaxiCorpus;
+use pm_core::types::{Category, GpsPoint};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// One shared check-in: where, when, and the reported topic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Checkin {
+    /// Location/time of the shared activity.
+    pub fix: GpsPoint,
+    /// The reported topic (the activity's true category — bias acts by
+    /// omission, not mislabeling).
+    pub topic: Category,
+}
+
+/// Per-category probability that a performed activity is shared online.
+#[derive(Debug, Clone, Copy)]
+pub struct SharingProfile {
+    /// Display name ("New York"-like, "Tokyo"-like).
+    pub name: &'static str,
+    probs: [f64; Category::COUNT],
+}
+
+impl SharingProfile {
+    /// A New-York-like profile (paper Table 1, left): dining, entertainment
+    /// and even home check-ins are common; medical visits are all but never
+    /// shared.
+    pub fn new_york() -> Self {
+        let mut probs = [0.05; Category::COUNT];
+        probs[Category::Restaurant as usize] = 0.55;
+        probs[Category::Entertainment as usize] = 0.50;
+        probs[Category::Shop as usize] = 0.30;
+        probs[Category::Residence as usize] = 0.35; // "Home (private)" tops NYC
+        probs[Category::Business as usize] = 0.30; // "Office"
+        probs[Category::TrafficStation as usize] = 0.25;
+        probs[Category::Sports as usize] = 0.40; // "Fitness Center"
+        probs[Category::Tourism as usize] = 0.45;
+        probs[Category::Hotel as usize] = 0.20;
+        probs[Category::Medical as usize] = 0.002;
+        probs[Category::Government as usize] = 0.01;
+        Self {
+            name: "New York",
+            probs,
+        }
+    }
+
+    /// A Tokyo-like profile (paper Table 1, right): transit and food
+    /// dominate; homes are kept secret; medical still invisible.
+    pub fn tokyo() -> Self {
+        let mut probs = [0.03; Category::COUNT];
+        probs[Category::TrafficStation as usize] = 0.80; // Train Station 35%+
+        probs[Category::Restaurant as usize] = 0.45;
+        probs[Category::Shop as usize] = 0.25;
+        probs[Category::Entertainment as usize] = 0.15;
+        probs[Category::Residence as usize] = 0.01; // homes stay secret
+        probs[Category::Business as usize] = 0.05;
+        probs[Category::Medical as usize] = 0.001;
+        probs[Category::Government as usize] = 0.005;
+        Self {
+            name: "Tokyo",
+            probs,
+        }
+    }
+
+    /// Sharing probability for a category.
+    pub fn prob(&self, c: Category) -> f64 {
+        self.probs[c as usize]
+    }
+}
+
+/// Replays the corpus's destination activities through a sharing profile.
+/// Deterministic given `seed`.
+pub fn generate_checkins(corpus: &TaxiCorpus, profile: &SharingProfile, seed: u64) -> Vec<Checkin> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xC4EC);
+    corpus
+        .journeys
+        .iter()
+        .filter_map(|j| {
+            rng.gen_bool(profile.prob(j.true_to).clamp(0.0, 1.0))
+                .then_some(Checkin {
+                    fix: j.dropoff,
+                    topic: j.true_to,
+                })
+        })
+        .collect()
+}
+
+/// Topic histogram of a check-in corpus, sorted descending — the Table 1
+/// regeneration. Returns `(category, count, share)` rows.
+pub fn topic_ranking(checkins: &[Checkin]) -> Vec<(Category, usize, f64)> {
+    let mut counts = [0usize; Category::COUNT];
+    for c in checkins {
+        counts[c.topic as usize] += 1;
+    }
+    let total: usize = counts.iter().sum();
+    let mut rows: Vec<(Category, usize, f64)> = Category::ALL
+        .iter()
+        .map(|&c| {
+            let n = counts[c as usize];
+            (
+                c,
+                n,
+                if total == 0 {
+                    0.0
+                } else {
+                    n as f64 / total as f64
+                },
+            )
+        })
+        .collect();
+    rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::city::CityModel;
+    use crate::config::CityConfig;
+
+    fn corpus() -> TaxiCorpus {
+        TaxiCorpus::generate(&CityModel::generate(&CityConfig::small(17)))
+    }
+
+    #[test]
+    fn checkins_are_a_biased_subsample() {
+        let c = corpus();
+        let checkins = generate_checkins(&c, &SharingProfile::new_york(), 1);
+        assert!(!checkins.is_empty());
+        assert!(checkins.len() < c.journeys.len());
+    }
+
+    #[test]
+    fn medical_visits_vanish_from_checkins() {
+        let c = corpus();
+        let actual_medical = c
+            .journeys
+            .iter()
+            .filter(|j| j.true_to == Category::Medical)
+            .count();
+        assert!(actual_medical > 0, "need medical trips in the corpus");
+        for profile in [SharingProfile::new_york(), SharingProfile::tokyo()] {
+            let checkins = generate_checkins(&c, &profile, 2);
+            let shared_medical = checkins
+                .iter()
+                .filter(|c| c.topic == Category::Medical)
+                .count();
+            let share = shared_medical as f64 / checkins.len().max(1) as f64;
+            assert!(share < 0.01, "{}: medical share {share}", profile.name);
+        }
+    }
+
+    #[test]
+    fn tokyo_hides_homes_new_york_does_not() {
+        let c = corpus();
+        let ny = topic_ranking(&generate_checkins(&c, &SharingProfile::new_york(), 3));
+        let tk = topic_ranking(&generate_checkins(&c, &SharingProfile::tokyo(), 3));
+        let rank = |rows: &[(Category, usize, f64)], cat: Category| {
+            rows.iter().position(|r| r.0 == cat).unwrap()
+        };
+        assert!(rank(&ny, Category::Residence) < rank(&tk, Category::Residence));
+        // Transit ranks far higher in the Tokyo-like list (paper: Train
+        // Station 34.93% tops Tokyo). Our corpus only sees taxi-reachable
+        // transit (the airport), so we assert the relative shape.
+        assert!(rank(&tk, Category::TrafficStation) < rank(&ny, Category::TrafficStation));
+        assert!(rank(&tk, Category::TrafficStation) <= 4);
+    }
+
+    #[test]
+    fn ranking_shares_sum_to_one() {
+        let c = corpus();
+        let rows = topic_ranking(&generate_checkins(&c, &SharingProfile::tokyo(), 5));
+        let total: f64 = rows.iter().map(|r| r.2).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for w in rows.windows(2) {
+            assert!(w[0].1 >= w[1].1, "ranking must be descending");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let c = corpus();
+        let a = generate_checkins(&c, &SharingProfile::new_york(), 9);
+        let b = generate_checkins(&c, &SharingProfile::new_york(), 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_corpus_yields_empty_ranking() {
+        let rows = topic_ranking(&[]);
+        assert!(rows.iter().all(|r| r.1 == 0 && r.2 == 0.0));
+    }
+}

@@ -1,0 +1,295 @@
+//! The city model: themed districts, multi-purpose towers, an airport and
+//! hospitals.
+//!
+//! Districts implement the *semantic homogeneity* the CSD exploits (a
+//! shopping street, an office block); towers implement *spatial homogeneity*
+//! (mixed categories stacked within a building footprint). A fraction of
+//! business districts are designated CBDs that attract most commuters, which
+//! concentrates commute destinations the way real employment centers do.
+
+use crate::config::CityConfig;
+use pm_core::types::Category;
+use pm_geo::LocalPoint;
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A themed district: a disk dominated by one category, with a handful of
+/// *venues* — the concrete spots taxi trips start and end at.
+#[derive(Debug, Clone)]
+pub struct District {
+    /// District center.
+    pub center: LocalPoint,
+    /// District radius in meters.
+    pub radius: f64,
+    /// Dominant category.
+    pub category: Category,
+    /// Trip anchor points inside the district.
+    pub venues: Vec<LocalPoint>,
+    /// Whether this business district is a central business district
+    /// (attracts a large share of commuters).
+    pub is_cbd: bool,
+}
+
+/// A multi-purpose tower: mixed-category POIs within a building footprint.
+#[derive(Debug, Clone)]
+pub struct Tower {
+    /// Tower location.
+    pub center: LocalPoint,
+    /// Footprint radius in meters (within the paper's `d_v` scale).
+    pub radius: f64,
+}
+
+/// The generated city.
+#[derive(Debug, Clone)]
+pub struct CityModel {
+    /// Generator configuration.
+    pub config: CityConfig,
+    /// All districts; `districts[airport]` is the airport.
+    pub districts: Vec<District>,
+    /// Index of the airport district.
+    pub airport: usize,
+    /// Indices of hospital districts.
+    pub hospitals: Vec<usize>,
+    /// Multi-purpose towers.
+    pub towers: Vec<Tower>,
+}
+
+/// How likely each category is to anchor a district. Residences, offices and
+/// shops dominate the urban fabric; rare categories get thin slices. Order
+/// matches [`Category::ALL`].
+const DISTRICT_WEIGHTS: [f64; Category::COUNT] = [
+    0.30, // Residence
+    0.13, // Shop
+    0.15, // Business
+    0.09, // Restaurant
+    0.08, // Entertainment
+    0.06, // PublicService
+    0.04, // TrafficStation
+    0.04, // Education
+    0.02, // Sports
+    0.02, // Government
+    0.02, // Industry
+    0.02, // Financial
+    0.00, // Medical (placed explicitly as hospitals)
+    0.02, // Hotel
+    0.01, // Tourism
+];
+
+impl CityModel {
+    /// Generates the city deterministically from `config.seed`.
+    pub fn generate(config: &CityConfig) -> CityModel {
+        config.validate().expect("invalid city config");
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0xC17E);
+        let half = config.extent_m / 2.0;
+
+        let weights = WeightedIndex::new(DISTRICT_WEIGHTS).expect("static weights");
+        let mut districts = Vec::with_capacity(config.n_districts + 4);
+
+        // Regular themed districts.
+        for _ in 0..config.n_districts {
+            let category = Category::from_index(weights.sample(&mut rng));
+            districts.push(Self::make_district(&mut rng, half, category, false));
+        }
+
+        // Designate ~20% of business districts as CBDs; guarantee at least
+        // one by appending if none rolled.
+        let mut has_cbd = false;
+        for d in &mut districts {
+            if d.category == Category::Business && rng.gen_bool(0.25) {
+                d.is_cbd = true;
+                has_cbd = true;
+            }
+        }
+        if !has_cbd {
+            districts.push(Self::make_district(
+                &mut rng,
+                half * 0.3,
+                Category::Business,
+                true,
+            ));
+        }
+        // Guarantee at least one residential district (trip origins).
+        if !districts.iter().any(|d| d.category == Category::Residence) {
+            districts.push(Self::make_district(
+                &mut rng,
+                half,
+                Category::Residence,
+                false,
+            ));
+        }
+
+        // The airport: a large traffic hub at the city edge.
+        let airport = districts.len();
+        districts.push(District {
+            center: LocalPoint::new(half * 0.85, half * 0.1),
+            radius: 400.0,
+            category: Category::TrafficStation,
+            venues: vec![LocalPoint::new(half * 0.85, half * 0.1)],
+            is_cbd: false,
+        });
+
+        // Hospitals: a few compact medical districts.
+        let n_hospitals = (config.n_districts / 40).max(2);
+        let mut hospitals = Vec::with_capacity(n_hospitals);
+        for _ in 0..n_hospitals {
+            hospitals.push(districts.len());
+            districts.push(Self::make_district(
+                &mut rng,
+                half * 0.7,
+                Category::Medical,
+                false,
+            ));
+        }
+
+        // Towers cluster toward the center where land is scarce.
+        let towers = (0..config.n_towers)
+            .map(|_| Tower {
+                center: LocalPoint::new(
+                    rng.gen_range(-half * 0.5..half * 0.5),
+                    rng.gen_range(-half * 0.5..half * 0.5),
+                ),
+                radius: rng.gen_range(6.0..12.0),
+            })
+            .collect();
+
+        CityModel {
+            config: *config,
+            districts,
+            airport,
+            hospitals,
+            towers,
+        }
+    }
+
+    fn make_district(
+        rng: &mut ChaCha8Rng,
+        half: f64,
+        category: Category,
+        is_cbd: bool,
+    ) -> District {
+        let center = LocalPoint::new(rng.gen_range(-half..half), rng.gen_range(-half..half));
+        let radius = rng.gen_range(120.0..300.0);
+        // One venue *compound* per district: an anchor spot plus up to two
+        // satellite spots 30-70 m away (a compound's entrances/buildings).
+        // Trips concentrate on the compound, which keeps stay-point groups
+        // venue-scale (tens of meters, the paper's Fig. 9 sparsity range),
+        // while the multi-spot structure is what fragments ROI hot regions.
+        let a = rng.gen_range(0.0..std::f64::consts::TAU);
+        let r = radius * rng.gen_range(0.0..0.4f64).sqrt();
+        let anchor = center + LocalPoint::new(r * a.cos(), r * a.sin());
+        let mut venues = vec![anchor];
+        for _ in 0..rng.gen_range(0..=2usize) {
+            let b = rng.gen_range(0.0..std::f64::consts::TAU);
+            let d = rng.gen_range(30.0..70.0);
+            venues.push(anchor + LocalPoint::new(d * b.cos(), d * b.sin()));
+        }
+        District {
+            center,
+            radius,
+            category,
+            venues,
+            is_cbd,
+        }
+    }
+
+    /// Indices of districts with the given category.
+    pub fn districts_of(&self, category: Category) -> Vec<usize> {
+        self.districts
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.category == category)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices of CBD districts.
+    pub fn cbds(&self) -> Vec<usize> {
+        self.districts
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.is_cbd)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = CityConfig::tiny(42);
+        let a = CityModel::generate(&cfg);
+        let b = CityModel::generate(&cfg);
+        assert_eq!(a.districts.len(), b.districts.len());
+        for (da, db) in a.districts.iter().zip(&b.districts) {
+            assert_eq!(da.center, db.center);
+            assert_eq!(da.category, db.category);
+            assert_eq!(da.venues, db.venues);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = CityModel::generate(&CityConfig::tiny(1));
+        let b = CityModel::generate(&CityConfig::tiny(2));
+        let same = a
+            .districts
+            .iter()
+            .zip(&b.districts)
+            .filter(|(x, y)| x.center == y.center)
+            .count();
+        assert!(same < a.districts.len() / 2);
+    }
+
+    #[test]
+    fn structural_guarantees() {
+        let city = CityModel::generate(&CityConfig::tiny(7));
+        assert!(!city.cbds().is_empty(), "at least one CBD");
+        assert!(!city.districts_of(Category::Residence).is_empty());
+        assert_eq!(
+            city.districts[city.airport].category,
+            Category::TrafficStation
+        );
+        assert!(city.hospitals.len() >= 2);
+        for &h in &city.hospitals {
+            assert_eq!(city.districts[h].category, Category::Medical);
+        }
+    }
+
+    #[test]
+    fn venue_compounds_stay_near_their_district() {
+        let city = CityModel::generate(&CityConfig::small(3));
+        for d in &city.districts {
+            assert!(!d.venues.is_empty() && d.venues.len() <= 3);
+            // The anchor spot lies inside the district; satellites are at
+            // most 90 m beyond it.
+            assert!(d.venues[0].distance(&d.center) <= d.radius + 1e-9);
+            for v in &d.venues[1..] {
+                assert!(v.distance(&d.venues[0]) <= 70.0 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn districts_fit_in_extent() {
+        let cfg = CityConfig::tiny(9);
+        let city = CityModel::generate(&cfg);
+        let half = cfg.extent_m / 2.0;
+        for d in &city.districts {
+            assert!(d.center.x.abs() <= half && d.center.y.abs() <= half);
+        }
+    }
+
+    #[test]
+    fn towers_have_building_scale_footprints() {
+        let city = CityModel::generate(&CityConfig::small(11));
+        assert!(!city.towers.is_empty());
+        for t in &city.towers {
+            assert!(t.radius <= 15.0, "tower footprint beyond d_v scale");
+        }
+    }
+}

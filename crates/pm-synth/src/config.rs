@@ -1,0 +1,161 @@
+//! Generator configuration and scale presets.
+
+/// Configuration of the synthetic city and its trajectory corpus.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CityConfig {
+    /// RNG seed; all generators are deterministic given the seed.
+    pub seed: u64,
+    /// Side of the square city extent, in meters (Shanghai's POI dataset
+    /// covers 6,120 km²; the default 20 km square covers the dense core).
+    pub extent_m: f64,
+    /// Number of themed districts (semantic homogeneity regions).
+    pub n_districts: usize,
+    /// Number of multi-purpose towers (spatial homogeneity regions).
+    pub n_towers: usize,
+    /// Number of POIs to generate (category mix follows Table 3).
+    pub n_pois: usize,
+    /// Number of taxi passengers.
+    pub n_passengers: usize,
+    /// Fraction of passengers with payment-card ids (paper: 20%).
+    pub carded_fraction: f64,
+    /// Days of taxi activity to simulate, starting on a Monday.
+    pub n_days: u32,
+    /// Standard deviation of the GPS noise applied to pick-up/drop-off
+    /// locations, in meters.
+    pub gps_noise_m: f64,
+}
+
+impl Default for CityConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            extent_m: 20_000.0,
+            n_districts: 120,
+            n_towers: 20,
+            n_pois: 20_000,
+            n_passengers: 4_000,
+            carded_fraction: 0.2,
+            n_days: 7,
+            gps_noise_m: 15.0,
+        }
+    }
+}
+
+impl CityConfig {
+    /// Tiny preset for unit/integration tests: runs in milliseconds.
+    pub fn tiny(seed: u64) -> Self {
+        Self {
+            seed,
+            extent_m: 6_000.0,
+            n_districts: 18,
+            n_towers: 3,
+            n_pois: 1_500,
+            n_passengers: 350,
+            carded_fraction: 0.2,
+            n_days: 3,
+            gps_noise_m: 15.0,
+        }
+    }
+
+    /// Small preset for fast benches and examples: a few seconds end-to-end.
+    pub fn small(seed: u64) -> Self {
+        Self {
+            seed,
+            extent_m: 12_000.0,
+            n_districts: 60,
+            n_towers: 10,
+            n_pois: 8_000,
+            n_passengers: 1_500,
+            carded_fraction: 0.2,
+            n_days: 7,
+            gps_noise_m: 15.0,
+        }
+    }
+
+    /// The full evaluation scale used by the figure-regeneration benches.
+    pub fn paper(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Validates configuration sanity.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.extent_m.is_finite() && self.extent_m > 100.0) {
+            return Err(format!("extent_m too small: {}", self.extent_m));
+        }
+        if self.n_districts == 0 {
+            return Err("need at least one district".into());
+        }
+        if !(0.0..=1.0).contains(&self.carded_fraction) {
+            return Err(format!(
+                "carded_fraction out of range: {}",
+                self.carded_fraction
+            ));
+        }
+        if self.n_days == 0 {
+            return Err("need at least one day".into());
+        }
+        if !(self.gps_noise_m.is_finite() && self.gps_noise_m >= 0.0) {
+            return Err(format!("bad gps_noise_m: {}", self.gps_noise_m));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        assert!(CityConfig::default().validate().is_ok());
+        assert!(CityConfig::tiny(1).validate().is_ok());
+        assert!(CityConfig::small(2).validate().is_ok());
+        assert!(CityConfig::paper(3).validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        assert!(CityConfig {
+            extent_m: 10.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(CityConfig {
+            n_districts: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(CityConfig {
+            carded_fraction: 1.5,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(CityConfig {
+            n_days: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(CityConfig {
+            gps_noise_m: -1.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn presets_scale_monotonically() {
+        let t = CityConfig::tiny(0);
+        let s = CityConfig::small(0);
+        let p = CityConfig::paper(0);
+        assert!(t.n_pois < s.n_pois && s.n_pois < p.n_pois);
+        assert!(t.n_passengers < s.n_passengers && s.n_passengers < p.n_passengers);
+    }
+}

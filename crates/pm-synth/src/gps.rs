@@ -1,0 +1,257 @@
+//! Raw GPS track generation: full fix-by-fix trajectories with dwell
+//! segments.
+//!
+//! The taxi corpus short-circuits stay-point detection (pick-up/drop-off
+//! records *are* the stay points, paper §5). This module generates what the
+//! general pipeline of §4.2 consumes instead: continuous GPS tracks of
+//! probe commuters — drive segments between venues along a bent path,
+//! dwell segments at the venues — so Definition 5's detector has real work
+//! to do end-to-end.
+
+use crate::city::CityModel;
+use pm_core::types::{Category, GpsPoint, GpsTrajectory, Timestamp, DAY_SECS};
+use pm_geo::{polyline, LocalPoint};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Configuration of the probe-track generator.
+#[derive(Clone, Copy, Debug)]
+pub struct GpsConfig {
+    /// Number of probe commuters.
+    pub n_probes: usize,
+    /// Days to simulate (one trajectory per probe per day).
+    pub n_days: u32,
+    /// Seconds between fixes while driving.
+    pub drive_sample_s: i64,
+    /// Seconds between fixes while dwelling.
+    pub dwell_sample_s: i64,
+    /// GPS noise sigma in meters.
+    pub noise_m: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GpsConfig {
+    fn default() -> Self {
+        Self {
+            n_probes: 50,
+            n_days: 1,
+            drive_sample_s: 30,
+            dwell_sample_s: 120,
+            noise_m: 12.0,
+            seed: 0,
+        }
+    }
+}
+
+/// One generated probe-day: the raw track plus the ground-truth visits
+/// (venue position, category, arrival, departure) the track encodes.
+#[derive(Debug, Clone)]
+pub struct ProbeTrack {
+    /// The raw GPS trajectory.
+    pub track: GpsTrajectory,
+    /// Ground-truth visits in order: `(venue, category, arrive, depart)`.
+    pub visits: Vec<(LocalPoint, Category, Timestamp, Timestamp)>,
+}
+
+/// Driving speed of probes, in m/s.
+const PROBE_SPEED_MPS: f64 = 8.0;
+
+/// Generates probe tracks over the city: each probe commutes
+/// home -> work -> home with realistic dwells; some add an evening errand.
+pub fn generate_probe_tracks(city: &CityModel, config: &GpsConfig) -> Vec<ProbeTrack> {
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x69F5);
+    let residences = city.districts_of(Category::Residence);
+    let cbds = city.cbds();
+    let shops = city.districts_of(Category::Shop);
+
+    let mut out = Vec::with_capacity(config.n_probes * config.n_days as usize);
+    for _ in 0..config.n_probes {
+        let home_d = residences[rng.gen_range(0..residences.len())];
+        let work_d = cbds[rng.gen_range(0..cbds.len())];
+        let home = city.districts[home_d].venues[0];
+        let work = city.districts[work_d].venues[0];
+        let home_cat = city.districts[home_d].category;
+        let work_cat = city.districts[work_d].category;
+
+        for day in 0..config.n_days {
+            let day_start = day as Timestamp * DAY_SECS;
+            // Visit plan: home until ~08:00, work until ~18:00, optionally a
+            // shop stop, then home.
+            let leave_home = day_start + (7 * 3600 + rng.gen_range(0..5_400)) as Timestamp;
+            let leave_work = day_start + (17 * 3600 + rng.gen_range(0..7_200)) as Timestamp;
+            let mut plan: Vec<(LocalPoint, Category, Timestamp)> =
+                vec![(home, home_cat, leave_home), (work, work_cat, leave_work)];
+            if !shops.is_empty() && rng.gen_bool(0.3) {
+                let shop_d = shops[rng.gen_range(0..shops.len())];
+                plan.push((
+                    city.districts[shop_d].venues[0],
+                    city.districts[shop_d].category,
+                    leave_work + rng.gen_range(2_400..4_800),
+                ));
+            }
+            plan.push((home, home_cat, day_start + DAY_SECS - 1));
+
+            out.push(build_track(&plan, config, &mut rng, day_start));
+        }
+    }
+    out
+}
+
+/// Builds one probe-day track from a visit plan of `(venue, category,
+/// departure time)` entries; the first entry's dwell starts at `t0 + 06:00`.
+fn build_track(
+    plan: &[(LocalPoint, Category, Timestamp)],
+    config: &GpsConfig,
+    rng: &mut ChaCha8Rng,
+    day_start: Timestamp,
+) -> ProbeTrack {
+    let mut fixes: Vec<GpsPoint> = Vec::new();
+    let mut visits = Vec::new();
+    let mut now = day_start + 6 * 3600;
+
+    for (i, &(venue, category, depart)) in plan.iter().enumerate() {
+        // Dwell at the venue until departure.
+        let arrive = now;
+        let depart = depart.max(arrive + config.dwell_sample_s);
+        let mut t = arrive;
+        while t < depart {
+            fixes.push(GpsPoint::new(jitter(rng, venue, config.noise_m), t));
+            t += config.dwell_sample_s + rng.gen_range(0..=config.dwell_sample_s / 4 + 1);
+        }
+        visits.push((venue, category, arrive, depart));
+
+        // Drive to the next venue along a bent two-segment path.
+        if let Some(&(next, _, _)) = plan.get(i + 1) {
+            let path = bent_path(rng, venue, next);
+            let distance = polyline::length(&path);
+            let duration = (distance / PROBE_SPEED_MPS).max(60.0) as Timestamp;
+            let mut t = depart;
+            while t < depart + duration {
+                let frac = (t - depart) as f64 / duration as f64;
+                let pos = polyline::point_at(&path, frac).expect("non-empty path");
+                fixes.push(GpsPoint::new(jitter(rng, pos, config.noise_m), t));
+                t += config.drive_sample_s;
+            }
+            now = depart + duration;
+        }
+    }
+
+    ProbeTrack {
+        track: GpsTrajectory::new(fixes),
+        visits,
+    }
+}
+
+/// A two-segment path from `a` to `b` via a lateral bend (roads are not
+/// straight lines).
+fn bent_path(rng: &mut ChaCha8Rng, a: LocalPoint, b: LocalPoint) -> Vec<LocalPoint> {
+    let mid = (a + b) / 2.0;
+    let d = b - a;
+    let len = a.distance(&b).max(1.0);
+    // Perpendicular offset up to 15% of the leg length.
+    let off = rng.gen_range(-0.15..0.15) * len;
+    let bend = mid + LocalPoint::new(-d.y / len, d.x / len) * off;
+    vec![a, bend, b]
+}
+
+fn jitter(rng: &mut ChaCha8Rng, pos: LocalPoint, sigma: f64) -> LocalPoint {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+    let mag = sigma * (-2.0 * u1.ln()).sqrt();
+    pos + LocalPoint::new(mag * u2.cos(), mag * u2.sin())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CityConfig;
+
+    fn tracks() -> Vec<ProbeTrack> {
+        let city = CityModel::generate(&CityConfig::tiny(3));
+        generate_probe_tracks(
+            &city,
+            &GpsConfig {
+                n_probes: 10,
+                ..GpsConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn tracks_are_time_ordered_and_nonempty() {
+        for pt in tracks() {
+            assert!(pt.track.len() > 50, "a full day should have many fixes");
+            assert!(pt.track.points.windows(2).all(|w| w[0].time < w[1].time));
+        }
+    }
+
+    #[test]
+    fn visits_cover_home_and_work() {
+        for pt in tracks() {
+            assert!(pt.visits.len() >= 3);
+            assert_eq!(pt.visits[0].1, Category::Residence);
+            assert_eq!(pt.visits.last().unwrap().1, Category::Residence);
+            assert!(pt.visits.iter().any(|v| v.1 == Category::Business));
+        }
+    }
+
+    #[test]
+    fn dwell_fixes_hug_the_venue() {
+        for pt in tracks().into_iter().take(3) {
+            let (venue, _, arrive, depart) = pt.visits[1]; // work dwell
+            let dwell_fixes: Vec<_> = pt
+                .track
+                .points
+                .iter()
+                .filter(|f| f.time >= arrive && f.time < depart)
+                .collect();
+            assert!(!dwell_fixes.is_empty());
+            for f in dwell_fixes {
+                assert!(f.pos.distance(&venue) < 80.0, "dwell fix strayed");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let city = CityModel::generate(&CityConfig::tiny(9));
+        let cfg = GpsConfig {
+            n_probes: 5,
+            ..GpsConfig::default()
+        };
+        let a = generate_probe_tracks(&city, &cfg);
+        let b = generate_probe_tracks(&city, &cfg);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.track.points, y.track.points);
+        }
+    }
+
+    #[test]
+    fn stay_point_detection_recovers_the_visits() {
+        // The end-to-end property this module exists for: Definition 5's
+        // detector applied to the raw track finds the planned dwells.
+        use pm_core::params::MinerParams;
+        use pm_core::recognize::detect_stay_points;
+        let params = MinerParams::default(); // theta_t = 20 min, theta_d = 100 m
+        let mut recovered = 0usize;
+        let mut planned = 0usize;
+        for pt in tracks() {
+            let stays = detect_stay_points(&pt.track, &params);
+            for &(venue, _, arrive, depart) in &pt.visits {
+                if depart - arrive < params.theta_t {
+                    continue; // too short to be detectable by definition
+                }
+                planned += 1;
+                if stays.iter().any(|sp| sp.pos.distance(&venue) < 100.0) {
+                    recovered += 1;
+                }
+            }
+        }
+        assert!(planned > 0);
+        let rate = recovered as f64 / planned as f64;
+        assert!(rate > 0.9, "recovered only {recovered}/{planned} dwells");
+    }
+}

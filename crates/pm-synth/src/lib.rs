@@ -1,0 +1,35 @@
+//! Synthetic-city data substrate.
+//!
+//! The paper evaluates on proprietary data: 2.2x10^7 Shanghai taxi journeys
+//! (April 2015, 20% with payment-card passenger links) and 1.2x10^6 AMAP
+//! POIs. Neither is publicly available, so this crate simulates the closest
+//! equivalents (DESIGN.md §3 documents why the substitutions preserve the
+//! evaluated behaviour):
+//!
+//! - [`city`]: a city model with themed districts (semantic homogeneity),
+//!   multi-purpose towers (spatial homogeneity), an airport and hospitals.
+//! - [`poi`]: a POI generator reproducing Table 3's category proportions.
+//! - [`trips`]: a taxi-trip generator driven by a time-of-week activity
+//!   schedule (weekday commutes, evening shopping, sparse weekends, airport
+//!   demand, hospital visits) with Gaussian GPS noise and a 20% carded
+//!   passenger subset, plus journey-to-trajectory linking.
+//! - [`gps`]: raw fix-by-fix GPS probe tracks with dwell segments, so the
+//!   general Definition-5 stay-point detector is exercised end-to-end.
+//! - [`checkin`]: a check-in simulator with per-category sharing bias
+//!   (NYC-like vs Tokyo-like profiles) — the *semantic bias* mechanism
+//!   behind Table 1.
+//!
+//! All generators are deterministic given [`CityConfig::seed`].
+
+pub mod checkin;
+pub mod city;
+pub mod config;
+pub mod gps;
+pub mod poi;
+pub mod trips;
+
+pub use checkin::{generate_checkins, Checkin, SharingProfile};
+pub use city::{CityModel, District, Tower};
+pub use config::CityConfig;
+pub use gps::{generate_probe_tracks, GpsConfig, ProbeTrack};
+pub use trips::{TaxiCorpus, TaxiJourney};

@@ -1,0 +1,212 @@
+//! POI generation: Table 3's category mix over the city model.
+//!
+//! Each POI first draws its category from the paper's published shares, then
+//! lands either inside a district of that category (clustered around venues,
+//! where commuters actually go) or as uniform urban background. Towers add
+//! mixed-category POIs within their footprint on top.
+
+use crate::city::CityModel;
+use pm_core::types::{Category, Poi};
+use pm_geo::LocalPoint;
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Fraction of POIs placed inside a district whose category matches theirs.
+const IN_DISTRICT_FRACTION: f64 = 0.6;
+/// Fraction of POIs placed inside a *random* district regardless of
+/// category — the mixed urban fabric (any busy street has restaurants,
+/// banks and shops sprinkled among the dominant venues). This is what makes
+/// semantic recognition non-trivial: the paper's *semantic complexity*.
+const FABRIC_FRACTION: f64 = 0.2;
+/// Of the in-district POIs, the fraction hugging a venue (a mall's shops
+/// cluster at the mall) versus scattered across the district.
+const NEAR_VENUE_FRACTION: f64 = 0.6;
+/// Categories available inside multi-purpose towers.
+const TOWER_CATEGORIES: [Category; 6] = [
+    Category::Shop,
+    Category::Restaurant,
+    Category::Business,
+    Category::Hotel,
+    Category::Entertainment,
+    Category::TrafficStation,
+];
+/// POIs per tower.
+const TOWER_POIS: usize = 15;
+
+/// Generates the POI database for `city`. Deterministic given the city's
+/// seed. The output length is `config.n_pois + n_towers * 15` (tower POIs
+/// come on top of the Table 3 budget).
+pub fn generate_pois(city: &CityModel) -> Vec<Poi> {
+    let config = &city.config;
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x9014);
+    let half = config.extent_m / 2.0;
+
+    let shares: Vec<f64> = Category::ALL.iter().map(|c| c.share()).collect();
+    let category_dist = WeightedIndex::new(&shares).expect("static shares");
+
+    // District lookup per category, reused across draws.
+    let by_category: Vec<Vec<usize>> = Category::ALL
+        .iter()
+        .map(|&c| city.districts_of(c))
+        .collect();
+
+    let mut pois = Vec::with_capacity(config.n_pois + city.towers.len() * TOWER_POIS);
+    let mut id = 0u64;
+
+    for _ in 0..config.n_pois {
+        let category = Category::from_index(category_dist.sample(&mut rng));
+        let candidates = &by_category[category as usize];
+        let roll: f64 = rng.gen();
+        let district = if roll < IN_DISTRICT_FRACTION && !candidates.is_empty() {
+            // A district dominated by this category.
+            Some(&city.districts[candidates[rng.gen_range(0..candidates.len())]])
+        } else if roll < IN_DISTRICT_FRACTION + FABRIC_FRACTION {
+            // Urban fabric: any district, category regardless.
+            Some(&city.districts[rng.gen_range(0..city.districts.len())])
+        } else {
+            None // background
+        };
+        let pos = match district {
+            Some(d) => {
+                if rng.gen_bool(NEAR_VENUE_FRACTION) && !d.venues.is_empty() {
+                    let v = d.venues[rng.gen_range(0..d.venues.len())];
+                    v + polar_jitter(&mut rng, 60.0)
+                } else {
+                    let a = rng.gen_range(0.0..std::f64::consts::TAU);
+                    let r = d.radius * rng.gen_range(0.0..1.0f64).sqrt();
+                    d.center + LocalPoint::new(r * a.cos(), r * a.sin())
+                }
+            }
+            None => LocalPoint::new(rng.gen_range(-half..half), rng.gen_range(-half..half)),
+        };
+        let minor = rng.gen_range(0..category.minor_count());
+        pois.push(Poi {
+            id,
+            pos,
+            category,
+            minor,
+        });
+        id += 1;
+    }
+
+    // Tower POIs: mixed categories stacked within the footprint.
+    for tower in &city.towers {
+        for _ in 0..TOWER_POIS {
+            let category = TOWER_CATEGORIES[rng.gen_range(0..TOWER_CATEGORIES.len())];
+            let pos = tower.center + polar_jitter(&mut rng, tower.radius);
+            let minor = rng.gen_range(0..category.minor_count());
+            pois.push(Poi {
+                id,
+                pos,
+                category,
+                minor,
+            });
+            id += 1;
+        }
+    }
+
+    pois
+}
+
+/// Uniform point in a disk of the given radius.
+fn polar_jitter(rng: &mut ChaCha8Rng, radius: f64) -> LocalPoint {
+    let a = rng.gen_range(0.0..std::f64::consts::TAU);
+    let r = radius * rng.gen_range(0.0..1.0f64).sqrt();
+    LocalPoint::new(r * a.cos(), r * a.sin())
+}
+
+/// Category histogram of a POI set — the Table 3 regeneration.
+pub fn category_histogram(pois: &[Poi]) -> [usize; Category::COUNT] {
+    let mut counts = [0usize; Category::COUNT];
+    for p in pois {
+        counts[p.category as usize] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CityConfig;
+
+    #[test]
+    fn category_mix_tracks_table3() {
+        let city = CityModel::generate(&CityConfig::small(5));
+        let pois = generate_pois(&city);
+        let hist = category_histogram(&pois);
+        let total: usize = hist.iter().sum();
+        assert_eq!(total, pois.len());
+        // The dominant categories must match Table 3's ordering within
+        // sampling noise (towers skew the top slightly).
+        let res = hist[Category::Residence as usize] as f64 / total as f64;
+        assert!((res - 0.18).abs() < 0.04, "Residence share {res}");
+        let med = hist[Category::Medical as usize] as f64 / total as f64;
+        assert!(med < 0.03, "Medical share {med}");
+        assert!(hist[Category::Residence as usize] > hist[Category::Tourism as usize]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let city = CityModel::generate(&CityConfig::tiny(8));
+        let a = generate_pois(&city);
+        let b = generate_pois(&city);
+        assert_eq!(a.len(), b.len());
+        assert!(a
+            .iter()
+            .zip(&b)
+            .all(|(x, y)| x.pos == y.pos && x.category == y.category));
+    }
+
+    #[test]
+    fn ids_are_unique_and_dense() {
+        let city = CityModel::generate(&CityConfig::tiny(8));
+        let pois = generate_pois(&city);
+        for (i, p) in pois.iter().enumerate() {
+            assert_eq!(p.id, i as u64);
+        }
+    }
+
+    #[test]
+    fn tower_pois_sit_inside_footprints() {
+        let cfg = CityConfig::tiny(13);
+        let city = CityModel::generate(&cfg);
+        let pois = generate_pois(&city);
+        let tower_pois = &pois[cfg.n_pois..];
+        assert_eq!(tower_pois.len(), city.towers.len() * TOWER_POIS);
+        for (t, chunk) in city.towers.iter().zip(tower_pois.chunks(TOWER_POIS)) {
+            for p in chunk {
+                assert!(p.pos.distance(&t.center) <= t.radius + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn minor_types_respect_per_category_bounds() {
+        let city = CityModel::generate(&CityConfig::tiny(21));
+        for p in generate_pois(&city) {
+            assert!(p.minor < p.category.minor_count());
+        }
+    }
+
+    #[test]
+    fn district_pois_concentrate_in_districts() {
+        let cfg = CityConfig::small(4);
+        let city = CityModel::generate(&cfg);
+        let pois = generate_pois(&city);
+        // Count POIs inside some district of their own category.
+        let mut inside = 0usize;
+        for p in &pois[..cfg.n_pois] {
+            let hit = city
+                .districts
+                .iter()
+                .any(|d| d.category == p.category && d.center.distance(&p.pos) <= d.radius + 60.0);
+            if hit {
+                inside += 1;
+            }
+        }
+        let frac = inside as f64 / cfg.n_pois as f64;
+        assert!(frac > 0.4, "in-district fraction {frac}");
+    }
+}

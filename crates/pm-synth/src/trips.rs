@@ -1,0 +1,602 @@
+//! Taxi-trip generation: the time-of-week activity schedule.
+//!
+//! Every passenger owns fixed anchors — home, work (CBD-biased), the shop
+//! and restaurant nearest to work, a leisure venue near home and the
+//! hospital nearest home. Day plans sample the weekday/weekend behaviours
+//! the paper's Fig. 14 demonstrates: dense morning commutes, a quiet midday,
+//! evening shopping/dining chains, sparse irregular weekends, steady airport
+//! demand and occasional hospital visits. Each trip leg becomes a taxi
+//! journey with GPS noise at both ends; travel time is distance over a
+//! ~25 km/h urban speed, so the paper's ~30-minute average trip duration
+//! (the mechanism behind Fig. 13's delta_t = 15 min dip) emerges naturally.
+
+use crate::city::CityModel;
+use pm_core::types::{Category, GpsPoint, SemanticTrajectory, StayPoint, Timestamp, DAY_SECS};
+use pm_geo::LocalPoint;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// One taxi journey: a pick-up and a drop-off, optionally linked to a
+/// payment-card passenger, with the ground-truth activity categories the
+/// generator knows (used to score semantic recognition).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaxiJourney {
+    /// Pick-up fix.
+    pub pickup: GpsPoint,
+    /// Drop-off fix.
+    pub dropoff: GpsPoint,
+    /// Card id when the passenger is in the carded 20%.
+    pub passenger: Option<u64>,
+    /// Ground truth: activity category at the origin.
+    pub true_from: Category,
+    /// Ground truth: activity category at the destination.
+    pub true_to: Category,
+}
+
+/// The generated taxi corpus.
+#[derive(Debug, Clone, Default)]
+pub struct TaxiCorpus {
+    /// All journeys, in generation order (per passenger, per day, per leg).
+    pub journeys: Vec<TaxiJourney>,
+}
+
+/// A passenger's fixed anchors.
+#[derive(Debug, Clone, Copy)]
+struct Passenger {
+    home: Anchor,
+    work: Anchor,
+    shop: Anchor,
+    restaurant: Anchor,
+    leisure: Anchor,
+    hospital: Anchor,
+    airport: Anchor,
+    card: Option<u64>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Anchor {
+    /// Primary spot of the compound (used for distances/travel times).
+    pos: LocalPoint,
+    /// District index (to resolve a random compound spot per trip).
+    district: u32,
+    category: Category,
+}
+
+/// Urban taxi speed in m/s (~25 km/h).
+const SPEED_MPS: f64 = 7.0;
+
+/// Shared venue pools for irregular trips.
+struct Pools<'a> {
+    leisure: &'a [Anchor],
+    errand: &'a [Anchor],
+}
+
+impl TaxiCorpus {
+    /// Generates the corpus for `city`, deterministic given the seed.
+    pub fn generate(city: &CityModel) -> TaxiCorpus {
+        let config = &city.config;
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x7A11);
+        let passengers = Self::make_passengers(city, &mut rng);
+
+        // Shared venue pools for irregular behaviour: weekend leisure picks
+        // a random venue (not a fixed anchor), and occasional errands can
+        // target any district — the "sparse and irregular" weekend traffic
+        // of Fig. 14(d)-(f).
+        let leisure_pool: Vec<Anchor> = city
+            .districts
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| {
+                matches!(
+                    d.category,
+                    Category::Shop | Category::Entertainment | Category::Restaurant
+                )
+            })
+            .map(|(i, d)| Anchor {
+                pos: d.venues[0],
+                district: i as u32,
+                category: d.category,
+            })
+            .collect();
+        let errand_pool: Vec<Anchor> = city
+            .districts
+            .iter()
+            .enumerate()
+            .map(|(i, d)| Anchor {
+                pos: d.venues[0],
+                district: i as u32,
+                category: d.category,
+            })
+            .collect();
+        let pools = Pools {
+            leisure: &leisure_pool,
+            errand: &errand_pool,
+        };
+
+        let mut journeys = Vec::new();
+        for day in 0..config.n_days {
+            let weekend = day % 7 >= 5;
+            for p in &passengers {
+                Self::day_plan(
+                    city,
+                    p,
+                    day,
+                    weekend,
+                    &mut rng,
+                    config.gps_noise_m,
+                    &pools,
+                    &mut journeys,
+                );
+            }
+        }
+        TaxiCorpus { journeys }
+    }
+
+    fn make_passengers(city: &CityModel, rng: &mut ChaCha8Rng) -> Vec<Passenger> {
+        let config = &city.config;
+        let residences = city.districts_of(Category::Residence);
+        let businesses = city.districts_of(Category::Business);
+        let cbds = city.cbds();
+        let shops = city.districts_of(Category::Shop);
+        let restaurants = city.districts_of(Category::Restaurant);
+        let entertainment = city.districts_of(Category::Entertainment);
+
+        let venue = |d: usize| Anchor {
+            pos: city.districts[d].venues[0],
+            district: d as u32,
+            category: city.districts[d].category,
+        };
+        // Nearest district of a set to a point; falls back to the first
+        // business district when the set is empty (tiny cities).
+        let nearest = |set: &[usize], from: LocalPoint| -> usize {
+            set.iter()
+                .copied()
+                .min_by(|&a, &b| {
+                    city.districts[a].venues[0]
+                        .distance_sq(&from)
+                        .total_cmp(&city.districts[b].venues[0].distance_sq(&from))
+                })
+                .unwrap_or(cbds[0])
+        };
+
+        let n_carded = (config.n_passengers as f64 * config.carded_fraction).round() as usize;
+        (0..config.n_passengers)
+            .map(|i| {
+                let home = venue(residences[rng.gen_range(0..residences.len())]);
+                // 70% of commuters work in a CBD, the rest anywhere business.
+                let work_district = if rng.gen_bool(0.7) || businesses.is_empty() {
+                    cbds[rng.gen_range(0..cbds.len())]
+                } else {
+                    businesses[rng.gen_range(0..businesses.len())]
+                };
+                let work = venue(work_district);
+                // Errand anchors correlate with daily life: the shop and
+                // restaurant nearest work, leisure nearest home.
+                let shop = venue(nearest(&shops, work.pos));
+                let restaurant = venue(nearest(&restaurants, work.pos));
+                let leisure = venue(nearest(
+                    if entertainment.is_empty() {
+                        &shops
+                    } else {
+                        &entertainment
+                    },
+                    home.pos,
+                ));
+                let hospital = venue(nearest(&city.hospitals, home.pos));
+                let airport = venue(city.airport);
+                Passenger {
+                    home,
+                    work,
+                    shop,
+                    restaurant,
+                    leisure,
+                    hospital,
+                    airport,
+                    card: (i < n_carded).then_some(i as u64),
+                }
+            })
+            .collect()
+    }
+
+    /// Samples one passenger-day of taxi legs.
+    #[allow(clippy::too_many_arguments)]
+    fn day_plan(
+        city: &CityModel,
+        p: &Passenger,
+        day: u32,
+        weekend: bool,
+        rng: &mut ChaCha8Rng,
+        noise: f64,
+        pools: &Pools<'_>,
+        out: &mut Vec<TaxiJourney>,
+    ) {
+        let day_start = day as Timestamp * DAY_SECS;
+        let h = |hours: f64| (hours * 3600.0) as Timestamp;
+        fn jitter(rng: &mut ChaCha8Rng, minutes: f64) -> Timestamp {
+            (rng.gen_range(-minutes..minutes) * 60.0) as Timestamp
+        }
+        macro_rules! leg {
+            ($from:expr, $to:expr, $t:expr) => {{
+                let t = $t;
+                Self::emit(city, p, $from, $to, day_start + t, rng, noise, out)
+            }};
+        }
+
+        let r: f64 = rng.gen();
+        if weekend {
+            if r < 0.015 {
+                // Hospital visit.
+                let j1 = jitter(rng, 45.0);
+                let t1 = leg!(p.home, p.hospital, h(9.0) + j1);
+                let j2 = jitter(rng, 30.0);
+                leg!(p.hospital, p.home, t1 - day_start + h(1.5) + j2);
+            } else if r < 0.095 {
+                // Airport run (either direction).
+                if rng.gen_bool(0.5) {
+                    let j = jitter(rng, 150.0);
+                    leg!(p.home, p.airport, h(8.0) + j);
+                } else {
+                    let j = jitter(rng, 150.0);
+                    leg!(p.airport, p.home, h(18.0) + j);
+                }
+            } else if r < 0.5 {
+                // Free-form leisure at an irregular hour: half the time the
+                // usual neighbourhood haunt, half the time a random venue
+                // anywhere in town.
+                let dest = if rng.gen_bool(0.5) || pools.leisure.is_empty() {
+                    match rng.gen_range(0..3) {
+                        0 => p.shop,
+                        1 => p.leisure,
+                        _ => p.restaurant,
+                    }
+                } else {
+                    pools.leisure[rng.gen_range(0..pools.leisure.len())]
+                };
+                let t_out = h(rng.gen_range(9.0..19.0));
+                let t1 = leg!(p.home, dest, t_out);
+                let dwell = h(rng.gen_range(1.0..3.5));
+                leg!(dest, p.home, t1 - day_start + dwell);
+            }
+            return;
+        }
+
+        // ---- Weekday ----
+        if r < 0.045 {
+            // Hospital visit (morning out, late-morning back).
+            let j1 = jitter(rng, 45.0);
+            let t1 = leg!(p.home, p.hospital, h(9.0) + j1);
+            let j2 = jitter(rng, 30.0);
+            leg!(p.hospital, p.home, t1 - day_start + h(1.5) + j2);
+            return;
+        }
+        if r < 0.145 {
+            // Airport run.
+            if rng.gen_bool(0.5) {
+                let j = jitter(rng, 90.0);
+                leg!(p.home, p.airport, h(7.5) + j);
+            } else {
+                let j = jitter(rng, 90.0);
+                leg!(p.airport, p.home, h(19.0) + j);
+            }
+            return;
+        }
+        if r < 0.195 {
+            // Background errand: a round trip to a random district at an
+            // odd hour — irregular traffic that no pattern should absorb.
+            let dest = pools.errand[rng.gen_range(0..pools.errand.len())];
+            let t_out = h(rng.gen_range(9.0..20.0));
+            let t1 = leg!(p.home, dest, t_out);
+            let dwell = h(rng.gen_range(0.5..2.0));
+            leg!(dest, p.home, t1 - day_start + dwell);
+            return;
+        }
+        if r < 0.92 {
+            // Commute day.
+            let j = jitter(rng, 45.0);
+            leg!(p.home, p.work, h(8.0) + j);
+            // Occasional midday restaurant round trip.
+            if rng.gen_bool(0.12) {
+                let j = jitter(rng, 20.0);
+                let t1 = leg!(p.work, p.restaurant, h(12.0) + j);
+                leg!(p.restaurant, p.work, t1 - day_start + h(0.8));
+            }
+            // Evening behaviour.
+            let u: f64 = rng.gen();
+            if u < 0.25 {
+                // Work -> shop -> home chain with a short browse.
+                let j1 = jitter(rng, 40.0);
+                let t1 = leg!(p.work, p.shop, h(18.0) + j1);
+                let j2 = jitter(rng, 10.0);
+                leg!(p.shop, p.home, t1 - day_start + h(0.7) + j2);
+            } else if u < 0.45 {
+                // Work -> restaurant -> home.
+                let j1 = jitter(rng, 40.0);
+                let t1 = leg!(p.work, p.restaurant, h(18.5) + j1);
+                let j2 = jitter(rng, 10.0);
+                leg!(p.restaurant, p.home, t1 - day_start + h(0.9) + j2);
+            } else {
+                // Straight home.
+                let j = jitter(rng, 60.0);
+                leg!(p.work, p.home, h(18.0) + j);
+            }
+        }
+        // else: no taxi today.
+    }
+
+    /// Emits one journey and returns the drop-off time. Each endpoint picks
+    /// a random spot of its compound (a mall has several entrances).
+    #[allow(clippy::too_many_arguments)]
+    fn emit(
+        city: &CityModel,
+        p: &Passenger,
+        from: Anchor,
+        to: Anchor,
+        depart: Timestamp,
+        rng: &mut ChaCha8Rng,
+        noise: f64,
+        out: &mut Vec<TaxiJourney>,
+    ) -> Timestamp {
+        let spot = |rng: &mut ChaCha8Rng, a: &Anchor| -> LocalPoint {
+            let spots = &city.districts[a.district as usize].venues;
+            spots[rng.gen_range(0..spots.len())]
+        };
+        let from_spot = spot(rng, &from);
+        let to_spot = spot(rng, &to);
+        let travel =
+            ((from_spot.distance(&to_spot) / SPEED_MPS) * rng.gen_range(0.9..1.3)).max(240.0);
+        let arrive = depart + travel as Timestamp;
+        out.push(TaxiJourney {
+            pickup: GpsPoint::new(gauss_jitter(rng, from_spot, noise), depart),
+            dropoff: GpsPoint::new(gauss_jitter(rng, to_spot, noise), arrive),
+            passenger: p.card,
+            true_from: from.category,
+            true_to: to.category,
+        });
+        arrive
+    }
+
+    /// Links the corpus into semantic trajectories, as §5 of the paper does:
+    /// carded passengers' journeys within one day chain into a multi-stay
+    /// trajectory (pick-up of the first leg, then every drop-off); anonymous
+    /// journeys become two-stay trajectories. Stay points are untagged —
+    /// semantic recognition fills the tags in.
+    pub fn semantic_trajectories(&self) -> Vec<SemanticTrajectory> {
+        self.trajectories_with_truth().0
+    }
+
+    /// Like [`TaxiCorpus::semantic_trajectories`], additionally returning
+    /// the ground-truth category of every stay point (aligned per
+    /// trajectory/stay), for recognition-accuracy scoring.
+    pub fn trajectories_with_truth(&self) -> (Vec<SemanticTrajectory>, Vec<Vec<Category>>) {
+        let mut out = Vec::new();
+        let mut truth = Vec::new();
+
+        // Group carded journeys by (passenger, day); keep anonymous ones
+        // singleton. Journeys are generated per passenger per day in time
+        // order, so a linear scan suffices.
+        let mut chains: std::collections::HashMap<(u64, i64), Vec<&TaxiJourney>> =
+            std::collections::HashMap::new();
+        for j in &self.journeys {
+            match j.passenger {
+                Some(card) => {
+                    chains
+                        .entry((card, j.pickup.time.div_euclid(DAY_SECS)))
+                        .or_default()
+                        .push(j);
+                }
+                None => {
+                    out.push(SemanticTrajectory::new(vec![
+                        StayPoint::untagged(j.pickup.pos, j.pickup.time),
+                        StayPoint::untagged(j.dropoff.pos, j.dropoff.time),
+                    ]));
+                    truth.push(vec![j.true_from, j.true_to]);
+                }
+            }
+        }
+
+        let mut keys: Vec<(u64, i64)> = chains.keys().copied().collect();
+        keys.sort_unstable();
+        for key in keys {
+            let mut legs = chains.remove(&key).expect("key from map");
+            legs.sort_by_key(|j| j.pickup.time);
+            let mut stays = vec![StayPoint::untagged(legs[0].pickup.pos, legs[0].pickup.time)];
+            let mut cats = vec![legs[0].true_from];
+            for j in &legs {
+                stays.push(StayPoint::untagged(j.dropoff.pos, j.dropoff.time));
+                cats.push(j.true_to);
+            }
+            out.push(SemanticTrajectory::new(stays).with_passenger(key.0));
+            truth.push(cats);
+        }
+        (out, truth)
+    }
+
+    /// Every pick-up and drop-off location — the stay-point corpus `D_sp`
+    /// behind popularity estimation.
+    pub fn stay_point_locations(&self) -> Vec<LocalPoint> {
+        self.journeys
+            .iter()
+            .flat_map(|j| [j.pickup.pos, j.dropoff.pos])
+            .collect()
+    }
+}
+
+/// Adds isotropic Gaussian noise (Box–Muller) with the given sigma.
+fn gauss_jitter(rng: &mut ChaCha8Rng, pos: LocalPoint, sigma: f64) -> LocalPoint {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+    let mag = sigma * (-2.0 * u1.ln()).sqrt();
+    pos + LocalPoint::new(mag * u2.cos(), mag * u2.sin())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CityConfig;
+
+    fn corpus(seed: u64) -> (CityModel, TaxiCorpus) {
+        let city = CityModel::generate(&CityConfig::tiny(seed));
+        let corpus = TaxiCorpus::generate(&city);
+        (city, corpus)
+    }
+
+    #[test]
+    fn generates_a_plausible_volume() {
+        let (_, c) = corpus(1);
+        // 350 passengers x 3 days x O(1) journeys/day.
+        assert!(c.journeys.len() > 400, "got {}", c.journeys.len());
+        assert!(c.journeys.len() < 5_000);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (_, a) = corpus(5);
+        let (_, b) = corpus(5);
+        assert_eq!(a.journeys.len(), b.journeys.len());
+        assert!(a.journeys.iter().zip(&b.journeys).all(|(x, y)| x == y));
+    }
+
+    #[test]
+    fn journeys_are_time_consistent() {
+        let (_, c) = corpus(2);
+        for j in &c.journeys {
+            assert!(j.dropoff.time > j.pickup.time);
+            let dur = j.dropoff.time - j.pickup.time;
+            assert!((240..7_200).contains(&dur), "trip duration {dur}s");
+        }
+    }
+
+    #[test]
+    fn trip_durations_average_around_half_an_hour() {
+        // The paper observes ~30 min average Shanghai taxi trips; our travel
+        // model should land in the same regime (10–40 min mean).
+        let city = CityModel::generate(&CityConfig::small(3));
+        let c = TaxiCorpus::generate(&city);
+        let mean = c
+            .journeys
+            .iter()
+            .map(|j| (j.dropoff.time - j.pickup.time) as f64)
+            .sum::<f64>()
+            / c.journeys.len() as f64;
+        assert!((600.0..2_400.0).contains(&mean), "mean duration {mean}s");
+    }
+
+    #[test]
+    fn carded_fraction_matches_config() {
+        let (city, c) = corpus(4);
+        let carded = c.journeys.iter().filter(|j| j.passenger.is_some()).count();
+        let frac = carded as f64 / c.journeys.len() as f64;
+        let expect = city.config.carded_fraction;
+        assert!((frac - expect).abs() < 0.1, "carded fraction {frac}");
+    }
+
+    #[test]
+    fn weekday_mornings_are_commute_heavy() {
+        let city = CityModel::generate(&CityConfig::small(7)); // 7 days
+        let c = TaxiCorpus::generate(&city);
+        let morning_commutes = c
+            .journeys
+            .iter()
+            .filter(|j| {
+                let day = j.pickup.time.div_euclid(DAY_SECS) % 7;
+                let hour = j.pickup.time.rem_euclid(DAY_SECS) / 3600;
+                day < 5
+                    && (6..10).contains(&hour)
+                    && j.true_from == Category::Residence
+                    && j.true_to == Category::Business
+            })
+            .count();
+        assert!(
+            morning_commutes as f64 > c.journeys.len() as f64 * 0.15,
+            "{morning_commutes} of {}",
+            c.journeys.len()
+        );
+    }
+
+    #[test]
+    fn weekends_are_sparser_than_weekdays() {
+        let city = CityModel::generate(&CityConfig::small(8));
+        let c = TaxiCorpus::generate(&city);
+        let mut per_day = [0usize; 7];
+        for j in &c.journeys {
+            per_day[(j.pickup.time.div_euclid(DAY_SECS) % 7) as usize] += 1;
+        }
+        let weekday_avg = per_day[..5].iter().sum::<usize>() as f64 / 5.0;
+        let weekend_avg = per_day[5..].iter().sum::<usize>() as f64 / 2.0;
+        assert!(
+            weekend_avg < weekday_avg * 0.7,
+            "wd {weekday_avg} we {weekend_avg}"
+        );
+    }
+
+    #[test]
+    fn airport_draws_meaningful_demand() {
+        let city = CityModel::generate(&CityConfig::small(9));
+        let c = TaxiCorpus::generate(&city);
+        let airport_pos = city.districts[city.airport].venues[0];
+        let touching = c
+            .journeys
+            .iter()
+            .filter(|j| {
+                j.pickup.pos.distance(&airport_pos) < 200.0
+                    || j.dropoff.pos.distance(&airport_pos) < 200.0
+            })
+            .count();
+        let frac = touching as f64 / c.journeys.len() as f64;
+        assert!(frac > 0.02, "airport fraction {frac}");
+    }
+
+    #[test]
+    fn hospital_trips_exist() {
+        let city = CityModel::generate(&CityConfig::small(10));
+        let c = TaxiCorpus::generate(&city);
+        let medical = c
+            .journeys
+            .iter()
+            .filter(|j| j.true_to == Category::Medical)
+            .count();
+        assert!(medical > 0);
+    }
+
+    #[test]
+    fn linking_produces_multi_stay_chains() {
+        let (_, c) = corpus(11);
+        let (trajs, truth) = c.trajectories_with_truth();
+        assert_eq!(trajs.len(), truth.len());
+        let long = trajs.iter().filter(|t| t.len() >= 3).count();
+        assert!(long > 0, "carded passengers must yield >= 3-stay chains");
+        for (t, cats) in trajs.iter().zip(&truth) {
+            assert_eq!(t.len(), cats.len());
+            assert!(t.stays.windows(2).all(|w| w[0].time <= w[1].time));
+        }
+        // Long chains belong to carded passengers.
+        for t in trajs.iter().filter(|t| t.len() > 2) {
+            assert!(t.passenger.is_some());
+        }
+    }
+
+    #[test]
+    fn stay_point_locations_count() {
+        let (_, c) = corpus(12);
+        assert_eq!(c.stay_point_locations().len(), c.journeys.len() * 2);
+    }
+
+    #[test]
+    fn gps_noise_stays_near_anchor() {
+        let (city, c) = corpus(13);
+        // Each pickup should be within ~5 sigma of *some* venue.
+        let venues: Vec<LocalPoint> = city
+            .districts
+            .iter()
+            .flat_map(|d| d.venues.clone())
+            .collect();
+        let max_noise = city.config.gps_noise_m * 5.0;
+        for j in c.journeys.iter().take(200) {
+            let near = venues
+                .iter()
+                .any(|v| v.distance(&j.pickup.pos) <= max_noise);
+            assert!(near, "pickup far from every venue");
+        }
+    }
+}

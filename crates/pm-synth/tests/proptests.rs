@@ -1,0 +1,96 @@
+//! Property-based tests for the synthetic substrate: structural guarantees
+//! must hold for every seed and scale, not just the tested ones.
+
+use pm_core::types::{Category, DAY_SECS};
+use pm_synth::{generate_checkins, CityConfig, CityModel, SharingProfile, TaxiCorpus};
+use proptest::prelude::*;
+
+fn config() -> impl Strategy<Value = CityConfig> {
+    (0u64..1_000, 12usize..40, 100usize..400, 1u32..5).prop_map(
+        |(seed, districts, passengers, days)| CityConfig {
+            seed,
+            extent_m: 6_000.0,
+            n_districts: districts,
+            n_towers: 2,
+            n_pois: 800,
+            n_passengers: passengers,
+            carded_fraction: 0.2,
+            n_days: days,
+            gps_noise_m: 15.0,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn city_structure_holds_for_every_seed(cfg in config()) {
+        let city = CityModel::generate(&cfg);
+        prop_assert!(!city.cbds().is_empty());
+        prop_assert!(!city.districts_of(Category::Residence).is_empty());
+        prop_assert_eq!(city.districts[city.airport].category, Category::TrafficStation);
+        prop_assert!(city.hospitals.len() >= 2);
+        for d in &city.districts {
+            prop_assert!(!d.venues.is_empty());
+            prop_assert!(d.radius > 0.0);
+        }
+    }
+
+    #[test]
+    fn corpus_invariants(cfg in config()) {
+        let city = CityModel::generate(&cfg);
+        let corpus = TaxiCorpus::generate(&city);
+        for j in &corpus.journeys {
+            prop_assert!(j.dropoff.time > j.pickup.time);
+            prop_assert!(j.dropoff.time - j.pickup.time < 3 * 3600,
+                "implausible trip duration");
+        }
+        // Linking preserves stays and truth alignment.
+        let (trajs, truth) = corpus.trajectories_with_truth();
+        prop_assert_eq!(trajs.len(), truth.len());
+        let mut total_stays = 0usize;
+        for (t, c) in trajs.iter().zip(&truth) {
+            prop_assert_eq!(t.len(), c.len());
+            prop_assert!(t.stays.windows(2).all(|w| w[0].time <= w[1].time));
+            total_stays += t.len();
+        }
+        // Every journey contributes its drop-off exactly once, plus one
+        // pick-up per trajectory.
+        prop_assert_eq!(total_stays, corpus.journeys.len() + trajs.len());
+    }
+
+    #[test]
+    fn checkins_never_exceed_journeys(cfg in config(), seed in 0u64..50) {
+        let city = CityModel::generate(&cfg);
+        let corpus = TaxiCorpus::generate(&city);
+        for profile in [SharingProfile::new_york(), SharingProfile::tokyo()] {
+            let checkins = generate_checkins(&corpus, &profile, seed);
+            prop_assert!(checkins.len() <= corpus.journeys.len());
+        }
+    }
+
+    #[test]
+    fn weekday_traffic_dominates(cfg in config()) {
+        prop_assume!(cfg.n_days >= 7 || cfg.n_days <= 5);
+        let city = CityModel::generate(&cfg);
+        let corpus = TaxiCorpus::generate(&city);
+        prop_assume!(corpus.journeys.len() > 100);
+        let mut weekday = 0usize;
+        let mut weekend = 0usize;
+        let mut wd_days = 0u32;
+        let mut we_days = 0u32;
+        for d in 0..cfg.n_days {
+            if d % 7 >= 5 { we_days += 1 } else { wd_days += 1 }
+        }
+        for j in &corpus.journeys {
+            let day = j.pickup.time.div_euclid(DAY_SECS) % 7;
+            if day >= 5 { weekend += 1 } else { weekday += 1 }
+        }
+        if wd_days > 0 && we_days > 0 {
+            let wd_rate = weekday as f64 / wd_days as f64;
+            let we_rate = weekend as f64 / we_days as f64;
+            prop_assert!(wd_rate > we_rate, "weekday {wd_rate} <= weekend {we_rate}");
+        }
+    }
+}

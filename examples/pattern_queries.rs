@@ -1,0 +1,67 @@
+//! Pattern queries: the downstream-service view of mined patterns.
+//!
+//! The paper motivates mining with services — vouchers for Office -> Shop
+//! commuters, transit planning, site selection. This example mines a week
+//! of taxi data and answers those product questions with `PatternQuery`.
+//!
+//! Run with: `cargo run --release --example pattern_queries`
+
+use pervasive_miner::prelude::*;
+use pm_core::recognize::stay_points_of;
+use pm_core::types::{Category, WeekBucket};
+
+fn main() {
+    let dataset = Dataset::generate(&CityConfig::small(13));
+    let params = MinerParams {
+        sigma: 30,
+        ..MinerParams::default()
+    };
+    let stays = stay_points_of(&dataset.trajectories);
+    let csd = CitySemanticDiagram::build(&dataset.pois, &stays, &params);
+    let recognized = recognize_all(&csd, dataset.trajectories.clone(), &params);
+    let patterns = extract_patterns(&recognized, &params);
+    println!("{} patterns mined\n", patterns.len());
+
+    // "Which commuter flows should get shopping vouchers?"
+    let voucher = PatternQuery::new()
+        .from_category(Category::Business)
+        .involving(Category::Shop)
+        .min_support(30);
+    println!("voucher targets (Office -> ... -> Shop):");
+    for p in voucher.top_k(&patterns, 5) {
+        println!("  {:<55} support {:>4}", p.describe(), p.support());
+    }
+
+    // "Where is weekday-morning commute demand concentrated?"
+    let commute = PatternQuery::new()
+        .from_category(Category::Residence)
+        .to_category(Category::Business)
+        .in_bucket(WeekBucket::WeekdayMorning);
+    println!("\nweekday-morning commutes:");
+    for p in commute.top_k(&patterns, 5) {
+        println!(
+            "  {:<30} from ({:>6.0},{:>6.0}) to ({:>6.0},{:>6.0})  support {:>4}",
+            p.describe(),
+            p.stays[0].pos.x,
+            p.stays[0].pos.y,
+            p.stays[1].pos.x,
+            p.stays[1].pos.y,
+            p.support()
+        );
+    }
+
+    // "What happens around the airport?"
+    let airport_pos = dataset.city.districts[dataset.city.airport].venues[0];
+    let airport = PatternQuery::new().near(airport_pos, 500.0);
+    println!("\nairport-involving patterns:");
+    for p in airport.top_k(&patterns, 5) {
+        println!("  {:<55} support {:>4}", p.describe(), p.support());
+    }
+
+    // "Any multi-leg evening chains?"
+    let chains = PatternQuery::new().min_len(3);
+    println!("\nmulti-leg chains:");
+    for p in chains.top_k(&patterns, 5) {
+        println!("  {:<55} support {:>4}", p.describe(), p.support());
+    }
+}

@@ -1,0 +1,69 @@
+//! Quickstart: the canonical end-to-end Pervasive Miner flow.
+//!
+//! Generates a small synthetic city, builds the City Semantic Diagram from
+//! the POI database and the taxi stay-point corpus, recognizes the semantic
+//! property of every stay point, and mines fine-grained mobility patterns.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use pervasive_miner::prelude::*;
+use pm_core::metrics::{pattern_metrics, summarize};
+use pm_core::recognize::stay_points_of;
+
+fn main() {
+    // 1. Data: a synthetic city with POIs and a week of taxi journeys
+    //    (substitute your own POI table and pick-up/drop-off records here).
+    let config = CityConfig::small(7);
+    let dataset = Dataset::generate(&config);
+    println!(
+        "city: {} POIs, {} taxi journeys, {} linked trajectories",
+        dataset.pois.len(),
+        dataset.corpus.journeys.len(),
+        dataset.trajectories.len()
+    );
+
+    // 2. Build the City Semantic Diagram: popularity-based clustering,
+    //    KL-divergence purification, cosine merging (paper §4.1).
+    let params = MinerParams {
+        sigma: 30,
+        ..MinerParams::default()
+    };
+    let stays = stay_points_of(&dataset.trajectories);
+    let csd = CitySemanticDiagram::build(&dataset.pois, &stays, &params);
+    let stats = csd.stats();
+    println!(
+        "CSD: {} fine-grained semantic units covering {} POIs ({:.0}% single-category)",
+        stats.n_units,
+        stats.n_covered,
+        stats.purity * 100.0
+    );
+
+    // 3. Recognize the semantic property of every stay point (paper §4.2).
+    let recognized = recognize_all(&csd, dataset.trajectories.clone(), &params);
+    let tagged = recognized
+        .iter()
+        .flat_map(|t| &t.stays)
+        .filter(|sp| !sp.tags.is_empty())
+        .count();
+    let total: usize = recognized.iter().map(|t| t.len()).sum();
+    println!("recognized {tagged}/{total} stay points");
+
+    // 4. Mine fine-grained patterns (paper §4.3, Algorithm 4).
+    let patterns = extract_patterns(&recognized, &params);
+    let summary = summarize(&patterns);
+    println!(
+        "\n{} fine-grained patterns, coverage {}, avg sparsity {:.1} m, avg consistency {:.3}\n",
+        summary.n_patterns, summary.coverage, summary.avg_sparsity, summary.avg_consistency
+    );
+    println!("top patterns:");
+    for p in patterns.iter().take(10) {
+        let m = pattern_metrics(p);
+        println!(
+            "  {:<55} support {:>4}  sparsity {:>5.1} m  consistency {:.3}",
+            p.describe(),
+            p.support(),
+            m.spatial_sparsity,
+            m.semantic_consistency
+        );
+    }
+}

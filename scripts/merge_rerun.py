@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Replace the Fig. 12 / Fig. 14 sections of bench_output.txt with the
+refreshed blocks from a re-run transcript."""
+import sys
+
+BENCH = "bench_output.txt"
+RERUN = sys.argv[1] if len(sys.argv) > 1 else "/tmp/fig_rerun.txt"
+
+
+def section(text: str, header: str) -> str:
+    lines = text.splitlines()
+    out = []
+    grab = False
+    for line in lines:
+        if line.startswith(header):
+            grab = True
+        elif grab and line.startswith(("Benchmarking", "     Running", "Gnuplot")):
+            break
+        if grab:
+            out.append(line)
+    while out and not out[-1].strip():
+        out.pop()
+    return "\n".join(out)
+
+
+def replace_section(text: str, header: str, new: str) -> str:
+    lines = text.splitlines()
+    out = []
+    skipping = False
+    replaced = False
+    for line in lines:
+        if line.startswith(header):
+            skipping = True
+            replaced = True
+            out.append(new)
+            continue
+        if skipping and line.startswith(("Benchmarking", "     Running", "Gnuplot")):
+            skipping = False
+        if not skipping:
+            out.append(line)
+    if not replaced:
+        out.append(new)
+    return "\n".join(out) + "\n"
+
+
+rerun = open(RERUN).read()
+bench = open(BENCH).read()
+for header in ("Fig. 12 —", "Fig. 14 —"):
+    block = section(rerun, header)
+    if block:
+        bench = replace_section(bench, header, block)
+        print(f"replaced: {header}")
+    else:
+        print(f"WARNING: no rerun block for {header}")
+open(BENCH, "w").write(bench)

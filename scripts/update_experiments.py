@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Refresh EXPERIMENTS.md from bench_output.txt.
+
+Extracts every regenerated table/figure block the benches print (they all
+start with a recognizable header line) and splices them into EXPERIMENTS.md
+between the `<!-- RESULTS -->` marker and the `## Caveats` section.
+"""
+import re
+import sys
+
+BENCH = "bench_output.txt"
+DOC = "EXPERIMENTS.md"
+
+HEADERS = [
+    "Table 1 —",
+    "Table 3 —",
+    "Fig. 6 —",
+    "Fig. 9 —",
+    "Fig. 10 —",
+    "Fig. 11 —",
+    "Fig. 12 —",
+    "Fig. 13 —",
+    "Fig. 14 —",
+    "Ablation —",
+]
+
+
+def extract_blocks(text: str):
+    lines = text.splitlines()
+    blocks = []
+    i = 0
+    while i < len(lines):
+        if any(lines[i].startswith(h) for h in HEADERS):
+            block = [lines[i]]
+            i += 1
+            while i < len(lines):
+                line = lines[i]
+                if any(line.startswith(h) for h in HEADERS):
+                    break
+                if line.startswith(
+                    ("Benchmarking", "Gnuplot", "     Running", "warning", "    Finished")
+                ):
+                    break
+                block.append(line)
+                i += 1
+            while block and not block[-1].strip():
+                block.pop()
+            blocks.append("\n".join(block))
+        else:
+            i += 1
+    return blocks
+
+
+def main():
+    bench = open(BENCH).read()
+    blocks = extract_blocks(bench)
+    if not blocks:
+        sys.exit("no result blocks found in bench_output.txt")
+
+    def key(block):
+        head = block.splitlines()[0]
+        match = re.match(r"(Table|Fig\.|Ablation)\s*(\d+)?", head)
+        kind = {"Table": 0, "Fig.": 1, "Ablation": 2}[match.group(1)]
+        num = int(match.group(2)) if match.group(2) else 99
+        return (kind, num)
+
+    seen = set()
+    unique = []
+    for block in sorted(blocks, key=key):
+        head = block.splitlines()[0]
+        if head not in seen:
+            seen.add(head)
+            unique.append(block)
+
+    body = "\n\n".join(f"```text\n{b}\n```" for b in unique)
+    doc = open(DOC).read()
+    new = re.sub(
+        r"<!-- RESULTS -->.*?(?=## Caveats)",
+        f"<!-- RESULTS -->\n\n## Regenerated results\n\n{body}\n\n",
+        doc,
+        flags=re.S,
+    )
+    open(DOC, "w").write(new)
+    print(f"spliced {len(unique)} result blocks into {DOC}")
+
+
+if __name__ == "__main__":
+    main()

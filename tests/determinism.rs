@@ -1,0 +1,76 @@
+//! Determinism: the whole stack — generation, construction, recognition,
+//! extraction, metrics — must be bit-reproducible given a seed, and
+//! different seeds must actually produce different worlds.
+
+use pervasive_miner::prelude::*;
+use pm_core::metrics::summarize;
+use pm_core::recognize::stay_points_of;
+use pm_eval::run_all;
+
+fn full_run(seed: u64) -> (Dataset, Vec<FinePattern>) {
+    let ds = Dataset::generate(&CityConfig::tiny(seed));
+    let params = MinerParams {
+        sigma: 20,
+        ..MinerParams::default()
+    };
+    let stays = stay_points_of(&ds.trajectories);
+    let csd = CitySemanticDiagram::build(&ds.pois, &stays, &params);
+    let recognized = recognize_all(&csd, ds.trajectories.clone(), &params);
+    let patterns = extract_patterns(&recognized, &params);
+    (ds, patterns)
+}
+
+#[test]
+fn identical_seeds_give_identical_worlds() {
+    let (a, pa) = full_run(77);
+    let (b, pb) = full_run(77);
+    assert_eq!(a.pois.len(), b.pois.len());
+    assert!(a.pois.iter().zip(&b.pois).all(|(x, y)| x == y));
+    assert_eq!(a.corpus.journeys, b.corpus.journeys);
+    assert_eq!(pa.len(), pb.len());
+    for (x, y) in pa.iter().zip(&pb) {
+        assert_eq!(x.categories, y.categories);
+        assert_eq!(x.members, y.members);
+        assert_eq!(x.stays.len(), y.stays.len());
+        for (sx, sy) in x.stays.iter().zip(&y.stays) {
+            assert_eq!(sx.pos, sy.pos);
+            assert_eq!(sx.time, sy.time);
+            assert_eq!(sx.tags, sy.tags);
+        }
+    }
+}
+
+#[test]
+fn different_seeds_give_different_worlds() {
+    let (a, _) = full_run(1);
+    let (b, _) = full_run(2);
+    let identical = a
+        .corpus
+        .journeys
+        .iter()
+        .zip(&b.corpus.journeys)
+        .filter(|(x, y)| x == y)
+        .count();
+    assert!(identical < a.corpus.journeys.len() / 10);
+}
+
+#[test]
+fn six_pipeline_harness_is_deterministic() {
+    let ds = Dataset::generate(&CityConfig::tiny(11));
+    let params = MinerParams {
+        sigma: 20,
+        ..MinerParams::default()
+    };
+    let baseline = BaselineParams::default();
+    let a = run_all(&ds, &params, &baseline);
+    let b = run_all(&ds, &params, &baseline);
+    for ((aa, pa), (ab, pb)) in a.iter().zip(&b) {
+        assert_eq!(aa, ab);
+        let sa = summarize(pa);
+        let sb = summarize(pb);
+        assert_eq!(sa.n_patterns, sb.n_patterns);
+        assert_eq!(sa.coverage, sb.coverage);
+        assert_eq!(sa.avg_sparsity.to_bits(), sb.avg_sparsity.to_bits());
+        assert_eq!(sa.avg_consistency.to_bits(), sb.avg_consistency.to_bits());
+    }
+}

@@ -1,0 +1,115 @@
+//! End-to-end integration: synthetic city -> CSD -> recognition ->
+//! extraction -> metrics, with the qualitative structure the paper reports.
+
+use pervasive_miner::prelude::*;
+use pm_core::metrics::{pattern_metrics, summarize};
+use pm_core::recognize::stay_points_of;
+use pm_core::types::Category;
+
+fn mine(seed: u64, sigma: usize) -> (Dataset, Vec<FinePattern>) {
+    let ds = Dataset::generate(&CityConfig::tiny(seed));
+    let params = MinerParams {
+        sigma,
+        ..MinerParams::default()
+    };
+    let stays = stay_points_of(&ds.trajectories);
+    let csd = CitySemanticDiagram::build(&ds.pois, &stays, &params);
+    let recognized = recognize_all(&csd, ds.trajectories.clone(), &params);
+    let patterns = extract_patterns(&recognized, &params);
+    (ds, patterns)
+}
+
+#[test]
+fn pipeline_discovers_commute_patterns() {
+    let (_, patterns) = mine(42, 20);
+    assert!(!patterns.is_empty());
+    let commute = patterns
+        .iter()
+        .find(|p| p.categories == vec![Category::Residence, Category::Business]);
+    assert!(
+        commute.is_some(),
+        "Residence -> Business must be discovered"
+    );
+}
+
+#[test]
+fn patterns_satisfy_definition_11() {
+    let (_, patterns) = mine(42, 20);
+    for p in &patterns {
+        assert!(
+            p.support() >= 20,
+            "{}: support {}",
+            p.describe(),
+            p.support()
+        );
+        assert!(p.len() >= 2);
+        assert_eq!(p.groups.len(), p.len());
+        for (k, g) in p.groups.iter().enumerate() {
+            assert_eq!(g.len(), p.support());
+            let pts: Vec<pm_geo::LocalPoint> = g.iter().map(|sp| sp.pos).collect();
+            assert!(
+                pm_geo::den(&pts) >= MinerParams::default().rho,
+                "{} group {k} too sparse",
+                p.describe()
+            );
+        }
+    }
+}
+
+#[test]
+fn pattern_quality_is_paper_like() {
+    // The paper reports CSD-PM avg sparsity ~21 m and consistency > 0.99 on
+    // Shanghai; on the synthetic corpus (20 m GPS noise) we expect the same
+    // regime: venue-scale sparsity well under 60 m, near-perfect
+    // consistency.
+    let (_, patterns) = mine(7, 20);
+    let summary = summarize(&patterns);
+    assert!(summary.n_patterns > 0);
+    assert!(
+        summary.avg_sparsity < 60.0,
+        "avg sparsity {:.1} not venue-scale",
+        summary.avg_sparsity
+    );
+    assert!(
+        summary.avg_consistency > 0.95,
+        "avg consistency {:.3}",
+        summary.avg_consistency
+    );
+}
+
+#[test]
+fn representatives_come_from_their_groups() {
+    let (_, patterns) = mine(42, 20);
+    for p in &patterns {
+        for (k, rep) in p.stays.iter().enumerate() {
+            assert!(p.groups[k].iter().any(|sp| sp.pos == rep.pos));
+        }
+    }
+}
+
+#[test]
+fn raising_support_prunes_patterns_but_improves_density() {
+    let (_, loose) = mine(3, 15);
+    let (_, strict) = mine(3, 45);
+    assert!(strict.len() <= loose.len());
+    if !strict.is_empty() && !loose.is_empty() {
+        let avg = |ps: &[FinePattern]| {
+            ps.iter()
+                .map(|p| pattern_metrics(p).support as f64)
+                .sum::<f64>()
+                / ps.len() as f64
+        };
+        assert!(avg(&strict) >= avg(&loose));
+    }
+}
+
+#[test]
+fn airport_demand_is_visible_in_patterns() {
+    let (ds, patterns) = mine(42, 15);
+    let airport = ds.city.districts[ds.city.airport].venues[0];
+    let touching = patterns
+        .iter()
+        .filter(|p| p.stays.iter().any(|sp| sp.pos.distance(&airport) < 500.0))
+        .count();
+    assert!(touching > 0, "airport patterns must appear at sigma=15");
+}

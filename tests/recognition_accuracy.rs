@@ -1,0 +1,115 @@
+//! Recognition accuracy against generator ground truth — a measurement the
+//! paper could not make (no ground truth on real data) but our synthetic
+//! substrate provides for free: every stay point knows the true activity
+//! category, so we can score CSD voting versus ROI annotation directly.
+
+use pervasive_miner::prelude::*;
+use pm_core::recognize::stay_points_of;
+use pm_core::types::Category;
+
+struct Scores {
+    csd_hits: usize,
+    roi_hits: usize,
+    csd_tagged: usize,
+    roi_tagged: usize,
+    total: usize,
+}
+
+fn score(seed: u64) -> Scores {
+    let ds = Dataset::generate(&CityConfig::tiny(seed));
+    let params = MinerParams::default();
+    let baseline = BaselineParams::default();
+
+    let stays = stay_points_of(&ds.trajectories);
+    let csd = CitySemanticDiagram::build(&ds.pois, &stays, &params);
+    let csd_tagged = recognize_all(&csd, ds.trajectories.clone(), &params);
+    let roi = RoiRecognizer::build(&stays, &ds.pois, &params, &baseline);
+    let roi_tagged = roi.recognize_all(ds.trajectories.clone());
+
+    let mut s = Scores {
+        csd_hits: 0,
+        roi_hits: 0,
+        csd_tagged: 0,
+        roi_tagged: 0,
+        total: 0,
+    };
+    for (ti, truth) in ds.truth.iter().enumerate() {
+        for (k, &want) in truth.iter().enumerate() {
+            s.total += 1;
+            let c = csd_tagged[ti].stays[k].tags;
+            let r = roi_tagged[ti].stays[k].tags;
+            if !c.is_empty() {
+                s.csd_tagged += 1;
+                if c.contains(want) {
+                    s.csd_hits += 1;
+                }
+            }
+            if !r.is_empty() {
+                s.roi_tagged += 1;
+                if r.contains(want) {
+                    s.roi_hits += 1;
+                }
+            }
+        }
+    }
+    s
+}
+
+#[test]
+fn csd_recognition_is_accurate() {
+    let s = score(123);
+    assert!(s.total > 1_000);
+    let coverage = s.csd_tagged as f64 / s.total as f64;
+    let precision = s.csd_hits as f64 / s.csd_tagged.max(1) as f64;
+    assert!(coverage > 0.6, "CSD tagged only {:.1}%", coverage * 100.0);
+    assert!(precision > 0.6, "CSD precision {:.1}%", precision * 100.0);
+}
+
+#[test]
+fn csd_precision_beats_or_matches_roi() {
+    // The CSD's purification + unit voting should not lose to raw
+    // hot-region annotation on precision (ROI's mixed regions dilute it).
+    let mut csd_better = 0;
+    let mut rounds = 0;
+    for seed in [11, 22, 33] {
+        let s = score(seed);
+        if s.csd_tagged == 0 || s.roi_tagged == 0 {
+            continue;
+        }
+        rounds += 1;
+        let csd_p = s.csd_hits as f64 / s.csd_tagged as f64;
+        let roi_p = s.roi_hits as f64 / s.roi_tagged as f64;
+        if csd_p >= roi_p - 0.02 {
+            csd_better += 1;
+        }
+    }
+    assert!(rounds > 0);
+    assert!(
+        csd_better >= rounds - 1,
+        "CSD precision lost to ROI in {} of {rounds} rounds",
+        rounds - csd_better
+    );
+}
+
+#[test]
+fn tag_sets_stay_small_under_csd() {
+    // Purification should keep recognized tag sets tight: mostly 1-2
+    // categories, never the kitchen sink.
+    let ds = Dataset::generate(&CityConfig::tiny(55));
+    let params = MinerParams::default();
+    let stays = stay_points_of(&ds.trajectories);
+    let csd = CitySemanticDiagram::build(&ds.pois, &stays, &params);
+    let tagged = recognize_all(&csd, ds.trajectories.clone(), &params);
+    let mut sizes = Vec::new();
+    for t in &tagged {
+        for sp in &t.stays {
+            if !sp.tags.is_empty() {
+                sizes.push(sp.tags.len());
+            }
+        }
+    }
+    assert!(!sizes.is_empty());
+    let avg = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
+    assert!(avg < 2.5, "average tag-set size {avg}");
+    assert!(sizes.iter().all(|&s| s <= Category::COUNT));
+}
