@@ -11,9 +11,10 @@ use pm_bench::{bench_dataset, bench_params, timing_dataset, timing_params};
 
 fn run_variant(ds: &Dataset, params: &MinerParams, options: ConstructionOptions) -> String {
     let stays = stay_points_of(&ds.trajectories);
-    let csd = CitySemanticDiagram::build_with_options(&ds.pois, &stays, params, options);
-    let recognized = recognize_all(&csd, ds.trajectories.clone(), params);
-    let patterns = extract_patterns(&recognized, params);
+    let csd = CitySemanticDiagram::build_with_options(&ds.pois, &stays, params, options)
+        .expect("build");
+    let recognized = recognize_all(&csd, ds.trajectories.clone(), params).expect("recognize");
+    let patterns = extract_patterns(&recognized, params).expect("extract");
     let s = summarize(&patterns);
     format!(
         "units={:<5} purity={:>5.1}%  n={:<4} cov={:<7} ss={:<7.2} sc={:.4}",

@@ -10,7 +10,7 @@ fn regenerate() {
     let ds = bench_dataset();
     let params = bench_params();
     let stays = stay_points_of(&ds.trajectories);
-    let csd = CitySemanticDiagram::build(&ds.pois, &stays, &params);
+    let csd = CitySemanticDiagram::build(&ds.pois, &stays, &params).expect("build");
     let s = csd.stats();
     println!(
         "\nFig. 6 — CSD construction ({} POIs, {} stay points)",

@@ -8,7 +8,7 @@ use pm_bench::{bench_dataset, bench_params, timing_dataset, timing_params};
 
 fn regenerate() {
     let ds = bench_dataset();
-    let results = run_all(&ds, &bench_params(), &BaselineParams::default());
+    let results = run_all(&ds, &bench_params(), &BaselineParams::default()).expect("valid params");
     println!("\n{}", report::render_fig10(&figures::fig10(&results)));
 }
 
@@ -17,9 +17,10 @@ fn bench(c: &mut Criterion) {
     let ds = timing_dataset();
     let params = timing_params();
     let baseline = BaselineParams::default();
-    let recognized = Recognized::compute(&ds, &params, &baseline);
+    let recognized = Recognized::compute(&ds, &params, &baseline).expect("valid params");
     let patterns =
-        pervasive_miner::eval::run_approach(Approach::CsdPm, &recognized, &params, &baseline);
+        pervasive_miner::eval::run_approach(Approach::CsdPm, &recognized, &params, &baseline)
+            .expect("valid params");
     c.bench_function("fig10/pattern_metrics", |b| {
         b.iter(|| patterns.iter().map(pattern_metrics).collect::<Vec<_>>())
     });

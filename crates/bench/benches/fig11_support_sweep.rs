@@ -10,8 +10,9 @@ fn regenerate() {
     let ds = bench_dataset();
     let params = bench_params();
     let baseline = BaselineParams::default();
-    let recognized = Recognized::compute(&ds, &params, &baseline);
-    let points = figures::fig11_support_sweep(&recognized, &params, &baseline, &[25, 50, 75, 100]);
+    let recognized = Recognized::compute(&ds, &params, &baseline).expect("valid params");
+    let points = figures::fig11_support_sweep(&recognized, &params, &baseline, &[25, 50, 75, 100])
+        .expect("valid params");
     println!(
         "\n{}",
         report::render_sweep(
@@ -27,7 +28,7 @@ fn bench(c: &mut Criterion) {
     let ds = timing_dataset();
     let params = timing_params();
     let baseline = BaselineParams::default();
-    let recognized = Recognized::compute(&ds, &params, &baseline);
+    let recognized = Recognized::compute(&ds, &params, &baseline).expect("valid params");
     c.bench_function("fig11/sweep_one_sigma", |b| {
         b.iter(|| {
             pervasive_miner::eval::run_approach(

@@ -9,7 +9,7 @@ fn regenerate() {
     let ds = bench_dataset();
     let params = bench_params();
     let baseline = BaselineParams::default();
-    let recognized = Recognized::compute(&ds, &params, &baseline);
+    let recognized = Recognized::compute(&ds, &params, &baseline).expect("valid params");
     // The paper sweeps rho in 0.001..0.004; our synthetic venue groups are
     // an order of magnitude denser (tight compounds, 15 m GPS noise), so
     // the sweep extends into the regime where the gate actually bites —
@@ -19,7 +19,8 @@ fn regenerate() {
         &params,
         &baseline,
         &[0.002, 0.01, 0.02, 0.04, 0.08],
-    );
+    )
+    .expect("valid params");
     println!(
         "\n{}",
         report::render_sweep(
@@ -35,7 +36,7 @@ fn bench(c: &mut Criterion) {
     let ds = timing_dataset();
     let params = timing_params();
     let baseline = BaselineParams::default();
-    let recognized = Recognized::compute(&ds, &params, &baseline);
+    let recognized = Recognized::compute(&ds, &params, &baseline).expect("valid params");
     c.bench_function("fig12/sweep_one_rho", |b| {
         b.iter(|| {
             pervasive_miner::eval::run_approach(

@@ -9,9 +9,10 @@ fn regenerate() {
     let ds = bench_dataset();
     let params = bench_params();
     let baseline = BaselineParams::default();
-    let recognized = Recognized::compute(&ds, &params, &baseline);
+    let recognized = Recognized::compute(&ds, &params, &baseline).expect("valid params");
     let points =
-        figures::fig13_temporal_sweep(&recognized, &params, &baseline, &[15, 30, 45, 60, 75]);
+        figures::fig13_temporal_sweep(&recognized, &params, &baseline, &[15, 30, 45, 60, 75])
+            .expect("valid params");
     println!(
         "\n{}",
         report::render_sweep(
@@ -27,7 +28,7 @@ fn bench(c: &mut Criterion) {
     let ds = timing_dataset();
     let params = timing_params();
     let baseline = BaselineParams::default();
-    let recognized = Recognized::compute(&ds, &params, &baseline);
+    let recognized = Recognized::compute(&ds, &params, &baseline).expect("valid params");
     c.bench_function("fig13/sweep_one_delta_t", |b| {
         b.iter(|| {
             pervasive_miner::eval::run_approach(

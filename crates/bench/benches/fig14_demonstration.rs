@@ -16,10 +16,11 @@ fn regenerate() {
         ..bench_params()
     };
     let stays = stay_points_of(&ds.trajectories);
-    let csd = CitySemanticDiagram::build(&ds.pois, &stays, &params);
-    let recognized = recognize_all(&csd, ds.trajectories.clone(), &params);
-    let patterns = extract_patterns(&recognized, &params);
-    let demo = figures::fig14_full(&ds, &recognized, &patterns, &params, BENCH_SEED);
+    let csd = CitySemanticDiagram::build(&ds.pois, &stays, &params).expect("build");
+    let recognized = recognize_all(&csd, ds.trajectories.clone(), &params).expect("recognize");
+    let patterns = extract_patterns(&recognized, &params).expect("extract");
+    let demo = figures::fig14_full(&ds, &recognized, &patterns, &params, BENCH_SEED)
+        .expect("valid params");
     println!("\n{}", report::render_fig14(&demo));
 }
 
@@ -28,9 +29,9 @@ fn bench(c: &mut Criterion) {
     let ds = timing_dataset();
     let params = timing_params();
     let stays = stay_points_of(&ds.trajectories);
-    let csd = CitySemanticDiagram::build(&ds.pois, &stays, &params);
-    let recognized = recognize_all(&csd, ds.trajectories.clone(), &params);
-    let patterns = extract_patterns(&recognized, &params);
+    let csd = CitySemanticDiagram::build(&ds.pois, &stays, &params).expect("build");
+    let recognized = recognize_all(&csd, ds.trajectories.clone(), &params).expect("recognize");
+    let patterns = extract_patterns(&recognized, &params).expect("extract");
     c.bench_function("fig14/bucket_report", |b| {
         b.iter(|| figures::fig14(&ds, &patterns, BENCH_SEED))
     });

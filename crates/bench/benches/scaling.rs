@@ -23,11 +23,11 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("csd_build", passengers), &(), |b, _| {
             b.iter(|| CitySemanticDiagram::build(&ds.pois, &stays, &params))
         });
-        let csd = CitySemanticDiagram::build(&ds.pois, &stays, &params);
+        let csd = CitySemanticDiagram::build(&ds.pois, &stays, &params).expect("build");
         group.bench_with_input(BenchmarkId::new("recognize", passengers), &(), |b, _| {
             b.iter(|| recognize_all(&csd, ds.trajectories.clone(), &params))
         });
-        let recognized = recognize_all(&csd, ds.trajectories.clone(), &params);
+        let recognized = recognize_all(&csd, ds.trajectories.clone(), &params).expect("recognize");
         group.bench_with_input(BenchmarkId::new("extract", passengers), &(), |b, _| {
             b.iter(|| extract_patterns(&recognized, &params))
         });

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! pervasive-miner mine   [--scale tiny|small|paper] [--seed N] [--sigma N]
+//!                        [--pois FILE --journeys FILE] [--lenient]
 //! pervasive-miner fig    <6|9|10|11|12|13|14>  [--scale ..] [--seed N] [--csv DIR]
 //! pervasive-miner table  <1|3>                 [--scale ..] [--seed N]
 //! pervasive-miner all    [--scale ..] [--seed N] [--csv DIR]
@@ -11,11 +12,22 @@
 //! `mine` runs the CSD-PM pipeline and prints the top patterns; `fig` and
 //! `table` regenerate one paper figure/table; `all` regenerates everything
 //! (optionally exporting CSVs for plotting).
+//!
+//! By default `mine` runs on a synthetic city; given `--pois` and
+//! `--journeys` it ingests real CSV data instead (WGS-84, projected into a
+//! Shanghai-anchored local frame). Ingestion is strict — the first
+//! malformed line aborts with its line number — unless `--lenient` is
+//! passed, which quarantines malformed records, mines what remains, and
+//! prints a dropped-records summary to stderr.
 
 use pervasive_miner::core::recognize::stay_points_of;
+use pervasive_miner::core::types::Poi;
 use pervasive_miner::eval::{export, figures, report, run_all};
+use pervasive_miner::io::{
+    journeys_to_trajectories, read_journeys_with, read_pois_with, IngestMode, QuarantineReport,
+};
 use pervasive_miner::prelude::*;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 struct Args {
@@ -26,6 +38,9 @@ struct Args {
     sigma: Option<usize>,
     csv: Option<PathBuf>,
     out: Option<PathBuf>,
+    pois: Option<PathBuf>,
+    journeys: Option<PathBuf>,
+    lenient: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -39,6 +54,9 @@ fn parse_args() -> Result<Args, String> {
         sigma: None,
         csv: None,
         out: None,
+        pois: None,
+        journeys: None,
+        lenient: false,
     };
     let mut positional = Vec::new();
     while let Some(a) = argv.next() {
@@ -61,6 +79,11 @@ fn parse_args() -> Result<Args, String> {
             }
             "--csv" => args.csv = Some(PathBuf::from(argv.next().ok_or("--csv needs a dir")?)),
             "--out" => args.out = Some(PathBuf::from(argv.next().ok_or("--out needs a file")?)),
+            "--pois" => args.pois = Some(PathBuf::from(argv.next().ok_or("--pois needs a file")?)),
+            "--journeys" => {
+                args.journeys = Some(PathBuf::from(argv.next().ok_or("--journeys needs a file")?))
+            }
+            "--lenient" => args.lenient = true,
             other if !other.starts_with('-') => positional.push(other.to_string()),
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
@@ -71,7 +94,11 @@ fn parse_args() -> Result<Args, String> {
 
 fn usage() -> String {
     "usage: pervasive-miner <mine|fig|table|all|svg> [target] \
-     [--scale tiny|small|paper] [--seed N] [--sigma N] [--csv DIR] [--out FILE]"
+     [--scale tiny|small|paper] [--seed N] [--sigma N] [--csv DIR] [--out FILE] \
+     [--pois FILE --journeys FILE] [--lenient]\n\
+     --pois/--journeys: mine real CSV data instead of a synthetic city\n\
+     --lenient: quarantine malformed input lines instead of aborting on the \
+     first one; a dropped-records summary goes to stderr"
         .into()
 }
 
@@ -105,6 +132,13 @@ fn run() -> Result<(), String> {
         params.sigma = s;
     }
 
+    if args.pois.is_some() || args.journeys.is_some() {
+        if args.command != "mine" {
+            return Err("--pois/--journeys only apply to the `mine` command".into());
+        }
+        return mine_ingested(&args, &params);
+    }
+
     eprintln!(
         "generating {} city (seed {}), sigma = {} ...",
         args.scale, args.seed, params.sigma
@@ -136,10 +170,64 @@ fn run() -> Result<(), String> {
 }
 
 fn mine(ds: &Dataset, params: &MinerParams) -> Result<(), String> {
-    let stays = stay_points_of(&ds.trajectories);
-    let csd = CitySemanticDiagram::build(&ds.pois, &stays, params);
-    let recognized = recognize_all(&csd, ds.trajectories.clone(), params);
-    let patterns = extract_patterns(&recognized, params);
+    mine_pipeline(&ds.pois, ds.trajectories.clone(), params)
+}
+
+/// Reads real POI/journey CSVs (strict or lenient per `--lenient`) and runs
+/// the mining pipeline on them. Quarantined records are summarized on
+/// stderr; the run proceeds on whatever survived.
+fn mine_ingested(args: &Args, params: &MinerParams) -> Result<(), String> {
+    let (pois_path, journeys_path) = match (&args.pois, &args.journeys) {
+        (Some(p), Some(j)) => (p, j),
+        _ => return Err("mining real data needs both --pois and --journeys".into()),
+    };
+    let mode = if args.lenient {
+        IngestMode::Lenient
+    } else {
+        IngestMode::Strict
+    };
+    // The paper's deployment frame: a local meter grid anchored at Shanghai.
+    let projection = Projection::new(GeoPoint::new(121.4737, 31.2304));
+    let read = |path: &Path| -> Result<String, String> {
+        std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))
+    };
+    let ingest_err = |path: &Path, e: pervasive_miner::io::IoError| {
+        format!("{}: {e} (use --lenient to quarantine bad lines)", path.display())
+    };
+
+    let (pois, poi_report) = read_pois_with(&read(pois_path)?, &projection, mode)
+        .map_err(|e| ingest_err(pois_path, e))?;
+    let (journeys, journey_report) = read_journeys_with(&read(journeys_path)?, &projection, mode)
+        .map_err(|e| ingest_err(journeys_path, e))?;
+    report_quarantine(pois_path, &poi_report);
+    report_quarantine(journeys_path, &journey_report);
+
+    let trajectories = journeys_to_trajectories(&journeys);
+    eprintln!(
+        "ingested {} POIs, {} journeys -> {} trajectories, sigma = {}",
+        pois.len(),
+        journeys.len(),
+        trajectories.len(),
+        params.sigma
+    );
+    mine_pipeline(&pois, trajectories, params)
+}
+
+fn report_quarantine(path: &Path, report: &QuarantineReport) {
+    if !report.is_clean() {
+        eprintln!("{}: {report}", path.display());
+    }
+}
+
+fn mine_pipeline(
+    pois: &[Poi],
+    trajectories: Vec<SemanticTrajectory>,
+    params: &MinerParams,
+) -> Result<(), String> {
+    let stays = stay_points_of(&trajectories);
+    let csd = CitySemanticDiagram::build(pois, &stays, params).map_err(|e| e.to_string())?;
+    let recognized = recognize_all(&csd, trajectories, params).map_err(|e| e.to_string())?;
+    let patterns = extract_patterns(&recognized, params).map_err(|e| e.to_string())?;
     let summary = pervasive_miner::core::metrics::summarize(&patterns);
     println!(
         "{} fine-grained patterns, coverage {}, avg sparsity {:.1} m, avg consistency {:.3}",
@@ -161,9 +249,10 @@ fn mine(ds: &Dataset, params: &MinerParams) -> Result<(), String> {
 fn svg(ds: &Dataset, params: &MinerParams, args: &Args) -> Result<(), String> {
     use pervasive_miner::eval::svg::{render_svg, SvgOptions};
     let stays = stay_points_of(&ds.trajectories);
-    let csd = CitySemanticDiagram::build(&ds.pois, &stays, params);
-    let recognized = recognize_all(&csd, ds.trajectories.clone(), params);
-    let patterns = extract_patterns(&recognized, params);
+    let csd = CitySemanticDiagram::build(&ds.pois, &stays, params).map_err(|e| e.to_string())?;
+    let recognized =
+        recognize_all(&csd, ds.trajectories.clone(), params).map_err(|e| e.to_string())?;
+    let patterns = extract_patterns(&recognized, params).map_err(|e| e.to_string())?;
     let document = render_svg(Some(&csd), &patterns, &SvgOptions::default());
     match &args.out {
         Some(path) => {
@@ -186,14 +275,15 @@ fn figure(ds: &Dataset, params: &MinerParams, which: &str, args: &Args) -> Resul
     match which {
         "6" => {
             let stays = stay_points_of(&ds.trajectories);
-            let csd = CitySemanticDiagram::build(&ds.pois, &stays, params);
+            let csd =
+                CitySemanticDiagram::build(&ds.pois, &stays, params).map_err(|e| e.to_string())?;
             let s = csd.stats();
             println!("Fig. 6 — CSD construction");
             println!("  coarse clusters {}, leftovers {}, purified {}, final units {}, covered {}, purity {:.1}%",
                 s.n_coarse, s.n_leftover, s.n_purified, s.n_units, s.n_covered, s.purity * 100.0);
         }
         "9" | "10" => {
-            let results = run_all(ds, params, &baseline);
+            let results = run_all(ds, params, &baseline).map_err(|e| e.to_string())?;
             if which == "9" {
                 let rows = figures::fig9(&results);
                 println!("{}", report::render_fig9(&rows));
@@ -211,17 +301,14 @@ fn figure(ds: &Dataset, params: &MinerParams, which: &str, args: &Args) -> Resul
             }
         }
         "11" | "12" | "13" => {
-            let recognized = Recognized::compute(ds, params, &baseline);
+            let recognized =
+                Recognized::compute(ds, params, &baseline).map_err(|e| e.to_string())?;
             let (title, name, points) = match which {
                 "11" => (
                     "Fig. 11 — metrics vs support threshold sigma",
                     "fig11.csv",
-                    figures::fig11_support_sweep(
-                        &recognized,
-                        params,
-                        &baseline,
-                        &[25, 50, 75, 100],
-                    ),
+                    figures::fig11_support_sweep(&recognized, params, &baseline, &[25, 50, 75, 100])
+                        .map_err(|e| e.to_string())?,
                 ),
                 "12" => (
                     "Fig. 12 — metrics vs density threshold rho (m^-2)",
@@ -231,17 +318,14 @@ fn figure(ds: &Dataset, params: &MinerParams, which: &str, args: &Args) -> Resul
                         params,
                         &baseline,
                         &[0.002, 0.01, 0.02, 0.04, 0.08],
-                    ),
+                    )
+                    .map_err(|e| e.to_string())?,
                 ),
                 _ => (
                     "Fig. 13 — metrics vs temporal constraint delta_t (minutes)",
                     "fig13.csv",
-                    figures::fig13_temporal_sweep(
-                        &recognized,
-                        params,
-                        &baseline,
-                        &[15, 30, 45, 60, 75],
-                    ),
+                    figures::fig13_temporal_sweep(&recognized, params, &baseline, &[15, 30, 45, 60, 75])
+                        .map_err(|e| e.to_string())?,
                 ),
             };
             println!("{}", report::render_sweep(title, "value", &points));
@@ -251,10 +335,13 @@ fn figure(ds: &Dataset, params: &MinerParams, which: &str, args: &Args) -> Resul
         }
         "14" => {
             let stays = stay_points_of(&ds.trajectories);
-            let csd = CitySemanticDiagram::build(&ds.pois, &stays, params);
-            let recognized = recognize_all(&csd, ds.trajectories.clone(), params);
-            let patterns = extract_patterns(&recognized, params);
-            let demo = figures::fig14_full(ds, &recognized, &patterns, params, args.seed);
+            let csd =
+                CitySemanticDiagram::build(&ds.pois, &stays, params).map_err(|e| e.to_string())?;
+            let recognized =
+                recognize_all(&csd, ds.trajectories.clone(), params).map_err(|e| e.to_string())?;
+            let patterns = extract_patterns(&recognized, params).map_err(|e| e.to_string())?;
+            let demo = figures::fig14_full(ds, &recognized, &patterns, params, args.seed)
+                .map_err(|e| e.to_string())?;
             println!("{}", report::render_fig14(&demo));
             if let Some(dir) = &args.csv {
                 export::write_csv(&dir.join("fig14.csv"), &export::fig14_csv(&demo)).map_err(io)?;

@@ -12,6 +12,8 @@
 //! - [`baselines`]: the five competitor pipelines.
 //! - [`eval`]: the experiment harness regenerating the paper's tables and
 //!   figures.
+//! - [`io`]: CSV ingestion/serialization for POI tables and journey logs,
+//!   with strict and lenient (quarantining) modes.
 //!
 //! See `examples/quickstart.rs` for the canonical end-to-end flow.
 
@@ -20,6 +22,7 @@ pub use pm_cluster as cluster;
 pub use pm_core as core;
 pub use pm_eval as eval;
 pub use pm_geo as geo;
+pub use pm_io as io;
 pub use pm_seqmine as seqmine;
 pub use pm_synth as synth;
 

@@ -129,7 +129,10 @@ pub(crate) fn assemble_pattern(
             return None;
         }
     }
-    let stays: Vec<StayPoint> = groups.iter().map(|g| representative(g)).collect();
+    let stays: Vec<StayPoint> = groups
+        .iter()
+        .map(|g| representative(g))
+        .collect::<Option<_>>()?;
     Some(FinePattern {
         categories: categories.to_vec(),
         stays,
@@ -139,20 +142,20 @@ pub(crate) fn assemble_pattern(
 }
 
 /// Group representative: member stay point closest to the centroid, stamped
-/// with the average time (same convention as Algorithm 4 line 19).
-fn representative(group: &[StayPoint]) -> StayPoint {
+/// with the average time (same convention as Algorithm 4 line 19). Returns
+/// `None` for an empty group rather than panicking.
+fn representative(group: &[StayPoint]) -> Option<StayPoint> {
     let pts: Vec<LocalPoint> = group.iter().map(|sp| sp.pos).collect();
-    let center = centroid(&pts).expect("groups are never empty");
-    let closest = group
-        .iter()
-        .min_by(|a, b| {
-            a.pos
-                .distance_sq(&center)
-                .total_cmp(&b.pos.distance_sq(&center))
-        })
-        .expect("groups are never empty");
-    let avg_time = group.iter().map(|sp| sp.time).sum::<i64>() / group.len() as i64;
-    StayPoint::new(closest.pos, avg_time, closest.tags)
+    let center = centroid(&pts)?;
+    let closest = group.iter().min_by(|a, b| {
+        a.pos
+            .distance_sq(&center)
+            .total_cmp(&b.pos.distance_sq(&center))
+    })?;
+    // i128 accumulation: extreme timestamps must not overflow the sum.
+    let avg_time =
+        (group.iter().map(|sp| sp.time as i128).sum::<i128>() / group.len() as i128) as i64;
+    Some(StayPoint::new(closest.pos, avg_time, closest.tags))
 }
 
 /// Deterministic ordering shared by both baseline extractors.

@@ -77,7 +77,9 @@ impl RoiRecognizer {
         let mut regions = Vec::new();
         for cluster in clustering.clusters() {
             let pts: Vec<LocalPoint> = cluster.iter().map(|&i| stay_points[i]).collect();
-            let center = centroid(&pts).expect("cluster non-empty");
+            let Some(center) = centroid(&pts) else {
+                continue;
+            };
             let radius = pts
                 .iter()
                 .map(|p| p.distance(&center))
@@ -97,16 +99,17 @@ impl RoiRecognizer {
                         tags = tags.with(Category::from_index(c));
                     }
                 }
-                let best = counts
+                if let Some(best) = counts
                     .iter()
                     .enumerate()
                     .max_by_key(|(_, &n)| n)
                     .map(|(c, _)| Category::from_index(c))
-                    .expect("15 categories");
-                majority = Some(best);
-                // At minimum the dominant category describes the region.
-                if tags.is_empty() {
-                    tags = Tags::only(best);
+                {
+                    majority = Some(best);
+                    // At minimum the dominant category describes the region.
+                    if tags.is_empty() {
+                        tags = Tags::only(best);
+                    }
                 }
             }
             regions.push(HotRegion {

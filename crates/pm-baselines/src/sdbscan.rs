@@ -11,6 +11,7 @@ use crate::common::{
     assemble_pattern, coarse_patterns, respects_delta_t, sort_patterns, BaselineParams,
 };
 use pm_cluster::{dbscan, DbscanParams};
+use pm_core::error::MinerError;
 use pm_core::extract::FinePattern;
 use pm_core::params::MinerParams;
 use pm_core::types::SemanticTrajectory;
@@ -18,12 +19,16 @@ use pm_geo::LocalPoint;
 use std::collections::HashMap;
 
 /// Runs the SDBSCAN extractor over recognized trajectories.
+///
+/// Fails fast on invalid [`MinerParams`]; stay points with non-finite
+/// coordinates are DBSCAN noise, so their members drop out like any other
+/// noise member.
 pub fn sdbscan_extract(
     db: &[SemanticTrajectory],
     params: &MinerParams,
     baseline: &BaselineParams,
-) -> Vec<FinePattern> {
-    params.validate().expect("invalid miner parameters");
+) -> Result<Vec<FinePattern>, MinerError> {
+    params.validate()?;
     let mut out = Vec::new();
 
     for coarse in coarse_patterns(db, params) {
@@ -71,13 +76,21 @@ pub fn sdbscan_extract(
     }
 
     sort_patterns(&mut out);
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use pm_core::types::{Category, StayPoint, Tags};
+
+    fn extract(
+        db: &[SemanticTrajectory],
+        params: &MinerParams,
+        baseline: &BaselineParams,
+    ) -> Vec<FinePattern> {
+        sdbscan_extract(db, params, baseline).expect("valid params")
+    }
 
     fn sp(x: f64, y: f64, t: i64, c: Category) -> StayPoint {
         StayPoint::new(LocalPoint::new(x, y), t, Tags::only(c))
@@ -106,7 +119,7 @@ mod tests {
     #[test]
     fn finds_the_commute_pattern() {
         let db = commute_db(20, 0.0);
-        let ps = sdbscan_extract(&db, &small_params(), &BaselineParams::default());
+        let ps = extract(&db, &small_params(), &BaselineParams::default());
         assert!(!ps.is_empty());
         assert_eq!(ps[0].support(), 20);
     }
@@ -115,7 +128,7 @@ mod tests {
     fn separates_distant_origins() {
         let mut db = commute_db(10, 0.0);
         db.extend(commute_db(10, 3_000.0));
-        let ps = sdbscan_extract(&db, &small_params(), &BaselineParams::default());
+        let ps = extract(&db, &small_params(), &BaselineParams::default());
         let commutes: Vec<_> = ps
             .iter()
             .filter(|p| p.categories == vec![Category::Residence, Category::Business])
@@ -131,7 +144,7 @@ mod tests {
             sp(500.0, 0.0, 7 * 3600, Category::Residence),
             sp(5_000.0, 0.0, 8 * 3600 - 1200, Category::Business),
         ]));
-        let ps = sdbscan_extract(&db, &small_params(), &BaselineParams::default());
+        let ps = extract(&db, &small_params(), &BaselineParams::default());
         let commute = ps
             .iter()
             .find(|p| p.categories == vec![Category::Residence, Category::Business])
@@ -148,13 +161,13 @@ mod tests {
             dbscan_eps: 1.0,
             ..BaselineParams::default()
         };
-        let ps = sdbscan_extract(&db, &small_params(), &narrow);
+        let ps = extract(&db, &small_params(), &narrow);
         assert!(ps.is_empty());
     }
 
     #[test]
     fn empty_database() {
-        assert!(sdbscan_extract(&[], &small_params(), &BaselineParams::default()).is_empty());
+        assert!(extract(&[], &small_params(), &BaselineParams::default()).is_empty());
     }
 
     #[test]
@@ -163,8 +176,9 @@ mod tests {
         // patterns (they differ on messy boundaries, not on easy cases).
         let mut db = commute_db(10, 0.0);
         db.extend(commute_db(10, 3_000.0));
-        let s = crate::splitter_extract(&db, &small_params(), &BaselineParams::default());
-        let d = sdbscan_extract(&db, &small_params(), &BaselineParams::default());
+        let s = crate::splitter_extract(&db, &small_params(), &BaselineParams::default())
+            .expect("valid params");
+        let d = extract(&db, &small_params(), &BaselineParams::default());
         assert_eq!(s.len(), d.len());
     }
 }

@@ -12,6 +12,7 @@ use crate::common::{
     assemble_pattern, coarse_patterns, respects_delta_t, sort_patterns, BaselineParams,
 };
 use pm_cluster::{mean_shift, MeanShiftParams};
+use pm_core::error::MinerError;
 use pm_core::extract::FinePattern;
 use pm_core::params::MinerParams;
 use pm_core::types::SemanticTrajectory;
@@ -19,12 +20,16 @@ use pm_geo::LocalPoint;
 use std::collections::HashMap;
 
 /// Runs the Splitter extractor over recognized trajectories.
+///
+/// Fails fast on invalid [`MinerParams`]; members whose stay points carry
+/// non-finite coordinates (unlabelled by mean shift) are dropped rather
+/// than panicking.
 pub fn splitter_extract(
     db: &[SemanticTrajectory],
     params: &MinerParams,
     baseline: &BaselineParams,
-) -> Vec<FinePattern> {
-    params.validate().expect("invalid miner parameters");
+) -> Result<Vec<FinePattern>, MinerError> {
+    params.validate()?;
     let mut out = Vec::new();
 
     for coarse in coarse_patterns(db, params) {
@@ -39,8 +44,9 @@ pub fn splitter_extract(
             continue;
         }
 
-        // Mean Shift per position; a member's key is its mode tuple.
-        let mut keys: Vec<Vec<usize>> = vec![Vec::with_capacity(m); members.len()];
+        // Mean Shift per position; a member's key is its mode tuple. A stay
+        // with non-finite coordinates gets no mode — that member drops out.
+        let mut keys: Vec<Option<Vec<usize>>> = vec![Some(Vec::with_capacity(m)); members.len()];
         for k in 0..m {
             let pts: Vec<LocalPoint> = members
                 .iter()
@@ -48,16 +54,18 @@ pub fn splitter_extract(
                 .collect();
             let ms = mean_shift(&pts, MeanShiftParams::new(baseline.ms_bandwidth));
             for (i, label) in ms.clustering.labels.iter().enumerate() {
-                keys[i].push(label.expect("mean shift labels every point"));
+                match (label, &mut keys[i]) {
+                    (Some(l), Some(key)) => key.push(*l),
+                    _ => keys[i] = None,
+                }
             }
         }
 
         let mut buckets: HashMap<Vec<usize>, Vec<(usize, Vec<usize>)>> = HashMap::new();
         for (i, mem) in members.iter().enumerate() {
-            buckets
-                .entry(keys[i].clone())
-                .or_default()
-                .push((*mem).clone());
+            if let Some(key) = &keys[i] {
+                buckets.entry(key.clone()).or_default().push((*mem).clone());
+            }
         }
         let mut bucket_list: Vec<_> = buckets.into_iter().collect();
         bucket_list.sort_by(|a, b| a.0.cmp(&b.0)); // deterministic order
@@ -69,13 +77,21 @@ pub fn splitter_extract(
     }
 
     sort_patterns(&mut out);
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use pm_core::types::{Category, StayPoint, Tags};
+
+    fn extract(
+        db: &[SemanticTrajectory],
+        params: &MinerParams,
+        baseline: &BaselineParams,
+    ) -> Vec<FinePattern> {
+        splitter_extract(db, params, baseline).expect("valid params")
+    }
 
     fn sp(x: f64, y: f64, t: i64, c: Category) -> StayPoint {
         StayPoint::new(LocalPoint::new(x, y), t, Tags::only(c))
@@ -104,7 +120,7 @@ mod tests {
     #[test]
     fn finds_the_commute_pattern() {
         let db = commute_db(20, 0.0);
-        let ps = splitter_extract(&db, &small_params(), &BaselineParams::default());
+        let ps = extract(&db, &small_params(), &BaselineParams::default());
         assert!(!ps.is_empty());
         assert_eq!(
             ps[0].categories,
@@ -117,7 +133,7 @@ mod tests {
     fn splits_two_origins_into_two_patterns() {
         let mut db = commute_db(10, 0.0);
         db.extend(commute_db(10, 3_000.0));
-        let ps = splitter_extract(&db, &small_params(), &BaselineParams::default());
+        let ps = extract(&db, &small_params(), &BaselineParams::default());
         let commutes: Vec<_> = ps
             .iter()
             .filter(|p| p.categories == vec![Category::Residence, Category::Business])
@@ -141,7 +157,7 @@ mod tests {
             rho: 0.002,
             ..MinerParams::default()
         };
-        let ps = splitter_extract(&db, &params, &wide);
+        let ps = extract(&db, &params, &wide);
         assert!(
             ps.iter()
                 .all(|p| p.categories != vec![Category::Residence, Category::Business]),
@@ -160,7 +176,7 @@ mod tests {
                 sp(5_000.0 + dx, 0.0, 12 * 3600, Category::Business),
             ])
         }));
-        let ps = splitter_extract(&db, &small_params(), &BaselineParams::default());
+        let ps = extract(&db, &small_params(), &BaselineParams::default());
         let commute = ps
             .iter()
             .find(|p| p.categories == vec![Category::Residence, Category::Business])
@@ -170,14 +186,14 @@ mod tests {
 
     #[test]
     fn empty_database() {
-        assert!(splitter_extract(&[], &small_params(), &BaselineParams::default()).is_empty());
+        assert!(extract(&[], &small_params(), &BaselineParams::default()).is_empty());
     }
 
     #[test]
     fn deterministic() {
         let db = commute_db(20, 0.0);
-        let a = splitter_extract(&db, &small_params(), &BaselineParams::default());
-        let b = splitter_extract(&db, &small_params(), &BaselineParams::default());
+        let a = extract(&db, &small_params(), &BaselineParams::default());
+        let b = extract(&db, &small_params(), &BaselineParams::default());
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.members, y.members);

@@ -56,7 +56,7 @@ proptest! {
 
     #[test]
     fn splitter_postconditions(db in trajectory_db()) {
-        let ps = splitter_extract(&db, &params(), &BaselineParams::default());
+        let ps = splitter_extract(&db, &params(), &BaselineParams::default()).expect("valid params");
         for p in &ps {
             prop_assert!(p.support() >= params().sigma);
             prop_assert_eq!(p.groups.len(), p.len());
@@ -76,7 +76,7 @@ proptest! {
 
     #[test]
     fn sdbscan_postconditions(db in trajectory_db()) {
-        let ps = sdbscan_extract(&db, &params(), &BaselineParams::default());
+        let ps = sdbscan_extract(&db, &params(), &BaselineParams::default()).expect("valid params");
         for p in &ps {
             prop_assert!(p.support() >= params().sigma);
             prop_assert_eq!(p.groups.len(), p.len());
@@ -102,14 +102,14 @@ proptest! {
     #[test]
     fn both_extractors_are_deterministic(db in trajectory_db()) {
         let base = BaselineParams::default();
-        let a1 = splitter_extract(&db, &params(), &base);
-        let a2 = splitter_extract(&db, &params(), &base);
+        let a1 = splitter_extract(&db, &params(), &base).expect("valid params");
+        let a2 = splitter_extract(&db, &params(), &base).expect("valid params");
         prop_assert_eq!(a1.len(), a2.len());
         for (x, y) in a1.iter().zip(&a2) {
             prop_assert_eq!(&x.members, &y.members);
         }
-        let b1 = sdbscan_extract(&db, &params(), &base);
-        let b2 = sdbscan_extract(&db, &params(), &base);
+        let b1 = sdbscan_extract(&db, &params(), &base).expect("valid params");
+        let b2 = sdbscan_extract(&db, &params(), &base).expect("valid params");
         prop_assert_eq!(b1.len(), b2.len());
         for (x, y) in b1.iter().zip(&b2) {
             prop_assert_eq!(&x.members, &y.members);
@@ -120,7 +120,7 @@ proptest! {
     /// (buckets partition the members of a coarse pattern).
     #[test]
     fn buckets_partition_members(db in trajectory_db()) {
-        let ps = splitter_extract(&db, &params(), &BaselineParams::default());
+        let ps = splitter_extract(&db, &params(), &BaselineParams::default()).expect("valid params");
         use std::collections::HashMap;
         let mut seen: HashMap<(Vec<Category>, usize), usize> = HashMap::new();
         for p in &ps {

@@ -31,9 +31,24 @@ impl DbscanParams {
 /// border points; everything else is noise. The implementation is the
 /// standard seed-set expansion using a [`GridIndex`] for neighbourhood
 /// queries, `O(n * q)` where `q` is the cost of a range query.
+///
+/// Points with NaN or infinite coordinates are labelled noise (`None`); the
+/// finite points cluster exactly as they would without the corrupt ones.
 pub fn dbscan(points: &[LocalPoint], params: DbscanParams) -> Clustering {
     const UNVISITED: u32 = u32::MAX;
     const NOISE: u32 = u32::MAX - 1;
+
+    if let Some((subset, original)) = crate::finite_subset(points) {
+        let sub = dbscan(&subset, params);
+        let mut labels = vec![None; points.len()];
+        for (k, &i) in original.iter().enumerate() {
+            labels[i] = sub.labels[k];
+        }
+        return Clustering {
+            labels,
+            n_clusters: sub.n_clusters,
+        };
+    }
 
     let n = points.len();
     let mut labels = vec![UNVISITED; n];
@@ -191,6 +206,41 @@ mod tests {
         let c = dbscan(&pts, DbscanParams::new(10.0, 5));
         assert_eq!(c.n_clusters, 1);
         assert_eq!(c.labels[5], Some(0), "border point should join the cluster");
+    }
+
+    #[test]
+    fn non_finite_points_become_noise() {
+        let clean = blob(0.0, 0.0, 40, 20.0);
+        let baseline = dbscan(&clean, DbscanParams::new(15.0, 4));
+
+        let mut pts = clean.clone();
+        pts.insert(0, LocalPoint::new(f64::NAN, 0.0));
+        pts.insert(17, LocalPoint::new(f64::INFINITY, f64::NEG_INFINITY));
+        pts.push(LocalPoint::new(3.0, f64::NAN));
+        let c = dbscan(&pts, DbscanParams::new(15.0, 4));
+
+        assert_eq!(c.labels.len(), pts.len());
+        assert_eq!(c.n_clusters, baseline.n_clusters);
+        assert!(c.labels[0].is_none());
+        assert!(c.labels[17].is_none());
+        assert!(c.labels[pts.len() - 1].is_none());
+        // Finite points keep exactly the labels of the clean run.
+        let finite_labels: Vec<_> = (0..pts.len())
+            .filter(|&i| pts[i].x.is_finite() && pts[i].y.is_finite())
+            .map(|i| c.labels[i])
+            .collect();
+        assert_eq!(finite_labels, baseline.labels);
+    }
+
+    #[test]
+    fn all_non_finite_input_is_all_noise() {
+        let pts = vec![
+            LocalPoint::new(f64::NAN, f64::NAN),
+            LocalPoint::new(f64::INFINITY, 0.0),
+        ];
+        let c = dbscan(&pts, DbscanParams::new(10.0, 1));
+        assert_eq!(c.n_clusters, 0);
+        assert_eq!(c.n_noise(), 2);
     }
 
     #[test]

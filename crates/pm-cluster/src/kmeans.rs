@@ -47,7 +47,8 @@ impl KMeansParams {
 /// Result of a K-Means run.
 #[derive(Debug, Clone)]
 pub struct KMeansResult {
-    /// Flat clustering; every point is assigned (no noise).
+    /// Flat clustering; every finite point is assigned, while points with
+    /// NaN or infinite coordinates are labelled `None`.
     pub clustering: Clustering,
     /// Final centroids, aligned with cluster labels. May hold fewer than
     /// `k` entries when the input has fewer than `k` points.
@@ -57,7 +58,27 @@ pub struct KMeansResult {
 }
 
 /// Runs Lloyd's algorithm with k-means++ seeding.
+///
+/// Points with NaN or infinite coordinates would collapse every centroid to
+/// NaN, so they are excluded (label `None`) and the finite points partition
+/// as if the corrupt ones were absent.
 pub fn kmeans(points: &[LocalPoint], params: KMeansParams) -> KMeansResult {
+    if let Some((subset, original)) = crate::finite_subset(points) {
+        let sub = kmeans(&subset, params);
+        let mut labels = vec![None; points.len()];
+        for (k, &i) in original.iter().enumerate() {
+            labels[i] = sub.clustering.labels[k];
+        }
+        return KMeansResult {
+            clustering: Clustering {
+                labels,
+                n_clusters: sub.clustering.n_clusters,
+            },
+            centroids: sub.centroids,
+            inertia: sub.inertia,
+        };
+    }
+
     let n = points.len();
     let k = params.k.min(n);
     if k == 0 {
@@ -222,6 +243,27 @@ mod tests {
         ];
         let r = kmeans(&pts, KMeansParams::new(1));
         assert!(r.centroids[0].distance(&LocalPoint::new(5.0, 3.0)) < 1e-6);
+    }
+
+    #[test]
+    fn non_finite_points_are_excluded() {
+        let clean = blob(0.0, 0.0, 40, 30.0);
+        let baseline = kmeans(&clean, KMeansParams::new(3).with_seed(9));
+
+        let mut pts = clean.clone();
+        pts.insert(0, LocalPoint::new(f64::NAN, f64::INFINITY));
+        pts.push(LocalPoint::new(0.0, f64::NAN));
+        let r = kmeans(&pts, KMeansParams::new(3).with_seed(9));
+
+        assert!(r.clustering.labels[0].is_none());
+        assert!(r.clustering.labels[pts.len() - 1].is_none());
+        assert_eq!(r.centroids, baseline.centroids);
+        assert!(r.inertia.is_finite());
+        let finite_labels: Vec<_> = (0..pts.len())
+            .filter(|&i| pts[i].x.is_finite() && pts[i].y.is_finite())
+            .map(|i| r.clustering.labels[i])
+            .collect();
+        assert_eq!(finite_labels, baseline.clustering.labels);
     }
 
     #[test]

@@ -29,6 +29,36 @@ pub use kmeans::{kmeans, KMeansParams, KMeansResult};
 pub use meanshift::{mean_shift, MeanShiftParams, MeanShiftResult};
 pub use optics::{Optics, OpticsParams};
 
+use pm_geo::LocalPoint;
+
+/// Whether a point has finite coordinates on both axes.
+pub(crate) fn is_finite_point(p: &LocalPoint) -> bool {
+    p.x.is_finite() && p.y.is_finite()
+}
+
+/// Splits `points` into its finite subset plus, per kept point, the original
+/// index. Returns `None` when every point is finite — the common case — so
+/// callers can skip the copy and run on the original slice.
+///
+/// NaN and infinite coordinates poison both distance comparisons and the
+/// spatial index extent, so every algorithm in this crate masks them out up
+/// front and reports the affected points as noise (`None` label); finite
+/// points are clustered exactly as they would be without the corrupt ones.
+pub(crate) fn finite_subset(points: &[LocalPoint]) -> Option<(Vec<LocalPoint>, Vec<usize>)> {
+    if points.iter().all(is_finite_point) {
+        return None;
+    }
+    let mut subset = Vec::with_capacity(points.len());
+    let mut original = Vec::with_capacity(points.len());
+    for (i, p) in points.iter().enumerate() {
+        if is_finite_point(p) {
+            subset.push(*p);
+            original.push(i);
+        }
+    }
+    Some((subset, original))
+}
+
 /// A flat clustering: `labels[i]` is the cluster of point `i` (`None` =
 /// noise), `n_clusters` the number of clusters, labelled `0..n_clusters`.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -38,8 +38,9 @@ impl MeanShiftParams {
 /// Result of a mean-shift run: a flat clustering plus the converged modes.
 #[derive(Debug, Clone)]
 pub struct MeanShiftResult {
-    /// Cluster assignment per input point. Mean shift assigns every point to
-    /// a mode, so there is no noise; `labels[i]` is always `Some`.
+    /// Cluster assignment per input point. Mean shift assigns every finite
+    /// point to a mode, so `labels[i]` is `Some` for every point with finite
+    /// coordinates; points with NaN or infinite coordinates are `None`.
     pub clustering: Clustering,
     /// One density mode per cluster, aligned with cluster labels.
     pub modes: Vec<LocalPoint>,
@@ -50,7 +51,25 @@ pub struct MeanShiftResult {
 /// Each point iteratively moves to the centroid of the input points within
 /// `bandwidth` of its current position until convergence; converged
 /// positions within `bandwidth / 2` of each other are merged into one mode.
+///
+/// Points with NaN or infinite coordinates cannot converge to a mode; they
+/// are labelled `None` and the finite points shift as if they were absent.
 pub fn mean_shift(points: &[LocalPoint], params: MeanShiftParams) -> MeanShiftResult {
+    if let Some((subset, original)) = crate::finite_subset(points) {
+        let sub = mean_shift(&subset, params);
+        let mut labels = vec![None; points.len()];
+        for (k, &i) in original.iter().enumerate() {
+            labels[i] = sub.clustering.labels[k];
+        }
+        return MeanShiftResult {
+            clustering: Clustering {
+                labels,
+                n_clusters: sub.clustering.n_clusters,
+            },
+            modes: sub.modes,
+        };
+    }
+
     let n = points.len();
     if n == 0 {
         return MeanShiftResult {
@@ -159,6 +178,28 @@ mod tests {
         let r = mean_shift(&[], MeanShiftParams::new(10.0));
         assert_eq!(r.clustering.n_clusters, 0);
         assert!(r.modes.is_empty());
+    }
+
+    #[test]
+    fn non_finite_points_are_unlabelled() {
+        let clean = blob(0.0, 0.0, 30, 15.0);
+        let baseline = mean_shift(&clean, MeanShiftParams::new(60.0));
+
+        let mut pts = clean.clone();
+        pts.insert(5, LocalPoint::new(f64::NAN, 3.0));
+        pts.push(LocalPoint::new(f64::NEG_INFINITY, f64::INFINITY));
+        let r = mean_shift(&pts, MeanShiftParams::new(60.0));
+
+        assert_eq!(r.clustering.labels.len(), pts.len());
+        assert!(r.clustering.labels[5].is_none());
+        assert!(r.clustering.labels[pts.len() - 1].is_none());
+        assert_eq!(r.clustering.n_clusters, baseline.clustering.n_clusters);
+        assert_eq!(r.modes, baseline.modes);
+        let finite_labels: Vec<_> = (0..pts.len())
+            .filter(|&i| pts[i].x.is_finite() && pts[i].y.is_finite())
+            .map(|i| r.clustering.labels[i])
+            .collect();
+        assert_eq!(finite_labels, baseline.clustering.labels);
     }
 
     #[test]

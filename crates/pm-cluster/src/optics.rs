@@ -52,7 +52,40 @@ pub struct Optics {
 
 impl Optics {
     /// Computes the OPTICS ordering of `points`.
+    ///
+    /// Points with NaN or infinite coordinates have no meaningful density
+    /// structure: they are appended to the end of the ordering as isolated
+    /// components (infinite reachability and core distance) and never join a
+    /// cluster on extraction, while the finite points are ordered exactly as
+    /// they would be without the corrupt ones.
     pub fn run(points: &[LocalPoint], params: OpticsParams) -> Self {
+        let Some((subset, original)) = crate::finite_subset(points) else {
+            return Self::run_finite(points, params);
+        };
+        let sub = Self::run_finite(&subset, params);
+        let mut order: Vec<usize> = sub.order.iter().map(|&k| original[k]).collect();
+        let mut reachability = sub.reachability;
+        let mut core_distance = vec![f64::INFINITY; points.len()];
+        for (k, &i) in original.iter().enumerate() {
+            core_distance[i] = sub.core_distance[k];
+        }
+        for (i, p) in points.iter().enumerate() {
+            if !crate::is_finite_point(p) {
+                order.push(i);
+                reachability.push(f64::INFINITY);
+            }
+        }
+        Self {
+            params,
+            order,
+            reachability,
+            core_distance,
+            points: points.to_vec(),
+        }
+    }
+
+    /// The core ordering sweep; `points` must all be finite.
+    fn run_finite(points: &[LocalPoint], params: OpticsParams) -> Self {
         let n = points.len();
         let mut order = Vec::with_capacity(n);
         let mut reach_in_order = Vec::with_capacity(n);
@@ -287,15 +320,22 @@ impl Optics {
             self.refine_run(run, &mut final_runs);
         }
 
-        // Materialize labels; runs smaller than min_pts are noise.
+        // Materialize labels; runs smaller than min_pts are noise. Non-finite
+        // points form trailing singleton runs — they must never cluster, even
+        // at min_pts = 1, so membership is restricted to finite points.
         let mut labels = vec![None; n];
         let mut n_clusters = 0usize;
         for (a, b) in final_runs {
-            if b - a < self.params.min_pts {
+            let members: Vec<usize> = self.order[a..b]
+                .iter()
+                .copied()
+                .filter(|&p| crate::is_finite_point(&self.points[p]))
+                .collect();
+            if members.len() < self.params.min_pts {
                 continue;
             }
-            for pos in a..b {
-                labels[self.order[pos]] = Some(n_clusters);
+            for p in members {
+                labels[p] = Some(n_clusters);
             }
             n_clusters += 1;
         }
@@ -454,6 +494,50 @@ mod tests {
             .collect();
         let o = Optics::run(&pts, OpticsParams::new(100.0, 2));
         assert!((o.core_distance(2) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_finite_points_stay_noise() {
+        let clean: Vec<LocalPoint> = {
+            let mut pts = blob(0.0, 0.0, 40, 15.0);
+            pts.extend(blob(600.0, 0.0, 40, 15.0));
+            pts
+        };
+        let baseline = Optics::run(&clean, OpticsParams::new(1_000.0, 5)).extract_auto();
+
+        let mut pts = clean.clone();
+        pts.insert(3, LocalPoint::new(f64::NAN, 0.0));
+        pts.push(LocalPoint::new(f64::INFINITY, 1.0));
+        let o = Optics::run(&pts, OpticsParams::new(1_000.0, 5));
+
+        // Ordering is still a permutation of all inputs.
+        let mut order = o.order().to_vec();
+        order.sort_unstable();
+        assert_eq!(order, (0..pts.len()).collect::<Vec<_>>());
+        assert!(o.core_distance(3).is_infinite());
+
+        let c = o.extract_auto();
+        assert!(c.labels[3].is_none());
+        assert!(c.labels[pts.len() - 1].is_none());
+        assert_eq!(c.n_clusters, baseline.n_clusters);
+        let finite_labels: Vec<_> = (0..pts.len())
+            .filter(|&i| pts[i].x.is_finite() && pts[i].y.is_finite())
+            .map(|i| c.labels[i])
+            .collect();
+        assert_eq!(finite_labels, baseline.labels);
+
+        let at = o.extract_at(20.0);
+        assert!(at.labels[3].is_none());
+        assert!(at.labels[pts.len() - 1].is_none());
+    }
+
+    #[test]
+    fn singleton_non_finite_never_clusters_at_min_pts_one() {
+        let pts = vec![LocalPoint::new(f64::NAN, f64::NAN)];
+        let o = Optics::run(&pts, OpticsParams::new(100.0, 1));
+        let c = o.extract_auto();
+        assert_eq!(c.n_clusters, 0);
+        assert_eq!(c.labels, vec![None]);
     }
 
     #[test]

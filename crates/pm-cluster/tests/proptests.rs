@@ -15,6 +15,35 @@ fn point_vec(max: usize) -> impl Strategy<Value = Vec<LocalPoint>> {
     prop::collection::vec(local_point(), 0..max)
 }
 
+/// Overwrites points selected by `(index, shape)` codes with non-finite
+/// coordinates, returning the corrupted set plus the finite survivors.
+fn inject_non_finite(
+    mut points: Vec<LocalPoint>,
+    picks: &[(usize, u8)],
+) -> (Vec<LocalPoint>, Vec<LocalPoint>, Vec<usize>) {
+    if !points.is_empty() {
+        for &(slot, shape) in picks {
+            let i = slot % points.len();
+            points[i] = match shape % 5 {
+                0 => LocalPoint::new(f64::NAN, points[i].y),
+                1 => LocalPoint::new(points[i].x, f64::NAN),
+                2 => LocalPoint::new(f64::INFINITY, points[i].y),
+                3 => LocalPoint::new(f64::NEG_INFINITY, f64::INFINITY),
+                _ => LocalPoint::new(f64::NAN, f64::NAN),
+            };
+        }
+    }
+    let mut finite = Vec::new();
+    let mut finite_idx = Vec::new();
+    for (i, p) in points.iter().enumerate() {
+        if p.x.is_finite() && p.y.is_finite() {
+            finite.push(*p);
+            finite_idx.push(i);
+        }
+    }
+    (points, finite, finite_idx)
+}
+
 proptest! {
     /// Every DBSCAN cluster member is density-reachable: each clustered
     /// point is a core point itself or lies within eps of a core point of
@@ -115,6 +144,116 @@ proptest! {
                 prop_assert!(bb.contains(*m), "mode {m} escaped the data extent");
             }
         }
+    }
+
+    /// DBSCAN on corrupted input never panics, marks every non-finite point
+    /// as noise, and labels the finite points exactly as a clean run on the
+    /// finite subset would.
+    #[test]
+    fn dbscan_tolerates_non_finite_points(
+        points in point_vec(80),
+        picks in prop::collection::vec((0usize..1_000, 0u8..8), 0..10),
+        eps in 10.0..200.0f64,
+        min_pts in 1usize..6,
+    ) {
+        let (corrupt, finite, finite_idx) = inject_non_finite(points, &picks);
+        let c = dbscan(&corrupt, DbscanParams::new(eps, min_pts));
+        prop_assert_eq!(c.labels.len(), corrupt.len());
+        let clean = dbscan(&finite, DbscanParams::new(eps, min_pts));
+        prop_assert_eq!(c.n_clusters, clean.n_clusters);
+        let mut finite_labels = Vec::new();
+        for (i, label) in c.labels.iter().enumerate() {
+            if finite_idx.contains(&i) {
+                finite_labels.push(*label);
+            } else {
+                prop_assert!(label.is_none(), "non-finite point {i} was clustered");
+            }
+        }
+        prop_assert_eq!(finite_labels, clean.labels);
+    }
+
+    /// OPTICS on corrupted input keeps its permutation invariant, never
+    /// clusters a non-finite point, and gives finite points the same
+    /// auto-extracted labels as a clean run on the finite subset.
+    #[test]
+    fn optics_tolerates_non_finite_points(
+        points in point_vec(60),
+        picks in prop::collection::vec((0usize..1_000, 0u8..8), 0..8),
+        max_eps in 50.0..500.0f64,
+        min_pts in 1usize..6,
+    ) {
+        let (corrupt, finite, finite_idx) = inject_non_finite(points, &picks);
+        let o = Optics::run(&corrupt, OpticsParams::new(max_eps, min_pts));
+        let mut order = o.order().to_vec();
+        order.sort_unstable();
+        prop_assert_eq!(order, (0..corrupt.len()).collect::<Vec<_>>());
+        let c = o.extract_auto();
+        let clean = Optics::run(&finite, OpticsParams::new(max_eps, min_pts)).extract_auto();
+        prop_assert_eq!(c.n_clusters, clean.n_clusters);
+        let mut finite_labels = Vec::new();
+        for (i, label) in c.labels.iter().enumerate() {
+            if finite_idx.contains(&i) {
+                finite_labels.push(*label);
+            } else {
+                prop_assert!(label.is_none(), "non-finite point {i} was clustered");
+            }
+        }
+        prop_assert_eq!(finite_labels, clean.labels);
+    }
+
+    /// Mean shift on corrupted input labels every finite point, leaves every
+    /// non-finite point unlabelled, and finds the same modes as a clean run.
+    #[test]
+    fn mean_shift_tolerates_non_finite_points(
+        points in point_vec(50),
+        picks in prop::collection::vec((0usize..1_000, 0u8..8), 0..8),
+        bw in 20.0..300.0f64,
+    ) {
+        let (corrupt, finite, finite_idx) = inject_non_finite(points, &picks);
+        let r = mean_shift(&corrupt, MeanShiftParams::new(bw));
+        let clean = mean_shift(&finite, MeanShiftParams::new(bw));
+        prop_assert_eq!(r.clustering.n_clusters, clean.clustering.n_clusters);
+        prop_assert_eq!(&r.modes, &clean.modes);
+        for m in &r.modes {
+            prop_assert!(m.x.is_finite() && m.y.is_finite(), "non-finite mode {m}");
+        }
+        let mut finite_labels = Vec::new();
+        for (i, label) in r.clustering.labels.iter().enumerate() {
+            if finite_idx.contains(&i) {
+                prop_assert!(label.is_some(), "finite point {i} lost its label");
+                finite_labels.push(*label);
+            } else {
+                prop_assert!(label.is_none(), "non-finite point {i} was labelled");
+            }
+        }
+        prop_assert_eq!(finite_labels, clean.clustering.labels);
+    }
+
+    /// K-Means on corrupted input keeps centroids finite and partitions the
+    /// finite points exactly as a clean run with the same seed.
+    #[test]
+    fn kmeans_tolerates_non_finite_points(
+        points in point_vec(50),
+        picks in prop::collection::vec((0usize..1_000, 0u8..8), 0..8),
+        k in 1usize..6,
+        seed in 0u64..100,
+    ) {
+        let (corrupt, finite, finite_idx) = inject_non_finite(points, &picks);
+        let r = kmeans(&corrupt, KMeansParams::new(k).with_seed(seed));
+        let clean = kmeans(&finite, KMeansParams::new(k).with_seed(seed));
+        prop_assert_eq!(&r.centroids, &clean.centroids);
+        for c in &r.centroids {
+            prop_assert!(c.x.is_finite() && c.y.is_finite(), "non-finite centroid {c}");
+        }
+        let mut finite_labels = Vec::new();
+        for (i, label) in r.clustering.labels.iter().enumerate() {
+            if finite_idx.contains(&i) {
+                finite_labels.push(*label);
+            } else {
+                prop_assert!(label.is_none(), "non-finite point {i} was labelled");
+            }
+        }
+        prop_assert_eq!(finite_labels, clean.clustering.labels);
     }
 
     /// K-Means assigns every point to its nearest centroid.

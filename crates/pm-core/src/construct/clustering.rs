@@ -28,12 +28,11 @@ pub fn popularity_clustering(
     popularity: &[f64],
     params: &MinerParams,
 ) -> CoarseClusters {
-    assert_eq!(
-        pois.len(),
-        popularity.len(),
-        "popularity must align with pois"
-    );
     let n = pois.len();
+    // `popularity` is aligned with `pois` by every in-crate caller; a short
+    // slice (caller bug) reads as zero popularity rather than panicking —
+    // those POIs simply fail the ratio gate against popular seeds.
+    let pop = |i: usize| popularity.get(i).copied().unwrap_or(0.0);
     let positions: Vec<_> = pois.iter().map(|p| p.pos).collect();
     let index = GridIndex::build(&positions, params.eps_p.max(1e-9));
 
@@ -69,7 +68,7 @@ pub fn popularity_clustering(
             if claimed[j] {
                 continue;
             }
-            if !ratio_ok(popularity[j], popularity[seed]) {
+            if !ratio_ok(pop(j), pop(seed)) {
                 continue;
             }
             let vertical = pois[seed].pos.distance(&pois[j].pos) <= params.d_v;
@@ -222,6 +221,17 @@ mod tests {
             seen[i] += 1;
         }
         assert!(seen.iter().all(|&s| s == 1), "coverage counts: {seen:?}");
+    }
+
+    #[test]
+    fn short_popularity_slice_does_not_panic() {
+        // A misaligned popularity slice reads as zero for the tail.
+        let pois: Vec<Poi> = (0..4)
+            .map(|i| poi(i, i as f64 * 15.0, 0.0, Category::Shop))
+            .collect();
+        let out = popularity_clustering(&pois, &[1.0, 1.0], &small_params());
+        let covered: usize = out.clusters.iter().map(Vec::len).sum::<usize>() + out.leftovers.len();
+        assert_eq!(covered, 4);
     }
 
     #[test]

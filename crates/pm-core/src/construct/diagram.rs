@@ -2,7 +2,8 @@
 
 use crate::construct::clustering::popularity_clustering;
 use crate::construct::merge::{merge_units, unit_distribution};
-use crate::construct::purify::purify;
+use crate::construct::purify::purify_tracked;
+use crate::error::{Degradation, MinerError};
 use crate::params::MinerParams;
 use crate::popularity::PopularityModel;
 use crate::types::{Category, Poi, Tags};
@@ -73,12 +74,23 @@ pub struct CitySemanticDiagram {
     unit_of: Vec<Option<usize>>,
     index: GridIndex,
     stats: BuildStats,
+    degradations: Vec<Degradation>,
 }
 
 impl CitySemanticDiagram {
     /// Full three-step construction from a POI database and the stay-point
     /// corpus that defines popularity.
-    pub fn build(pois: &[Poi], stay_points: &[LocalPoint], params: &MinerParams) -> Self {
+    ///
+    /// Fails fast on invalid [`MinerParams`]. Degenerate *data* never fails
+    /// the build: POIs and stay locations with non-finite coordinates are
+    /// dropped and reported through [`Self::degradations`], and the diagram
+    /// is built from what remains (its [`Self::pois`] slice reflects the
+    /// retained POIs).
+    pub fn build(
+        pois: &[Poi],
+        stay_points: &[LocalPoint],
+        params: &MinerParams,
+    ) -> Result<Self, MinerError> {
         Self::build_with_options(pois, stay_points, params, ConstructionOptions::default())
     }
 
@@ -88,25 +100,58 @@ impl CitySemanticDiagram {
         stay_points: &[LocalPoint],
         params: &MinerParams,
         options: ConstructionOptions,
-    ) -> Self {
-        params.validate().expect("invalid miner parameters");
+    ) -> Result<Self, MinerError> {
+        params.validate()?;
+        let mut degradations = Vec::new();
+
+        // Non-finite coordinates poison every later stage (popularity
+        // kernels, variance tests, the grid index); drop them up front and
+        // record how much was lost.
+        let mut pois: Vec<Poi> = pois.to_vec();
+        let n_input = pois.len();
+        pois.retain(|p| p.pos.x.is_finite() && p.pos.y.is_finite());
+        if pois.len() < n_input {
+            degradations.push(Degradation::NonFinitePois {
+                dropped: n_input - pois.len(),
+            });
+        }
+
+        let n_bad_stays = stay_points
+            .iter()
+            .filter(|p| !(p.x.is_finite() && p.y.is_finite()))
+            .count();
+        let finite_stays: Vec<LocalPoint>;
+        let stay_points: &[LocalPoint] = if n_bad_stays > 0 {
+            degradations.push(Degradation::NonFiniteStayLocations {
+                dropped: n_bad_stays,
+            });
+            finite_stays = stay_points
+                .iter()
+                .copied()
+                .filter(|p| p.x.is_finite() && p.y.is_finite())
+                .collect();
+            &finite_stays
+        } else {
+            stay_points
+        };
+
         let model = PopularityModel::build(stay_points, params.r3sigma);
         let positions: Vec<LocalPoint> = pois.iter().map(|p| p.pos).collect();
         let popularity = model.popularity_of(&positions);
 
-        let coarse = popularity_clustering(pois, &popularity, params);
+        let coarse = popularity_clustering(&pois, &popularity, params);
         let n_coarse = coarse.clusters.len();
         let n_leftover = coarse.leftovers.len();
 
         let purified = if options.purify {
-            purify(pois, coarse.clusters, params)
+            purify_tracked(&pois, coarse.clusters, params, &mut degradations)
         } else {
             coarse.clusters
         };
         let n_purified = purified.len();
 
         let final_units = if options.merge {
-            merge_units(pois, &popularity, purified, &coarse.leftovers, params)
+            merge_units(&pois, &popularity, purified, &coarse.leftovers, params)
         } else {
             purified
         };
@@ -121,7 +166,7 @@ impl CitySemanticDiagram {
                 }
                 let pts: Vec<LocalPoint> = members.iter().map(|&i| pois[i].pos).collect();
                 let tags = members.iter().map(|&i| pois[i].category).collect();
-                let distribution = unit_distribution(pois, &popularity, &members);
+                let distribution = unit_distribution(&pois, &popularity, &members);
                 SemanticUnit {
                     center: centroid(&pts).unwrap_or(LocalPoint::ORIGIN),
                     members,
@@ -147,14 +192,15 @@ impl CitySemanticDiagram {
             purity,
         };
 
-        Self {
+        Ok(Self {
             popularity,
             units,
             unit_of,
             index: GridIndex::build(&positions, params.r3sigma),
-            pois: pois.to_vec(),
+            pois,
             stats,
-        }
+            degradations,
+        })
     }
 
     /// The fine-grained semantic units.
@@ -167,14 +213,14 @@ impl CitySemanticDiagram {
         &self.pois
     }
 
-    /// Eq. 3 popularity of POI `idx`.
+    /// Eq. 3 popularity of POI `idx` (0.0 for out-of-range indices).
     pub fn popularity(&self, idx: usize) -> f64 {
-        self.popularity[idx]
+        self.popularity.get(idx).copied().unwrap_or(0.0)
     }
 
     /// `FindSemanticUnit`: the unit owning POI `idx`, if any.
     pub fn unit_of(&self, idx: usize) -> Option<usize> {
-        self.unit_of[idx]
+        self.unit_of.get(idx).copied().flatten()
     }
 
     /// Indices of POIs within `radius` of `pos` — the `range` primitive of
@@ -186,6 +232,12 @@ impl CitySemanticDiagram {
     /// Construction summary statistics.
     pub fn stats(&self) -> BuildStats {
         self.stats
+    }
+
+    /// Recoverable trouble tolerated during construction (dropped
+    /// non-finite records, clusters kept unsplit). Empty for clean input.
+    pub fn degradations(&self) -> &[Degradation] {
+        &self.degradations
     }
 }
 
@@ -238,7 +290,7 @@ mod tests {
             n_min: 4,
             ..MinerParams::default()
         };
-        let csd = CitySemanticDiagram::build(&pois, &stays, &params);
+        let csd = CitySemanticDiagram::build(&pois, &stays, &params).expect("build");
         assert_eq!(csd.units().len(), 3, "stats: {:?}", csd.stats());
         // The tower unit is multi-category, the street/block units are pure.
         let multi = csd.units().iter().filter(|u| u.tags.len() > 1).count();
@@ -252,7 +304,7 @@ mod tests {
             min_pts: 4,
             ..MinerParams::default()
         };
-        let csd = CitySemanticDiagram::build(&pois, &stays, &params);
+        let csd = CitySemanticDiagram::build(&pois, &stays, &params).expect("build");
         for (uid, unit) in csd.units().iter().enumerate() {
             for &i in &unit.members {
                 assert_eq!(csd.unit_of(i), Some(uid));
@@ -263,7 +315,7 @@ mod tests {
     #[test]
     fn range_query_returns_nearby_pois() {
         let (pois, stays) = town();
-        let csd = CitySemanticDiagram::build(&pois, &stays, &MinerParams::default());
+        let csd = CitySemanticDiagram::build(&pois, &stays, &MinerParams::default()).expect("build");
         let hits = csd.range(LocalPoint::new(0.0, 0.0), 100.0);
         assert!(hits.len() >= 7);
         assert!(hits
@@ -278,7 +330,7 @@ mod tests {
             min_pts: 4,
             ..MinerParams::default()
         };
-        let csd = CitySemanticDiagram::build(&pois, &stays, &params);
+        let csd = CitySemanticDiagram::build(&pois, &stays, &params).expect("build");
         let s = csd.stats();
         assert_eq!(s.n_pois, pois.len());
         assert!(s.n_covered <= s.n_pois);
@@ -293,7 +345,7 @@ mod tests {
             min_pts: 4,
             ..MinerParams::default()
         };
-        let full = CitySemanticDiagram::build(&pois, &stays, &params);
+        let full = CitySemanticDiagram::build(&pois, &stays, &params).expect("build");
         let no_merge = CitySemanticDiagram::build_with_options(
             &pois,
             &stays,
@@ -302,16 +354,69 @@ mod tests {
                 purify: true,
                 merge: false,
             },
-        );
+        )
+        .expect("build");
         // Without merging, leftover POIs stay uncovered.
         assert!(no_merge.stats().n_covered <= full.stats().n_covered);
     }
 
     #[test]
     fn empty_inputs_build_empty_diagram() {
-        let csd = CitySemanticDiagram::build(&[], &[], &MinerParams::default());
+        let csd = CitySemanticDiagram::build(&[], &[], &MinerParams::default()).expect("build");
         assert!(csd.units().is_empty());
         assert!(csd.range(LocalPoint::ORIGIN, 1_000.0).is_empty());
         assert_eq!(csd.stats().n_units, 0);
+        assert!(csd.degradations().is_empty());
+    }
+
+    #[test]
+    fn invalid_params_fail_without_panicking() {
+        let (pois, stays) = town();
+        let bad = MinerParams {
+            alpha: 5.0,
+            ..MinerParams::default()
+        };
+        let err = CitySemanticDiagram::build(&pois, &stays, &bad).unwrap_err();
+        assert_eq!(err.stage(), "params");
+    }
+
+    #[test]
+    fn non_finite_inputs_degrade_gracefully() {
+        let (mut pois, mut stays) = town();
+        let next_id = pois.len() as u64;
+        pois.push(Poi::new(
+            next_id,
+            LocalPoint::new(f64::NAN, 0.0),
+            Category::Shop,
+        ));
+        pois.push(Poi::new(
+            next_id + 1,
+            LocalPoint::new(f64::INFINITY, f64::NEG_INFINITY),
+            Category::Hotel,
+        ));
+        stays.push(LocalPoint::new(f64::NAN, f64::NAN));
+        let params = MinerParams {
+            min_pts: 4,
+            n_min: 4,
+            ..MinerParams::default()
+        };
+        let csd = CitySemanticDiagram::build(&pois, &stays, &params).expect("build");
+        // The corrupt records are excluded, the clean diagram is unchanged.
+        assert_eq!(csd.pois().len(), pois.len() - 2);
+        assert_eq!(csd.units().len(), 3, "stats: {:?}", csd.stats());
+        assert!(csd
+            .degradations()
+            .contains(&Degradation::NonFinitePois { dropped: 2 }));
+        assert!(csd
+            .degradations()
+            .contains(&Degradation::NonFiniteStayLocations { dropped: 1 }));
+    }
+
+    #[test]
+    fn out_of_range_accessors_are_tolerant() {
+        let (pois, stays) = town();
+        let csd = CitySemanticDiagram::build(&pois, &stays, &MinerParams::default()).expect("build");
+        assert_eq!(csd.popularity(usize::MAX), 0.0);
+        assert_eq!(csd.unit_of(usize::MAX), None);
     }
 }

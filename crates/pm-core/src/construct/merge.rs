@@ -21,8 +21,9 @@ pub fn unit_distribution(
     let mut total = 0.0;
     for &i in unit {
         // Zero-popularity POIs still carry semantics; floor their weight so
-        // deserted units keep a meaningful distribution.
-        let w = popularity[i].max(1e-12);
+        // deserted units keep a meaningful distribution. Out-of-range
+        // popularity (misaligned caller slice) reads as the same floor.
+        let w = popularity.get(i).copied().unwrap_or(0.0).max(1e-12);
         dist[pois[i].category as usize] += w;
         total += w;
     }
@@ -278,5 +279,32 @@ mod tests {
     fn empty_units_and_no_leftovers() {
         let merged = merge_units(&[], &[], Vec::new(), &[], &params());
         assert!(merged.is_empty());
+    }
+
+    #[test]
+    fn empty_semantic_vectors_are_tolerated() {
+        // A unit with no members yields an all-zero distribution; cosine
+        // against anything is 0, so it neither merges nor panics.
+        let pois: Vec<Poi> = (0..3)
+            .map(|i| poi(i, i as f64 * 10.0, 0.0, Category::Shop))
+            .collect();
+        let empty = unit_distribution(&pois, &[1.0; 3], &[]);
+        assert!(empty.iter().all(|&v| v == 0.0));
+        let full = unit_distribution(&pois, &[1.0; 3], &[0, 1, 2]);
+        assert_eq!(unit_cosine(&empty, &full), 0.0);
+        let merged = merge_units(&pois, &[1.0; 3], vec![vec![0, 1, 2], vec![]], &[], &params());
+        let total: usize = merged.iter().map(Vec::len).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn short_popularity_slice_does_not_panic() {
+        let pois: Vec<Poi> = (0..4)
+            .map(|i| poi(i, i as f64 * 10.0, 0.0, Category::Shop))
+            .collect();
+        // Popularity slice shorter than the POI set: tail reads as floor.
+        let d = unit_distribution(&pois, &[2.0], &[0, 1, 2, 3]);
+        let total: f64 = d.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
     }
 }

@@ -6,6 +6,7 @@
 //! until every cluster qualifies as a fine-grained semantic unit
 //! (Definition 3): single-category, or spatially tight (`Var <= V_min`).
 
+use crate::error::Degradation;
 use crate::params::MinerParams;
 use crate::types::{Category, Poi};
 use pm_cluster::GaussianKernel;
@@ -20,6 +21,15 @@ const KL_EPS: f64 = 1e-9;
 /// Runs Algorithm 2: splits every cluster in `coarse` until each qualifies
 /// as a fine-grained semantic unit. Returns the unit list (POI index lists).
 ///
+/// Convenience wrapper over [`purify_tracked`] for callers that do not care
+/// about degradation events (ablation benches, tests).
+pub fn purify(pois: &[Poi], coarse: Vec<Vec<usize>>, params: &MinerParams) -> Vec<Vec<usize>> {
+    let mut events = Vec::new();
+    purify_tracked(pois, coarse, params, &mut events)
+}
+
+/// Runs Algorithm 2, recording recoverable trouble in `events`.
+///
 /// Deviations from the pseudo code, documented in DESIGN.md: the paper pops
 /// a *random* cluster per iteration; we process a work stack, which visits
 /// the same clusters in a deterministic order (the result set is identical
@@ -29,7 +39,17 @@ const KL_EPS: f64 = 1e-9;
 /// never terminate), the farthest POI from the center splits off instead,
 /// which guarantees both termination and that every output unit satisfies
 /// Definition 3.
-pub fn purify(pois: &[Poi], coarse: Vec<Vec<usize>>, params: &MinerParams) -> Vec<Vec<usize>> {
+///
+/// A cluster neither split can make progress on (possible only with
+/// degenerate geometry, e.g. non-finite coordinates that defeat both the
+/// variance test and the centroid) is kept unsplit and reported as a
+/// [`Degradation::UnsplitCluster`] instead of panicking.
+pub fn purify_tracked(
+    pois: &[Poi],
+    coarse: Vec<Vec<usize>>,
+    params: &MinerParams,
+    events: &mut Vec<Degradation>,
+) -> Vec<Vec<usize>> {
     let kernel = GaussianKernel::new(params.r3sigma);
     let mut units = Vec::new();
     let mut stack = coarse;
@@ -42,13 +62,41 @@ pub fn purify(pois: &[Poi], coarse: Vec<Vec<usize>>, params: &MinerParams) -> Ve
             units.push(cluster);
             continue;
         }
-        let (keep, split_off) = median_split(pois, &cluster, &kernel)
-            .or_else(|| farthest_split(pois, &cluster))
-            .expect("non-fine-grained clusters have >= 2 distinct positions");
-        stack.push(keep);
-        stack.push(split_off);
+        // Degenerate geometry (non-finite coordinates) poisons the variance
+        // test and both split heuristics; accept the cluster as-is rather
+        // than loop or panic.
+        if !finite_cluster(pois, &cluster) {
+            events.push(Degradation::UnsplitCluster {
+                members: cluster.len(),
+            });
+            units.push(cluster);
+            continue;
+        }
+        match median_split(pois, &cluster, &kernel).or_else(|| farthest_split(pois, &cluster)) {
+            Some((keep, split_off)) => {
+                stack.push(keep);
+                stack.push(split_off);
+            }
+            None => {
+                // With finite positions this is unreachable (a cluster whose
+                // members coincide has zero variance and was accepted
+                // above), but graceful degradation beats relying on float
+                // edge cases: keep the cluster unsplit and record it.
+                events.push(Degradation::UnsplitCluster {
+                    members: cluster.len(),
+                });
+                units.push(cluster);
+            }
+        }
     }
     units
+}
+
+/// Whether every member position is finite in both coordinates.
+fn finite_cluster(pois: &[Poi], cluster: &[usize]) -> bool {
+    cluster
+        .iter()
+        .all(|&i| pois[i].pos.x.is_finite() && pois[i].pos.y.is_finite())
 }
 
 /// Fallback when every KL divergence ties: split off the single POI farthest
@@ -151,8 +199,7 @@ fn median_split(
                 .pos
                 .distance_sq(&center)
                 .total_cmp(&pois[b].pos.distance_sq(&center))
-        })
-        .expect("cluster non-empty");
+        })?;
 
     let center_dist = local_distribution(pois, cluster, center_poi, kernel);
     let kls: Vec<f64> = cluster
@@ -326,5 +373,45 @@ mod tests {
         assert!(purify(&pois, vec![], &params()).is_empty());
         let units = purify(&pois, vec![vec![], vec![0]], &params());
         assert_eq!(units, vec![vec![0]]);
+    }
+
+    #[test]
+    fn non_finite_cluster_is_kept_unsplit_with_degradation() {
+        // Mixed categories, one NaN coordinate: variance is NaN, so the
+        // cluster is not fine-grained, and no split can reason about it.
+        let pois = vec![
+            poi(0, 0.0, 0.0, Category::Shop),
+            poi(1, f64::NAN, 0.0, Category::Restaurant),
+            poi(2, 500.0, 0.0, Category::Business),
+        ];
+        let mut events = Vec::new();
+        let units = purify_tracked(&pois, vec![vec![0, 1, 2]], &params(), &mut events);
+        assert_eq!(units, vec![vec![0, 1, 2]], "cluster must survive unsplit");
+        assert_eq!(events, vec![Degradation::UnsplitCluster { members: 3 }]);
+    }
+
+    #[test]
+    fn infinite_coordinates_do_not_panic() {
+        let pois = vec![
+            poi(0, f64::INFINITY, 0.0, Category::Shop),
+            poi(1, 0.0, f64::NEG_INFINITY, Category::Medical),
+            poi(2, 100.0, 100.0, Category::Hotel),
+            poi(3, 600.0, 0.0, Category::Restaurant),
+        ];
+        let mut events = Vec::new();
+        let units = purify_tracked(&pois, vec![vec![0, 1, 2, 3]], &params(), &mut events);
+        let total: usize = units.iter().map(Vec::len).sum();
+        assert_eq!(total, 4, "no POI may be lost");
+        assert!(!events.is_empty());
+    }
+
+    #[test]
+    fn finite_clusters_report_no_degradation() {
+        let pois: Vec<Poi> = (0..8)
+            .map(|i| poi(i, i as f64 * 50.0, 0.0, Category::Shop))
+            .collect();
+        let mut events = Vec::new();
+        purify_tracked(&pois, vec![(0..8).collect()], &params(), &mut events);
+        assert!(events.is_empty());
     }
 }

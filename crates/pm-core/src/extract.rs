@@ -11,6 +11,7 @@
 //! *fine-grained pattern*, represented by the member stay point closest to
 //! each positional centroid.
 
+use crate::error::{Degradation, MinerError};
 use crate::params::MinerParams;
 use crate::types::{Category, SemanticTrajectory, StayPoint};
 use pm_cluster::{Optics, OpticsParams};
@@ -76,11 +77,31 @@ struct Member {
 /// Mines all fine-grained patterns of `db` — PrefixSpan followed by
 /// Algorithm 4 per coarse pattern. Output is deterministic: sorted by
 /// descending support, then by category sequence.
-pub fn extract_patterns(db: &[SemanticTrajectory], params: &MinerParams) -> Vec<FinePattern> {
-    params.validate().expect("invalid miner parameters");
+///
+/// Convenience wrapper over [`extract_patterns_tracked`] that discards
+/// degradation events.
+pub fn extract_patterns(
+    db: &[SemanticTrajectory],
+    params: &MinerParams,
+) -> Result<Vec<FinePattern>, MinerError> {
+    let mut events = Vec::new();
+    extract_patterns_tracked(db, params, &mut events)
+}
+
+/// Like [`extract_patterns`], additionally recording recoverable trouble:
+/// tagged stay points with non-finite positions are excluded from the
+/// sequences (they cannot be clustered or represent a pattern position) and
+/// reported as [`Degradation::SkippedExtractionStays`].
+pub fn extract_patterns_tracked(
+    db: &[SemanticTrajectory],
+    params: &MinerParams,
+    events: &mut Vec<Degradation>,
+) -> Result<Vec<FinePattern>, MinerError> {
+    params.validate()?;
 
     // Category sequences plus the mapping back from sequence positions to
-    // stay indices (untagged stay points are skipped).
+    // stay indices (untagged and non-finite stay points are skipped).
+    let mut n_skipped = 0usize;
     let mut sequences: Vec<Vec<u32>> = Vec::with_capacity(db.len());
     let mut stay_of_item: Vec<Vec<usize>> = Vec::with_capacity(db.len());
     for st in db {
@@ -88,12 +109,19 @@ pub fn extract_patterns(db: &[SemanticTrajectory], params: &MinerParams) -> Vec<
         let mut map = Vec::new();
         for (i, sp) in st.stays.iter().enumerate() {
             if let Some(cat) = sp.primary_category() {
+                if !(sp.pos.x.is_finite() && sp.pos.y.is_finite()) {
+                    n_skipped += 1;
+                    continue;
+                }
                 seq.push(cat as u32);
                 map.push(i);
             }
         }
         sequences.push(seq);
         stay_of_item.push(map);
+    }
+    if n_skipped > 0 {
+        events.push(Degradation::SkippedExtractionStays { count: n_skipped });
     }
 
     let coarse = prefixspan(
@@ -135,7 +163,7 @@ pub fn extract_patterns(db: &[SemanticTrajectory], params: &MinerParams) -> Vec<
                     .then(a.stays[0].pos.y.total_cmp(&b.stays[0].pos.y))
             })
     });
-    out
+    Ok(out)
 }
 
 /// Algorithm 4 applied to one coarse pattern.
@@ -205,7 +233,16 @@ fn counterpart_cluster(
         let groups: Vec<Vec<StayPoint>> = (0..m)
             .map(|k| cand.iter().map(|&j| *stay(&members[j], k)).collect())
             .collect();
-        let stays: Vec<StayPoint> = groups.iter().map(|group| representative(group)).collect();
+        // `representative` is None only for an empty group, which cannot
+        // happen here (`cand` is non-empty); skipping is the defined
+        // fallback rather than a panic.
+        let Some(stays) = groups
+            .iter()
+            .map(|group| representative(group))
+            .collect::<Option<Vec<StayPoint>>>()
+        else {
+            continue;
+        };
         out.push(FinePattern {
             categories: categories.to_vec(),
             stays,
@@ -216,20 +253,19 @@ fn counterpart_cluster(
 }
 
 /// Line 19: the member stay point closest to the group centroid, stamped
-/// with the group's average time.
-fn representative(group: &[StayPoint]) -> StayPoint {
+/// with the group's average time (128-bit accumulation, so corrupted
+/// timestamps cannot overflow). `None` for an empty group.
+fn representative(group: &[StayPoint]) -> Option<StayPoint> {
     let pts: Vec<LocalPoint> = group.iter().map(|sp| sp.pos).collect();
-    let center = centroid(&pts).expect("groups are never empty");
-    let closest = group
-        .iter()
-        .min_by(|a, b| {
-            a.pos
-                .distance_sq(&center)
-                .total_cmp(&b.pos.distance_sq(&center))
-        })
-        .expect("groups are never empty");
-    let avg_time = group.iter().map(|sp| sp.time).sum::<i64>() / group.len() as i64;
-    StayPoint::new(closest.pos, avg_time, closest.tags)
+    let center = centroid(&pts)?;
+    let closest = group.iter().min_by(|a, b| {
+        a.pos
+            .distance_sq(&center)
+            .total_cmp(&b.pos.distance_sq(&center))
+    })?;
+    let avg_time =
+        (group.iter().map(|sp| sp.time as i128).sum::<i128>() / group.len() as i128) as i64;
+    Some(StayPoint::new(closest.pos, avg_time, closest.tags))
 }
 
 #[cfg(test)]
@@ -267,7 +303,7 @@ mod tests {
     #[test]
     fn mines_the_commute_pattern() {
         let db = commute_db(20, 8.0);
-        let patterns = extract_patterns(&db, &small_params());
+        let patterns = extract_patterns(&db, &small_params()).expect("extract");
         assert!(!patterns.is_empty());
         let best = &patterns[0];
         assert_eq!(
@@ -284,7 +320,7 @@ mod tests {
     #[test]
     fn support_below_sigma_yields_nothing() {
         let db = commute_db(4, 8.0); // sigma = 5
-        let patterns = extract_patterns(&db, &small_params());
+        let patterns = extract_patterns(&db, &small_params()).expect("extract");
         assert!(patterns.is_empty());
     }
 
@@ -299,7 +335,7 @@ mod tests {
                 sp(2_000.0 + dx, 0.0, 8 * 3600 - 900, Category::Business),
             ])
         }));
-        let patterns = extract_patterns(&db, &small_params());
+        let patterns = extract_patterns(&db, &small_params()).expect("extract");
         let commute: Vec<_> = patterns
             .iter()
             .filter(|p| p.categories == vec![Category::Residence, Category::Business])
@@ -325,7 +361,7 @@ mod tests {
                 sp(2_000.0 + dx, 0.0, 10 * 3600, Category::Business),
             ])
         }));
-        let patterns = extract_patterns(&db, &small_params());
+        let patterns = extract_patterns(&db, &small_params()).expect("extract");
         let best = patterns
             .iter()
             .find(|p| p.categories == vec![Category::Residence, Category::Business])
@@ -355,7 +391,7 @@ mod tests {
             rho: 0.002,
             ..MinerParams::default()
         };
-        let patterns = extract_patterns(&db, &params);
+        let patterns = extract_patterns(&db, &params).expect("extract");
         assert!(
             patterns
                 .iter()
@@ -376,7 +412,7 @@ mod tests {
                 ])
             })
             .collect();
-        let patterns = extract_patterns(&db, &small_params());
+        let patterns = extract_patterns(&db, &small_params()).expect("extract");
         let tri = patterns
             .iter()
             .find(|p| p.len() == 3)
@@ -406,7 +442,7 @@ mod tests {
                 ])
             })
             .collect();
-        let patterns = extract_patterns(&db, &small_params());
+        let patterns = extract_patterns(&db, &small_params()).expect("extract");
         let best = patterns
             .iter()
             .find(|p| p.categories == vec![Category::Residence, Category::Business])
@@ -416,14 +452,70 @@ mod tests {
 
     #[test]
     fn empty_database() {
-        assert!(extract_patterns(&[], &small_params()).is_empty());
+        assert!(extract_patterns(&[], &small_params())
+            .expect("extract")
+            .is_empty());
+    }
+
+    #[test]
+    fn invalid_params_are_rejected() {
+        let db = commute_db(5, 8.0);
+        let bad = MinerParams {
+            rho: f64::NAN,
+            ..MinerParams::default()
+        };
+        assert!(extract_patterns(&db, &bad).is_err());
+    }
+
+    #[test]
+    fn non_finite_stays_are_skipped_with_degradation() {
+        // Corrupt one member's first stay: it drops out of the sequences,
+        // the rest of the cohort still forms the pattern.
+        let mut db = commute_db(21, 8.0);
+        db[0].stays[0].pos = LocalPoint::new(f64::NAN, 0.0);
+        let mut events = Vec::new();
+        let patterns =
+            extract_patterns_tracked(&db, &small_params(), &mut events).expect("extract");
+        assert_eq!(events, vec![Degradation::SkippedExtractionStays { count: 1 }]);
+        let best = patterns
+            .iter()
+            .find(|p| p.categories == vec![Category::Residence, Category::Business])
+            .expect("commute pattern");
+        assert_eq!(best.support(), 20);
+        for p in &patterns {
+            for sp in &p.stays {
+                assert!(sp.pos.x.is_finite() && sp.pos.y.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_timestamps_do_not_overflow_representative() {
+        // Stay times near i64::MAX: the group average is computed in
+        // 128-bit, so summing 20 of them cannot overflow.
+        let base = i64::MAX - 10;
+        let db: Vec<SemanticTrajectory> = (0..20)
+            .map(|i| {
+                let dx = (i % 5) as f64 * 8.0;
+                SemanticTrajectory::new(vec![
+                    sp(dx, 0.0, base - 900, Category::Residence),
+                    sp(2_000.0 + dx, 0.0, base, Category::Business),
+                ])
+            })
+            .collect();
+        let patterns = extract_patterns(&db, &small_params()).expect("extract");
+        let best = patterns
+            .iter()
+            .find(|p| p.categories == vec![Category::Residence, Category::Business])
+            .expect("commute pattern");
+        assert!(best.stays[1].time > 0, "average must not wrap negative");
     }
 
     #[test]
     fn deterministic_output() {
         let db = commute_db(20, 8.0);
-        let a = extract_patterns(&db, &small_params());
-        let b = extract_patterns(&db, &small_params());
+        let a = extract_patterns(&db, &small_params()).expect("extract");
+        let b = extract_patterns(&db, &small_params()).expect("extract");
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.categories, y.categories);
@@ -434,7 +526,7 @@ mod tests {
     #[test]
     fn representative_is_a_member_point() {
         let db = commute_db(20, 8.0);
-        let patterns = extract_patterns(&db, &small_params());
+        let patterns = extract_patterns(&db, &small_params()).expect("extract");
         let best = &patterns[0];
         for (k, rep) in best.stays.iter().enumerate() {
             assert!(

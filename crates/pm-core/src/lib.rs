@@ -46,14 +46,22 @@
 //!     .collect();
 //!
 //! let params = MinerParams::default();
-//! let csd = CitySemanticDiagram::build(&pois, &stay_points_of(&trajectories), &params);
+//! let csd = CitySemanticDiagram::build(&pois, &stay_points_of(&trajectories), &params)?;
 //! assert!(csd.units().len() >= 2);
-//! let recognized = recognize_all(&csd, trajectories, &params);
+//! let recognized = recognize_all(&csd, trajectories, &params)?;
 //! assert!(recognized[0].stays[0].tags.contains(Category::Residence));
+//! # Ok::<(), pm_core::error::MinerError>(())
 //! ```
+//!
+//! Both calls return `Result`: invalid [`MinerParams`] fail fast with a
+//! typed [`error::MinerError`], while degenerate *data* (non-finite
+//! coordinates, degenerate clusters) degrades gracefully and is reported
+//! through [`construct::CitySemanticDiagram::degradations`] and the
+//! `*_tracked` function variants in [`recognize`] and [`extract`].
 
 pub mod construct;
 pub mod contain;
+pub mod error;
 pub mod extract;
 pub mod metrics;
 pub mod params;
@@ -65,6 +73,7 @@ pub mod types;
 /// One-stop imports for pipeline users.
 pub mod prelude {
     pub use crate::construct::CitySemanticDiagram;
+    pub use crate::error::{Degradation, MinerError};
     pub use crate::extract::{extract_patterns, FinePattern};
     pub use crate::metrics::{PatternMetrics, PatternSetSummary};
     pub use crate::params::MinerParams;

@@ -2,6 +2,8 @@
 //! published settings (§4.1 "In terms of parameter settings …" and §5
 //! "Parameter Setting").
 
+use crate::error::MinerError;
+
 /// Parameters of CSD construction, semantic recognition and pattern
 /// extraction.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -85,13 +87,17 @@ impl Default for MinerParams {
 
 impl MinerParams {
     /// Validates parameter sanity; call before a long pipeline run to fail
-    /// fast on nonsensical configurations.
-    pub fn validate(&self) -> Result<(), String> {
-        fn pos(name: &str, v: f64) -> Result<(), String> {
+    /// fast on nonsensical configurations. The error names the offending
+    /// field so callers can report it without parsing message text.
+    pub fn validate(&self) -> Result<(), MinerError> {
+        fn pos(name: &'static str, v: f64) -> Result<(), MinerError> {
             if v.is_finite() && v > 0.0 {
                 Ok(())
             } else {
-                Err(format!("{name} must be positive, got {v}"))
+                Err(MinerError::params(
+                    name,
+                    format!("must be positive, got {v}"),
+                ))
             }
         }
         pos("r3sigma", self.r3sigma)?;
@@ -102,22 +108,49 @@ impl MinerParams {
         pos("theta_d", self.theta_d)?;
         pos("merge_dist", self.merge_dist)?;
         if !(0.0 < self.alpha && self.alpha <= 1.0) {
-            return Err(format!("alpha must be in (0, 1], got {}", self.alpha));
-        }
-        if !(0.0 < self.merge_cos && self.merge_cos <= 1.0) {
-            return Err(format!(
-                "merge_cos must be in (0, 1], got {}",
-                self.merge_cos
+            return Err(MinerError::params(
+                "alpha",
+                format!("must be in (0, 1], got {}", self.alpha),
             ));
         }
-        if self.min_pts == 0 || self.n_min == 0 || self.sigma == 0 {
-            return Err("min_pts, n_min and sigma must be at least 1".into());
+        if !(0.0 < self.merge_cos && self.merge_cos <= 1.0) {
+            return Err(MinerError::params(
+                "merge_cos",
+                format!("must be in (0, 1], got {}", self.merge_cos),
+            ));
         }
-        if self.theta_t <= 0 || self.delta_t <= 0 {
-            return Err("theta_t and delta_t must be positive".into());
+        if self.min_pts == 0 {
+            return Err(MinerError::params("min_pts", "must be at least 1"));
         }
-        if self.min_pattern_len == 0 || self.max_pattern_len < self.min_pattern_len {
-            return Err("pattern length bounds are inconsistent".into());
+        if self.n_min == 0 {
+            return Err(MinerError::params("n_min", "must be at least 1"));
+        }
+        if self.sigma == 0 {
+            return Err(MinerError::params("sigma", "must be at least 1"));
+        }
+        if self.theta_t <= 0 {
+            return Err(MinerError::params(
+                "theta_t",
+                format!("must be positive, got {}", self.theta_t),
+            ));
+        }
+        if self.delta_t <= 0 {
+            return Err(MinerError::params(
+                "delta_t",
+                format!("must be positive, got {}", self.delta_t),
+            ));
+        }
+        if self.min_pattern_len == 0 {
+            return Err(MinerError::params("min_pattern_len", "must be at least 1"));
+        }
+        if self.max_pattern_len < self.min_pattern_len {
+            return Err(MinerError::params(
+                "max_pattern_len",
+                format!(
+                    "must be >= min_pattern_len ({} < {})",
+                    self.max_pattern_len, self.min_pattern_len
+                ),
+            ));
         }
         Ok(())
     }
@@ -175,6 +208,16 @@ mod tests {
         assert!(p.validate().is_ok());
     }
 
+    /// Asserts that `params` fails validation blaming exactly `field`.
+    fn assert_rejects(params: MinerParams, field: &str) {
+        match params.validate() {
+            Err(MinerError::Params { field: f, .. }) => {
+                assert_eq!(f, field, "wrong field blamed");
+            }
+            other => panic!("expected Params error for `{field}`, got {other:?}"),
+        }
+    }
+
     #[test]
     fn validation_catches_bad_values() {
         assert!(MinerParams {
@@ -189,30 +232,51 @@ mod tests {
         }
         .validate()
         .is_err());
-        assert!(MinerParams {
-            sigma: 0,
+    }
+
+    #[test]
+    fn every_bound_violation_names_its_field() {
+        let d = MinerParams::default;
+        assert_rejects(MinerParams { r3sigma: 0.0, ..d() }, "r3sigma");
+        assert_rejects(MinerParams { r3sigma: f64::NAN, ..d() }, "r3sigma");
+        assert_rejects(MinerParams { eps_p: -30.0, ..d() }, "eps_p");
+        assert_rejects(MinerParams { d_v: f64::INFINITY, ..d() }, "d_v");
+        assert_rejects(MinerParams { v_min: 0.0, ..d() }, "v_min");
+        assert_rejects(MinerParams { rho: -0.002, ..d() }, "rho");
+        assert_rejects(MinerParams { theta_d: f64::NAN, ..d() }, "theta_d");
+        assert_rejects(MinerParams { merge_dist: 0.0, ..d() }, "merge_dist");
+        assert_rejects(MinerParams { alpha: 0.0, ..d() }, "alpha");
+        assert_rejects(MinerParams { alpha: 1.5, ..d() }, "alpha");
+        assert_rejects(MinerParams { alpha: f64::NAN, ..d() }, "alpha");
+        assert_rejects(MinerParams { merge_cos: 0.0, ..d() }, "merge_cos");
+        assert_rejects(MinerParams { merge_cos: 1.1, ..d() }, "merge_cos");
+        assert_rejects(MinerParams { min_pts: 0, ..d() }, "min_pts");
+        assert_rejects(MinerParams { n_min: 0, ..d() }, "n_min");
+        assert_rejects(MinerParams { sigma: 0, ..d() }, "sigma");
+        assert_rejects(MinerParams { theta_t: 0, ..d() }, "theta_t");
+        assert_rejects(MinerParams { theta_t: -60, ..d() }, "theta_t");
+        assert_rejects(MinerParams { delta_t: 0, ..d() }, "delta_t");
+        assert_rejects(MinerParams { min_pattern_len: 0, ..d() }, "min_pattern_len");
+        assert_rejects(
+            MinerParams {
+                min_pattern_len: 3,
+                max_pattern_len: 2,
+                ..d()
+            },
+            "max_pattern_len",
+        );
+    }
+
+    #[test]
+    fn validation_error_displays_field_and_value() {
+        let err = MinerParams {
+            alpha: 2.0,
             ..Default::default()
         }
         .validate()
-        .is_err());
-        assert!(MinerParams {
-            merge_cos: 0.0,
-            ..Default::default()
-        }
-        .validate()
-        .is_err());
-        assert!(MinerParams {
-            min_pattern_len: 3,
-            max_pattern_len: 2,
-            ..Default::default()
-        }
-        .validate()
-        .is_err());
-        assert!(MinerParams {
-            theta_t: 0,
-            ..Default::default()
-        }
-        .validate()
-        .is_err());
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("alpha") && msg.contains("2"), "{msg}");
+        assert_eq!(err.stage(), "params");
     }
 }

@@ -2,20 +2,56 @@
 //! and unit-level voting (Algorithm 3).
 
 use crate::construct::CitySemanticDiagram;
+use crate::error::{Degradation, MinerError};
 use crate::params::MinerParams;
-use crate::types::{Category, GpsTrajectory, SemanticTrajectory, StayPoint, Tags};
+use crate::types::{Category, GpsPoint, GpsTrajectory, SemanticTrajectory, StayPoint, Tags};
 use pm_cluster::GaussianKernel;
 use pm_geo::LocalPoint;
 
 /// Detects the stay points of a raw GPS trajectory per Definition 5.
+///
+/// Convenience wrapper over [`detect_stay_points_tracked`] that discards
+/// degradation events.
+pub fn detect_stay_points(traj: &GpsTrajectory, params: &MinerParams) -> Vec<StayPoint> {
+    let mut events = Vec::new();
+    detect_stay_points_tracked(traj, params, &mut events)
+}
+
+/// Detects stay points, recording recoverable trouble in `events`.
 ///
 /// A maximal sub-trajectory whose fixes all stay within `theta_d` of its
 /// first fix and which spans at least `theta_t` seconds collapses into one
 /// stay point at the mean position/time of the window. (The taxi corpus of
 /// §5 bypasses this — pick-up/drop-off records *are* the stay points — but
 /// the general detector is part of the published system.)
-pub fn detect_stay_points(traj: &GpsTrajectory, params: &MinerParams) -> Vec<StayPoint> {
-    let pts = &traj.points;
+///
+/// Fixes with non-finite coordinates are dropped before detection (reported
+/// as [`Degradation::DroppedGpsFixes`]); time arithmetic saturates and
+/// averages in 128-bit so corrupted timestamps cannot overflow.
+pub fn detect_stay_points_tracked(
+    traj: &GpsTrajectory,
+    params: &MinerParams,
+    events: &mut Vec<Degradation>,
+) -> Vec<StayPoint> {
+    let n_bad = traj
+        .points
+        .iter()
+        .filter(|p| !(p.pos.x.is_finite() && p.pos.y.is_finite()))
+        .count();
+    let finite: Vec<GpsPoint>;
+    let pts: &[GpsPoint] = if n_bad > 0 {
+        events.push(Degradation::DroppedGpsFixes { count: n_bad });
+        finite = traj
+            .points
+            .iter()
+            .filter(|p| p.pos.x.is_finite() && p.pos.y.is_finite())
+            .copied()
+            .collect();
+        &finite
+    } else {
+        &traj.points
+    };
+
     let mut stays = Vec::new();
     let mut i = 0;
     while i < pts.len() {
@@ -24,15 +60,16 @@ pub fn detect_stay_points(traj: &GpsTrajectory, params: &MinerParams) -> Vec<Sta
         while j + 1 < pts.len() && pts[j + 1].pos.distance(&pts[i].pos) <= params.theta_d {
             j += 1;
         }
-        if pts[j].time - pts[i].time >= params.theta_t {
+        if pts[j].time.saturating_sub(pts[i].time) >= params.theta_t {
             let n = (j - i + 1) as f64;
             let mut sum = LocalPoint::ORIGIN;
-            let mut t_sum: i64 = 0;
+            let mut t_sum: i128 = 0;
             for p in &pts[i..=j] {
                 sum = sum + p.pos;
-                t_sum += p.time;
+                t_sum += p.time as i128;
             }
-            stays.push(StayPoint::untagged(sum / n, t_sum / (j - i + 1) as i64));
+            let avg_t = (t_sum / (j - i + 1) as i128) as i64;
+            stays.push(StayPoint::untagged(sum / n, avg_t));
             i = j + 1;
         } else {
             i += 1;
@@ -70,6 +107,11 @@ pub fn recognize_stay_point_full(
     kernel: &GaussianKernel,
     pos: LocalPoint,
 ) -> (Tags, Option<Category>) {
+    // A non-finite query position has no meaningful neighbourhood; the stay
+    // point remains untagged rather than poisoning the vote weights.
+    if !(pos.x.is_finite() && pos.y.is_finite()) {
+        return (Tags::EMPTY, None);
+    }
     let in_range = csd.range(pos, kernel.cutoff());
     if in_range.is_empty() {
         return (Tags::EMPTY, None);
@@ -97,15 +139,15 @@ pub fn recognize_stay_point_full(
         tags[slot] = tags[slot].with(csd.pois()[i].category);
         cat_votes[slot][csd.pois()[i].category as usize] += weight;
     }
-    if unit_ids.is_empty() {
-        return (Tags::EMPTY, None);
-    }
-    let hv = votes
+    let Some(hv) = votes
         .iter()
         .enumerate()
         .max_by(|a, b| a.1.total_cmp(b.1))
         .map(|(i, _)| i)
-        .expect("non-empty votes");
+    else {
+        // No unit-owned POI in range: the stay point stays untagged.
+        return (Tags::EMPTY, None);
+    };
     let primary = cat_votes[hv]
         .iter()
         .enumerate()
@@ -116,24 +158,49 @@ pub fn recognize_stay_point_full(
 
 /// Algorithm 3 in full: recognizes the semantic property of every stay point
 /// of every trajectory. Consumes and returns the trajectories with tags
-/// filled in.
+/// filled in. Fails only on invalid parameters; degenerate stay points are
+/// tolerated (left untagged).
 pub fn recognize_all(
     csd: &CitySemanticDiagram,
     trajectories: Vec<SemanticTrajectory>,
     params: &MinerParams,
-) -> Vec<SemanticTrajectory> {
+) -> Result<Vec<SemanticTrajectory>, MinerError> {
+    let mut events = Vec::new();
+    recognize_all_tracked(csd, trajectories, params, &mut events)
+}
+
+/// Like [`recognize_all`], additionally recording how many stay points were
+/// left untagged because their position is non-finite.
+pub fn recognize_all_tracked(
+    csd: &CitySemanticDiagram,
+    trajectories: Vec<SemanticTrajectory>,
+    params: &MinerParams,
+    events: &mut Vec<Degradation>,
+) -> Result<Vec<SemanticTrajectory>, MinerError> {
+    params.validate()?;
     let kernel = GaussianKernel::new(params.r3sigma);
-    trajectories
+    let mut n_nonfinite = 0usize;
+    let out = trajectories
         .into_iter()
         .map(|mut st| {
             for sp in &mut st.stays {
+                if !(sp.pos.x.is_finite() && sp.pos.y.is_finite()) {
+                    n_nonfinite += 1;
+                    sp.tags = Tags::EMPTY;
+                    sp.primary = None;
+                    continue;
+                }
                 let (tags, primary) = recognize_stay_point_full(csd, &kernel, sp.pos);
                 sp.tags = tags;
                 sp.primary = primary;
             }
             st
         })
-        .collect()
+        .collect();
+    if n_nonfinite > 0 {
+        events.push(Degradation::UntaggedNonFiniteStays { count: n_nonfinite });
+    }
+    Ok(out)
 }
 
 /// Collects every stay-point location in a trajectory set — the `D_sp`
@@ -248,7 +315,10 @@ mod tests {
                 (k % 4) as f64 * 4.0,
             ));
         }
-        (CitySemanticDiagram::build(&pois, &stays, &params), params)
+        (
+            CitySemanticDiagram::build(&pois, &stays, &params).expect("build"),
+            params,
+        )
     }
 
     #[test]
@@ -275,9 +345,69 @@ mod tests {
             StayPoint::untagged(LocalPoint::new(0.0, 0.0), 0),
             StayPoint::untagged(LocalPoint::new(-65.0, 0.0), 3600),
         ])];
-        let out = recognize_all(&csd, trajs, &params);
+        let out = recognize_all(&csd, trajs, &params).expect("recognize");
         assert!(out[0].stays[0].tags.contains(Category::Shop));
         assert!(out[0].stays[1].tags.contains(Category::Business));
+    }
+
+    #[test]
+    fn non_finite_stay_is_left_untagged_with_degradation() {
+        let (csd, params) = fig7_setup();
+        let trajs = vec![SemanticTrajectory::new(vec![
+            StayPoint::untagged(LocalPoint::new(f64::NAN, 0.0), 0),
+            StayPoint::untagged(LocalPoint::new(0.0, 0.0), 3600),
+        ])];
+        let mut events = Vec::new();
+        let out = recognize_all_tracked(&csd, trajs, &params, &mut events).expect("recognize");
+        assert!(out[0].stays[0].tags.is_empty());
+        assert!(out[0].stays[1].tags.contains(Category::Shop));
+        assert_eq!(events, vec![Degradation::UntaggedNonFiniteStays { count: 1 }]);
+    }
+
+    #[test]
+    fn invalid_params_are_rejected() {
+        let (csd, _) = fig7_setup();
+        let bad = MinerParams {
+            sigma: 0,
+            ..MinerParams::default()
+        };
+        assert!(recognize_all(&csd, Vec::new(), &bad).is_err());
+    }
+
+    #[test]
+    fn non_finite_fixes_are_dropped_before_detection() {
+        // A clean 30-minute dwell with NaN and infinite fixes interleaved:
+        // the dwell must still be detected, and the drops reported.
+        let mut pts = Vec::new();
+        for k in 0..30 {
+            pts.push(gps(100.0 + (k % 3) as f64, 100.0, k * 60));
+            if k % 10 == 0 {
+                pts.push(GpsPoint::new(LocalPoint::new(f64::NAN, 100.0), k * 60 + 30));
+            }
+        }
+        pts.push(GpsPoint::new(
+            LocalPoint::new(f64::INFINITY, f64::NEG_INFINITY),
+            1790,
+        ));
+        let mut events = Vec::new();
+        let stays = detect_stay_points_tracked(
+            &GpsTrajectory::new(pts),
+            &MinerParams::default(),
+            &mut events,
+        );
+        assert_eq!(stays.len(), 1);
+        assert!(stays[0].pos.x.is_finite() && stays[0].pos.y.is_finite());
+        assert_eq!(events, vec![Degradation::DroppedGpsFixes { count: 4 }]);
+    }
+
+    #[test]
+    fn extreme_timestamps_do_not_overflow() {
+        // Timestamps near i64::MAX: window arithmetic saturates and the
+        // average is computed in 128-bit, so nothing overflows.
+        let base = i64::MAX - 10_000;
+        let pts: Vec<GpsPoint> = (0..30).map(|k| gps(0.0, 0.0, base + k * 60)).collect();
+        let stays = detect_stay_points(&GpsTrajectory::new(pts), &MinerParams::default());
+        assert_eq!(stays.len(), 1);
     }
 
     #[test]

@@ -138,7 +138,7 @@ proptest! {
             })
             .collect();
         let params = MinerParams { sigma: 5, rho: 1e-6, ..MinerParams::default() };
-        let patterns = extract_patterns(&db, &params);
+        let patterns = extract_patterns(&db, &params).expect("valid params");
         for p in &patterns {
             prop_assert!(p.support() >= params.sigma);
             prop_assert_eq!(p.groups.len(), p.len());

@@ -22,11 +22,12 @@ fn tiny_city_end_to_end() {
         ..MinerParams::default()
     };
     let stays = stay_points_of(&trajs);
-    let csd = CitySemanticDiagram::build(&pois, &stays, &params);
+    let csd = CitySemanticDiagram::build(&pois, &stays, &params).expect("build");
     eprintln!("csd stats: {:?}", csd.stats());
     assert!(csd.units().len() > 5);
+    assert!(csd.degradations().is_empty(), "clean input must not degrade");
 
-    let recognized = recognize_all(&csd, trajs, &params);
+    let recognized = recognize_all(&csd, trajs, &params).expect("recognize");
     let tagged: usize = recognized
         .iter()
         .flat_map(|t| &t.stays)
@@ -39,7 +40,7 @@ fn tiny_city_end_to_end() {
         "tagged {tagged}/{total}"
     );
 
-    let patterns = extract_patterns(&recognized, &params);
+    let patterns = extract_patterns(&recognized, &params).expect("extract");
     eprintln!("patterns: {}", patterns.len());
     for p in patterns.iter().take(12) {
         let m = pm_core::metrics::pattern_metrics(p);

@@ -150,8 +150,8 @@ mod tests {
         let params = MinerParams::default();
         let baseline = BaselineParams::default();
         let stays = stay_points_of(&ds.trajectories);
-        let csd = CitySemanticDiagram::build(&ds.pois, &stays, &params);
-        let csd_tagged = recognize_all(&csd, ds.trajectories.clone(), &params);
+        let csd = CitySemanticDiagram::build(&ds.pois, &stays, &params).expect("build");
+        let csd_tagged = recognize_all(&csd, ds.trajectories.clone(), &params).expect("recognize");
         let roi = RoiRecognizer::build(&stays, &ds.pois, &params, &baseline);
         let roi_tagged = roi.recognize_all(ds.trajectories.clone());
         let csd_report = score(&ds, &csd_tagged);

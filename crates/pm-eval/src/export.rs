@@ -139,7 +139,7 @@ mod tests {
             sigma: 20,
             ..MinerParams::default()
         };
-        let r = run_all(&ds, &params, &BaselineParams::default());
+        let r = run_all(&ds, &params, &BaselineParams::default()).expect("valid params");
         (ds, r)
     }
 
@@ -171,8 +171,8 @@ mod tests {
             ..MinerParams::default()
         };
         let baseline = BaselineParams::default();
-        let rec = crate::pipeline::Recognized::compute(&ds, &params, &baseline);
-        let pts = figures::fig11_support_sweep(&rec, &params, &baseline, &[15, 30]);
+        let rec = crate::pipeline::Recognized::compute(&ds, &params, &baseline).expect("valid params");
+        let pts = figures::fig11_support_sweep(&rec, &params, &baseline, &[15, 30]).expect("valid params");
         let csv = sweep_csv(&pts);
         assert_eq!(csv.lines().count(), 1 + 2 * 6);
     }

@@ -3,6 +3,7 @@
 use crate::dataset::Dataset;
 use crate::pipeline::{run_approach, Approach, Recognized};
 use pm_baselines::BaselineParams;
+use pm_core::error::MinerError;
 use pm_core::extract::FinePattern;
 use pm_core::metrics::{five_number, pattern_metrics, summarize, FiveNumber, PatternSetSummary};
 use pm_core::params::MinerParams;
@@ -80,7 +81,7 @@ fn sweep<F: Fn(&MinerParams, f64) -> MinerParams>(
     baseline: &BaselineParams,
     values: &[f64],
     apply: F,
-) -> Vec<SweepPoint> {
+) -> Result<Vec<SweepPoint>, MinerError> {
     values
         .iter()
         .map(|&v| {
@@ -88,13 +89,13 @@ fn sweep<F: Fn(&MinerParams, f64) -> MinerParams>(
             let rows = Approach::ALL
                 .iter()
                 .map(|&a| {
-                    (
+                    Ok((
                         a,
-                        summarize(&run_approach(a, recognized, &params, baseline)),
-                    )
+                        summarize(&run_approach(a, recognized, &params, baseline)?),
+                    ))
                 })
-                .collect();
-            SweepPoint { value: v, rows }
+                .collect::<Result<_, MinerError>>()?;
+            Ok(SweepPoint { value: v, rows })
         })
         .collect()
 }
@@ -105,7 +106,7 @@ pub fn fig11_support_sweep(
     base: &MinerParams,
     baseline: &BaselineParams,
     sigmas: &[usize],
-) -> Vec<SweepPoint> {
+) -> Result<Vec<SweepPoint>, MinerError> {
     let values: Vec<f64> = sigmas.iter().map(|&s| s as f64).collect();
     sweep(recognized, base, baseline, &values, |p, v| {
         p.with_sigma(v as usize)
@@ -118,7 +119,7 @@ pub fn fig12_density_sweep(
     base: &MinerParams,
     baseline: &BaselineParams,
     rhos: &[f64],
-) -> Vec<SweepPoint> {
+) -> Result<Vec<SweepPoint>, MinerError> {
     sweep(recognized, base, baseline, rhos, |p, v| p.with_rho(v))
 }
 
@@ -128,7 +129,7 @@ pub fn fig13_temporal_sweep(
     base: &MinerParams,
     baseline: &BaselineParams,
     minutes: &[i64],
-) -> Vec<SweepPoint> {
+) -> Result<Vec<SweepPoint>, MinerError> {
     let values: Vec<f64> = minutes.iter().map(|&m| m as f64).collect();
     sweep(recognized, base, baseline, &values, |p, v| {
         p.with_delta_t((v * 60.0) as i64)
@@ -164,7 +165,7 @@ pub fn mine_one_day(
     recognized: &[pm_core::types::SemanticTrajectory],
     params: &MinerParams,
     day: i64,
-) -> Vec<FinePattern> {
+) -> Result<Vec<FinePattern>, MinerError> {
     use pm_core::types::DAY_SECS;
     let day_db: Vec<pm_core::types::SemanticTrajectory> = recognized
         .iter()
@@ -188,15 +189,15 @@ pub fn fig14_full(
     patterns: &[FinePattern],
     params: &MinerParams,
     seed: u64,
-) -> DemoReport {
+) -> Result<DemoReport, MinerError> {
     // (a)-(f): one representative weekday and weekend day. A single day
     // holds ~1/7 of the corpus, so the per-day support threshold scales
     // down accordingly (the paper mined each day with its own run).
     let day_params = params.with_sigma((params.sigma / 5).max(2));
-    let weekday = mine_one_day(recognized, &day_params, 2.min(ds.city.config.n_days as i64 - 1));
+    let weekday = mine_one_day(recognized, &day_params, 2.min(ds.city.config.n_days as i64 - 1))?;
     let weekend_day = if ds.city.config.n_days >= 6 { 5 } else { -1 };
     let weekend = if weekend_day >= 0 {
-        mine_one_day(recognized, &day_params, weekend_day)
+        mine_one_day(recognized, &day_params, weekend_day)?
     } else {
         Vec::new()
     };
@@ -221,7 +222,7 @@ pub fn fig14_full(
             buckets.push((WeekBucket::ALL[offset + s], in_bucket.len(), avg_len));
         }
     }
-    fig14_panels_gh(ds, patterns, seed, buckets)
+    Ok(fig14_panels_gh(ds, patterns, seed, buckets))
 }
 
 /// Builds the Fig. 14 demonstration from a precomputed pattern set,
@@ -342,7 +343,7 @@ mod tests {
             sigma: 20,
             ..MinerParams::default()
         };
-        let results = run_all(&ds, &params, &BaselineParams::default());
+        let results = run_all(&ds, &params, &BaselineParams::default()).expect("valid params");
         (ds, results)
     }
 
@@ -374,8 +375,8 @@ mod tests {
             ..MinerParams::default()
         };
         let baseline = BaselineParams::default();
-        let rec = Recognized::compute(&ds, &params, &baseline);
-        let pts = fig11_support_sweep(&rec, &params, &baseline, &[10, 20, 40]);
+        let rec = Recognized::compute(&ds, &params, &baseline).expect("valid params");
+        let pts = fig11_support_sweep(&rec, &params, &baseline, &[10, 20, 40]).expect("valid params");
         assert_eq!(pts.len(), 3);
         assert!(pts.iter().all(|p| p.rows.len() == 6));
         // Raising sigma cannot increase pattern count for the same approach.

@@ -3,6 +3,7 @@
 use crate::dataset::Dataset;
 use pm_baselines::{sdbscan_extract, splitter_extract, BaselineParams, RoiRecognizer};
 use pm_core::construct::CitySemanticDiagram;
+use pm_core::error::MinerError;
 use pm_core::extract::{extract_patterns, FinePattern};
 use pm_core::params::MinerParams;
 use pm_core::recognize::recognize_all;
@@ -69,13 +70,18 @@ pub struct Recognized {
 }
 
 impl Recognized {
-    /// Runs both recognizers over the dataset.
-    pub fn compute(ds: &Dataset, params: &MinerParams, baseline: &BaselineParams) -> Recognized {
-        let csd_diagram = CitySemanticDiagram::build(&ds.pois, &ds.stay_locations, params);
-        let csd = recognize_all(&csd_diagram, ds.trajectories.clone(), params);
+    /// Runs both recognizers over the dataset. Fails fast on invalid
+    /// [`MinerParams`]; degenerate data degrades inside the recognizers.
+    pub fn compute(
+        ds: &Dataset,
+        params: &MinerParams,
+        baseline: &BaselineParams,
+    ) -> Result<Recognized, MinerError> {
+        let csd_diagram = CitySemanticDiagram::build(&ds.pois, &ds.stay_locations, params)?;
+        let csd = recognize_all(&csd_diagram, ds.trajectories.clone(), params)?;
         let roi_rec = RoiRecognizer::build(&ds.stay_locations, &ds.pois, params, baseline);
         let roi = roi_rec.recognize_all(ds.trajectories.clone());
-        Recognized { csd, roi }
+        Ok(Recognized { csd, roi })
     }
 
     /// The recognizer output an approach consumes.
@@ -94,7 +100,7 @@ pub fn run_approach(
     recognized: &Recognized,
     params: &MinerParams,
     baseline: &BaselineParams,
-) -> Vec<FinePattern> {
+) -> Result<Vec<FinePattern>, MinerError> {
     let db = recognized.for_approach(approach);
     match approach {
         Approach::CsdPm | Approach::RoiPm => extract_patterns(db, params),
@@ -108,11 +114,11 @@ pub fn run_all(
     ds: &Dataset,
     params: &MinerParams,
     baseline: &BaselineParams,
-) -> Vec<(Approach, Vec<FinePattern>)> {
-    let recognized = Recognized::compute(ds, params, baseline);
+) -> Result<Vec<(Approach, Vec<FinePattern>)>, MinerError> {
+    let recognized = Recognized::compute(ds, params, baseline)?;
     Approach::ALL
         .iter()
-        .map(|&a| (a, run_approach(a, &recognized, params, baseline)))
+        .map(|&a| Ok((a, run_approach(a, &recognized, params, baseline)?)))
         .collect()
 }
 
@@ -128,7 +134,7 @@ mod tests {
             sigma: 20,
             ..MinerParams::default()
         };
-        run_all(&ds, &params, &BaselineParams::default())
+        run_all(&ds, &params, &BaselineParams::default()).expect("valid params")
     }
 
     #[test]
@@ -173,9 +179,9 @@ mod tests {
             ..MinerParams::default()
         };
         let baseline = BaselineParams::default();
-        let rec = Recognized::compute(&ds, &params, &baseline);
-        let a = run_approach(Approach::CsdPm, &rec, &params, &baseline);
-        let b = run_approach(Approach::CsdPm, &rec, &params, &baseline);
+        let rec = Recognized::compute(&ds, &params, &baseline).expect("valid params");
+        let a = run_approach(Approach::CsdPm, &rec, &params, &baseline).expect("valid params");
+        let b = run_approach(Approach::CsdPm, &rec, &params, &baseline).expect("valid params");
         assert_eq!(a.len(), b.len());
     }
 }

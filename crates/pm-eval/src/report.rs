@@ -171,7 +171,7 @@ mod tests {
             sigma: 20,
             ..MinerParams::default()
         };
-        let results = run_all(&ds, &params, &BaselineParams::default());
+        let results = run_all(&ds, &params, &BaselineParams::default()).expect("valid params");
 
         let f9 = render_fig9(&figures::fig9(&results));
         assert!(f9.contains("CSD-PM") && f9.contains("ROI-SDBSCAN"));

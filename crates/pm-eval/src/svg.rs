@@ -222,7 +222,7 @@ mod tests {
         let ds = crate::dataset::Dataset::generate(&pm_synth::CityConfig::tiny(8));
         let params = MinerParams::default();
         let stays = stay_points_of(&ds.trajectories);
-        let csd = CitySemanticDiagram::build(&ds.pois, &stays, &params);
+        let csd = CitySemanticDiagram::build(&ds.pois, &stays, &params).expect("build");
         let svg = render_svg(Some(&csd), &[], &SvgOptions::default());
         assert!(svg.contains("id=\"units\""));
         assert!(svg.matches("<circle").count() >= csd.units().len());

@@ -50,6 +50,14 @@ impl From<std::io::Error> for IoError {
     }
 }
 
+/// Ingestion failures fold into the pipeline-wide error taxonomy as the
+/// `Ingest` stage (rendered as text: `pm-core` has no `pm-io` dependency).
+impl From<IoError> for pm_core::error::MinerError {
+    fn from(e: IoError) -> Self {
+        pm_core::error::MinerError::ingest(e.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -60,5 +68,12 @@ mod tests {
         assert_eq!(e.to_string(), "line 3: bad longitude");
         let io: IoError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
         assert!(io.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn folds_into_miner_error_as_ingest_stage() {
+        let e: pm_core::error::MinerError = IoError::parse(9, "bad lat").into();
+        assert_eq!(e.stage(), "ingest");
+        assert!(e.to_string().contains("line 9"));
     }
 }

@@ -6,6 +6,7 @@
 
 use crate::csv::{data_lines, fields, parse_f64, parse_i64, parse_u64};
 use crate::error::IoError;
+use crate::quarantine::{IngestMode, QuarantineReport};
 use pm_core::types::{GpsPoint, SemanticTrajectory, StayPoint, Timestamp, DAY_SECS};
 use pm_geo::{GeoPoint, Projection};
 use std::fmt::Write as _;
@@ -21,53 +22,82 @@ pub struct JourneyRecord {
     pub card: Option<u64>,
 }
 
+/// Parses one data line into a [`JourneyRecord`].
+fn parse_journey(
+    line_no: usize,
+    line: &str,
+    projection: &Projection,
+) -> Result<JourneyRecord, IoError> {
+    let f = fields(line);
+    if f.len() < 6 {
+        return Err(IoError::parse(
+            line_no,
+            format!("expected >= 6 fields, got {}", f.len()),
+        ));
+    }
+    let point = |lon: &str, lat: &str, t: &str, what: &str| -> Result<GpsPoint, IoError> {
+        let lon = parse_f64(lon, line_no, &format!("{what} lon"))?;
+        let lat = parse_f64(lat, line_no, &format!("{what} lat"))?;
+        let geo = GeoPoint::new(lon, lat);
+        if !geo.is_valid() {
+            return Err(IoError::parse(
+                line_no,
+                format!("invalid {what} coordinate"),
+            ));
+        }
+        Ok(GpsPoint::new(
+            projection.to_local(geo),
+            parse_i64(t, line_no, &format!("{what} t"))?,
+        ))
+    };
+    let pickup = point(f[0], f[1], f[2], "pickup")?;
+    let dropoff = point(f[3], f[4], f[5], "dropoff")?;
+    if dropoff.time <= pickup.time {
+        return Err(IoError::parse(
+            line_no,
+            "dropoff time must follow pickup time",
+        ));
+    }
+    let card = if f.len() > 6 && !f[6].is_empty() {
+        Some(parse_u64(f[6], line_no, "card")?)
+    } else {
+        None
+    };
+    Ok(JourneyRecord {
+        pickup,
+        dropoff,
+        card,
+    })
+}
+
 /// Reads a journey log from CSV text, projecting into the local frame.
 /// Rejects records whose drop-off does not strictly follow the pick-up.
+/// Fails fast on the first malformed record — the strict form of
+/// [`read_journeys_with`].
 pub fn read_journeys(text: &str, projection: &Projection) -> Result<Vec<JourneyRecord>, IoError> {
+    read_journeys_with(text, projection, IngestMode::Strict).map(|(journeys, _)| journeys)
+}
+
+/// Reads a journey log under an explicit [`IngestMode`]. In lenient mode
+/// malformed records are quarantined instead of failing the read; the
+/// report accounts for every dropped line.
+pub fn read_journeys_with(
+    text: &str,
+    projection: &Projection,
+    mode: IngestMode,
+) -> Result<(Vec<JourneyRecord>, QuarantineReport), IoError> {
     let mut out = Vec::new();
+    let mut report = QuarantineReport::default();
     for (line_no, line) in data_lines(text, "pickup_lon") {
-        let f = fields(line);
-        if f.len() < 6 {
-            return Err(IoError::parse(
-                line_no,
-                format!("expected >= 6 fields, got {}", f.len()),
-            ));
+        match parse_journey(line_no, line, projection) {
+            Ok(j) => out.push(j),
+            Err(e) => match mode {
+                IngestMode::Strict => return Err(e),
+                IngestMode::Lenient => report.quarantine(e),
+            },
         }
-        let point = |lon: &str, lat: &str, t: &str, what: &str| -> Result<GpsPoint, IoError> {
-            let lon = parse_f64(lon, line_no, &format!("{what} lon"))?;
-            let lat = parse_f64(lat, line_no, &format!("{what} lat"))?;
-            let geo = GeoPoint::new(lon, lat);
-            if !geo.is_valid() {
-                return Err(IoError::parse(
-                    line_no,
-                    format!("invalid {what} coordinate"),
-                ));
-            }
-            Ok(GpsPoint::new(
-                projection.to_local(geo),
-                parse_i64(t, line_no, &format!("{what} t"))?,
-            ))
-        };
-        let pickup = point(f[0], f[1], f[2], "pickup")?;
-        let dropoff = point(f[3], f[4], f[5], "dropoff")?;
-        if dropoff.time <= pickup.time {
-            return Err(IoError::parse(
-                line_no,
-                "dropoff time must follow pickup time",
-            ));
-        }
-        let card = if f.len() > 6 && !f[6].is_empty() {
-            Some(parse_u64(f[6], line_no, "card")?)
-        } else {
-            None
-        };
-        out.push(JourneyRecord {
-            pickup,
-            dropoff,
-            card,
-        });
     }
-    Ok(out)
+    Ok((out, report))
 }
 
 /// Writes a journey log as CSV text (with header).
@@ -110,7 +140,9 @@ pub fn journeys_to_trajectories(journeys: &[JourneyRecord]) -> Vec<SemanticTraje
     let mut keys: Vec<(u64, Timestamp)> = chains.keys().copied().collect();
     keys.sort_unstable();
     for key in keys {
-        let mut legs = chains.remove(&key).expect("key from map");
+        let Some(mut legs) = chains.remove(&key) else {
+            continue;
+        };
         legs.sort_by_key(|j| j.pickup.time);
         let mut stays = vec![StayPoint::untagged(legs[0].pickup.pos, legs[0].pickup.time)];
         for j in &legs {
@@ -191,6 +223,25 @@ mod tests {
             .unwrap_err()
             .to_string()
             .contains("fields"));
+    }
+
+    #[test]
+    fn lenient_mode_quarantines_bad_lines() {
+        let text = "pickup_lon,pickup_lat,pickup_t,dropoff_lon,dropoff_lat,dropoff_t,card\n\
+                    121.5,31.2,100,121.6,31.3,800,7\n\
+                    121.5,31.2,900,121.6,31.3,850,7\n\
+                    121.5,oops,1000,121.6,31.3,1100,\n\
+                    121.5,31.2,2000,121.6,31.3,2600,\n";
+        let (journeys, report) = read_journeys_with(text, &proj(), IngestMode::Lenient).unwrap();
+        assert_eq!(journeys.len(), 2);
+        assert_eq!(report.dropped(), 2);
+        assert!(report.to_string().contains("line 3"));
+        // The survivors still link into trajectories.
+        let trajs = journeys_to_trajectories(&journeys);
+        assert_eq!(trajs.len(), 2);
+        // Strict mode dies at the time-travel record first.
+        let err = read_journeys_with(text, &proj(), IngestMode::Strict).unwrap_err();
+        assert!(err.to_string().contains("line 3"), "{err}");
     }
 
     #[test]

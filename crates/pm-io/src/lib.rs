@@ -13,12 +13,21 @@
 //!
 //! Category names accept both the Table 3 display names ("Shop & Market")
 //! and compact snake-case aliases ("shop").
+//!
+//! Both readers come in a strict flavour (fail fast on the first malformed
+//! record, with a line-exact [`IoError`]) and a `_with` flavour taking an
+//! [`IngestMode`]: lenient ingestion skips malformed records and returns a
+//! capped [`QuarantineReport`] accounting for every dropped line.
 
 pub mod csv;
 pub mod error;
 pub mod journeys;
 pub mod pois;
+pub mod quarantine;
 
 pub use error::IoError;
-pub use journeys::{journeys_to_trajectories, read_journeys, write_journeys, JourneyRecord};
-pub use pois::{parse_category, read_pois, write_pois};
+pub use journeys::{
+    journeys_to_trajectories, read_journeys, read_journeys_with, write_journeys, JourneyRecord,
+};
+pub use pois::{parse_category, read_pois, read_pois_with, write_pois};
+pub use quarantine::{IngestMode, QuarantineReport};

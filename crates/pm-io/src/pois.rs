@@ -2,6 +2,7 @@
 
 use crate::csv::{data_lines, fields, parse_f64, parse_u64};
 use crate::error::IoError;
+use crate::quarantine::{IngestMode, QuarantineReport};
 use pm_core::types::{Category, Poi};
 use pm_geo::{GeoPoint, Projection};
 use std::fmt::Write as _;
@@ -57,54 +58,78 @@ fn category_slug(c: Category) -> &'static str {
     }
 }
 
+/// Parses one data line into a [`Poi`].
+fn parse_poi(line_no: usize, line: &str, projection: &Projection) -> Result<Poi, IoError> {
+    let f = fields(line);
+    if f.len() < 4 {
+        return Err(IoError::parse(
+            line_no,
+            format!("expected >= 4 fields, got {}", f.len()),
+        ));
+    }
+    let id = parse_u64(f[0], line_no, "id")?;
+    let lon = parse_f64(f[1], line_no, "lon")?;
+    let lat = parse_f64(f[2], line_no, "lat")?;
+    let geo = GeoPoint::new(lon, lat);
+    if !geo.is_valid() {
+        return Err(IoError::parse(
+            line_no,
+            format!("invalid coordinate ({lon}, {lat})"),
+        ));
+    }
+    let category = parse_category(f[3])
+        .ok_or_else(|| IoError::parse(line_no, format!("unknown category '{}'", f[3])))?;
+    let minor = if f.len() > 4 && !f[4].is_empty() {
+        let m = parse_u64(f[4], line_no, "minor")? as u8;
+        if m >= category.minor_count() {
+            return Err(IoError::parse(
+                line_no,
+                format!(
+                    "minor {m} out of range for {category} (< {})",
+                    category.minor_count()
+                ),
+            ));
+        }
+        m
+    } else {
+        0
+    };
+    Ok(Poi {
+        id,
+        pos: projection.to_local(geo),
+        category,
+        minor,
+    })
+}
+
 /// Reads a POI table from CSV text. Columns: `id,lon,lat,category[,minor]`;
 /// a header starting with `id` is skipped; positions are projected into the
-/// local frame.
+/// local frame. Fails fast on the first malformed record — the strict form
+/// of [`read_pois_with`].
 pub fn read_pois(text: &str, projection: &Projection) -> Result<Vec<Poi>, IoError> {
+    read_pois_with(text, projection, IngestMode::Strict).map(|(pois, _)| pois)
+}
+
+/// Reads a POI table under an explicit [`IngestMode`]. In lenient mode
+/// malformed records are quarantined instead of failing the read; the
+/// report accounts for every dropped line.
+pub fn read_pois_with(
+    text: &str,
+    projection: &Projection,
+    mode: IngestMode,
+) -> Result<(Vec<Poi>, QuarantineReport), IoError> {
     let mut out = Vec::new();
+    let mut report = QuarantineReport::default();
     for (line_no, line) in data_lines(text, "id") {
-        let f = fields(line);
-        if f.len() < 4 {
-            return Err(IoError::parse(
-                line_no,
-                format!("expected >= 4 fields, got {}", f.len()),
-            ));
+        match parse_poi(line_no, line, projection) {
+            Ok(poi) => out.push(poi),
+            Err(e) => match mode {
+                IngestMode::Strict => return Err(e),
+                IngestMode::Lenient => report.quarantine(e),
+            },
         }
-        let id = parse_u64(f[0], line_no, "id")?;
-        let lon = parse_f64(f[1], line_no, "lon")?;
-        let lat = parse_f64(f[2], line_no, "lat")?;
-        let geo = GeoPoint::new(lon, lat);
-        if !geo.is_valid() {
-            return Err(IoError::parse(
-                line_no,
-                format!("invalid coordinate ({lon}, {lat})"),
-            ));
-        }
-        let category = parse_category(f[3])
-            .ok_or_else(|| IoError::parse(line_no, format!("unknown category '{}'", f[3])))?;
-        let minor = if f.len() > 4 && !f[4].is_empty() {
-            let m = parse_u64(f[4], line_no, "minor")? as u8;
-            if m >= category.minor_count() {
-                return Err(IoError::parse(
-                    line_no,
-                    format!(
-                        "minor {m} out of range for {category} (< {})",
-                        category.minor_count()
-                    ),
-                ));
-            }
-            m
-        } else {
-            0
-        };
-        out.push(Poi {
-            id,
-            pos: projection.to_local(geo),
-            category,
-            minor,
-        });
     }
-    Ok(out)
+    Ok((out, report))
 }
 
 /// Writes a POI table as CSV text (with header), projecting back to WGS-84.
@@ -206,6 +231,26 @@ mod tests {
             .unwrap_err()
             .to_string()
             .contains("minor"));
+    }
+
+    #[test]
+    fn lenient_mode_quarantines_bad_lines() {
+        let text = "id,lon,lat,category\n\
+                    1,121.5,31.2,shop\n\
+                    2,oops,31.2,shop\n\
+                    3,121.6,31.3,palace\n\
+                    4,121.7,31.1,medical\n";
+        let (pois, report) = read_pois_with(text, &proj(), IngestMode::Lenient).unwrap();
+        assert_eq!(pois.len(), 2);
+        assert_eq!(pois[0].id, 1);
+        assert_eq!(pois[1].id, 4);
+        assert_eq!(report.dropped(), 2);
+        let s = report.to_string();
+        assert!(s.contains("line 3"), "{s}");
+        assert!(s.contains("line 4"), "{s}");
+        // Strict mode on the same input dies at the first bad line.
+        let err = read_pois_with(text, &proj(), IngestMode::Strict).unwrap_err();
+        assert!(err.to_string().contains("line 3"), "{err}");
     }
 
     #[test]

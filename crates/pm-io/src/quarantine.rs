@@ -1,0 +1,104 @@
+//! Quarantine ingestion: lenient reads that skip malformed records and
+//! report what was dropped instead of aborting on the first bad line.
+//!
+//! Real journey logs are dirty — truncated rows, unparsable coordinates,
+//! time-travelling drop-offs. Strict mode (the default) keeps the
+//! fail-fast, line-exact behaviour a data-validation workflow wants;
+//! lenient mode keeps every well-formed record and quarantines the rest
+//! into a [`QuarantineReport`] so a long batch run survives a few bad
+//! lines while still accounting for every one of them.
+
+use crate::error::IoError;
+use std::fmt;
+
+/// How a reader reacts to a malformed record.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum IngestMode {
+    /// Abort on the first malformed record with a line-exact error.
+    #[default]
+    Strict,
+    /// Skip malformed records, quarantining each into the returned
+    /// [`QuarantineReport`], and keep every well-formed line.
+    Lenient,
+}
+
+/// What a lenient read dropped. The total count is exact; per-line error
+/// details are capped at [`QuarantineReport::MAX_DETAILED`] so a
+/// pathologically corrupt input cannot balloon the report.
+#[derive(Debug, Default)]
+pub struct QuarantineReport {
+    errors: Vec<IoError>,
+    dropped: usize,
+}
+
+impl QuarantineReport {
+    /// How many per-line errors are kept verbatim; later ones only count.
+    pub const MAX_DETAILED: usize = 20;
+
+    /// Records one quarantined record.
+    pub(crate) fn quarantine(&mut self, err: IoError) {
+        self.dropped += 1;
+        if self.errors.len() < Self::MAX_DETAILED {
+            self.errors.push(err);
+        }
+    }
+
+    /// Total records dropped; may exceed `errors().len()` once the detail
+    /// cap is hit.
+    pub fn dropped(&self) -> usize {
+        self.dropped
+    }
+
+    /// The retained per-line errors, in input order.
+    pub fn errors(&self) -> &[IoError] {
+        &self.errors
+    }
+
+    /// True when nothing was quarantined.
+    pub fn is_clean(&self) -> bool {
+        self.dropped == 0
+    }
+}
+
+impl fmt::Display for QuarantineReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return write!(f, "no records quarantined");
+        }
+        write!(f, "quarantined {} record(s):", self.dropped)?;
+        for e in &self.errors {
+            write!(f, "\n  {e}")?;
+        }
+        let hidden = self.dropped - self.errors.len();
+        if hidden > 0 {
+            write!(f, "\n  ... and {hidden} more")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_everything_but_caps_details() {
+        let mut r = QuarantineReport::default();
+        assert!(r.is_clean());
+        assert_eq!(r.to_string(), "no records quarantined");
+        for i in 0..QuarantineReport::MAX_DETAILED + 5 {
+            r.quarantine(IoError::parse(i + 1, "bad"));
+        }
+        assert!(!r.is_clean());
+        assert_eq!(r.dropped(), QuarantineReport::MAX_DETAILED + 5);
+        assert_eq!(r.errors().len(), QuarantineReport::MAX_DETAILED);
+        let text = r.to_string();
+        assert!(text.contains("quarantined 25 record(s)"));
+        assert!(text.contains("... and 5 more"));
+    }
+
+    #[test]
+    fn default_mode_is_strict() {
+        assert_eq!(IngestMode::default(), IngestMode::Strict);
+    }
+}

@@ -49,9 +49,9 @@ fn synthetic_corpus_roundtrips_and_mines() {
         ..MinerParams::default()
     };
     let stays = stay_points_of(&trajectories);
-    let csd = CitySemanticDiagram::build(&pois_back, &stays, &params);
-    let recognized = recognize_all(&csd, trajectories, &params);
-    let patterns = extract_patterns(&recognized, &params);
+    let csd = CitySemanticDiagram::build(&pois_back, &stays, &params).expect("build");
+    let recognized = recognize_all(&csd, trajectories, &params).expect("recognize");
+    let patterns = extract_patterns(&recognized, &params).expect("extract");
     assert!(
         !patterns.is_empty(),
         "CSV-ingested corpus must still mine patterns"

@@ -1,0 +1,320 @@
+//! Deterministic fault injection: seeded corruptions of a trajectory corpus
+//! for robustness testing.
+//!
+//! Real feeds fail in recognizable ways — GPS units emit NaN fixes, logger
+//! clocks jump backwards, records get re-sent or cut off mid-line, and a
+//! projection bug can fling a point across the planet. Each [`Corruption`]
+//! models one such failure mode as an in-place, seed-deterministic mutation
+//! of a `Vec<SemanticTrajectory>` corpus (plus [`corrupt_csv`] for the raw
+//! ingestion layer), so integration tests can assert the pipeline survives
+//! every one of them without panicking.
+
+use pm_core::types::SemanticTrajectory;
+use pm_geo::LocalPoint;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// One injectable failure mode. Every `fraction` is the per-record
+/// probability of corruption, in `[0, 1]`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Corruption {
+    /// Stay-point coordinates replaced with NaN or infinities (dead GPS
+    /// channel, failed projection).
+    NonFiniteCoordinates {
+        /// Per-stay-point corruption probability.
+        fraction: f64,
+    },
+    /// Two stay times within a trajectory swapped (clock skew, out-of-order
+    /// delivery), breaking the time-ordered invariant.
+    TimestampDisorder {
+        /// Per-trajectory corruption probability.
+        fraction: f64,
+    },
+    /// A stay point duplicated in place (record re-sent by the logger).
+    DuplicateStays {
+        /// Per-stay-point duplication probability.
+        fraction: f64,
+    },
+    /// A stay point displaced by `distance_m` in a random direction
+    /// (projection glitch, multipath jump).
+    Teleports {
+        /// Per-stay-point corruption probability.
+        fraction: f64,
+        /// Displacement distance in meters.
+        distance_m: f64,
+    },
+    /// A trajectory cut off after a random prefix, possibly to zero stays
+    /// (upload interrupted).
+    Truncation {
+        /// Per-trajectory corruption probability.
+        fraction: f64,
+    },
+}
+
+impl Corruption {
+    /// Short machine-checkable name of the failure mode.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Corruption::NonFiniteCoordinates { .. } => "non_finite_coordinates",
+            Corruption::TimestampDisorder { .. } => "timestamp_disorder",
+            Corruption::DuplicateStays { .. } => "duplicate_stays",
+            Corruption::Teleports { .. } => "teleports",
+            Corruption::Truncation { .. } => "truncation",
+        }
+    }
+
+    /// Every failure mode at the same intensity — the sweep a
+    /// fault-injection test iterates over.
+    pub fn standard_suite(fraction: f64) -> Vec<Corruption> {
+        vec![
+            Corruption::NonFiniteCoordinates { fraction },
+            Corruption::TimestampDisorder { fraction },
+            Corruption::DuplicateStays { fraction },
+            Corruption::Teleports {
+                fraction,
+                distance_m: 50_000.0,
+            },
+            Corruption::Truncation { fraction },
+        ]
+    }
+}
+
+/// One of the five non-finite coordinate shapes, uniformly.
+fn non_finite_point(rng: &mut ChaCha8Rng, original: LocalPoint) -> LocalPoint {
+    match rng.gen_range(0..5u32) {
+        0 => LocalPoint::new(f64::NAN, original.y),
+        1 => LocalPoint::new(original.x, f64::NAN),
+        2 => LocalPoint::new(f64::NAN, f64::NAN),
+        3 => LocalPoint::new(f64::INFINITY, original.y),
+        _ => LocalPoint::new(original.x, f64::NEG_INFINITY),
+    }
+}
+
+/// Applies one corruption to the corpus in place, deterministically per
+/// seed, returning how many records (stay points or trajectories, per the
+/// variant) were corrupted.
+pub fn corrupt_trajectories(
+    trajectories: &mut [SemanticTrajectory],
+    corruption: &Corruption,
+    seed: u64,
+) -> usize {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xFA17);
+    let mut touched = 0usize;
+    match *corruption {
+        Corruption::NonFiniteCoordinates { fraction } => {
+            for st in trajectories.iter_mut() {
+                for sp in &mut st.stays {
+                    if rng.gen_bool(fraction) {
+                        sp.pos = non_finite_point(&mut rng, sp.pos);
+                        touched += 1;
+                    }
+                }
+            }
+        }
+        Corruption::TimestampDisorder { fraction } => {
+            for st in trajectories.iter_mut() {
+                if st.stays.len() >= 2 && rng.gen_bool(fraction) {
+                    let i = rng.gen_range(0..st.stays.len() - 1);
+                    let j = rng.gen_range(i + 1..st.stays.len());
+                    let (ti, tj) = (st.stays[i].time, st.stays[j].time);
+                    st.stays[i].time = tj;
+                    st.stays[j].time = ti;
+                    touched += 1;
+                }
+            }
+        }
+        Corruption::DuplicateStays { fraction } => {
+            for st in trajectories.iter_mut() {
+                let mut i = 0;
+                while i < st.stays.len() {
+                    if rng.gen_bool(fraction) {
+                        st.stays.insert(i + 1, st.stays[i]);
+                        touched += 1;
+                        i += 1; // do not re-roll the fresh duplicate
+                    }
+                    i += 1;
+                }
+            }
+        }
+        Corruption::Teleports {
+            fraction,
+            distance_m,
+        } => {
+            for st in trajectories.iter_mut() {
+                for sp in &mut st.stays {
+                    if rng.gen_bool(fraction) {
+                        let angle = rng.gen_range(0.0..std::f64::consts::TAU);
+                        sp.pos = LocalPoint::new(
+                            sp.pos.x + distance_m * angle.cos(),
+                            sp.pos.y + distance_m * angle.sin(),
+                        );
+                        touched += 1;
+                    }
+                }
+            }
+        }
+        Corruption::Truncation { fraction } => {
+            for st in trajectories.iter_mut() {
+                if !st.stays.is_empty() && rng.gen_bool(fraction) {
+                    let keep = rng.gen_range(0..st.stays.len());
+                    st.stays.truncate(keep);
+                    touched += 1;
+                }
+            }
+        }
+    }
+    touched
+}
+
+/// Mangles a fraction of a CSV body's data lines (the first line is assumed
+/// to be a header and left intact), deterministically per seed — the raw
+/// counterpart of [`corrupt_trajectories`] for exercising quarantine
+/// ingestion. Returns the corrupted text and how many lines were mangled.
+pub fn corrupt_csv(text: &str, fraction: f64, seed: u64) -> (String, usize) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xC54F);
+    let mut mangled = 0usize;
+    let lines: Vec<String> = text
+        .lines()
+        .enumerate()
+        .map(|(i, line)| {
+            if i == 0 || line.trim().is_empty() || !rng.gen_bool(fraction) {
+                return line.to_string();
+            }
+            mangled += 1;
+            match rng.gen_range(0..4u32) {
+                // Truncate mid-record.
+                0 => line[..line.len() / 2].to_string(),
+                // Replace one field with garbage.
+                1 => {
+                    let mut fields: Vec<&str> = line.split(',').collect();
+                    let k = rng.gen_range(0..fields.len());
+                    fields[k] = "garbage";
+                    fields.join(",")
+                }
+                // Non-finite numeric.
+                2 => {
+                    let mut fields: Vec<&str> = line.split(',').collect();
+                    let k = rng.gen_range(0..fields.len());
+                    fields[k] = "NaN";
+                    fields.join(",")
+                }
+                // Drop all but the first field.
+                _ => line.split(',').next().unwrap_or("").to_string(),
+            }
+        })
+        .collect();
+    let mut out = lines.join("\n");
+    if text.ends_with('\n') {
+        out.push('\n');
+    }
+    (out, mangled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_core::types::StayPoint;
+
+    fn corpus() -> Vec<SemanticTrajectory> {
+        (0..50)
+            .map(|i| {
+                let stays = (0..4)
+                    .map(|k| {
+                        StayPoint::untagged(
+                            LocalPoint::new(i as f64 * 10.0, k as f64 * 10.0),
+                            (k * 600) as i64,
+                        )
+                    })
+                    .collect();
+                SemanticTrajectory::new(stays)
+            })
+            .collect()
+    }
+
+    /// NaN-aware corpus equality (`assert_eq!` would fail on NaN == NaN).
+    fn same(a: &[SemanticTrajectory], b: &[SemanticTrajectory]) -> bool {
+        let key = |ts: &[SemanticTrajectory]| -> Vec<(u64, u64, i64)> {
+            ts.iter()
+                .flat_map(|st| &st.stays)
+                .map(|sp| (sp.pos.x.to_bits(), sp.pos.y.to_bits(), sp.time))
+                .collect()
+        };
+        key(a) == key(b)
+    }
+
+    #[test]
+    fn corruption_is_deterministic_per_seed() {
+        for c in Corruption::standard_suite(0.3) {
+            let mut a = corpus();
+            let mut b = corpus();
+            let na = corrupt_trajectories(&mut a, &c, 42);
+            let nb = corrupt_trajectories(&mut b, &c, 42);
+            assert_eq!(na, nb, "{}", c.label());
+            assert!(same(&a, &b), "{}", c.label());
+            let mut d = corpus();
+            corrupt_trajectories(&mut d, &c, 43);
+            assert!(!same(&a, &d), "{}: different seeds must differ", c.label());
+        }
+    }
+
+    #[test]
+    fn every_mode_touches_records_at_full_intensity() {
+        for c in Corruption::standard_suite(1.0) {
+            let mut corpus = corpus();
+            let touched = corrupt_trajectories(&mut corpus, &c, 7);
+            assert!(touched > 0, "{}", c.label());
+        }
+    }
+
+    #[test]
+    fn zero_fraction_is_a_no_op() {
+        for c in Corruption::standard_suite(0.0) {
+            let mut corrupted = corpus();
+            assert_eq!(corrupt_trajectories(&mut corrupted, &c, 7), 0);
+            assert_eq!(corrupted, corpus());
+        }
+    }
+
+    #[test]
+    fn non_finite_mode_produces_non_finite_points() {
+        let mut corpus = corpus();
+        let c = Corruption::NonFiniteCoordinates { fraction: 0.5 };
+        let touched = corrupt_trajectories(&mut corpus, &c, 1);
+        let bad = corpus
+            .iter()
+            .flat_map(|st| &st.stays)
+            .filter(|sp| !(sp.pos.x.is_finite() && sp.pos.y.is_finite()))
+            .count();
+        assert_eq!(bad, touched);
+    }
+
+    #[test]
+    fn disorder_breaks_time_order() {
+        let mut corpus = corpus();
+        corrupt_trajectories(&mut corpus, &Corruption::TimestampDisorder { fraction: 1.0 }, 1);
+        let disordered = corpus
+            .iter()
+            .any(|st| st.stays.windows(2).any(|w| w[0].time > w[1].time));
+        assert!(disordered);
+    }
+
+    #[test]
+    fn truncation_can_empty_a_trajectory() {
+        let mut corpus = corpus();
+        corrupt_trajectories(&mut corpus, &Corruption::Truncation { fraction: 1.0 }, 1);
+        assert!(corpus.iter().any(|st| st.stays.is_empty()));
+        assert!(corpus.iter().all(|st| st.stays.len() < 4));
+    }
+
+    #[test]
+    fn csv_mangling_counts_lines_and_keeps_header() {
+        let text = "id,lon,lat,category\n1,1.0,2.0,shop\n2,1.0,2.0,shop\n3,1.0,2.0,shop\n";
+        let (out, mangled) = corrupt_csv(text, 1.0, 5);
+        assert!(mangled >= 2, "got {mangled}");
+        assert!(out.starts_with("id,lon,lat,category\n"));
+        let (same, zero) = corrupt_csv(text, 0.0, 5);
+        assert_eq!(zero, 0);
+        assert_eq!(same, text);
+    }
+}

@@ -18,17 +18,22 @@
 //! - [`checkin`]: a check-in simulator with per-category sharing bias
 //!   (NYC-like vs Tokyo-like profiles) — the *semantic bias* mechanism
 //!   behind Table 1.
+//! - [`corrupt`]: deterministic fault injection — seeded corruptions of a
+//!   trajectory corpus (non-finite coordinates, timestamp disorder,
+//!   duplicates, teleports, truncation) for robustness tests.
 //!
 //! All generators are deterministic given [`CityConfig::seed`].
 
 pub mod checkin;
 pub mod city;
 pub mod config;
+pub mod corrupt;
 pub mod gps;
 pub mod poi;
 pub mod trips;
 
 pub use checkin::{generate_checkins, Checkin, SharingProfile};
+pub use corrupt::{corrupt_csv, corrupt_trajectories, Corruption};
 pub use city::{CityModel, District, Tower};
 pub use config::CityConfig;
 pub use gps::{generate_probe_tracks, GpsConfig, ProbeTrack};

@@ -24,9 +24,9 @@ fn main() {
     };
 
     let stays = stay_points_of(&dataset.trajectories);
-    let csd = CitySemanticDiagram::build(&dataset.pois, &stays, &params);
-    let recognized = recognize_all(&csd, dataset.trajectories.clone(), &params);
-    let patterns = extract_patterns(&recognized, &params);
+    let csd = CitySemanticDiagram::build(&dataset.pois, &stays, &params).expect("build");
+    let recognized = recognize_all(&csd, dataset.trajectories.clone(), &params).expect("recognize");
+    let patterns = extract_patterns(&recognized, &params).expect("extract");
 
     // ---- (g) Airport demand -------------------------------------------------
     let airport = dataset.city.districts[dataset.city.airport].venues[0];

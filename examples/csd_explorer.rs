@@ -16,7 +16,7 @@ fn main() {
     let params = MinerParams::default();
 
     let stays = stay_points_of(&dataset.trajectories);
-    let csd = CitySemanticDiagram::build(&dataset.pois, &stays, &params);
+    let csd = CitySemanticDiagram::build(&dataset.pois, &stays, &params).expect("build");
     let stats = csd.stats();
 
     println!("City Semantic Diagram construction (Fig. 6 equivalent)");

@@ -17,9 +17,9 @@ fn main() {
         ..MinerParams::default()
     };
     let stays = stay_points_of(&dataset.trajectories);
-    let csd = CitySemanticDiagram::build(&dataset.pois, &stays, &params);
-    let recognized = recognize_all(&csd, dataset.trajectories.clone(), &params);
-    let patterns = extract_patterns(&recognized, &params);
+    let csd = CitySemanticDiagram::build(&dataset.pois, &stays, &params).expect("build");
+    let recognized = recognize_all(&csd, dataset.trajectories.clone(), &params).expect("recognize");
+    let patterns = extract_patterns(&recognized, &params).expect("extract");
     println!("{} patterns mined\n", patterns.len());
 
     // "Which commuter flows should get shopping vouchers?"

@@ -29,7 +29,7 @@ fn main() {
         ..MinerParams::default()
     };
     let stays = stay_points_of(&dataset.trajectories);
-    let csd = CitySemanticDiagram::build(&dataset.pois, &stays, &params);
+    let csd = CitySemanticDiagram::build(&dataset.pois, &stays, &params).expect("build");
     let stats = csd.stats();
     println!(
         "CSD: {} fine-grained semantic units covering {} POIs ({:.0}% single-category)",
@@ -39,7 +39,7 @@ fn main() {
     );
 
     // 3. Recognize the semantic property of every stay point (paper §4.2).
-    let recognized = recognize_all(&csd, dataset.trajectories.clone(), &params);
+    let recognized = recognize_all(&csd, dataset.trajectories.clone(), &params).expect("recognize");
     let tagged = recognized
         .iter()
         .flat_map(|t| &t.stays)
@@ -49,7 +49,7 @@ fn main() {
     println!("recognized {tagged}/{total} stay points");
 
     // 4. Mine fine-grained patterns (paper §4.3, Algorithm 4).
-    let patterns = extract_patterns(&recognized, &params);
+    let patterns = extract_patterns(&recognized, &params).expect("extract");
     let summary = summarize(&patterns);
     println!(
         "\n{} fine-grained patterns, coverage {}, avg sparsity {:.1} m, avg consistency {:.3}\n",

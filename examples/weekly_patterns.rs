@@ -18,15 +18,15 @@ fn main() {
     let params = MinerParams::default();
 
     let stays = stay_points_of(&dataset.trajectories);
-    let csd = CitySemanticDiagram::build(&dataset.pois, &stays, &params);
-    let recognized = recognize_all(&csd, dataset.trajectories.clone(), &params);
+    let csd = CitySemanticDiagram::build(&dataset.pois, &stays, &params).expect("build");
+    let recognized = recognize_all(&csd, dataset.trajectories.clone(), &params).expect("recognize");
 
     // One day holds ~1/7 of the week's records; scale support accordingly.
     let day_params = params.with_sigma(10);
     let days = [(2i64, "Wednesday (weekday)"), (5, "Saturday (weekend)")];
 
     for (day, label) in days {
-        let patterns = mine_one_day(&recognized, &day_params, day);
+        let patterns = mine_one_day(&recognized, &day_params, day).expect("valid params");
         println!("== {label}: {} patterns", patterns.len());
 
         // Dominant transitions per time-of-day slot.
@@ -60,8 +60,12 @@ fn main() {
     }
 
     // The paper's qualitative finding, checked quantitatively.
-    let weekday = mine_one_day(&recognized, &day_params, 2).len();
-    let weekend = mine_one_day(&recognized, &day_params, 5).len();
+    let weekday = mine_one_day(&recognized, &day_params, 2)
+        .expect("valid params")
+        .len();
+    let weekend = mine_one_day(&recognized, &day_params, 5)
+        .expect("valid params")
+        .len();
     println!("weekday-day patterns: {weekday}; weekend-day patterns: {weekend}");
     println!(
         "paper's finding — \"weekend's patterns are sparse and irregular\": {}",

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build, test, and lint the default workspace members
+# (everything except crates/bench, which is opt-in via `cargo bench`).
+# Run from anywhere; works fully offline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> ci.sh: all green"

@@ -1,0 +1,263 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements just enough of the criterion API for the workspace's benches
+//! to compile and run without network access: `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `Bencher::iter`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement is intentionally simple: each benchmark runs a short warm-up,
+//! then `sample_size` timed samples, and prints the median, min, and max
+//! time per iteration. There is no statistical analysis, no HTML report,
+//! and no baseline comparison.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Names one benchmark within a group, e.g. `csd_build/10000`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Accepts both `&str` and [`BenchmarkId`] where benchmark names are taken.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Times one closure; handed to the benchmark function.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    n_samples: usize,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: also calibrates how many iterations fit one sample.
+        let warm_start = Instant::now();
+        black_box(routine());
+        let one = warm_start.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(20);
+        self.iters_per_sample = (target.as_nanos() / one.as_nanos()).clamp(1, 10_000) as u64;
+
+        for _ in 0..self.n_samples.max(1) {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn report(name: &str, bencher: &Bencher) {
+    if bencher.samples.is_empty() {
+        println!("{name:<40} (no samples)");
+        return;
+    }
+    let mut per_iter: Vec<f64> = bencher
+        .samples
+        .iter()
+        .map(|d| d.as_nanos() as f64 / bencher.iters_per_sample as f64)
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[per_iter.len() / 2];
+    let fmt = |ns: f64| -> String {
+        if ns < 1_000.0 {
+            format!("{ns:.1} ns")
+        } else if ns < 1_000_000.0 {
+            format!("{:.2} µs", ns / 1_000.0)
+        } else if ns < 1_000_000_000.0 {
+            format!("{:.2} ms", ns / 1_000_000.0)
+        } else {
+            format!("{:.2} s", ns / 1_000_000_000.0)
+        }
+    };
+    println!(
+        "{name:<40} median {} (min {}, max {}, {} samples)",
+        fmt(median),
+        fmt(per_iter[0]),
+        fmt(per_iter[per_iter.len() - 1]),
+        per_iter.len()
+    );
+}
+
+/// Top-level benchmark harness state.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(&mut self, n: usize) -> &mut Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.into_benchmark_id();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            n_samples: self.sample_size,
+            iters_per_sample: 1,
+        };
+        f(&mut b);
+        report(&name, &b);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A named set of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id.into_benchmark_id());
+        let samples = self.sample_size.unwrap_or(self.parent.sample_size);
+        let mut b = Bencher {
+            samples: Vec::new(),
+            n_samples: samples,
+            iters_per_sample: 1,
+        };
+        f(&mut b);
+        report(&name, &b);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Declares a function that runs the given benchmark targets in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point invoking each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_samples() {
+        let mut c = Criterion::default();
+        c.sample_size(3);
+        let mut runs = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn groups_compose_names() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_with_input(BenchmarkId::new("f", 7), &7u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,152 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The sandboxed build environment cannot fetch crates, so this in-tree shim
+//! implements the subset of proptest the workspace's test suites use:
+//!
+//! - the [`Strategy`] trait with `prop_map`, implemented for numeric ranges
+//!   and tuples of strategies;
+//! - `prop::collection::vec` with exact or ranged sizes;
+//! - the `proptest!` macro (including `#![proptest_config(..)]`) and the
+//!   `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` macros.
+//!
+//! Differences from real proptest, deliberately accepted: inputs are drawn
+//! from a deterministic per-test RNG (seeded from the test name, so runs are
+//! reproducible), and failing cases are **not shrunk** — the failure message
+//! reports the case number and the assertion text instead. Regression files
+//! (`*.proptest-regressions`) are ignored.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    //! `prop::collection` equivalent: strategies for collections.
+    pub use crate::strategy::{vec, SizeRange, VecStrategy};
+}
+
+/// The `prop::` paths used by `use proptest::prelude::*` consumers.
+pub mod prop {
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines deterministic property tests.
+///
+/// Supports an optional leading `#![proptest_config(expr)]` and any number of
+/// `fn name(arg in strategy, ...) { body }` items, each carrying its own
+/// attributes (`#[test]`, doc comments, ...).
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                $crate::test_runner::run_cases(config, stringify!($name), |__pt_rng| {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strat), __pt_rng);
+                    )+
+                    let __pt_result: ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    __pt_result
+                });
+            }
+        )*
+    };
+}
+
+/// Skips the current test case (without failing) when the condition is
+/// false. Unlike real proptest the skipped case is not replaced by a fresh
+/// draw, so heavy rejection thins the effective case count.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::reject(stringify!($cond)),
+            );
+        }
+    };
+}
+
+/// Fails the current test case when the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current test case when the two values differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__pt_l, __pt_r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__pt_l == *__pt_r,
+            "assertion failed: `{:?}` == `{:?}`",
+            __pt_l,
+            __pt_r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__pt_l, __pt_r) = (&$left, &$right);
+        $crate::prop_assert!(*__pt_l == *__pt_r, $($fmt)+);
+    }};
+}
+
+/// Fails the current test case when the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__pt_l, __pt_r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__pt_l != *__pt_r,
+            "assertion failed: `{:?}` != `{:?}`",
+            __pt_l,
+            __pt_r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__pt_l, __pt_r) = (&$left, &$right);
+        $crate::prop_assert!(*__pt_l != *__pt_r, $($fmt)+);
+    }};
+}

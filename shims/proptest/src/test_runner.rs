@@ -1,0 +1,152 @@
+//! Deterministic case runner: per-test seeded RNG, no shrinking.
+
+/// Runner configuration; only the case count is honored.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        // Real proptest defaults to 256; 64 keeps the no-shrink shim's suite
+        // fast while still exploring a meaningful input sample.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A non-passing test case: a genuine failure (`prop_assert*`) or a
+/// rejected input (`prop_assume!`), which the runner skips silently.
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    pub message: String,
+    pub is_rejection: bool,
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError {
+            message: message.into(),
+            is_rejection: false,
+        }
+    }
+
+    pub fn reject(message: impl Into<String>) -> TestCaseError {
+        TestCaseError {
+            message: message.into(),
+            is_rejection: true,
+        }
+    }
+}
+
+/// SplitMix64-based generator; quality is ample for test-input sampling and
+/// the zero-dependency implementation keeps the shim self-contained.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero and is allowed
+    /// up to `u64::MAX + 1` (the full span of an inclusive u64 range).
+    pub fn below(&mut self, bound: u128) -> u128 {
+        debug_assert!(bound > 0);
+        if bound > u64::MAX as u128 {
+            return self.next_u64() as u128;
+        }
+        (self.next_u64() as u128 * bound) >> 64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// FNV-1a over the test name: a stable, platform-independent seed so every
+/// run of a given test explores the same inputs.
+fn seed_of(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `case` for `config.cases` deterministic inputs, panicking (so the
+/// `#[test]` harness reports failure) on the first case that errors.
+pub fn run_cases<F>(config: ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base = seed_of(name);
+    for i in 0..config.cases {
+        let mut rng = TestRng::new(base ^ (i as u64).wrapping_mul(0xA076_1D64_78BD_642F));
+        if let Err(e) = case(&mut rng) {
+            if e.is_rejection {
+                continue;
+            }
+            panic!(
+                "proptest '{name}' failed at case {i}/{cases}: {msg}\n\
+                 (deterministic shim: re-running reproduces this case; no shrinking)",
+                cases = config.cases,
+                msg = e.message,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_is_deterministic() {
+        let mut seen_a = Vec::new();
+        run_cases(ProptestConfig::with_cases(16), "det", |rng| {
+            seen_a.push(rng.next_u64());
+            Ok(())
+        });
+        let mut seen_b = Vec::new();
+        run_cases(ProptestConfig::with_cases(16), "det", |rng| {
+            seen_b.push(rng.next_u64());
+            Ok(())
+        });
+        assert_eq!(seen_a, seen_b);
+        assert_eq!(seen_a.len(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn runner_panics_on_failure() {
+        run_cases(ProptestConfig::with_cases(4), "boom", |_| {
+            Err(TestCaseError::fail("nope"))
+        });
+    }
+
+    #[test]
+    fn below_stays_in_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..1_000 {
+            assert!(rng.below(10) < 10);
+        }
+    }
+}

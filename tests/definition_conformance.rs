@@ -19,9 +19,9 @@ fn fixture() -> (Vec<SemanticTrajectory>, Vec<FinePattern>, MinerParams) {
         ..MinerParams::default()
     };
     let stays = stay_points_of(&ds.trajectories);
-    let csd = CitySemanticDiagram::build(&ds.pois, &stays, &params);
-    let recognized = recognize_all(&csd, ds.trajectories.clone(), &params);
-    let patterns = extract_patterns(&recognized, &params);
+    let csd = CitySemanticDiagram::build(&ds.pois, &stays, &params).expect("build");
+    let recognized = recognize_all(&csd, ds.trajectories.clone(), &params).expect("recognize");
+    let patterns = extract_patterns(&recognized, &params).expect("extract");
     (recognized, patterns, params)
 }
 

@@ -14,9 +14,9 @@ fn full_run(seed: u64) -> (Dataset, Vec<FinePattern>) {
         ..MinerParams::default()
     };
     let stays = stay_points_of(&ds.trajectories);
-    let csd = CitySemanticDiagram::build(&ds.pois, &stays, &params);
-    let recognized = recognize_all(&csd, ds.trajectories.clone(), &params);
-    let patterns = extract_patterns(&recognized, &params);
+    let csd = CitySemanticDiagram::build(&ds.pois, &stays, &params).expect("build");
+    let recognized = recognize_all(&csd, ds.trajectories.clone(), &params).expect("recognize");
+    let patterns = extract_patterns(&recognized, &params).expect("extract");
     (ds, patterns)
 }
 
@@ -62,8 +62,8 @@ fn six_pipeline_harness_is_deterministic() {
         ..MinerParams::default()
     };
     let baseline = BaselineParams::default();
-    let a = run_all(&ds, &params, &baseline);
-    let b = run_all(&ds, &params, &baseline);
+    let a = run_all(&ds, &params, &baseline).expect("valid params");
+    let b = run_all(&ds, &params, &baseline).expect("valid params");
     for ((aa, pa), (ab, pb)) in a.iter().zip(&b) {
         assert_eq!(aa, ab);
         let sa = summarize(pa);

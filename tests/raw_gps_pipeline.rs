@@ -38,9 +38,9 @@ fn mine_from_raw(seed: u64) -> (Vec<SemanticTrajectory>, Vec<FinePattern>) {
 
     // Stage 2+3: CSD recognition and extraction.
     let stays = stay_points_of(&trajectories);
-    let csd = CitySemanticDiagram::build(&pois, &stays, &params);
-    let recognized = recognize_all(&csd, trajectories, &params);
-    let patterns = extract_patterns(&recognized, &params);
+    let csd = CitySemanticDiagram::build(&pois, &stays, &params).expect("build");
+    let recognized = recognize_all(&csd, trajectories, &params).expect("recognize");
+    let patterns = extract_patterns(&recognized, &params).expect("extract");
     (recognized, patterns)
 }
 

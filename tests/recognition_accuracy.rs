@@ -21,8 +21,8 @@ fn score(seed: u64) -> Scores {
     let baseline = BaselineParams::default();
 
     let stays = stay_points_of(&ds.trajectories);
-    let csd = CitySemanticDiagram::build(&ds.pois, &stays, &params);
-    let csd_tagged = recognize_all(&csd, ds.trajectories.clone(), &params);
+    let csd = CitySemanticDiagram::build(&ds.pois, &stays, &params).expect("build");
+    let csd_tagged = recognize_all(&csd, ds.trajectories.clone(), &params).expect("recognize");
     let roi = RoiRecognizer::build(&stays, &ds.pois, &params, &baseline);
     let roi_tagged = roi.recognize_all(ds.trajectories.clone());
 
@@ -98,8 +98,8 @@ fn tag_sets_stay_small_under_csd() {
     let ds = Dataset::generate(&CityConfig::tiny(55));
     let params = MinerParams::default();
     let stays = stay_points_of(&ds.trajectories);
-    let csd = CitySemanticDiagram::build(&ds.pois, &stays, &params);
-    let tagged = recognize_all(&csd, ds.trajectories.clone(), &params);
+    let csd = CitySemanticDiagram::build(&ds.pois, &stays, &params).expect("build");
+    let tagged = recognize_all(&csd, ds.trajectories.clone(), &params).expect("recognize");
     let mut sizes = Vec::new();
     for t in &tagged {
         for sp in &t.stays {
