@@ -1,0 +1,66 @@
+//! Thread scaling of the data-parallel pipeline stages.
+//!
+//! Every stage is bit-deterministic at any thread count (see
+//! `tests/parallel_parity.rs`), so this bench measures pure speedup: the
+//! same work, the same bytes out, spread over 1/2/4/8 workers plus `0`
+//! (auto = available_parallelism). On a multi-core host the CSD build over
+//! `CityConfig::small` — dominated by the batch KDE and the clustering
+//! neighbourhood precompute — is the headline number; recognition and
+//! extraction scale with their per-trajectory / per-pattern fan-out.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pervasive_miner::core::recognize::stay_points_of;
+use pervasive_miner::prelude::*;
+
+const THREAD_COUNTS: [usize; 5] = [1, 2, 4, 8, 0];
+
+fn label(threads: usize) -> String {
+    match threads {
+        0 => "auto".into(),
+        t => t.to_string(),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_threads");
+    group.sample_size(10);
+
+    let ds = Dataset::generate(&CityConfig::small(7));
+    let stays = stay_points_of(&ds.trajectories);
+
+    for threads in THREAD_COUNTS {
+        let params = MinerParams::default().with_threads(threads);
+        group.bench_with_input(
+            BenchmarkId::new("csd_build_small", label(threads)),
+            &(),
+            |b, _| b.iter(|| CitySemanticDiagram::build(&ds.pois, &stays, &params)),
+        );
+    }
+
+    let params_serial = MinerParams::default().with_threads(1);
+    let csd = CitySemanticDiagram::build(&ds.pois, &stays, &params_serial).expect("build");
+    for threads in THREAD_COUNTS {
+        let params = MinerParams::default().with_threads(threads);
+        group.bench_with_input(
+            BenchmarkId::new("recognize_small", label(threads)),
+            &(),
+            |b, _| b.iter(|| recognize_all(&csd, ds.trajectories.clone(), &params)),
+        );
+    }
+
+    let recognized =
+        recognize_all(&csd, ds.trajectories.clone(), &params_serial).expect("recognize");
+    for threads in THREAD_COUNTS {
+        let params = MinerParams::default().with_threads(threads);
+        group.bench_with_input(
+            BenchmarkId::new("extract_small", label(threads)),
+            &(),
+            |b, _| b.iter(|| extract_patterns(&recognized, &params)),
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

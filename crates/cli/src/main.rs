@@ -24,7 +24,8 @@ use pervasive_miner::core::recognize::stay_points_of;
 use pervasive_miner::core::types::Poi;
 use pervasive_miner::eval::{export, figures, report, run_all};
 use pervasive_miner::io::{
-    journeys_to_trajectories, read_journeys_with, read_pois_with, IngestMode, QuarantineReport,
+    journeys_to_trajectories, read_journeys_threads, read_pois_threads, IngestMode,
+    QuarantineReport,
 };
 use pervasive_miner::prelude::*;
 use std::path::{Path, PathBuf};
@@ -41,6 +42,7 @@ struct Args {
     pois: Option<PathBuf>,
     journeys: Option<PathBuf>,
     lenient: bool,
+    threads: Option<usize>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -57,6 +59,7 @@ fn parse_args() -> Result<Args, String> {
         pois: None,
         journeys: None,
         lenient: false,
+        threads: None,
     };
     let mut positional = Vec::new();
     while let Some(a) = argv.next() {
@@ -84,6 +87,14 @@ fn parse_args() -> Result<Args, String> {
                 args.journeys = Some(PathBuf::from(argv.next().ok_or("--journeys needs a file")?))
             }
             "--lenient" => args.lenient = true,
+            "--threads" => {
+                args.threads = Some(
+                    argv.next()
+                        .ok_or("--threads needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --threads: {e}"))?,
+                )
+            }
             other if !other.starts_with('-') => positional.push(other.to_string()),
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
@@ -95,10 +106,13 @@ fn parse_args() -> Result<Args, String> {
 fn usage() -> String {
     "usage: pervasive-miner <mine|fig|table|all|svg> [target] \
      [--scale tiny|small|paper] [--seed N] [--sigma N] [--csv DIR] [--out FILE] \
-     [--pois FILE --journeys FILE] [--lenient]\n\
+     [--pois FILE --journeys FILE] [--lenient] [--threads N]\n\
      --pois/--journeys: mine real CSV data instead of a synthetic city\n\
      --lenient: quarantine malformed input lines instead of aborting on the \
-     first one; a dropped-records summary goes to stderr"
+     first one; a dropped-records summary goes to stderr\n\
+     --threads: worker threads for the data-parallel pipeline stages \
+     (0 = all cores; default: the PM_THREADS environment variable, else 1). \
+     Results are bit-identical at every thread count"
         .into()
 }
 
@@ -130,6 +144,9 @@ fn run() -> Result<(), String> {
     }
     if let Some(s) = args.sigma {
         params.sigma = s;
+    }
+    if let Some(t) = args.threads {
+        params.threads = t;
     }
 
     if args.pois.is_some() || args.journeys.is_some() {
@@ -195,10 +212,11 @@ fn mine_ingested(args: &Args, params: &MinerParams) -> Result<(), String> {
         format!("{}: {e} (use --lenient to quarantine bad lines)", path.display())
     };
 
-    let (pois, poi_report) = read_pois_with(&read(pois_path)?, &projection, mode)
+    let (pois, poi_report) = read_pois_threads(&read(pois_path)?, &projection, mode, params.threads)
         .map_err(|e| ingest_err(pois_path, e))?;
-    let (journeys, journey_report) = read_journeys_with(&read(journeys_path)?, &projection, mode)
-        .map_err(|e| ingest_err(journeys_path, e))?;
+    let (journeys, journey_report) =
+        read_journeys_threads(&read(journeys_path)?, &projection, mode, params.threads)
+            .map_err(|e| ingest_err(journeys_path, e))?;
     report_quarantine(pois_path, &poi_report);
     report_quarantine(journeys_path, &journey_report);
 

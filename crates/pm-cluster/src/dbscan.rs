@@ -10,17 +10,31 @@ pub struct DbscanParams {
     pub eps: f64,
     /// Minimum neighbourhood size (the point itself counts) for a core point.
     pub min_pts: usize,
+    /// Worker threads for the neighbourhood precompute (`0` = all cores,
+    /// `1` = serial). Has no effect on the labels produced.
+    pub threads: usize,
 }
 
 impl DbscanParams {
     /// Creates a parameter set, validating `eps > 0` and `min_pts >= 1`.
+    /// Runs serially; see [`Self::with_threads`].
     pub fn new(eps: f64, min_pts: usize) -> Self {
         assert!(
             eps.is_finite() && eps > 0.0,
             "eps must be positive, got {eps}"
         );
         assert!(min_pts >= 1, "min_pts must be at least 1");
-        Self { eps, min_pts }
+        Self {
+            eps,
+            min_pts,
+            threads: 1,
+        }
+    }
+
+    /// Spreads the range queries over `threads` workers (`0` = all cores).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 }
 
@@ -59,6 +73,22 @@ pub fn dbscan(points: &[LocalPoint], params: DbscanParams) -> Clustering {
         };
     }
     let index = GridIndex::build(points, params.eps.max(1e-9));
+
+    // The seed-set expansion is sequential (labels depend on visit order),
+    // but the O(n·q) range queries it issues are independent per point. With
+    // more than one worker, compute every neighbourhood up front in
+    // parallel; each list is identical in content and order to what
+    // `range_into` would yield lazily, so the labelling is byte-identical.
+    let hoods: Option<Vec<Vec<usize>>> = (pm_runtime::resolve_threads(params.threads) > 1)
+        .then(|| pm_runtime::par_map(points, params.threads, |p| index.range(*p, params.eps)));
+    let neighbours_of = |i: usize, buf: &mut Vec<usize>| match &hoods {
+        Some(h) => {
+            buf.clear();
+            buf.extend_from_slice(&h[i]);
+        }
+        None => index.range_into(points[i], params.eps, buf),
+    };
+
     let mut n_clusters = 0u32;
     let mut neighbours = Vec::new();
     let mut frontier_buf = Vec::new();
@@ -67,7 +97,7 @@ pub fn dbscan(points: &[LocalPoint], params: DbscanParams) -> Clustering {
         if labels[start] != UNVISITED {
             continue;
         }
-        index.range_into(points[start], params.eps, &mut neighbours);
+        neighbours_of(start, &mut neighbours);
         if neighbours.len() < params.min_pts {
             labels[start] = NOISE;
             continue;
@@ -86,7 +116,7 @@ pub fn dbscan(points: &[LocalPoint], params: DbscanParams) -> Clustering {
                 continue;
             }
             labels[p] = cluster;
-            index.range_into(points[p], params.eps, &mut frontier_buf);
+            neighbours_of(p, &mut frontier_buf);
             if frontier_buf.len() >= params.min_pts {
                 frontier.extend(
                     frontier_buf
@@ -241,6 +271,23 @@ mod tests {
         let c = dbscan(&pts, DbscanParams::new(10.0, 1));
         assert_eq!(c.n_clusters, 0);
         assert_eq!(c.n_noise(), 2);
+    }
+
+    #[test]
+    fn threaded_precompute_matches_serial_labels() {
+        // Three blobs plus scatter, including non-finite points so the
+        // finite-subset recursion is exercised under threads too.
+        let mut pts = blob(0.0, 0.0, 40, 20.0);
+        pts.extend(blob(400.0, 100.0, 35, 18.0));
+        pts.extend(blob(-300.0, 250.0, 30, 22.0));
+        pts.push(LocalPoint::new(f64::NAN, 0.0));
+        pts.push(LocalPoint::new(150.0, 150.0));
+        let serial = dbscan(&pts, DbscanParams::new(15.0, 4));
+        for threads in [2, 4, 5] {
+            let parallel = dbscan(&pts, DbscanParams::new(15.0, 4).with_threads(threads));
+            assert_eq!(serial.labels, parallel.labels, "threads = {threads}");
+            assert_eq!(serial.n_clusters, parallel.n_clusters);
+        }
     }
 
     #[test]

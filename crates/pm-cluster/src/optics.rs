@@ -21,17 +21,60 @@ pub struct OpticsParams {
     pub max_eps: f64,
     /// Minimum cluster size; Algorithm 4 passes the support threshold sigma.
     pub min_pts: usize,
+    /// Worker threads for the neighbourhood precompute (`0` = all cores,
+    /// `1` = serial). Has no effect on the ordering produced.
+    pub threads: usize,
 }
 
 impl OpticsParams {
     /// Creates a parameter set, validating `max_eps > 0` and `min_pts >= 1`.
+    /// Runs serially; see [`Self::with_threads`].
     pub fn new(max_eps: f64, min_pts: usize) -> Self {
         assert!(
             max_eps.is_finite() && max_eps > 0.0,
             "max_eps must be positive, got {max_eps}"
         );
         assert!(min_pts >= 1, "min_pts must be at least 1");
-        Self { max_eps, min_pts }
+        Self {
+            max_eps,
+            min_pts,
+            threads: 1,
+        }
+    }
+
+    /// Spreads the range queries over `threads` workers (`0` = all cores).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+}
+
+/// Heap entry `(reachability, point id)` for the lazy-deletion queue in
+/// [`Optics::run_finite`].
+///
+/// All four comparison traits agree with `f64::total_cmp`, which totally
+/// orders every bit pattern including NaN. A derived `PartialEq` would use
+/// the IEEE `==` instead (`NaN != NaN`), silently violating the `Eq`/`Ord`
+/// consistency that `BinaryHeap` relies on the moment a NaN reachability
+/// slips in; the manual impl keeps `a == b` exactly equivalent to
+/// `a.cmp(b) == Equal`.
+#[derive(Debug)]
+struct HeapEntry(f64, usize);
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
     }
 }
 
@@ -107,35 +150,38 @@ impl Optics {
         let mut reach = vec![f64::INFINITY; n];
         let mut nbrs = Vec::new();
 
+        // The wavefront sweep is sequential, but its range queries are
+        // independent per point: with more than one worker, precompute every
+        // neighbourhood up front. The lists match lazy `range_into` output
+        // in content and order, so the ordering is byte-identical.
+        let hoods: Option<Vec<Vec<usize>>> = (pm_runtime::resolve_threads(params.threads) > 1)
+            .then(|| {
+                pm_runtime::par_map(points, params.threads, |p| index.range(*p, params.max_eps))
+            });
+        let neighbours_of = |i: usize, buf: &mut Vec<usize>| match &hoods {
+            Some(h) => {
+                buf.clear();
+                buf.extend_from_slice(&h[i]);
+            }
+            None => index.range_into(points[i], params.max_eps, buf),
+        };
+
         // Lazy-deletion min-heap over (reachability, point): decrease-key is
         // emulated by pushing a fresh entry and skipping stale pops (the
         // stored reachability no longer matches). Keeps the sweep
         // O(n log n + total neighbour work) at corpus scale.
         use std::cmp::Reverse;
         use std::collections::BinaryHeap;
-        #[derive(PartialEq)]
-        struct Entry(f64, usize);
-        impl Eq for Entry {}
-        impl PartialOrd for Entry {
-            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-                Some(self.cmp(other))
-            }
-        }
-        impl Ord for Entry {
-            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-                self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
-            }
-        }
 
         let mut dists: Vec<f64> = Vec::new();
         for seed in 0..n {
             if processed[seed] {
                 continue;
             }
-            let mut heap: BinaryHeap<Reverse<Entry>> = BinaryHeap::new();
-            heap.push(Reverse(Entry(f64::INFINITY, seed)));
+            let mut heap: BinaryHeap<Reverse<HeapEntry>> = BinaryHeap::new();
+            heap.push(Reverse(HeapEntry(f64::INFINITY, seed)));
             reach[seed] = f64::INFINITY;
-            while let Some(Reverse(Entry(r, p))) = heap.pop() {
+            while let Some(Reverse(HeapEntry(r, p))) = heap.pop() {
                 if processed[p] || r > reach[p] {
                     continue; // stale entry
                 }
@@ -143,7 +189,7 @@ impl Optics {
                 order.push(p);
                 reach_in_order.push(reach[p]);
 
-                index.range_into(points[p], params.max_eps, &mut nbrs);
+                neighbours_of(p, &mut nbrs);
                 if nbrs.len() >= params.min_pts {
                     // Core distance: distance to the min_pts-th neighbour.
                     dists.clear();
@@ -158,7 +204,7 @@ impl Optics {
                         let new_reach = core.max(points[q].distance(&points[p]));
                         if new_reach < reach[q] {
                             reach[q] = new_reach;
-                            heap.push(Reverse(Entry(new_reach, q)));
+                            heap.push(Reverse(HeapEntry(new_reach, q)));
                         }
                     }
                 }
@@ -538,6 +584,52 @@ mod tests {
         let c = o.extract_auto();
         assert_eq!(c.n_clusters, 0);
         assert_eq!(c.labels, vec![None]);
+    }
+
+    #[test]
+    fn heap_entry_comparisons_are_total_and_consistent() {
+        use std::cmp::Ordering;
+        let nan_a = HeapEntry(f64::NAN, 3);
+        let nan_b = HeapEntry(f64::NAN, 3);
+        // total_cmp orders NaN; the manual PartialEq must agree with Ord
+        // (the derived f64 `==` would say NaN != NaN here).
+        assert_eq!(nan_a.cmp(&nan_b), Ordering::Equal);
+        assert!(nan_a == nan_b, "PartialEq must match Ord for NaN payloads");
+        assert_eq!(nan_a.partial_cmp(&nan_b), Some(Ordering::Equal));
+
+        // NaN sorts after every finite value and +inf under total_cmp, so a
+        // NaN reachability can never shadow a real candidate at the heap top.
+        let finite = HeapEntry(1.0, 0);
+        let inf = HeapEntry(f64::INFINITY, 1);
+        assert_eq!(finite.cmp(&nan_a), Ordering::Less);
+        assert_eq!(inf.cmp(&nan_a), Ordering::Less);
+        assert!(finite != nan_a);
+
+        // Ties on reachability break on the point id, keeping the order
+        // deterministic.
+        assert_eq!(HeapEntry(2.0, 1).cmp(&HeapEntry(2.0, 2)), Ordering::Less);
+        assert_eq!(HeapEntry(2.0, 2), HeapEntry(2.0, 2));
+    }
+
+    #[test]
+    fn threaded_precompute_matches_serial_ordering() {
+        let mut pts = blob(0.0, 0.0, 40, 15.0);
+        pts.extend(blob(600.0, 0.0, 40, 15.0));
+        pts.extend(blob(200.0, 500.0, 25, 10.0));
+        pts.insert(7, LocalPoint::new(f64::NAN, 2.0));
+        let serial = Optics::run(&pts, OpticsParams::new(1_000.0, 5));
+        for threads in [2, 4] {
+            let parallel = Optics::run(&pts, OpticsParams::new(1_000.0, 5).with_threads(threads));
+            assert_eq!(serial.order(), parallel.order(), "threads = {threads}");
+            let bits = |o: &Optics| -> Vec<u64> {
+                o.reachability().iter().map(|r| r.to_bits()).collect()
+            };
+            assert_eq!(bits(&serial), bits(&parallel));
+            assert_eq!(
+                serial.extract_auto().labels,
+                parallel.extract_auto().labels
+            );
+        }
     }
 
     #[test]

@@ -36,11 +36,33 @@ pub fn popularity_clustering(
     let positions: Vec<_> = pois.iter().map(|p| p.pos).collect();
     let index = GridIndex::build(&positions, params.eps_p.max(1e-9));
 
+    // The expansion sweep below is inherently sequential (cluster identity
+    // depends on claim order), but its cost is dominated by the O(n·q)
+    // range queries — which are independent per POI. With more than one
+    // worker, precompute every neighbourhood up front; the lists are
+    // identical in content and order to what `range_into` yields lazily,
+    // so the clustering is byte-identical either way.
+    let hoods: Option<Vec<Vec<usize>>> = (pm_runtime::resolve_threads(params.threads) > 1)
+        .then(|| {
+            pm_runtime::par_map(&positions, params.threads, |p| {
+                index.range(*p, params.eps_p)
+            })
+        });
+
     // `claimed[i]`: POI i has been removed from P (line 3 / line 8 of the
     // pseudo code) — it can seed no further cluster and join no other one.
     let mut claimed = vec![false; n];
     let mut clusters = Vec::new();
     let mut nbr_buf = Vec::new();
+    let neighbours_of = |i: usize, nbr_buf: &mut Vec<usize>| {
+        match &hoods {
+            Some(h) => {
+                nbr_buf.clear();
+                nbr_buf.extend_from_slice(&h[i]);
+            }
+            None => index.range_into(positions[i], params.eps_p, nbr_buf),
+        }
+    };
 
     // Popularity-ratio gate of line 5: both ratios >= alpha. Zero-popularity
     // pairs compare equal (0/0); mixed zero/non-zero pairs fail the gate.
@@ -61,7 +83,7 @@ pub fn popularity_clustering(
         claimed[seed] = true;
         let mut members = vec![seed];
         // Work queue `V` of candidate neighbours (line 3/7).
-        index.range_into(pois[seed].pos, params.eps_p, &mut nbr_buf);
+        neighbours_of(seed, &mut nbr_buf);
         let mut queue: Vec<usize> = nbr_buf.iter().copied().filter(|&j| !claimed[j]).collect();
 
         while let Some(j) = queue.pop() {
@@ -77,7 +99,7 @@ pub fn popularity_clustering(
             }
             claimed[j] = true;
             members.push(j);
-            index.range_into(pois[j].pos, params.eps_p, &mut nbr_buf);
+            neighbours_of(j, &mut nbr_buf);
             queue.extend(nbr_buf.iter().copied().filter(|&q| !claimed[q]));
         }
 
@@ -232,6 +254,41 @@ mod tests {
         let out = popularity_clustering(&pois, &[1.0, 1.0], &small_params());
         let covered: usize = out.clusters.iter().map(Vec::len).sum::<usize>() + out.leftovers.len();
         assert_eq!(covered, 4);
+    }
+
+    #[test]
+    fn threaded_precompute_is_identical_to_lazy_queries() {
+        // A street grid with popularity structure: the parallel
+        // neighbourhood precompute must reproduce the serial clustering
+        // exactly — same clusters, same member order, same leftovers.
+        let mut pois = Vec::new();
+        for i in 0..120u64 {
+            let cat = match i % 3 {
+                0 => Category::Shop,
+                1 => Category::Restaurant,
+                _ => Category::Residence,
+            };
+            pois.push(poi(
+                i,
+                (i % 15) as f64 * 18.0,
+                (i / 15) as f64 * 18.0,
+                cat,
+            ));
+        }
+        let pop: Vec<f64> = (0..120).map(|i| 1.0 + (i % 4) as f64 * 0.05).collect();
+        let serial = popularity_clustering(&pois, &pop, &small_params());
+        for threads in [2, 4] {
+            let parallel = popularity_clustering(
+                &pois,
+                &pop,
+                &MinerParams {
+                    threads,
+                    ..small_params()
+                },
+            );
+            assert_eq!(serial.clusters, parallel.clusters, "threads = {threads}");
+            assert_eq!(serial.leftovers, parallel.leftovers);
+        }
     }
 
     #[test]

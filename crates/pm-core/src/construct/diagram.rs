@@ -137,7 +137,7 @@ impl CitySemanticDiagram {
 
         let model = PopularityModel::build(stay_points, params.r3sigma);
         let positions: Vec<LocalPoint> = pois.iter().map(|p| p.pos).collect();
-        let popularity = model.popularity_of(&positions);
+        let popularity = model.popularity_of_threads(&positions, params.threads);
 
         let coarse = popularity_clustering(&pois, &popularity, params);
         let n_coarse = coarse.clusters.len();

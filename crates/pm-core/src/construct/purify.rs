@@ -209,7 +209,14 @@ fn median_split(
 
     let mut sorted = kls.clone();
     sorted.sort_by(f64::total_cmp);
-    let median = sorted[sorted.len() / 2];
+    // Lower median: with the upper median (`sorted[len / 2]`), any cluster
+    // whose upper half ties at the maximum divergence (e.g. two categories in
+    // a 2-2 standoff, kls = [0, 0, x, x]) selects that maximum as the cut and
+    // `split_off` comes out empty — no progress, and the natural half/half
+    // split is lost to the farthest-point fallback. The lower median always
+    // strands the strict-maximum members above the cut whenever the
+    // divergences are not all equal.
+    let median = sorted[(sorted.len() - 1) / 2];
 
     let mut keep = Vec::new();
     let mut split_off = Vec::new();
@@ -365,6 +372,49 @@ mod tests {
         let units = purify(&pois, vec![(0..16).collect()], &params());
         let total: usize = units.iter().map(Vec::len).sum();
         assert_eq!(total, 16);
+    }
+
+    #[test]
+    fn median_split_handles_tied_upper_half() {
+        // Regression: two tight category blobs, two POIs each, 400m apart.
+        // The four KL divergences from the center POI pair up as
+        // [low, low, high, high]; the old upper median (`sorted[len / 2]`)
+        // picked `high`, nothing exceeded it, and the natural 2-2 category
+        // split degraded to peeling one POI at a time off the far blob. The
+        // lower median must separate the blobs in one cut.
+        let pois = vec![
+            poi(0, 0.0, 0.0, Category::Shop),
+            poi(1, 10.0, 0.0, Category::Shop),
+            poi(2, 400.0, 0.0, Category::Medical),
+            poi(3, 410.0, 0.0, Category::Medical),
+        ];
+        let kernel = GaussianKernel::new(params().r3sigma);
+        let (keep, split_off) =
+            median_split(&pois, &[0, 1, 2, 3], &kernel).expect("median split must make progress");
+        let mut sides = [keep, split_off];
+        sides.sort();
+        assert_eq!(sides, [vec![0, 1], vec![2, 3]]);
+
+        // End to end, purification resolves the pair into the two
+        // single-category units without leaning on the farthest-point
+        // fallback's singleton peeling.
+        let units = purify(&pois, vec![vec![0, 1, 2, 3]], &params());
+        let mut units = units;
+        units.iter_mut().for_each(|u| u.sort());
+        units.sort();
+        assert_eq!(units, vec![vec![0, 1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn median_split_still_declines_on_full_tie() {
+        // All divergences equal (single category ⇒ every local distribution
+        // is the same point mass): no cut can make progress and the split
+        // must report `None` rather than emit an empty side.
+        let pois: Vec<Poi> = (0..4)
+            .map(|i| poi(i, i as f64 * 10.0, 0.0, Category::Shop))
+            .collect();
+        let kernel = GaussianKernel::new(params().r3sigma);
+        assert!(median_split(&pois, &[0, 1, 2, 3], &kernel).is_none());
     }
 
     #[test]

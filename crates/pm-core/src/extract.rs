@@ -129,8 +129,12 @@ pub fn extract_patterns_tracked(
         PrefixSpanParams::new(params.sigma, params.min_pattern_len, params.max_pattern_len),
     );
 
-    let mut out = Vec::new();
-    for pattern in &coarse {
+    // Algorithm 4 refines every coarse pattern independently (its OPTICS
+    // runs and counterpart filtering read only that pattern's members), so
+    // the per-pattern work fans out over `params.threads` workers. Each
+    // worker appends to its own pattern-local list; flattening in coarse
+    // order reproduces the serial loop's emission order byte for byte.
+    let per_pattern: Vec<Vec<FinePattern>> = pm_runtime::par_map(&coarse, params.threads, |pattern| {
         let categories: Vec<Category> = pattern
             .items
             .iter()
@@ -148,8 +152,11 @@ pub fn extract_patterns_tracked(
                     .collect(),
             })
             .collect();
-        counterpart_cluster(db, &categories, members, params, &mut out);
-    }
+        let mut local = Vec::new();
+        counterpart_cluster(db, &categories, members, params, &mut local);
+        local
+    });
+    let mut out: Vec<FinePattern> = per_pattern.into_iter().flatten().collect();
 
     out.sort_by(|a, b| {
         b.support()

@@ -60,6 +60,14 @@ pub struct MinerParams {
     pub min_pattern_len: usize,
     /// Maximum pattern length to mine.
     pub max_pattern_len: usize,
+
+    // ---- Execution (no effect on results) ----------------------------------
+    /// Worker threads for the data-parallel pipeline stages; `0` means
+    /// "use [`std::thread::available_parallelism`]". Results are
+    /// bit-identical for every value (DESIGN.md §9 determinism contract);
+    /// this knob only trades wall-clock for cores. Defaults to the
+    /// `PM_THREADS` environment variable when set, else 1 (serial).
+    pub threads: usize,
 }
 
 impl Default for MinerParams {
@@ -81,6 +89,7 @@ impl Default for MinerParams {
             rho: 0.002,
             min_pattern_len: 2,
             max_pattern_len: 5,
+            threads: pm_runtime::default_threads(),
         }
     }
 }
@@ -175,6 +184,14 @@ impl MinerParams {
         self.delta_t = delta_t;
         self
     }
+
+    /// Returns a copy with a different worker-thread count (`0` = all
+    /// available cores). Output is bit-identical for every value.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -201,11 +218,15 @@ mod tests {
         let p = MinerParams::default()
             .with_sigma(75)
             .with_rho(0.004)
-            .with_delta_t(900);
+            .with_delta_t(900)
+            .with_threads(4);
         assert_eq!(p.sigma, 75);
         assert_eq!(p.rho, 0.004);
         assert_eq!(p.delta_t, 900);
+        assert_eq!(p.threads, 4);
         assert!(p.validate().is_ok());
+        // Every thread count is valid: 0 means available_parallelism.
+        assert!(p.with_threads(0).validate().is_ok());
     }
 
     /// Asserts that `params` fails validation blaming exactly `field`.

@@ -36,8 +36,20 @@ impl PopularityModel {
     }
 
     /// Batch popularity for a slice of positions.
+    ///
+    /// Serial convenience form of [`Self::popularity_of_threads`].
     pub fn popularity_of(&self, positions: &[LocalPoint]) -> Vec<f64> {
-        positions.iter().map(|p| self.popularity(*p)).collect()
+        self.popularity_of_threads(positions, 1)
+    }
+
+    /// Batch popularity across `threads` workers (`0` = all cores).
+    ///
+    /// Each query position is an independent kernel sum over its own
+    /// neighbourhood, so workers fill disjoint slots of the output and the
+    /// per-slot accumulation order is the index order of the grid cells —
+    /// the result is bit-identical for every thread count.
+    pub fn popularity_of_threads(&self, positions: &[LocalPoint], threads: usize) -> Vec<f64> {
+        pm_runtime::par_map(positions, threads, |p| self.popularity(*p))
     }
 
     /// The kernel in use (shared with semantic recognition).
@@ -97,6 +109,25 @@ mod tests {
         let batch = m.popularity_of(&queries);
         assert_eq!(batch[0], m.popularity(queries[0]));
         assert_eq!(batch[1], m.popularity(queries[1]));
+    }
+
+    #[test]
+    fn threaded_batch_is_bit_identical_to_serial() {
+        let stays: Vec<LocalPoint> = (0..300)
+            .map(|i| LocalPoint::new((i * 17 % 500) as f64, (i * 29 % 400) as f64))
+            .collect();
+        let m = PopularityModel::build(&stays, 100.0);
+        let queries: Vec<LocalPoint> = (0..97)
+            .map(|i| LocalPoint::new((i * 41 % 520) as f64, (i * 13 % 410) as f64))
+            .collect();
+        let serial = m.popularity_of(&queries);
+        for threads in [2, 4, 7] {
+            let parallel = m.popularity_of_threads(&queries, threads);
+            assert_eq!(serial.len(), parallel.len());
+            for (a, b) in serial.iter().zip(&parallel) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads = {threads}");
+            }
+        }
     }
 
     #[test]

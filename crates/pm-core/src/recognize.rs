@@ -84,6 +84,42 @@ pub fn semantic_trajectory(traj: &GpsTrajectory, params: &MinerParams) -> Semant
     SemanticTrajectory::new(detect_stay_points(traj, params))
 }
 
+/// Definition 5 over a whole corpus: stay-point detection of every raw
+/// trajectory, fanned out over `params.threads` workers (each journey is
+/// independent, so workers fill disjoint output slots and the result is
+/// bit-identical to the serial loop). Degradation events are folded back in
+/// trajectory order, exactly as a serial sweep would record them.
+pub fn detect_all_stay_points_tracked(
+    trajectories: &[GpsTrajectory],
+    params: &MinerParams,
+    events: &mut Vec<Degradation>,
+) -> Vec<Vec<StayPoint>> {
+    let per_traj = pm_runtime::par_map(trajectories, params.threads, |traj| {
+        let mut local = Vec::new();
+        let stays = detect_stay_points_tracked(traj, params, &mut local);
+        (stays, local)
+    });
+    let mut out = Vec::with_capacity(per_traj.len());
+    for (stays, local) in per_traj {
+        events.extend(local);
+        out.push(stays);
+    }
+    out
+}
+
+/// Batch form of [`semantic_trajectory`]: Definition 5 across the corpus on
+/// `params.threads` workers, discarding degradation events.
+pub fn semantic_trajectories_of(
+    trajectories: &[GpsTrajectory],
+    params: &MinerParams,
+) -> Vec<SemanticTrajectory> {
+    let mut events = Vec::new();
+    detect_all_stay_points_tracked(trajectories, params, &mut events)
+        .into_iter()
+        .map(SemanticTrajectory::new)
+        .collect()
+}
+
 /// Algorithm 3 lines 4–11: assigns the semantic property of one stay point
 /// by weighted voting among the fine-grained units around it.
 ///
@@ -179,13 +215,17 @@ pub fn recognize_all_tracked(
 ) -> Result<Vec<SemanticTrajectory>, MinerError> {
     params.validate()?;
     let kernel = GaussianKernel::new(params.r3sigma);
-    let mut n_nonfinite = 0usize;
-    let out = trajectories
-        .into_iter()
-        .map(|mut st| {
+    // Unit voting is a pure function of the (immutable) diagram and one stay
+    // position, so trajectories tag independently: workers update disjoint
+    // chunks in place and report their non-finite counts, which sum to the
+    // same total in any order.
+    let mut trajectories = trajectories;
+    let n_nonfinite: usize =
+        pm_runtime::par_map_in_place(&mut trajectories, params.threads, |st| {
+            let mut n = 0usize;
             for sp in &mut st.stays {
                 if !(sp.pos.x.is_finite() && sp.pos.y.is_finite()) {
-                    n_nonfinite += 1;
+                    n += 1;
                     sp.tags = Tags::EMPTY;
                     sp.primary = None;
                     continue;
@@ -194,13 +234,14 @@ pub fn recognize_all_tracked(
                 sp.tags = tags;
                 sp.primary = primary;
             }
-            st
+            n
         })
-        .collect();
+        .into_iter()
+        .sum();
     if n_nonfinite > 0 {
         events.push(Degradation::UntaggedNonFiniteStays { count: n_nonfinite });
     }
-    Ok(out)
+    Ok(trajectories)
 }
 
 /// Collects every stay-point location in a trajectory set — the `D_sp`
@@ -408,6 +449,59 @@ mod tests {
         let pts: Vec<GpsPoint> = (0..30).map(|k| gps(0.0, 0.0, base + k * 60)).collect();
         let stays = detect_stay_points(&GpsTrajectory::new(pts), &MinerParams::default());
         assert_eq!(stays.len(), 1);
+    }
+
+    #[test]
+    fn batch_detection_matches_per_trajectory_detection() {
+        let mut tracks = Vec::new();
+        for t in 0..9i64 {
+            let mut pts = Vec::new();
+            for k in 0..30 {
+                pts.push(gps(100.0 * t as f64 + (k % 3) as f64, 0.0, t * 10_000 + k * 60));
+            }
+            if t % 3 == 0 {
+                pts.push(GpsPoint::new(
+                    LocalPoint::new(f64::NAN, 0.0),
+                    t * 10_000 + 1795,
+                ));
+            }
+            tracks.push(GpsTrajectory::new(pts));
+        }
+        let params = MinerParams::default();
+        let mut serial_events = Vec::new();
+        let serial: Vec<Vec<StayPoint>> = tracks
+            .iter()
+            .map(|t| detect_stay_points_tracked(t, &params, &mut serial_events))
+            .collect();
+        for threads in [1, 4] {
+            let p = MinerParams { threads, ..params };
+            let mut events = Vec::new();
+            let batch = detect_all_stay_points_tracked(&tracks, &p, &mut events);
+            assert_eq!(batch, serial, "threads = {threads}");
+            assert_eq!(events, serial_events);
+        }
+        let trajs = semantic_trajectories_of(&tracks, &params);
+        assert_eq!(trajs.len(), tracks.len());
+        assert_eq!(trajs[0].stays, serial[0]);
+    }
+
+    #[test]
+    fn threaded_recognition_matches_serial() {
+        let (csd, params) = fig7_setup();
+        let trajs: Vec<SemanticTrajectory> = (0..13)
+            .map(|i| {
+                SemanticTrajectory::new(vec![
+                    StayPoint::untagged(LocalPoint::new(i as f64 * 3.0, 0.0), 0),
+                    StayPoint::untagged(LocalPoint::new(-65.0 - i as f64, 0.0), 3600),
+                ])
+            })
+            .collect();
+        let serial = recognize_all(&csd, trajs.clone(), &params.with_threads(1)).expect("serial");
+        let parallel =
+            recognize_all(&csd, trajs, &params.with_threads(4)).expect("parallel");
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.stays, b.stays);
+        }
     }
 
     #[test]

@@ -14,7 +14,11 @@ use crate::point::LocalPoint;
 /// callers keep ownership of the actual payloads.
 #[derive(Debug, Clone)]
 pub struct GridIndex {
+    /// Effective cell size: the requested size, possibly inflated by the
+    /// memory cap in [`GridIndex::build`]. Queries remain exact either way.
     cell_size: f64,
+    /// The cell size the caller asked for, before any inflation.
+    requested_cell_size: f64,
     min_x: f64,
     min_y: f64,
     cols: usize,
@@ -29,6 +33,15 @@ pub struct GridIndex {
 impl GridIndex {
     /// Builds an index over `points` with the given cell size in meters.
     ///
+    /// The cell size is treated as a request, not a guarantee: to bound
+    /// memory, the grid is capped at ~4 cells per point, which can silently
+    /// inflate tiny cells over a large extent (see the guard below).
+    /// [`GridIndex::cell_size`] reports the size actually in effect, and
+    /// every query stays exact regardless — [`GridIndex::range_into`] scans
+    /// the full cell span covering the query disk, so radii larger *or*
+    /// smaller than the effective cell size return the same point sets a
+    /// brute-force scan would.
+    ///
     /// # Panics
     /// Panics if `cell_size` is not strictly positive and finite.
     pub fn build(points: &[LocalPoint], cell_size: f64) -> Self {
@@ -36,9 +49,11 @@ impl GridIndex {
             cell_size.is_finite() && cell_size > 0.0,
             "cell_size must be positive, got {cell_size}"
         );
+        let requested_cell_size = cell_size;
         if points.is_empty() {
             return Self {
                 cell_size,
+                requested_cell_size,
                 min_x: 0.0,
                 min_y: 0.0,
                 cols: 0,
@@ -92,6 +107,7 @@ impl GridIndex {
 
         Self {
             cell_size,
+            requested_cell_size,
             min_x,
             min_y,
             cols,
@@ -100,6 +116,26 @@ impl GridIndex {
             entries,
             points: points.to_vec(),
         }
+    }
+
+    /// The cell size actually in effect, in meters.
+    ///
+    /// Equals the requested size unless the ~4-cells-per-point memory cap
+    /// inflated it (tiny cells over a city-scale extent). Callers sizing
+    /// query radii against the grid should consult this, not the value they
+    /// passed to [`GridIndex::build`].
+    pub fn cell_size(&self) -> f64 {
+        self.cell_size
+    }
+
+    /// The cell size the caller requested at build time, in meters.
+    pub fn requested_cell_size(&self) -> f64 {
+        self.requested_cell_size
+    }
+
+    /// Whether the memory cap overrode the requested cell size.
+    pub fn cell_size_inflated(&self) -> bool {
+        self.cell_size > self.requested_cell_size
     }
 
     /// Number of indexed points.
@@ -264,5 +300,65 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn rejects_nonpositive_cell_size() {
         let _ = GridIndex::build(&[LocalPoint::ORIGIN], 0.0);
+    }
+
+    #[test]
+    fn tiny_cell_over_city_extent_is_inflated_but_exact() {
+        // 64 points spread over ~10 km with a 1e-6 m requested cell: the
+        // memory cap must inflate the effective cell size (a faithful grid
+        // would need ~1e20 cells) and queries — including radii far larger
+        // than the effective cell — must still match brute force.
+        let points: Vec<LocalPoint> = (0..64)
+            .map(|i| {
+                LocalPoint::new(
+                    (i % 8) as f64 * 1_400.0 + (i as f64 * 13.7) % 900.0,
+                    (i / 8) as f64 * 1_300.0 + (i as f64 * 7.3) % 800.0,
+                )
+            })
+            .collect();
+        let idx = GridIndex::build(&points, 1e-6);
+        assert_eq!(idx.requested_cell_size(), 1e-6);
+        assert!(idx.cell_size_inflated());
+        assert!(idx.cell_size() > 1e-6, "cap must inflate the cell");
+
+        for r in [0.5, 50.0, idx.cell_size() * 3.0, 12_000.0] {
+            for center in [
+                LocalPoint::ORIGIN,
+                LocalPoint::new(5_000.0, 4_000.0),
+                LocalPoint::new(9_900.0, 9_100.0),
+            ] {
+                let mut got = idx.range(center, r);
+                got.sort_unstable();
+                assert_eq!(got, brute_force(&points, center, r), "r = {r}");
+                assert_eq!(idx.count_in_range(center, r), got.len());
+            }
+        }
+    }
+
+    #[test]
+    fn generous_cell_size_is_not_inflated() {
+        // 100 points over a ~30m extent with 30m cells: the ~4-cells-per-
+        // point cap (20 cells per axis here) is far from binding.
+        let points: Vec<LocalPoint> = (0..100)
+            .map(|i| LocalPoint::new((i % 10) as f64 * 3.0, (i / 10) as f64 * 3.0))
+            .collect();
+        let idx = GridIndex::build(&points, 30.0);
+        assert_eq!(idx.cell_size(), 30.0);
+        assert_eq!(idx.requested_cell_size(), 30.0);
+        assert!(!idx.cell_size_inflated());
+    }
+
+    #[test]
+    fn radius_larger_than_cell_size_scans_full_span() {
+        // Dense points, small cells: a query radius spanning many cells must
+        // return everything in the disk.
+        let points: Vec<LocalPoint> = (0..100)
+            .map(|i| LocalPoint::new((i % 10) as f64 * 3.0, (i / 10) as f64 * 3.0))
+            .collect();
+        let idx = GridIndex::build(&points, 2.0);
+        let center = LocalPoint::new(13.0, 13.0);
+        let mut got = idx.range(center, 11.0);
+        got.sort_unstable();
+        assert_eq!(got, brute_force(&points, center, 11.0));
     }
 }

@@ -86,10 +86,29 @@ pub fn read_journeys_with(
     projection: &Projection,
     mode: IngestMode,
 ) -> Result<(Vec<JourneyRecord>, QuarantineReport), IoError> {
+    read_journeys_threads(text, projection, mode, 1)
+}
+
+/// [`read_journeys_with`] across `threads` workers (`0` = all cores).
+///
+/// Lines parse independently; results fold back in line order, so the log,
+/// quarantine report, and (in strict mode) the reported first error are all
+/// identical to the serial read. The only parallel-path difference is wasted
+/// work: a strict parse no longer stops at the first malformed line.
+pub fn read_journeys_threads(
+    text: &str,
+    projection: &Projection,
+    mode: IngestMode,
+    threads: usize,
+) -> Result<(Vec<JourneyRecord>, QuarantineReport), IoError> {
+    let lines: Vec<(usize, &str)> = data_lines(text, "pickup_lon").collect();
+    let parsed = pm_runtime::par_map(&lines, threads, |&(line_no, line)| {
+        parse_journey(line_no, line, projection)
+    });
     let mut out = Vec::new();
     let mut report = QuarantineReport::default();
-    for (line_no, line) in data_lines(text, "pickup_lon") {
-        match parse_journey(line_no, line, projection) {
+    for result in parsed {
+        match result {
             Ok(j) => out.push(j),
             Err(e) => match mode {
                 IngestMode::Strict => return Err(e),
@@ -242,6 +261,36 @@ mod tests {
         // Strict mode dies at the time-travel record first.
         let err = read_journeys_with(text, &proj(), IngestMode::Strict).unwrap_err();
         assert!(err.to_string().contains("line 3"), "{err}");
+    }
+
+    #[test]
+    fn threaded_read_matches_serial() {
+        let mut text =
+            String::from("pickup_lon,pickup_lat,pickup_t,dropoff_lon,dropoff_lat,dropoff_t,card\n");
+        for i in 0i64..100 {
+            if i % 13 == 0 {
+                let _ = writeln!(text, "121.5,31.2,{},121.6,31.3,{},", 1000 + i, 900 + i);
+            } else {
+                let _ = writeln!(
+                    text,
+                    "121.5,31.2,{},121.6,31.3,{},{}",
+                    i * 100,
+                    i * 100 + 60,
+                    i % 5
+                );
+            }
+        }
+        let serial = read_journeys_with(&text, &proj(), IngestMode::Lenient).unwrap();
+        for threads in [2, 4] {
+            let parallel =
+                read_journeys_threads(&text, &proj(), IngestMode::Lenient, threads).unwrap();
+            assert_eq!(serial.0, parallel.0, "threads = {threads}");
+            assert_eq!(serial.1.to_string(), parallel.1.to_string());
+            let se = read_journeys_with(&text, &proj(), IngestMode::Strict).unwrap_err();
+            let pe =
+                read_journeys_threads(&text, &proj(), IngestMode::Strict, threads).unwrap_err();
+            assert_eq!(se.to_string(), pe.to_string());
+        }
     }
 
     #[test]

@@ -118,10 +118,29 @@ pub fn read_pois_with(
     projection: &Projection,
     mode: IngestMode,
 ) -> Result<(Vec<Poi>, QuarantineReport), IoError> {
+    read_pois_threads(text, projection, mode, 1)
+}
+
+/// [`read_pois_with`] across `threads` workers (`0` = all cores).
+///
+/// Lines parse independently; results fold back in line order, so the table,
+/// quarantine report, and (in strict mode) the reported first error are all
+/// identical to the serial read. The only parallel-path difference is wasted
+/// work: a strict parse no longer stops at the first malformed line.
+pub fn read_pois_threads(
+    text: &str,
+    projection: &Projection,
+    mode: IngestMode,
+    threads: usize,
+) -> Result<(Vec<Poi>, QuarantineReport), IoError> {
+    let lines: Vec<(usize, &str)> = data_lines(text, "id").collect();
+    let parsed = pm_runtime::par_map(&lines, threads, |&(line_no, line)| {
+        parse_poi(line_no, line, projection)
+    });
     let mut out = Vec::new();
     let mut report = QuarantineReport::default();
-    for (line_no, line) in data_lines(text, "id") {
-        match parse_poi(line_no, line, projection) {
+    for result in parsed {
+        match result {
             Ok(poi) => out.push(poi),
             Err(e) => match mode {
                 IngestMode::Strict => return Err(e),
@@ -251,6 +270,35 @@ mod tests {
         // Strict mode on the same input dies at the first bad line.
         let err = read_pois_with(text, &proj(), IngestMode::Strict).unwrap_err();
         assert!(err.to_string().contains("line 3"), "{err}");
+    }
+
+    #[test]
+    fn threaded_read_matches_serial() {
+        let mut text = String::from("id,lon,lat,category\n");
+        for i in 0..120 {
+            if i % 17 == 0 {
+                text.push_str(&format!("{i},bogus,31.2,shop\n"));
+            } else {
+                let _ = writeln!(
+                    text,
+                    "{i},{:.5},{:.5},{}",
+                    121.4 + (i as f64) * 1e-4,
+                    31.2 + (i as f64) * 5e-5,
+                    if i % 2 == 0 { "shop" } else { "medical" }
+                );
+            }
+        }
+        let serial = read_pois_with(&text, &proj(), IngestMode::Lenient).unwrap();
+        for threads in [2, 4] {
+            let parallel = read_pois_threads(&text, &proj(), IngestMode::Lenient, threads).unwrap();
+            assert_eq!(serial.0, parallel.0, "threads = {threads}");
+            assert_eq!(serial.1.dropped(), parallel.1.dropped());
+            assert_eq!(serial.1.to_string(), parallel.1.to_string());
+            // Strict mode reports the same first-in-file error.
+            let se = read_pois_with(&text, &proj(), IngestMode::Strict).unwrap_err();
+            let pe = read_pois_threads(&text, &proj(), IngestMode::Strict, threads).unwrap_err();
+            assert_eq!(se.to_string(), pe.to_string());
+        }
     }
 
     #[test]

@@ -1,0 +1,266 @@
+//! **pm-runtime** — deterministic multi-core execution for the pipeline.
+//!
+//! The sandboxed build has no crates.io access, so instead of rayon this
+//! crate provides the small slice of a data-parallel runtime the pipeline
+//! actually needs, on `std::thread::scope` alone:
+//!
+//! - [`par_map`] / [`par_map_range`] / [`par_map_in_place`]: chunked
+//!   fork–join maps over a slice (or index range), each worker writing into
+//!   **pre-sized output slots**;
+//! - [`par_map_reduce`]: a parallel map whose results are folded **serially
+//!   in index order**.
+//!
+//! # Determinism contract
+//!
+//! Every function here is *bit-deterministic in the thread count*: the value
+//! written to output slot `i` depends only on input `i` and the caller's
+//! closure, never on scheduling, chunk boundaries, or how many workers ran.
+//! Reductions never happen tree-wise across workers — [`par_map_reduce`]
+//! folds the per-item results left-to-right after the join — so float
+//! accumulation order (and therefore every rounded bit) is identical for
+//! `threads = 1` and `threads = N`. Serial execution is simply the
+//! degenerate single-chunk case of the same code path.
+//!
+//! # Thread-count resolution
+//!
+//! `threads == 0` means "use [`std::thread::available_parallelism`]";
+//! any other value is taken literally. [`default_threads`] additionally
+//! honours the `PM_THREADS` environment variable (the knob `scripts/ci.sh`
+//! uses to run the test suite both serially and at 4 threads), falling back
+//! to `1` so a bare library call stays single-threaded unless asked.
+
+use std::num::NonZeroUsize;
+
+/// Environment variable read by [`default_threads`].
+pub const THREADS_ENV: &str = "PM_THREADS";
+
+/// Resolves a requested thread count: `0` becomes the machine's available
+/// parallelism (at least 1), anything else is returned unchanged.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// The thread count requested through the `PM_THREADS` environment variable,
+/// if set and parseable (`0` is accepted and means "auto").
+pub fn threads_from_env() -> Option<usize> {
+    std::env::var(THREADS_ENV).ok()?.trim().parse().ok()
+}
+
+/// Default thread count for [`crate`] consumers that expose no explicit
+/// knob: `PM_THREADS` when set, otherwise `1` (serial).
+pub fn default_threads() -> usize {
+    threads_from_env().unwrap_or(1)
+}
+
+/// Splits `n` items over `threads` workers in contiguous chunks. Returns the
+/// chunk length (>= 1 for n > 0).
+fn chunk_len(n: usize, threads: usize) -> usize {
+    n.div_ceil(threads.max(1)).max(1)
+}
+
+/// Parallel map over a slice: `out[i] = f(&items[i])`.
+///
+/// Workers own disjoint contiguous chunks of the pre-sized output, so the
+/// result is identical — bit for bit — for every thread count. With
+/// `threads <= 1` (after [`resolve_threads`]) or fewer than two items per
+/// worker the map runs inline without spawning.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = resolve_threads(threads).min(items.len());
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = chunk_len(items.len(), threads);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    std::thread::scope(|scope| {
+        for (in_chunk, out_chunk) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(|| {
+                for (item, slot) in in_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    // Every slot was filled by exactly one worker; a panic in any worker has
+    // already propagated out of the scope above.
+    out.into_iter().map(|slot| slot.expect("slot filled")).collect()
+}
+
+/// Parallel map over an index range: `out[i] = f(i)` for `i in 0..n`.
+///
+/// The index-driven twin of [`par_map`], for producers that index shared
+/// state (e.g. a spatial index) rather than walk a slice.
+pub fn par_map_range<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = resolve_threads(threads).min(n);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = chunk_len(n, threads);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let f = &f;
+    std::thread::scope(|scope| {
+        for (c, out_chunk) in out.chunks_mut(chunk).enumerate() {
+            let base = c * chunk;
+            scope.spawn(move || {
+                for (off, slot) in out_chunk.iter_mut().enumerate() {
+                    *slot = Some(f(base + off));
+                }
+            });
+        }
+    });
+    out.into_iter().map(|slot| slot.expect("slot filled")).collect()
+}
+
+/// Parallel in-place update: `f(&mut items[i])` for every item, returning
+/// the per-item results in index order.
+///
+/// Used where the pipeline mutates records it already owns (semantic
+/// recognition tagging trajectories) while reporting a per-item observation
+/// (e.g. a dropped-fix count) that the caller folds deterministically.
+pub fn par_map_in_place<T, R, F>(items: &mut [T], threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&mut T) -> R + Sync,
+{
+    let threads = resolve_threads(threads).min(items.len());
+    if threads <= 1 {
+        return items.iter_mut().map(f).collect();
+    }
+    let chunk = chunk_len(items.len(), threads);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    std::thread::scope(|scope| {
+        for (in_chunk, out_chunk) in items.chunks_mut(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(|| {
+                for (item, slot) in in_chunk.iter_mut().zip(out_chunk.iter_mut()) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    out.into_iter().map(|slot| slot.expect("slot filled")).collect()
+}
+
+/// Parallel map + **serial, index-ordered** fold.
+///
+/// The map runs under [`par_map`]; the fold then consumes the results
+/// left-to-right on the calling thread. This deliberately forgoes tree
+/// reduction: for floating-point accumulators the fold order *is* the
+/// result, and fixing it to index order is what keeps serial and parallel
+/// runs byte-identical.
+pub fn par_map_reduce<T, R, A, F, G>(items: &[T], threads: usize, f: F, init: A, fold: G) -> A
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+    G: FnMut(A, R) -> A,
+{
+    par_map(items, threads, f).into_iter().fold(init, fold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_zero_is_machine_parallelism() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(1), 1);
+        assert_eq!(resolve_threads(7), 7);
+    }
+
+    #[test]
+    fn par_map_matches_serial_map() {
+        let items: Vec<u64> = (0..1000).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for threads in [1, 2, 3, 4, 8, 1000, 2000] {
+            let parallel = par_map(&items, threads, |x| x * x + 1);
+            assert_eq!(parallel, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_range_matches_serial() {
+        let serial: Vec<usize> = (0..777usize).map(|i| i.wrapping_mul(31)).collect();
+        for threads in [1, 2, 5, 16] {
+            assert_eq!(
+                par_map_range(777, threads, |i| i.wrapping_mul(31)),
+                serial,
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn par_map_in_place_mutates_and_reports() {
+        let mut a: Vec<i64> = (0..501).collect();
+        let mut b = a.clone();
+        let ra = par_map_in_place(&mut a, 1, |x| {
+            *x *= 2;
+            *x
+        });
+        let rb = par_map_in_place(&mut b, 4, |x| {
+            *x *= 2;
+            *x
+        });
+        assert_eq!(a, b);
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn float_reduction_is_bit_identical_across_thread_counts() {
+        // A sum whose value depends on accumulation order in general: the
+        // index-ordered fold must make every thread count agree bitwise.
+        let items: Vec<f64> = (0..10_000)
+            .map(|i| (i as f64 * 0.7).sin() * 1e10 + 1e-10 / (i + 1) as f64)
+            .collect();
+        let reference = par_map_reduce(&items, 1, |x| x * 1.000000119, 0.0f64, |a, r| a + r);
+        for threads in [2, 3, 4, 13] {
+            let sum = par_map_reduce(&items, threads, |x| x * 1.000000119, 0.0f64, |a, r| a + r);
+            assert_eq!(sum.to_bits(), reference.to_bits(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, 4, |x| *x).is_empty());
+        assert_eq!(par_map(&[42u32], 4, |x| *x), vec![42]);
+        assert_eq!(par_map_range(0, 4, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let items = [1u8, 2, 3];
+        assert_eq!(par_map(&items, 64, |x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let items: Vec<usize> = (0..64).collect();
+        let result = std::panic::catch_unwind(|| {
+            par_map(&items, 4, |&x| {
+                assert!(x != 63, "boom");
+                x
+            })
+        });
+        assert!(result.is_err(), "panic in a worker must propagate");
+    }
+}

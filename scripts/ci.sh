@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 verification: build, test, and lint the default workspace members
-# (everything except crates/bench, which is opt-in via `cargo bench`).
+# (everything except crates/bench, which is opt-in via `cargo bench` —
+# e.g. `cargo bench --bench scaling` or `--bench scaling_threads`).
 # Run from anywhere; works fully offline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -8,8 +9,14 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo test -q"
-cargo test -q
+# The pipeline must be bit-deterministic across thread counts (DESIGN.md §9):
+# run the whole suite serially and again with the 4-worker default, so every
+# test — not just the dedicated parity ones — exercises both schedules.
+echo "==> cargo test -q (PM_THREADS=1)"
+PM_THREADS=1 cargo test -q
+
+echo "==> cargo test -q (PM_THREADS=4)"
+PM_THREADS=4 cargo test -q
 
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings

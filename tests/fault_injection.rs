@@ -66,6 +66,21 @@ fn every_corruption_mode_survives_the_full_pipeline() {
 }
 
 #[test]
+fn every_corruption_mode_survives_under_four_threads() {
+    // The parallel stages must be as panic-free as the serial ones: replay
+    // the corruption suite with the pipeline fanned out over 4 workers.
+    // (Byte-level serial/parallel parity is asserted in parallel_parity.rs;
+    // this guards the degradation paths themselves under threading.)
+    let (ds, params) = tiny_scene();
+    let params = MinerParams { threads: 4, ..params };
+    for corruption in Corruption::standard_suite(0.5) {
+        let mut trajectories = ds.trajectories.clone();
+        corrupt_trajectories(&mut trajectories, &corruption, 99);
+        let (_patterns, _events) = run_pipeline(&ds.pois, trajectories, &params);
+    }
+}
+
+#[test]
 fn mild_corruption_still_finds_the_dominant_patterns() {
     // Robustness has to mean useful output, not just absence of panics: at
     // 2% corruption the corpus still carries its signal.

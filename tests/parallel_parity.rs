@@ -1,0 +1,173 @@
+//! Parallel parity: the pipeline must be *bit-deterministic* across thread
+//! counts. Workers only ever fill pre-sized disjoint output slots and every
+//! reduction folds in index order, so `threads = 1` and `threads = N` must
+//! produce byte-identical patterns, metrics, and degradation events — on
+//! clean corpora and under fault injection alike.
+
+use pervasive_miner::core::extract::extract_patterns_tracked;
+use pervasive_miner::core::recognize::{recognize_all_tracked, stay_points_of};
+use pervasive_miner::core::types::Poi;
+use pervasive_miner::prelude::*;
+use pervasive_miner::synth::{corrupt_trajectories, Corruption};
+use proptest::prelude::*;
+use std::fmt::Write as _;
+
+/// Construct -> recognize -> extract at an explicit thread count.
+fn run_pipeline(
+    pois: &[Poi],
+    trajectories: Vec<SemanticTrajectory>,
+    params: &MinerParams,
+    threads: usize,
+) -> (Vec<FinePattern>, Vec<Degradation>) {
+    let params = MinerParams { threads, ..*params };
+    let mut events = Vec::new();
+    let stays = stay_points_of(&trajectories);
+    let csd = CitySemanticDiagram::build(pois, &stays, &params).expect("valid params");
+    events.extend(csd.degradations().iter().copied());
+    let recognized =
+        recognize_all_tracked(&csd, trajectories, &params, &mut events).expect("valid params");
+    let patterns =
+        extract_patterns_tracked(&recognized, &params, &mut events).expect("valid params");
+    (patterns, events)
+}
+
+/// Canonical byte-exact encoding of a pipeline result. Floats are rendered
+/// as raw bit patterns, so two fingerprints match only when every coordinate
+/// is bit-identical — `assert_eq!` on this string is the parity oracle.
+fn fingerprint(patterns: &[FinePattern], events: &[Degradation]) -> String {
+    let mut out = String::new();
+    for p in patterns {
+        let _ = write!(out, "P{:?}|m{:?}|", p.categories, p.members);
+        for s in &p.stays {
+            let _ = write!(
+                out,
+                "s{:016x},{:016x},{},{:?};",
+                s.pos.x.to_bits(),
+                s.pos.y.to_bits(),
+                s.time,
+                s.tags
+            );
+        }
+        for g in &p.groups {
+            out.push('g');
+            for s in g {
+                let _ = write!(
+                    out,
+                    "{:016x},{:016x},{};",
+                    s.pos.x.to_bits(),
+                    s.pos.y.to_bits(),
+                    s.time
+                );
+            }
+        }
+        out.push('\n');
+    }
+    let _ = write!(out, "E{events:?}");
+    out
+}
+
+#[test]
+fn synthetic_corpora_are_bit_identical_across_thread_counts() {
+    for seed in [2026, 7, 123] {
+        let ds = Dataset::generate(&CityConfig::tiny(seed));
+        let params = MinerParams {
+            sigma: 20,
+            ..MinerParams::default()
+        };
+        let (patterns, events) = run_pipeline(&ds.pois, ds.trajectories.clone(), &params, 1);
+        assert!(!patterns.is_empty(), "seed {seed} must mine");
+        let serial = fingerprint(&patterns, &events);
+        for threads in [2, 4, 8] {
+            let (p, e) = run_pipeline(&ds.pois, ds.trajectories.clone(), &params, threads);
+            assert_eq!(
+                serial,
+                fingerprint(&p, &e),
+                "seed {seed}, threads {threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn small_city_is_bit_identical_serial_vs_auto_threads() {
+    // `threads = 0` resolves to available_parallelism — whatever this
+    // machine offers must still reproduce the serial bytes.
+    let ds = Dataset::generate(&CityConfig::small(2026));
+    let params = MinerParams::default();
+    let (sp, se) = run_pipeline(&ds.pois, ds.trajectories.clone(), &params, 1);
+    let (ap, ae) = run_pipeline(&ds.pois, ds.trajectories.clone(), &params, 0);
+    assert_eq!(fingerprint(&sp, &se), fingerprint(&ap, &ae));
+}
+
+#[test]
+fn fault_injection_is_bit_identical_under_threads() {
+    // Degradation paths (NaN stays, teleports, truncation...) must also
+    // replay identically: events are folded in input order, never in
+    // worker-completion order.
+    let ds = Dataset::generate(&CityConfig::tiny(2026));
+    let params = MinerParams {
+        sigma: 20,
+        ..MinerParams::default()
+    };
+    for fraction in [0.05, 0.5] {
+        for corruption in Corruption::standard_suite(fraction) {
+            let mut trajectories = ds.trajectories.clone();
+            corrupt_trajectories(&mut trajectories, &corruption, 99);
+            let (sp, se) = run_pipeline(&ds.pois, trajectories.clone(), &params, 1);
+            let (pp, pe) = run_pipeline(&ds.pois, trajectories, &params, 4);
+            assert_eq!(
+                fingerprint(&sp, &se),
+                fingerprint(&pp, &pe),
+                "{} at {fraction}",
+                corruption.label()
+            );
+        }
+    }
+}
+
+/// Compact corpus for the proptest cases (mirrors fault_injection.rs).
+fn small_corpus() -> (Vec<Poi>, Vec<SemanticTrajectory>) {
+    let mut pois = Vec::new();
+    for i in 0..12 {
+        pois.push(Poi::new(
+            i,
+            LocalPoint::new((i % 4) as f64 * 25.0, (i / 4) as f64 * 25.0),
+            Category::Residence,
+        ));
+        pois.push(Poi::new(
+            100 + i,
+            LocalPoint::new(4_000.0 + (i % 4) as f64 * 25.0, (i / 4) as f64 * 25.0),
+            Category::Business,
+        ));
+    }
+    let trajectories = (0..40)
+        .map(|k| {
+            let dx = (k % 5) as f64 * 10.0;
+            SemanticTrajectory::new(vec![
+                StayPoint::untagged(LocalPoint::new(dx, 10.0), 7 * 3600 + k as i64),
+                StayPoint::untagged(LocalPoint::new(4_000.0 + dx, 10.0), 8 * 3600 + k as i64),
+            ])
+        })
+        .collect();
+    (pois, trajectories)
+}
+
+proptest! {
+    /// Whatever the corruption or thread count: serial and parallel runs
+    /// agree byte for byte.
+    #[test]
+    fn parallel_runs_replay_serial_bytes(
+        mode in 0usize..5,
+        fraction in 0.0..=1.0f64,
+        seed in 0u64..u64::MAX,
+        threads in 2usize..9,
+    ) {
+        let (pois, mut trajectories) = small_corpus();
+        let corruption = Corruption::standard_suite(fraction)[mode];
+        corrupt_trajectories(&mut trajectories, &corruption, seed);
+        let params = MinerParams { sigma: 10, ..MinerParams::default() };
+        let (sp, se) = run_pipeline(&pois, trajectories.clone(), &params, 1);
+        let (pp, pe) = run_pipeline(&pois, trajectories, &params, threads);
+        prop_assert_eq!(fingerprint(&sp, &se), fingerprint(&pp, &pe));
+    }
+}

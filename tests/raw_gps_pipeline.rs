@@ -5,7 +5,7 @@
 
 use pervasive_miner::prelude::*;
 use pervasive_miner::synth::{generate_probe_tracks, GpsConfig};
-use pm_core::recognize::{detect_stay_points, semantic_trajectory, stay_points_of};
+use pm_core::recognize::{detect_stay_points, semantic_trajectories_of, stay_points_of};
 use pm_core::types::Category;
 
 fn mine_from_raw(seed: u64) -> (Vec<SemanticTrajectory>, Vec<FinePattern>) {
@@ -31,10 +31,8 @@ fn mine_from_raw(seed: u64) -> (Vec<SemanticTrajectory>, Vec<FinePattern>) {
         delta_t: 12 * 3600,
         ..MinerParams::default()
     };
-    let trajectories: Vec<SemanticTrajectory> = tracks
-        .iter()
-        .map(|pt| semantic_trajectory(&pt.track, &params))
-        .collect();
+    let raw: Vec<_> = tracks.iter().map(|pt| pt.track.clone()).collect();
+    let trajectories: Vec<SemanticTrajectory> = semantic_trajectories_of(&raw, &params);
 
     // Stage 2+3: CSD recognition and extraction.
     let stays = stay_points_of(&trajectories);
