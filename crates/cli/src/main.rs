@@ -20,11 +20,12 @@
 //! passed, which quarantines malformed records, mines what remains, and
 //! prints a dropped-records summary to stderr.
 
+use pervasive_miner::core::construct::ConstructionOptions;
 use pervasive_miner::core::recognize::stay_points_of;
 use pervasive_miner::core::types::Poi;
 use pervasive_miner::eval::{export, figures, report, run_all};
 use pervasive_miner::io::{
-    journeys_to_trajectories, read_journeys_threads, read_pois_threads, IngestMode,
+    journeys_to_trajectories, read_journeys_observed, read_pois_observed, IngestMode,
     QuarantineReport,
 };
 use pervasive_miner::prelude::*;
@@ -43,6 +44,14 @@ struct Args {
     journeys: Option<PathBuf>,
     lenient: bool,
     threads: Option<usize>,
+    report: Option<PathBuf>,
+    report_format: ReportFormat,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ReportFormat {
+    Json,
+    Text,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -60,6 +69,8 @@ fn parse_args() -> Result<Args, String> {
         journeys: None,
         lenient: false,
         threads: None,
+        report: None,
+        report_format: ReportFormat::Json,
     };
     let mut positional = Vec::new();
     while let Some(a) = argv.next() {
@@ -87,6 +98,17 @@ fn parse_args() -> Result<Args, String> {
                 args.journeys = Some(PathBuf::from(argv.next().ok_or("--journeys needs a file")?))
             }
             "--lenient" => args.lenient = true,
+            "--report" => {
+                args.report = Some(PathBuf::from(argv.next().ok_or("--report needs a file")?))
+            }
+            "--report-format" => {
+                args.report_format =
+                    match argv.next().ok_or("--report-format needs a value")?.as_str() {
+                        "json" => ReportFormat::Json,
+                        "text" => ReportFormat::Text,
+                        other => return Err(format!("bad --report-format '{other}' (json|text)")),
+                    }
+            }
             "--threads" => {
                 args.threads = Some(
                     argv.next()
@@ -106,13 +128,17 @@ fn parse_args() -> Result<Args, String> {
 fn usage() -> String {
     "usage: pervasive-miner <mine|fig|table|all|svg> [target] \
      [--scale tiny|small|paper] [--seed N] [--sigma N] [--csv DIR] [--out FILE] \
-     [--pois FILE --journeys FILE] [--lenient] [--threads N]\n\
+     [--pois FILE --journeys FILE] [--lenient] [--threads N] \
+     [--report FILE] [--report-format json|text]\n\
      --pois/--journeys: mine real CSV data instead of a synthetic city\n\
      --lenient: quarantine malformed input lines instead of aborting on the \
      first one; a dropped-records summary goes to stderr\n\
      --threads: worker threads for the data-parallel pipeline stages \
      (0 = all cores; default: the PM_THREADS environment variable, else 1). \
-     Results are bit-identical at every thread count"
+     Results are bit-identical at every thread count\n\
+     --report: write a machine-readable run report (per-stage wall time, \
+     counters, degradation/quarantine tallies) after `mine`; \
+     --report-format picks json (default) or a text table"
         .into()
 }
 
@@ -149,6 +175,10 @@ fn run() -> Result<(), String> {
         params.threads = t;
     }
 
+    if args.report.is_some() && args.command != "mine" {
+        return Err("--report only applies to the `mine` command".into());
+    }
+
     if args.pois.is_some() || args.journeys.is_some() {
         if args.command != "mine" {
             return Err("--pois/--journeys only apply to the `mine` command".into());
@@ -169,7 +199,7 @@ fn run() -> Result<(), String> {
     );
 
     match args.command.as_str() {
-        "mine" => mine(&ds, &params),
+        "mine" => mine(&ds, &params, &args),
         "svg" => svg(&ds, &params, &args),
         "fig" => figure(&ds, &params, args.target.as_deref().ok_or(usage())?, &args),
         "table" => table(&ds, args.target.as_deref().ok_or(usage())?, &args),
@@ -186,8 +216,35 @@ fn run() -> Result<(), String> {
     }
 }
 
-fn mine(ds: &Dataset, params: &MinerParams) -> Result<(), String> {
-    mine_pipeline(&ds.pois, ds.trajectories.clone(), params)
+fn mine(ds: &Dataset, params: &MinerParams, args: &Args) -> Result<(), String> {
+    let obs = observer(args, params);
+    mine_pipeline(&ds.pois, ds.trajectories.clone(), params, &obs)?;
+    write_report(args, &obs)
+}
+
+/// A recording handle when `--report` was requested, the no-op otherwise.
+fn observer(args: &Args, params: &MinerParams) -> Obs {
+    if args.report.is_none() {
+        return Obs::noop();
+    }
+    let obs = Obs::enabled();
+    obs.set_threads(pm_runtime::resolve_threads(params.threads));
+    obs
+}
+
+/// Dumps the run report to the `--report` path in the requested format.
+fn write_report(args: &Args, obs: &Obs) -> Result<(), String> {
+    let Some(path) = &args.report else {
+        return Ok(());
+    };
+    let report = obs.report();
+    let body = match args.report_format {
+        ReportFormat::Json => report.to_json(),
+        ReportFormat::Text => report.to_text(),
+    };
+    std::fs::write(path, body).map_err(|e| format!("{}: {e}", path.display()))?;
+    eprintln!("wrote run report to {}", path.display());
+    Ok(())
 }
 
 /// Reads real POI/journey CSVs (strict or lenient per `--lenient`) and runs
@@ -209,14 +266,24 @@ fn mine_ingested(args: &Args, params: &MinerParams) -> Result<(), String> {
         std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))
     };
     let ingest_err = |path: &Path, e: pervasive_miner::io::IoError| {
-        format!("{}: {e} (use --lenient to quarantine bad lines)", path.display())
+        format!(
+            "{}: {e} (use --lenient to quarantine bad lines)",
+            path.display()
+        )
     };
 
-    let (pois, poi_report) = read_pois_threads(&read(pois_path)?, &projection, mode, params.threads)
-        .map_err(|e| ingest_err(pois_path, e))?;
-    let (journeys, journey_report) =
-        read_journeys_threads(&read(journeys_path)?, &projection, mode, params.threads)
-            .map_err(|e| ingest_err(journeys_path, e))?;
+    let obs = observer(args, params);
+    let (pois, poi_report) =
+        read_pois_observed(&read(pois_path)?, &projection, mode, params.threads, &obs)
+            .map_err(|e| ingest_err(pois_path, e))?;
+    let (journeys, journey_report) = read_journeys_observed(
+        &read(journeys_path)?,
+        &projection,
+        mode,
+        params.threads,
+        &obs,
+    )
+    .map_err(|e| ingest_err(journeys_path, e))?;
     report_quarantine(pois_path, &poi_report);
     report_quarantine(journeys_path, &journey_report);
 
@@ -228,7 +295,8 @@ fn mine_ingested(args: &Args, params: &MinerParams) -> Result<(), String> {
         trajectories.len(),
         params.sigma
     );
-    mine_pipeline(&pois, trajectories, params)
+    mine_pipeline(&pois, trajectories, params, &obs)?;
+    write_report(args, &obs)
 }
 
 fn report_quarantine(path: &Path, report: &QuarantineReport) {
@@ -241,12 +309,39 @@ fn mine_pipeline(
     pois: &[Poi],
     trajectories: Vec<SemanticTrajectory>,
     params: &MinerParams,
+    obs: &Obs,
 ) -> Result<(), String> {
+    let mut events = Vec::new();
     let stays = stay_points_of(&trajectories);
-    let csd = CitySemanticDiagram::build(pois, &stays, params).map_err(|e| e.to_string())?;
-    let recognized = recognize_all(&csd, trajectories, params).map_err(|e| e.to_string())?;
-    let patterns = extract_patterns(&recognized, params).map_err(|e| e.to_string())?;
+    let csd = CitySemanticDiagram::build_observed(
+        pois,
+        &stays,
+        params,
+        ConstructionOptions::default(),
+        obs,
+    )
+    .map_err(|e| e.to_string())?;
+    let recognized = pervasive_miner::core::recognize::recognize_all_observed(
+        &csd,
+        trajectories,
+        params,
+        &mut events,
+        obs,
+    )
+    .map_err(|e| e.to_string())?;
+    let patterns = pervasive_miner::core::extract::extract_patterns_observed(
+        &recognized,
+        params,
+        &mut events,
+        obs,
+    )
+    .map_err(|e| e.to_string())?;
+    // Post-construction degradations (recognition + extraction); the
+    // construction ones were tallied inside `build_observed`.
+    pervasive_miner::core::error::record_degradations(obs, &events);
+    let span = obs.span("metrics.summarize");
     let summary = pervasive_miner::core::metrics::summarize(&patterns);
+    span.finish();
     println!(
         "{} fine-grained patterns, coverage {}, avg sparsity {:.1} m, avg consistency {:.3}",
         summary.n_patterns, summary.coverage, summary.avg_sparsity, summary.avg_consistency
@@ -325,8 +420,13 @@ fn figure(ds: &Dataset, params: &MinerParams, which: &str, args: &Args) -> Resul
                 "11" => (
                     "Fig. 11 — metrics vs support threshold sigma",
                     "fig11.csv",
-                    figures::fig11_support_sweep(&recognized, params, &baseline, &[25, 50, 75, 100])
-                        .map_err(|e| e.to_string())?,
+                    figures::fig11_support_sweep(
+                        &recognized,
+                        params,
+                        &baseline,
+                        &[25, 50, 75, 100],
+                    )
+                    .map_err(|e| e.to_string())?,
                 ),
                 "12" => (
                     "Fig. 12 — metrics vs density threshold rho (m^-2)",
@@ -342,8 +442,13 @@ fn figure(ds: &Dataset, params: &MinerParams, which: &str, args: &Args) -> Resul
                 _ => (
                     "Fig. 13 — metrics vs temporal constraint delta_t (minutes)",
                     "fig13.csv",
-                    figures::fig13_temporal_sweep(&recognized, params, &baseline, &[15, 30, 45, 60, 75])
-                        .map_err(|e| e.to_string())?,
+                    figures::fig13_temporal_sweep(
+                        &recognized,
+                        params,
+                        &baseline,
+                        &[15, 30, 45, 60, 75],
+                    )
+                    .map_err(|e| e.to_string())?,
                 ),
             };
             println!("{}", report::render_sweep(title, "value", &points));

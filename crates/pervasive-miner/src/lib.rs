@@ -14,6 +14,8 @@
 //!   figures.
 //! - [`io`]: CSV ingestion/serialization for POI tables and journey logs,
 //!   with strict and lenient (quarantining) modes.
+//! - [`obs`]: observability — stage spans, counters/gauges, and
+//!   machine-readable run reports (see the CLI's `--report` flag).
 //!
 //! See `examples/quickstart.rs` for the canonical end-to-end flow.
 
@@ -23,6 +25,7 @@ pub use pm_core as core;
 pub use pm_eval as eval;
 pub use pm_geo as geo;
 pub use pm_io as io;
+pub use pm_obs as obs;
 pub use pm_seqmine as seqmine;
 pub use pm_synth as synth;
 
@@ -32,6 +35,7 @@ pub mod prelude {
     pub use pm_core::prelude::*;
     pub use pm_eval::{Approach, Dataset, Recognized};
     pub use pm_geo::{GeoPoint, LocalPoint, Projection};
+    pub use pm_obs::{Obs, RunReport};
     pub use pm_synth::{CityConfig, CityModel, TaxiCorpus};
 }
 

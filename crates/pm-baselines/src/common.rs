@@ -17,7 +17,7 @@ pub struct BaselineParams {
     /// DBSCAN radius for SDBSCAN's per-position clustering, in meters.
     pub dbscan_eps: f64,
     /// DBSCAN radius for ROI hot-region detection — stay-point density
-    /// scale, so venues fragment into several small regions (ref [21]).
+    /// scale, so venues fragment into several small regions (ref \[21\]).
     pub roi_eps: f64,
     /// DBSCAN minimum points for ROI hot-region detection.
     pub roi_min_pts: usize,

@@ -49,13 +49,13 @@ pub struct RoiRecognizer {
 }
 
 /// How many nearest POIs annotate a covered stay point. Small by design:
-/// ref [21] queries the semantic background directly, with none of CSD's
+/// ref \[21\] queries the semantic background directly, with none of CSD's
 /// popularity-weighted unit smoothing, so whatever mix happens to sit
 /// closest wins — GPS noise reshuffles that mix between nearby stay points.
 const ANNOTATION_KNN: usize = 5;
 
 /// Margin added to a region's radius when gathering annotation POIs. Kept
-/// deliberately local (unlike CSD's R_3sigma smoothing): ref [21] annotates
+/// deliberately local (unlike CSD's R_3sigma smoothing): ref \[21\] annotates
 /// each hot region from the POIs it spatially overlaps.
 const ANNOTATION_MARGIN_M: f64 = 30.0;
 

@@ -3,7 +3,7 @@
 //! The paper leans on four classical clustering algorithms, none of which it
 //! re-derives; all are implemented here from scratch:
 //!
-//! - [`dbscan`]: density-based clustering — the backbone of the ROI baseline
+//! - [`mod@dbscan`]: density-based clustering — the backbone of the ROI baseline
 //!   (hot-region detection, ref \[21\]) and of the SDBSCAN competitor
 //!   (ref \[19\]).
 //! - [`optics`]: OPTICS ordering (Ankerst et al., ref \[27\]) with automatic
@@ -11,7 +11,7 @@
 //!   cluster the k-th stay points of each coarse pattern.
 //! - [`meanshift`]: Mean Shift mode seeking (Comaniciu & Meer, ref \[25\]),
 //!   the refinement step of the Splitter competitor (ref \[17\]).
-//! - [`kmeans`]: K-Means (mentioned in ref \[21\]'s hybrid annotation
+//! - [`mod@kmeans`]: K-Means (mentioned in ref \[21\]'s hybrid annotation
 //!   algorithm), with k-means++ seeding.
 //!
 //! [`kernel`] holds the Gaussian distribution coefficient of the paper's

@@ -127,6 +127,20 @@ impl Optics {
         }
     }
 
+    /// [`Optics::run`] under observation: times the run as a
+    /// `cluster.optics` span (tagged with the worker slot when invoked from
+    /// inside a parallel region) and counts runs and points clustered.
+    /// Observability is strictly one-way — the ordering produced is the one
+    /// [`Optics::run`] produces.
+    pub fn run_obs(points: &[LocalPoint], params: OpticsParams, obs: &pm_obs::Obs) -> Self {
+        let span = obs.span("cluster.optics");
+        let out = Self::run(points, params);
+        span.finish();
+        obs.incr("cluster.optics_runs", 1);
+        obs.incr("cluster.optics_points", points.len() as u64);
+        out
+    }
+
     /// The core ordering sweep; `points` must all be finite.
     fn run_finite(points: &[LocalPoint], params: OpticsParams) -> Self {
         let n = points.len();
@@ -621,14 +635,10 @@ mod tests {
         for threads in [2, 4] {
             let parallel = Optics::run(&pts, OpticsParams::new(1_000.0, 5).with_threads(threads));
             assert_eq!(serial.order(), parallel.order(), "threads = {threads}");
-            let bits = |o: &Optics| -> Vec<u64> {
-                o.reachability().iter().map(|r| r.to_bits()).collect()
-            };
+            let bits =
+                |o: &Optics| -> Vec<u64> { o.reachability().iter().map(|r| r.to_bits()).collect() };
             assert_eq!(bits(&serial), bits(&parallel));
-            assert_eq!(
-                serial.extract_auto().labels,
-                parallel.extract_auto().labels
-            );
+            assert_eq!(serial.extract_auto().labels, parallel.extract_auto().labels);
         }
     }
 

@@ -42,8 +42,8 @@ pub fn popularity_clustering(
     // worker, precompute every neighbourhood up front; the lists are
     // identical in content and order to what `range_into` yields lazily,
     // so the clustering is byte-identical either way.
-    let hoods: Option<Vec<Vec<usize>>> = (pm_runtime::resolve_threads(params.threads) > 1)
-        .then(|| {
+    let hoods: Option<Vec<Vec<usize>>> =
+        (pm_runtime::resolve_threads(params.threads) > 1).then(|| {
             pm_runtime::par_map(&positions, params.threads, |p| {
                 index.range(*p, params.eps_p)
             })
@@ -54,14 +54,12 @@ pub fn popularity_clustering(
     let mut claimed = vec![false; n];
     let mut clusters = Vec::new();
     let mut nbr_buf = Vec::new();
-    let neighbours_of = |i: usize, nbr_buf: &mut Vec<usize>| {
-        match &hoods {
-            Some(h) => {
-                nbr_buf.clear();
-                nbr_buf.extend_from_slice(&h[i]);
-            }
-            None => index.range_into(positions[i], params.eps_p, nbr_buf),
+    let neighbours_of = |i: usize, nbr_buf: &mut Vec<usize>| match &hoods {
+        Some(h) => {
+            nbr_buf.clear();
+            nbr_buf.extend_from_slice(&h[i]);
         }
+        None => index.range_into(positions[i], params.eps_p, nbr_buf),
     };
 
     // Popularity-ratio gate of line 5: both ratios >= alpha. Zero-popularity
@@ -268,12 +266,7 @@ mod tests {
                 1 => Category::Restaurant,
                 _ => Category::Residence,
             };
-            pois.push(poi(
-                i,
-                (i % 15) as f64 * 18.0,
-                (i / 15) as f64 * 18.0,
-                cat,
-            ));
+            pois.push(poi(i, (i % 15) as f64 * 18.0, (i / 15) as f64 * 18.0, cat));
         }
         let pop: Vec<f64> = (0..120).map(|i| 1.0 + (i % 4) as f64 * 0.05).collect();
         let serial = popularity_clustering(&pois, &pop, &small_params());

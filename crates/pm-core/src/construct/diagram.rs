@@ -101,8 +101,24 @@ impl CitySemanticDiagram {
         params: &MinerParams,
         options: ConstructionOptions,
     ) -> Result<Self, MinerError> {
+        Self::build_observed(pois, stay_points, params, options, &pm_obs::Obs::noop())
+    }
+
+    /// [`Self::build_with_options`] under observation: each construction
+    /// phase is timed as a `construct.*` span and the phase outputs are
+    /// counted. Observation is one-way — the diagram built is byte-identical
+    /// to an unobserved build.
+    pub fn build_observed(
+        pois: &[Poi],
+        stay_points: &[LocalPoint],
+        params: &MinerParams,
+        options: ConstructionOptions,
+        obs: &pm_obs::Obs,
+    ) -> Result<Self, MinerError> {
         params.validate()?;
         let mut degradations = Vec::new();
+        obs.gauge("input.pois", pois.len() as f64);
+        obs.gauge("input.stay_locations", stay_points.len() as f64);
 
         // Non-finite coordinates poison every later stage (popularity
         // kernels, variance tests, the grid index); drop them up front and
@@ -135,27 +151,45 @@ impl CitySemanticDiagram {
             stay_points
         };
 
+        let span = obs.span("construct.popularity_model");
         let model = PopularityModel::build(stay_points, params.r3sigma);
         let positions: Vec<LocalPoint> = pois.iter().map(|p| p.pos).collect();
         let popularity = model.popularity_of_threads(&positions, params.threads);
+        span.finish();
 
+        let span = obs.span("construct.clustering");
         let coarse = popularity_clustering(&pois, &popularity, params);
+        span.finish();
         let n_coarse = coarse.clusters.len();
         let n_leftover = coarse.leftovers.len();
+        obs.incr("construct.coarse_clusters", n_coarse as u64);
+        obs.incr("construct.leftover_pois", n_leftover as u64);
 
+        let span = obs.span("construct.purify");
         let purified = if options.purify {
             purify_tracked(&pois, coarse.clusters, params, &mut degradations)
         } else {
             coarse.clusters
         };
+        span.finish();
         let n_purified = purified.len();
+        obs.incr("construct.purified_units", n_purified as u64);
 
+        let span = obs.span("construct.merge");
         let final_units = if options.merge {
             merge_units(&pois, &popularity, purified, &coarse.leftovers, params)
         } else {
             purified
         };
+        span.finish();
+        // Merging only ever fuses purified units (and absorbs leftovers), so
+        // the drop in unit count is the number of merges applied.
+        obs.incr(
+            "construct.merges_applied",
+            n_purified.saturating_sub(final_units.len()) as u64,
+        );
 
+        let span = obs.span("construct.assemble");
         let mut unit_of = vec![None; pois.len()];
         let units: Vec<SemanticUnit> = final_units
             .into_iter()
@@ -192,11 +226,17 @@ impl CitySemanticDiagram {
             purity,
         };
 
+        let index = GridIndex::build(&positions, params.r3sigma);
+        span.finish();
+        obs.incr("construct.final_units", stats.n_units as u64);
+        obs.incr("construct.covered_pois", n_covered as u64);
+        crate::error::record_degradations(obs, &degradations);
+
         Ok(Self {
             popularity,
             units,
             unit_of,
-            index: GridIndex::build(&positions, params.r3sigma),
+            index,
             pois,
             stats,
             degradations,
@@ -315,7 +355,8 @@ mod tests {
     #[test]
     fn range_query_returns_nearby_pois() {
         let (pois, stays) = town();
-        let csd = CitySemanticDiagram::build(&pois, &stays, &MinerParams::default()).expect("build");
+        let csd =
+            CitySemanticDiagram::build(&pois, &stays, &MinerParams::default()).expect("build");
         let hits = csd.range(LocalPoint::new(0.0, 0.0), 100.0);
         assert!(hits.len() >= 7);
         assert!(hits
@@ -415,7 +456,8 @@ mod tests {
     #[test]
     fn out_of_range_accessors_are_tolerant() {
         let (pois, stays) = town();
-        let csd = CitySemanticDiagram::build(&pois, &stays, &MinerParams::default()).expect("build");
+        let csd =
+            CitySemanticDiagram::build(&pois, &stays, &MinerParams::default()).expect("build");
         assert_eq!(csd.popularity(usize::MAX), 0.0);
         assert_eq!(csd.unit_of(usize::MAX), None);
     }

@@ -292,7 +292,13 @@ mod tests {
         assert!(empty.iter().all(|&v| v == 0.0));
         let full = unit_distribution(&pois, &[1.0; 3], &[0, 1, 2]);
         assert_eq!(unit_cosine(&empty, &full), 0.0);
-        let merged = merge_units(&pois, &[1.0; 3], vec![vec![0, 1, 2], vec![]], &[], &params());
+        let merged = merge_units(
+            &pois,
+            &[1.0; 3],
+            vec![vec![0, 1, 2], vec![]],
+            &[],
+            &params(),
+        );
         let total: usize = merged.iter().map(Vec::len).sum();
         assert_eq!(total, 3);
     }

@@ -192,14 +192,12 @@ fn median_split(
     let pts: Vec<LocalPoint> = cluster.iter().map(|&i| pois[i].pos).collect();
     let center = centroid(&pts)?;
     // CenterPoint: member closest to the centroid.
-    let center_poi = *cluster
-        .iter()
-        .min_by(|&&a, &&b| {
-            pois[a]
-                .pos
-                .distance_sq(&center)
-                .total_cmp(&pois[b].pos.distance_sq(&center))
-        })?;
+    let center_poi = *cluster.iter().min_by(|&&a, &&b| {
+        pois[a]
+            .pos
+            .distance_sq(&center)
+            .total_cmp(&pois[b].pos.distance_sq(&center))
+    })?;
 
     let center_dist = local_distribution(pois, cluster, center_poi, kernel);
     let kls: Vec<f64> = cluster

@@ -398,8 +398,9 @@ mod def11_tests {
     #[test]
     fn support_counts_containing_trajectories() {
         let pattern = commute(0.0, 7 * 3600);
-        let db: Vec<SemanticTrajectory> =
-            (0..12).map(|i| commute(i as f64 * 5.0, 7 * 3600 + i as i64 * 60)).collect();
+        let db: Vec<SemanticTrajectory> = (0..12)
+            .map(|i| commute(i as f64 * 5.0, 7 * 3600 + i as i64 * 60))
+            .collect();
         let sup = support(&pattern, &db, 100.0, 3_600);
         assert_eq!(sup, 12, "every jittered commute contains the pattern");
     }
@@ -407,13 +408,20 @@ mod def11_tests {
     #[test]
     fn definition_11_accepts_dense_supported_patterns() {
         let pattern = commute(0.0, 7 * 3600);
-        let db: Vec<SemanticTrajectory> =
-            (0..12).map(|i| commute(i as f64 * 5.0, 7 * 3600 + i as i64 * 60)).collect();
-        assert!(is_fine_grained_pattern(&pattern, &db, 100.0, 3_600, 10, 1e-4));
+        let db: Vec<SemanticTrajectory> = (0..12)
+            .map(|i| commute(i as f64 * 5.0, 7 * 3600 + i as i64 * 60))
+            .collect();
+        assert!(is_fine_grained_pattern(
+            &pattern, &db, 100.0, 3_600, 10, 1e-4
+        ));
         // Too-high support bar fails.
-        assert!(!is_fine_grained_pattern(&pattern, &db, 100.0, 3_600, 13, 1e-4));
+        assert!(!is_fine_grained_pattern(
+            &pattern, &db, 100.0, 3_600, 13, 1e-4
+        ));
         // Too-high density bar fails.
-        assert!(!is_fine_grained_pattern(&pattern, &db, 100.0, 3_600, 10, 10.0));
+        assert!(!is_fine_grained_pattern(
+            &pattern, &db, 100.0, 3_600, 10, 10.0
+        ));
     }
 
     #[test]

@@ -137,6 +137,30 @@ pub enum Degradation {
 }
 
 impl Degradation {
+    /// Every kind name, in declaration order — the full taxonomy a report
+    /// should list even when a run was clean.
+    pub const KINDS: [&'static str; 6] = [
+        "unsplit_clusters",
+        "non_finite_pois",
+        "non_finite_stay_locations",
+        "untagged_non_finite_stays",
+        "dropped_gps_fixes",
+        "skipped_extraction_stays",
+    ];
+
+    /// Stable snake_case name of the event kind (the counter key used under
+    /// the `degradation.` prefix in run reports).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Degradation::UnsplitCluster { .. } => Self::KINDS[0],
+            Degradation::NonFinitePois { .. } => Self::KINDS[1],
+            Degradation::NonFiniteStayLocations { .. } => Self::KINDS[2],
+            Degradation::UntaggedNonFiniteStays { .. } => Self::KINDS[3],
+            Degradation::DroppedGpsFixes { .. } => Self::KINDS[4],
+            Degradation::SkippedExtractionStays { .. } => Self::KINDS[5],
+        }
+    }
+
     /// The number of records the event covers.
     pub fn count(&self) -> usize {
         match *self {
@@ -174,6 +198,23 @@ impl fmt::Display for Degradation {
                 "skipped {count} non-finite stay point(s) during extraction"
             ),
         }
+    }
+}
+
+/// Tallies degradation events into `obs` under the `degradation.` prefix.
+///
+/// Every kind is registered (at zero) first, so a report always lists the
+/// full taxonomy — a clean run shows six explicit zeros rather than an
+/// absence that could mean "not instrumented".
+pub fn record_degradations(obs: &pm_obs::Obs, events: &[Degradation]) {
+    if !obs.is_enabled() {
+        return;
+    }
+    for kind in Degradation::KINDS {
+        obs.incr(&format!("degradation.{kind}"), 0);
+    }
+    for e in events {
+        obs.incr(&format!("degradation.{}", e.kind()), e.count() as u64);
     }
 }
 

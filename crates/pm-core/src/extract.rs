@@ -97,10 +97,25 @@ pub fn extract_patterns_tracked(
     params: &MinerParams,
     events: &mut Vec<Degradation>,
 ) -> Result<Vec<FinePattern>, MinerError> {
+    extract_patterns_observed(db, params, events, &pm_obs::Obs::noop())
+}
+
+/// [`extract_patterns_tracked`] under observation: sequence building,
+/// PrefixSpan, and the counterpart refinement are timed as `extract.*` spans
+/// (the per-pattern OPTICS runs additionally record `cluster.optics` spans
+/// on their worker threads), and coarse/fine pattern counts are recorded.
+/// The mined patterns are byte-identical to an unobserved run.
+pub fn extract_patterns_observed(
+    db: &[SemanticTrajectory],
+    params: &MinerParams,
+    events: &mut Vec<Degradation>,
+    obs: &pm_obs::Obs,
+) -> Result<Vec<FinePattern>, MinerError> {
     params.validate()?;
 
     // Category sequences plus the mapping back from sequence positions to
     // stay indices (untagged and non-finite stay points are skipped).
+    let span = obs.span("extract.sequences");
     let mut n_skipped = 0usize;
     let mut sequences: Vec<Vec<u32>> = Vec::with_capacity(db.len());
     let mut stay_of_item: Vec<Vec<usize>> = Vec::with_capacity(db.len());
@@ -123,40 +138,52 @@ pub fn extract_patterns_tracked(
     if n_skipped > 0 {
         events.push(Degradation::SkippedExtractionStays { count: n_skipped });
     }
+    span.finish();
+    obs.incr(
+        "extract.sequence_items",
+        sequences.iter().map(|s| s.len() as u64).sum(),
+    );
 
+    let span = obs.span("extract.prefixspan");
     let coarse = prefixspan(
         &sequences,
         PrefixSpanParams::new(params.sigma, params.min_pattern_len, params.max_pattern_len),
     );
+    span.finish();
+    obs.incr("extract.coarse_patterns", coarse.len() as u64);
 
     // Algorithm 4 refines every coarse pattern independently (its OPTICS
     // runs and counterpart filtering read only that pattern's members), so
     // the per-pattern work fans out over `params.threads` workers. Each
     // worker appends to its own pattern-local list; flattening in coarse
     // order reproduces the serial loop's emission order byte for byte.
-    let per_pattern: Vec<Vec<FinePattern>> = pm_runtime::par_map(&coarse, params.threads, |pattern| {
-        let categories: Vec<Category> = pattern
-            .items
-            .iter()
-            .map(|&i| Category::from_index(i as usize))
-            .collect();
-        let members: Vec<Member> = pattern
-            .occurrences
-            .iter()
-            .map(|occ| Member {
-                traj: occ.seq,
-                stay_at: occ
-                    .positions
-                    .iter()
-                    .map(|&p| stay_of_item[occ.seq][p])
-                    .collect(),
-            })
-            .collect();
-        let mut local = Vec::new();
-        counterpart_cluster(db, &categories, members, params, &mut local);
-        local
-    });
+    let span = obs.span("extract.counterpart");
+    let per_pattern: Vec<Vec<FinePattern>> =
+        pm_runtime::par_map(&coarse, params.threads, |pattern| {
+            let categories: Vec<Category> = pattern
+                .items
+                .iter()
+                .map(|&i| Category::from_index(i as usize))
+                .collect();
+            let members: Vec<Member> = pattern
+                .occurrences
+                .iter()
+                .map(|occ| Member {
+                    traj: occ.seq,
+                    stay_at: occ
+                        .positions
+                        .iter()
+                        .map(|&p| stay_of_item[occ.seq][p])
+                        .collect(),
+                })
+                .collect();
+            let mut local = Vec::new();
+            counterpart_cluster(db, &categories, members, params, obs, &mut local);
+            local
+        });
+    span.finish();
     let mut out: Vec<FinePattern> = per_pattern.into_iter().flatten().collect();
+    obs.incr("extract.fine_patterns", out.len() as u64);
 
     out.sort_by(|a, b| {
         b.support()
@@ -179,6 +206,7 @@ fn counterpart_cluster(
     categories: &[Category],
     members: Vec<Member>,
     params: &MinerParams,
+    obs: &pm_obs::Obs,
     out: &mut Vec<FinePattern>,
 ) {
     let m = categories.len();
@@ -192,7 +220,9 @@ fn counterpart_cluster(
     let labels: Vec<Vec<Option<usize>>> = (0..m)
         .map(|k| {
             let pts: Vec<LocalPoint> = members.iter().map(|mem| stay(mem, k).pos).collect();
-            Optics::run(&pts, optics_params).extract_auto().labels
+            Optics::run_obs(&pts, optics_params, obs)
+                .extract_auto()
+                .labels
         })
         .collect();
 
@@ -483,7 +513,10 @@ mod tests {
         let mut events = Vec::new();
         let patterns =
             extract_patterns_tracked(&db, &small_params(), &mut events).expect("extract");
-        assert_eq!(events, vec![Degradation::SkippedExtractionStays { count: 1 }]);
+        assert_eq!(
+            events,
+            vec![Degradation::SkippedExtractionStays { count: 1 }]
+        );
         let best = patterns
             .iter()
             .find(|p| p.categories == vec![Category::Residence, Category::Business])

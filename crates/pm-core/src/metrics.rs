@@ -211,6 +211,60 @@ mod tests {
     }
 
     #[test]
+    fn summarize_single_pattern_mirrors_its_metrics() {
+        // With one pattern the summary IS that pattern's metrics.
+        let p = pattern(vec![
+            (0..4)
+                .map(|i| sp(i as f64 * 10.0, 0.0, Category::Shop))
+                .collect(),
+            (0..4)
+                .map(|i| sp(500.0 + i as f64 * 10.0, 0.0, Category::Residence))
+                .collect(),
+        ]);
+        let m = pattern_metrics(&p);
+        let s = summarize(std::slice::from_ref(&p));
+        assert_eq!(s.n_patterns, 1);
+        assert_eq!(s.coverage, m.support);
+        assert_eq!(s.avg_sparsity, m.spatial_sparsity);
+        assert_eq!(s.avg_consistency, m.semantic_consistency);
+    }
+
+    #[test]
+    fn summarize_averages_mixed_consistencies() {
+        // One perfectly consistent pattern plus one at 1/3 average to 2/3,
+        // and sparsities average independently of consistencies.
+        let pure = pattern(vec![vec![
+            sp(0.0, 0.0, Category::Shop),
+            sp(6.0, 0.0, Category::Shop),
+        ]]);
+        let mixed = pattern(vec![vec![
+            sp(0.0, 0.0, Category::Shop),
+            sp(2.0, 0.0, Category::Shop),
+            sp(4.0, 0.0, Category::Medical),
+        ]]);
+        let s = summarize(&[pure, mixed]);
+        assert_eq!(s.n_patterns, 2);
+        assert_eq!(s.coverage, 5);
+        assert!((s.avg_consistency - 2.0 / 3.0).abs() < 1e-9);
+        // pure group: single pair 6 m apart -> 6; mixed: pairs 2, 4, 2 -> 8/3.
+        assert!((s.avg_sparsity - (6.0 + 8.0 / 3.0) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sub_two_member_groups_are_consistent_in_summary() {
+        // The `< 2` members edge of Eq. 11: empty and singleton groups
+        // define consistency as 1.0, and that convention must survive
+        // aggregation rather than poisoning the average with NaN.
+        let p = pattern(vec![vec![sp(0.0, 0.0, Category::Shop)]]);
+        let s = summarize(&[p]);
+        assert_eq!(s.avg_consistency, 1.0);
+        assert_eq!(s.avg_sparsity, 0.0);
+        assert!(s.avg_consistency.is_finite() && s.avg_sparsity.is_finite());
+        assert_eq!(group_consistency(&[]), 1.0);
+        assert_eq!(group_consistency(&[sp(1.0, 2.0, Category::Medical)]), 1.0);
+    }
+
+    #[test]
     fn summarize_empty() {
         let s = summarize(&[]);
         assert_eq!(s.n_patterns, 0);

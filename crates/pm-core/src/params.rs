@@ -258,26 +258,92 @@ mod tests {
     #[test]
     fn every_bound_violation_names_its_field() {
         let d = MinerParams::default;
-        assert_rejects(MinerParams { r3sigma: 0.0, ..d() }, "r3sigma");
-        assert_rejects(MinerParams { r3sigma: f64::NAN, ..d() }, "r3sigma");
-        assert_rejects(MinerParams { eps_p: -30.0, ..d() }, "eps_p");
-        assert_rejects(MinerParams { d_v: f64::INFINITY, ..d() }, "d_v");
+        assert_rejects(
+            MinerParams {
+                r3sigma: 0.0,
+                ..d()
+            },
+            "r3sigma",
+        );
+        assert_rejects(
+            MinerParams {
+                r3sigma: f64::NAN,
+                ..d()
+            },
+            "r3sigma",
+        );
+        assert_rejects(
+            MinerParams {
+                eps_p: -30.0,
+                ..d()
+            },
+            "eps_p",
+        );
+        assert_rejects(
+            MinerParams {
+                d_v: f64::INFINITY,
+                ..d()
+            },
+            "d_v",
+        );
         assert_rejects(MinerParams { v_min: 0.0, ..d() }, "v_min");
         assert_rejects(MinerParams { rho: -0.002, ..d() }, "rho");
-        assert_rejects(MinerParams { theta_d: f64::NAN, ..d() }, "theta_d");
-        assert_rejects(MinerParams { merge_dist: 0.0, ..d() }, "merge_dist");
+        assert_rejects(
+            MinerParams {
+                theta_d: f64::NAN,
+                ..d()
+            },
+            "theta_d",
+        );
+        assert_rejects(
+            MinerParams {
+                merge_dist: 0.0,
+                ..d()
+            },
+            "merge_dist",
+        );
         assert_rejects(MinerParams { alpha: 0.0, ..d() }, "alpha");
         assert_rejects(MinerParams { alpha: 1.5, ..d() }, "alpha");
-        assert_rejects(MinerParams { alpha: f64::NAN, ..d() }, "alpha");
-        assert_rejects(MinerParams { merge_cos: 0.0, ..d() }, "merge_cos");
-        assert_rejects(MinerParams { merge_cos: 1.1, ..d() }, "merge_cos");
+        assert_rejects(
+            MinerParams {
+                alpha: f64::NAN,
+                ..d()
+            },
+            "alpha",
+        );
+        assert_rejects(
+            MinerParams {
+                merge_cos: 0.0,
+                ..d()
+            },
+            "merge_cos",
+        );
+        assert_rejects(
+            MinerParams {
+                merge_cos: 1.1,
+                ..d()
+            },
+            "merge_cos",
+        );
         assert_rejects(MinerParams { min_pts: 0, ..d() }, "min_pts");
         assert_rejects(MinerParams { n_min: 0, ..d() }, "n_min");
         assert_rejects(MinerParams { sigma: 0, ..d() }, "sigma");
         assert_rejects(MinerParams { theta_t: 0, ..d() }, "theta_t");
-        assert_rejects(MinerParams { theta_t: -60, ..d() }, "theta_t");
+        assert_rejects(
+            MinerParams {
+                theta_t: -60,
+                ..d()
+            },
+            "theta_t",
+        );
         assert_rejects(MinerParams { delta_t: 0, ..d() }, "delta_t");
-        assert_rejects(MinerParams { min_pattern_len: 0, ..d() }, "min_pattern_len");
+        assert_rejects(
+            MinerParams {
+                min_pattern_len: 0,
+                ..d()
+            },
+            "min_pattern_len",
+        );
         assert_rejects(
             MinerParams {
                 min_pattern_len: 3,

@@ -94,6 +94,19 @@ pub fn detect_all_stay_points_tracked(
     params: &MinerParams,
     events: &mut Vec<Degradation>,
 ) -> Vec<Vec<StayPoint>> {
+    detect_all_stay_points_observed(trajectories, params, events, &pm_obs::Obs::noop())
+}
+
+/// [`detect_all_stay_points_tracked`] under observation: the corpus sweep is
+/// timed as a `recognize.stay_detect` span and the extracted stay points are
+/// counted. The detected stay points are byte-identical either way.
+pub fn detect_all_stay_points_observed(
+    trajectories: &[GpsTrajectory],
+    params: &MinerParams,
+    events: &mut Vec<Degradation>,
+    obs: &pm_obs::Obs,
+) -> Vec<Vec<StayPoint>> {
+    let span = obs.span("recognize.stay_detect");
     let per_traj = pm_runtime::par_map(trajectories, params.threads, |traj| {
         let mut local = Vec::new();
         let stays = detect_stay_points_tracked(traj, params, &mut local);
@@ -104,6 +117,11 @@ pub fn detect_all_stay_points_tracked(
         events.extend(local);
         out.push(stays);
     }
+    span.finish();
+    obs.incr(
+        "recognize.stay_points",
+        out.iter().map(|s| s.len() as u64).sum(),
+    );
     out
 }
 
@@ -143,14 +161,26 @@ pub fn recognize_stay_point_full(
     kernel: &GaussianKernel,
     pos: LocalPoint,
 ) -> (Tags, Option<Category>) {
+    let (tags, primary, _ballots) = vote(csd, kernel, pos);
+    (tags, primary)
+}
+
+/// The voting core of Algorithm 3, additionally reporting how many ballots
+/// were cast (one per in-range unit-owned POI) so observed runs can count
+/// voting work without a second range query.
+fn vote(
+    csd: &CitySemanticDiagram,
+    kernel: &GaussianKernel,
+    pos: LocalPoint,
+) -> (Tags, Option<Category>, u64) {
     // A non-finite query position has no meaningful neighbourhood; the stay
     // point remains untagged rather than poisoning the vote weights.
     if !(pos.x.is_finite() && pos.y.is_finite()) {
-        return (Tags::EMPTY, None);
+        return (Tags::EMPTY, None, 0);
     }
     let in_range = csd.range(pos, kernel.cutoff());
     if in_range.is_empty() {
-        return (Tags::EMPTY, None);
+        return (Tags::EMPTY, None, 0);
     }
     // Sparse vote accumulation: the candidate unit list is tiny (a handful
     // of units overlap a 100 m disk), so linear scans beat hashing.
@@ -158,8 +188,10 @@ pub fn recognize_stay_point_full(
     let mut votes: Vec<f64> = Vec::new();
     let mut tags: Vec<Tags> = Vec::new();
     let mut cat_votes: Vec<[f64; Category::COUNT]> = Vec::new();
+    let mut ballots = 0u64;
     for &i in &in_range {
         let Some(uid) = csd.unit_of(i) else { continue };
+        ballots += 1;
         let weight = csd.popularity(i) * kernel.coeff(csd.pois()[i].pos, pos);
         let slot = match unit_ids.iter().position(|&u| u == uid) {
             Some(s) => s,
@@ -182,14 +214,14 @@ pub fn recognize_stay_point_full(
         .map(|(i, _)| i)
     else {
         // No unit-owned POI in range: the stay point stays untagged.
-        return (Tags::EMPTY, None);
+        return (Tags::EMPTY, None, ballots);
     };
     let primary = cat_votes[hv]
         .iter()
         .enumerate()
         .max_by(|a, b| a.1.total_cmp(b.1))
         .map(|(c, _)| Category::from_index(c));
-    (tags[hv], primary)
+    (tags[hv], primary, ballots)
 }
 
 /// Algorithm 3 in full: recognizes the semantic property of every stay point
@@ -213,31 +245,62 @@ pub fn recognize_all_tracked(
     params: &MinerParams,
     events: &mut Vec<Degradation>,
 ) -> Result<Vec<SemanticTrajectory>, MinerError> {
+    recognize_all_observed(csd, trajectories, params, events, &pm_obs::Obs::noop())
+}
+
+/// [`recognize_all_tracked`] under observation: the voting sweep is timed as
+/// a `recognize.vote` span, and tagged/untagged stay points plus the ballots
+/// cast (one per in-range unit-owned POI) are counted. The tagging produced
+/// is byte-identical to an unobserved run.
+pub fn recognize_all_observed(
+    csd: &CitySemanticDiagram,
+    trajectories: Vec<SemanticTrajectory>,
+    params: &MinerParams,
+    events: &mut Vec<Degradation>,
+    obs: &pm_obs::Obs,
+) -> Result<Vec<SemanticTrajectory>, MinerError> {
     params.validate()?;
     let kernel = GaussianKernel::new(params.r3sigma);
+    let span = obs.span("recognize.vote");
     // Unit voting is a pure function of the (immutable) diagram and one stay
     // position, so trajectories tag independently: workers update disjoint
-    // chunks in place and report their non-finite counts, which sum to the
-    // same total in any order.
+    // chunks in place and report per-trajectory tallies, which sum to the
+    // same totals in any order.
     let mut trajectories = trajectories;
-    let n_nonfinite: usize =
+    let tallies: Vec<(usize, u64, u64, u64)> =
         pm_runtime::par_map_in_place(&mut trajectories, params.threads, |st| {
-            let mut n = 0usize;
+            let (mut n, mut tagged, mut untagged, mut ballots) = (0usize, 0u64, 0u64, 0u64);
             for sp in &mut st.stays {
                 if !(sp.pos.x.is_finite() && sp.pos.y.is_finite()) {
                     n += 1;
+                    untagged += 1;
                     sp.tags = Tags::EMPTY;
                     sp.primary = None;
                     continue;
                 }
-                let (tags, primary) = recognize_stay_point_full(csd, &kernel, sp.pos);
+                let (tags, primary, b) = vote(csd, &kernel, sp.pos);
+                ballots += b;
+                if tags.is_empty() {
+                    untagged += 1;
+                } else {
+                    tagged += 1;
+                }
                 sp.tags = tags;
                 sp.primary = primary;
             }
-            n
-        })
-        .into_iter()
-        .sum();
+            (n, tagged, untagged, ballots)
+        });
+    span.finish();
+    let (mut n_nonfinite, mut tagged, mut untagged, mut ballots) = (0usize, 0u64, 0u64, 0u64);
+    for (n, t, u, b) in tallies {
+        n_nonfinite += n;
+        tagged += t;
+        untagged += u;
+        ballots += b;
+    }
+    obs.incr("recognize.stays_tagged", tagged);
+    obs.incr("recognize.stays_untagged", untagged);
+    obs.incr("recognize.votes_cast", ballots);
     if n_nonfinite > 0 {
         events.push(Degradation::UntaggedNonFiniteStays { count: n_nonfinite });
     }
@@ -402,7 +465,10 @@ mod tests {
         let out = recognize_all_tracked(&csd, trajs, &params, &mut events).expect("recognize");
         assert!(out[0].stays[0].tags.is_empty());
         assert!(out[0].stays[1].tags.contains(Category::Shop));
-        assert_eq!(events, vec![Degradation::UntaggedNonFiniteStays { count: 1 }]);
+        assert_eq!(
+            events,
+            vec![Degradation::UntaggedNonFiniteStays { count: 1 }]
+        );
     }
 
     #[test]
@@ -457,7 +523,11 @@ mod tests {
         for t in 0..9i64 {
             let mut pts = Vec::new();
             for k in 0..30 {
-                pts.push(gps(100.0 * t as f64 + (k % 3) as f64, 0.0, t * 10_000 + k * 60));
+                pts.push(gps(
+                    100.0 * t as f64 + (k % 3) as f64,
+                    0.0,
+                    t * 10_000 + k * 60,
+                ));
             }
             if t % 3 == 0 {
                 pts.push(GpsPoint::new(
@@ -497,8 +567,7 @@ mod tests {
             })
             .collect();
         let serial = recognize_all(&csd, trajs.clone(), &params.with_threads(1)).expect("serial");
-        let parallel =
-            recognize_all(&csd, trajs, &params.with_threads(4)).expect("parallel");
+        let parallel = recognize_all(&csd, trajs, &params.with_threads(4)).expect("parallel");
         for (a, b) in serial.iter().zip(&parallel) {
             assert_eq!(a.stays, b.stays);
         }

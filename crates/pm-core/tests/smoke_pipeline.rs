@@ -25,7 +25,10 @@ fn tiny_city_end_to_end() {
     let csd = CitySemanticDiagram::build(&pois, &stays, &params).expect("build");
     eprintln!("csd stats: {:?}", csd.stats());
     assert!(csd.units().len() > 5);
-    assert!(csd.degradations().is_empty(), "clean input must not degrade");
+    assert!(
+        csd.degradations().is_empty(),
+        "clean input must not degrade"
+    );
 
     let recognized = recognize_all(&csd, trajs, &params).expect("recognize");
     let tagged: usize = recognized

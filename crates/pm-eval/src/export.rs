@@ -171,8 +171,10 @@ mod tests {
             ..MinerParams::default()
         };
         let baseline = BaselineParams::default();
-        let rec = crate::pipeline::Recognized::compute(&ds, &params, &baseline).expect("valid params");
-        let pts = figures::fig11_support_sweep(&rec, &params, &baseline, &[15, 30]).expect("valid params");
+        let rec =
+            crate::pipeline::Recognized::compute(&ds, &params, &baseline).expect("valid params");
+        let pts = figures::fig11_support_sweep(&rec, &params, &baseline, &[15, 30])
+            .expect("valid params");
         let csv = sweep_csv(&pts);
         assert_eq!(csv.lines().count(), 1 + 2 * 6);
     }

@@ -194,7 +194,11 @@ pub fn fig14_full(
     // holds ~1/7 of the corpus, so the per-day support threshold scales
     // down accordingly (the paper mined each day with its own run).
     let day_params = params.with_sigma((params.sigma / 5).max(2));
-    let weekday = mine_one_day(recognized, &day_params, 2.min(ds.city.config.n_days as i64 - 1))?;
+    let weekday = mine_one_day(
+        recognized,
+        &day_params,
+        2.min(ds.city.config.n_days as i64 - 1),
+    )?;
     let weekend_day = if ds.city.config.n_days >= 6 { 5 } else { -1 };
     let weekend = if weekend_day >= 0 {
         mine_one_day(recognized, &day_params, weekend_day)?
@@ -212,8 +216,7 @@ pub fn fig14_full(
     let mut buckets = Vec::with_capacity(6);
     for (set, offset) in [(&weekday, 0usize), (&weekend, 3usize)] {
         for s in 0..3 {
-            let in_bucket: Vec<&FinePattern> =
-                set.iter().filter(|p| slot(p) == s).collect();
+            let in_bucket: Vec<&FinePattern> = set.iter().filter(|p| slot(p) == s).collect();
             let avg_len = if in_bucket.is_empty() {
                 0.0
             } else {
@@ -256,7 +259,6 @@ fn fig14_panels_gh(
     seed: u64,
     buckets: Vec<(WeekBucket, usize, f64)>,
 ) -> DemoReport {
-
     // (g): airport demand.
     let airport_pos = ds.city.districts[ds.city.airport].venues[0];
     let near_airport = |p: pm_geo::LocalPoint| p.distance(&airport_pos) < 500.0;
@@ -376,7 +378,8 @@ mod tests {
         };
         let baseline = BaselineParams::default();
         let rec = Recognized::compute(&ds, &params, &baseline).expect("valid params");
-        let pts = fig11_support_sweep(&rec, &params, &baseline, &[10, 20, 40]).expect("valid params");
+        let pts =
+            fig11_support_sweep(&rec, &params, &baseline, &[10, 20, 40]).expect("valid params");
         assert_eq!(pts.len(), 3);
         assert!(pts.iter().all(|p| p.rows.len() == 6));
         // Raising sigma cannot increase pattern count for the same approach.

@@ -84,7 +84,10 @@ pub fn render_svg(
     let height = (bbox.height() * scale).max(1.0);
     // SVG y grows downward; flip north up.
     let tx = |p: LocalPoint| -> (f64, f64) {
-        ((p.x - bbox.min.x) * scale, height - (p.y - bbox.min.y) * scale)
+        (
+            (p.x - bbox.min.x) * scale,
+            height - (p.y - bbox.min.y) * scale,
+        )
     };
 
     let mut svg = String::new();
@@ -94,11 +97,17 @@ pub fn render_svg(
          viewBox=\"0 0 {:.0} {height:.0}\">",
         options.width, options.width
     );
-    let _ = writeln!(svg, "<rect width=\"100%\" height=\"100%\" fill=\"#fcfcf8\"/>");
+    let _ = writeln!(
+        svg,
+        "<rect width=\"100%\" height=\"100%\" fill=\"#fcfcf8\"/>"
+    );
 
     // Units layer (Fig. 6).
     if let (Some(csd), true) = (csd, options.draw_units) {
-        let _ = writeln!(svg, "<g id=\"units\" stroke=\"none\" fill-opacity=\"0.45\">");
+        let _ = writeln!(
+            svg,
+            "<g id=\"units\" stroke=\"none\" fill-opacity=\"0.45\">"
+        );
         for unit in csd.units() {
             let dominant = unit
                 .distribution
@@ -163,7 +172,9 @@ pub fn render_svg(
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -191,7 +202,11 @@ mod tests {
 
     #[test]
     fn renders_well_formed_svg() {
-        let svg = render_svg(None, &[pattern(0.0, 10), pattern(500.0, 40)], &SvgOptions::default());
+        let svg = render_svg(
+            None,
+            &[pattern(0.0, 10), pattern(500.0, 40)],
+            &SvgOptions::default(),
+        );
         assert!(svg.starts_with("<svg"));
         assert!(svg.trim_end().ends_with("</svg>"));
         assert_eq!(svg.matches("<path").count(), 2);
@@ -202,7 +217,11 @@ mod tests {
 
     #[test]
     fn stroke_width_scales_with_support() {
-        let svg = render_svg(None, &[pattern(0.0, 10), pattern(500.0, 40)], &SvgOptions::default());
+        let svg = render_svg(
+            None,
+            &[pattern(0.0, 10), pattern(500.0, 40)],
+            &SvgOptions::default(),
+        );
         // Max support gets width 5.0; the smaller one gets 1 + 4*10/40 = 2.0.
         assert!(svg.contains("stroke-width=\"5.0\""));
         assert!(svg.contains("stroke-width=\"2.0\""));

@@ -119,6 +119,31 @@ pub fn read_journeys_threads(
     Ok((out, report))
 }
 
+/// [`read_journeys_threads`] under observation: the read is timed as an
+/// `ingest.journeys` span, parsed lines are counted under
+/// `io.journey_lines_read`, and lenient-mode drops land in the
+/// `quarantine.journeys_dropped` counter (registered at zero so clean runs
+/// still report it). The parsed log is identical to an unobserved read.
+pub fn read_journeys_observed(
+    text: &str,
+    projection: &Projection,
+    mode: IngestMode,
+    threads: usize,
+    obs: &pm_obs::Obs,
+) -> Result<(Vec<JourneyRecord>, QuarantineReport), IoError> {
+    let span = obs.span("ingest.journeys");
+    let result = read_journeys_threads(text, projection, mode, threads);
+    span.finish();
+    if let Ok((journeys, report)) = &result {
+        obs.incr(
+            "io.journey_lines_read",
+            (journeys.len() + report.dropped()) as u64,
+        );
+        obs.incr("quarantine.journeys_dropped", report.dropped() as u64);
+    }
+    result
+}
+
 /// Writes a journey log as CSV text (with header).
 pub fn write_journeys(journeys: &[JourneyRecord], projection: &Projection) -> String {
     let mut out =

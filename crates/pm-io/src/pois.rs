@@ -151,6 +151,28 @@ pub fn read_pois_threads(
     Ok((out, report))
 }
 
+/// [`read_pois_threads`] under observation: the read is timed as an
+/// `ingest.pois` span, parsed lines are counted under `io.poi_lines_read`,
+/// and lenient-mode drops land in the `quarantine.pois_dropped` counter
+/// (registered at zero so clean runs still report it). The parsed table is
+/// identical to an unobserved read.
+pub fn read_pois_observed(
+    text: &str,
+    projection: &Projection,
+    mode: IngestMode,
+    threads: usize,
+    obs: &pm_obs::Obs,
+) -> Result<(Vec<Poi>, QuarantineReport), IoError> {
+    let span = obs.span("ingest.pois");
+    let result = read_pois_threads(text, projection, mode, threads);
+    span.finish();
+    if let Ok((pois, report)) = &result {
+        obs.incr("io.poi_lines_read", (pois.len() + report.dropped()) as u64);
+        obs.incr("quarantine.pois_dropped", report.dropped() as u64);
+    }
+    result
+}
+
 /// Writes a POI table as CSV text (with header), projecting back to WGS-84.
 pub fn write_pois(pois: &[Poi], projection: &Projection) -> String {
     let mut out = String::from("id,lon,lat,category,minor\n");

@@ -1,0 +1,382 @@
+//! **pm-obs** — the observability layer of the Pervasive Miner stack.
+//!
+//! Answers "where did this run spend its time and what did each stage
+//! produce?" without attaching a profiler:
+//!
+//! - [`Obs`] is a cheaply cloneable handle threaded through the pipeline.
+//!   The default ([`Obs::noop`]) records nothing and costs one branch per
+//!   call site, so library callers that never ask for a report pay nothing.
+//! - [`Obs::span`] opens a monotonic RAII timer. Spans are nestable (guards
+//!   may be opened inside other guards, on any thread) and worker-aware:
+//!   each record notes the [`pm_runtime`] worker id it ran on, so a report
+//!   shows how many workers a stage actually fanned out over.
+//! - [`Obs::incr`] / [`Obs::gauge`] maintain named counters and gauges.
+//!   Counters are monotone sums, so their totals are independent of worker
+//!   scheduling — observability never breaks the §9 determinism contract.
+//! - [`Obs::report`] snapshots everything into a [`RunReport`] that
+//!   serializes to stable JSON (keys sorted, schema versioned) or a
+//!   human-readable text table.
+//!
+//! # Naming scheme
+//!
+//! Dotted lowercase paths, `<stage>.<what>`: span names use the pipeline
+//! stage as the first segment (`construct.clustering`, `recognize.vote`,
+//! `extract.prefixspan`); counter names use the owning stage plus a plural
+//! noun (`extract.fine_patterns`, `cluster.optics_runs`). Two prefixes are
+//! special-cased by [`RunReport`]: counters under `degradation.` and
+//! `quarantine.` are lifted into their own report sections so a run's
+//! tolerated-trouble tallies are visible at a glance.
+//!
+//! # Determinism
+//!
+//! Observation is strictly one-way: nothing read from an [`Obs`] feeds back
+//! into pipeline decisions, so results are byte-identical whether a run is
+//! observed or not (`tests/parallel_parity.rs` proves this end to end).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+pub mod json;
+pub mod report;
+
+pub use report::{RunReport, StageReport};
+
+/// One finished span: a named, timed section of work.
+#[derive(Debug, Clone)]
+struct SpanRecord {
+    name: &'static str,
+    nanos: u128,
+    /// `pm_runtime` worker id the span closed on (`None` = the calling
+    /// thread outside any parallel region).
+    worker: Option<usize>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    started: Instant,
+    threads: AtomicUsize,
+    spans: Mutex<Vec<SpanRecord>>,
+    counters: Mutex<BTreeMap<String, u64>>,
+    gauges: Mutex<BTreeMap<String, f64>>,
+}
+
+/// Recovers the data from a poisoned lock: observability must never turn a
+/// worker panic elsewhere into a second panic here.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Handle to a run's observability state.
+///
+/// Clones share the same underlying recorder, so the handle can be passed by
+/// value into worker closures. The [`Default`]/[`Obs::noop`] form holds no
+/// state at all: every method short-circuits on one `Option` check.
+#[derive(Clone, Debug, Default)]
+pub struct Obs {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Obs {
+    /// A recording handle. Everything observed through it (and its clones)
+    /// lands in one shared state, snapshotted by [`Obs::report`].
+    pub fn enabled() -> Self {
+        Obs {
+            inner: Some(Arc::new(Inner {
+                started: Instant::now(),
+                threads: AtomicUsize::new(1),
+                spans: Mutex::new(Vec::new()),
+                counters: Mutex::new(BTreeMap::new()),
+                gauges: Mutex::new(BTreeMap::new()),
+            })),
+        }
+    }
+
+    /// The zero-cost default: records nothing.
+    pub fn noop() -> Self {
+        Obs::default()
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Declares the resolved worker-thread count of the run being observed
+    /// (informational; spans additionally record which worker they ran on).
+    pub fn set_threads(&self, threads: usize) {
+        if let Some(inner) = &self.inner {
+            inner.threads.store(threads.max(1), Ordering::Relaxed);
+        }
+    }
+
+    /// Opens a named span; the time from this call until the guard drops is
+    /// recorded. Guards may nest freely and may be opened on worker threads.
+    #[must_use = "a span measures until its guard drops; binding it to _ closes it immediately"]
+    pub fn span(&self, name: &'static str) -> Span<'_> {
+        Span {
+            state: self
+                .inner
+                .as_deref()
+                .map(|inner| (inner, name, Instant::now())),
+        }
+    }
+
+    /// Adds `by` to the named counter, creating it at zero first. `by = 0`
+    /// registers the counter so it appears in the report even when nothing
+    /// was ever counted (useful for stable schemas).
+    pub fn incr(&self, name: &str, by: u64) {
+        if let Some(inner) = &self.inner {
+            let mut counters = lock(&inner.counters);
+            match counters.get_mut(name) {
+                Some(v) => *v = v.saturating_add(by),
+                None => {
+                    counters.insert(name.to_string(), by);
+                }
+            }
+        }
+    }
+
+    /// Sets the named gauge to `value` (last write wins).
+    pub fn gauge(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.inner {
+            lock(&inner.gauges).insert(name.to_string(), value);
+        }
+    }
+
+    /// Reads one counter back (0 when absent or when the handle is a no-op).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner
+            .as_deref()
+            .and_then(|inner| lock(&inner.counters).get(name).copied())
+            .unwrap_or(0)
+    }
+
+    /// Snapshots everything recorded so far into a [`RunReport`]. A no-op
+    /// handle yields an empty (but well-formed) report.
+    pub fn report(&self) -> RunReport {
+        let Some(inner) = self.inner.as_deref() else {
+            return RunReport::empty();
+        };
+        let wall_ms = inner.started.elapsed().as_nanos() as f64 / 1e6;
+        let threads = inner.threads.load(Ordering::Relaxed);
+        let spans = lock(&inner.spans).clone();
+        let counters = lock(&inner.counters).clone();
+        let gauges = lock(&inner.gauges).clone();
+        RunReport::assemble(wall_ms, threads, &spans, counters, gauges)
+    }
+}
+
+/// RAII guard returned by [`Obs::span`]; records the elapsed time on drop.
+#[derive(Debug)]
+pub struct Span<'a> {
+    state: Option<(&'a Inner, &'static str, Instant)>,
+}
+
+impl Span<'_> {
+    /// Closes the span now instead of at end of scope.
+    pub fn finish(self) {}
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some((inner, name, start)) = self.state.take() {
+            let nanos = start.elapsed().as_nanos();
+            lock(&inner.spans).push(SpanRecord {
+                name,
+                nanos,
+                worker: pm_runtime::current_worker(),
+            });
+        }
+    }
+}
+
+impl RunReport {
+    pub(crate) fn assemble(
+        wall_ms: f64,
+        threads: usize,
+        spans: &[SpanRecord],
+        counters: BTreeMap<String, u64>,
+        gauges: BTreeMap<String, f64>,
+    ) -> RunReport {
+        // Aggregate spans by name; BTreeMap keeps the stage list sorted, so
+        // the serialized report is stable run to run.
+        #[derive(Default)]
+        struct Agg {
+            calls: u64,
+            total: u128,
+            min: u128,
+            max: u128,
+            workers: Vec<Option<usize>>,
+        }
+        let mut by_name: BTreeMap<&'static str, Agg> = BTreeMap::new();
+        for s in spans {
+            let agg = by_name.entry(s.name).or_default();
+            if agg.calls == 0 {
+                agg.min = s.nanos;
+            }
+            agg.calls += 1;
+            agg.total += s.nanos;
+            agg.min = agg.min.min(s.nanos);
+            agg.max = agg.max.max(s.nanos);
+            if !agg.workers.contains(&s.worker) {
+                agg.workers.push(s.worker);
+            }
+        }
+        let stages = by_name
+            .into_iter()
+            .map(|(name, a)| StageReport {
+                name: name.to_string(),
+                calls: a.calls,
+                total_ms: a.total as f64 / 1e6,
+                min_ms: a.min as f64 / 1e6,
+                max_ms: a.max as f64 / 1e6,
+                workers: a.workers.len() as u64,
+            })
+            .collect();
+
+        // Lift the special-cased counter prefixes into their own sections.
+        let mut plain = BTreeMap::new();
+        let mut degradations = BTreeMap::new();
+        let mut quarantine = BTreeMap::new();
+        for (k, v) in counters {
+            if let Some(rest) = k.strip_prefix("degradation.") {
+                degradations.insert(rest.to_string(), v);
+            } else if let Some(rest) = k.strip_prefix("quarantine.") {
+                quarantine.insert(rest.to_string(), v);
+            } else {
+                plain.insert(k, v);
+            }
+        }
+
+        RunReport {
+            wall_ms,
+            threads: threads as u64,
+            stages,
+            counters: plain,
+            degradations,
+            quarantine,
+            gauges,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_handle_records_nothing() {
+        let obs = Obs::noop();
+        assert!(!obs.is_enabled());
+        {
+            let _s = obs.span("construct.clustering");
+        }
+        obs.incr("x.count", 5);
+        obs.gauge("x.gauge", 1.5);
+        obs.set_threads(8);
+        let r = obs.report();
+        assert!(r.stages.is_empty());
+        assert!(r.counters.is_empty());
+        assert!(r.gauges.is_empty());
+        assert_eq!(obs.counter("x.count"), 0);
+    }
+
+    #[test]
+    fn spans_aggregate_by_name() {
+        let obs = Obs::enabled();
+        for _ in 0..3 {
+            let _s = obs.span("stage.a");
+        }
+        {
+            let _outer = obs.span("stage.b");
+            let _inner = obs.span("stage.a"); // nesting is fine
+        }
+        let r = obs.report();
+        assert_eq!(r.stages.len(), 2);
+        let a = r.stages.iter().find(|s| s.name == "stage.a").unwrap();
+        assert_eq!(a.calls, 4);
+        assert!(a.total_ms >= a.max_ms && a.max_ms >= a.min_ms);
+        let b = r.stages.iter().find(|s| s.name == "stage.b").unwrap();
+        assert_eq!(b.calls, 1);
+    }
+
+    #[test]
+    fn counters_sum_and_register_at_zero() {
+        let obs = Obs::enabled();
+        obs.incr("extract.fine_patterns", 0); // register
+        obs.incr("recognize.votes_cast", 3);
+        obs.incr("recognize.votes_cast", 4);
+        assert_eq!(obs.counter("recognize.votes_cast"), 7);
+        let r = obs.report();
+        assert_eq!(r.counters.get("extract.fine_patterns"), Some(&0));
+        assert_eq!(r.counters.get("recognize.votes_cast"), Some(&7));
+    }
+
+    #[test]
+    fn counter_totals_are_schedule_independent() {
+        // Increment from parallel workers: the sum is the same no matter how
+        // the work was scheduled — the property that keeps observed runs
+        // bit-identical to unobserved ones.
+        let items: Vec<u64> = (0..257).collect();
+        let mut totals = Vec::new();
+        for threads in [1, 4] {
+            let obs = Obs::enabled();
+            pm_runtime::par_map(&items, threads, |&x| obs.incr("work.items", x));
+            totals.push(obs.counter("work.items"));
+        }
+        assert_eq!(totals[0], totals[1]);
+        assert_eq!(totals[0], (0..257).sum::<u64>());
+    }
+
+    #[test]
+    fn spans_on_workers_record_worker_ids() {
+        let obs = Obs::enabled();
+        let items: Vec<usize> = (0..64).collect();
+        pm_runtime::par_map(&items, 4, |_| {
+            let _s = obs.span("worker.stage");
+        });
+        let r = obs.report();
+        let s = r.stages.iter().find(|s| s.name == "worker.stage").unwrap();
+        assert_eq!(s.calls, 64);
+        assert!(
+            s.workers >= 2,
+            "expected >= 2 distinct workers, got {}",
+            s.workers
+        );
+    }
+
+    #[test]
+    fn degradation_and_quarantine_prefixes_are_sectioned() {
+        let obs = Obs::enabled();
+        obs.incr("degradation.dropped_gps_fixes", 2);
+        obs.incr("quarantine.journeys_dropped", 5);
+        obs.incr("io.lines_read", 100);
+        let r = obs.report();
+        assert_eq!(r.degradations.get("dropped_gps_fixes"), Some(&2));
+        assert_eq!(r.quarantine.get("journeys_dropped"), Some(&5));
+        assert_eq!(r.counters.get("io.lines_read"), Some(&100));
+        assert!(!r.counters.contains_key("degradation.dropped_gps_fixes"));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let obs = Obs::enabled();
+        let clone = obs.clone();
+        clone.incr("shared.count", 1);
+        obs.incr("shared.count", 1);
+        assert_eq!(obs.counter("shared.count"), 2);
+    }
+
+    #[test]
+    fn threads_and_gauges_surface_in_report() {
+        let obs = Obs::enabled();
+        obs.set_threads(4);
+        obs.gauge("input.pois", 1500.0);
+        let r = obs.report();
+        assert_eq!(r.threads, 4);
+        assert_eq!(r.gauges.get("input.pois"), Some(&1500.0));
+        assert!(r.wall_ms >= 0.0);
+    }
+}

@@ -1,0 +1,231 @@
+//! [`RunReport`]: the machine-readable summary of one observed run.
+//!
+//! The JSON schema (`pm-obs/1`) is deliberately boring and stable: objects
+//! with sorted keys, stages sorted by name, fixed-precision milliseconds.
+//! CI archives these documents per commit, so two reports from different
+//! builds must diff cleanly field by field.
+
+use crate::json;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Identifier of the serialized report layout.
+pub const SCHEMA: &str = "pm-obs/1";
+
+/// Aggregated timing of one named stage (all spans sharing a name).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageReport {
+    /// Dotted stage name, e.g. `construct.clustering`.
+    pub name: String,
+    /// How many spans closed under this name.
+    pub calls: u64,
+    /// Sum of span durations in milliseconds. For spans timed inside a
+    /// parallel region this is *CPU-ish* time (worker-seconds), not wall
+    /// time; the per-call min/max still bound individual invocations.
+    pub total_ms: f64,
+    /// Fastest single span.
+    pub min_ms: f64,
+    /// Slowest single span.
+    pub max_ms: f64,
+    /// Distinct `pm_runtime` worker slots the spans closed on (the calling
+    /// thread counts as one slot).
+    pub workers: u64,
+}
+
+/// Snapshot of everything an [`Obs`](crate::Obs) handle recorded.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunReport {
+    /// Wall-clock milliseconds from `Obs::enabled()` to the snapshot.
+    pub wall_ms: f64,
+    /// Resolved worker-thread count declared via `Obs::set_threads`.
+    pub threads: u64,
+    /// Per-stage timing, sorted by stage name.
+    pub stages: Vec<StageReport>,
+    /// Plain counters (everything not under a special prefix).
+    pub counters: BTreeMap<String, u64>,
+    /// Counters recorded under `degradation.` (prefix stripped): the
+    /// pipeline's tolerated-trouble tallies.
+    pub degradations: BTreeMap<String, u64>,
+    /// Counters recorded under `quarantine.` (prefix stripped): records
+    /// dropped by lenient ingestion.
+    pub quarantine: BTreeMap<String, u64>,
+    /// Named gauges (last write wins).
+    pub gauges: BTreeMap<String, f64>,
+}
+
+impl RunReport {
+    /// A well-formed all-empty report (what a no-op handle yields).
+    pub fn empty() -> RunReport {
+        RunReport {
+            threads: 1,
+            ..RunReport::default()
+        }
+    }
+
+    /// Serializes to the stable `pm-obs/1` JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n  \"schema\": ");
+        json::write_str(&mut out, SCHEMA);
+        let _ = write!(out, ",\n  \"wall_ms\": {}", json::millis(self.wall_ms));
+        let _ = write!(out, ",\n  \"threads\": {}", self.threads);
+
+        out.push_str(",\n  \"stages\": [");
+        for (i, s) in self.stages.iter().enumerate() {
+            out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            out.push_str("{\"name\": ");
+            json::write_str(&mut out, &s.name);
+            let _ = write!(
+                out,
+                ", \"calls\": {}, \"total_ms\": {}, \"min_ms\": {}, \"max_ms\": {}, \"workers\": {}}}",
+                s.calls,
+                json::millis(s.total_ms),
+                json::millis(s.min_ms),
+                json::millis(s.max_ms),
+                s.workers
+            );
+        }
+        out.push_str(if self.stages.is_empty() { "]" } else { "\n  ]" });
+
+        let write_u64_map = |out: &mut String, key: &str, map: &BTreeMap<String, u64>| {
+            let _ = write!(out, ",\n  \"{key}\": {{");
+            for (i, (k, v)) in map.iter().enumerate() {
+                out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+                json::write_str(out, k);
+                let _ = write!(out, ": {v}");
+            }
+            out.push_str(if map.is_empty() { "}" } else { "\n  }" });
+        };
+        write_u64_map(&mut out, "counters", &self.counters);
+        write_u64_map(&mut out, "degradations", &self.degradations);
+        write_u64_map(&mut out, "quarantine", &self.quarantine);
+
+        out.push_str(",\n  \"gauges\": {");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            json::write_str(&mut out, k);
+            let _ = write!(out, ": {}", json::number(*v));
+        }
+        out.push_str(if self.gauges.is_empty() { "}" } else { "\n  }" });
+
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Renders a human-readable text table (the `--report-format text` view).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "run report ({SCHEMA}): {:.1} ms wall, {} thread(s)",
+            self.wall_ms, self.threads
+        );
+        if !self.stages.is_empty() {
+            let _ = writeln!(
+                out,
+                "  {:<28} {:>7} {:>12} {:>12} {:>12} {:>8}",
+                "stage", "calls", "total ms", "min ms", "max ms", "workers"
+            );
+            for s in &self.stages {
+                let _ = writeln!(
+                    out,
+                    "  {:<28} {:>7} {:>12.3} {:>12.3} {:>12.3} {:>8}",
+                    s.name, s.calls, s.total_ms, s.min_ms, s.max_ms, s.workers
+                );
+            }
+        }
+        let section = |out: &mut String, title: &str, map: &BTreeMap<String, u64>| {
+            if !map.is_empty() {
+                let _ = writeln!(out, "  {title}:");
+                for (k, v) in map {
+                    let _ = writeln!(out, "    {k:<40} {v}");
+                }
+            }
+        };
+        section(&mut out, "counters", &self.counters);
+        section(&mut out, "degradations", &self.degradations);
+        section(&mut out, "quarantine", &self.quarantine);
+        if !self.gauges.is_empty() {
+            let _ = writeln!(out, "  gauges:");
+            for (k, v) in &self.gauges {
+                let _ = writeln!(out, "    {k:<40} {v}");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Obs;
+
+    fn sample() -> RunReport {
+        let obs = Obs::enabled();
+        obs.set_threads(4);
+        {
+            let _a = obs.span("construct.clustering");
+            let _b = obs.span("construct.purify");
+        }
+        obs.incr("construct.coarse_clusters", 12);
+        obs.incr("degradation.dropped_gps_fixes", 0);
+        obs.incr("quarantine.journeys_dropped", 3);
+        obs.gauge("input.pois", 1500.0);
+        obs.report()
+    }
+
+    #[test]
+    fn json_is_stable_and_parseable_shaped() {
+        let r = sample();
+        let a = r.to_json();
+        let b = r.to_json();
+        assert_eq!(a, b, "serialization must be deterministic");
+        // Structural spot checks (no JSON parser in-tree).
+        assert!(a.starts_with("{\n  \"schema\": \"pm-obs/1\""));
+        assert!(a.contains("\"threads\": 4"));
+        assert!(a.contains("\"construct.clustering\""));
+        assert!(a.contains("\"degradations\": {\n    \"dropped_gps_fixes\": 0"));
+        assert!(a.contains("\"quarantine\": {\n    \"journeys_dropped\": 3"));
+        assert!(a.contains("\"input.pois\": 1500"));
+        assert!(a.trim_end().ends_with('}'));
+        // Balanced braces/brackets — cheap well-formedness smoke test.
+        let balance = |open: char, close: char| {
+            a.chars().filter(|&c| c == open).count() == a.chars().filter(|&c| c == close).count()
+        };
+        assert!(balance('{', '}'));
+        assert!(balance('[', ']'));
+    }
+
+    #[test]
+    fn stages_are_sorted_by_name() {
+        let obs = Obs::enabled();
+        {
+            let _z = obs.span("z.last");
+        }
+        {
+            let _a = obs.span("a.first");
+        }
+        let r = obs.report();
+        let names: Vec<&str> = r.stages.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["a.first", "z.last"]);
+    }
+
+    #[test]
+    fn text_rendering_mentions_everything() {
+        let t = sample().to_text();
+        assert!(t.contains("construct.clustering"));
+        assert!(t.contains("counters"));
+        assert!(t.contains("degradations"));
+        assert!(t.contains("quarantine"));
+        assert!(t.contains("input.pois"));
+    }
+
+    #[test]
+    fn empty_report_serializes() {
+        let r = RunReport::empty();
+        let j = r.to_json();
+        assert!(j.contains("\"stages\": []"));
+        assert!(j.contains("\"counters\": {}"));
+        assert!(!r.to_text().is_empty());
+    }
+}

@@ -29,10 +29,33 @@
 //! uses to run the test suite both serially and at 4 threads), falling back
 //! to `1` so a bare library call stays single-threaded unless asked.
 
+use std::cell::Cell;
 use std::num::NonZeroUsize;
 
 /// Environment variable read by [`default_threads`].
 pub const THREADS_ENV: &str = "PM_THREADS";
+
+thread_local! {
+    static WORKER_SLOT: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The worker slot (0-based chunk index) of the `par_map*` region the
+/// calling thread is executing, or `None` outside any parallel region —
+/// including the serial inline path and the thread that invoked the map.
+///
+/// Observability layers use this to tag measurements with the worker that
+/// produced them without threading an id through every closure.
+pub fn current_worker() -> Option<usize> {
+    WORKER_SLOT.with(Cell::get)
+}
+
+/// Runs `f` with [`current_worker`] reporting `slot`.
+fn in_worker<R>(slot: usize, f: impl FnOnce() -> R) -> R {
+    WORKER_SLOT.with(|w| w.set(Some(slot)));
+    let out = f();
+    WORKER_SLOT.with(|w| w.set(None));
+    out
+}
 
 /// Resolves a requested thread count: `0` becomes the machine's available
 /// parallelism (at least 1), anything else is returned unchanged.
@@ -83,18 +106,24 @@ where
     let chunk = chunk_len(items.len(), threads);
     let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
     out.resize_with(items.len(), || None);
+    let f = &f;
     std::thread::scope(|scope| {
-        for (in_chunk, out_chunk) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
-            scope.spawn(|| {
-                for (item, slot) in in_chunk.iter().zip(out_chunk.iter_mut()) {
-                    *slot = Some(f(item));
-                }
+        for (w, (in_chunk, out_chunk)) in items.chunks(chunk).zip(out.chunks_mut(chunk)).enumerate()
+        {
+            scope.spawn(move || {
+                in_worker(w, || {
+                    for (item, slot) in in_chunk.iter().zip(out_chunk.iter_mut()) {
+                        *slot = Some(f(item));
+                    }
+                })
             });
         }
     });
     // Every slot was filled by exactly one worker; a panic in any worker has
     // already propagated out of the scope above.
-    out.into_iter().map(|slot| slot.expect("slot filled")).collect()
+    out.into_iter()
+        .map(|slot| slot.expect("slot filled"))
+        .collect()
 }
 
 /// Parallel map over an index range: `out[i] = f(i)` for `i in 0..n`.
@@ -118,13 +147,17 @@ where
         for (c, out_chunk) in out.chunks_mut(chunk).enumerate() {
             let base = c * chunk;
             scope.spawn(move || {
-                for (off, slot) in out_chunk.iter_mut().enumerate() {
-                    *slot = Some(f(base + off));
-                }
+                in_worker(c, || {
+                    for (off, slot) in out_chunk.iter_mut().enumerate() {
+                        *slot = Some(f(base + off));
+                    }
+                })
             });
         }
     });
-    out.into_iter().map(|slot| slot.expect("slot filled")).collect()
+    out.into_iter()
+        .map(|slot| slot.expect("slot filled"))
+        .collect()
 }
 
 /// Parallel in-place update: `f(&mut items[i])` for every item, returning
@@ -146,16 +179,25 @@ where
     let chunk = chunk_len(items.len(), threads);
     let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
     out.resize_with(items.len(), || None);
+    let f = &f;
     std::thread::scope(|scope| {
-        for (in_chunk, out_chunk) in items.chunks_mut(chunk).zip(out.chunks_mut(chunk)) {
-            scope.spawn(|| {
-                for (item, slot) in in_chunk.iter_mut().zip(out_chunk.iter_mut()) {
-                    *slot = Some(f(item));
-                }
+        for (w, (in_chunk, out_chunk)) in items
+            .chunks_mut(chunk)
+            .zip(out.chunks_mut(chunk))
+            .enumerate()
+        {
+            scope.spawn(move || {
+                in_worker(w, || {
+                    for (item, slot) in in_chunk.iter_mut().zip(out_chunk.iter_mut()) {
+                        *slot = Some(f(item));
+                    }
+                })
             });
         }
     });
-    out.into_iter().map(|slot| slot.expect("slot filled")).collect()
+    out.into_iter()
+        .map(|slot| slot.expect("slot filled"))
+        .collect()
 }
 
 /// Parallel map + **serial, index-ordered** fold.
@@ -250,6 +292,18 @@ mod tests {
     fn more_threads_than_items_is_fine() {
         let items = [1u8, 2, 3];
         assert_eq!(par_map(&items, 64, |x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn worker_ids_cover_all_slots_and_reset() {
+        assert_eq!(current_worker(), None);
+        let items: Vec<usize> = (0..64).collect();
+        let ids = par_map(&items, 4, |_| current_worker());
+        let distinct: std::collections::BTreeSet<usize> = ids.iter().flatten().copied().collect();
+        assert_eq!(distinct, (0..4).collect());
+        // Serial/inline path runs on the calling thread: no worker slot.
+        assert_eq!(par_map(&items, 1, |_| current_worker()), vec![None; 64]);
+        assert_eq!(current_worker(), None);
     }
 
     #[test]

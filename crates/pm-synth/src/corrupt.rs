@@ -292,7 +292,11 @@ mod tests {
     #[test]
     fn disorder_breaks_time_order() {
         let mut corpus = corpus();
-        corrupt_trajectories(&mut corpus, &Corruption::TimestampDisorder { fraction: 1.0 }, 1);
+        corrupt_trajectories(
+            &mut corpus,
+            &Corruption::TimestampDisorder { fraction: 1.0 },
+            1,
+        );
         let disordered = corpus
             .iter()
             .any(|st| st.stays.windows(2).any(|w| w[0].time > w[1].time));

@@ -33,8 +33,8 @@ pub mod poi;
 pub mod trips;
 
 pub use checkin::{generate_checkins, Checkin, SharingProfile};
-pub use corrupt::{corrupt_csv, corrupt_trajectories, Corruption};
 pub use city::{CityModel, District, Tower};
 pub use config::CityConfig;
+pub use corrupt::{corrupt_csv, corrupt_trajectories, Corruption};
 pub use gps::{generate_probe_tracks, GpsConfig, ProbeTrack};
 pub use trips::{TaxiCorpus, TaxiJourney};

@@ -1,10 +1,26 @@
 #!/usr/bin/env bash
-# Tier-1 verification: build, test, and lint the default workspace members
-# (everything except crates/bench, which is opt-in via `cargo bench` —
-# e.g. `cargo bench --bench scaling` or `--bench scaling_threads`).
-# Run from anywhere; works fully offline.
+# Tier-1 verification: format, build, test, lint, document, and perf-smoke
+# the workspace (crates/bench stays out of the default build/test set; its
+# smoke bench is invoked explicitly below). Run from anywhere; works fully
+# offline.
 set -euo pipefail
-cd "$(dirname "$0")/.."
+
+die() {
+    echo "ci.sh: error: $*" >&2
+    exit 1
+}
+
+command -v cargo > /dev/null 2>&1 \
+    || die "cargo not found on PATH — install a Rust toolchain (rustup.rs) first"
+
+workspace="$(cd "$(dirname "$0")/.." 2> /dev/null && pwd)" \
+    || die "cannot resolve the workspace directory from $0"
+[ -f "$workspace/Cargo.toml" ] \
+    || die "$workspace does not look like the workspace root (no Cargo.toml)"
+cd "$workspace"
+
+echo "==> cargo fmt --all -- --check"
+cargo fmt --all -- --check
 
 echo "==> cargo build --release"
 cargo build --release
@@ -12,13 +28,25 @@ cargo build --release
 # The pipeline must be bit-deterministic across thread counts (DESIGN.md §9):
 # run the whole suite serially and again with the 4-worker default, so every
 # test — not just the dedicated parity ones — exercises both schedules.
-echo "==> cargo test -q (PM_THREADS=1)"
-PM_THREADS=1 cargo test -q
-
-echo "==> cargo test -q (PM_THREADS=4)"
-PM_THREADS=4 cargo test -q
+for threads in 1 4; do
+    echo "==> cargo test -q (PM_THREADS=$threads)"
+    PM_THREADS=$threads cargo test -q
+done
 
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
+
+echo "==> cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
+
+# Perf smoke: the whole-pipeline bench in quick mode (seconds, not minutes).
+# Its BENCH_pipeline.json is the per-commit performance record CI archives.
+# Cargo runs bench binaries from the package directory, so pin the output
+# to the workspace root explicitly.
+echo "==> cargo bench -p pm-bench --bench pipeline (PM_BENCH_SMOKE=1)"
+PM_BENCH_SMOKE=1 PM_BENCH_OUT="$workspace/BENCH_pipeline.json" \
+    cargo bench -p pm-bench --bench pipeline
+[ -s BENCH_pipeline.json ] \
+    || die "bench smoke did not write BENCH_pipeline.json"
 
 echo "==> ci.sh: all green"

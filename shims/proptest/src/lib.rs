@@ -3,7 +3,7 @@
 //! The sandboxed build environment cannot fetch crates, so this in-tree shim
 //! implements the subset of proptest the workspace's test suites use:
 //!
-//! - the [`Strategy`] trait with `prop_map`, implemented for numeric ranges
+//! - the [`Strategy`](crate::strategy::Strategy) trait with `prop_map`, implemented for numeric ranges
 //!   and tuples of strategies;
 //! - `prop::collection::vec` with exact or ranged sizes;
 //! - the `proptest!` macro (including `#![proptest_config(..)]`) and the
@@ -93,9 +93,9 @@ macro_rules! __proptest_impl {
 macro_rules! prop_assume {
     ($cond:expr $(,)?) => {
         if !$cond {
-            return ::std::result::Result::Err(
-                $crate::test_runner::TestCaseError::reject(stringify!($cond)),
-            );
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
         }
     };
 }

@@ -126,7 +126,7 @@ tuple_strategy!(
     (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7),
 );
 
-/// Element-count specification for [`vec`]: an exact size or a half-open /
+/// Element-count specification for [`vec()`]: an exact size or a half-open /
 /// inclusive range of sizes.
 #[derive(Clone, Debug)]
 pub struct SizeRange {
@@ -170,7 +170,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// The result of [`vec`].
+/// The result of [`vec()`].
 #[derive(Clone, Debug)]
 pub struct VecStrategy<S> {
     element: S,

@@ -28,7 +28,8 @@ fn run_pipeline(
     events.extend(csd.degradations().iter().copied());
     let recognized =
         recognize_all_tracked(&csd, trajectories, params, &mut events).expect("valid params");
-    let patterns = extract_patterns_tracked(&recognized, params, &mut events).expect("valid params");
+    let patterns =
+        extract_patterns_tracked(&recognized, params, &mut events).expect("valid params");
     (patterns, events)
 }
 
@@ -72,7 +73,10 @@ fn every_corruption_mode_survives_under_four_threads() {
     // (Byte-level serial/parallel parity is asserted in parallel_parity.rs;
     // this guards the degradation paths themselves under threading.)
     let (ds, params) = tiny_scene();
-    let params = MinerParams { threads: 4, ..params };
+    let params = MinerParams {
+        threads: 4,
+        ..params
+    };
     for corruption in Corruption::standard_suite(0.5) {
         let mut trajectories = ds.trajectories.clone();
         corrupt_trajectories(&mut trajectories, &corruption, 99);
@@ -110,8 +114,7 @@ fn stacked_corruptions_survive_every_extractor() {
 
     let stays = stay_points_of(&trajectories);
     let csd = CitySemanticDiagram::build(&ds.pois, &stays, &params).expect("valid params");
-    let recognized =
-        recognize_all(&csd, trajectories.clone(), &params).expect("valid params");
+    let recognized = recognize_all(&csd, trajectories.clone(), &params).expect("valid params");
     let baseline = BaselineParams::default();
 
     // The paper pipeline and both baseline extractors must all survive.

@@ -4,8 +4,11 @@
 //! produce byte-identical patterns, metrics, and degradation events — on
 //! clean corpora and under fault injection alike.
 
-use pervasive_miner::core::extract::extract_patterns_tracked;
-use pervasive_miner::core::recognize::{recognize_all_tracked, stay_points_of};
+use pervasive_miner::core::construct::ConstructionOptions;
+use pervasive_miner::core::extract::{extract_patterns_observed, extract_patterns_tracked};
+use pervasive_miner::core::recognize::{
+    recognize_all_observed, recognize_all_tracked, stay_points_of,
+};
 use pervasive_miner::core::types::Poi;
 use pervasive_miner::prelude::*;
 use pervasive_miner::synth::{corrupt_trajectories, Corruption};
@@ -28,6 +31,33 @@ fn run_pipeline(
         recognize_all_tracked(&csd, trajectories, &params, &mut events).expect("valid params");
     let patterns =
         extract_patterns_tracked(&recognized, &params, &mut events).expect("valid params");
+    (patterns, events)
+}
+
+/// Same pipeline through the `*_observed` entry points with a live [`Obs`].
+fn run_pipeline_observed(
+    pois: &[Poi],
+    trajectories: Vec<SemanticTrajectory>,
+    params: &MinerParams,
+    threads: usize,
+    obs: &Obs,
+) -> (Vec<FinePattern>, Vec<Degradation>) {
+    let params = MinerParams { threads, ..*params };
+    let mut events = Vec::new();
+    let stays = stay_points_of(&trajectories);
+    let csd = CitySemanticDiagram::build_observed(
+        pois,
+        &stays,
+        &params,
+        ConstructionOptions::default(),
+        obs,
+    )
+    .expect("valid params");
+    events.extend(csd.degradations().iter().copied());
+    let recognized = recognize_all_observed(&csd, trajectories, &params, &mut events, obs)
+        .expect("valid params");
+    let patterns =
+        extract_patterns_observed(&recognized, &params, &mut events, obs).expect("valid params");
     (patterns, events)
 }
 
@@ -85,6 +115,45 @@ fn synthetic_corpora_are_bit_identical_across_thread_counts() {
                 "seed {seed}, threads {threads}"
             );
         }
+    }
+}
+
+#[test]
+fn observability_never_perturbs_results() {
+    // Observability is strictly one-way: a live `Obs` recording every span
+    // and counter must reproduce the no-op run byte for byte, serial and
+    // parallel alike. (The obs handle itself is the only thing allowed to
+    // differ between the two runs.)
+    let ds = Dataset::generate(&CityConfig::tiny(2026));
+    let params = MinerParams {
+        sigma: 20,
+        ..MinerParams::default()
+    };
+    for threads in [1, 4] {
+        let (np, ne) = run_pipeline(&ds.pois, ds.trajectories.clone(), &params, threads);
+        let obs = Obs::enabled();
+        let (op, oe) =
+            run_pipeline_observed(&ds.pois, ds.trajectories.clone(), &params, threads, &obs);
+        assert_eq!(
+            fingerprint(&np, &ne),
+            fingerprint(&op, &oe),
+            "threads {threads}"
+        );
+        // And the recording really happened: the report carries the whole
+        // construct -> recognize -> extract stage inventory.
+        let report = obs.report();
+        let stages: Vec<&str> = report.stages.iter().map(|s| s.name.as_str()).collect();
+        for want in [
+            "construct.clustering",
+            "construct.purify",
+            "construct.merge",
+            "recognize.vote",
+            "extract.prefixspan",
+            "extract.counterpart",
+        ] {
+            assert!(stages.contains(&want), "missing stage {want}: {stages:?}");
+        }
+        assert!(report.counters["recognize.votes_cast"] > 0);
     }
 }
 
