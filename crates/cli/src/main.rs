@@ -3,6 +3,9 @@
 //! ```text
 //! pervasive-miner mine   [--scale tiny|small|paper] [--seed N] [--sigma N]
 //!                        [--pois FILE --journeys FILE] [--lenient]
+//!                        [--artifact FILE] [--top N]
+//! pervasive-miner serve  --artifact FILE [--addr HOST:PORT] [--threads N]
+//! pervasive-miner artifact-check <FILE>
 //! pervasive-miner fig    <6|9|10|11|12|13|14>  [--scale ..] [--seed N] [--csv DIR]
 //! pervasive-miner table  <1|3>                 [--scale ..] [--seed N]
 //! pervasive-miner all    [--scale ..] [--seed N] [--csv DIR]
@@ -19,6 +22,11 @@
 //! malformed line aborts with its line number — unless `--lenient` is
 //! passed, which quarantines malformed records, mines what remains, and
 //! prints a dropped-records summary to stderr.
+//!
+//! `mine --artifact` additionally persists the full run (CSD + patterns +
+//! parameters) as a versioned `pm-store` artifact; `serve` loads such an
+//! artifact and answers semantic queries over HTTP; `artifact-check`
+//! verifies an artifact on disk re-serializes byte-identically.
 
 use pervasive_miner::core::construct::ConstructionOptions;
 use pervasive_miner::core::recognize::stay_points_of;
@@ -29,8 +37,11 @@ use pervasive_miner::io::{
     QuarantineReport,
 };
 use pervasive_miner::prelude::*;
+use pervasive_miner::serve::{ServeConfig, Server, Snapshot};
+use pervasive_miner::store::Artifact;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 struct Args {
     command: String,
@@ -46,6 +57,9 @@ struct Args {
     threads: Option<usize>,
     report: Option<PathBuf>,
     report_format: ReportFormat,
+    artifact: Option<PathBuf>,
+    top: usize,
+    addr: String,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -71,6 +85,9 @@ fn parse_args() -> Result<Args, String> {
         threads: None,
         report: None,
         report_format: ReportFormat::Json,
+        artifact: None,
+        top: 20,
+        addr: "127.0.0.1:8080".into(),
     };
     let mut positional = Vec::new();
     while let Some(a) = argv.next() {
@@ -117,6 +134,17 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("bad --threads: {e}"))?,
                 )
             }
+            "--artifact" => {
+                args.artifact = Some(PathBuf::from(argv.next().ok_or("--artifact needs a file")?))
+            }
+            "--top" => {
+                args.top = argv
+                    .next()
+                    .ok_or("--top needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --top: {e}"))?
+            }
+            "--addr" => args.addr = argv.next().ok_or("--addr needs host:port")?,
             other if !other.starts_with('-') => positional.push(other.to_string()),
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
@@ -126,10 +154,11 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: pervasive-miner <mine|fig|table|all|svg> [target] \
+    "usage: pervasive-miner <mine|serve|artifact-check|fig|table|all|svg> [target] \
      [--scale tiny|small|paper] [--seed N] [--sigma N] [--csv DIR] [--out FILE] \
      [--pois FILE --journeys FILE] [--lenient] [--threads N] \
-     [--report FILE] [--report-format json|text]\n\
+     [--report FILE] [--report-format json|text] \
+     [--artifact FILE] [--top N] [--addr HOST:PORT]\n\
      --pois/--journeys: mine real CSV data instead of a synthetic city\n\
      --lenient: quarantine malformed input lines instead of aborting on the \
      first one; a dropped-records summary goes to stderr\n\
@@ -138,7 +167,14 @@ fn usage() -> String {
      Results are bit-identical at every thread count\n\
      --report: write a machine-readable run report (per-stage wall time, \
      counters, degradation/quarantine tallies) after `mine`; \
-     --report-format picks json (default) or a text table"
+     --report-format picks json (default) or a text table\n\
+     --artifact: with `mine`, also write the run as a pm-store artifact; \
+     with `serve`, the artifact to load (required)\n\
+     --top: how many patterns `mine` prints (default 20)\n\
+     --addr: `serve` listen address (default 127.0.0.1:8080; port 0 picks \
+     an ephemeral port, announced on stderr)\n\
+     artifact-check <FILE>: reload an artifact and verify it re-serializes \
+     byte-identically"
         .into()
 }
 
@@ -177,6 +213,17 @@ fn run() -> Result<(), String> {
 
     if args.report.is_some() && args.command != "mine" {
         return Err("--report only applies to the `mine` command".into());
+    }
+    if args.artifact.is_some() && args.command != "mine" && args.command != "serve" {
+        return Err("--artifact only applies to the `mine` and `serve` commands".into());
+    }
+
+    // Commands that operate on a stored artifact never need a synthetic
+    // city — branch before dataset generation.
+    match args.command.as_str() {
+        "serve" => return serve_command(&args),
+        "artifact-check" => return artifact_check(&args),
+        _ => {}
     }
 
     if args.pois.is_some() || args.journeys.is_some() {
@@ -218,8 +265,27 @@ fn run() -> Result<(), String> {
 
 fn mine(ds: &Dataset, params: &MinerParams, args: &Args) -> Result<(), String> {
     let obs = observer(args, params);
-    mine_pipeline(&ds.pois, ds.trajectories.clone(), params, &obs)?;
+    let (csd, patterns) = mine_pipeline(&ds.pois, ds.trajectories.clone(), params, &obs, args.top)?;
+    // Synthetic cities live in a local meter frame with no geographic
+    // anchor, so the artifact carries no projection.
+    write_artifact(args, Artifact::new(csd, patterns, *params))?;
     write_report(args, &obs)
+}
+
+/// Persists the mined run when `--artifact` was requested.
+fn write_artifact(args: &Args, artifact: Artifact) -> Result<(), String> {
+    let Some(path) = &args.artifact else {
+        return Ok(());
+    };
+    artifact
+        .write_file(path)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    eprintln!(
+        "wrote artifact to {} ({})",
+        path.display(),
+        artifact.describe()
+    );
+    Ok(())
 }
 
 /// A recording handle when `--report` was requested, the no-op otherwise.
@@ -261,7 +327,7 @@ fn mine_ingested(args: &Args, params: &MinerParams) -> Result<(), String> {
         IngestMode::Strict
     };
     // The paper's deployment frame: a local meter grid anchored at Shanghai.
-    let projection = Projection::new(GeoPoint::new(121.4737, 31.2304));
+    let projection = pervasive_miner::io::default_projection();
     let read = |path: &Path| -> Result<String, String> {
         std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))
     };
@@ -295,8 +361,64 @@ fn mine_ingested(args: &Args, params: &MinerParams) -> Result<(), String> {
         trajectories.len(),
         params.sigma
     );
-    mine_pipeline(&pois, trajectories, params, &obs)?;
+    let (csd, patterns) = mine_pipeline(&pois, trajectories, params, &obs, args.top)?;
+    // Ingested data is geographic: store the shared origin so the service
+    // can answer lat/lon queries in the same frame.
+    write_artifact(
+        args,
+        Artifact::new(csd, patterns, *params).with_projection(pervasive_miner::io::DEFAULT_ORIGIN),
+    )?;
     write_report(args, &obs)
+}
+
+/// Loads an artifact and serves semantic queries over HTTP until killed
+/// (or the listener fails). The bound address goes to stderr so scripts
+/// can use `--addr 127.0.0.1:0` and discover the ephemeral port.
+fn serve_command(args: &Args) -> Result<(), String> {
+    let path = args
+        .artifact
+        .as_ref()
+        .ok_or("serve needs --artifact FILE (produce one with `mine --artifact`)")?;
+    let artifact = Artifact::read_file(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    eprintln!("loaded {}: {}", path.display(), artifact.describe());
+    let snapshot = Snapshot::new(artifact).map_err(|e| format!("{}: {e}", path.display()))?;
+
+    let config = ServeConfig {
+        threads: args.threads.unwrap_or(0),
+        ..ServeConfig::default()
+    };
+    let obs = Obs::enabled();
+    let server = Server::bind(&args.addr, Arc::new(snapshot), config, obs)
+        .map_err(|e| format!("bind {}: {e}", args.addr))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    eprintln!("listening on {addr}");
+    server.run().map_err(|e| format!("serve: {e}"))
+}
+
+/// Reloads an artifact and proves it re-serializes byte-identically —
+/// the on-disk integrity check scripts run after `mine --artifact`.
+fn artifact_check(args: &Args) -> Result<(), String> {
+    let path = args
+        .target
+        .as_ref()
+        .map(PathBuf::from)
+        .or_else(|| args.artifact.clone())
+        .ok_or("artifact-check needs a path: artifact-check <FILE>")?;
+    let bytes = std::fs::read(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let artifact = Artifact::from_bytes(&bytes).map_err(|e| format!("{}: {e}", path.display()))?;
+    if artifact.to_bytes() != bytes {
+        return Err(format!(
+            "{}: re-serialization differs from the stored bytes",
+            path.display()
+        ));
+    }
+    println!(
+        "{}: ok — {} bytes, {}",
+        path.display(),
+        bytes.len(),
+        artifact.describe()
+    );
+    Ok(())
 }
 
 fn report_quarantine(path: &Path, report: &QuarantineReport) {
@@ -310,7 +432,8 @@ fn mine_pipeline(
     trajectories: Vec<SemanticTrajectory>,
     params: &MinerParams,
     obs: &Obs,
-) -> Result<(), String> {
+    top: usize,
+) -> Result<(CitySemanticDiagram, Vec<FinePattern>), String> {
     let mut events = Vec::new();
     let stays = stay_points_of(&trajectories);
     let csd = CitySemanticDiagram::build_observed(
@@ -346,7 +469,7 @@ fn mine_pipeline(
         "{} fine-grained patterns, coverage {}, avg sparsity {:.1} m, avg consistency {:.3}",
         summary.n_patterns, summary.coverage, summary.avg_sparsity, summary.avg_consistency
     );
-    for p in patterns.iter().take(20) {
+    for p in patterns.iter().take(top) {
         let m = pervasive_miner::core::metrics::pattern_metrics(p);
         println!(
             "  {:<55} support {:>5}  sparsity {:>6.1} m  consistency {:.3}",
@@ -356,7 +479,7 @@ fn mine_pipeline(
             m.semantic_consistency
         );
     }
-    Ok(())
+    Ok((csd, patterns))
 }
 
 fn svg(ds: &Dataset, params: &MinerParams, args: &Args) -> Result<(), String> {

@@ -16,6 +16,9 @@
 //!   with strict and lenient (quarantining) modes.
 //! - [`obs`]: observability — stage spans, counters/gauges, and
 //!   machine-readable run reports (see the CLI's `--report` flag).
+//! - [`store`]: versioned, checksummed binary artifacts persisting a
+//!   complete mining run (CSD + patterns).
+//! - [`serve`]: the online HTTP query service over a stored artifact.
 //!
 //! See `examples/quickstart.rs` for the canonical end-to-end flow.
 
@@ -27,6 +30,8 @@ pub use pm_geo as geo;
 pub use pm_io as io;
 pub use pm_obs as obs;
 pub use pm_seqmine as seqmine;
+pub use pm_serve as serve;
+pub use pm_store as store;
 pub use pm_synth as synth;
 
 /// Convenience prelude: everything a pipeline application needs.

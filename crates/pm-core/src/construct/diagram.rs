@@ -243,9 +243,94 @@ impl CitySemanticDiagram {
         })
     }
 
+    /// Reassembles a diagram from previously serialized parts — the
+    /// constructor behind `pm-store` artifact loading.
+    ///
+    /// The caller provides exactly the state a build would have produced:
+    /// the retained POIs, their Eq. 3 popularity, the final units, the build
+    /// stats, the tolerated degradations, and the grid cell size the build
+    /// used (`MinerParams::r3sigma` at build time). Derived state — the
+    /// POI→unit ownership map and the spatial index — is reconstructed
+    /// deterministically, so a reassembled diagram is behaviourally
+    /// identical to the one that was serialized.
+    ///
+    /// Fails with a typed [`MinerError::Construct`] (never panics) when the
+    /// parts are inconsistent: popularity length mismatch, unit members out
+    /// of range or owned by two units, or a non-positive cell size.
+    pub fn from_parts(
+        pois: Vec<Poi>,
+        popularity: Vec<f64>,
+        units: Vec<SemanticUnit>,
+        stats: BuildStats,
+        degradations: Vec<Degradation>,
+        cell_size: f64,
+    ) -> Result<Self, MinerError> {
+        if popularity.len() != pois.len() {
+            return Err(MinerError::construct(format!(
+                "popularity length {} does not match POI count {}",
+                popularity.len(),
+                pois.len()
+            )));
+        }
+        if !(cell_size.is_finite() && cell_size > 0.0) {
+            return Err(MinerError::construct(format!(
+                "grid cell size must be positive and finite, got {cell_size}"
+            )));
+        }
+        let mut unit_of = vec![None; pois.len()];
+        for (uid, unit) in units.iter().enumerate() {
+            for &i in &unit.members {
+                if i >= pois.len() {
+                    return Err(MinerError::construct(format!(
+                        "unit {uid} references POI {i} out of range ({} POIs)",
+                        pois.len()
+                    )));
+                }
+                if let Some(prev) = unit_of[i] {
+                    return Err(MinerError::construct(format!(
+                        "POI {i} owned by two units ({prev} and {uid})"
+                    )));
+                }
+                unit_of[i] = Some(uid);
+            }
+        }
+        let positions: Vec<LocalPoint> = pois.iter().map(|p| p.pos).collect();
+        let index = GridIndex::build(&positions, cell_size);
+        Ok(Self {
+            pois,
+            popularity,
+            units,
+            unit_of,
+            index,
+            stats,
+            degradations,
+        })
+    }
+
     /// The fine-grained semantic units.
     pub fn units(&self) -> &[SemanticUnit] {
         &self.units
+    }
+
+    /// The Eq. 3 popularity of every retained POI, aligned with
+    /// [`Self::pois`] — the serialization counterpart of
+    /// [`Self::popularity`].
+    pub fn popularities(&self) -> &[f64] {
+        &self.popularity
+    }
+
+    /// The cell size the spatial index was *requested* with
+    /// (`MinerParams::r3sigma` at build time) — what a serializer must
+    /// store so [`Self::from_parts`] can rebuild the same index.
+    pub fn grid_cell_size(&self) -> f64 {
+        self.index.requested_cell_size()
+    }
+
+    /// The *effective* cell size of the spatial index (the requested size,
+    /// possibly inflated by the grid's memory cap) — an integrity probe for
+    /// artifact loaders.
+    pub fn grid_cell_size_effective(&self) -> f64 {
+        self.index.cell_size()
     }
 
     /// The POI database the diagram organizes.

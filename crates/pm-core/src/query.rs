@@ -273,4 +273,71 @@ mod tests {
         let ps = sample();
         assert_eq!(PatternQuery::new().run(&ps).len(), 3);
     }
+
+    #[test]
+    fn all_filters_compose_with_and_semantics() {
+        let ps = sample();
+        // Every filter at once, tuned so exactly the commute survives.
+        let q = PatternQuery::new()
+            .from_category(Category::Residence)
+            .to_category(Category::Business)
+            .involving(Category::Residence)
+            .within(BoundingBox::new(
+                LocalPoint::new(-100.0, -100.0),
+                LocalPoint::new(3_000.0, 100.0),
+            ))
+            .near(LocalPoint::new(2_000.0, 0.0), 50.0)
+            .in_bucket(WeekBucket::WeekdayMorning)
+            .min_support(50)
+            .min_len(2)
+            .max_len(2);
+        let hits = q.run(&ps);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].support(), 80);
+        // Tightening any single leg of the conjunction empties the result.
+        assert!(q.clone().min_support(81).run(&ps).is_empty());
+        assert!(q
+            .clone()
+            .in_bucket(WeekBucket::WeekendMorning)
+            .run(&ps)
+            .is_empty());
+        assert!(q.clone().to_category(Category::Medical).run(&ps).is_empty());
+        assert!(q
+            .near(LocalPoint::new(9_000.0, 0.0), 1.0)
+            .run(&ps)
+            .is_empty());
+    }
+
+    #[test]
+    fn contradictory_filters_return_empty_not_error() {
+        let ps = sample();
+        let q = PatternQuery::new().min_len(3).max_len(2);
+        assert!(q.run(&ps).is_empty());
+        assert!(q.top_k(&ps, 10).is_empty());
+        let q = PatternQuery::new()
+            .from_category(Category::Medical)
+            .to_category(Category::Medical);
+        assert!(q.run(&ps).is_empty());
+    }
+
+    #[test]
+    fn length_bounds_are_inclusive() {
+        let ps = sample();
+        // min_len == max_len == exact length selects precisely that length.
+        let q = PatternQuery::new().min_len(3).max_len(3);
+        let hits = q.run(&ps);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].len(), 3);
+        // Degenerate bounds: min_len(0) keeps everything non-empty,
+        // max_len(0) keeps nothing (empty patterns never match).
+        assert_eq!(PatternQuery::new().min_len(0).run(&ps).len(), 3);
+        assert!(PatternQuery::new().max_len(0).run(&ps).is_empty());
+        let empty = FinePattern {
+            categories: Vec::new(),
+            stays: Vec::new(),
+            members: Vec::new(),
+            groups: Vec::new(),
+        };
+        assert!(!PatternQuery::new().matches(&empty));
+    }
 }

@@ -161,26 +161,41 @@ pub fn recognize_stay_point_full(
     kernel: &GaussianKernel,
     pos: LocalPoint,
 ) -> (Tags, Option<Category>) {
-    let (tags, primary, _ballots) = vote(csd, kernel, pos);
+    let (_unit, tags, primary, _ballots) = vote(csd, kernel, pos);
     (tags, primary)
 }
 
-/// The voting core of Algorithm 3, additionally reporting how many ballots
-/// were cast (one per in-range unit-owned POI) so observed runs can count
-/// voting work without a second range query.
+/// Like [`recognize_stay_point_full`], additionally returning the id of the
+/// winning semantic unit (an index into
+/// [`CitySemanticDiagram::units`](crate::construct::CitySemanticDiagram::units)).
+/// This is the point-lookup primitive of the online query service: "which
+/// unit am I standing in, and what happens there?". `None` when no
+/// unit-owned POI lies within the kernel cutoff of `pos`.
+pub fn recognize_stay_point_unit(
+    csd: &CitySemanticDiagram,
+    kernel: &GaussianKernel,
+    pos: LocalPoint,
+) -> (Option<usize>, Tags, Option<Category>) {
+    let (unit, tags, primary, _ballots) = vote(csd, kernel, pos);
+    (unit, tags, primary)
+}
+
+/// The voting core of Algorithm 3, additionally reporting the winning unit
+/// id and how many ballots were cast (one per in-range unit-owned POI) so
+/// observed runs can count voting work without a second range query.
 fn vote(
     csd: &CitySemanticDiagram,
     kernel: &GaussianKernel,
     pos: LocalPoint,
-) -> (Tags, Option<Category>, u64) {
+) -> (Option<usize>, Tags, Option<Category>, u64) {
     // A non-finite query position has no meaningful neighbourhood; the stay
     // point remains untagged rather than poisoning the vote weights.
     if !(pos.x.is_finite() && pos.y.is_finite()) {
-        return (Tags::EMPTY, None, 0);
+        return (None, Tags::EMPTY, None, 0);
     }
     let in_range = csd.range(pos, kernel.cutoff());
     if in_range.is_empty() {
-        return (Tags::EMPTY, None, 0);
+        return (None, Tags::EMPTY, None, 0);
     }
     // Sparse vote accumulation: the candidate unit list is tiny (a handful
     // of units overlap a 100 m disk), so linear scans beat hashing.
@@ -214,14 +229,14 @@ fn vote(
         .map(|(i, _)| i)
     else {
         // No unit-owned POI in range: the stay point stays untagged.
-        return (Tags::EMPTY, None, ballots);
+        return (None, Tags::EMPTY, None, ballots);
     };
     let primary = cat_votes[hv]
         .iter()
         .enumerate()
         .max_by(|a, b| a.1.total_cmp(b.1))
         .map(|(c, _)| Category::from_index(c));
-    (tags[hv], primary, ballots)
+    (Some(unit_ids[hv]), tags[hv], primary, ballots)
 }
 
 /// Algorithm 3 in full: recognizes the semantic property of every stay point
@@ -278,7 +293,7 @@ pub fn recognize_all_observed(
                     sp.primary = None;
                     continue;
                 }
-                let (tags, primary, b) = vote(csd, &kernel, sp.pos);
+                let (_unit, tags, primary, b) = vote(csd, &kernel, sp.pos);
                 ballots += b;
                 if tags.is_empty() {
                     untagged += 1;

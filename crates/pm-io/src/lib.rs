@@ -34,3 +34,14 @@ pub use pois::{
     parse_category, read_pois, read_pois_observed, read_pois_threads, read_pois_with, write_pois,
 };
 pub use quarantine::{IngestMode, QuarantineReport};
+
+/// WGS-84 anchor of the paper's deployment frame: central Shanghai, where
+/// the evaluation corpus was collected. Every tool that exchanges
+/// geographic CSV data (the CLI, the example exporter, the query service)
+/// shares this origin so their local meter frames coincide.
+pub const DEFAULT_ORIGIN: pm_geo::GeoPoint = pm_geo::GeoPoint::new(121.4737, 31.2304);
+
+/// The projection anchored at [`DEFAULT_ORIGIN`].
+pub fn default_projection() -> pm_geo::Projection {
+    pm_geo::Projection::new(DEFAULT_ORIGIN)
+}

@@ -9,6 +9,9 @@
 //!   **pre-sized output slots**;
 //! - [`par_map_reduce`]: a parallel map whose results are folded **serially
 //!   in index order**.
+//! - [`WorkerPool`]: a fixed pool of long-lived workers over a **bounded**
+//!   job queue, for online services that must shed load instead of queueing
+//!   without bound (see [`pool`]).
 //!
 //! # Determinism contract
 //!
@@ -31,6 +34,10 @@
 
 use std::cell::Cell;
 use std::num::NonZeroUsize;
+
+pub mod pool;
+
+pub use pool::{SubmitError, WorkerPool};
 
 /// Environment variable read by [`default_threads`].
 pub const THREADS_ENV: &str = "PM_THREADS";

@@ -1,0 +1,323 @@
+//! [`WorkerPool`]: a fixed pool of long-lived worker threads with a
+//! **bounded** job queue.
+//!
+//! The fork–join maps in the crate root fit batch pipeline stages, where the
+//! work is known up front. A network service has the opposite shape: jobs
+//! arrive one at a time, forever, and the server must *refuse* work beyond
+//! its capacity rather than queue without bound. This pool provides exactly
+//! that contract:
+//!
+//! - `threads` workers are spawned once and reused for every job;
+//! - the queue holds at most `queue_capacity` pending jobs; submission past
+//!   that fails fast with [`SubmitError::Full`] so the caller can shed load
+//!   (pm-serve turns this into an HTTP `503`);
+//! - [`WorkerPool::shutdown`] drains the queue, then joins every worker —
+//!   jobs already accepted are always run.
+//!
+//! Workers report their slot through [`current_worker`](crate::current_worker),
+//! so observability spans recorded inside pool jobs carry worker ids exactly
+//! like spans inside `par_map` regions. A panicking job poisons nothing:
+//! the panic is contained to the job and the worker moves on.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Why a job submission was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The pending-job queue is at capacity; shed load or retry later.
+    Full,
+    /// The pool is shutting down and accepts no new work.
+    ShuttingDown,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Full => write!(f, "worker pool queue is full"),
+            SubmitError::ShuttingDown => write!(f, "worker pool is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+struct PoolState {
+    queue: Mutex<VecDeque<Job>>,
+    /// Signalled when a job is pushed or shutdown begins.
+    wake: Condvar,
+    shutting_down: AtomicBool,
+    capacity: usize,
+}
+
+/// A fixed-size worker pool over a bounded queue. See the module docs.
+pub struct WorkerPool {
+    state: Arc<PoolState>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.workers.len())
+            .field("capacity", &self.state.capacity)
+            .field("queued", &self.queued())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns `threads` workers (resolved through
+    /// [`resolve_threads`](crate::resolve_threads), so `0` means all cores)
+    /// sharing a queue of at most `queue_capacity` pending jobs
+    /// (`queue_capacity == 0` degenerates to "reject unless a worker is
+    /// already free to pick the job up", which still admits one job at a
+    /// time; it is clamped to 1).
+    pub fn new(threads: usize, queue_capacity: usize) -> WorkerPool {
+        let threads = crate::resolve_threads(threads);
+        let state = Arc::new(PoolState {
+            queue: Mutex::new(VecDeque::new()),
+            wake: Condvar::new(),
+            shutting_down: AtomicBool::new(false),
+            capacity: queue_capacity.max(1),
+        });
+        let workers = (0..threads)
+            .map(|slot| {
+                let state = Arc::clone(&state);
+                std::thread::spawn(move || worker_loop(slot, &state))
+            })
+            .collect();
+        WorkerPool { state, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Jobs currently pending (not yet picked up by a worker).
+    pub fn queued(&self) -> usize {
+        self.state
+            .queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
+    }
+
+    /// Submits a job, failing fast instead of blocking: [`SubmitError::Full`]
+    /// when the queue is at capacity, [`SubmitError::ShuttingDown`] after
+    /// [`WorkerPool::shutdown`] has begun.
+    pub fn try_execute<F>(&self, job: F) -> Result<(), SubmitError>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        if self.state.shutting_down.load(Ordering::Acquire) {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let mut queue = self
+            .state
+            .queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if queue.len() >= self.state.capacity {
+            return Err(SubmitError::Full);
+        }
+        queue.push_back(Box::new(job));
+        drop(queue);
+        self.state.wake.notify_one();
+        Ok(())
+    }
+
+    /// Graceful shutdown: stops accepting work, lets the workers drain every
+    /// job already queued, then joins them. Blocks until all workers exit.
+    pub fn shutdown(mut self) {
+        self.begin_shutdown();
+        for handle in self.workers.drain(..) {
+            // A worker that panicked outside a caught job is already
+            // accounted for; joining must not re-panic the caller.
+            let _ = handle.join();
+        }
+    }
+
+    fn begin_shutdown(&self) {
+        self.state.shutting_down.store(true, Ordering::Release);
+        self.state.wake.notify_all();
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Dropping without an explicit shutdown still terminates the workers
+        // (after draining), so tests and error paths cannot leak threads.
+        self.begin_shutdown();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(slot: usize, state: &PoolState) {
+    loop {
+        let job = {
+            let mut queue = state
+                .queue
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                if state.shutting_down.load(Ordering::Acquire) {
+                    return;
+                }
+                queue = state
+                    .wake
+                    .wait(queue)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        // Contain job panics to the job: the worker survives to serve the
+        // next one, mirroring a request handler that must not take the
+        // server down.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            crate::in_worker(slot, job);
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    #[test]
+    fn runs_submitted_jobs() {
+        let pool = WorkerPool::new(4, 64);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            loop {
+                let c = Arc::clone(&counter);
+                if pool
+                    .try_execute(move || {
+                        c.fetch_add(1, Ordering::SeqCst);
+                    })
+                    .is_ok()
+                {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn full_queue_sheds_instead_of_blocking() {
+        // One worker held busy; capacity 2 -> the 4th..nth submissions after
+        // the blocker must start failing with Full at some point.
+        let pool = WorkerPool::new(1, 2);
+        let gate = Arc::new(AtomicBool::new(false));
+        let g = Arc::clone(&gate);
+        pool.try_execute(move || {
+            while !g.load(Ordering::Acquire) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        })
+        .expect("first job accepted");
+        // Fill the queue (the blocker may or may not have been dequeued yet,
+        // so up to capacity + 1 submissions can succeed).
+        let mut rejected = false;
+        for _ in 0..4 {
+            if pool.try_execute(|| {}) == Err(SubmitError::Full) {
+                rejected = true;
+                break;
+            }
+        }
+        assert!(rejected, "bounded queue must reject past capacity");
+        gate.store(true, Ordering::Release);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_jobs() {
+        let pool = WorkerPool::new(2, 128);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let n = 50;
+        for _ in 0..n {
+            let c = Arc::clone(&counter);
+            pool.try_execute(move || {
+                std::thread::sleep(Duration::from_micros(200));
+                c.fetch_add(1, Ordering::SeqCst);
+            })
+            .expect("queue has room");
+        }
+        pool.shutdown();
+        assert_eq!(
+            counter.load(Ordering::SeqCst),
+            n,
+            "every accepted job must run before shutdown returns"
+        );
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_the_worker() {
+        let pool = WorkerPool::new(1, 8);
+        pool.try_execute(|| panic!("job panic")).expect("accepted");
+        let done = Arc::new(AtomicBool::new(false));
+        // The single worker must survive the panic to run this.
+        loop {
+            let d = Arc::clone(&done);
+            if pool
+                .try_execute(move || d.store(true, Ordering::SeqCst))
+                .is_ok()
+            {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        pool.shutdown();
+        assert!(done.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn jobs_report_worker_slots() {
+        let pool = WorkerPool::new(2, 64);
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        for _ in 0..32 {
+            loop {
+                let s = Arc::clone(&seen);
+                if pool
+                    .try_execute(move || {
+                        let w = crate::current_worker();
+                        s.lock().unwrap().push(w);
+                        std::thread::sleep(Duration::from_micros(100));
+                    })
+                    .is_ok()
+                {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        pool.shutdown();
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 32);
+        assert!(
+            seen.iter().all(|w| matches!(w, Some(0 | 1))),
+            "pool jobs must observe their worker slot: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn submissions_after_shutdown_are_rejected() {
+        let pool = WorkerPool::new(1, 4);
+        pool.state.shutting_down.store(true, Ordering::Release);
+        assert_eq!(pool.try_execute(|| {}), Err(SubmitError::ShuttingDown));
+    }
+}

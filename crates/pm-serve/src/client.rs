@@ -1,0 +1,51 @@
+//! A tiny blocking HTTP/1.1 client — just enough to exercise the server
+//! from integration tests and the latency benchmark without external tools.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Issues one request and returns `(status, body)`. The connection is
+/// `Connection: close`, so the body is everything after the header block.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    target: &str,
+    body: Option<&str>,
+) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(10))?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    let mut head = format!("{method} {target} HTTP/1.1\r\nHost: pm-serve\r\n");
+    if let Some(body) = body {
+        head.push_str(&format!("Content-Length: {}\r\n", body.len()));
+    }
+    head.push_str("Connection: close\r\n\r\n");
+    stream.write_all(head.as_bytes())?;
+    if let Some(body) = body {
+        stream.write_all(body.as_bytes())?;
+    }
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8_lossy(&raw);
+    let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
+    let (header, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| bad("no header/body separator"))?;
+    let status: u16 = header
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("unparseable status line"))?;
+    Ok((status, body.to_string()))
+}
+
+/// `GET target` against `addr`.
+pub fn get(addr: SocketAddr, target: &str) -> std::io::Result<(u16, String)> {
+    request(addr, "GET", target, None)
+}
+
+/// `POST target` with a JSON body.
+pub fn post(addr: SocketAddr, target: &str, body: &str) -> std::io::Result<(u16, String)> {
+    request(addr, "POST", target, Some(body))
+}

@@ -1,0 +1,43 @@
+//! # pm-serve — the online semantic query service
+//!
+//! Serves a mined run (a [`pm_store::Artifact`]) over HTTP: the paper's
+//! offline pipeline becomes an online service answering "what happens
+//! here?" (`GET /v1/semantic`), "annotate this trajectory" (Algorithm 3 on
+//! demand, `POST /v1/annotate`), and "which patterns match?"
+//! ([`pm_core::query::PatternQuery`] over the stored pattern set,
+//! `GET /v1/patterns`).
+//!
+//! std-only, like the rest of the workspace: the HTTP/1.1 implementation
+//! sits directly on [`std::net::TcpListener`], the worker pool is
+//! [`pm_runtime::WorkerPool`], and observability is [`pm_obs::Obs`]
+//! counters surfaced at `GET /v1/stats`.
+//!
+//! ## Endpoints
+//!
+//! | method & path       | query / body                                    |
+//! |---------------------|-------------------------------------------------|
+//! | `GET /healthz`      | —                                               |
+//! | `GET /v1/semantic`  | `x`,`y` (meters) or `lat`,`lon` (geo artifacts) |
+//! | `POST /v1/annotate` | `{"points":[{"x":..,"y":..,"t":..}, ...]}`      |
+//! | `GET /v1/patterns`  | `from`, `to`, `involving`, `min_support`, `min_len`, `max_len`, `bucket`, `near=x,y,r`, `near_ll=lon,lat,r`, `limit` |
+//! | `GET /v1/stats`     | — (pm-obs run report)                           |
+//!
+//! Every response is JSON with `Connection: close`. The accept queue is
+//! bounded; overload is shed with `503` instead of queueing without limit.
+//!
+//! ## Serving model
+//!
+//! The artifact is loaded **once** into an immutable [`Snapshot`] behind an
+//! `Arc`; worker threads share it read-only, so there is no locking on the
+//! request path and responses are bit-deterministic for a given artifact —
+//! the integration tests compare bytes served over the socket against the
+//! snapshot's in-process output.
+
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod server;
+pub mod snapshot;
+
+pub use server::{ServeConfig, Server, ShutdownHandle};
+pub use snapshot::Snapshot;

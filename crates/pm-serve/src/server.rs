@@ -1,0 +1,231 @@
+//! The TCP front end: accept loop, worker pool, shedding, and shutdown.
+//!
+//! One [`Server`] owns a `TcpListener` and a fixed [`WorkerPool`]
+//! (pm-runtime primitives, so pool jobs report worker slots to pm-obs spans
+//! exactly like `par_map` regions do). Each accepted connection becomes one
+//! pool job: read one request, route it against the shared [`Snapshot`],
+//! write one `Connection: close` response. When the bounded queue is full
+//! the accept loop answers `503` inline instead of queueing — predictable
+//! shedding beats unbounded latency.
+//!
+//! Shutdown is cooperative and std-only: a [`ShutdownHandle`] flips an
+//! atomic flag and pokes the listener with a loopback connection to unblock
+//! `accept`, after which the pool drains its queue and joins.
+
+use crate::http::{self, Request};
+use crate::json::{self, error_body};
+use crate::snapshot::Snapshot;
+use pm_obs::Obs;
+use pm_runtime::WorkerPool;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Tunables of one serving process.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads; `0` resolves via `PM_THREADS` / available
+    /// parallelism, exactly like the mining pipeline.
+    pub threads: usize,
+    /// Bounded accept-queue capacity; connections beyond it are shed with
+    /// `503`.
+    pub queue_capacity: usize,
+    /// Per-connection read timeout.
+    pub read_timeout: Duration,
+    /// Per-connection write timeout.
+    pub write_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            threads: 0,
+            queue_capacity: 64,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Requests the accept loop to stop. Clone freely; the first `shutdown`
+/// wins, later calls are no-ops.
+#[derive(Debug, Clone)]
+pub struct ShutdownHandle {
+    flag: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl ShutdownHandle {
+    /// Stops the server: queued requests still drain, new connections are
+    /// no longer accepted.
+    pub fn shutdown(&self) {
+        if !self.flag.swap(true, Ordering::SeqCst) {
+            // Unblock the (possibly idle) accept call with a throwaway
+            // loopback connection — the std-only analogue of a signal pipe.
+            let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        }
+    }
+}
+
+/// A bound, not-yet-running server.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    snapshot: Arc<Snapshot>,
+    obs: Obs,
+    config: ServeConfig,
+    flag: Arc<AtomicBool>,
+}
+
+/// Endpoint labels used for `serve.requests.*` / `serve.errors.*` counters.
+const ENDPOINTS: [&str; 7] = [
+    "healthz",
+    "semantic",
+    "annotate",
+    "patterns",
+    "stats",
+    "bad_request",
+    "not_found",
+];
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and prepares
+    /// the counter schema. The server does not accept until [`Server::run`].
+    pub fn bind(
+        addr: &str,
+        snapshot: Arc<Snapshot>,
+        config: ServeConfig,
+        obs: Obs,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        // Pre-register every counter at zero so /v1/stats has a stable
+        // schema even before the first request.
+        for ep in ENDPOINTS {
+            obs.incr(&format!("serve.requests.{ep}"), 0);
+            obs.incr(&format!("serve.errors.{ep}"), 0);
+        }
+        obs.incr("serve.shed", 0);
+        obs.gauge("serve.queue_capacity", config.queue_capacity as f64);
+        Ok(Server {
+            listener,
+            snapshot,
+            obs,
+            config,
+            flag: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (useful with `127.0.0.1:0`).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that can stop [`Server::run`] from another thread.
+    pub fn shutdown_handle(&self) -> std::io::Result<ShutdownHandle> {
+        Ok(ShutdownHandle {
+            flag: Arc::clone(&self.flag),
+            addr: self.listener.local_addr()?,
+        })
+    }
+
+    /// Serves until the shutdown handle fires, then drains queued requests
+    /// and joins the workers.
+    pub fn run(self) -> std::io::Result<()> {
+        let pool = WorkerPool::new(self.config.threads, self.config.queue_capacity);
+        self.obs.set_threads(pool.threads());
+        for conn in self.listener.incoming() {
+            if self.flag.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match conn {
+                Ok(s) => s,
+                // Transient accept failures (EMFILE, aborted handshake)
+                // must not kill the server.
+                Err(_) => continue,
+            };
+            // Keep a second handle so the connection can still be answered
+            // with 503 when the pool rejects the job (the job owns `stream`
+            // and is dropped on rejection).
+            let shed_handle = stream.try_clone();
+            let snapshot = Arc::clone(&self.snapshot);
+            let obs = self.obs.clone();
+            let config = self.config.clone();
+            let submitted = pool.try_execute(move || {
+                handle_connection(stream, &snapshot, &obs, &config);
+            });
+            if submitted.is_err() {
+                self.obs.incr("serve.shed", 1);
+                if let Ok(mut s) = shed_handle {
+                    let _ = s.set_write_timeout(Some(self.config.write_timeout));
+                    let _ = http::write_response(&mut s, 503, &error_body("server busy"));
+                }
+            }
+        }
+        pool.shutdown();
+        Ok(())
+    }
+}
+
+/// One connection: read one request, route, respond, close.
+fn handle_connection(stream: TcpStream, snapshot: &Snapshot, obs: &Obs, config: &ServeConfig) {
+    let span = obs.span("serve.request");
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let (status, body, endpoint) = match http::read_request(&mut reader) {
+        Err(e) => (e.status, error_body(&e.message), "bad_request"),
+        Ok(req) => route(snapshot, obs, &req),
+    };
+    obs.incr(&format!("serve.requests.{endpoint}"), 1);
+    if status >= 400 {
+        obs.incr(&format!("serve.errors.{endpoint}"), 1);
+    }
+    let mut write_half = stream;
+    let _ = http::write_response(&mut write_half, status, &body);
+    span.finish();
+}
+
+/// Maps a parsed request onto a snapshot query.
+fn route(snapshot: &Snapshot, obs: &Obs, req: &Request) -> (u16, String, &'static str) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => (200, snapshot.healthz_json(), "healthz"),
+        ("GET", "/v1/semantic") => {
+            let resolved = snapshot.resolve_point(
+                req.param("x"),
+                req.param("y"),
+                req.param("lat"),
+                req.param("lon"),
+            );
+            match resolved {
+                Ok(pos) => (200, snapshot.semantic_json(pos), "semantic"),
+                Err(m) => (400, error_body(&m), "semantic"),
+            }
+        }
+        ("POST", "/v1/annotate") => {
+            let annotated = std::str::from_utf8(&req.body)
+                .map_err(|_| "body is not UTF-8".to_string())
+                .and_then(|text| json::parse(text).map_err(|e| format!("invalid JSON: {e}")))
+                .and_then(|body| snapshot.annotate_json(&body));
+            match annotated {
+                Ok(body) => (200, body, "annotate"),
+                Err(m) => (400, error_body(&m), "annotate"),
+            }
+        }
+        ("GET", "/v1/patterns") => match snapshot.pattern_query_from_params(&req.query) {
+            Ok((query, limit)) => (200, snapshot.patterns_json(&query, limit), "patterns"),
+            Err(m) => (400, error_body(&m), "patterns"),
+        },
+        ("GET", "/v1/stats") => (200, obs.report().to_json(), "stats"),
+        (_, "/healthz" | "/v1/semantic" | "/v1/annotate" | "/v1/patterns" | "/v1/stats") => (
+            405,
+            error_body(&format!("{} not allowed here", req.method)),
+            "bad_request",
+        ),
+        _ => (404, error_body("no such endpoint"), "not_found"),
+    }
+}

@@ -1,0 +1,509 @@
+//! The immutable in-memory state of the service and its query semantics.
+//!
+//! A [`Snapshot`] wraps one loaded [`Artifact`] plus the derived recognition
+//! kernel and projection, and renders every endpoint's JSON *in process*.
+//! The HTTP layer is a thin transport over these methods — integration tests
+//! assert that the bytes served over a socket are identical to what the
+//! snapshot returns directly, so there is exactly one source of truth for
+//! response content.
+
+use crate::json::{self, Json};
+use pm_cluster::GaussianKernel;
+use pm_core::query::PatternQuery;
+use pm_core::recognize::{detect_stay_points, recognize_stay_point_unit};
+use pm_core::types::{Category, GpsPoint, GpsTrajectory, StayPoint, Tags, WeekBucket};
+use pm_geo::{GeoPoint, LocalPoint, Projection};
+use pm_io::parse_category;
+use pm_store::Artifact;
+
+/// Default (and maximum) number of patterns one query returns.
+pub const DEFAULT_PATTERN_LIMIT: usize = 50;
+/// Hard cap on GPS fixes in one annotate request.
+pub const MAX_ANNOTATE_POINTS: usize = 100_000;
+
+/// One loaded artifact, frozen for serving.
+#[derive(Debug)]
+pub struct Snapshot {
+    artifact: Artifact,
+    kernel: GaussianKernel,
+    projection: Option<Projection>,
+}
+
+impl Snapshot {
+    /// Freezes an artifact for serving. Fails (rather than panicking later)
+    /// when the stored parameters cannot drive recognition.
+    pub fn new(artifact: Artifact) -> Result<Snapshot, String> {
+        let r3sigma = artifact.params.r3sigma;
+        if !(r3sigma.is_finite() && r3sigma > 0.0) {
+            return Err(format!("artifact r3sigma {r3sigma} is not a valid radius"));
+        }
+        let projection = artifact.projection.map(Projection::new);
+        Ok(Snapshot {
+            kernel: GaussianKernel::new(r3sigma),
+            projection,
+            artifact,
+        })
+    }
+
+    /// The wrapped artifact.
+    pub fn artifact(&self) -> &Artifact {
+        &self.artifact
+    }
+
+    /// Whether `lat`/`lon` queries are possible.
+    pub fn has_projection(&self) -> bool {
+        self.projection.is_some()
+    }
+
+    // -- /healthz ----------------------------------------------------------
+
+    /// The `/healthz` body.
+    pub fn healthz_json(&self) -> String {
+        format!(
+            "{{\"status\":\"ok\",\"pois\":{},\"units\":{},\"patterns\":{},\"geo\":{}}}",
+            self.artifact.csd.pois().len(),
+            self.artifact.csd.units().len(),
+            self.artifact.patterns.len(),
+            self.has_projection()
+        )
+    }
+
+    // -- /v1/semantic ------------------------------------------------------
+
+    /// Resolves a query position from `x`/`y` (local meters) or `lat`/`lon`
+    /// (requires a geo-anchored artifact).
+    pub fn resolve_point(
+        &self,
+        x: Option<&str>,
+        y: Option<&str>,
+        lat: Option<&str>,
+        lon: Option<&str>,
+    ) -> Result<LocalPoint, String> {
+        let parse = |name: &str, v: &str| -> Result<f64, String> {
+            let f: f64 = v
+                .parse()
+                .map_err(|_| format!("{name} is not a number: {v:?}"))?;
+            if f.is_finite() {
+                Ok(f)
+            } else {
+                Err(format!("{name} must be finite"))
+            }
+        };
+        match (x, y, lat, lon) {
+            (Some(x), Some(y), None, None) => Ok(LocalPoint::new(parse("x", x)?, parse("y", y)?)),
+            (None, None, Some(lat), Some(lon)) => {
+                let projection = self
+                    .projection
+                    .as_ref()
+                    .ok_or("artifact has no projection; use x/y local meters")?;
+                Ok(projection.to_local(GeoPoint::new(parse("lon", lon)?, parse("lat", lat)?)))
+            }
+            (None, None, None, None) => Err("missing coordinates: pass x&y or lat&lon".into()),
+            _ => Err("pass either x&y or lat&lon, not a mixture".into()),
+        }
+    }
+
+    /// The `/v1/semantic` body for a resolved position: Algorithm 3's
+    /// weighted vote at a single point.
+    pub fn semantic_json(&self, pos: LocalPoint) -> String {
+        let (unit, tags, primary) =
+            recognize_stay_point_unit(&self.artifact.csd, &self.kernel, pos);
+        let mut out = String::from("{\"query\":");
+        self.push_point(&mut out, pos);
+        out.push_str(",\"unit\":");
+        match unit {
+            None => out.push_str("null"),
+            Some(id) => {
+                let u = &self.artifact.csd.units()[id];
+                out.push_str(&format!(
+                    "{{\"id\":{id},\"size\":{},\"center\":",
+                    u.members.len()
+                ));
+                self.push_point(&mut out, u.center);
+                out.push_str(",\"tags\":");
+                push_tags(&mut out, u.tags);
+                out.push('}');
+            }
+        }
+        out.push_str(",\"tags\":");
+        push_tags(&mut out, tags);
+        out.push_str(",\"primary\":");
+        push_primary(&mut out, primary);
+        out.push('}');
+        out
+    }
+
+    // -- /v1/annotate ------------------------------------------------------
+
+    /// The `/v1/annotate` body: a raw trajectory (JSON) through stay-point
+    /// detection (Definition 5) and semantic recognition (Algorithm 3),
+    /// using the thresholds the artifact was mined with.
+    pub fn annotate_json(&self, body: &Json) -> Result<String, String> {
+        let points = body
+            .get("points")
+            .and_then(Json::as_array)
+            .ok_or("body must be {\"points\": [...]}")?;
+        if points.len() > MAX_ANNOTATE_POINTS {
+            return Err(format!("too many points (max {MAX_ANNOTATE_POINTS})"));
+        }
+        let mut fixes = Vec::with_capacity(points.len());
+        for (i, p) in points.iter().enumerate() {
+            let t = p
+                .get("t")
+                .and_then(Json::as_i64)
+                .ok_or_else(|| format!("points[{i}].t missing or not an integer"))?;
+            let num = |name: &str| -> Option<f64> { p.get(name).and_then(Json::as_f64) };
+            let pos = match (num("x"), num("y"), num("lat"), num("lon")) {
+                (Some(x), Some(y), None, None) => LocalPoint::new(x, y),
+                (None, None, Some(lat), Some(lon)) => self
+                    .projection
+                    .as_ref()
+                    .ok_or("artifact has no projection; points need x/y")?
+                    .to_local(GeoPoint::new(lon, lat)),
+                _ => return Err(format!("points[{i}] needs x&y or lat&lon")),
+            };
+            fixes.push(GpsPoint::new(pos, t));
+        }
+        // Tolerate out-of-order uploads: detection requires time order.
+        fixes.sort_by_key(|f| f.time);
+        let traj = GpsTrajectory::new(fixes);
+        let stays = detect_stay_points(&traj, &self.artifact.params);
+
+        let mut out = format!("{{\"points\":{},\"stays\":[", traj.points.len());
+        for (i, sp) in stays.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            self.push_stay(&mut out, sp, true);
+        }
+        out.push_str("]}");
+        Ok(out)
+    }
+
+    // -- /v1/patterns ------------------------------------------------------
+
+    /// Builds a [`PatternQuery`] (plus result limit) from decoded query
+    /// parameters. Unknown parameters are rejected so typos fail loudly.
+    pub fn pattern_query_from_params(
+        &self,
+        params: &[(String, String)],
+    ) -> Result<(PatternQuery, usize), String> {
+        let mut q = PatternQuery::new();
+        let mut limit = DEFAULT_PATTERN_LIMIT;
+        for (key, value) in params {
+            match key.as_str() {
+                "from" => q = q.from_category(parse_cat(value)?),
+                "to" => q = q.to_category(parse_cat(value)?),
+                "involving" => q = q.involving(parse_cat(value)?),
+                "min_support" => q = q.min_support(parse_usize(key, value)?),
+                "min_len" => q = q.min_len(parse_usize(key, value)?),
+                "max_len" => q = q.max_len(parse_usize(key, value)?),
+                "bucket" => q = q.in_bucket(parse_bucket(value)?),
+                "near" => {
+                    let (center, radius) = self.parse_near(value, false)?;
+                    q = q.near(center, radius);
+                }
+                "near_ll" => {
+                    let (center, radius) = self.parse_near(value, true)?;
+                    q = q.near(center, radius);
+                }
+                "limit" => limit = parse_usize(key, value)?.min(DEFAULT_PATTERN_LIMIT),
+                other => return Err(format!("unknown parameter {other:?}")),
+            }
+        }
+        Ok((q, limit))
+    }
+
+    /// `near=x,y,radius` (local meters) or `near_ll=lon,lat,radius`.
+    fn parse_near(&self, value: &str, geographic: bool) -> Result<(LocalPoint, f64), String> {
+        let parts: Vec<&str> = value.split(',').collect();
+        if parts.len() != 3 {
+            return Err(format!(
+                "near wants three comma-separated numbers, got {value:?}"
+            ));
+        }
+        let mut nums = [0.0f64; 3];
+        for (slot, part) in nums.iter_mut().zip(&parts) {
+            *slot = part
+                .trim()
+                .parse()
+                .map_err(|_| format!("near component {part:?} is not a number"))?;
+            if !slot.is_finite() {
+                return Err("near components must be finite".into());
+            }
+        }
+        let radius = nums[2];
+        if radius < 0.0 {
+            return Err("near radius must be non-negative".into());
+        }
+        let center = if geographic {
+            self.projection
+                .as_ref()
+                .ok_or("artifact has no projection; use near=x,y,r")?
+                .to_local(GeoPoint::new(nums[0], nums[1]))
+        } else {
+            LocalPoint::new(nums[0], nums[1])
+        };
+        Ok((center, radius))
+    }
+
+    /// The `/v1/patterns` body for a built query.
+    pub fn patterns_json(&self, query: &PatternQuery, limit: usize) -> String {
+        let matches = query.run(&self.artifact.patterns);
+        let total = matches.len();
+        let mut out = format!(
+            "{{\"total\":{total},\"returned\":{},\"patterns\":[",
+            total.min(limit)
+        );
+        for (i, p) in matches.iter().take(limit).enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"categories\":[");
+            for (k, c) in p.categories.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                json::push_str_lit(&mut out, c.name());
+            }
+            out.push_str(&format!(
+                "],\"support\":{},\"len\":{},\"stays\":[",
+                p.support(),
+                p.len()
+            ));
+            for (k, sp) in p.stays.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                self.push_stay(&mut out, sp, false);
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    // -- rendering helpers -------------------------------------------------
+
+    /// A position object; includes `lat`/`lon` when the artifact is
+    /// geo-anchored.
+    fn push_point(&self, out: &mut String, pos: LocalPoint) {
+        out.push_str(&format!(
+            "{{\"x\":{},\"y\":{}",
+            json::num(pos.x),
+            json::num(pos.y)
+        ));
+        if let Some(projection) = &self.projection {
+            let geo = projection.to_geo(pos);
+            out.push_str(&format!(
+                ",\"lon\":{},\"lat\":{}",
+                json::num(geo.lon),
+                json::num(geo.lat)
+            ));
+        }
+        out.push('}');
+    }
+
+    /// A stay-point object. With `recognize`, the snapshot's own vote fills
+    /// the semantics (annotate path); otherwise the stored tags are used
+    /// (pattern path).
+    fn push_stay(&self, out: &mut String, sp: &StayPoint, recognize: bool) {
+        let (unit, tags, primary) = if recognize {
+            recognize_stay_point_unit(&self.artifact.csd, &self.kernel, sp.pos)
+        } else {
+            (None, sp.tags, sp.primary)
+        };
+        out.push_str("{\"pos\":");
+        self.push_point(out, sp.pos);
+        out.push_str(&format!(",\"t\":{},\"tags\":", sp.time));
+        push_tags(out, tags);
+        out.push_str(",\"primary\":");
+        push_primary(out, primary);
+        if recognize {
+            match unit {
+                Some(id) => out.push_str(&format!(",\"unit\":{id}")),
+                None => out.push_str(",\"unit\":null"),
+            }
+        }
+        out.push('}');
+    }
+}
+
+fn parse_cat(value: &str) -> Result<Category, String> {
+    parse_category(value).ok_or_else(|| format!("unknown category {value:?}"))
+}
+
+fn parse_usize(key: &str, value: &str) -> Result<usize, String> {
+    value
+        .parse()
+        .map_err(|_| format!("{key} is not a non-negative integer: {value:?}"))
+}
+
+fn parse_bucket(value: &str) -> Result<WeekBucket, String> {
+    let needle = value.trim().to_ascii_lowercase().replace(['_', '-'], " ");
+    WeekBucket::ALL
+        .into_iter()
+        .find(|b| b.label() == needle)
+        .ok_or_else(|| {
+            format!(
+                "unknown bucket {value:?} (one of: {})",
+                WeekBucket::ALL
+                    .map(|b| b.label().replace(' ', "_"))
+                    .join(", ")
+            )
+        })
+}
+
+fn push_tags(out: &mut String, tags: Tags) {
+    out.push('[');
+    for (i, c) in tags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::push_str_lit(out, c.name());
+    }
+    out.push(']');
+}
+
+fn push_primary(out: &mut String, primary: Option<Category>) {
+    match primary {
+        Some(c) => json::push_str_lit(out, c.name()),
+        None => out.push_str("null"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_core::prelude::*;
+
+    fn empty_snapshot() -> Snapshot {
+        let params = MinerParams::default();
+        let csd = CitySemanticDiagram::build(&[], &[], &params).expect("build");
+        Snapshot::new(Artifact::new(csd, Vec::new(), params)).expect("snapshot")
+    }
+
+    fn geo_snapshot() -> Snapshot {
+        let params = MinerParams::default();
+        let csd = CitySemanticDiagram::build(&[], &[], &params).expect("build");
+        let artifact = Artifact::new(csd, Vec::new(), params)
+            .with_projection(GeoPoint::new(121.4737, 31.2304));
+        Snapshot::new(artifact).expect("snapshot")
+    }
+
+    #[test]
+    fn healthz_shape() {
+        let s = empty_snapshot();
+        assert_eq!(
+            s.healthz_json(),
+            "{\"status\":\"ok\",\"pois\":0,\"units\":0,\"patterns\":0,\"geo\":false}"
+        );
+    }
+
+    #[test]
+    fn resolve_point_modes() {
+        let s = empty_snapshot();
+        let p = s
+            .resolve_point(Some("10.5"), Some("-3"), None, None)
+            .unwrap();
+        assert_eq!((p.x, p.y), (10.5, -3.0));
+        assert!(s
+            .resolve_point(None, None, Some("31.2"), Some("121.5"))
+            .is_err());
+        assert!(s.resolve_point(Some("1"), None, None, Some("2")).is_err());
+        assert!(s.resolve_point(None, None, None, None).is_err());
+        assert!(s.resolve_point(Some("inf"), Some("0"), None, None).is_err());
+
+        let g = geo_snapshot();
+        let at_origin = g
+            .resolve_point(None, None, Some("31.2304"), Some("121.4737"))
+            .unwrap();
+        assert!(at_origin.x.abs() < 1e-6 && at_origin.y.abs() < 1e-6);
+    }
+
+    #[test]
+    fn semantic_on_empty_city_is_untagged() {
+        let s = empty_snapshot();
+        assert_eq!(
+            s.semantic_json(LocalPoint::new(0.0, 0.0)),
+            "{\"query\":{\"x\":0,\"y\":0},\"unit\":null,\"tags\":[],\"primary\":null}"
+        );
+    }
+
+    #[test]
+    fn annotate_rejects_bad_bodies() {
+        let s = empty_snapshot();
+        for bad in [
+            "{}",
+            "{\"points\":1}",
+            "{\"points\":[{\"x\":1,\"y\":2}]}",
+            "{\"points\":[{\"t\":1}]}",
+            "{\"points\":[{\"lat\":1,\"lon\":2,\"t\":0}]}",
+        ] {
+            let body = crate::json::parse(bad).unwrap();
+            assert!(s.annotate_json(&body).is_err(), "{bad} should fail");
+        }
+    }
+
+    #[test]
+    fn annotate_empty_trajectory_is_ok() {
+        let s = empty_snapshot();
+        let body = crate::json::parse("{\"points\":[]}").unwrap();
+        assert_eq!(
+            s.annotate_json(&body).unwrap(),
+            "{\"points\":0,\"stays\":[]}"
+        );
+    }
+
+    #[test]
+    fn pattern_query_parser_covers_every_knob() {
+        let s = empty_snapshot();
+        let params: Vec<(String, String)> = [
+            ("from", "residence"),
+            ("to", "business"),
+            ("involving", "shop"),
+            ("min_support", "5"),
+            ("min_len", "2"),
+            ("max_len", "4"),
+            ("bucket", "weekday_morning"),
+            ("near", "100,200,50"),
+            ("limit", "10"),
+        ]
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+        let (_q, limit) = s.pattern_query_from_params(&params).expect("parse");
+        assert_eq!(limit, 10);
+
+        for bad in [
+            ("from", "castle"),
+            ("min_support", "-1"),
+            ("bucket", "someday"),
+            ("near", "1,2"),
+            ("near", "1,2,-3"),
+            ("nope", "1"),
+        ] {
+            let p = vec![(bad.0.to_string(), bad.1.to_string())];
+            assert!(s.pattern_query_from_params(&p).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn near_ll_requires_projection() {
+        let s = empty_snapshot();
+        let p = vec![("near_ll".to_string(), "121.47,31.23,500".to_string())];
+        assert!(s.pattern_query_from_params(&p).is_err());
+        let g = geo_snapshot();
+        assert!(g.pattern_query_from_params(&p).is_ok());
+    }
+
+    #[test]
+    fn patterns_json_on_empty_set() {
+        let s = empty_snapshot();
+        let (q, limit) = s.pattern_query_from_params(&[]).unwrap();
+        assert_eq!(
+            s.patterns_json(&q, limit),
+            "{\"total\":0,\"returned\":0,\"patterns\":[]}"
+        );
+    }
+}

@@ -1,0 +1,229 @@
+//! Little-endian byte-stream primitives for the artifact format.
+//!
+//! [`ByteWriter`] appends fixed-width little-endian values to a `Vec<u8>`;
+//! [`ByteReader`] is its bounds-checked mirror. Every reader method returns
+//! a typed [`StoreError`] instead of panicking, and count fields are read
+//! through [`ByteReader::count`], which caps them against the bytes
+//! actually remaining — a bit-flipped length can therefore never trigger a
+//! pathological allocation, it fails fast as [`StoreError::Malformed`].
+
+use crate::error::StoreError;
+
+/// Append-only little-endian writer.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// A fresh, empty writer.
+    pub fn new() -> ByteWriter {
+        ByteWriter::default()
+    }
+
+    /// The bytes written so far.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// `f64` as its IEEE-754 bit pattern — NaN payloads and signed zeros
+    /// survive the round trip bit for bit.
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// A `usize` quantity, always stored as `u64`.
+    pub fn count(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+}
+
+/// Bounds-checked little-endian reader over a byte slice.
+#[derive(Debug, Clone, Copy)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether every byte was consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Takes `n` raw bytes.
+    pub fn bytes(&mut self, n: usize, context: &str) -> Result<&'a [u8], StoreError> {
+        if self.remaining() < n {
+            return Err(StoreError::truncated(context));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    pub fn u8(&mut self, context: &str) -> Result<u8, StoreError> {
+        Ok(self.bytes(1, context)?[0])
+    }
+
+    pub fn u16(&mut self, context: &str) -> Result<u16, StoreError> {
+        let b = self.bytes(2, context)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    pub fn u32(&mut self, context: &str) -> Result<u32, StoreError> {
+        let b = self.bytes(4, context)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub fn u64(&mut self, context: &str) -> Result<u64, StoreError> {
+        let b = self.bytes(8, context)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    pub fn i64(&mut self, context: &str) -> Result<i64, StoreError> {
+        Ok(self.u64(context)? as i64)
+    }
+
+    pub fn f64(&mut self, context: &str) -> Result<f64, StoreError> {
+        Ok(f64::from_bits(self.u64(context)?))
+    }
+
+    /// Reads a count of records, each at least `min_record_bytes` wide, and
+    /// rejects counts the remaining bytes cannot possibly hold. This is the
+    /// guard that turns corrupted length fields into typed errors instead of
+    /// multi-terabyte allocations.
+    pub fn count(&mut self, min_record_bytes: usize, context: &str) -> Result<usize, StoreError> {
+        let raw = self.u64(context)?;
+        let cap = (self.remaining() / min_record_bytes.max(1)) as u64;
+        if raw > cap {
+            return Err(StoreError::malformed(format!(
+                "{context}: count {raw} exceeds what {} remaining byte(s) can hold",
+                self.remaining()
+            )));
+        }
+        Ok(raw as usize)
+    }
+
+    /// Asserts the payload was consumed exactly.
+    pub fn finish(self, context: &str) -> Result<(), StoreError> {
+        if self.is_exhausted() {
+            Ok(())
+        } else {
+            Err(StoreError::malformed(format!(
+                "{context}: {} unread byte(s) at end of section",
+                self.remaining()
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_every_width() {
+        let mut w = ByteWriter::new();
+        w.u8(0xAB);
+        w.u16(0xCDEF);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 1);
+        w.i64(-42);
+        w.f64(-0.0);
+        w.f64(f64::NAN);
+        w.count(7);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.u8("a").unwrap(), 0xAB);
+        assert_eq!(r.u16("b").unwrap(), 0xCDEF);
+        assert_eq!(r.u32("c").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64("d").unwrap(), u64::MAX - 1);
+        assert_eq!(r.i64("e").unwrap(), -42);
+        let z = r.f64("f").unwrap();
+        assert_eq!(z.to_bits(), (-0.0f64).to_bits(), "signed zero preserved");
+        assert!(r.f64("g").unwrap().is_nan());
+        assert_eq!(r.u64("h").unwrap(), 7);
+        r.finish("tail").unwrap();
+    }
+
+    #[test]
+    fn truncation_is_a_typed_error() {
+        let bytes = [1u8, 2, 3];
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(
+            r.u64("needs eight"),
+            Err(StoreError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn absurd_counts_are_rejected_before_allocation() {
+        let mut w = ByteWriter::new();
+        w.u64(u64::MAX); // claims ~1.8e19 records follow
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(
+            r.count(8, "records"),
+            Err(StoreError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn unread_tail_is_rejected() {
+        let mut w = ByteWriter::new();
+        w.u32(5);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        r.u16("half").unwrap();
+        assert!(matches!(
+            r.finish("section"),
+            Err(StoreError::Malformed { .. })
+        ));
+    }
+}

@@ -1,0 +1,64 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) — the per-section
+//! checksum of the `pm-store/1` artifact format.
+//!
+//! std-only: the 256-entry lookup table is computed at compile time, so
+//! checksumming costs one table lookup and two XORs per byte.
+
+/// The reflected IEEE CRC-32 polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// Byte-indexed CRC table, built in a `const` context.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 of `bytes` (IEEE: initial value and final XOR are `0xFFFF_FFFF`).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard CRC-32 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_the_checksum() {
+        let data = vec![0x5Au8; 1024];
+        let base = crc32(&data);
+        for byte in [0usize, 511, 1023] {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), base, "byte {byte} bit {bit}");
+            }
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! [`StoreError`]: the typed failure taxonomy of artifact reading/writing.
+//!
+//! Mirrors the PR-1 failure model of the mining pipeline: a corrupt,
+//! truncated, or wrong-version artifact is *data* trouble, and data trouble
+//! must surface as a typed `Err`, never a panic. Every reader path in this
+//! crate is bounds-checked and count-capped so even adversarial inputs
+//! (fault-injection bit flips, truncations, garbage) map onto one of these
+//! variants.
+
+use std::fmt;
+
+/// A four-byte section tag rendered for messages (lossy ASCII).
+fn tag_str(tag: [u8; 4]) -> String {
+    tag.iter()
+        .map(|&b| if b.is_ascii_graphic() { b as char } else { '?' })
+        .collect()
+}
+
+/// Why an artifact could not be read (or written).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// Filesystem trouble, rendered as text so the error stays `PartialEq`.
+    Io { message: String },
+    /// The file does not start with the `pm-store` magic.
+    BadMagic,
+    /// The format version is not one this reader understands.
+    UnsupportedVersion { found: u32 },
+    /// The byte stream ended before the structure it promised.
+    /// `context` names what was being read.
+    Truncated { context: String },
+    /// A section's payload does not match its stored CRC-32.
+    ChecksumMismatch { section: [u8; 4] },
+    /// The same section appeared twice.
+    DuplicateSection { section: [u8; 4] },
+    /// A *critical* (uppercase-tagged) section this reader does not know.
+    /// Optional (lowercase-tagged) sections are skipped instead — the
+    /// format's forward-compatibility policy.
+    UnknownSection { section: [u8; 4] },
+    /// A section required by the format is absent.
+    MissingSection { section: &'static str },
+    /// A payload decoded but its content is invalid (bad enum value,
+    /// implausible count, length mismatch, inconsistent cross-references).
+    Malformed { context: String },
+    /// Bytes remain after the last declared section.
+    TrailingBytes { count: usize },
+}
+
+impl StoreError {
+    /// Short machine-checkable name of the failure kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            StoreError::Io { .. } => "io",
+            StoreError::BadMagic => "bad_magic",
+            StoreError::UnsupportedVersion { .. } => "unsupported_version",
+            StoreError::Truncated { .. } => "truncated",
+            StoreError::ChecksumMismatch { .. } => "checksum_mismatch",
+            StoreError::DuplicateSection { .. } => "duplicate_section",
+            StoreError::UnknownSection { .. } => "unknown_section",
+            StoreError::MissingSection { .. } => "missing_section",
+            StoreError::Malformed { .. } => "malformed",
+            StoreError::TrailingBytes { .. } => "trailing_bytes",
+        }
+    }
+
+    pub(crate) fn truncated(context: impl Into<String>) -> StoreError {
+        StoreError::Truncated {
+            context: context.into(),
+        }
+    }
+
+    pub(crate) fn malformed(context: impl Into<String>) -> StoreError {
+        StoreError::Malformed {
+            context: context.into(),
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { message } => write!(f, "artifact I/O failed: {message}"),
+            StoreError::BadMagic => write!(f, "not a pm-store artifact (bad magic)"),
+            StoreError::UnsupportedVersion { found } => {
+                write!(f, "unsupported artifact format version {found}")
+            }
+            StoreError::Truncated { context } => {
+                write!(f, "artifact truncated while reading {context}")
+            }
+            StoreError::ChecksumMismatch { section } => {
+                write!(f, "section {} failed its CRC check", tag_str(*section))
+            }
+            StoreError::DuplicateSection { section } => {
+                write!(f, "section {} appears twice", tag_str(*section))
+            }
+            StoreError::UnknownSection { section } => write!(
+                f,
+                "unknown critical section {} (newer writer?)",
+                tag_str(*section)
+            ),
+            StoreError::MissingSection { section } => {
+                write!(f, "required section {section} is missing")
+            }
+            StoreError::Malformed { context } => write!(f, "malformed artifact: {context}"),
+            StoreError::TrailingBytes { count } => {
+                write!(f, "{count} trailing byte(s) after the last section")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> StoreError {
+        StoreError::Io {
+            message: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_every_variant() {
+        let variants = [
+            StoreError::Io {
+                message: "x".into(),
+            },
+            StoreError::BadMagic,
+            StoreError::UnsupportedVersion { found: 9 },
+            StoreError::truncated("POIS count"),
+            StoreError::ChecksumMismatch { section: *b"POIS" },
+            StoreError::DuplicateSection { section: *b"PARM" },
+            StoreError::UnknownSection {
+                section: *b"XY\xffZ",
+            },
+            StoreError::MissingSection { section: "PATS" },
+            StoreError::malformed("category 99 out of range"),
+            StoreError::TrailingBytes { count: 3 },
+        ];
+        for v in &variants {
+            assert!(!format!("{v}").is_empty());
+            assert!(!v.kind().is_empty());
+        }
+        // Non-graphic tag bytes render as '?', not garbage.
+        let s = format!(
+            "{}",
+            StoreError::UnknownSection {
+                section: *b"XY\xffZ"
+            }
+        );
+        assert!(s.contains("XY?Z"), "{s}");
+    }
+}

@@ -1,0 +1,47 @@
+//! # pm-store — versioned, checksummed mining-run artifacts
+//!
+//! PR-1 made the pipeline panic-free, PR-2 made it deterministic, PR-3 made
+//! it observable. This crate makes it *durable*: a complete mining run — the
+//! City Semantic Diagram (semantic units, per-unit category distributions,
+//! Eq. 3 popularity), the grid-index geometry, and the mined
+//! [`FinePattern`](pm_core::extract::FinePattern) set — serializes to a
+//! single self-describing binary file in the `pm-store/1` format, and loads
+//! back byte-identically for the online query service (`pm-serve`).
+//!
+//! Design rules, in the spirit of the rest of the workspace:
+//!
+//! - **std-only.** The format is hand-rolled little-endian sections with
+//!   CRC-32 checksums — no serde, no external codecs.
+//! - **Strict, panic-free reading.** Any byte string either parses into a
+//!   valid [`Artifact`] or returns a typed [`StoreError`]; corrupted length
+//!   fields are capped before allocation, unknown *critical* sections are
+//!   rejected, unknown *optional* sections are skipped (forward
+//!   compatibility), and trailing garbage is an error.
+//! - **Deterministic writing.** The same run always serializes to the same
+//!   bytes, so `load → re-serialize` is byte-identical — CI asserts this on
+//!   the example dataset.
+//!
+//! The redundant derived state (the POI→unit map and the spatial grid
+//! index) is *not* stored; it is rebuilt deterministically on load via
+//! [`CitySemanticDiagram::from_parts`](pm_core::construct::CitySemanticDiagram::from_parts),
+//! and the stored effective grid cell size doubles as an end-to-end
+//! integrity probe over the reconstruction.
+//!
+//! ```
+//! use pm_store::Artifact;
+//! # use pm_core::prelude::*;
+//! # let params = MinerParams::default();
+//! # let csd = CitySemanticDiagram::build(&[], &[], &params).unwrap();
+//! let artifact = Artifact::new(csd, Vec::new(), params);
+//! let bytes = artifact.to_bytes();
+//! let reloaded = Artifact::from_bytes(&bytes).expect("round trip");
+//! assert_eq!(reloaded.to_bytes(), bytes);
+//! ```
+
+pub mod artifact;
+pub mod bytes;
+pub mod crc;
+pub mod error;
+
+pub use artifact::{Artifact, MAGIC, VERSION};
+pub use error::StoreError;

@@ -1,0 +1,95 @@
+//! Fault injection for stored artifacts: every seeded bit flip, truncation,
+//! garbage run, and trailing-garbage append over a valid `pm-store/1` file
+//! must surface as a typed [`StoreError`] — never a panic, never a silent
+//! success with damaged data.
+
+use pm_core::prelude::*;
+use pm_core::recognize::stay_points_of;
+use pm_store::{Artifact, StoreError};
+use pm_synth::{corrupt_bytes, ByteCorruption};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// Canonical artifact bytes, mined once per test binary.
+fn canonical_bytes() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let ds = pm_eval::Dataset::generate(&pm_synth::CityConfig::tiny(42));
+        let params = MinerParams {
+            sigma: 20,
+            ..MinerParams::default()
+        };
+        let stays = stay_points_of(&ds.trajectories);
+        let csd = CitySemanticDiagram::build(&ds.pois, &stays, &params).expect("build");
+        let recognized = recognize_all(&csd, ds.trajectories, &params).expect("recognize");
+        let patterns = extract_patterns(&recognized, &params).expect("extract");
+        Artifact::new(csd, patterns, params).to_bytes()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any single corruption of a valid artifact is rejected with a typed
+    /// error whose kind and Display both render.
+    #[test]
+    fn corrupted_artifacts_are_rejected_not_panicked(
+        mode_idx in 0usize..4,
+        seed in 0u64..1_000_000,
+    ) {
+        let mode = ByteCorruption::all()[mode_idx];
+        let damaged = corrupt_bytes(canonical_bytes(), mode, seed);
+        prop_assert_ne!(damaged.as_slice(), canonical_bytes());
+        match Artifact::from_bytes(&damaged) {
+            Ok(_) => prop_assert!(
+                false,
+                "{} seed {} slipped past every integrity check",
+                mode.label(),
+                seed
+            ),
+            Err(e) => {
+                prop_assert!(!e.kind().is_empty());
+                prop_assert!(!format!("{e}").is_empty());
+            }
+        }
+    }
+
+    /// Pure garbage (not derived from a valid artifact) never panics either;
+    /// almost all of it dies on the magic check.
+    #[test]
+    fn arbitrary_garbage_never_panics(bytes in prop::collection::vec(0u8..=255, 0..512)) {
+        match Artifact::from_bytes(&bytes) {
+            Ok(_) => prop_assert!(false, "random garbage parsed as an artifact"),
+            Err(e) => prop_assert!(!e.kind().is_empty()),
+        }
+    }
+
+    /// Garbage that *starts* with a valid header exercises the deeper
+    /// section-parsing paths and still fails typed.
+    #[test]
+    fn garbage_with_valid_header_never_panics(
+        body in prop::collection::vec(0u8..=255, 0..256),
+    ) {
+        let mut bytes = canonical_bytes()[..16].to_vec(); // magic + version + count
+        bytes.extend_from_slice(&body);
+        prop_assert!(Artifact::from_bytes(&bytes).is_err());
+    }
+}
+
+#[test]
+fn every_mode_is_rejected_from_disk_too() {
+    let dir = std::env::temp_dir().join("pm-store-fault");
+    std::fs::create_dir_all(&dir).unwrap();
+    for mode in ByteCorruption::all() {
+        let damaged = corrupt_bytes(canonical_bytes(), mode, 1);
+        let path = dir.join(format!("{}-{}.pmstore", mode.label(), std::process::id()));
+        std::fs::write(&path, &damaged).unwrap();
+        let err = Artifact::read_file(&path).unwrap_err();
+        assert!(
+            !matches!(err, StoreError::Io { .. }),
+            "{}: expected a format error, got {err:?}",
+            mode.label()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests: `pm-store/1` serialization round-trips byte-identically
+//! across mining runs and across randomized parameter payloads.
+
+use pm_core::prelude::*;
+use pm_core::recognize::stay_points_of;
+use pm_geo::GeoPoint;
+use pm_store::Artifact;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn mine(seed: u64, sigma: usize) -> Artifact {
+    let ds = pm_eval::Dataset::generate(&pm_synth::CityConfig::tiny(seed));
+    let params = MinerParams {
+        sigma,
+        ..MinerParams::default()
+    };
+    let stays = stay_points_of(&ds.trajectories);
+    let csd = CitySemanticDiagram::build(&ds.pois, &stays, &params).expect("build");
+    let recognized = recognize_all(&csd, ds.trajectories, &params).expect("recognize");
+    let patterns = extract_patterns(&recognized, &params).expect("extract");
+    Artifact::new(csd, patterns, params)
+}
+
+/// One canonical mined artifact, built once per test binary.
+fn canonical() -> &'static Artifact {
+    static ART: OnceLock<Artifact> = OnceLock::new();
+    ART.get_or_init(|| mine(42, 20))
+}
+
+#[test]
+fn several_runs_roundtrip_byte_identically() {
+    for (seed, sigma) in [(42u64, 20usize), (7, 20), (3, 15)] {
+        let artifact = mine(seed, sigma);
+        let bytes = artifact.to_bytes();
+        let reloaded = Artifact::from_bytes(&bytes)
+            .unwrap_or_else(|e| panic!("seed {seed} sigma {sigma}: {e}"));
+        assert_eq!(
+            reloaded.to_bytes(),
+            bytes,
+            "seed {seed} sigma {sigma}: re-serialize differs"
+        );
+    }
+}
+
+#[test]
+fn reloaded_patterns_match_in_process_queries() {
+    let artifact = canonical();
+    let reloaded = Artifact::from_bytes(&artifact.to_bytes()).expect("load");
+    let q = PatternQuery::new().min_support(20);
+    let a: Vec<String> = q
+        .run(&artifact.patterns)
+        .iter()
+        .map(|p| p.describe())
+        .collect();
+    let b: Vec<String> = q
+        .run(&reloaded.patterns)
+        .iter()
+        .map(|p| p.describe())
+        .collect();
+    assert_eq!(a, b);
+    for (p, r) in artifact.patterns.iter().zip(&reloaded.patterns) {
+        assert_eq!(p.categories, r.categories);
+        assert_eq!(p.members, r.members);
+        assert_eq!(p.support(), r.support());
+        for (sa, sb) in p.stays.iter().zip(&r.stays) {
+            assert_eq!(sa.pos.x.to_bits(), sb.pos.x.to_bits());
+            assert_eq!(sa.pos.y.to_bits(), sb.pos.y.to_bits());
+            assert_eq!(sa.time, sb.time);
+            assert_eq!(sa.primary, sb.primary);
+        }
+    }
+}
+
+proptest! {
+    /// Arbitrary parameter payloads survive the PARM codec bit for bit,
+    /// including awkward floats carried as raw IEEE-754 patterns.
+    #[test]
+    fn random_params_roundtrip(
+        r3sigma in 1.0f64..500.0,
+        min_pts in 1usize..64,
+        sigma in 1usize..200,
+        theta_t in 1i64..100_000,
+        rho in 0.0f64..1.0,
+        threads in 0usize..16,
+    ) {
+        let params = MinerParams {
+            r3sigma,
+            min_pts,
+            sigma,
+            theta_t,
+            rho,
+            threads,
+            ..MinerParams::default()
+        };
+        let csd = CitySemanticDiagram::build(&[], &[], &params).expect("build");
+        let artifact = Artifact::new(csd, Vec::new(), params);
+        let bytes = artifact.to_bytes();
+        let reloaded = Artifact::from_bytes(&bytes).expect("load");
+        prop_assert_eq!(reloaded.params, params);
+        prop_assert_eq!(reloaded.to_bytes(), bytes);
+    }
+
+    /// Arbitrary projection origins round-trip exactly.
+    #[test]
+    fn random_projection_roundtrips(lon in -180.0f64..180.0, lat in -85.0f64..85.0) {
+        let params = MinerParams::default();
+        let csd = CitySemanticDiagram::build(&[], &[], &params).expect("build");
+        let artifact = Artifact::new(csd, Vec::new(), params)
+            .with_projection(GeoPoint::new(lon, lat));
+        let reloaded = Artifact::from_bytes(&artifact.to_bytes()).expect("load");
+        let origin = reloaded.projection.expect("projection preserved");
+        prop_assert_eq!(origin.lon.to_bits(), lon.to_bits());
+        prop_assert_eq!(origin.lat.to_bits(), lat.to_bits());
+    }
+}

@@ -211,6 +211,87 @@ pub fn corrupt_csv(text: &str, fraction: f64, seed: u64) -> (String, usize) {
     (out, mangled)
 }
 
+/// One injectable failure mode for an opaque *byte* blob — the binary
+/// counterpart of [`corrupt_csv`], aimed at stored artifacts (`pm-store`
+/// files) rather than text feeds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ByteCorruption {
+    /// A single bit flipped at a seeded position (cosmic ray, bad sector).
+    BitFlip,
+    /// The blob cut off after a seeded prefix (interrupted download).
+    Truncate,
+    /// A seeded run of bytes overwritten with pseudo-random garbage
+    /// (cross-linked block, partial overwrite).
+    GarbageRun,
+    /// Extra garbage appended past the declared end (tar padding, partial
+    /// second write).
+    TrailingGarbage,
+}
+
+impl ByteCorruption {
+    /// Short machine-checkable name of the failure mode.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ByteCorruption::BitFlip => "bit_flip",
+            ByteCorruption::Truncate => "truncate",
+            ByteCorruption::GarbageRun => "garbage_run",
+            ByteCorruption::TrailingGarbage => "trailing_garbage",
+        }
+    }
+
+    /// Every byte-level failure mode.
+    pub fn all() -> Vec<ByteCorruption> {
+        vec![
+            ByteCorruption::BitFlip,
+            ByteCorruption::Truncate,
+            ByteCorruption::GarbageRun,
+            ByteCorruption::TrailingGarbage,
+        ]
+    }
+}
+
+/// Applies one byte-level corruption to `bytes`, deterministically per seed,
+/// and returns the damaged copy. The result is guaranteed to differ from the
+/// input whenever the input is non-empty (for `Truncate`, also non-trivially
+/// short), so `corrupted != original` assertions are meaningful.
+pub fn corrupt_bytes(bytes: &[u8], mode: ByteCorruption, seed: u64) -> Vec<u8> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xB17E);
+    let mut out = bytes.to_vec();
+    match mode {
+        ByteCorruption::BitFlip => {
+            if !out.is_empty() {
+                let pos = rng.gen_range(0..out.len());
+                let bit = rng.gen_range(0..8u32);
+                out[pos] ^= 1 << bit;
+            }
+        }
+        ByteCorruption::Truncate => {
+            if !out.is_empty() {
+                let keep = rng.gen_range(0..out.len());
+                out.truncate(keep);
+            }
+        }
+        ByteCorruption::GarbageRun => {
+            if !out.is_empty() {
+                let start = rng.gen_range(0..out.len());
+                let len = rng.gen_range(1..=64usize).min(out.len() - start);
+                for b in &mut out[start..start + len] {
+                    // XOR with a non-zero mask so every byte in the run
+                    // actually changes.
+                    *b ^= rng.gen_range(1..=255u32) as u8;
+                }
+            }
+        }
+        ByteCorruption::TrailingGarbage => {
+            let extra = rng.gen_range(1..=32usize);
+            for _ in 0..extra {
+                out.push(rng.gen_range(0..=255u32) as u8);
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -320,5 +401,45 @@ mod tests {
         let (same, zero) = corrupt_csv(text, 0.0, 5);
         assert_eq!(zero, 0);
         assert_eq!(same, text);
+    }
+
+    #[test]
+    fn byte_corruption_is_deterministic_and_effective() {
+        let blob: Vec<u8> = (0..=255u8).cycle().take(4096).collect();
+        for mode in ByteCorruption::all() {
+            for seed in 0..16u64 {
+                let damaged = corrupt_bytes(&blob, mode, seed);
+                assert_ne!(damaged, blob, "{} seed {seed} was a no-op", mode.label());
+                assert_eq!(
+                    damaged,
+                    corrupt_bytes(&blob, mode, seed),
+                    "{} seed {seed} not deterministic",
+                    mode.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bit_flip_changes_exactly_one_bit() {
+        let blob = vec![0u8; 1024];
+        let damaged = corrupt_bytes(&blob, ByteCorruption::BitFlip, 9);
+        let flipped: u32 = blob
+            .iter()
+            .zip(&damaged)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(flipped, 1);
+    }
+
+    #[test]
+    fn byte_corruption_handles_empty_input() {
+        for mode in ByteCorruption::all() {
+            let damaged = corrupt_bytes(&[], mode, 3);
+            match mode {
+                ByteCorruption::TrailingGarbage => assert!(!damaged.is_empty()),
+                _ => assert!(damaged.is_empty()),
+            }
+        }
     }
 }

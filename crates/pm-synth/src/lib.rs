@@ -35,6 +35,6 @@ pub mod trips;
 pub use checkin::{generate_checkins, Checkin, SharingProfile};
 pub use city::{CityModel, District, Tower};
 pub use config::CityConfig;
-pub use corrupt::{corrupt_csv, corrupt_trajectories, Corruption};
+pub use corrupt::{corrupt_bytes, corrupt_csv, corrupt_trajectories, ByteCorruption, Corruption};
 pub use gps::{generate_probe_tracks, GpsConfig, ProbeTrack};
 pub use trips::{TaxiCorpus, TaxiJourney};

@@ -49,4 +49,53 @@ PM_BENCH_SMOKE=1 PM_BENCH_OUT="$workspace/BENCH_pipeline.json" \
 [ -s BENCH_pipeline.json ] \
     || die "bench smoke did not write BENCH_pipeline.json"
 
+# Serve smoke: loopback request latencies, spliced into the same report.
+echo "==> cargo bench -p pm-bench --bench serve_latency (PM_BENCH_SMOKE=1)"
+PM_BENCH_SMOKE=1 PM_BENCH_OUT="$workspace/BENCH_pipeline.json" \
+    cargo bench -p pm-bench --bench serve_latency
+grep -q '"serve"' BENCH_pipeline.json \
+    || die "serve bench did not splice into BENCH_pipeline.json"
+
+# Artifact round trip: mine the committed example data into a pm-store
+# artifact, then prove it reloads and re-serializes byte-identically.
+echo "==> artifact round trip (mine --artifact + artifact-check)"
+artifact="$workspace/target/ci-city.pmstore"
+rm -f "$artifact"
+cargo run --release -q -p pm-cli -- mine \
+    --pois examples/data/pois.csv --journeys examples/data/journeys.csv \
+    --lenient --sigma 20 --top 0 --artifact "$artifact" > /dev/null
+[ -s "$artifact" ] || die "mine --artifact wrote nothing"
+cargo run --release -q -p pm-cli -- artifact-check "$artifact"
+
+# Serve smoke test: boot the query service on an ephemeral port, hit it
+# with curl, and shut it down cleanly. Skipped when curl is unavailable.
+if command -v curl > /dev/null 2>&1; then
+    echo "==> serve smoke test (ephemeral port + curl)"
+    serve_log="$workspace/target/ci-serve.log"
+    cargo run --release -q -p pm-cli -- serve \
+        --artifact "$artifact" --addr 127.0.0.1:0 2> "$serve_log" &
+    serve_pid=$!
+    trap 'kill "$serve_pid" 2> /dev/null || true' EXIT
+    addr=""
+    for _ in $(seq 1 50); do
+        addr="$(sed -n 's/^listening on //p' "$serve_log")"
+        [ -n "$addr" ] && break
+        kill -0 "$serve_pid" 2> /dev/null || die "serve exited: $(cat "$serve_log")"
+        sleep 0.1
+    done
+    [ -n "$addr" ] || die "serve never announced its address: $(cat "$serve_log")"
+    curl -fsS "http://$addr/healthz" | grep -q '"status":"ok"' \
+        || die "healthz did not answer ok"
+    curl -fsS "http://$addr/v1/semantic?lon=121.4737&lat=31.2304" \
+        | grep -q '"query"' || die "semantic lookup failed"
+    curl -fsS "http://$addr/v1/patterns?limit=3" | grep -q '"total"' \
+        || die "pattern query failed"
+    kill "$serve_pid"
+    wait "$serve_pid" 2> /dev/null || true
+    trap - EXIT
+    echo "    serve answered on $addr and shut down cleanly"
+else
+    echo "==> serve smoke test skipped (curl not found)"
+fi
+
 echo "==> ci.sh: all green"
