@@ -1,0 +1,177 @@
+//! Streaming-ingest throughput harness with a CI-friendly smoke mode.
+//!
+//! Mines an artifact, serves it, then replays synthetic per-user fix
+//! streams through `POST /v1/ingest` on a keep-alive connection — users
+//! dwell at unit centers long enough to trigger Definition 5, so the
+//! measured path covers transport ordering, incremental detection,
+//! recognition against the snapshot, and the transition window. The
+//! sustained fixes/second lands in the `"ingest"` section of
+//! `BENCH_pipeline.json`, spliced next to the offline pipeline and serve
+//! latency sections.
+//!
+//! Knobs (environment):
+//! - `PM_BENCH_SMOKE=1` — quick mode: tiny dataset, ~4k fixes. Anything
+//!   else (or unset) replays the evaluation-scale dataset with ~48k fixes.
+//! - `PM_BENCH_OUT=<path>` — the JSON to write or splice into (default:
+//!   `BENCH_pipeline.json` in the current directory).
+
+use pervasive_miner::core::recognize::stay_points_of;
+use pervasive_miner::obs::json;
+use pervasive_miner::prelude::*;
+use pervasive_miner::serve::{client, ServeConfig, Server, Snapshot};
+use pervasive_miner::store::Artifact;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn mine_artifact(ds: &Dataset, params: &MinerParams) -> Artifact {
+    let stays = stay_points_of(&ds.trajectories);
+    let csd = CitySemanticDiagram::build(&ds.pois, &stays, params).expect("build");
+    let recognized = recognize_all(&csd, ds.trajectories.clone(), params).expect("recognize");
+    let patterns = extract_patterns(&recognized, params).expect("extract");
+    Artifact::new(csd, patterns, *params)
+}
+
+/// One user's synthetic stream: dwell legs at successive unit centers,
+/// `dwell` fixes each at `theta_t / 3` spacing (long enough for a stay),
+/// separated by a `2 * theta_t` travel gap that breaks the dwell.
+fn user_fixes(
+    user: usize,
+    legs: usize,
+    dwell: usize,
+    centers: &[pervasive_miner::geo::LocalPoint],
+    params: &MinerParams,
+) -> Vec<(f64, f64, i64)> {
+    let mut out = Vec::with_capacity(legs * dwell);
+    let mut t = 1_000 * user as i64;
+    for leg in 0..legs {
+        let c = centers[(user + leg) % centers.len()];
+        for _ in 0..dwell {
+            t += params.theta_t / 3;
+            out.push((c.x, c.y, t));
+        }
+        t += params.theta_t * 2;
+    }
+    out
+}
+
+fn main() {
+    let smoke = std::env::var("PM_BENCH_SMOKE").is_ok_and(|v| v.trim() == "1");
+    let out_path =
+        std::env::var("PM_BENCH_OUT").unwrap_or_else(|_| "BENCH_pipeline.json".to_string());
+    let (ds, params, users, legs, mode) = if smoke {
+        (
+            pm_bench::timing_dataset(),
+            pm_bench::timing_params(),
+            24,
+            4,
+            "smoke",
+        )
+    } else {
+        (
+            pm_bench::bench_dataset(),
+            pm_bench::bench_params(),
+            80,
+            15,
+            "full",
+        )
+    };
+    let dwell = 8usize;
+    let batch_size = 400usize;
+    eprintln!(
+        "ingest bench ({mode}): {users} users x {legs} legs x {dwell} fixes, batches of {batch_size}"
+    );
+
+    let artifact = mine_artifact(&ds, &params);
+    eprintln!("  artifact: {}", artifact.describe());
+    let centers: Vec<_> = artifact.csd.units().iter().map(|u| u.center).collect();
+    assert!(!centers.is_empty(), "bench city must yield units");
+    let snapshot = Arc::new(Snapshot::new(artifact).expect("snapshot"));
+    let server = Server::bind(
+        "127.0.0.1:0",
+        snapshot,
+        ServeConfig {
+            max_requests_per_conn: usize::MAX,
+            ..ServeConfig::default()
+        },
+        pervasive_miner::obs::Obs::noop(),
+    )
+    .expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = server.shutdown_handle().expect("handle");
+    let thread = std::thread::spawn(move || server.run());
+
+    // Interleave users round-robin, one leg at a time — the realistic shape
+    // where every batch carries many users' partial streams.
+    let streams: Vec<Vec<(f64, f64, i64)>> = (0..users)
+        .map(|u| user_fixes(u, legs, dwell, &centers, &params))
+        .collect();
+    let mut records: Vec<(usize, (f64, f64, i64))> = Vec::new();
+    for leg in 0..legs {
+        for (u, fixes) in streams.iter().enumerate() {
+            for &f in &fixes[leg * dwell..(leg + 1) * dwell] {
+                records.push((u, f));
+            }
+        }
+    }
+
+    let mut conn = client::Conn::open(addr).expect("connect");
+    let (mut stays, mut transitions, mut batches) = (0i64, 0i64, 0u64);
+    let started = Instant::now();
+    for chunk in records.chunks(batch_size) {
+        let mut body = String::from("{\"fixes\":[");
+        for (i, (u, (x, y, t))) in chunk.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            let _ = write!(body, "{{\"user\":\"u{u}\",\"x\":{x},\"y\":{y},\"t\":{t}}}");
+        }
+        body.push_str("]}");
+        let (status, reply) = conn.post("/v1/ingest", &body).expect("ingest");
+        assert_eq!(status, 200, "{reply}");
+        let parsed = pervasive_miner::serve::json::parse(&reply).expect("reply JSON");
+        stays += parsed.get("stays").and_then(|v| v.as_i64()).unwrap_or(0);
+        transitions += parsed
+            .get("transitions")
+            .and_then(|v| v.as_i64())
+            .unwrap_or(0);
+        batches += 1;
+    }
+    let wall_ms = started.elapsed().as_nanos() as f64 / 1e6;
+    handle.shutdown();
+    thread.join().expect("server thread").expect("serve");
+
+    let fixes = records.len();
+    let fixes_per_sec = (fixes as f64 / (wall_ms / 1e3)) as u64;
+    assert!(stays > 0, "the replay must emit stays");
+    eprintln!(
+        "  {fixes} fixes in {batches} batches: {:.1} ms total, {fixes_per_sec} fixes/s, {stays} stays, {transitions} transitions",
+        wall_ms
+    );
+
+    let mut section = String::from("{\n    \"schema\": \"pm-bench-ingest/1\"");
+    let _ = write!(section, ",\n    \"mode\": \"{mode}\"");
+    let _ = write!(section, ",\n    \"fixes\": {fixes}");
+    let _ = write!(section, ",\n    \"batches\": {batches}");
+    let _ = write!(section, ",\n    \"wall_ms\": {}", json::millis(wall_ms));
+    let _ = write!(section, ",\n    \"fixes_per_sec\": {fixes_per_sec}");
+    let _ = write!(section, ",\n    \"stays\": {stays}");
+    let _ = write!(section, ",\n    \"transitions\": {transitions}");
+    section.push_str("\n  }");
+
+    // Splice into the pipeline bench's report when one is present and does
+    // not already carry an ingest section; otherwise write a standalone
+    // document so the bench works in isolation too.
+    let spliced = std::fs::read_to_string(&out_path)
+        .ok()
+        .filter(|doc| doc.ends_with("\n}\n") && !doc.contains("\"ingest\""))
+        .map(|doc| {
+            let body = doc.trim_end_matches("\n}\n");
+            format!("{body},\n  \"ingest\": {section}\n}}\n")
+        });
+    let doc = spliced.unwrap_or_else(|| {
+        format!("{{\n  \"schema\": \"pm-bench/1\",\n  \"ingest\": {section}\n}}\n")
+    });
+    std::fs::write(&out_path, doc).expect("write bench report");
+    eprintln!("wrote {out_path}");
+}

@@ -5,6 +5,7 @@
 //!                        [--pois FILE --journeys FILE] [--lenient]
 //!                        [--artifact FILE] [--top N]
 //! pervasive-miner serve  --artifact FILE [--addr HOST:PORT] [--threads N]
+//! pervasive-miner replay --journeys FILE [--addr HOST:PORT] [--rate N] [--batch N]
 //! pervasive-miner artifact-check <FILE>
 //! pervasive-miner fig    <6|9|10|11|12|13|14>  [--scale ..] [--seed N] [--csv DIR]
 //! pervasive-miner table  <1|3>                 [--scale ..] [--seed N]
@@ -25,7 +26,10 @@
 //!
 //! `mine --artifact` additionally persists the full run (CSD + patterns +
 //! parameters) as a versioned `pm-store` artifact; `serve` loads such an
-//! artifact and answers semantic queries over HTTP; `artifact-check`
+//! artifact and answers semantic queries over HTTP (including live
+//! ingestion at `POST /v1/ingest` and artifact hot-swap at
+//! `POST /v1/reload`); `replay` streams a journey CSV into a running
+//! server's ingest endpoint at a configurable rate; `artifact-check`
 //! verifies an artifact on disk re-serializes byte-identically.
 
 use pervasive_miner::core::construct::ConstructionOptions;
@@ -37,8 +41,9 @@ use pervasive_miner::io::{
     QuarantineReport,
 };
 use pervasive_miner::prelude::*;
-use pervasive_miner::serve::{ServeConfig, Server, Snapshot};
+use pervasive_miner::serve::{ServeConfig, ServeState, Server, Snapshot};
 use pervasive_miner::store::Artifact;
+use pervasive_miner::stream::EngineConfig;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -60,6 +65,8 @@ struct Args {
     artifact: Option<PathBuf>,
     top: usize,
     addr: String,
+    rate: u64,
+    batch: usize,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -88,6 +95,8 @@ fn parse_args() -> Result<Args, String> {
         artifact: None,
         top: 20,
         addr: "127.0.0.1:8080".into(),
+        rate: 0,
+        batch: 256,
     };
     let mut positional = Vec::new();
     while let Some(a) = argv.next() {
@@ -145,6 +154,23 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad --top: {e}"))?
             }
             "--addr" => args.addr = argv.next().ok_or("--addr needs host:port")?,
+            "--rate" => {
+                args.rate = argv
+                    .next()
+                    .ok_or("--rate needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --rate: {e}"))?
+            }
+            "--batch" => {
+                args.batch = argv
+                    .next()
+                    .ok_or("--batch needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --batch: {e}"))?;
+                if args.batch == 0 {
+                    return Err("--batch must be at least 1".into());
+                }
+            }
             other if !other.starts_with('-') => positional.push(other.to_string()),
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
@@ -154,11 +180,11 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: pervasive-miner <mine|serve|artifact-check|fig|table|all|svg> [target] \
+    "usage: pervasive-miner <mine|serve|replay|artifact-check|fig|table|all|svg> [target] \
      [--scale tiny|small|paper] [--seed N] [--sigma N] [--csv DIR] [--out FILE] \
      [--pois FILE --journeys FILE] [--lenient] [--threads N] \
      [--report FILE] [--report-format json|text] \
-     [--artifact FILE] [--top N] [--addr HOST:PORT]\n\
+     [--artifact FILE] [--top N] [--addr HOST:PORT] [--rate N] [--batch N]\n\
      --pois/--journeys: mine real CSV data instead of a synthetic city\n\
      --lenient: quarantine malformed input lines instead of aborting on the \
      first one; a dropped-records summary goes to stderr\n\
@@ -172,7 +198,11 @@ fn usage() -> String {
      with `serve`, the artifact to load (required)\n\
      --top: how many patterns `mine` prints (default 20)\n\
      --addr: `serve` listen address (default 127.0.0.1:8080; port 0 picks \
-     an ephemeral port, announced on stderr)\n\
+     an ephemeral port, announced on stderr); for `replay`, the server to \
+     stream into\n\
+     replay --journeys FILE: stream a journey CSV into a running server's \
+     POST /v1/ingest as live stay records; --rate caps records/second \
+     (0 = unthrottled), --batch sets records per request (default 256)\n\
      artifact-check <FILE>: reload an artifact and verify it re-serializes \
      byte-identically"
         .into()
@@ -222,6 +252,7 @@ fn run() -> Result<(), String> {
     // city — branch before dataset generation.
     match args.command.as_str() {
         "serve" => return serve_command(&args),
+        "replay" => return replay_command(&args),
         "artifact-check" => return artifact_check(&args),
         _ => {}
     }
@@ -374,6 +405,8 @@ fn mine_ingested(args: &Args, params: &MinerParams) -> Result<(), String> {
 /// Loads an artifact and serves semantic queries over HTTP until killed
 /// (or the listener fails). The bound address goes to stderr so scripts
 /// can use `--addr 127.0.0.1:0` and discover the ephemeral port.
+/// The artifact path is remembered as the default for `POST /v1/reload`,
+/// so re-mining to the same file and hitting reload hot-swaps the service.
 fn serve_command(args: &Args) -> Result<(), String> {
     let path = args
         .artifact
@@ -381,18 +414,148 @@ fn serve_command(args: &Args) -> Result<(), String> {
         .ok_or("serve needs --artifact FILE (produce one with `mine --artifact`)")?;
     let artifact = Artifact::read_file(path).map_err(|e| format!("{}: {e}", path.display()))?;
     eprintln!("loaded {}: {}", path.display(), artifact.describe());
+    let engine = EngineConfig::from_miner(&artifact.params);
     let snapshot = Snapshot::new(artifact).map_err(|e| format!("{}: {e}", path.display()))?;
+    let state = ServeState::new(Arc::new(snapshot), engine)
+        .map_err(|e| e.to_string())?
+        .with_reload_path(path);
 
     let config = ServeConfig {
         threads: args.threads.unwrap_or(0),
         ..ServeConfig::default()
     };
     let obs = Obs::enabled();
-    let server = Server::bind(&args.addr, Arc::new(snapshot), config, obs)
+    let server = Server::bind_with_state(&args.addr, Arc::new(state), config, obs)
         .map_err(|e| format!("bind {}: {e}", args.addr))?;
     let addr = server.local_addr().map_err(|e| e.to_string())?;
     eprintln!("listening on {addr}");
     server.run().map_err(|e| format!("serve: {e}"))
+}
+
+/// Streams a journey CSV into a running server's `POST /v1/ingest`.
+///
+/// Each journey becomes two live **stay** records sharing one user id (the
+/// payment card when present, an anonymous per-journey id otherwise) — in
+/// the taxi regime pick-ups and drop-offs *are* stays, so they bypass dwell
+/// detection and feed the transition window directly. Coordinates go over
+/// the wire in the shared Shanghai-anchored local frame. Overload answers
+/// (`429`/`503`) back off and retry; any other failure aborts with a
+/// nonzero exit.
+fn replay_command(args: &Args) -> Result<(), String> {
+    use pervasive_miner::serve::client::Conn;
+    use std::fmt::Write as _;
+
+    let path = args
+        .journeys
+        .as_ref()
+        .ok_or("replay needs --journeys FILE")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let addr: std::net::SocketAddr = args
+        .addr
+        .parse()
+        .map_err(|e| format!("bad --addr {}: {e}", args.addr))?;
+    let projection = pervasive_miner::io::default_projection();
+
+    // (user, x, y, t) stay records, lazily drawn from the CSV.
+    let mut skipped = 0usize;
+    let records = pervasive_miner::io::JourneyStream::new(&text, &projection)
+        .enumerate()
+        .filter_map(|(i, parsed)| match parsed {
+            Ok(j) => {
+                let user = match j.card {
+                    Some(card) => format!("card-{card}"),
+                    None => format!("anon-{i}"),
+                };
+                Some([(user.clone(), j.pickup), (user, j.dropoff)])
+            }
+            Err(_) => {
+                skipped += 1;
+                None
+            }
+        })
+        .flatten();
+
+    let mut conn = Conn::open(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut sent = 0u64;
+    let mut batches = 0u64;
+    let mut accepted = 0u64;
+    let mut quarantined = 0u64;
+    let mut stays = 0u64;
+    let mut transitions = 0u64;
+    let started = std::time::Instant::now();
+
+    let mut batch: Vec<(String, pervasive_miner::core::types::GpsPoint)> =
+        Vec::with_capacity(args.batch);
+    let mut pending = records.peekable();
+    while pending.peek().is_some() {
+        batch.clear();
+        while batch.len() < args.batch {
+            match pending.next() {
+                Some(r) => batch.push(r),
+                None => break,
+            }
+        }
+        let mut body = String::from("{\"stays\":[");
+        for (i, (user, p)) in batch.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            let _ = write!(
+                body,
+                "{{\"user\":\"{user}\",\"x\":{},\"y\":{},\"t\":{}}}",
+                p.pos.x, p.pos.y, p.time
+            );
+        }
+        body.push_str("]}");
+
+        // Bounded retry on overload; reconnect when the server closed the
+        // keep-alive session (error statuses close the connection).
+        let mut attempts = 0;
+        let reply = loop {
+            let result = conn.post("/v1/ingest", &body);
+            match result {
+                Ok((200, reply)) => break reply,
+                Ok((status @ (429 | 503), _)) if attempts < 50 => {
+                    attempts += 1;
+                    std::thread::sleep(std::time::Duration::from_millis(20 * attempts));
+                    conn = Conn::open(addr).map_err(|e| format!("reconnect {addr}: {e}"))?;
+                    let _ = status;
+                }
+                Ok((status, reply)) => return Err(format!("ingest failed with {status}: {reply}")),
+                Err(e) if attempts < 5 => {
+                    attempts += 1;
+                    conn = Conn::open(addr).map_err(|e| format!("reconnect {addr}: {e}"))?;
+                    let _ = e;
+                }
+                Err(e) => return Err(format!("ingest request failed: {e}")),
+            }
+        };
+        let count = |key: &str| -> u64 {
+            pervasive_miner::serve::json::parse(&reply)
+                .ok()
+                .and_then(|v| v.get(key).and_then(|n| n.as_i64()))
+                .unwrap_or(0) as u64
+        };
+        accepted += count("accepted");
+        quarantined += count("quarantined");
+        stays += count("stays");
+        transitions += count("transitions");
+        sent += batch.len() as u64;
+        batches += 1;
+
+        if args.rate > 0 {
+            // Keep the long-run average at `--rate` records/second.
+            let due = std::time::Duration::from_secs_f64(sent as f64 / args.rate as f64);
+            if let Some(wait) = due.checked_sub(started.elapsed()) {
+                std::thread::sleep(wait);
+            }
+        }
+    }
+    eprintln!(
+        "replayed {sent} records in {batches} batches ({skipped} malformed lines skipped): \
+         {accepted} accepted, {quarantined} quarantined, {stays} stays, {transitions} transitions"
+    );
+    Ok(())
 }
 
 /// Reloads an artifact and proves it re-serializes byte-identically —
@@ -405,13 +568,8 @@ fn artifact_check(args: &Args) -> Result<(), String> {
         .or_else(|| args.artifact.clone())
         .ok_or("artifact-check needs a path: artifact-check <FILE>")?;
     let bytes = std::fs::read(&path).map_err(|e| format!("{}: {e}", path.display()))?;
-    let artifact = Artifact::from_bytes(&bytes).map_err(|e| format!("{}: {e}", path.display()))?;
-    if artifact.to_bytes() != bytes {
-        return Err(format!(
-            "{}: re-serialization differs from the stored bytes",
-            path.display()
-        ));
-    }
+    let artifact =
+        Artifact::from_bytes_verified(&bytes).map_err(|e| format!("{}: {e}", path.display()))?;
     println!(
         "{}: ok — {} bytes, {}",
         path.display(),

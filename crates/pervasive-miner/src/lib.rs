@@ -18,6 +18,8 @@
 //!   machine-readable run reports (see the CLI's `--report` flag).
 //! - [`store`]: versioned, checksummed binary artifacts persisting a
 //!   complete mining run (CSD + patterns).
+//! - [`stream`]: online ingestion — the incremental stay-point detector and
+//!   sliding-window transition engine behind the service's live endpoints.
 //! - [`serve`]: the online HTTP query service over a stored artifact.
 //!
 //! See `examples/quickstart.rs` for the canonical end-to-end flow.
@@ -32,6 +34,7 @@ pub use pm_obs as obs;
 pub use pm_seqmine as seqmine;
 pub use pm_serve as serve;
 pub use pm_store as store;
+pub use pm_stream as stream;
 pub use pm_synth as synth;
 
 /// Convenience prelude: everything a pipeline application needs.

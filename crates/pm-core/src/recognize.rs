@@ -61,21 +61,32 @@ pub fn detect_stay_points_tracked(
             j += 1;
         }
         if pts[j].time.saturating_sub(pts[i].time) >= params.theta_t {
-            let n = (j - i + 1) as f64;
-            let mut sum = LocalPoint::ORIGIN;
-            let mut t_sum: i128 = 0;
-            for p in &pts[i..=j] {
-                sum = sum + p.pos;
-                t_sum += p.time as i128;
-            }
-            let avg_t = (t_sum / (j - i + 1) as i128) as i64;
-            stays.push(StayPoint::untagged(sum / n, avg_t));
+            stays.push(collapse_window(&pts[i..=j]));
             i = j + 1;
         } else {
             i += 1;
         }
     }
     stays
+}
+
+/// Collapses one dwell window — a run of fixes all within `theta_d` of its
+/// first fix — into its stay point: mean position, mean timestamp.
+///
+/// This is the single arithmetic used by both the batch detector above and
+/// pm-stream's incremental detector, so their outputs are bit-identical:
+/// positions sum in encounter order and times average in 128-bit, exactly
+/// as [`detect_stay_points_tracked`] always did. An empty window yields an
+/// origin stay at time 0 rather than panicking (callers never pass one).
+pub fn collapse_window(window: &[GpsPoint]) -> StayPoint {
+    let n = window.len().max(1);
+    let mut sum = LocalPoint::ORIGIN;
+    let mut t_sum: i128 = 0;
+    for p in window {
+        sum = sum + p.pos;
+        t_sum += p.time as i128;
+    }
+    StayPoint::untagged(sum / n as f64, (t_sum / n as i128) as i64)
 }
 
 /// Converts a GPS trajectory into an (untagged) semantic trajectory — the

@@ -39,27 +39,42 @@ pub(crate) fn parse_u64(field: &str, line: usize, name: &str) -> Result<u64, IoE
         .map_err(|_| IoError::parse(line, format!("bad {name}: '{field}'")))
 }
 
+/// Iterator over the non-empty data lines of a CSV body (see
+/// [`data_lines`]). Named so lazy line streams can hold one in a field.
+pub(crate) struct DataLines<'a> {
+    lines: std::iter::Enumerate<std::str::Lines<'a>>,
+    header_first: &'a str,
+}
+
+impl<'a> Iterator for DataLines<'a> {
+    type Item = (usize, &'a str);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        for (i, line) in self.lines.by_ref() {
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            if i == 0 {
+                let first = fields(trimmed).first().map(|f| f.to_ascii_lowercase());
+                if first.as_deref() == Some(self.header_first) {
+                    continue;
+                }
+            }
+            return Some((i + 1, trimmed));
+        }
+        None
+    }
+}
+
 /// Iterates non-empty data lines of a CSV body, skipping the header when
 /// its first field matches `header_first` case-insensitively. Yields
 /// `(line_number, line)` with 1-based numbering including the header.
-pub(crate) fn data_lines<'a>(
-    text: &'a str,
-    header_first: &'a str,
-) -> impl Iterator<Item = (usize, &'a str)> + 'a {
-    text.lines().enumerate().filter_map(move |(i, line)| {
-        let line_no = i + 1;
-        let trimmed = line.trim();
-        if trimmed.is_empty() {
-            return None;
-        }
-        if i == 0 {
-            let first = fields(trimmed).first().map(|f| f.to_ascii_lowercase());
-            if first.as_deref() == Some(header_first) {
-                return None;
-            }
-        }
-        Some((line_no, trimmed))
-    })
+pub(crate) fn data_lines<'a>(text: &'a str, header_first: &'a str) -> DataLines<'a> {
+    DataLines {
+        lines: text.lines().enumerate(),
+        header_first,
+    }
 }
 
 #[cfg(test)]

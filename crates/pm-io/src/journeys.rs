@@ -70,6 +70,37 @@ fn parse_journey(
     })
 }
 
+/// A lazy line-at-a-time reader over journey CSV text: each item is one
+/// parsed [`JourneyRecord`] or the line-exact [`IoError`] for that record.
+///
+/// Unlike [`read_journeys_with`], nothing is buffered — the CLI `replay`
+/// command walks a whole log this way while batching records onto the wire,
+/// deciding per line whether to skip or abort. Collecting the `Ok` items
+/// (and counting the `Err` ones) reproduces a lenient batch read exactly.
+pub struct JourneyStream<'a> {
+    lines: crate::csv::DataLines<'a>,
+    projection: &'a Projection,
+}
+
+impl<'a> JourneyStream<'a> {
+    /// Opens a stream over `text`, projecting into `projection`'s frame.
+    pub fn new(text: &'a str, projection: &'a Projection) -> JourneyStream<'a> {
+        JourneyStream {
+            lines: data_lines(text, "pickup_lon"),
+            projection,
+        }
+    }
+}
+
+impl Iterator for JourneyStream<'_> {
+    type Item = Result<JourneyRecord, IoError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let (line_no, line) = self.lines.next()?;
+        Some(parse_journey(line_no, line, self.projection))
+    }
+}
+
 /// Reads a journey log from CSV text, projecting into the local frame.
 /// Rejects records whose drop-off does not strictly follow the pick-up.
 /// Fails fast on the first malformed record — the strict form of
@@ -316,6 +347,32 @@ mod tests {
                 read_journeys_threads(&text, &proj(), IngestMode::Strict, threads).unwrap_err();
             assert_eq!(se.to_string(), pe.to_string());
         }
+    }
+
+    #[test]
+    fn stream_reproduces_batch_read() {
+        let text = "pickup_lon,pickup_lat,pickup_t,dropoff_lon,dropoff_lat,dropoff_t,card\n\
+                    121.5,31.2,100,121.6,31.3,800,7\n\
+                    121.5,31.2,900,121.6,31.3,850,7\n\
+                    121.5,oops,1000,121.6,31.3,1100,\n\
+                    121.5,31.2,2000,121.6,31.3,2600,\n";
+        let p = proj();
+        let streamed: Vec<_> = JourneyStream::new(text, &p).collect();
+        assert_eq!(streamed.len(), 4);
+        let ok: Vec<JourneyRecord> = streamed
+            .iter()
+            .filter_map(|r| r.as_ref().ok().copied())
+            .collect();
+        let errs = streamed.iter().filter(|r| r.is_err()).count();
+        let (batch, report) = read_journeys_with(text, &p, IngestMode::Lenient).unwrap();
+        assert_eq!(ok, batch);
+        assert_eq!(errs, report.dropped());
+        // Errors keep their line-exact context.
+        assert!(streamed[1]
+            .as_ref()
+            .unwrap_err()
+            .to_string()
+            .contains("line 3"));
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub mod quarantine;
 pub use error::IoError;
 pub use journeys::{
     journeys_to_trajectories, read_journeys, read_journeys_observed, read_journeys_threads,
-    read_journeys_with, write_journeys, JourneyRecord,
+    read_journeys_with, write_journeys, JourneyRecord, JourneyStream,
 };
 pub use pois::{
     parse_category, read_pois, read_pois_observed, read_pois_threads, read_pois_with, write_pois,

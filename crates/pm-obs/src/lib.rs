@@ -27,6 +27,21 @@
 //! `quarantine.` are lifted into their own report sections so a run's
 //! tolerated-trouble tallies are visible at a glance.
 //!
+//! The online service (pm-serve + pm-stream) pre-registers its counter
+//! schema at zero on startup, so a fresh server's report always carries
+//! the same names:
+//!
+//! - `serve.requests.<endpoint>` / `serve.errors.<endpoint>` per routed
+//!   endpoint, `serve.shed` for queue-full 503s, and `serve.swap_epoch`
+//!   counting snapshot hot-swaps (paired with the `serve.epoch` gauge);
+//! - `stream.fixes_accepted`, `stream.stays_emitted`,
+//!   `stream.transitions_recorded`, `stream.transitions_late`, and
+//!   `stream.users_evicted` for the ingestion engine, with the live gauges
+//!   `stream.users_active` / `stream.buffered_fixes`;
+//! - `quarantine.stream_out_of_order` and
+//!   `degradation.stream_dropped_fixes` ride the special-cased prefixes, so
+//!   streaming trouble lands in the same report sections as batch trouble.
+//!
 //! # Determinism
 //!
 //! Observation is strictly one-way: nothing read from an [`Obs`] feeds back
@@ -358,6 +373,49 @@ mod tests {
         assert_eq!(r.quarantine.get("journeys_dropped"), Some(&5));
         assert_eq!(r.counters.get("io.lines_read"), Some(&100));
         assert!(!r.counters.contains_key("degradation.dropped_gps_fixes"));
+    }
+
+    #[test]
+    fn serve_stream_counter_schema_is_stable() {
+        // The canonical names the online service pre-registers at zero (see
+        // the naming scheme above). Registration alone must make every name
+        // land in its proper `pm-obs/1` section — the contract pm-serve's
+        // `/v1/stats` endpoint and the run-report consumers rely on.
+        let obs = Obs::enabled();
+        for name in [
+            "stream.fixes_accepted",
+            "stream.stays_emitted",
+            "stream.transitions_recorded",
+            "stream.transitions_late",
+            "stream.users_evicted",
+            "quarantine.stream_out_of_order",
+            "degradation.stream_dropped_fixes",
+            "serve.swap_epoch",
+        ] {
+            obs.incr(name, 0);
+        }
+        obs.gauge("serve.epoch", 0.0);
+        obs.gauge("stream.users_active", 0.0);
+        obs.gauge("stream.buffered_fixes", 0.0);
+        let r = obs.report();
+        assert_eq!(r.counters.get("stream.fixes_accepted"), Some(&0));
+        assert_eq!(r.counters.get("serve.swap_epoch"), Some(&0));
+        assert_eq!(r.quarantine.get("stream_out_of_order"), Some(&0));
+        assert_eq!(r.degradations.get("stream_dropped_fixes"), Some(&0));
+        let json = r.to_json();
+        assert!(json.starts_with("{\n  \"schema\": \"pm-obs/1\""));
+        for name in [
+            "stream.fixes_accepted",
+            "stream.transitions_late",
+            "serve.swap_epoch",
+            "stream_out_of_order",
+            "stream_dropped_fixes",
+            "serve.epoch",
+            "stream.users_active",
+            "stream.buffered_fixes",
+        ] {
+            assert!(json.contains(name), "{name} missing from report JSON");
+        }
     }
 
     #[test]

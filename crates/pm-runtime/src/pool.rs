@@ -99,6 +99,12 @@ impl WorkerPool {
         self.workers.len()
     }
 
+    /// Maximum number of pending jobs before [`WorkerPool::try_execute`]
+    /// sheds (the clamped `queue_capacity` this pool was built with).
+    pub fn capacity(&self) -> usize {
+        self.state.capacity
+    }
+
     /// Jobs currently pending (not yet picked up by a worker).
     pub fn queued(&self) -> usize {
         self.state

@@ -1,7 +1,10 @@
 //! A tiny blocking HTTP/1.1 client — just enough to exercise the server
-//! from integration tests and the latency benchmark without external tools.
+//! from integration tests, the CLI `replay` command, and the latency
+//! benchmarks without external tools. [`request`] opens one
+//! `Connection: close` socket per call; [`Conn`] keeps a connection alive
+//! across requests (`Content-Length`-delimited reads).
 
-use std::io::{Read, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
@@ -48,4 +51,85 @@ pub fn get(addr: SocketAddr, target: &str) -> std::io::Result<(u16, String)> {
 /// `POST target` with a JSON body.
 pub fn post(addr: SocketAddr, target: &str, body: &str) -> std::io::Result<(u16, String)> {
     request(addr, "POST", target, Some(body))
+}
+
+/// A persistent (keep-alive) client connection.
+pub struct Conn {
+    reader: BufReader<TcpStream>,
+}
+
+impl Conn {
+    /// Connects with the same timeouts as [`request`].
+    pub fn open(addr: SocketAddr) -> std::io::Result<Conn> {
+        let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(10))?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+        Ok(Conn {
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Issues one request on the open connection and returns
+    /// `(status, body)`. The connection stays usable until the server
+    /// answers `Connection: close` (after which further sends fail).
+    pub fn send(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<(u16, String)> {
+        let mut head = format!("{method} {target} HTTP/1.1\r\nHost: pm-serve\r\n");
+        if let Some(body) = body {
+            head.push_str(&format!("Content-Length: {}\r\n", body.len()));
+        }
+        head.push_str("\r\n");
+        let stream = self.reader.get_mut();
+        stream.write_all(head.as_bytes())?;
+        if let Some(body) = body {
+            stream.write_all(body.as_bytes())?;
+        }
+        stream.flush()?;
+        self.read_response()
+    }
+
+    /// `GET target` on the open connection.
+    pub fn get(&mut self, target: &str) -> std::io::Result<(u16, String)> {
+        self.send("GET", target, None)
+    }
+
+    /// `POST target` with a JSON body on the open connection.
+    pub fn post(&mut self, target: &str, body: &str) -> std::io::Result<(u16, String)> {
+        self.send("POST", target, Some(body))
+    }
+
+    fn read_response(&mut self) -> std::io::Result<(u16, String)> {
+        let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
+        let mut line = String::new();
+        self.reader.read_line(&mut line)?;
+        let status: u16 = line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad("unparseable status line"))?;
+        let mut content_length: usize = 0;
+        loop {
+            let mut header = String::new();
+            self.reader.read_line(&mut header)?;
+            let header = header.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = header.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| bad("bad Content-Length"))?;
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        Ok((status, String::from_utf8_lossy(&body).into_owned()))
+    }
 }

@@ -1,7 +1,10 @@
 //! A deliberately small HTTP/1.1 implementation: exactly what the query
-//! service needs — request parsing with hard limits, a response writer, and
-//! nothing else. One request per connection (`Connection: close`), no
-//! chunked bodies, no keep-alive bookkeeping.
+//! service needs — request parsing with hard limits and a response writer.
+//! Connections are keep-alive by default (HTTP/1.1 semantics): a client's
+//! `Connection: close`, an HTTP/1.0 request without `keep-alive`, any error
+//! status, or the server's per-connection request cap ends the session. No
+//! chunked bodies — requests and responses are `Content-Length`-delimited,
+//! which is what keeps pipelined parsing trivial.
 
 use std::collections::BTreeMap;
 use std::io::{BufRead, Write};
@@ -20,6 +23,9 @@ pub struct Request {
     pub path: String,
     pub query: Vec<(String, String)>,
     pub body: Vec<u8>,
+    /// The client asked this to be the connection's last request
+    /// (`Connection: close`, or HTTP/1.0 without `keep-alive`).
+    pub close: bool,
 }
 
 impl Request {
@@ -171,11 +177,19 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Request, HttpError> {
         Some((p, q)) => (percent_decode(p), parse_query(q)),
         None => (percent_decode(target), Vec::new()),
     };
+    let connection = headers.get("connection").map(String::as_str).unwrap_or("");
+    let token = |t: &str| {
+        connection
+            .split(',')
+            .any(|c| c.trim().eq_ignore_ascii_case(t))
+    };
+    let close = token("close") || (version == "HTTP/1.0" && !token("keep-alive"));
     Ok(Request {
         method,
         path,
         query,
         body,
+        close,
     })
 }
 
@@ -187,6 +201,7 @@ pub fn status_text(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",
+        429 => "Too Many Requests",
         413 => "Payload Too Large",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
@@ -196,13 +211,21 @@ pub fn status_text(status: u16) -> &'static str {
     }
 }
 
-/// Writes a complete `Connection: close` response with a JSON body.
-pub fn write_response(stream: &mut impl Write, status: u16, body: &str) -> std::io::Result<()> {
+/// Writes a complete response with a JSON body. `close` selects the
+/// `Connection` header — and the caller must actually close afterwards
+/// when it says so, since the client will stop reading.
+pub fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    body: &str,
+    close: bool,
+) -> std::io::Result<()> {
     let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
         status,
         status_text(status),
-        body.len()
+        body.len(),
+        if close { "close" } else { "keep-alive" }
     );
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
@@ -257,10 +280,50 @@ mod tests {
     #[test]
     fn response_has_content_length() {
         let mut out = Vec::new();
-        write_response(&mut out, 200, "{\"ok\":true}").unwrap();
+        write_response(&mut out, 200, "{\"ok\":true}", true).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("{\"ok\":true}"));
+
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "{}", false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"));
+    }
+
+    #[test]
+    fn connection_header_drives_close() {
+        // HTTP/1.1 defaults to keep-alive.
+        assert!(!req("GET / HTTP/1.1\r\n\r\n").unwrap().close);
+        assert!(
+            req("GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+                .unwrap()
+                .close
+        );
+        assert!(
+            req("GET / HTTP/1.1\r\nConnection: Keep-Alive, Close\r\n\r\n")
+                .unwrap()
+                .close
+        );
+        // HTTP/1.0 defaults to close unless keep-alive is asked for.
+        assert!(req("GET / HTTP/1.0\r\n\r\n").unwrap().close);
+        assert!(
+            !req("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+                .unwrap()
+                .close
+        );
+    }
+
+    #[test]
+    fn two_requests_parse_back_to_back() {
+        let text = "POST /a HTTP/1.1\r\nContent-Length: 2\r\n\r\nhiGET /b HTTP/1.1\r\n\r\n";
+        let mut reader = BufReader::new(text.as_bytes());
+        let a = read_request(&mut reader).unwrap();
+        assert_eq!(a.path, "/a");
+        assert_eq!(a.body, b"hi");
+        let b = read_request(&mut reader).unwrap();
+        assert_eq!(b.path, "/b");
     }
 }

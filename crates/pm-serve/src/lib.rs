@@ -21,23 +21,33 @@
 //! | `POST /v1/annotate` | `{"points":[{"x":..,"y":..,"t":..}, ...]}`      |
 //! | `GET /v1/patterns`  | `from`, `to`, `involving`, `min_support`, `min_len`, `max_len`, `bucket`, `near=x,y,r`, `near_ll=lon,lat,r`, `limit` |
 //! | `GET /v1/stats`     | — (pm-obs run report)                           |
+//! | `POST /v1/ingest`   | `{"fixes":[{"user":..,"x":..,"y":..,"t":..},..],"stays":[..]}` — live trajectory stream |
+//! | `GET /v1/live/patterns` | — (sliding-window semantic transition counts) |
+//! | `POST /v1/reload`   | `{"path":..}` (optional) — validate + hot-swap the artifact |
 //!
-//! Every response is JSON with `Connection: close`. The accept queue is
-//! bounded; overload is shed with `503` instead of queueing without limit.
+//! Every response is JSON. Connections are HTTP/1.1 **keep-alive** (capped
+//! per connection; `Connection: close` and error statuses end the session).
+//! The accept queue is bounded; overload is shed with `503`, oversized
+//! ingest batches with `429`, instead of queueing without limit.
 //!
 //! ## Serving model
 //!
-//! The artifact is loaded **once** into an immutable [`Snapshot`] behind an
-//! `Arc`; worker threads share it read-only, so there is no locking on the
-//! request path and responses are bit-deterministic for a given artifact —
-//! the integration tests compare bytes served over the socket against the
-//! snapshot's in-process output.
+//! The artifact is loaded into an immutable [`Snapshot`]; a [`ServeState`]
+//! publishes it behind an epoch-versioned `RwLock<Arc<..>>` so
+//! `POST /v1/reload` can hot-swap a revalidated artifact while in-flight
+//! requests finish on the snapshot they started with. Query responses are
+//! bit-deterministic for a given artifact — the integration tests compare
+//! bytes served over the socket against the snapshot's in-process output.
+//! The live side (`/v1/ingest` → `/v1/live/patterns`) runs the pm-stream
+//! incremental detector + transition window behind the same state.
 
 pub mod client;
 pub mod http;
 pub mod json;
 pub mod server;
 pub mod snapshot;
+pub mod state;
 
 pub use server::{ServeConfig, Server, ShutdownHandle};
 pub use snapshot::Snapshot;
+pub use state::ServeState;

@@ -3,10 +3,15 @@
 //! One [`Server`] owns a `TcpListener` and a fixed [`WorkerPool`]
 //! (pm-runtime primitives, so pool jobs report worker slots to pm-obs spans
 //! exactly like `par_map` regions do). Each accepted connection becomes one
-//! pool job: read one request, route it against the shared [`Snapshot`],
-//! write one `Connection: close` response. When the bounded queue is full
-//! the accept loop answers `503` inline instead of queueing — predictable
+//! pool job that serves requests **keep-alive** until the client closes,
+//! asks for `Connection: close`, an error status ends the session, or the
+//! per-connection request cap is reached. When the bounded queue is full the
+//! accept loop answers `503` inline instead of queueing — predictable
 //! shedding beats unbounded latency.
+//!
+//! Requests route against the shared [`ServeState`]: the epoch-versioned
+//! [`Snapshot`] (hot-swappable via `POST /v1/reload`) plus the live
+//! [`pm_stream::IngestEngine`] behind `POST /v1/ingest`.
 //!
 //! Shutdown is cooperative and std-only: a [`ShutdownHandle`] flips an
 //! atomic flag and pokes the listener with a loopback connection to unblock
@@ -15,9 +20,11 @@
 use crate::http::{self, Request};
 use crate::json::{self, error_body};
 use crate::snapshot::Snapshot;
+use crate::state::ServeState;
 use pm_obs::Obs;
 use pm_runtime::WorkerPool;
-use std::io::BufReader;
+use pm_stream::{BatchOutcome, EngineConfig};
+use std::io::{BufRead, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -36,6 +43,12 @@ pub struct ServeConfig {
     pub read_timeout: Duration,
     /// Per-connection write timeout.
     pub write_timeout: Duration,
+    /// Requests served on one keep-alive connection before the server
+    /// closes it (lets the accept loop re-balance long-lived clients).
+    pub max_requests_per_conn: usize,
+    /// Records (`fixes` + `stays`) accepted in one `POST /v1/ingest` batch;
+    /// larger batches are refused with `429`.
+    pub max_batch_records: usize,
 }
 
 impl Default for ServeConfig {
@@ -45,6 +58,8 @@ impl Default for ServeConfig {
             queue_capacity: 64,
             read_timeout: Duration::from_secs(10),
             write_timeout: Duration::from_secs(10),
+            max_requests_per_conn: 64,
+            max_batch_records: 10_000,
         }
     }
 }
@@ -73,29 +88,62 @@ impl ShutdownHandle {
 #[derive(Debug)]
 pub struct Server {
     listener: TcpListener,
-    snapshot: Arc<Snapshot>,
+    state: Arc<ServeState>,
     obs: Obs,
     config: ServeConfig,
     flag: Arc<AtomicBool>,
 }
 
 /// Endpoint labels used for `serve.requests.*` / `serve.errors.*` counters.
-const ENDPOINTS: [&str; 7] = [
+const ENDPOINTS: [&str; 10] = [
     "healthz",
     "semantic",
     "annotate",
     "patterns",
     "stats",
+    "ingest",
+    "live_patterns",
+    "reload",
     "bad_request",
     "not_found",
 ];
 
+/// Stream-layer counters pre-registered at zero (see the pm-obs naming
+/// scheme: `quarantine.*` / `degradation.*` prefixes surface in their own
+/// run-report sections).
+const STREAM_COUNTERS: [&str; 8] = [
+    "stream.fixes_accepted",
+    "stream.stays_emitted",
+    "stream.transitions_recorded",
+    "stream.transitions_late",
+    "stream.users_evicted",
+    "quarantine.stream_out_of_order",
+    "degradation.stream_dropped_fixes",
+    "serve.swap_epoch",
+];
+
 impl Server {
-    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and prepares
-    /// the counter schema. The server does not accept until [`Server::run`].
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) with a fresh
+    /// [`ServeState`] around `snapshot` — the engine takes its thresholds
+    /// from the artifact's mined parameters. The server does not accept
+    /// until [`Server::run`].
     pub fn bind(
         addr: &str,
         snapshot: Arc<Snapshot>,
+        config: ServeConfig,
+        obs: Obs,
+    ) -> std::io::Result<Server> {
+        let engine = EngineConfig::from_miner(&snapshot.artifact().params);
+        let state = ServeState::new(snapshot, engine)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?;
+        Server::bind_with_state(addr, Arc::new(state), config, obs)
+    }
+
+    /// Binds `addr` around an externally built [`ServeState`] (reload path,
+    /// custom engine config) and prepares the counter schema.
+    pub fn bind_with_state(
+        addr: &str,
+        state: Arc<ServeState>,
         config: ServeConfig,
         obs: Obs,
     ) -> std::io::Result<Server> {
@@ -106,11 +154,17 @@ impl Server {
             obs.incr(&format!("serve.requests.{ep}"), 0);
             obs.incr(&format!("serve.errors.{ep}"), 0);
         }
+        for name in STREAM_COUNTERS {
+            obs.incr(name, 0);
+        }
         obs.incr("serve.shed", 0);
         obs.gauge("serve.queue_capacity", config.queue_capacity as f64);
+        obs.gauge("serve.epoch", state.epoch() as f64);
+        obs.gauge("stream.users_active", 0.0);
+        obs.gauge("stream.buffered_fixes", 0.0);
         Ok(Server {
             listener,
-            snapshot,
+            state,
             obs,
             config,
             flag: Arc::new(AtomicBool::new(false)),
@@ -120,6 +174,11 @@ impl Server {
     /// The bound address (useful with `127.0.0.1:0`).
     pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
         self.listener.local_addr()
+    }
+
+    /// The shared state this server routes against.
+    pub fn state(&self) -> Arc<ServeState> {
+        Arc::clone(&self.state)
     }
 
     /// A handle that can stop [`Server::run`] from another thread.
@@ -149,17 +208,17 @@ impl Server {
             // with 503 when the pool rejects the job (the job owns `stream`
             // and is dropped on rejection).
             let shed_handle = stream.try_clone();
-            let snapshot = Arc::clone(&self.snapshot);
+            let state = Arc::clone(&self.state);
             let obs = self.obs.clone();
             let config = self.config.clone();
             let submitted = pool.try_execute(move || {
-                handle_connection(stream, &snapshot, &obs, &config);
+                handle_connection(stream, &state, &obs, &config);
             });
             if submitted.is_err() {
                 self.obs.incr("serve.shed", 1);
                 if let Ok(mut s) = shed_handle {
                     let _ = s.set_write_timeout(Some(self.config.write_timeout));
-                    let _ = http::write_response(&mut s, 503, &error_body("server busy"));
+                    let _ = http::write_response(&mut s, 503, &error_body("server busy"), true);
                 }
             }
         }
@@ -168,30 +227,86 @@ impl Server {
     }
 }
 
-/// One connection: read one request, route, respond, close.
-fn handle_connection(stream: TcpStream, snapshot: &Snapshot, obs: &Obs, config: &ServeConfig) {
-    let span = obs.span("serve.request");
+/// One connection: serve requests keep-alive until the client closes, asks
+/// to, errors, or hits the per-connection cap.
+fn handle_connection(stream: TcpStream, state: &ServeState, obs: &Obs, config: &ServeConfig) {
     let _ = stream.set_read_timeout(Some(config.read_timeout));
     let _ = stream.set_write_timeout(Some(config.write_timeout));
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
     let mut reader = BufReader::new(read_half);
-    let (status, body, endpoint) = match http::read_request(&mut reader) {
-        Err(e) => (e.status, error_body(&e.message), "bad_request"),
-        Ok(req) => route(snapshot, obs, &req),
-    };
-    obs.incr(&format!("serve.requests.{endpoint}"), 1);
-    if status >= 400 {
-        obs.incr(&format!("serve.errors.{endpoint}"), 1);
-    }
     let mut write_half = stream;
-    let _ = http::write_response(&mut write_half, status, &body);
-    span.finish();
+    let mut served = 0usize;
+    loop {
+        if served > 0 {
+            // Between requests, a clean client disconnect is EOF — not a
+            // malformed request. Peek before parsing so it closes silently.
+            match reader.fill_buf() {
+                Ok([]) | Err(_) => break,
+                Ok(_) => {}
+            }
+        }
+        let span = obs.span("serve.request");
+        let (status, body, endpoint, client_close) = match http::read_request(&mut reader) {
+            Err(e) => (e.status, error_body(&e.message), "bad_request", true),
+            Ok(req) => {
+                let (status, body, endpoint) = route(state, obs, &req, config);
+                (status, body, endpoint, req.close)
+            }
+        };
+        obs.incr(&format!("serve.requests.{endpoint}"), 1);
+        if status >= 400 {
+            obs.incr(&format!("serve.errors.{endpoint}"), 1);
+        }
+        served += 1;
+        // Error statuses close too: the request body may not have been
+        // consumed, so continuing would desync the request framing.
+        let close = client_close || status >= 400 || served >= config.max_requests_per_conn;
+        let written = http::write_response(&mut write_half, status, &body, close);
+        span.finish();
+        if close || written.is_err() {
+            break;
+        }
+    }
 }
 
-/// Maps a parsed request onto a snapshot query.
-fn route(snapshot: &Snapshot, obs: &Obs, req: &Request) -> (u16, String, &'static str) {
+/// Folds one ingest batch outcome into the observability counters.
+fn record_outcome(obs: &Obs, state: &ServeState, outcome: &BatchOutcome) {
+    obs.incr("stream.fixes_accepted", outcome.accepted);
+    obs.incr("stream.stays_emitted", outcome.stays);
+    obs.incr("stream.transitions_recorded", outcome.transitions);
+    obs.incr("stream.transitions_late", outcome.late_transitions);
+    obs.incr("stream.users_evicted", outcome.evicted);
+    obs.incr("quarantine.stream_out_of_order", outcome.quarantined);
+    obs.incr(
+        "degradation.stream_dropped_fixes",
+        outcome.dropped_non_finite,
+    );
+    let (users, buffered) = state.engine_gauges();
+    obs.gauge("stream.users_active", users as f64);
+    obs.gauge("stream.buffered_fixes", buffered as f64);
+}
+
+/// Parses a request body as JSON, or explains why not.
+fn parse_body(req: &Request) -> Result<json::Json, String> {
+    let text = std::str::from_utf8(&req.body).map_err(|_| "body is not UTF-8".to_string())?;
+    if text.trim().is_empty() {
+        return json::parse("{}").map_err(|e| format!("invalid JSON: {e}"));
+    }
+    json::parse(text).map_err(|e| format!("invalid JSON: {e}"))
+}
+
+/// Maps a parsed request onto the shared state.
+fn route(
+    state: &ServeState,
+    obs: &Obs,
+    req: &Request,
+    config: &ServeConfig,
+) -> (u16, String, &'static str) {
+    // One snapshot Arc per request: a concurrent hot-swap cannot change
+    // what this request answers from.
+    let (snapshot, _epoch) = state.snapshot();
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => (200, snapshot.healthz_json(), "healthz"),
         ("GET", "/v1/semantic") => {
@@ -207,10 +322,7 @@ fn route(snapshot: &Snapshot, obs: &Obs, req: &Request) -> (u16, String, &'stati
             }
         }
         ("POST", "/v1/annotate") => {
-            let annotated = std::str::from_utf8(&req.body)
-                .map_err(|_| "body is not UTF-8".to_string())
-                .and_then(|text| json::parse(text).map_err(|e| format!("invalid JSON: {e}")))
-                .and_then(|body| snapshot.annotate_json(&body));
+            let annotated = parse_body(req).and_then(|body| snapshot.annotate_json(&body));
             match annotated {
                 Ok(body) => (200, body, "annotate"),
                 Err(m) => (400, error_body(&m), "annotate"),
@@ -221,7 +333,33 @@ fn route(snapshot: &Snapshot, obs: &Obs, req: &Request) -> (u16, String, &'stati
             Err(m) => (400, error_body(&m), "patterns"),
         },
         ("GET", "/v1/stats") => (200, obs.report().to_json(), "stats"),
-        (_, "/healthz" | "/v1/semantic" | "/v1/annotate" | "/v1/patterns" | "/v1/stats") => (
+        ("POST", "/v1/ingest") => match parse_body(req)
+            .map_err(|m| (400u16, m))
+            .and_then(|body| state.ingest_json(&body, config.max_batch_records))
+        {
+            Ok((body, outcome)) => {
+                record_outcome(obs, state, &outcome);
+                (200, body, "ingest")
+            }
+            Err((status, m)) => (status, error_body(&m), "ingest"),
+        },
+        ("GET", "/v1/live/patterns") => (200, state.live_patterns_json(), "live_patterns"),
+        ("POST", "/v1/reload") => match parse_body(req)
+            .map_err(|m| (400u16, m))
+            .and_then(|body| state.reload_json(&body))
+        {
+            Ok(body) => {
+                obs.incr("serve.swap_epoch", 1);
+                obs.gauge("serve.epoch", state.epoch() as f64);
+                (200, body, "reload")
+            }
+            Err((status, m)) => (status, error_body(&m), "reload"),
+        },
+        (
+            _,
+            "/healthz" | "/v1/semantic" | "/v1/annotate" | "/v1/patterns" | "/v1/stats"
+            | "/v1/ingest" | "/v1/live/patterns" | "/v1/reload",
+        ) => (
             405,
             error_body(&format!("{} not allowed here", req.method)),
             "bad_request",

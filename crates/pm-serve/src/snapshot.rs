@@ -55,6 +55,18 @@ impl Snapshot {
         self.projection.is_some()
     }
 
+    /// The projection, when the artifact is geo-anchored.
+    pub fn projection(&self) -> Option<&Projection> {
+        self.projection.as_ref()
+    }
+
+    /// Algorithm 3's vote at a single point, reduced to the primary
+    /// category — the recognizer the live ingest engine runs emitted stays
+    /// through.
+    pub fn primary_category(&self, pos: LocalPoint) -> Option<Category> {
+        recognize_stay_point_unit(&self.artifact.csd, &self.kernel, pos).2
+    }
+
     // -- /healthz ----------------------------------------------------------
 
     /// The `/healthz` body.

@@ -1,0 +1,327 @@
+//! Mutable service state: the epoch-versioned snapshot and the live
+//! ingestion engine.
+//!
+//! ## Epoch / hot-swap invariants
+//!
+//! The current [`Snapshot`] lives behind `RwLock<Arc<Snapshot>>` with a
+//! monotonically increasing epoch:
+//!
+//! - every request clones the `Arc` **once** at routing time, so an
+//!   in-flight request keeps answering from the snapshot (and epoch) it
+//!   started on, even if a swap lands mid-request;
+//! - [`ServeState::swap`] takes the write lock only long enough to publish
+//!   the new `Arc` and bump the epoch — it never waits on request work, so
+//!   a reload cannot stall or drop already-accepted requests;
+//! - `/v1/reload` fully validates the candidate artifact (a byte-identity
+//!   round-trip via [`Artifact::read_file_verified`], then snapshot
+//!   construction) *before* touching the lock: a bad file is a `4xx` and
+//!   the old epoch keeps serving.
+//!
+//! The ingest engine is snapshot-independent on purpose: detector state
+//! (open dwell windows, per-user ordering clocks) survives a swap, and only
+//! *recognition* of newly emitted stays uses the new artifact — the
+//! streaming analogue of re-annotating against a refreshed CSD.
+
+use crate::json::{self, Json};
+use crate::snapshot::Snapshot;
+use pm_core::types::GpsPoint;
+use pm_geo::GeoPoint;
+use pm_geo::LocalPoint;
+use pm_store::Artifact;
+use pm_stream::{BatchOutcome, EngineConfig, IngestEngine, IngestRecord, StreamError};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// The shared, swappable state behind one server.
+#[derive(Debug)]
+pub struct ServeState {
+    snapshot: RwLock<Arc<Snapshot>>,
+    epoch: AtomicU64,
+    engine: Mutex<IngestEngine>,
+    /// Default artifact path for `/v1/reload` bodies without a `path`.
+    reload_path: Option<PathBuf>,
+}
+
+impl ServeState {
+    /// Wraps an initial snapshot at epoch 0 with a fresh ingest engine.
+    pub fn new(snapshot: Arc<Snapshot>, engine: EngineConfig) -> Result<ServeState, StreamError> {
+        Ok(ServeState {
+            snapshot: RwLock::new(snapshot),
+            epoch: AtomicU64::new(0),
+            engine: Mutex::new(IngestEngine::new(engine)?),
+            reload_path: None,
+        })
+    }
+
+    /// Sets the artifact path `/v1/reload` swaps in by default.
+    pub fn with_reload_path(mut self, path: impl Into<PathBuf>) -> ServeState {
+        self.reload_path = Some(path.into());
+        self
+    }
+
+    /// The current snapshot and its epoch, read atomically together.
+    pub fn snapshot(&self) -> (Arc<Snapshot>, u64) {
+        let guard = self.snapshot.read().unwrap_or_else(|e| e.into_inner());
+        (Arc::clone(&guard), self.epoch.load(Ordering::SeqCst))
+    }
+
+    /// The current epoch (0 until the first swap).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Publishes a new snapshot; in-flight requests keep their old `Arc`.
+    /// Returns the new epoch.
+    pub fn swap(&self, snapshot: Arc<Snapshot>) -> u64 {
+        let mut guard = self.snapshot.write().unwrap_or_else(|e| e.into_inner());
+        *guard = snapshot;
+        self.epoch.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// `(tracked users, buffered fixes)` — the live gauges.
+    pub fn engine_gauges(&self) -> (usize, usize) {
+        let engine = self.engine.lock().unwrap_or_else(|e| e.into_inner());
+        (engine.users_len(), engine.buffered_fixes())
+    }
+
+    /// `POST /v1/ingest`: parses `{"fixes":[...]}` and/or `{"stays":[...]}`
+    /// entries (`user`, `t`, and `x`/`y` or `lat`/`lon` each), feeds them to
+    /// the engine against the *current* snapshot, and renders the outcome.
+    /// Batches over `max_records` are refused with `429` — the client must
+    /// back off and split.
+    pub fn ingest_json(
+        &self,
+        body: &Json,
+        max_records: usize,
+    ) -> Result<(String, BatchOutcome), (u16, String)> {
+        let (snapshot, epoch) = self.snapshot();
+        let mut records: Vec<(String, IngestRecord)> = Vec::new();
+        let mut keyed = false;
+        for (key, is_fix) in [("fixes", true), ("stays", false)] {
+            let Some(entries) = body.get(key) else {
+                continue;
+            };
+            keyed = true;
+            let entries = entries
+                .as_array()
+                .ok_or_else(|| (400, format!("{key} must be an array")))?;
+            if records.len() + entries.len() > max_records {
+                return Err((
+                    429,
+                    format!("batch too large (max {max_records} records); split and retry"),
+                ));
+            }
+            for (i, entry) in entries.iter().enumerate() {
+                let record = parse_record(&snapshot, entry, is_fix)
+                    .map_err(|m| (400, format!("{key}[{i}]: {m}")))?;
+                records.push(record);
+            }
+        }
+        if !keyed {
+            return Err((
+                400,
+                "body must be {\"fixes\":[...]} and/or {\"stays\":[...]}".to_string(),
+            ));
+        }
+        let outcome = {
+            let mut engine = self.engine.lock().unwrap_or_else(|e| e.into_inner());
+            engine.ingest_batch(&records, |pos| snapshot.primary_category(pos))
+        };
+        let body = format!(
+            "{{\"epoch\":{epoch},\"accepted\":{},\"quarantined\":{},\"dropped\":{},\"stays\":{},\"transitions\":{},\"late_transitions\":{},\"evicted\":{}}}",
+            outcome.accepted,
+            outcome.quarantined,
+            outcome.dropped_non_finite,
+            outcome.stays,
+            outcome.transitions,
+            outcome.late_transitions,
+            outcome.evicted,
+        );
+        Ok((body, outcome))
+    }
+
+    /// `GET /v1/live/patterns`: the sliding-window transition counts.
+    pub fn live_patterns_json(&self) -> String {
+        let engine = self.engine.lock().unwrap_or_else(|e| e.into_inner());
+        let window = engine.window();
+        let stats = engine.stats();
+        let mut out = format!("{{\"epoch\":{}", self.epoch());
+        match window.as_of() {
+            Some(t) => out.push_str(&format!(",\"as_of\":{t}")),
+            None => out.push_str(",\"as_of\":null"),
+        }
+        out.push_str(&format!(
+            ",\"window_secs\":{},\"users\":{},\"stays\":{},\"total\":{},\"late_dropped\":{},\"transitions\":[",
+            window.config().window_secs,
+            engine.users_len(),
+            stats.stays,
+            window.total(),
+            window.late_dropped(),
+        ));
+        for (i, (from, to, count)) in window.counts().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"from\":");
+            json::push_str_lit(&mut out, from.name());
+            out.push_str(",\"to\":");
+            json::push_str_lit(&mut out, to.name());
+            out.push_str(&format!(",\"count\":{count}}}"));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// `POST /v1/reload`: validates the artifact at `path` (body override)
+    /// or the configured reload path, then swaps it in. Returns the success
+    /// body; errors carry the status to answer with — the old snapshot
+    /// keeps serving on any failure.
+    pub fn reload_json(&self, body: &Json) -> Result<String, (u16, String)> {
+        let path: PathBuf = match body.get("path").map(|p| p.as_str()) {
+            Some(Some(p)) => PathBuf::from(p),
+            Some(None) => return Err((400, "path must be a string".to_string())),
+            None => self.reload_path.clone().ok_or((
+                400,
+                "no artifact path configured; pass {\"path\":...}".to_string(),
+            ))?,
+        };
+        let artifact = Artifact::read_file_verified(&path)
+            .map_err(|e| (400, format!("{}: {e}", path.display())))?;
+        let snapshot =
+            Snapshot::new(artifact).map_err(|m| (400, format!("{}: {m}", path.display())))?;
+        let health = snapshot.healthz_json();
+        let epoch = self.swap(Arc::new(snapshot));
+        // healthz is `{"status":...}`; splice the epoch in for the reply.
+        let tail = health.strip_prefix('{').unwrap_or(&health);
+        Ok(format!("{{\"epoch\":{epoch},{tail}"))
+    }
+}
+
+/// One ingest entry: `user` (string or integer), `t`, and `x`/`y` local
+/// meters or `lat`/`lon` (geo-anchored artifacts only).
+fn parse_record(
+    snapshot: &Snapshot,
+    entry: &Json,
+    is_fix: bool,
+) -> Result<(String, IngestRecord), String> {
+    let user = match entry.get("user") {
+        Some(u) => match (u.as_str(), u.as_i64()) {
+            (Some(s), _) if !s.is_empty() => s.to_string(),
+            (_, Some(n)) => n.to_string(),
+            _ => return Err("user must be a non-empty string or integer".to_string()),
+        },
+        None => return Err("user missing".to_string()),
+    };
+    let t = entry
+        .get("t")
+        .and_then(Json::as_i64)
+        .ok_or("t missing or not an integer")?;
+    let num = |name: &str| -> Option<f64> { entry.get(name).and_then(Json::as_f64) };
+    let pos = match (num("x"), num("y"), num("lat"), num("lon")) {
+        (Some(x), Some(y), None, None) => LocalPoint::new(x, y),
+        (None, None, Some(lat), Some(lon)) => snapshot
+            .projection()
+            .ok_or("artifact has no projection; records need x/y")?
+            .to_local(GeoPoint::new(lon, lat)),
+        _ => return Err("needs x&y or lat&lon".to_string()),
+    };
+    let point = GpsPoint::new(pos, t);
+    Ok((
+        user,
+        if is_fix {
+            IngestRecord::Fix(point)
+        } else {
+            IngestRecord::Stay(point)
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_core::prelude::*;
+
+    fn state() -> ServeState {
+        let params = MinerParams::default();
+        let csd = CitySemanticDiagram::build(&[], &[], &params).expect("build");
+        let snapshot =
+            Arc::new(Snapshot::new(Artifact::new(csd, Vec::new(), params)).expect("snapshot"));
+        ServeState::new(snapshot, EngineConfig::from_miner(&params)).expect("state")
+    }
+
+    #[test]
+    fn ingest_parses_both_record_kinds() {
+        let s = state();
+        let body = json::parse(
+            "{\"fixes\":[{\"user\":\"a\",\"x\":0,\"y\":0,\"t\":1}],\
+             \"stays\":[{\"user\":7,\"x\":5,\"y\":5,\"t\":2}]}",
+        )
+        .unwrap();
+        let (rendered, outcome) = s.ingest_json(&body, 100).unwrap();
+        assert_eq!(outcome.accepted, 2);
+        assert_eq!(outcome.stays, 1); // the stay record; the fix still buffers
+        assert!(
+            rendered.starts_with("{\"epoch\":0,\"accepted\":2,"),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn ingest_rejects_malformed_and_oversized() {
+        let s = state();
+        for bad in [
+            "{}",
+            "{\"fixes\":1}",
+            "{\"fixes\":[{\"x\":0,\"y\":0,\"t\":1}]}",
+            "{\"fixes\":[{\"user\":\"a\",\"t\":1}]}",
+            "{\"fixes\":[{\"user\":\"a\",\"x\":0,\"y\":0}]}",
+            "{\"fixes\":[{\"user\":\"a\",\"lat\":1,\"lon\":2,\"t\":1}]}",
+        ] {
+            let body = json::parse(bad).unwrap();
+            let (status, _) = s.ingest_json(&body, 100).unwrap_err();
+            assert_eq!(status, 400, "{bad}");
+        }
+        let body =
+            json::parse("{\"fixes\":[{\"user\":\"a\",\"x\":0,\"y\":0,\"t\":1},{\"user\":\"a\",\"x\":0,\"y\":0,\"t\":2}]}")
+                .unwrap();
+        let (status, msg) = s.ingest_json(&body, 1).unwrap_err();
+        assert_eq!(status, 429, "{msg}");
+    }
+
+    #[test]
+    fn live_patterns_render_on_empty_engine() {
+        let s = state();
+        let body = s.live_patterns_json();
+        assert!(body.contains("\"as_of\":null"), "{body}");
+        assert!(body.ends_with("\"transitions\":[]}"), "{body}");
+    }
+
+    #[test]
+    fn reload_without_path_is_400_and_keeps_epoch() {
+        let s = state();
+        let body = json::parse("{}").unwrap();
+        let (status, _) = s.reload_json(&body).unwrap_err();
+        assert_eq!(status, 400);
+        let body = json::parse("{\"path\":\"/nonexistent/city.pmstore\"}").unwrap();
+        let (status, _) = s.reload_json(&body).unwrap_err();
+        assert_eq!(status, 400);
+        assert_eq!(s.epoch(), 0);
+    }
+
+    #[test]
+    fn swap_bumps_epoch_and_old_arcs_survive() {
+        let s = state();
+        let (old, epoch0) = s.snapshot();
+        assert_eq!(epoch0, 0);
+        let params = MinerParams::default();
+        let csd = CitySemanticDiagram::build(&[], &[], &params).expect("build");
+        let fresh =
+            Arc::new(Snapshot::new(Artifact::new(csd, Vec::new(), params)).expect("snapshot"));
+        assert_eq!(s.swap(fresh), 1);
+        let (_, epoch1) = s.snapshot();
+        assert_eq!(epoch1, 1);
+        // The old snapshot is still fully usable by in-flight requests.
+        assert!(old.healthz_json().contains("\"status\":\"ok\""));
+    }
+}

@@ -256,6 +256,71 @@ fn overload_sheds_with_503() {
 }
 
 #[test]
+fn keep_alive_serves_many_requests_on_one_connection() {
+    let s = snapshot();
+    let server = start(ServeConfig::default());
+    let mut conn = client::Conn::open(server.addr).unwrap();
+    for _ in 0..5 {
+        let (status, body) = conn.get("/healthz").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, s.healthz_json());
+    }
+    let (status, body) = conn.get("/v1/semantic?x=0&y=0").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(body, s.semantic_json(pm_geo::LocalPoint::new(0.0, 0.0)));
+    // All six requests rode one connection.
+    assert_eq!(server.obs.counter("serve.requests.healthz"), 5);
+    assert_eq!(server.obs.counter("serve.requests.semantic"), 1);
+    server.stop();
+}
+
+#[test]
+fn connection_close_header_is_honored() {
+    let server = start(ServeConfig::default());
+    let mut stream = TcpStream::connect(server.addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    std::io::Write::write_all(
+        &mut stream,
+        b"GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+    )
+    .unwrap();
+    // read_to_string only returns if the server actually closes.
+    let mut text = String::new();
+    std::io::Read::read_to_string(&mut stream, &mut text).unwrap();
+    assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+    assert!(text.contains("Connection: close\r\n"), "{text}");
+    server.stop();
+}
+
+#[test]
+fn request_cap_closes_the_connection() {
+    let server = start(ServeConfig {
+        max_requests_per_conn: 2,
+        ..ServeConfig::default()
+    });
+    let mut conn = client::Conn::open(server.addr).unwrap();
+    assert_eq!(conn.get("/healthz").unwrap().0, 200);
+    assert_eq!(conn.get("/healthz").unwrap().0, 200);
+    // The cap was reached: the server hung up after the second response.
+    assert!(conn.get("/healthz").is_err());
+    server.stop();
+}
+
+#[test]
+fn error_status_closes_the_connection() {
+    let server = start(ServeConfig::default());
+    let mut conn = client::Conn::open(server.addr).unwrap();
+    let (status, _) = conn.get("/nowhere").unwrap();
+    assert_eq!(status, 404);
+    // An error response ends the session (the body framing cannot be
+    // trusted past it), so the next request on this connection fails.
+    assert!(conn.get("/healthz").is_err());
+    server.stop();
+}
+
+#[test]
 fn shutdown_is_graceful() {
     let server = start(ServeConfig::default());
     let addr = server.addr;

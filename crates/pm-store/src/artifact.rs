@@ -298,6 +298,29 @@ impl Artifact {
         let bytes = std::fs::read(path)?;
         Artifact::from_bytes(&bytes)
     }
+
+    /// [`Artifact::from_bytes`] plus the same byte-identity round-trip the
+    /// CI `artifact-check` runs: the decoded artifact must re-serialize to
+    /// exactly the input bytes. Catches "decodes, but lossy" corruption
+    /// (e.g. an optional section a plain read would silently skip) before
+    /// the artifact is trusted — the gate `/v1/reload` applies before
+    /// swapping a snapshot in.
+    pub fn from_bytes_verified(bytes: &[u8]) -> Result<Artifact, StoreError> {
+        let artifact = Artifact::from_bytes(bytes)?;
+        if artifact.to_bytes() != bytes {
+            return Err(StoreError::malformed(
+                "artifact does not round-trip byte-identically",
+            ));
+        }
+        Ok(artifact)
+    }
+
+    /// Reads and round-trip-verifies an artifact file
+    /// (see [`Artifact::from_bytes_verified`]).
+    pub fn read_file_verified(path: impl AsRef<Path>) -> Result<Artifact, StoreError> {
+        let bytes = std::fs::read(path)?;
+        Artifact::from_bytes_verified(&bytes)
+    }
 }
 
 // ---------------------------------------------------------------------------

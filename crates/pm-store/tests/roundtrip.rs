@@ -43,6 +43,26 @@ fn several_runs_roundtrip_byte_identically() {
 }
 
 #[test]
+fn verified_read_accepts_good_and_rejects_lossy_bytes() {
+    let artifact = canonical();
+    let bytes = artifact.to_bytes();
+    Artifact::from_bytes_verified(&bytes).expect("clean bytes verify");
+    // An unknown *optional* (lowercase-tagged) section is skipped by the
+    // plain reader but is exactly the lossiness the verified read refuses:
+    // the decoded artifact cannot reproduce it.
+    let mut with_extra = bytes.clone();
+    let sections_at = 12; // magic (8) + version (4)
+    let old = u32::from_le_bytes(with_extra[sections_at..sections_at + 4].try_into().unwrap());
+    with_extra[sections_at..sections_at + 4].copy_from_slice(&(old + 1).to_le_bytes());
+    with_extra.extend_from_slice(b"xtra"); // tag
+    with_extra.extend_from_slice(&0u64.to_le_bytes()); // empty payload
+    with_extra.extend_from_slice(&pm_store::crc::crc32(&[]).to_le_bytes());
+    Artifact::from_bytes(&with_extra).expect("plain read skips the optional section");
+    let err = Artifact::from_bytes_verified(&with_extra).expect_err("verified read refuses");
+    assert_eq!(err.kind(), "malformed");
+}
+
+#[test]
 fn reloaded_patterns_match_in_process_queries() {
     let artifact = canonical();
     let reloaded = Artifact::from_bytes(&artifact.to_bytes()).expect("load");

@@ -1,0 +1,429 @@
+//! Incremental stay-point detection — Definition 5, one fix at a time.
+//!
+//! The batch detector ([`pm_core::recognize::detect_stay_points`]) scans a
+//! complete trajectory: it grows a window while every fix stays within
+//! `theta_d` of the window's *first* fix, emits the window's mean as a stay
+//! point once it spans `theta_t` seconds, and otherwise advances the anchor
+//! by one. The streaming form below keeps the not-yet-settled suffix of that
+//! scan as a `pending` buffer with the invariant *every buffered fix is
+//! within `theta_d` of the buffer's front*, and settles lazily:
+//!
+//! - an arriving fix inside `theta_d` of the front just joins the buffer —
+//!   the batch loop would have extended the same window;
+//! - an arriving fix outside `theta_d` is the batch loop's window breaker:
+//!   the buffered prefix either collapses into a stay (duration ≥ `theta_t`)
+//!   or loses its front fix, after which the invariant is re-established by
+//!   rescanning (the batch `i += 1` path) and the new fix is retried;
+//! - [`StayPointDetector::flush`] is end-of-stream: the batch loop's final
+//!   windows settle exactly the same way.
+//!
+//! Arithmetic is shared with the batch path
+//! ([`pm_core::recognize::collapse_window`]) — same summation order, same
+//! 128-bit time averaging — so emitted stays are bit-identical, not merely
+//! close. `tests/stream_parity.rs` proves this property over random
+//! trajectories, including out-of-order and duplicate timestamps.
+//!
+//! Transport-order policy: timestamps must be strictly increasing per
+//! detector. A fix at or before the last admitted time is quarantined
+//! (counted, dropped) — the streaming analogue of pm-io's quarantine lane.
+//! Non-finite coordinates are admitted (they advance the ordering clock,
+//! like a batch sanitize step would keep the record) but dropped before
+//! window logic, mirroring `Degradation::DroppedGpsFixes` in the batch
+//! detector.
+
+use crate::error::StreamError;
+use pm_core::params::MinerParams;
+use pm_core::recognize::collapse_window;
+use pm_core::types::{GpsPoint, StayPoint, Timestamp};
+use std::collections::VecDeque;
+
+/// Default bound on buffered fixes per user; a dwell longer than this many
+/// fixes degrades (oldest fixes are shed) instead of growing without limit.
+pub const DEFAULT_MAX_PENDING: usize = 4096;
+
+/// Detection thresholds of one streaming detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamParams {
+    /// Definition 5 spatial threshold (meters).
+    pub theta_d: f64,
+    /// Definition 5 temporal threshold (seconds).
+    pub theta_t: Timestamp,
+    /// Hard cap on buffered fixes. Parity with the batch detector holds
+    /// while no window outgrows this bound.
+    pub max_pending: usize,
+}
+
+impl StreamParams {
+    /// Streaming thresholds matching a batch run's parameters.
+    pub fn from_miner(params: &MinerParams) -> StreamParams {
+        StreamParams {
+            theta_d: params.theta_d,
+            theta_t: params.theta_t,
+            max_pending: DEFAULT_MAX_PENDING,
+        }
+    }
+
+    /// Rejects thresholds that cannot drive detection.
+    pub fn validate(&self) -> Result<(), StreamError> {
+        if !(self.theta_d.is_finite() && self.theta_d >= 0.0) {
+            return Err(StreamError::config(format!(
+                "theta_d {} must be finite and non-negative",
+                self.theta_d
+            )));
+        }
+        if self.theta_t <= 0 {
+            return Err(StreamError::config(format!(
+                "theta_t {} must be positive",
+                self.theta_t
+            )));
+        }
+        if self.max_pending < 2 {
+            return Err(StreamError::config(format!(
+                "max_pending {} must be at least 2",
+                self.max_pending
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// What happened to one pushed fix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FixStatus {
+    /// Admitted into window logic (it may emit stays much later).
+    Accepted,
+    /// Timestamp at or before the last admitted fix: quarantined.
+    OutOfOrder,
+    /// Non-finite coordinates: dropped after advancing the ordering clock.
+    NonFinite,
+}
+
+/// Cumulative per-detector tallies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DetectorStats {
+    /// Fixes admitted into window logic.
+    pub accepted: u64,
+    /// Fixes quarantined for violating time order.
+    pub quarantined: u64,
+    /// Fixes dropped for non-finite coordinates.
+    pub dropped_non_finite: u64,
+    /// Buffered fixes shed by the `max_pending` bound.
+    pub overflowed: u64,
+    /// Stay points emitted.
+    pub emitted: u64,
+}
+
+/// The per-user incremental detector.
+#[derive(Debug, Clone)]
+pub struct StayPointDetector {
+    params: StreamParams,
+    /// The unsettled suffix. Invariant: every element is within `theta_d`
+    /// of the front element.
+    pending: VecDeque<GpsPoint>,
+    /// Last admitted timestamp — the strictly-increasing ordering clock.
+    last_time: Option<Timestamp>,
+    stats: DetectorStats,
+}
+
+impl StayPointDetector {
+    /// A fresh detector. `params` must already be validated.
+    pub fn new(params: StreamParams) -> StayPointDetector {
+        StayPointDetector {
+            params,
+            pending: VecDeque::new(),
+            last_time: None,
+            stats: DetectorStats::default(),
+        }
+    }
+
+    /// Feeds one fix; any stay points it settles are appended to `out`.
+    pub fn push(&mut self, fix: GpsPoint, out: &mut Vec<StayPoint>) -> FixStatus {
+        if !self.admit_time(fix.time) {
+            return FixStatus::OutOfOrder;
+        }
+        if !(fix.pos.x.is_finite() && fix.pos.y.is_finite()) {
+            self.stats.dropped_non_finite += 1;
+            return FixStatus::NonFinite;
+        }
+        self.stats.accepted += 1;
+        self.accept(fix, out);
+        FixStatus::Accepted
+    }
+
+    /// Advances the ordering clock without entering window logic. Returns
+    /// `false` (and counts a quarantine) when `t` is not strictly after the
+    /// last admitted time. Used for pre-detected stay records, which share
+    /// the transport contract but bypass detection.
+    pub fn admit_time(&mut self, t: Timestamp) -> bool {
+        if let Some(last) = self.last_time {
+            if t <= last {
+                self.stats.quarantined += 1;
+                return false;
+            }
+        }
+        self.last_time = Some(t);
+        true
+    }
+
+    /// End-of-stream: settles everything still buffered exactly like the
+    /// batch detector's final windows. The ordering clock survives, so a
+    /// flushed detector keeps rejecting stale timestamps.
+    pub fn flush(&mut self, out: &mut Vec<StayPoint>) {
+        loop {
+            if self.pending.is_empty() {
+                return;
+            }
+            if self.window_duration() >= self.params.theta_t {
+                let n = self.pending.len();
+                self.emit_prefix(n, out);
+                return;
+            }
+            self.pending.pop_front();
+            self.restore_invariant(out);
+        }
+    }
+
+    /// Buffered, not-yet-settled fixes.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The last admitted timestamp.
+    pub fn last_time(&self) -> Option<Timestamp> {
+        self.last_time
+    }
+
+    /// Cumulative tallies.
+    pub fn stats(&self) -> DetectorStats {
+        self.stats
+    }
+
+    /// Window logic for one admitted, finite fix. Mirrors one step of the
+    /// batch scan: the fix either extends the current window or breaks it,
+    /// and a broken window settles (emit or advance-by-one) until the fix
+    /// finds its place.
+    fn accept(&mut self, fix: GpsPoint, out: &mut Vec<StayPoint>) {
+        loop {
+            let Some(anchor) = self.pending.front().copied() else {
+                self.pending.push_back(fix);
+                return;
+            };
+            if fix.pos.distance(&anchor.pos) <= self.params.theta_d {
+                if self.pending.len() >= self.params.max_pending {
+                    // Bounded-memory degradation: shed the oldest fix and
+                    // re-establish the invariant before retrying. Parity
+                    // with batch holds only below this bound.
+                    self.pending.pop_front();
+                    self.stats.overflowed += 1;
+                    self.restore_invariant(out);
+                    continue;
+                }
+                self.pending.push_back(fix);
+                return;
+            }
+            // `fix` is the batch loop's window breaker.
+            if self.window_duration() >= self.params.theta_t {
+                let n = self.pending.len();
+                self.emit_prefix(n, out);
+            } else {
+                self.pending.pop_front();
+                self.restore_invariant(out);
+            }
+        }
+    }
+
+    /// Time spanned by the buffered window (saturating, like batch).
+    fn window_duration(&self) -> Timestamp {
+        match (self.pending.front(), self.pending.back()) {
+            (Some(a), Some(b)) => b.time.saturating_sub(a.time),
+            _ => 0,
+        }
+    }
+
+    /// Collapses the first `count` buffered fixes into one stay point.
+    fn emit_prefix(&mut self, count: usize, out: &mut Vec<StayPoint>) {
+        let window: Vec<GpsPoint> = self.pending.drain(..count).collect();
+        out.push(collapse_window(&window));
+        self.stats.emitted += 1;
+    }
+
+    /// Re-establishes the buffer invariant after the front changed,
+    /// emitting any window that already satisfies Definition 5 along the
+    /// way — the batch loop's rescan from a new anchor.
+    fn restore_invariant(&mut self, out: &mut Vec<StayPoint>) {
+        loop {
+            let Some(anchor) = self.pending.front().copied() else {
+                return;
+            };
+            let mut breaker = None;
+            for (k, p) in self.pending.iter().enumerate().skip(1) {
+                if p.pos.distance(&anchor.pos) > self.params.theta_d {
+                    breaker = Some(k);
+                    break;
+                }
+            }
+            let Some(k) = breaker else {
+                return;
+            };
+            if self.pending[k - 1].time.saturating_sub(anchor.time) >= self.params.theta_t {
+                self.emit_prefix(k, out);
+            } else {
+                self.pending.pop_front();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_core::recognize::detect_stay_points_tracked;
+    use pm_core::types::GpsTrajectory;
+    use pm_geo::LocalPoint;
+
+    fn params() -> StreamParams {
+        StreamParams {
+            theta_d: 100.0,
+            theta_t: 300,
+            max_pending: DEFAULT_MAX_PENDING,
+        }
+    }
+
+    fn fix(x: f64, y: f64, t: Timestamp) -> GpsPoint {
+        GpsPoint::new(LocalPoint::new(x, y), t)
+    }
+
+    /// Batch output on the already-sanitized sequence.
+    fn batch(pts: &[GpsPoint], p: StreamParams) -> Vec<StayPoint> {
+        let miner = MinerParams {
+            theta_d: p.theta_d,
+            theta_t: p.theta_t,
+            ..MinerParams::default()
+        };
+        let mut events = Vec::new();
+        detect_stay_points_tracked(&GpsTrajectory::new(pts.to_vec()), &miner, &mut events)
+    }
+
+    fn stream(pts: &[GpsPoint], p: StreamParams) -> Vec<StayPoint> {
+        let mut d = StayPointDetector::new(p);
+        let mut out = Vec::new();
+        for &f in pts {
+            d.push(f, &mut out);
+        }
+        d.flush(&mut out);
+        out
+    }
+
+    #[test]
+    fn dwell_emits_one_stay_matching_batch() {
+        let pts: Vec<GpsPoint> = (0..10).map(|i| fix((i % 3) as f64, 0.0, i * 60)).collect();
+        let got = stream(&pts, params());
+        assert_eq!(got, batch(&pts, params()));
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn two_dwells_with_travel_between() {
+        let mut pts = Vec::new();
+        for i in 0..8 {
+            pts.push(fix(0.0, i as f64, i * 60));
+        }
+        pts.push(fix(5000.0, 0.0, 8 * 60)); // travel breaker
+        for i in 0..8 {
+            pts.push(fix(9000.0 + i as f64, 0.0, (20 + i) * 60));
+        }
+        let got = stream(&pts, params());
+        assert_eq!(got, batch(&pts, params()));
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn short_dwell_emits_nothing() {
+        let pts: Vec<GpsPoint> = (0..3).map(|i| fix(0.0, 0.0, i * 60)).collect();
+        assert!(stream(&pts, params()).is_empty());
+        assert_eq!(stream(&pts, params()), batch(&pts, params()));
+    }
+
+    #[test]
+    fn out_of_order_and_duplicates_are_quarantined() {
+        let mut d = StayPointDetector::new(params());
+        let mut out = Vec::new();
+        assert_eq!(d.push(fix(0.0, 0.0, 100), &mut out), FixStatus::Accepted);
+        assert_eq!(d.push(fix(0.0, 0.0, 100), &mut out), FixStatus::OutOfOrder);
+        assert_eq!(d.push(fix(0.0, 0.0, 50), &mut out), FixStatus::OutOfOrder);
+        assert_eq!(d.push(fix(0.0, 0.0, 101), &mut out), FixStatus::Accepted);
+        assert_eq!(d.stats().quarantined, 2);
+        assert_eq!(d.stats().accepted, 2);
+    }
+
+    #[test]
+    fn non_finite_fixes_advance_the_clock_but_are_dropped() {
+        let mut d = StayPointDetector::new(params());
+        let mut out = Vec::new();
+        assert_eq!(
+            d.push(fix(f64::NAN, 0.0, 10), &mut out),
+            FixStatus::NonFinite
+        );
+        // The bad fix consumed t=10; a finite fix at the same time is late.
+        assert_eq!(d.push(fix(0.0, 0.0, 10), &mut out), FixStatus::OutOfOrder);
+        assert_eq!(d.push(fix(0.0, 0.0, 11), &mut out), FixStatus::Accepted);
+        assert_eq!(d.stats().dropped_non_finite, 1);
+    }
+
+    #[test]
+    fn overflow_sheds_oldest_and_keeps_running() {
+        let p = StreamParams {
+            max_pending: 4,
+            theta_t: 1_000_000, // never satisfied: force pure buffering
+            ..params()
+        };
+        let mut d = StayPointDetector::new(p);
+        let mut out = Vec::new();
+        for i in 0..10 {
+            d.push(fix(0.0, 0.0, i), &mut out);
+        }
+        assert_eq!(d.pending_len(), 4);
+        assert_eq!(d.stats().overflowed, 6);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn flush_is_idempotent() {
+        let pts: Vec<GpsPoint> = (0..10).map(|i| fix(0.0, 0.0, i * 60)).collect();
+        let mut d = StayPointDetector::new(params());
+        let mut out = Vec::new();
+        for &f in &pts {
+            d.push(f, &mut out);
+        }
+        d.flush(&mut out);
+        let n = out.len();
+        d.flush(&mut out);
+        assert_eq!(out.len(), n);
+        assert_eq!(d.pending_len(), 0);
+    }
+
+    #[test]
+    fn params_validation_rejects_nonsense() {
+        assert!(params().validate().is_ok());
+        for bad in [
+            StreamParams {
+                theta_d: f64::NAN,
+                ..params()
+            },
+            StreamParams {
+                theta_d: -1.0,
+                ..params()
+            },
+            StreamParams {
+                theta_t: 0,
+                ..params()
+            },
+            StreamParams {
+                max_pending: 1,
+                ..params()
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?}");
+        }
+    }
+}

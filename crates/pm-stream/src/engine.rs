@@ -1,0 +1,535 @@
+//! The multi-user ingestion engine: per-user detectors, live recognition,
+//! transition aggregation, and deterministic eviction.
+//!
+//! One [`IngestEngine`] owns a map of per-user [`StayPointDetector`]s plus
+//! one shared [`TransitionWindow`]. Callers feed batches of records tagged
+//! with a user id; the engine:
+//!
+//! 1. admits each record through the per-user ordering clock (stale
+//!    timestamps are quarantined, mirroring pm-io's quarantine lane);
+//! 2. routes GPS fixes through incremental detection, or accepts
+//!    pre-detected stays directly (the taxi regime of §5, where pick-up and
+//!    drop-off records *are* the stay points);
+//! 3. recognizes every emitted stay through the caller-supplied closure —
+//!    pm-serve passes the current snapshot's vote, so a hot-swapped
+//!    artifact takes effect without touching detector state;
+//! 4. records `previous primary → current primary` transitions per user
+//!    into the sliding window (untagged stays are counted but neither emit
+//!    nor reset a transition);
+//! 5. evicts users idle longer than `user_ttl_secs` of *event time*, and
+//!    the stalest users when `max_users` would be exceeded — flushing their
+//!    detectors first so end-of-stream stays are not lost. Eviction order
+//!    is deterministic: `(last_seen, user id)` ascending.
+//!
+//! The engine never consults a wall clock; replaying the same records gives
+//! the same stays, window, and evictions.
+
+use crate::detector::{FixStatus, StayPointDetector, StreamParams};
+use crate::error::StreamError;
+use crate::window::{TransitionWindow, WindowConfig};
+use pm_core::params::MinerParams;
+use pm_core::types::{Category, GpsPoint, StayPoint, Timestamp};
+use pm_geo::LocalPoint;
+use std::collections::HashMap;
+
+/// Shape of one ingestion engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Per-user detection thresholds.
+    pub detector: StreamParams,
+    /// Transition-window shape.
+    pub window: WindowConfig,
+    /// Hard cap on concurrently tracked users.
+    pub max_users: usize,
+    /// Users idle this long (event time) are evicted after a batch.
+    pub user_ttl_secs: Timestamp,
+}
+
+impl EngineConfig {
+    /// An engine matching a mined artifact's thresholds.
+    pub fn from_miner(params: &MinerParams) -> EngineConfig {
+        EngineConfig {
+            detector: StreamParams::from_miner(params),
+            window: WindowConfig::default(),
+            max_users: 100_000,
+            user_ttl_secs: 7 * 24 * 3600,
+        }
+    }
+
+    /// Rejects shapes that cannot run.
+    pub fn validate(&self) -> Result<(), StreamError> {
+        self.detector.validate()?;
+        self.window.validate()?;
+        if self.max_users == 0 {
+            return Err(StreamError::config("max_users must be positive"));
+        }
+        if self.user_ttl_secs <= 0 {
+            return Err(StreamError::config(format!(
+                "user_ttl_secs {} must be positive",
+                self.user_ttl_secs
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// One ingested record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IngestRecord {
+    /// A raw GPS fix, routed through incremental stay-point detection.
+    Fix(GpsPoint),
+    /// A pre-detected stay (position + time), bypassing detection — the
+    /// journey-log regime where pick-ups/drop-offs are already stays.
+    Stay(GpsPoint),
+}
+
+impl IngestRecord {
+    fn point(&self) -> GpsPoint {
+        match self {
+            IngestRecord::Fix(p) | IngestRecord::Stay(p) => *p,
+        }
+    }
+}
+
+/// What one batch did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Records admitted (fixes into detection, stays into aggregation).
+    pub accepted: u64,
+    /// Records quarantined for out-of-order timestamps.
+    pub quarantined: u64,
+    /// Records dropped for non-finite coordinates.
+    pub dropped_non_finite: u64,
+    /// Stay points emitted (detected or direct).
+    pub stays: u64,
+    /// Transitions recorded into the window.
+    pub transitions: u64,
+    /// Transitions dropped for being older than the window.
+    pub late_transitions: u64,
+    /// Users evicted (capacity or TTL).
+    pub evicted: u64,
+}
+
+/// Cumulative engine tallies — the pm-obs counter sources.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    pub accepted: u64,
+    pub quarantined: u64,
+    pub dropped_non_finite: u64,
+    pub stays: u64,
+    pub transitions: u64,
+    pub late_transitions: u64,
+    pub evicted: u64,
+}
+
+impl EngineStats {
+    fn absorb(&mut self, o: &BatchOutcome) {
+        self.accepted += o.accepted;
+        self.quarantined += o.quarantined;
+        self.dropped_non_finite += o.dropped_non_finite;
+        self.stays += o.stays;
+        self.transitions += o.transitions;
+        self.late_transitions += o.late_transitions;
+        self.evicted += o.evicted;
+    }
+}
+
+#[derive(Debug)]
+struct UserState {
+    detector: StayPointDetector,
+    /// Primary category of the user's last recognized stay.
+    last_primary: Option<Category>,
+    /// Last admitted event time — the eviction key.
+    last_seen: Timestamp,
+}
+
+/// The multi-user streaming front door.
+#[derive(Debug)]
+pub struct IngestEngine {
+    config: EngineConfig,
+    users: HashMap<String, UserState>,
+    window: TransitionWindow,
+    /// Maximum admitted event time across all users.
+    clock: Option<Timestamp>,
+    stats: EngineStats,
+}
+
+impl IngestEngine {
+    /// An empty engine.
+    pub fn new(config: EngineConfig) -> Result<IngestEngine, StreamError> {
+        config.validate()?;
+        Ok(IngestEngine {
+            window: TransitionWindow::new(config.window)?,
+            config,
+            users: HashMap::new(),
+            clock: None,
+            stats: EngineStats::default(),
+        })
+    }
+
+    /// Ingests one batch in order. `recognize` maps a stay position onto
+    /// its primary category (pm-serve passes the current snapshot's vote);
+    /// it is looked up per emitted stay, never cached across batches.
+    pub fn ingest_batch<R>(
+        &mut self,
+        records: &[(String, IngestRecord)],
+        recognize: R,
+    ) -> BatchOutcome
+    where
+        R: Fn(LocalPoint) -> Option<Category>,
+    {
+        let mut outcome = BatchOutcome::default();
+        for (user, record) in records {
+            self.process(user, record, &recognize, &mut outcome);
+        }
+        self.evict_stale(&recognize, &mut outcome);
+        self.stats.absorb(&outcome);
+        outcome
+    }
+
+    /// Currently tracked users.
+    pub fn users_len(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Fixes buffered across all per-user detectors.
+    pub fn buffered_fixes(&self) -> usize {
+        self.users.values().map(|s| s.detector.pending_len()).sum()
+    }
+
+    /// The shared transition window.
+    pub fn window(&self) -> &TransitionWindow {
+        &self.window
+    }
+
+    /// Cumulative tallies.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// The engine-wide event clock.
+    pub fn clock(&self) -> Option<Timestamp> {
+        self.clock
+    }
+
+    /// The shape this engine runs with.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    fn process<R>(
+        &mut self,
+        user: &str,
+        record: &IngestRecord,
+        recognize: &R,
+        outcome: &mut BatchOutcome,
+    ) where
+        R: Fn(LocalPoint) -> Option<Category>,
+    {
+        let point = record.point();
+        if !self.users.contains_key(user) {
+            while self.users.len() >= self.config.max_users {
+                self.evict_one(recognize, outcome);
+            }
+            self.users.insert(
+                user.to_string(),
+                UserState {
+                    detector: StayPointDetector::new(self.config.detector),
+                    last_primary: None,
+                    last_seen: point.time,
+                },
+            );
+        }
+        let mut emitted = Vec::new();
+        let admitted = {
+            let state = match self.users.get_mut(user) {
+                Some(s) => s,
+                None => return, // unreachable: inserted above
+            };
+            match record {
+                IngestRecord::Fix(p) => match state.detector.push(*p, &mut emitted) {
+                    FixStatus::Accepted => {
+                        outcome.accepted += 1;
+                        state.last_seen = state.last_seen.max(p.time);
+                        true
+                    }
+                    FixStatus::OutOfOrder => {
+                        outcome.quarantined += 1;
+                        false
+                    }
+                    FixStatus::NonFinite => {
+                        outcome.dropped_non_finite += 1;
+                        state.last_seen = state.last_seen.max(p.time);
+                        true
+                    }
+                },
+                IngestRecord::Stay(p) => {
+                    if !state.detector.admit_time(p.time) {
+                        outcome.quarantined += 1;
+                        false
+                    } else if !(p.pos.x.is_finite() && p.pos.y.is_finite()) {
+                        outcome.dropped_non_finite += 1;
+                        state.last_seen = state.last_seen.max(p.time);
+                        true
+                    } else {
+                        outcome.accepted += 1;
+                        state.last_seen = state.last_seen.max(p.time);
+                        emitted.push(StayPoint::untagged(p.pos, p.time));
+                        true
+                    }
+                }
+            }
+        };
+        if admitted {
+            self.clock = Some(self.clock.map_or(point.time, |c| c.max(point.time)));
+        }
+        if !emitted.is_empty() {
+            let prev = self.users.get(user).and_then(|s| s.last_primary);
+            let last = self.settle(prev, &emitted, recognize, outcome);
+            if let Some(state) = self.users.get_mut(user) {
+                state.last_primary = last;
+            }
+        }
+    }
+
+    /// Recognizes emitted stays and records per-user transitions. Returns
+    /// the user's new `last_primary`.
+    fn settle<R>(
+        &mut self,
+        mut prev: Option<Category>,
+        stays: &[StayPoint],
+        recognize: &R,
+        outcome: &mut BatchOutcome,
+    ) -> Option<Category>
+    where
+        R: Fn(LocalPoint) -> Option<Category>,
+    {
+        for sp in stays {
+            outcome.stays += 1;
+            let Some(cur) = recognize(sp.pos) else {
+                // Unrecognized ground: counted as a stay, but it neither
+                // forms nor resets a transition edge.
+                continue;
+            };
+            if let Some(p) = prev {
+                if self.window.record(p, cur, sp.time) {
+                    outcome.transitions += 1;
+                } else {
+                    outcome.late_transitions += 1;
+                }
+            }
+            prev = Some(cur);
+        }
+        prev
+    }
+
+    /// Evicts the stalest user — deterministic tie-break on the user id.
+    fn evict_one<R>(&mut self, recognize: &R, outcome: &mut BatchOutcome)
+    where
+        R: Fn(LocalPoint) -> Option<Category>,
+    {
+        let victim = self
+            .users
+            .iter()
+            .min_by(|(ka, a), (kb, b)| (a.last_seen, ka.as_str()).cmp(&(b.last_seen, kb.as_str())))
+            .map(|(k, _)| k.clone());
+        if let Some(key) = victim {
+            self.remove_user(&key, recognize, outcome);
+        }
+    }
+
+    /// Evicts every user idle past the TTL, in deterministic order.
+    fn evict_stale<R>(&mut self, recognize: &R, outcome: &mut BatchOutcome)
+    where
+        R: Fn(LocalPoint) -> Option<Category>,
+    {
+        let Some(clock) = self.clock else {
+            return;
+        };
+        let cutoff = clock.saturating_sub(self.config.user_ttl_secs);
+        let mut stale: Vec<String> = self
+            .users
+            .iter()
+            .filter(|(_, s)| s.last_seen < cutoff)
+            .map(|(k, _)| k.clone())
+            .collect();
+        stale.sort_unstable();
+        for key in stale {
+            self.remove_user(&key, recognize, outcome);
+        }
+    }
+
+    /// Flushes and drops one user; end-of-stream stays settle normally.
+    fn remove_user<R>(&mut self, key: &str, recognize: &R, outcome: &mut BatchOutcome)
+    where
+        R: Fn(LocalPoint) -> Option<Category>,
+    {
+        let Some(mut state) = self.users.remove(key) else {
+            return;
+        };
+        let mut tail = Vec::new();
+        state.detector.flush(&mut tail);
+        self.settle(state.last_primary, &tail, recognize, outcome);
+        outcome.evicted += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> EngineConfig {
+        EngineConfig {
+            detector: StreamParams {
+                theta_d: 100.0,
+                theta_t: 300,
+                max_pending: 64,
+            },
+            window: WindowConfig {
+                window_secs: 86_400,
+                bucket_secs: 3_600,
+            },
+            max_users: 4,
+            user_ttl_secs: 86_400,
+        }
+    }
+
+    fn fix(user: &str, x: f64, t: Timestamp) -> (String, IngestRecord) {
+        (
+            user.to_string(),
+            IngestRecord::Fix(GpsPoint::new(LocalPoint::new(x, 0.0), t)),
+        )
+    }
+
+    fn stay(user: &str, x: f64, t: Timestamp) -> (String, IngestRecord) {
+        (
+            user.to_string(),
+            IngestRecord::Stay(GpsPoint::new(LocalPoint::new(x, 0.0), t)),
+        )
+    }
+
+    /// Recognizer: x < 5000 is Residence, otherwise Business.
+    fn recog(pos: LocalPoint) -> Option<Category> {
+        if pos.x < 5000.0 {
+            Some(Category::Residence)
+        } else {
+            Some(Category::Business)
+        }
+    }
+
+    #[test]
+    fn stays_mode_records_transitions() {
+        let mut e = IngestEngine::new(config()).expect("engine");
+        let records = vec![
+            stay("u1", 0.0, 1_000),
+            stay("u1", 9_000.0, 4_000),
+            stay("u1", 10.0, 8_000),
+        ];
+        let o = e.ingest_batch(&records, recog);
+        assert_eq!(o.accepted, 3);
+        assert_eq!(o.stays, 3);
+        assert_eq!(o.transitions, 2); // R→B, B→R
+        let counts = e.window().counts();
+        assert_eq!(counts.len(), 2);
+        assert_eq!(e.stats().transitions, 2);
+    }
+
+    #[test]
+    fn fixes_mode_detects_then_transitions() {
+        let mut e = IngestEngine::new(config()).expect("engine");
+        let mut records = Vec::new();
+        // Dwell at home, travel, dwell at work, travel again (to close the
+        // second window).
+        for i in 0..6 {
+            records.push(fix("u", 0.0, i * 120));
+        }
+        for i in 0..6 {
+            records.push(fix("u", 9_000.0, 2_000 + i * 120));
+        }
+        records.push(fix("u", 20_000.0, 5_000));
+        let o = e.ingest_batch(&records, recog);
+        assert_eq!(o.stays, 2);
+        assert_eq!(o.transitions, 1);
+        assert_eq!(
+            e.window().counts(),
+            vec![(Category::Residence, Category::Business, 1)]
+        );
+    }
+
+    #[test]
+    fn per_user_ordering_is_independent() {
+        let mut e = IngestEngine::new(config()).expect("engine");
+        let o = e.ingest_batch(
+            &[
+                stay("a", 0.0, 100),
+                stay("b", 0.0, 50),  // earlier than a's clock: fine, own user
+                stay("a", 0.0, 100), // duplicate for a: quarantined
+            ],
+            recog,
+        );
+        assert_eq!(o.accepted, 2);
+        assert_eq!(o.quarantined, 1);
+    }
+
+    #[test]
+    fn capacity_eviction_is_deterministic_and_flushes() {
+        let mut e = IngestEngine::new(config()).expect("engine");
+        // Four users dwell (detector windows open), then a fifth arrives.
+        let mut records = Vec::new();
+        for (i, u) in ["u1", "u2", "u3", "u4"].iter().enumerate() {
+            for k in 0..5 {
+                records.push(fix(u, 0.0, i as i64 * 10 + k * 120));
+            }
+        }
+        let o1 = e.ingest_batch(&records, recog);
+        assert_eq!(o1.evicted, 0);
+        assert_eq!(e.users_len(), 4);
+        // u1 has the smallest last_seen → evicted; its open dwell flushes
+        // into a stay.
+        let o2 = e.ingest_batch(&[fix("u5", 0.0, 10_000)], recog);
+        assert_eq!(o2.evicted, 1);
+        assert_eq!(o2.stays, 1);
+        assert_eq!(e.users_len(), 4);
+        assert!(e.buffered_fixes() > 0);
+    }
+
+    #[test]
+    fn ttl_eviction_uses_event_time() {
+        let mut e = IngestEngine::new(config()).expect("engine");
+        e.ingest_batch(&[stay("old", 0.0, 0)], recog);
+        assert_eq!(e.users_len(), 1);
+        // A record far in the future ages "old" past the TTL.
+        let o = e.ingest_batch(&[stay("new", 0.0, 1_000_000)], recog);
+        assert_eq!(o.evicted, 1);
+        assert_eq!(e.users_len(), 1);
+        assert_eq!(e.clock(), Some(1_000_000));
+    }
+
+    #[test]
+    fn non_finite_stay_is_dropped() {
+        let mut e = IngestEngine::new(config()).expect("engine");
+        let o = e.ingest_batch(
+            &[(
+                "u".to_string(),
+                IngestRecord::Stay(GpsPoint::new(LocalPoint::new(f64::NAN, 0.0), 5)),
+            )],
+            recog,
+        );
+        assert_eq!(o.dropped_non_finite, 1);
+        assert_eq!(o.stays, 0);
+    }
+
+    #[test]
+    fn config_validation_composes() {
+        assert!(config().validate().is_ok());
+        let mut bad = config();
+        bad.max_users = 0;
+        assert!(IngestEngine::new(bad).is_err());
+        let mut bad = config();
+        bad.user_ttl_secs = 0;
+        assert!(IngestEngine::new(bad).is_err());
+        let mut bad = config();
+        bad.detector.theta_t = 0;
+        assert!(IngestEngine::new(bad).is_err());
+    }
+}

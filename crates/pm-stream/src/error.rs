@@ -1,0 +1,29 @@
+//! Typed failure taxonomy of the streaming layer, matching the PR-1 rule:
+//! bad configuration or bad data is an `Err`, never a panic.
+
+use std::fmt;
+
+/// Why a streaming component could not be built or driven.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamError {
+    /// A configuration value fails validation; the message names it.
+    BadConfig { message: String },
+}
+
+impl StreamError {
+    pub(crate) fn config(message: impl Into<String>) -> StreamError {
+        StreamError::BadConfig {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::BadConfig { message } => write!(f, "bad stream config: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}

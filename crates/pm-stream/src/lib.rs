@@ -1,0 +1,36 @@
+//! **pm-stream** — online trajectory ingestion for the Pervasive Miner
+//! stack.
+//!
+//! The batch pipeline consumes complete trajectories; this crate consumes
+//! GPS fixes *as they arrive* and produces the same artifacts incrementally:
+//!
+//! - [`StayPointDetector`]: a per-user state machine fed one
+//!   [`pm_core::types::GpsPoint`] at a time that emits exactly the stay
+//!   points Definition 5's batch detector
+//!   ([`pm_core::recognize::detect_stay_points`]) would have found on the
+//!   same admitted sequence — bit-for-bit, proven by the
+//!   `tests/stream_parity.rs` proptest. Memory is bounded per user.
+//! - [`TransitionWindow`]: a deterministic sliding window of semantic
+//!   transition counts (`Residence → Business & Office` in the last W
+//!   seconds), driven purely by event time — no wall clock, so replays are
+//!   reproducible.
+//! - [`IngestEngine`]: the multi-user front door. Routes records to per-user
+//!   detectors, quarantines out-of-order timestamps, recognizes emitted
+//!   stays against whatever recognizer the caller supplies (pm-serve passes
+//!   the *current* snapshot, so hot-swaps take effect at the next batch),
+//!   feeds transitions into the window, and evicts stale users.
+//!
+//! Everything is std-only, panic-free on untrusted input, and deterministic:
+//! the same record sequence produces the same stays, the same window
+//! contents, and the same eviction order, regardless of thread count or
+//! wall-clock time.
+
+pub mod detector;
+pub mod engine;
+pub mod error;
+pub mod window;
+
+pub use detector::{DetectorStats, FixStatus, StayPointDetector, StreamParams};
+pub use engine::{BatchOutcome, EngineConfig, EngineStats, IngestEngine, IngestRecord};
+pub use error::StreamError;
+pub use window::{TransitionWindow, WindowConfig};

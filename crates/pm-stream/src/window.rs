@@ -1,0 +1,277 @@
+//! A deterministic sliding window of semantic-transition counts.
+//!
+//! The window is a ring of absolute-time-aligned buckets: event time `t`
+//! lands in period `t.div_euclid(bucket_secs)`, and period `p` occupies ring
+//! slot `p mod n_buckets`. Rotation is *lazy and event-driven*: a slot is
+//! zeroed when an event from a newer period claims it, and stale slots (a
+//! full rotation old because the clock jumped) are excluded at read time by
+//! comparing their stored period against the clock's. There is no wall
+//! clock and no background thread — the same event sequence always yields
+//! the same window, which is what makes replays and tests reproducible.
+//!
+//! Events older than the window (relative to the *advancing* clock — the
+//! maximum event time seen) are dropped and counted as late, never
+//! retroactively inserted: the window only moves forward.
+
+use crate::error::StreamError;
+use pm_core::types::{Category, Timestamp};
+
+/// Hard cap on ring slots — a memory guard, not a tuning knob.
+const MAX_BUCKETS: usize = 4096;
+
+/// Shape of one transition window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowConfig {
+    /// Total window span (seconds).
+    pub window_secs: Timestamp,
+    /// Bucket granularity (seconds); must divide `window_secs`.
+    pub bucket_secs: Timestamp,
+}
+
+impl Default for WindowConfig {
+    fn default() -> WindowConfig {
+        WindowConfig {
+            window_secs: 24 * 3600,
+            bucket_secs: 900,
+        }
+    }
+}
+
+impl WindowConfig {
+    /// Rejects shapes that cannot form a ring.
+    pub fn validate(&self) -> Result<(), StreamError> {
+        if self.bucket_secs <= 0 {
+            return Err(StreamError::config(format!(
+                "bucket_secs {} must be positive",
+                self.bucket_secs
+            )));
+        }
+        if self.window_secs < self.bucket_secs || self.window_secs % self.bucket_secs != 0 {
+            return Err(StreamError::config(format!(
+                "window_secs {} must be a positive multiple of bucket_secs {}",
+                self.window_secs, self.bucket_secs
+            )));
+        }
+        if self.n_buckets() > MAX_BUCKETS {
+            return Err(StreamError::config(format!(
+                "window would need {} buckets (max {MAX_BUCKETS})",
+                self.n_buckets()
+            )));
+        }
+        Ok(())
+    }
+
+    fn n_buckets(&self) -> usize {
+        (self.window_secs / self.bucket_secs) as usize
+    }
+}
+
+/// Sliding `from → to` transition counts over the last `window_secs`
+/// seconds of event time, bucketed at `bucket_secs` granularity.
+#[derive(Debug, Clone)]
+pub struct TransitionWindow {
+    config: WindowConfig,
+    /// Per-slot counts, indexed `from * Category::COUNT + to`.
+    buckets: Vec<Vec<u64>>,
+    /// The absolute period each slot currently holds.
+    periods: Vec<Timestamp>,
+    /// Maximum event time observed — the stream clock.
+    clock: Option<Timestamp>,
+    late_dropped: u64,
+    recorded: u64,
+}
+
+impl TransitionWindow {
+    /// An empty window of the given shape.
+    pub fn new(config: WindowConfig) -> Result<TransitionWindow, StreamError> {
+        config.validate()?;
+        let n = config.n_buckets();
+        Ok(TransitionWindow {
+            config,
+            buckets: vec![vec![0; Category::COUNT * Category::COUNT]; n],
+            // i64::MIN doubles as "never written"; slot contents start at
+            // zero, so a real period colliding with it is still correct.
+            periods: vec![Timestamp::MIN; n],
+            clock: None,
+            late_dropped: 0,
+            recorded: 0,
+        })
+    }
+
+    /// Records one transition at event time `t`. Returns `false` when the
+    /// event is older than the window (counted as late, not recorded).
+    pub fn record(&mut self, from: Category, to: Category, t: Timestamp) -> bool {
+        let b = self.config.bucket_secs;
+        let n = self.periods.len() as i64;
+        let period = t.div_euclid(b);
+        self.clock = Some(self.clock.map_or(t, |c| c.max(t)));
+        let clock_period = self.clock.unwrap_or(t).div_euclid(b);
+        if clock_period.saturating_sub(period) >= n {
+            self.late_dropped += 1;
+            return false;
+        }
+        let slot = period.rem_euclid(n) as usize;
+        if self.periods[slot] != period {
+            // The slot last held a period at least one full rotation ago.
+            self.buckets[slot].iter_mut().for_each(|c| *c = 0);
+            self.periods[slot] = period;
+        }
+        self.buckets[slot][(from as usize) * Category::COUNT + to as usize] += 1;
+        self.recorded += 1;
+        true
+    }
+
+    /// Non-zero `(from, to, count)` triples currently inside the window,
+    /// sorted by `(from, to)` index. Slots stranded by a clock jump are
+    /// excluded without being touched.
+    pub fn counts(&self) -> Vec<(Category, Category, u64)> {
+        let Some(clock) = self.clock else {
+            return Vec::new();
+        };
+        let clock_period = clock.div_euclid(self.config.bucket_secs);
+        let n = self.periods.len() as i64;
+        let mut totals = vec![0u64; Category::COUNT * Category::COUNT];
+        for (slot, counts) in self.buckets.iter().enumerate() {
+            let age = clock_period.saturating_sub(self.periods[slot]);
+            if !(0..n).contains(&age) {
+                continue;
+            }
+            for (i, &c) in counts.iter().enumerate() {
+                totals[i] += c;
+            }
+        }
+        let mut out = Vec::new();
+        for from in 0..Category::COUNT {
+            for to in 0..Category::COUNT {
+                let c = totals[from * Category::COUNT + to];
+                if c > 0 {
+                    out.push((Category::from_index(from), Category::from_index(to), c));
+                }
+            }
+        }
+        out
+    }
+
+    /// Sum of all in-window counts.
+    pub fn total(&self) -> u64 {
+        self.counts().iter().map(|(_, _, c)| c).sum()
+    }
+
+    /// The stream clock: the latest event time seen.
+    pub fn as_of(&self) -> Option<Timestamp> {
+        self.clock
+    }
+
+    /// Events dropped for arriving older than the window.
+    pub fn late_dropped(&self) -> u64 {
+        self.late_dropped
+    }
+
+    /// Events recorded since construction (a lifetime tally, not the
+    /// current window content — see [`TransitionWindow::total`]).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// The window shape.
+    pub fn config(&self) -> WindowConfig {
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> TransitionWindow {
+        // 4 buckets of 100 s = a 400 s window.
+        TransitionWindow::new(WindowConfig {
+            window_secs: 400,
+            bucket_secs: 100,
+        })
+        .expect("config")
+    }
+
+    const R: Category = Category::Residence;
+    const B: Category = Category::Business;
+
+    #[test]
+    fn config_validation() {
+        assert!(WindowConfig::default().validate().is_ok());
+        for (w, b) in [
+            (0, 0),
+            (100, 0),
+            (100, -1),
+            (50, 100),
+            (150, 100),
+            (900_000_000, 100),
+        ] {
+            let c = WindowConfig {
+                window_secs: w,
+                bucket_secs: b,
+            };
+            assert!(c.validate().is_err(), "{c:?}");
+            assert!(TransitionWindow::new(c).is_err());
+        }
+    }
+
+    #[test]
+    fn counts_accumulate_and_expire() {
+        let mut w = tiny();
+        assert!(w.record(R, B, 10));
+        assert!(w.record(R, B, 120));
+        assert_eq!(w.counts(), vec![(R, B, 2)]);
+        // Clock moves to t=450: bucket 0 (period 0) is now 4 periods old
+        // and rotates out; bucket holding t=120 remains.
+        assert!(w.record(B, R, 450));
+        assert_eq!(w.counts(), vec![(R, B, 1), (B, R, 1)]);
+        assert_eq!(w.total(), 2);
+        assert_eq!(w.as_of(), Some(450));
+    }
+
+    #[test]
+    fn late_events_are_dropped_not_inserted() {
+        let mut w = tiny();
+        assert!(w.record(R, B, 1000));
+        // 1000 - 500 spans > 4 buckets back: late.
+        assert!(!w.record(R, B, 500));
+        assert_eq!(w.late_dropped(), 1);
+        assert_eq!(w.total(), 1);
+        // Just inside the window is fine.
+        assert!(w.record(R, B, 700));
+        assert_eq!(w.total(), 2);
+    }
+
+    #[test]
+    fn clock_jump_strands_then_excludes_old_slots() {
+        let mut w = tiny();
+        assert!(w.record(R, B, 0));
+        // A huge jump: the old slot is stale but never rewritten (its ring
+        // position isn't reclaimed by these periods). Reads must exclude it.
+        assert!(w.record(B, R, 1_000_000));
+        assert_eq!(w.counts(), vec![(B, R, 1)]);
+    }
+
+    #[test]
+    fn same_events_same_window() {
+        let events = [(R, B, 10), (B, R, 250), (R, R, 330), (B, B, 401)];
+        let mut w1 = tiny();
+        let mut w2 = tiny();
+        for (f, t, at) in events {
+            w1.record(f, t, at);
+            w2.record(f, t, at);
+        }
+        assert_eq!(w1.counts(), w2.counts());
+        assert_eq!(w1.recorded(), 4);
+    }
+
+    #[test]
+    fn negative_times_work() {
+        let mut w = tiny();
+        assert!(w.record(R, B, -350));
+        assert!(w.record(R, B, -10));
+        assert_eq!(w.total(), 2);
+        assert!(w.record(R, B, 100)); // pushes -350 out
+        assert_eq!(w.total(), 2);
+    }
+}

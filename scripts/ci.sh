@@ -56,6 +56,13 @@ PM_BENCH_SMOKE=1 PM_BENCH_OUT="$workspace/BENCH_pipeline.json" \
 grep -q '"serve"' BENCH_pipeline.json \
     || die "serve bench did not splice into BENCH_pipeline.json"
 
+# Ingest smoke: streaming fixes through POST /v1/ingest, same report.
+echo "==> cargo bench -p pm-bench --bench ingest_throughput (PM_BENCH_SMOKE=1)"
+PM_BENCH_SMOKE=1 PM_BENCH_OUT="$workspace/BENCH_pipeline.json" \
+    cargo bench -p pm-bench --bench ingest_throughput
+grep -q '"ingest"' BENCH_pipeline.json \
+    || die "ingest bench did not splice into BENCH_pipeline.json"
+
 # Artifact round trip: mine the committed example data into a pm-store
 # artifact, then prove it reloads and re-serializes byte-identically.
 echo "==> artifact round trip (mine --artifact + artifact-check)"
@@ -90,6 +97,24 @@ if command -v curl > /dev/null 2>&1; then
         | grep -q '"query"' || die "semantic lookup failed"
     curl -fsS "http://$addr/v1/patterns?limit=3" | grep -q '"total"' \
         || die "pattern query failed"
+
+    # Ingest smoke: replay the committed journeys against the live server
+    # (throttled so it is still running when the reload lands), hot-swap
+    # the snapshot mid-replay, and check the live window filled up.
+    echo "==> ingest smoke test (replay + mid-replay /v1/reload)"
+    cargo run --release -q -p pm-cli -- replay \
+        --journeys examples/data/journeys.csv --addr "$addr" --rate 4000 \
+        2> "$workspace/target/ci-replay.log" &
+    replay_pid=$!
+    sleep 0.3
+    curl -fsS -X POST "http://$addr/v1/reload" -d '{}' | grep -q '"epoch":1' \
+        || die "mid-replay reload did not swap to epoch 1"
+    wait "$replay_pid" \
+        || die "replay failed: $(cat "$workspace/target/ci-replay.log")"
+    curl -fsS "http://$addr/v1/live/patterns" | grep -q '"from":' \
+        || die "live patterns stayed empty after replay"
+    curl -fsS "http://$addr/v1/stats" | grep -q '"serve.swap_epoch": 1' \
+        || die "epoch swap not visible in the run-report counters"
     kill "$serve_pid"
     wait "$serve_pid" 2> /dev/null || true
     trap - EXIT
