@@ -5,6 +5,7 @@
 //!                        [--pois FILE --journeys FILE] [--lenient]
 //!                        [--artifact FILE] [--top N]
 //! pervasive-miner serve  --artifact FILE [--addr HOST:PORT] [--threads N]
+//!                        [--wal-dir DIR] [--remine-interval SECS] [--remine-dir DIR]
 //! pervasive-miner replay --journeys FILE [--addr HOST:PORT] [--rate N] [--batch N]
 //! pervasive-miner artifact-check <FILE>
 //! pervasive-miner fig    <6|9|10|11|12|13|14>  [--scale ..] [--seed N] [--csv DIR]
@@ -67,6 +68,9 @@ struct Args {
     addr: String,
     rate: u64,
     batch: usize,
+    wal_dir: Option<PathBuf>,
+    remine_interval: u64,
+    remine_dir: Option<PathBuf>,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -97,6 +101,9 @@ fn parse_args() -> Result<Args, String> {
         addr: "127.0.0.1:8080".into(),
         rate: 0,
         batch: 256,
+        wal_dir: None,
+        remine_interval: 0,
+        remine_dir: None,
     };
     let mut positional = Vec::new();
     while let Some(a) = argv.next() {
@@ -154,6 +161,21 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad --top: {e}"))?
             }
             "--addr" => args.addr = argv.next().ok_or("--addr needs host:port")?,
+            "--wal-dir" => {
+                args.wal_dir = Some(PathBuf::from(argv.next().ok_or("--wal-dir needs a dir")?))
+            }
+            "--remine-interval" => {
+                args.remine_interval = argv
+                    .next()
+                    .ok_or("--remine-interval needs seconds")?
+                    .parse()
+                    .map_err(|e| format!("bad --remine-interval: {e}"))?
+            }
+            "--remine-dir" => {
+                args.remine_dir = Some(PathBuf::from(
+                    argv.next().ok_or("--remine-dir needs a dir")?,
+                ))
+            }
             "--rate" => {
                 args.rate = argv
                     .next()
@@ -184,7 +206,8 @@ fn usage() -> String {
      [--scale tiny|small|paper] [--seed N] [--sigma N] [--csv DIR] [--out FILE] \
      [--pois FILE --journeys FILE] [--lenient] [--threads N] \
      [--report FILE] [--report-format json|text] \
-     [--artifact FILE] [--top N] [--addr HOST:PORT] [--rate N] [--batch N]\n\
+     [--artifact FILE] [--top N] [--addr HOST:PORT] [--rate N] [--batch N] \
+     [--wal-dir DIR] [--remine-interval SECS] [--remine-dir DIR]\n\
      --pois/--journeys: mine real CSV data instead of a synthetic city\n\
      --lenient: quarantine malformed input lines instead of aborting on the \
      first one; a dropped-records summary goes to stderr\n\
@@ -200,9 +223,21 @@ fn usage() -> String {
      --addr: `serve` listen address (default 127.0.0.1:8080; port 0 picks \
      an ephemeral port, announced on stderr); for `replay`, the server to \
      stream into\n\
+     --wal-dir: with `serve`, write-ahead-log accepted ingest batches into \
+     DIR and recover the live engine state from it on startup — a killed \
+     server restarts where it left off; SIGINT/SIGTERM cut a final \
+     checkpoint before exiting\n\
+     --remine-interval: with `serve`, re-mine the accumulated live stays \
+     every SECS seconds in a supervised background job and hot-swap the \
+     snapshot on success (0 = off, the default); status at GET /v1/miner\n\
+     --remine-dir: where re-mined generations are published (default: the \
+     artifact path with a .generations extension). If the --artifact file \
+     is missing or damaged, `serve` degrades to the newest verifiable \
+     generation found here\n\
      replay --journeys FILE: stream a journey CSV into a running server's \
      POST /v1/ingest as live stay records; --rate caps records/second \
-     (0 = unthrottled), --batch sets records per request (default 256)\n\
+     (0 = unthrottled), --batch sets records per request (default 256); \
+     overload answers are retried honoring the server's Retry-After\n\
      artifact-check <FILE>: reload an artifact and verify it re-serializes \
      byte-identically"
         .into()
@@ -402,34 +437,194 @@ fn mine_ingested(args: &Args, params: &MinerParams) -> Result<(), String> {
     write_report(args, &obs)
 }
 
+/// Unix graceful shutdown: SIGINT/SIGTERM flip an atomic flag from an
+/// async-signal-safe handler; a monitor thread polls it and drives the
+/// server's cooperative shutdown (which drains connections and cuts a
+/// final WAL checkpoint).
+#[cfg(unix)]
+mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+    /// The handler itself only stores to an atomic — the only thing that
+    /// is safe to do in signal context.
+    extern "C" fn mark_shutdown(_signum: i32) {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGINT, mark_shutdown as *const () as usize);
+            signal(SIGTERM, mark_shutdown as *const () as usize);
+        }
+    }
+
+    pub fn requested() -> bool {
+        SHUTDOWN.load(Ordering::SeqCst)
+    }
+}
+
 /// Loads an artifact and serves semantic queries over HTTP until killed
 /// (or the listener fails). The bound address goes to stderr so scripts
 /// can use `--addr 127.0.0.1:0` and discover the ephemeral port.
 /// The artifact path is remembered as the default for `POST /v1/reload`,
 /// so re-mining to the same file and hitting reload hot-swaps the service.
+///
+/// The online loop rides on three optional flags: `--wal-dir` makes live
+/// ingest crash-safe (log before engine, checkpoint periodically, recover
+/// on startup), `--remine-interval` runs the supervised background
+/// re-miner, and `--remine-dir` is where its generations publish — also
+/// the last-good fallback when the primary artifact won't load.
 fn serve_command(args: &Args) -> Result<(), String> {
+    use pervasive_miner::serve::{RemineConfig, Reminer};
+    use pervasive_miner::store::GenerationStore;
+    use pervasive_miner::stream::{IngestEngine, Wal, WalConfig};
+
     let path = args
         .artifact
         .as_ref()
         .ok_or("serve needs --artifact FILE (produce one with `mine --artifact`)")?;
-    let artifact = Artifact::read_file(path).map_err(|e| format!("{}: {e}", path.display()))?;
-    eprintln!("loaded {}: {}", path.display(), artifact.describe());
-    let engine = EngineConfig::from_miner(&artifact.params);
-    let snapshot = Snapshot::new(artifact).map_err(|e| format!("{}: {e}", path.display()))?;
-    let state = ServeState::new(Arc::new(snapshot), engine)
-        .map_err(|e| e.to_string())?
-        .with_reload_path(path);
+    let obs = Obs::enabled();
+    let remine_dir = args
+        .remine_dir
+        .clone()
+        .unwrap_or_else(|| path.with_extension("generations"));
+
+    // Load the primary artifact; when it is missing or damaged, degrade to
+    // the newest verifiable generation the re-miner published — a server
+    // that survived earlier crashes stays serveable.
+    let artifact = match Artifact::read_file(path) {
+        Ok(artifact) => {
+            eprintln!("loaded {}: {}", path.display(), artifact.describe());
+            artifact
+        }
+        Err(primary_err) => {
+            let fallback = GenerationStore::open(&remine_dir, 1)
+                .and_then(|store| store.latest_good())
+                .ok()
+                .flatten();
+            match fallback {
+                Some((generation, artifact)) => {
+                    obs.incr("miner.degraded_to_last_good", 1);
+                    eprintln!(
+                        "warning: {}: {primary_err}; degraded to last-good generation \
+                         {generation} from {}",
+                        path.display(),
+                        remine_dir.display()
+                    );
+                    artifact
+                }
+                None => return Err(format!("{}: {primary_err}", path.display())),
+            }
+        }
+    };
+    let engine_config = EngineConfig::from_miner(&artifact.params);
+    let snapshot =
+        Arc::new(Snapshot::new(artifact).map_err(|e| format!("{}: {e}", path.display()))?);
+
+    // With a WAL, restore the live engine: checkpoint first, then replay
+    // every batch that survived with frames intact. Recovery tallies land
+    // on the same wal.* counters /v1/stats exposes.
+    let mut wal = None;
+    let engine = match &args.wal_dir {
+        Some(dir) => {
+            let (w, recovery) = Wal::open(WalConfig::new(dir))
+                .map_err(|e| format!("wal {}: {e}", dir.display()))?;
+            let mut engine = match &recovery.checkpoint {
+                Some(bytes) => IngestEngine::from_state_bytes(bytes)
+                    .map_err(|e| format!("wal {}: checkpoint: {e}", dir.display()))?,
+                None => IngestEngine::new(engine_config).map_err(|e| e.to_string())?,
+            };
+            for batch in &recovery.batches {
+                engine.ingest_batch(batch, |pos| snapshot.primary_category(pos));
+            }
+            let r = &recovery.report;
+            obs.incr("wal.replayed_batches", r.replayed_batches);
+            obs.incr("wal.replayed_records", r.replayed_records);
+            obs.incr("wal.torn_frames", r.torn_frames);
+            obs.incr("wal.corrupt_frames", r.corrupt_frames);
+            eprintln!(
+                "wal {}: recovered {} (replayed {} batches / {} records, \
+                 {} torn + {} corrupt frames dropped)",
+                dir.display(),
+                if recovery.checkpoint.is_some() {
+                    "from checkpoint"
+                } else {
+                    "from empty"
+                },
+                r.replayed_batches,
+                r.replayed_records,
+                r.torn_frames,
+                r.corrupt_frames,
+            );
+            wal = Some(w);
+            engine
+        }
+        None => IngestEngine::new(engine_config).map_err(|e| e.to_string())?,
+    };
+
+    let mut state = ServeState::with_engine(Arc::clone(&snapshot), engine).with_reload_path(path);
+    if let Some(wal) = wal {
+        state = state.with_wal(wal, obs.clone());
+    }
+    let state = Arc::new(state);
 
     let config = ServeConfig {
         threads: args.threads.unwrap_or(0),
         ..ServeConfig::default()
     };
-    let obs = Obs::enabled();
-    let server = Server::bind_with_state(&args.addr, Arc::new(state), config, obs)
+    let server = Server::bind_with_state(&args.addr, Arc::clone(&state), config, obs.clone())
         .map_err(|e| format!("bind {}: {e}", args.addr))?;
     let addr = server.local_addr().map_err(|e| e.to_string())?;
     eprintln!("listening on {addr}");
-    server.run().map_err(|e| format!("serve: {e}"))
+
+    // The supervised background re-miner: publishes verified generations
+    // into the store and hot-swaps the snapshot on success.
+    let reminer = if args.remine_interval > 0 {
+        let remine = RemineConfig {
+            interval: std::time::Duration::from_secs(args.remine_interval),
+            ..RemineConfig::default()
+        };
+        let store = GenerationStore::open(&remine_dir, remine.keep_generations)
+            .map_err(|e| format!("{}: {e}", remine_dir.display()))?;
+        eprintln!(
+            "re-mining every {}s into {} (keeping {} generations)",
+            args.remine_interval,
+            remine_dir.display(),
+            remine.keep_generations
+        );
+        Some(Reminer::spawn(Arc::clone(&state), store, remine, obs))
+    } else {
+        None
+    };
+
+    #[cfg(unix)]
+    {
+        signals::install();
+        let handle = server.shutdown_handle().map_err(|e| e.to_string())?;
+        std::thread::spawn(move || loop {
+            if signals::requested() {
+                eprintln!("shutdown signal received; draining ...");
+                handle.shutdown();
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(100));
+        });
+    }
+
+    // run() drains connections and cuts the final WAL checkpoint itself.
+    let result = server.run().map_err(|e| format!("serve: {e}"));
+    if let Some(reminer) = reminer {
+        reminer.stop();
+    }
+    eprintln!("server stopped");
+    result
 }
 
 /// Streams a journey CSV into a running server's `POST /v1/ingest`.
@@ -517,7 +712,16 @@ fn replay_command(args: &Args) -> Result<(), String> {
                 Ok((200, reply)) => break reply,
                 Ok((status @ (429 | 503), _)) if attempts < 50 => {
                     attempts += 1;
-                    std::thread::sleep(std::time::Duration::from_millis(20 * attempts));
+                    // Back off by the server's Retry-After clock when it
+                    // sent one; otherwise fall back to linear client-side
+                    // backoff. Capped so a generous server hint cannot
+                    // stall the replay for minutes.
+                    let wait = conn
+                        .retry_after()
+                        .map(std::time::Duration::from_secs)
+                        .unwrap_or_else(|| std::time::Duration::from_millis(20 * attempts))
+                        .min(std::time::Duration::from_secs(5));
+                    std::thread::sleep(wait);
                     conn = Conn::open(addr).map_err(|e| format!("reconnect {addr}: {e}"))?;
                     let _ = status;
                 }

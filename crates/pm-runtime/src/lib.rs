@@ -12,6 +12,10 @@
 //! - [`WorkerPool`]: a fixed pool of long-lived workers over a **bounded**
 //!   job queue, for online services that must shed load instead of queueing
 //!   without bound (see [`pool`]).
+//! - [`supervise`]: time-free supervision primitives — capped exponential
+//!   [`Backoff`] with deterministic jitter and a consecutive-failure
+//!   [`CircuitBreaker`] — for background loops that must retry without
+//!   storming and stop retrying without dying.
 //!
 //! # Determinism contract
 //!
@@ -36,8 +40,10 @@ use std::cell::Cell;
 use std::num::NonZeroUsize;
 
 pub mod pool;
+pub mod supervise;
 
 pub use pool::{SubmitError, WorkerPool};
+pub use supervise::{Backoff, CircuitBreaker, CircuitState};
 
 /// Environment variable read by [`default_threads`].
 pub const THREADS_ENV: &str = "PM_THREADS";

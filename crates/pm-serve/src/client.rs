@@ -56,6 +56,7 @@ pub fn post(addr: SocketAddr, target: &str, body: &str) -> std::io::Result<(u16,
 /// A persistent (keep-alive) client connection.
 pub struct Conn {
     reader: BufReader<TcpStream>,
+    retry_after: Option<u64>,
 }
 
 impl Conn {
@@ -66,7 +67,15 @@ impl Conn {
         stream.set_write_timeout(Some(Duration::from_secs(30)))?;
         Ok(Conn {
             reader: BufReader::new(stream),
+            retry_after: None,
         })
+    }
+
+    /// The `Retry-After` value (seconds) of the most recent response, if
+    /// the server sent one — overload answers (`429`/`503`) carry it so
+    /// clients back off by the server's clock.
+    pub fn retry_after(&self) -> Option<u64> {
+        self.retry_after
     }
 
     /// Issues one request on the open connection and returns
@@ -112,6 +121,7 @@ impl Conn {
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| bad("unparseable status line"))?;
         let mut content_length: usize = 0;
+        self.retry_after = None;
         loop {
             let mut header = String::new();
             self.reader.read_line(&mut header)?;
@@ -120,11 +130,14 @@ impl Conn {
                 break;
             }
             if let Some((name, value)) = header.split_once(':') {
-                if name.trim().eq_ignore_ascii_case("content-length") {
+                let name = name.trim();
+                if name.eq_ignore_ascii_case("content-length") {
                     content_length = value
                         .trim()
                         .parse()
                         .map_err(|_| bad("bad Content-Length"))?;
+                } else if name.eq_ignore_ascii_case("retry-after") {
+                    self.retry_after = value.trim().parse().ok();
                 }
             }
         }

@@ -220,13 +220,30 @@ pub fn write_response(
     body: &str,
     close: bool,
 ) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+    write_response_with(stream, status, body, close, None)
+}
+
+/// [`write_response`] with an optional `Retry-After` header (seconds) — the
+/// server attaches it to overload answers (`429`/`503`) so well-behaved
+/// clients back off by the server's clock instead of guessing.
+pub fn write_response_with(
+    stream: &mut impl Write,
+    status: u16,
+    body: &str,
+    close: bool,
+    retry_after: Option<u64>,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
         status,
         status_text(status),
         body.len(),
         if close { "close" } else { "keep-alive" }
     );
+    if let Some(secs) = retry_after {
+        head.push_str(&format!("Retry-After: {secs}\r\n"));
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()
@@ -291,6 +308,19 @@ mod tests {
         write_response(&mut out, 200, "{}", false).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("Connection: keep-alive\r\n"));
+    }
+
+    #[test]
+    fn retry_after_header_only_when_asked() {
+        let mut out = Vec::new();
+        write_response_with(&mut out, 429, "{}", true, Some(3)).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Retry-After: 3\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{}"), "{text}");
+
+        let mut out = Vec::new();
+        write_response_with(&mut out, 200, "{}", false, None).unwrap();
+        assert!(!String::from_utf8(out).unwrap().contains("Retry-After"));
     }
 
     #[test]

@@ -24,11 +24,14 @@
 //! | `POST /v1/ingest`   | `{"fixes":[{"user":..,"x":..,"y":..,"t":..},..],"stays":[..]}` — live trajectory stream |
 //! | `GET /v1/live/patterns` | — (sliding-window semantic transition counts) |
 //! | `POST /v1/reload`   | `{"path":..}` (optional) — validate + hot-swap the artifact |
+//! | `GET /v1/miner`     | — (background re-miner status: circuit state, failure tallies, generations) |
 //!
 //! Every response is JSON. Connections are HTTP/1.1 **keep-alive** (capped
 //! per connection; `Connection: close` and error statuses end the session).
 //! The accept queue is bounded; overload is shed with `503`, oversized
-//! ingest batches with `429`, instead of queueing without limit.
+//! ingest batches with `429`, instead of queueing without limit — and
+//! overload answers carry a `Retry-After` header so clients back off by the
+//! server's clock.
 //!
 //! ## Serving model
 //!
@@ -40,14 +43,27 @@
 //! bytes served over the socket against the snapshot's in-process output.
 //! The live side (`/v1/ingest` → `/v1/live/patterns`) runs the pm-stream
 //! incremental detector + transition window behind the same state.
+//!
+//! ## Online loop
+//!
+//! With a [`pm_stream::Wal`] attached ([`ServeState::with_wal`]), accepted
+//! ingest batches are logged before the engine sees them and engine state
+//! is checkpointed periodically — a killed process recovers its exact live
+//! state on restart. A [`Reminer`] supervises periodic background re-mining
+//! over the accumulated stays: panic-isolated, deadline-bounded jobs whose
+//! artifacts publish through a read-back-verified [`pm_store::GenerationStore`]
+//! before the serving snapshot swaps. Miner failures back off exponentially
+//! and trip a circuit breaker; the serving path never 5xxs because of them.
 
 pub mod client;
 pub mod http;
 pub mod json;
+pub mod miner;
 pub mod server;
 pub mod snapshot;
 pub mod state;
 
+pub use miner::{FailureKind, InjectedFault, MinerStatus, RemineConfig, Reminer};
 pub use server::{ServeConfig, Server, ShutdownHandle};
 pub use snapshot::Snapshot;
 pub use state::ServeState;

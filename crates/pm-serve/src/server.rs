@@ -49,6 +49,9 @@ pub struct ServeConfig {
     /// Records (`fixes` + `stays`) accepted in one `POST /v1/ingest` batch;
     /// larger batches are refused with `429`.
     pub max_batch_records: usize,
+    /// `Retry-After` (seconds) attached to overload answers (`429`/`503`)
+    /// so clients back off by the server's clock.
+    pub retry_after_secs: u64,
 }
 
 impl Default for ServeConfig {
@@ -60,6 +63,7 @@ impl Default for ServeConfig {
             write_timeout: Duration::from_secs(10),
             max_requests_per_conn: 64,
             max_batch_records: 10_000,
+            retry_after_secs: 1,
         }
     }
 }
@@ -95,7 +99,7 @@ pub struct Server {
 }
 
 /// Endpoint labels used for `serve.requests.*` / `serve.errors.*` counters.
-const ENDPOINTS: [&str; 10] = [
+const ENDPOINTS: [&str; 11] = [
     "healthz",
     "semantic",
     "annotate",
@@ -104,6 +108,7 @@ const ENDPOINTS: [&str; 10] = [
     "ingest",
     "live_patterns",
     "reload",
+    "miner",
     "bad_request",
     "not_found",
 ];
@@ -120,6 +125,33 @@ const STREAM_COUNTERS: [&str; 8] = [
     "quarantine.stream_out_of_order",
     "degradation.stream_dropped_fixes",
     "serve.swap_epoch",
+];
+
+/// Online-loop robustness counters, pre-registered at zero so the failure
+/// schema is visible in `/v1/stats` before anything ever fails. `wal.*`
+/// tracks the ingest write-ahead log; `miner.*` the supervised re-miner.
+const ROBUSTNESS_COUNTERS: [&str; 21] = [
+    "wal.appended_batches",
+    "wal.appended_records",
+    "wal.append_errors",
+    "wal.segments_rolled",
+    "wal.checkpoints",
+    "wal.checkpoint_errors",
+    "wal.replayed_batches",
+    "wal.replayed_records",
+    "wal.torn_frames",
+    "wal.corrupt_frames",
+    "miner.jobs_started",
+    "miner.jobs_succeeded",
+    "miner.skipped_no_data",
+    "miner.failures_panic",
+    "miner.failures_error",
+    "miner.failures_timeout",
+    "miner.failures_publish",
+    "miner.failures_busy",
+    "miner.circuit_opens",
+    "miner.published_generations",
+    "miner.degraded_to_last_good",
 ];
 
 impl Server {
@@ -155,6 +187,9 @@ impl Server {
             obs.incr(&format!("serve.errors.{ep}"), 0);
         }
         for name in STREAM_COUNTERS {
+            obs.incr(name, 0);
+        }
+        for name in ROBUSTNESS_COUNTERS {
             obs.incr(name, 0);
         }
         obs.incr("serve.shed", 0);
@@ -218,11 +253,20 @@ impl Server {
                 self.obs.incr("serve.shed", 1);
                 if let Ok(mut s) = shed_handle {
                     let _ = s.set_write_timeout(Some(self.config.write_timeout));
-                    let _ = http::write_response(&mut s, 503, &error_body("server busy"), true);
+                    let _ = http::write_response_with(
+                        &mut s,
+                        503,
+                        &error_body("server busy"),
+                        true,
+                        Some(self.config.retry_after_secs),
+                    );
                 }
             }
         }
         pool.shutdown();
+        // Graceful shutdown: with a WAL attached, cut a final checkpoint so
+        // a restart recovers instantly — no segment replay needed.
+        self.state.checkpoint_now();
         Ok(())
     }
 }
@@ -263,7 +307,9 @@ fn handle_connection(stream: TcpStream, state: &ServeState, obs: &Obs, config: &
         // Error statuses close too: the request body may not have been
         // consumed, so continuing would desync the request framing.
         let close = client_close || status >= 400 || served >= config.max_requests_per_conn;
-        let written = http::write_response(&mut write_half, status, &body, close);
+        // Overload answers tell the client when to come back.
+        let retry_after = matches!(status, 429 | 503).then_some(config.retry_after_secs);
+        let written = http::write_response_with(&mut write_half, status, &body, close, retry_after);
         span.finish();
         if close || written.is_err() {
             break;
@@ -344,6 +390,7 @@ fn route(
             Err((status, m)) => (status, error_body(&m), "ingest"),
         },
         ("GET", "/v1/live/patterns") => (200, state.live_patterns_json(), "live_patterns"),
+        ("GET", "/v1/miner") => (200, state.miner_json(), "miner"),
         ("POST", "/v1/reload") => match parse_body(req)
             .map_err(|m| (400u16, m))
             .and_then(|body| state.reload_json(&body))
@@ -358,7 +405,7 @@ fn route(
         (
             _,
             "/healthz" | "/v1/semantic" | "/v1/annotate" | "/v1/patterns" | "/v1/stats"
-            | "/v1/ingest" | "/v1/live/patterns" | "/v1/reload",
+            | "/v1/ingest" | "/v1/live/patterns" | "/v1/reload" | "/v1/miner",
         ) => (
             405,
             error_body(&format!("{} not allowed here", req.method)),

@@ -23,12 +23,14 @@
 //! streaming analogue of re-annotating against a refreshed CSD.
 
 use crate::json::{self, Json};
+use crate::miner::MinerStatus;
 use crate::snapshot::Snapshot;
-use pm_core::types::GpsPoint;
+use pm_core::types::{GpsPoint, StayPoint};
 use pm_geo::GeoPoint;
 use pm_geo::LocalPoint;
+use pm_obs::Obs;
 use pm_store::Artifact;
-use pm_stream::{BatchOutcome, EngineConfig, IngestEngine, IngestRecord, StreamError};
+use pm_stream::{BatchOutcome, EngineConfig, IngestEngine, IngestRecord, StreamError, Wal};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -41,23 +43,101 @@ pub struct ServeState {
     engine: Mutex<IngestEngine>,
     /// Default artifact path for `/v1/reload` bodies without a `path`.
     reload_path: Option<PathBuf>,
+    /// Crash-safety: when present, every accepted ingest batch is appended
+    /// here *before* it reaches the engine, and engine state is checkpointed
+    /// at the WAL's cadence. WAL trouble degrades (counted, never a 5xx).
+    wal: Option<Mutex<Wal>>,
+    /// Counter sink for WAL activity (`wal.*`); no-op until a WAL attaches.
+    wal_obs: Obs,
+    /// Live status of the background re-miner, when one is attached.
+    miner: RwLock<Option<Arc<Mutex<MinerStatus>>>>,
 }
 
 impl ServeState {
     /// Wraps an initial snapshot at epoch 0 with a fresh ingest engine.
     pub fn new(snapshot: Arc<Snapshot>, engine: EngineConfig) -> Result<ServeState, StreamError> {
-        Ok(ServeState {
+        Ok(ServeState::with_engine(
+            snapshot,
+            IngestEngine::new(engine)?,
+        ))
+    }
+
+    /// Wraps an initial snapshot around an already-built engine — the WAL
+    /// recovery path, where the engine was restored from a checkpoint and
+    /// replay rather than built fresh.
+    pub fn with_engine(snapshot: Arc<Snapshot>, engine: IngestEngine) -> ServeState {
+        ServeState {
             snapshot: RwLock::new(snapshot),
             epoch: AtomicU64::new(0),
-            engine: Mutex::new(IngestEngine::new(engine)?),
+            engine: Mutex::new(engine),
             reload_path: None,
-        })
+            wal: None,
+            wal_obs: Obs::noop(),
+            miner: RwLock::new(None),
+        }
     }
 
     /// Sets the artifact path `/v1/reload` swaps in by default.
     pub fn with_reload_path(mut self, path: impl Into<PathBuf>) -> ServeState {
         self.reload_path = Some(path.into());
         self
+    }
+
+    /// Attaches a write-ahead log: from now on every ingest batch is logged
+    /// before the engine sees it, and checkpoints are cut at the WAL's
+    /// configured cadence. `obs` receives the `wal.*` counters.
+    pub fn with_wal(mut self, wal: Wal, obs: Obs) -> ServeState {
+        self.wal = Some(Mutex::new(wal));
+        self.wal_obs = obs;
+        self
+    }
+
+    /// Publishes the re-miner's live status for `GET /v1/miner`.
+    pub fn attach_miner(&self, status: Arc<Mutex<MinerStatus>>) {
+        *self.miner.write().unwrap_or_else(|e| e.into_inner()) = Some(status);
+    }
+
+    /// The `GET /v1/miner` body: the re-miner's status, or
+    /// `{"enabled":false}` when no re-miner is attached.
+    pub fn miner_json(&self) -> String {
+        let guard = self.miner.read().unwrap_or_else(|e| e.into_inner());
+        match guard.as_ref() {
+            Some(status) => status.lock().unwrap_or_else(|e| e.into_inner()).to_json(),
+            None => "{\"enabled\":false}".to_string(),
+        }
+    }
+
+    /// A snapshot of the stays accumulated for re-mining (non-draining).
+    pub fn stays_snapshot(&self) -> Vec<(String, StayPoint)> {
+        self.engine
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .stays_snapshot()
+    }
+
+    /// Cuts a WAL checkpoint of the current engine state right now — the
+    /// graceful-shutdown path (a restart then recovers without replay).
+    /// No-op without a WAL. Returns whether a checkpoint was written.
+    pub fn checkpoint_now(&self) -> bool {
+        let Some(wal) = &self.wal else {
+            return false;
+        };
+        let state = self
+            .engine
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .state_bytes();
+        let mut wal = wal.lock().unwrap_or_else(|e| e.into_inner());
+        match wal.checkpoint(&state) {
+            Ok(()) => {
+                self.wal_obs.incr("wal.checkpoints", 1);
+                true
+            }
+            Err(_) => {
+                self.wal_obs.incr("wal.checkpoint_errors", 1);
+                false
+            }
+        }
     }
 
     /// The current snapshot and its epoch, read atomically together.
@@ -124,10 +204,39 @@ impl ServeState {
                 "body must be {\"fixes\":[...]} and/or {\"stays\":[...]}".to_string(),
             ));
         }
+        // Crash safety: the batch hits the log before the engine. An append
+        // failure is counted and tolerated — losing durability for one batch
+        // degrades recovery, but must never turn ingest into a 5xx.
+        if let Some(wal) = &self.wal {
+            let mut wal = wal.lock().unwrap_or_else(|e| e.into_inner());
+            match wal.append_batch(&records) {
+                Ok(info) => {
+                    self.wal_obs.incr("wal.appended_batches", 1);
+                    self.wal_obs
+                        .incr("wal.appended_records", records.len() as u64);
+                    if info.rolled {
+                        self.wal_obs.incr("wal.segments_rolled", 1);
+                    }
+                }
+                Err(_) => self.wal_obs.incr("wal.append_errors", 1),
+            }
+        }
         let outcome = {
             let mut engine = self.engine.lock().unwrap_or_else(|e| e.into_inner());
             engine.ingest_batch(&records, |pos| snapshot.primary_category(pos))
         };
+        // Periodic checkpoint at the WAL's cadence. The engine and WAL locks
+        // are taken strictly one at a time (state first, then the log), so
+        // this cannot deadlock against concurrent ingests; two threads
+        // racing here at worst cut one redundant checkpoint.
+        let due = self.wal.as_ref().is_some_and(|w| {
+            w.lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .should_checkpoint()
+        });
+        if due {
+            self.checkpoint_now();
+        }
         let body = format!(
             "{{\"epoch\":{epoch},\"accepted\":{},\"quarantined\":{},\"dropped\":{},\"stays\":{},\"transitions\":{},\"late_transitions\":{},\"evicted\":{}}}",
             outcome.accepted,

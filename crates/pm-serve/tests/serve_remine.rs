@@ -1,0 +1,435 @@
+//! Supervised re-mining under fault injection.
+//!
+//! The contract under test: the background re-miner may panic, error, hang,
+//! or produce corrupt artifacts, and the serving path still never answers
+//! 5xx, never swaps in a bad snapshot, records every failure kind in the
+//! `miner.*` counters, and recovers (backoff + circuit breaker) once the
+//! faults stop. Plus the satellite behaviours: `Retry-After` on overload
+//! answers and a final WAL checkpoint on graceful shutdown.
+
+use pm_core::prelude::*;
+use pm_core::recognize::stay_points_of;
+use pm_geo::{GeoPoint, LocalPoint};
+use pm_obs::Obs;
+use pm_serve::{
+    client, InjectedFault, RemineConfig, Reminer, ServeConfig, ServeState, Server, Snapshot,
+};
+use pm_store::{Artifact, GenerationStore};
+use pm_stream::{EngineConfig, Wal, WalConfig};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+const ORIGIN: (f64, f64) = (121.4737, 31.2304);
+
+static DIR_ID: AtomicU64 = AtomicU64::new(0);
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "pm-remine-{tag}-{}-{}",
+        std::process::id(),
+        DIR_ID.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One mined, geo-anchored artifact (same fixture as the other suites).
+fn artifact() -> &'static Artifact {
+    static ART: OnceLock<Artifact> = OnceLock::new();
+    ART.get_or_init(|| {
+        let ds = pm_eval::Dataset::generate(&pm_synth::CityConfig::tiny(42));
+        let params = MinerParams {
+            sigma: 20,
+            ..MinerParams::default()
+        };
+        let stays = stay_points_of(&ds.trajectories);
+        let csd = CitySemanticDiagram::build(&ds.pois, &stays, &params).expect("build");
+        let recognized = recognize_all(&csd, ds.trajectories, &params).expect("recognize");
+        let patterns = extract_patterns(&recognized, &params).expect("extract");
+        let artifact =
+            Artifact::new(csd, patterns, params).with_projection(GeoPoint::new(ORIGIN.0, ORIGIN.1));
+        Artifact::from_bytes(&artifact.to_bytes()).expect("store round-trip")
+    })
+}
+
+fn snapshot() -> Arc<Snapshot> {
+    Arc::new(Snapshot::new(artifact().clone()).expect("snapshot"))
+}
+
+/// Two unit centers the snapshot recognizes as tagged.
+fn tagged_centers() -> (LocalPoint, LocalPoint) {
+    let s = snapshot();
+    let centers: Vec<LocalPoint> = s
+        .artifact()
+        .csd
+        .units()
+        .iter()
+        .map(|u| u.center)
+        .filter(|&c| s.primary_category(c).is_some())
+        .take(2)
+        .collect();
+    assert!(centers.len() == 2, "fixture must yield two tagged units");
+    (centers[0], centers[1])
+}
+
+fn stays_body(records: &[(&str, LocalPoint, i64)]) -> String {
+    let mut body = String::from("{\"stays\":[");
+    for (i, (user, pos, t)) in records.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&format!(
+            "{{\"user\":\"{user}\",\"x\":{},\"y\":{},\"t\":{t}}}",
+            pos.x, pos.y
+        ));
+    }
+    body.push_str("]}");
+    body
+}
+
+struct Running {
+    addr: SocketAddr,
+    handle: pm_serve::ShutdownHandle,
+    obs: Obs,
+    thread: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+fn start_state(state: Arc<ServeState>, config: ServeConfig) -> Running {
+    let obs = Obs::enabled();
+    let server = Server::bind_with_state("127.0.0.1:0", state, config, obs.clone()).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = server.shutdown_handle().expect("handle");
+    let thread = std::thread::spawn(move || server.run());
+    Running {
+        addr,
+        handle,
+        obs,
+        thread,
+    }
+}
+
+impl Running {
+    fn stop(self) {
+        self.handle.shutdown();
+        self.thread.join().expect("server thread").expect("run");
+    }
+}
+
+/// Polls `f` until it holds or `timeout` passes; `true` on success.
+fn wait_until(timeout: Duration, mut f: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    loop {
+        if f() {
+            return true;
+        }
+        if start.elapsed() > timeout {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Feeds 12 stay records (two users, alternating tagged centers) so the
+/// engine accumulates re-minable stays.
+fn seed_stays(addr: SocketAddr) {
+    let (a, b) = tagged_centers();
+    let mut records: Vec<(&str, LocalPoint, i64)> = Vec::new();
+    for i in 0..6i64 {
+        let pos = if i % 2 == 0 { a } else { b };
+        records.push(("u1", pos, 1_000 + 100 * i));
+        records.push(("u2", pos, 1_000 + 100 * i));
+    }
+    let (status, body) = client::post(addr, "/v1/ingest", &stays_body(&records)).expect("ingest");
+    assert_eq!(status, 200, "{body}");
+}
+
+#[test]
+fn reminer_publishes_a_generation_and_swaps_the_snapshot() {
+    let state = Arc::new(
+        ServeState::new(snapshot(), EngineConfig::from_miner(&artifact().params)).expect("state"),
+    );
+    let server = start_state(Arc::clone(&state), ServeConfig::default());
+    seed_stays(server.addr);
+
+    let store_dir = scratch("publish");
+    let store = GenerationStore::open(&store_dir, 3).expect("store");
+    let reminer = Reminer::spawn(
+        Arc::clone(&state),
+        store.clone(),
+        RemineConfig {
+            interval: Duration::from_millis(10),
+            min_stays: 4,
+            ..RemineConfig::default()
+        },
+        server.obs.clone(),
+    );
+
+    assert!(
+        wait_until(Duration::from_secs(30), || reminer.status().jobs_succeeded
+            >= 1),
+        "re-miner never succeeded: {:?}",
+        reminer.status()
+    );
+
+    // A verified generation landed on disk and is the store's latest-good.
+    let (generation, _artifact) = store.latest_good().expect("scan").expect("good generation");
+    assert!(generation >= 1);
+    // The serving snapshot swapped (epoch moved), visible over HTTP.
+    let (status, live) = client::get(server.addr, "/v1/live/patterns").expect("live");
+    assert_eq!(status, 200);
+    assert!(
+        !live.starts_with("{\"epoch\":0,"),
+        "no swap happened: {live}"
+    );
+    // The engine's live window survived the swap.
+    assert!(live.contains("\"users\":2"), "{live}");
+
+    // /v1/miner reports the same story in valid JSON.
+    let (status, miner) = client::get(server.addr, "/v1/miner").expect("miner");
+    assert_eq!(status, 200);
+    let parsed = pm_serve::json::parse(&miner).expect("miner JSON");
+    assert!(miner.contains("\"enabled\":true"), "{miner}");
+    assert!(
+        parsed
+            .get("jobs_succeeded")
+            .and_then(|v| v.as_i64())
+            .unwrap_or(0)
+            >= 1,
+        "{miner}"
+    );
+    assert!(server.obs.counter("miner.published_generations") >= 1);
+    assert_eq!(server.obs.counter("miner.failures_panic"), 0);
+
+    reminer.stop();
+    server.stop();
+    let _ = std::fs::remove_dir_all(&store_dir);
+}
+
+#[test]
+fn every_failure_kind_is_survived_counted_and_recovered_from() {
+    let state = Arc::new(
+        ServeState::new(snapshot(), EngineConfig::from_miner(&artifact().params)).expect("state"),
+    );
+    let server = start_state(Arc::clone(&state), ServeConfig::default());
+    seed_stays(server.addr);
+
+    // While the miner is being tortured, hammer the serving path from a
+    // sibling thread: every response must be < 500.
+    let done = Arc::new(AtomicBool::new(false));
+    let poll_done = Arc::clone(&done);
+    let poll_addr = server.addr;
+    let poller = std::thread::spawn(move || -> (u64, u16) {
+        let mut requests = 0u64;
+        let mut worst = 0u16;
+        while !poll_done.load(Ordering::SeqCst) {
+            for target in ["/healthz", "/v1/live/patterns", "/v1/miner", "/v1/stats"] {
+                if let Ok((status, _)) = client::get(poll_addr, target) {
+                    requests += 1;
+                    worst = worst.max(status);
+                }
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        (requests, worst)
+    });
+
+    // Job 1 panics, job 2 errors, job 3 mines a corrupt artifact (publish
+    // must refuse it), job 4 hangs past the deadline (timeout) — and while
+    // it still occupies the worker, follow-up jobs go busy. From job 7 on,
+    // mining is healthy again.
+    let fault = Arc::new(|seq: u64| match seq {
+        1 => Some(InjectedFault::Panic),
+        2 => Some(InjectedFault::Error),
+        3 => Some(InjectedFault::CorruptArtifact),
+        4 => Some(InjectedFault::Hang(Duration::from_millis(2_500))),
+        _ => None,
+    });
+    let store_dir = scratch("faults");
+    let store = GenerationStore::open(&store_dir, 3).expect("store");
+    let reminer = Reminer::spawn(
+        Arc::clone(&state),
+        store.clone(),
+        RemineConfig {
+            interval: Duration::from_millis(5),
+            min_stays: 4,
+            job_deadline: Duration::from_millis(700),
+            backoff_base: Duration::from_millis(1),
+            backoff_max: Duration::from_millis(10),
+            // This test is about failure kinds, not the breaker: the hung
+            // job produces busy failures every ~10ms for 2.5s, so keep the
+            // threshold out of reach and the cooldown short in case.
+            circuit_threshold: 10_000,
+            circuit_cooldown: Duration::from_millis(200),
+            seed: 7,
+            fault: Some(fault),
+            ..RemineConfig::default()
+        },
+        server.obs.clone(),
+    );
+
+    assert!(
+        wait_until(Duration::from_secs(60), || reminer.status().jobs_succeeded
+            >= 1),
+        "re-miner never recovered: {:?}",
+        reminer.status()
+    );
+    let status = reminer.status();
+    // Every injected failure kind was hit and counted (panic, error,
+    // publish, timeout deterministically; busy while the hung job held the
+    // worker).
+    assert!(status.failures[0] >= 1, "panic uncounted: {status:?}");
+    assert!(status.failures[1] >= 1, "error uncounted: {status:?}");
+    assert!(status.failures[2] >= 1, "timeout uncounted: {status:?}");
+    assert!(status.failures[3] >= 1, "publish uncounted: {status:?}");
+    assert!(status.failures[4] >= 1, "busy uncounted: {status:?}");
+    for name in [
+        "miner.failures_panic",
+        "miner.failures_error",
+        "miner.failures_timeout",
+        "miner.failures_publish",
+        "miner.failures_busy",
+    ] {
+        assert!(server.obs.counter(name) >= 1, "{name} not recorded");
+    }
+
+    // The corrupt artifact never reached disk as a generation: everything
+    // retained verifies.
+    let generations = store.generations();
+    assert!(!generations.is_empty());
+    for g in &generations {
+        Artifact::read_file_verified(store.generation_path(*g))
+            .unwrap_or_else(|e| panic!("generation {g} is corrupt: {e}"));
+    }
+
+    // The serving path never felt any of it.
+    done.store(true, Ordering::SeqCst);
+    let (requests, worst) = poller.join().expect("poller");
+    assert!(requests > 0, "poller must have exercised the server");
+    assert!(worst < 500, "a request was answered {worst}");
+
+    reminer.stop();
+    server.stop();
+    let _ = std::fs::remove_dir_all(&store_dir);
+}
+
+#[test]
+fn circuit_opens_after_threshold_and_recovers_after_cooldown() {
+    let state = Arc::new(
+        ServeState::new(snapshot(), EngineConfig::from_miner(&artifact().params)).expect("state"),
+    );
+    let server = start_state(Arc::clone(&state), ServeConfig::default());
+    seed_stays(server.addr);
+
+    let fault = Arc::new(|seq: u64| (seq <= 2).then_some(InjectedFault::Error));
+    let store_dir = scratch("circuit");
+    let reminer = Reminer::spawn(
+        Arc::clone(&state),
+        GenerationStore::open(&store_dir, 3).expect("store"),
+        RemineConfig {
+            interval: Duration::from_millis(5),
+            min_stays: 4,
+            backoff_base: Duration::from_millis(1),
+            backoff_max: Duration::from_millis(5),
+            circuit_threshold: 2,
+            circuit_cooldown: Duration::from_millis(100),
+            fault: Some(fault),
+            ..RemineConfig::default()
+        },
+        server.obs.clone(),
+    );
+
+    // Two consecutive failures open the circuit ...
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            reminer.status().circuit_opens >= 1
+        }),
+        "circuit never opened: {:?}",
+        reminer.status()
+    );
+    // ... and after the cooldown the half-open probe succeeds and closes it.
+    assert!(
+        wait_until(Duration::from_secs(30), || {
+            let s = reminer.status();
+            s.jobs_succeeded >= 1 && s.circuit == "closed"
+        }),
+        "circuit never recovered: {:?}",
+        reminer.status()
+    );
+    let status = reminer.status();
+    assert_eq!(status.circuit_opens, 1, "{status:?}");
+    assert_eq!(status.consecutive_failures, 0, "{status:?}");
+    assert_eq!(server.obs.counter("miner.circuit_opens"), 1);
+
+    reminer.stop();
+    server.stop();
+    let _ = std::fs::remove_dir_all(&store_dir);
+}
+
+#[test]
+fn overload_answers_carry_retry_after() {
+    let (a, _) = tagged_centers();
+    let state = Arc::new(
+        ServeState::new(snapshot(), EngineConfig::from_miner(&artifact().params)).expect("state"),
+    );
+    let server = start_state(
+        Arc::clone(&state),
+        ServeConfig {
+            max_batch_records: 1,
+            retry_after_secs: 3,
+            ..ServeConfig::default()
+        },
+    );
+
+    let mut conn = client::Conn::open(server.addr).expect("connect");
+    let too_big = stays_body(&[("u", a, 1), ("u", a, 2)]);
+    let (status, body) = conn.post("/v1/ingest", &too_big).expect("post");
+    assert_eq!(status, 429, "{body}");
+    assert_eq!(conn.retry_after(), Some(3), "429 must carry Retry-After");
+
+    // Normal answers do not carry the header.
+    let mut conn = client::Conn::open(server.addr).expect("reconnect");
+    let (status, _) = conn.get("/healthz").expect("healthz");
+    assert_eq!(status, 200);
+    assert_eq!(conn.retry_after(), None);
+
+    server.stop();
+}
+
+#[test]
+fn graceful_shutdown_cuts_a_final_wal_checkpoint() {
+    let wal_dir = scratch("wal");
+    let (wal, recovery) = Wal::open(WalConfig::new(&wal_dir)).expect("wal");
+    assert!(recovery.batches.is_empty());
+
+    let obs = Obs::enabled();
+    let state = Arc::new(
+        ServeState::new(snapshot(), EngineConfig::from_miner(&artifact().params))
+            .expect("state")
+            .with_wal(wal, obs.clone()),
+    );
+    let server = start_state(Arc::clone(&state), ServeConfig::default());
+    seed_stays(server.addr);
+    let (_, live_before) = client::get(server.addr, "/v1/live/patterns").expect("live");
+    server.stop(); // graceful: drains, then checkpoints
+
+    assert!(obs.counter("wal.appended_batches") >= 1);
+    assert_eq!(obs.counter("wal.checkpoints"), 1);
+
+    // Recovery needs no replay — the checkpoint covers everything — and
+    // restores the exact live state.
+    let (_wal, recovery) = Wal::open(WalConfig::new(&wal_dir)).expect("reopen");
+    assert_eq!(recovery.batches.len(), 0, "checkpoint must cover the log");
+    let checkpoint = recovery.checkpoint.expect("final checkpoint");
+    let engine = pm_stream::IngestEngine::from_state_bytes(&checkpoint).expect("restore");
+    assert_eq!(engine.users_len(), 2);
+    let restored = Arc::new(ServeState::with_engine(snapshot(), engine));
+    let server = start_state(restored, ServeConfig::default());
+    let (status, live_after) = client::get(server.addr, "/v1/live/patterns").expect("live");
+    assert_eq!(status, 200);
+    assert_eq!(live_after, live_before, "restored live state must match");
+    server.stop();
+    let _ = std::fs::remove_dir_all(&wal_dir);
+}

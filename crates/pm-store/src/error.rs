@@ -68,6 +68,12 @@ impl StoreError {
         }
     }
 
+    pub(crate) fn io(message: impl Into<String>) -> StoreError {
+        StoreError::Io {
+            message: message.into(),
+        }
+    }
+
     pub(crate) fn malformed(context: impl Into<String>) -> StoreError {
         StoreError::Malformed {
             context: context.into(),

@@ -42,6 +42,8 @@ pub mod artifact;
 pub mod bytes;
 pub mod crc;
 pub mod error;
+pub mod publish;
 
 pub use artifact::{Artifact, MAGIC, VERSION};
 pub use error::StoreError;
+pub use publish::{write_file_atomic, GenerationStore, PublishReceipt};

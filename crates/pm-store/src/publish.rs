@@ -1,0 +1,336 @@
+//! Crash-safe artifact publication: atomic writes, read-back verification,
+//! retained generations, and last-good degradation.
+//!
+//! The online loop re-mines patterns in the background and must never swap
+//! a bad artifact into the serving path. This module provides the publish
+//! side of that guarantee:
+//!
+//! - [`write_file_atomic`] — temp file in the same directory + fsync +
+//!   rename + parent-directory fsync, so a crash leaves either the old
+//!   file or the new one, never a torn hybrid;
+//! - [`GenerationStore`] — a directory of numbered artifact generations
+//!   (`gen-<n>.pmstore`) with a `CURRENT` pointer. [`GenerationStore::publish`]
+//!   verifies every candidate by **reading its own bytes back** through
+//!   [`Artifact::from_bytes_verified`] before the pointer moves; a
+//!   candidate that fails verification is deleted and the previous
+//!   generation keeps serving. [`GenerationStore::latest_good`] scans
+//!   generations newest-first, skipping anything corrupt — the degradation
+//!   path that keeps a service answering from the last good snapshot even
+//!   after on-disk damage.
+//!
+//! Retention: publishing garbage-collects older generations beyond a
+//! configurable keep count, never touching the one `CURRENT` points at.
+
+use crate::artifact::Artifact;
+use crate::error::StoreError;
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Name of the pointer file holding the current generation number.
+const CURRENT: &str = "CURRENT";
+
+/// Writes `bytes` to `path` atomically: a temp file beside it is written,
+/// fsynced, and renamed over the target, then the parent directory is
+/// fsynced so the rename itself is durable. A crash at any point leaves
+/// the previous file (or nothing), never a partial write.
+pub fn write_file_atomic(path: impl AsRef<Path>, bytes: &[u8]) -> Result<(), StoreError> {
+    let path = path.as_ref();
+    let parent = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let tmp = path.with_extension("tmp-publish");
+    let mut file =
+        File::create(&tmp).map_err(|e| StoreError::io(format!("create {}: {e}", tmp.display())))?;
+    file.write_all(bytes)
+        .and_then(|()| file.sync_all())
+        .map_err(|e| StoreError::io(format!("write {}: {e}", tmp.display())))?;
+    drop(file);
+    fs::rename(&tmp, path).map_err(|e| {
+        let _ = fs::remove_file(&tmp);
+        StoreError::io(format!("rename over {}: {e}", path.display()))
+    })?;
+    if let Some(dir) = parent {
+        sync_dir(dir)?;
+    }
+    Ok(())
+}
+
+#[cfg(unix)]
+fn sync_dir(dir: &Path) -> Result<(), StoreError> {
+    File::open(dir)
+        .and_then(|d| d.sync_all())
+        .map_err(|e| StoreError::io(format!("sync dir {}: {e}", dir.display())))
+}
+
+#[cfg(not(unix))]
+fn sync_dir(_dir: &Path) -> Result<(), StoreError> {
+    Ok(())
+}
+
+/// What one successful publish did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PublishReceipt {
+    /// The generation number just published (now `CURRENT`).
+    pub generation: u64,
+    /// Path of the published artifact file.
+    pub path: PathBuf,
+    /// Older generation files garbage-collected by retention.
+    pub collected: u64,
+}
+
+/// A directory of numbered, verified artifact generations.
+#[derive(Debug, Clone)]
+pub struct GenerationStore {
+    dir: PathBuf,
+    keep: usize,
+}
+
+impl GenerationStore {
+    /// Opens (creating if needed) a store at `dir` retaining at least the
+    /// newest `keep` generations (`keep` is clamped to 1: the current
+    /// generation is never collectable).
+    pub fn open(dir: impl Into<PathBuf>, keep: usize) -> Result<GenerationStore, StoreError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)
+            .map_err(|e| StoreError::io(format!("create {}: {e}", dir.display())))?;
+        Ok(GenerationStore {
+            dir,
+            keep: keep.max(1),
+        })
+    }
+
+    /// The directory generations live in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of generation `n`.
+    pub fn generation_path(&self, n: u64) -> PathBuf {
+        self.dir.join(format!("gen-{n:08}.pmstore"))
+    }
+
+    /// The generation `CURRENT` points at, if the pointer exists and
+    /// parses. A missing or mangled pointer is `None`, not an error — the
+    /// scan-down in [`GenerationStore::latest_good`] covers for it.
+    pub fn current_generation(&self) -> Option<u64> {
+        let raw = fs::read_to_string(self.dir.join(CURRENT)).ok()?;
+        raw.trim().parse().ok()
+    }
+
+    /// All generation numbers present on disk, ascending.
+    pub fn generations(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = match fs::read_dir(&self.dir) {
+            Ok(entries) => entries
+                .flatten()
+                .filter_map(|e| {
+                    e.file_name()
+                        .to_str()?
+                        .strip_prefix("gen-")?
+                        .strip_suffix(".pmstore")?
+                        .parse()
+                        .ok()
+                })
+                .collect(),
+            Err(_) => Vec::new(),
+        };
+        out.sort_unstable();
+        out
+    }
+
+    /// Publishes `bytes` as the next generation — atomically written,
+    /// then **verified by reading the file back** through
+    /// [`Artifact::read_file_verified`] before `CURRENT` moves. On any
+    /// verification failure the candidate file is deleted and the error
+    /// returned: the previous generation remains `CURRENT`, untouched.
+    /// Retention then collects generations older than the newest `keep`.
+    pub fn publish(&self, bytes: &[u8]) -> Result<PublishReceipt, StoreError> {
+        let next = self.generations().last().map_or(1, |g| g + 1);
+        let path = self.generation_path(next);
+        write_file_atomic(&path, bytes)?;
+        // Read-back verification: what landed on disk must decode and
+        // re-serialize byte-identically. This catches silent write damage
+        // and corrupt candidates alike, before anyone can serve them.
+        if let Err(e) = Artifact::read_file_verified(&path) {
+            let _ = fs::remove_file(&path);
+            return Err(e);
+        }
+        write_file_atomic(self.dir.join(CURRENT), format!("{next}\n").as_bytes())?;
+        let mut collected = 0;
+        let all = self.generations();
+        if all.len() > self.keep {
+            for &old in &all[..all.len() - self.keep] {
+                if old == next {
+                    continue; // never collect what CURRENT points at
+                }
+                if fs::remove_file(self.generation_path(old)).is_ok() {
+                    collected += 1;
+                }
+            }
+        }
+        Ok(PublishReceipt {
+            generation: next,
+            path,
+            collected,
+        })
+    }
+
+    /// The newest generation that still verifies, preferring `CURRENT`.
+    /// Scans downward past corrupt or missing files — the last-good
+    /// degradation path. `Ok(None)` means the store holds no usable
+    /// artifact at all.
+    pub fn latest_good(&self) -> Result<Option<(u64, Artifact)>, StoreError> {
+        let mut candidates = self.generations();
+        // Prefer the CURRENT pointer when it names an existing generation:
+        // move it to the back so it is tried first.
+        if let Some(cur) = self.current_generation() {
+            if let Some(idx) = candidates.iter().position(|&g| g == cur) {
+                let g = candidates.remove(idx);
+                candidates.push(g);
+            }
+        }
+        for g in candidates.into_iter().rev() {
+            if let Ok(artifact) = Artifact::read_file_verified(self.generation_path(g)) {
+                return Ok(Some((g, artifact)));
+            }
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::OnceLock;
+
+    static DIR_ID: AtomicU64 = AtomicU64::new(0);
+
+    fn scratch() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "pm-publish-{}-{}",
+            std::process::id(),
+            DIR_ID.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// A minimal but real artifact (empty CSD, no patterns).
+    fn artifact_bytes() -> &'static [u8] {
+        static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+        BYTES.get_or_init(|| {
+            let params = pm_core::params::MinerParams::default();
+            let csd = pm_core::construct::CitySemanticDiagram::build(&[], &[], &params)
+                .expect("empty csd");
+            Artifact::new(csd, Vec::new(), params).to_bytes()
+        })
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_survives() {
+        let dir = scratch();
+        fs::create_dir_all(&dir).expect("dir");
+        let path = dir.join("file.bin");
+        write_file_atomic(&path, b"one").expect("write");
+        assert_eq!(fs::read(&path).expect("read"), b"one");
+        write_file_atomic(&path, b"two").expect("overwrite");
+        assert_eq!(fs::read(&path).expect("read"), b"two");
+        // No temp litter left behind.
+        assert_eq!(fs::read_dir(&dir).expect("ls").count(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn publish_advances_current_and_serves_back() {
+        let dir = scratch();
+        let store = GenerationStore::open(&dir, 3).expect("open");
+        assert!(store.latest_good().expect("scan").is_none());
+        let r1 = store.publish(artifact_bytes()).expect("publish 1");
+        assert_eq!(r1.generation, 1);
+        let r2 = store.publish(artifact_bytes()).expect("publish 2");
+        assert_eq!(r2.generation, 2);
+        assert_eq!(store.current_generation(), Some(2));
+        let (g, _artifact) = store.latest_good().expect("scan").expect("good");
+        assert_eq!(g, 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_candidate_is_rejected_and_previous_survives() {
+        let dir = scratch();
+        let store = GenerationStore::open(&dir, 3).expect("open");
+        store.publish(artifact_bytes()).expect("publish good");
+        // Candidates corrupted every way must be refused without moving
+        // CURRENT or leaving files behind.
+        for (i, mode) in [
+            pm_synth::ByteCorruption::BitFlip,
+            pm_synth::ByteCorruption::Truncate,
+            pm_synth::ByteCorruption::GarbageRun,
+            pm_synth::ByteCorruption::TrailingGarbage,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let bad = pm_synth::corrupt_bytes(artifact_bytes(), mode, i as u64 + 7);
+            assert!(store.publish(&bad).is_err(), "{mode:?} accepted");
+            assert_eq!(
+                store.current_generation(),
+                Some(1),
+                "{mode:?} moved CURRENT"
+            );
+            assert_eq!(store.generations(), vec![1], "{mode:?} left litter");
+        }
+        let (g, _) = store.latest_good().expect("scan").expect("good");
+        assert_eq!(g, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retention_keeps_newest_and_never_current() {
+        let dir = scratch();
+        let store = GenerationStore::open(&dir, 2).expect("open");
+        for _ in 0..5 {
+            store.publish(artifact_bytes()).expect("publish");
+        }
+        assert_eq!(store.generations(), vec![4, 5]);
+        assert_eq!(store.current_generation(), Some(5));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn latest_good_degrades_past_on_disk_damage() {
+        let dir = scratch();
+        let store = GenerationStore::open(&dir, 5).expect("open");
+        store.publish(artifact_bytes()).expect("publish 1");
+        store.publish(artifact_bytes()).expect("publish 2");
+        store.publish(artifact_bytes()).expect("publish 3");
+        // Damage the newest generation on disk after publication.
+        let newest = store.generation_path(3);
+        let bytes = fs::read(&newest).expect("read");
+        fs::write(
+            &newest,
+            pm_synth::corrupt_bytes(&bytes, pm_synth::ByteCorruption::BitFlip, 99),
+        )
+        .expect("damage");
+        let (g, _) = store.latest_good().expect("scan").expect("good");
+        assert_eq!(g, 2, "scan-down skips the damaged CURRENT");
+        // Damage everything: the store reports no usable artifact.
+        for g in store.generations() {
+            fs::write(store.generation_path(g), b"junk").expect("wreck");
+        }
+        assert!(store.latest_good().expect("scan").is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mangled_current_pointer_falls_back_to_scan() {
+        let dir = scratch();
+        let store = GenerationStore::open(&dir, 3).expect("open");
+        store.publish(artifact_bytes()).expect("publish");
+        store.publish(artifact_bytes()).expect("publish");
+        fs::write(dir.join("CURRENT"), b"not a number").expect("mangle");
+        assert_eq!(store.current_generation(), None);
+        let (g, _) = store.latest_good().expect("scan").expect("good");
+        assert_eq!(g, 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -198,6 +198,29 @@ impl StayPointDetector {
         self.stats
     }
 
+    /// The unsettled buffer, oldest first — the persistence view used by
+    /// engine state serialization.
+    pub(crate) fn pending(&self) -> &VecDeque<GpsPoint> {
+        &self.pending
+    }
+
+    /// Rebuilds a detector from persisted parts. The caller (engine state
+    /// deserialization) is responsible for having validated `params`;
+    /// buffer invariants hold because the parts came from a live detector.
+    pub(crate) fn from_parts(
+        params: StreamParams,
+        pending: VecDeque<GpsPoint>,
+        last_time: Option<Timestamp>,
+        stats: DetectorStats,
+    ) -> StayPointDetector {
+        StayPointDetector {
+            params,
+            pending,
+            last_time,
+            stats,
+        }
+    }
+
     /// Window logic for one admitted, finite fix. Mirrors one step of the
     /// batch scan: the fix either extends the current window or breaks it,
     /// and a broken window settles (emit or advance-by-one) until the fix

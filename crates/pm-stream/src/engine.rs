@@ -24,13 +24,76 @@
 //! The engine never consults a wall clock; replaying the same records gives
 //! the same stays, window, and evictions.
 
-use crate::detector::{FixStatus, StayPointDetector, StreamParams};
+use crate::detector::{DetectorStats, FixStatus, StayPointDetector, StreamParams};
 use crate::error::StreamError;
 use crate::window::{TransitionWindow, WindowConfig};
 use pm_core::params::MinerParams;
-use pm_core::types::{Category, GpsPoint, StayPoint, Timestamp};
+use pm_core::types::{Category, GpsPoint, StayPoint, Tags, Timestamp};
 use pm_geo::LocalPoint;
-use std::collections::HashMap;
+use pm_store::bytes::{ByteReader, ByteWriter};
+use std::collections::{HashMap, VecDeque};
+
+/// Magic prefix of a serialized engine state blob (see
+/// [`IngestEngine::state_bytes`]).
+const STATE_MAGIC: &[u8; 8] = b"PMENG01\n";
+
+fn corrupt(e: pm_store::StoreError) -> StreamError {
+    StreamError::corrupt(e.to_string())
+}
+
+fn write_opt_i64(w: &mut ByteWriter, v: Option<i64>) {
+    match v {
+        Some(x) => {
+            w.u8(1);
+            w.i64(x);
+        }
+        None => w.u8(0),
+    }
+}
+
+fn read_opt_i64(r: &mut ByteReader<'_>, context: &str) -> Result<Option<i64>, StreamError> {
+    match r.u8(context).map_err(corrupt)? {
+        0 => Ok(None),
+        1 => Ok(Some(r.i64(context).map_err(corrupt)?)),
+        flag => Err(StreamError::corrupt(format!(
+            "{context}: option flag {flag} is neither 0 nor 1"
+        ))),
+    }
+}
+
+/// `Option<Category>` as one byte: the index, or 0xFF for `None`.
+fn category_byte(c: Option<Category>) -> u8 {
+    c.map_or(0xFF, |c| c as u8)
+}
+
+fn read_category(r: &mut ByteReader<'_>, context: &str) -> Result<Option<Category>, StreamError> {
+    match r.u8(context).map_err(corrupt)? {
+        0xFF => Ok(None),
+        idx if (idx as usize) < Category::COUNT => Ok(Some(Category::from_index(idx as usize))),
+        idx => Err(StreamError::corrupt(format!(
+            "{context}: category index {idx} out of range"
+        ))),
+    }
+}
+
+fn tags_bits(tags: Tags) -> u16 {
+    tags.iter().fold(0u16, |b, c| b | (1 << c as u8))
+}
+
+fn tags_from_bits(bits: u16) -> Result<Tags, StreamError> {
+    if bits >> Category::COUNT != 0 {
+        return Err(StreamError::corrupt(format!(
+            "tag bits {bits:#06x} set categories past index {}",
+            Category::COUNT - 1
+        )));
+    }
+    Ok(Tags::from_iter(
+        Category::ALL
+            .iter()
+            .copied()
+            .filter(|c| bits & (1 << *c as u8) != 0),
+    ))
+}
 
 /// Shape of one ingestion engine.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -43,6 +106,10 @@ pub struct EngineConfig {
     pub max_users: usize,
     /// Users idle this long (event time) are evicted after a batch.
     pub user_ttl_secs: Timestamp,
+    /// Hard cap on stays accumulated for background re-mining; the oldest
+    /// stay is shed (and counted) when a new one would exceed it. `0`
+    /// disables accumulation entirely.
+    pub max_stay_buffer: usize,
 }
 
 impl EngineConfig {
@@ -53,6 +120,7 @@ impl EngineConfig {
             window: WindowConfig::default(),
             max_users: 100_000,
             user_ttl_secs: 7 * 24 * 3600,
+            max_stay_buffer: 200_000,
         }
     }
 
@@ -108,6 +176,8 @@ pub struct BatchOutcome {
     pub late_transitions: u64,
     /// Users evicted (capacity or TTL).
     pub evicted: u64,
+    /// Accumulated stays shed by the `max_stay_buffer` bound.
+    pub stays_shed: u64,
 }
 
 /// Cumulative engine tallies — the pm-obs counter sources.
@@ -120,6 +190,7 @@ pub struct EngineStats {
     pub transitions: u64,
     pub late_transitions: u64,
     pub evicted: u64,
+    pub stays_shed: u64,
 }
 
 impl EngineStats {
@@ -131,6 +202,7 @@ impl EngineStats {
         self.transitions += o.transitions;
         self.late_transitions += o.late_transitions;
         self.evicted += o.evicted;
+        self.stays_shed += o.stays_shed;
     }
 }
 
@@ -152,6 +224,9 @@ pub struct IngestEngine {
     /// Maximum admitted event time across all users.
     clock: Option<Timestamp>,
     stats: EngineStats,
+    /// Bounded FIFO of emitted stays (tagged with their user), kept for
+    /// background re-mining. Oldest first.
+    stay_buffer: VecDeque<(String, StayPoint)>,
 }
 
 impl IngestEngine {
@@ -164,6 +239,7 @@ impl IngestEngine {
             users: HashMap::new(),
             clock: None,
             stats: EngineStats::default(),
+            stay_buffer: VecDeque::new(),
         })
     }
 
@@ -215,6 +291,252 @@ impl IngestEngine {
     /// The shape this engine runs with.
     pub fn config(&self) -> EngineConfig {
         self.config
+    }
+
+    /// Stays currently accumulated for re-mining.
+    pub fn stays_buffered(&self) -> usize {
+        self.stay_buffer.len()
+    }
+
+    /// A copy of the accumulated `(user, stay)` pairs, oldest first. The
+    /// buffer is *not* drained: re-mining is a read-only consumer, and a
+    /// replayed engine must reach the same buffer regardless of how often
+    /// a re-miner looked at it.
+    pub fn stays_snapshot(&self) -> Vec<(String, StayPoint)> {
+        self.stay_buffer.iter().cloned().collect()
+    }
+
+    /// Serializes the complete engine state — config, clock, tallies,
+    /// window ring, every per-user detector, and the stay buffer — into a
+    /// deterministic byte blob: two engines are in the same state if and
+    /// only if their `state_bytes` are equal. Floats are stored as IEEE bit
+    /// patterns and users are sorted by id, so the blob is byte-identical
+    /// across processes and hash-map iteration orders.
+    pub fn state_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.bytes(STATE_MAGIC);
+        // Config.
+        w.f64(self.config.detector.theta_d);
+        w.i64(self.config.detector.theta_t);
+        w.count(self.config.detector.max_pending);
+        w.i64(self.config.window.window_secs);
+        w.i64(self.config.window.bucket_secs);
+        w.count(self.config.max_users);
+        w.i64(self.config.user_ttl_secs);
+        w.count(self.config.max_stay_buffer);
+        // Engine clock + tallies.
+        write_opt_i64(&mut w, self.clock);
+        for v in [
+            self.stats.accepted,
+            self.stats.quarantined,
+            self.stats.dropped_non_finite,
+            self.stats.stays,
+            self.stats.transitions,
+            self.stats.late_transitions,
+            self.stats.evicted,
+            self.stats.stays_shed,
+        ] {
+            w.u64(v);
+        }
+        // Window ring.
+        let (buckets, periods, wclock, late_dropped, recorded) = self.window.parts();
+        write_opt_i64(&mut w, wclock);
+        w.u64(late_dropped);
+        w.u64(recorded);
+        w.count(periods.len());
+        for &p in periods {
+            w.i64(p);
+        }
+        for slot in buckets {
+            for &c in slot {
+                w.u64(c);
+            }
+        }
+        // Users, sorted by id for determinism.
+        let mut ids: Vec<&String> = self.users.keys().collect();
+        ids.sort_unstable();
+        w.count(ids.len());
+        for id in ids {
+            let state = &self.users[id];
+            w.count(id.len());
+            w.bytes(id.as_bytes());
+            w.u8(category_byte(state.last_primary));
+            w.i64(state.last_seen);
+            write_opt_i64(&mut w, state.detector.last_time());
+            let d = state.detector.stats();
+            for v in [
+                d.accepted,
+                d.quarantined,
+                d.dropped_non_finite,
+                d.overflowed,
+                d.emitted,
+            ] {
+                w.u64(v);
+            }
+            let pending = state.detector.pending();
+            w.count(pending.len());
+            for fix in pending {
+                w.f64(fix.pos.x);
+                w.f64(fix.pos.y);
+                w.i64(fix.time);
+            }
+        }
+        // Stay buffer, oldest first.
+        w.count(self.stay_buffer.len());
+        for (user, sp) in &self.stay_buffer {
+            w.count(user.len());
+            w.bytes(user.as_bytes());
+            w.f64(sp.pos.x);
+            w.f64(sp.pos.y);
+            w.i64(sp.time);
+            w.u16(tags_bits(sp.tags));
+            w.u8(category_byte(sp.primary));
+        }
+        w.into_bytes()
+    }
+
+    /// Rebuilds an engine from [`IngestEngine::state_bytes`] output. Every
+    /// structural property is re-validated — bad magic, truncation,
+    /// impossible counts, and out-of-range category indices are all typed
+    /// [`StreamError::Corrupt`] errors, never panics or huge allocations.
+    pub fn from_state_bytes(bytes: &[u8]) -> Result<IngestEngine, StreamError> {
+        let mut r = ByteReader::new(bytes);
+        let magic = r
+            .bytes(STATE_MAGIC.len(), "engine state magic")
+            .map_err(corrupt)?;
+        if magic != STATE_MAGIC {
+            return Err(StreamError::corrupt("engine state magic mismatch"));
+        }
+        let config = EngineConfig {
+            detector: StreamParams {
+                theta_d: r.f64("theta_d").map_err(corrupt)?,
+                theta_t: r.i64("theta_t").map_err(corrupt)?,
+                max_pending: r.u64("max_pending").map_err(corrupt)? as usize,
+            },
+            window: WindowConfig {
+                window_secs: r.i64("window_secs").map_err(corrupt)?,
+                bucket_secs: r.i64("bucket_secs").map_err(corrupt)?,
+            },
+            max_users: r.u64("max_users").map_err(corrupt)? as usize,
+            user_ttl_secs: r.i64("user_ttl_secs").map_err(corrupt)?,
+            max_stay_buffer: r.u64("max_stay_buffer").map_err(corrupt)? as usize,
+        };
+        config.validate()?;
+        let clock = read_opt_i64(&mut r, "engine clock")?;
+        let mut tallies = [0u64; 8];
+        for (i, t) in tallies.iter_mut().enumerate() {
+            *t = r.u64(&format!("engine tally {i}")).map_err(corrupt)?;
+        }
+        let stats = EngineStats {
+            accepted: tallies[0],
+            quarantined: tallies[1],
+            dropped_non_finite: tallies[2],
+            stays: tallies[3],
+            transitions: tallies[4],
+            late_transitions: tallies[5],
+            evicted: tallies[6],
+            stays_shed: tallies[7],
+        };
+        // Window ring.
+        let wclock = read_opt_i64(&mut r, "window clock")?;
+        let late_dropped = r.u64("window late_dropped").map_err(corrupt)?;
+        let recorded = r.u64("window recorded").map_err(corrupt)?;
+        let n_slots = r.count(8, "window slots").map_err(corrupt)?;
+        let mut periods = Vec::with_capacity(n_slots);
+        for _ in 0..n_slots {
+            periods.push(r.i64("window period").map_err(corrupt)?);
+        }
+        let cells = Category::COUNT * Category::COUNT;
+        let mut buckets = Vec::with_capacity(n_slots);
+        for _ in 0..n_slots {
+            let mut slot = Vec::with_capacity(cells);
+            for _ in 0..cells {
+                slot.push(r.u64("window count").map_err(corrupt)?);
+            }
+            buckets.push(slot);
+        }
+        let window = TransitionWindow::from_parts(
+            config.window,
+            buckets,
+            periods,
+            wclock,
+            late_dropped,
+            recorded,
+        )?;
+        // Users.
+        let n_users = r.count(16, "users").map_err(corrupt)?;
+        let mut users = HashMap::with_capacity(n_users);
+        for _ in 0..n_users {
+            let id_len = r.count(1, "user id length").map_err(corrupt)?;
+            let id = String::from_utf8(r.bytes(id_len, "user id").map_err(corrupt)?.to_vec())
+                .map_err(|_| StreamError::corrupt("user id is not UTF-8"))?;
+            let last_primary = read_category(&mut r, "user last_primary")?;
+            let last_seen = r.i64("user last_seen").map_err(corrupt)?;
+            let last_time = read_opt_i64(&mut r, "detector last_time")?;
+            let mut d = [0u64; 5];
+            for (i, t) in d.iter_mut().enumerate() {
+                *t = r.u64(&format!("detector tally {i}")).map_err(corrupt)?;
+            }
+            let dstats = DetectorStats {
+                accepted: d[0],
+                quarantined: d[1],
+                dropped_non_finite: d[2],
+                overflowed: d[3],
+                emitted: d[4],
+            };
+            let n_pending = r.count(24, "pending fixes").map_err(corrupt)?;
+            let mut pending = VecDeque::with_capacity(n_pending);
+            for _ in 0..n_pending {
+                let x = r.f64("fix x").map_err(corrupt)?;
+                let y = r.f64("fix y").map_err(corrupt)?;
+                let t = r.i64("fix time").map_err(corrupt)?;
+                pending.push_back(GpsPoint::new(LocalPoint::new(x, y), t));
+            }
+            users.insert(
+                id,
+                UserState {
+                    detector: StayPointDetector::from_parts(
+                        config.detector,
+                        pending,
+                        last_time,
+                        dstats,
+                    ),
+                    last_primary,
+                    last_seen,
+                },
+            );
+        }
+        // Stay buffer.
+        let n_stays = r.count(27, "stay buffer").map_err(corrupt)?;
+        let mut stay_buffer = VecDeque::with_capacity(n_stays);
+        for _ in 0..n_stays {
+            let user_len = r.count(1, "stay user length").map_err(corrupt)?;
+            let user = String::from_utf8(r.bytes(user_len, "stay user").map_err(corrupt)?.to_vec())
+                .map_err(|_| StreamError::corrupt("stay user is not UTF-8"))?;
+            let x = r.f64("stay x").map_err(corrupt)?;
+            let y = r.f64("stay y").map_err(corrupt)?;
+            let t = r.i64("stay time").map_err(corrupt)?;
+            let bits = r.u16("stay tags").map_err(corrupt)?;
+            let primary = read_category(&mut r, "stay primary")?;
+            stay_buffer.push_back((
+                user,
+                StayPoint {
+                    pos: LocalPoint::new(x, y),
+                    time: t,
+                    tags: tags_from_bits(bits)?,
+                    primary,
+                },
+            ));
+        }
+        r.finish("engine state").map_err(corrupt)?;
+        Ok(IngestEngine {
+            config,
+            users,
+            window,
+            clock,
+            stats,
+            stay_buffer,
+        })
     }
 
     fn process<R>(
@@ -285,17 +607,19 @@ impl IngestEngine {
         }
         if !emitted.is_empty() {
             let prev = self.users.get(user).and_then(|s| s.last_primary);
-            let last = self.settle(prev, &emitted, recognize, outcome);
+            let last = self.settle(user, prev, &emitted, recognize, outcome);
             if let Some(state) = self.users.get_mut(user) {
                 state.last_primary = last;
             }
         }
     }
 
-    /// Recognizes emitted stays and records per-user transitions. Returns
+    /// Recognizes emitted stays, records per-user transitions, and
+    /// accumulates the stays (bounded) for background re-mining. Returns
     /// the user's new `last_primary`.
     fn settle<R>(
         &mut self,
+        user: &str,
         mut prev: Option<Category>,
         stays: &[StayPoint],
         recognize: &R,
@@ -306,6 +630,13 @@ impl IngestEngine {
     {
         for sp in stays {
             outcome.stays += 1;
+            if self.config.max_stay_buffer > 0 {
+                while self.stay_buffer.len() >= self.config.max_stay_buffer {
+                    self.stay_buffer.pop_front();
+                    outcome.stays_shed += 1;
+                }
+                self.stay_buffer.push_back((user.to_string(), *sp));
+            }
             let Some(cur) = recognize(sp.pos) else {
                 // Unrecognized ground: counted as a stay, but it neither
                 // forms nor resets a transition edge.
@@ -369,7 +700,7 @@ impl IngestEngine {
         };
         let mut tail = Vec::new();
         state.detector.flush(&mut tail);
-        self.settle(state.last_primary, &tail, recognize, outcome);
+        self.settle(key, state.last_primary, &tail, recognize, outcome);
         outcome.evicted += 1;
     }
 }
@@ -391,6 +722,7 @@ mod tests {
             },
             max_users: 4,
             user_ttl_secs: 86_400,
+            max_stay_buffer: 100,
         }
     }
 
@@ -517,6 +849,105 @@ mod tests {
         );
         assert_eq!(o.dropped_non_finite, 1);
         assert_eq!(o.stays, 0);
+    }
+
+    #[test]
+    fn stay_buffer_accumulates_and_sheds() {
+        let mut cfg = config();
+        cfg.max_stay_buffer = 2;
+        let mut e = IngestEngine::new(cfg).expect("engine");
+        let o = e.ingest_batch(
+            &[
+                stay("u", 0.0, 100),
+                stay("u", 1.0, 200),
+                stay("u", 2.0, 300),
+            ],
+            recog,
+        );
+        assert_eq!(o.stays, 3);
+        assert_eq!(o.stays_shed, 1);
+        assert_eq!(e.stays_buffered(), 2);
+        let snap = e.stays_snapshot();
+        assert_eq!(snap[0].1.time, 200, "oldest stay was shed");
+        assert_eq!(snap[1].1.time, 300);
+        assert_eq!(e.stays_buffered(), 2, "snapshot does not drain");
+        assert_eq!(e.stats().stays_shed, 1);
+    }
+
+    #[test]
+    fn zero_stay_buffer_disables_accumulation() {
+        let mut cfg = config();
+        cfg.max_stay_buffer = 0;
+        let mut e = IngestEngine::new(cfg).expect("engine");
+        let o = e.ingest_batch(&[stay("u", 0.0, 100)], recog);
+        assert_eq!(o.stays, 1);
+        assert_eq!(o.stays_shed, 0);
+        assert_eq!(e.stays_buffered(), 0);
+    }
+
+    #[test]
+    fn state_roundtrip_is_byte_identical() {
+        let mut e = IngestEngine::new(config()).expect("engine");
+        // Populate everything: open detector windows, recognized stays,
+        // transitions, quarantines, and the stay buffer.
+        let mut records = Vec::new();
+        for u in ["alice", "bob", "carol"] {
+            for k in 0..5 {
+                records.push(fix(u, (k % 2) as f64, 1_000 + k * 120));
+            }
+            records.push(stay(u, 9_000.0, 3_000));
+            records.push(stay(u, 10.0, 8_000));
+            records.push(stay(u, 10.0, 8_000)); // quarantined duplicate
+        }
+        e.ingest_batch(&records, recog);
+        let bytes = e.state_bytes();
+        let restored = IngestEngine::from_state_bytes(&bytes).expect("restore");
+        assert_eq!(restored.state_bytes(), bytes, "roundtrip is exact");
+        assert_eq!(restored.users_len(), e.users_len());
+        assert_eq!(restored.stats(), e.stats());
+        assert_eq!(restored.clock(), e.clock());
+        assert_eq!(restored.window().counts(), e.window().counts());
+        assert_eq!(restored.stays_snapshot(), e.stays_snapshot());
+    }
+
+    #[test]
+    fn restored_engine_continues_identically() {
+        let mut a = IngestEngine::new(config()).expect("engine");
+        let warmup: Vec<_> = (0..20).map(|k| fix("u", (k % 3) as f64, k * 90)).collect();
+        a.ingest_batch(&warmup, recog);
+        let mut b = IngestEngine::from_state_bytes(&a.state_bytes()).expect("restore");
+        // Drive both engines forward with the same batch: every observable
+        // and the full state must stay in lockstep.
+        let more: Vec<_> = (0..10).map(|k| fix("u", 9_000.0, 3_000 + k * 90)).collect();
+        let oa = a.ingest_batch(&more, recog);
+        let ob = b.ingest_batch(&more, recog);
+        assert_eq!(oa, ob);
+        assert_eq!(a.state_bytes(), b.state_bytes());
+    }
+
+    #[test]
+    fn corrupt_state_is_a_typed_error() {
+        let mut e = IngestEngine::new(config()).expect("engine");
+        e.ingest_batch(&[stay("u", 0.0, 100)], recog);
+        let good = e.state_bytes();
+        // Bad magic.
+        let mut bad = good.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            IngestEngine::from_state_bytes(&bad),
+            Err(StreamError::Corrupt { .. })
+        ));
+        // Truncation at every prefix must be an error, never a panic.
+        for cut in 0..good.len() {
+            assert!(
+                IngestEngine::from_state_bytes(&good[..cut]).is_err(),
+                "prefix of {cut} bytes parsed"
+            );
+        }
+        // Trailing garbage is rejected too.
+        let mut long = good.clone();
+        long.push(0);
+        assert!(IngestEngine::from_state_bytes(&long).is_err());
     }
 
     #[test]

@@ -8,6 +8,13 @@ use std::fmt;
 pub enum StreamError {
     /// A configuration value fails validation; the message names it.
     BadConfig { message: String },
+    /// A write-ahead-log filesystem operation failed; the message carries
+    /// the OS error and the path involved (stringified so the error stays
+    /// `Clone + PartialEq` like the rest of the taxonomy).
+    Io { message: String },
+    /// Persisted bytes (a checkpoint or an engine state blob) failed
+    /// structural validation — bad magic, impossible lengths, CRC mismatch.
+    Corrupt { context: String },
 }
 
 impl StreamError {
@@ -16,12 +23,26 @@ impl StreamError {
             message: message.into(),
         }
     }
+
+    pub(crate) fn io(message: impl Into<String>) -> StreamError {
+        StreamError::Io {
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn corrupt(context: impl Into<String>) -> StreamError {
+        StreamError::Corrupt {
+            context: context.into(),
+        }
+    }
 }
 
 impl fmt::Display for StreamError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StreamError::BadConfig { message } => write!(f, "bad stream config: {message}"),
+            StreamError::Io { message } => write!(f, "wal io: {message}"),
+            StreamError::Corrupt { context } => write!(f, "corrupt stream state: {context}"),
         }
     }
 }

@@ -18,7 +18,13 @@
 //!   detectors, quarantines out-of-order timestamps, recognizes emitted
 //!   stays against whatever recognizer the caller supplies (pm-serve passes
 //!   the *current* snapshot, so hot-swaps take effect at the next batch),
-//!   feeds transitions into the window, and evicts stale users.
+//!   feeds transitions into the window, accumulates emitted stays (bounded)
+//!   for background re-mining, and evicts stale users. The complete engine
+//!   state round-trips through [`IngestEngine::state_bytes`] byte-exactly.
+//! - [`Wal`]: a segmented, CRC-framed write-ahead log that makes ingestion
+//!   crash-safe — batches are logged before they touch the engine, engine
+//!   state is checkpointed periodically, and [`Wal::open`] recovers the
+//!   longest clean prefix after a kill (see [`wal`]).
 //!
 //! Everything is std-only, panic-free on untrusted input, and deterministic:
 //! the same record sequence produces the same stays, the same window
@@ -28,9 +34,11 @@
 pub mod detector;
 pub mod engine;
 pub mod error;
+pub mod wal;
 pub mod window;
 
 pub use detector::{DetectorStats, FixStatus, StayPointDetector, StreamParams};
 pub use engine::{BatchOutcome, EngineConfig, EngineStats, IngestEngine, IngestRecord};
 pub use error::StreamError;
+pub use wal::{AppendInfo, Recovery, RecoveryReport, Wal, WalConfig};
 pub use window::{TransitionWindow, WindowConfig};

@@ -177,6 +177,59 @@ impl TransitionWindow {
     pub fn config(&self) -> WindowConfig {
         self.config
     }
+
+    /// Persistence view: per-slot counts, per-slot periods, clock, and the
+    /// two lifetime tallies, in that order.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn parts(&self) -> (&[Vec<u64>], &[Timestamp], Option<Timestamp>, u64, u64) {
+        (
+            &self.buckets,
+            &self.periods,
+            self.clock,
+            self.late_dropped,
+            self.recorded,
+        )
+    }
+
+    /// Rebuilds a window from persisted parts, re-validating the shape and
+    /// the slot-count geometry so corrupt state cannot build a ring that
+    /// later indexes out of bounds.
+    pub(crate) fn from_parts(
+        config: WindowConfig,
+        buckets: Vec<Vec<u64>>,
+        periods: Vec<Timestamp>,
+        clock: Option<Timestamp>,
+        late_dropped: u64,
+        recorded: u64,
+    ) -> Result<TransitionWindow, StreamError> {
+        config.validate()?;
+        if buckets.len() != config.n_buckets() || periods.len() != config.n_buckets() {
+            return Err(StreamError::corrupt(format!(
+                "window has {} bucket slots and {} period slots, config needs {}",
+                buckets.len(),
+                periods.len(),
+                config.n_buckets()
+            )));
+        }
+        if let Some(bad) = buckets
+            .iter()
+            .find(|b| b.len() != Category::COUNT * Category::COUNT)
+        {
+            return Err(StreamError::corrupt(format!(
+                "window slot holds {} counts, expected {}",
+                bad.len(),
+                Category::COUNT * Category::COUNT
+            )));
+        }
+        Ok(TransitionWindow {
+            config,
+            buckets,
+            periods,
+            clock,
+            late_dropped,
+            recorded,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -263,6 +316,93 @@ mod tests {
         }
         assert_eq!(w1.counts(), w2.counts());
         assert_eq!(w1.recorded(), 4);
+    }
+
+    #[test]
+    fn non_monotonic_times_rotate_deterministically() {
+        // Hostile clock: timestamps arrive shuffled. The window clock only
+        // advances (max event time), and every in-window event lands in the
+        // bucket of its own period — so any arrival order of the same event
+        // set yields the same counts.
+        let events = [
+            (R, B, 350),
+            (B, R, 120),
+            (R, R, 10),
+            (B, B, 399),
+            (R, B, 200),
+        ];
+        let mut shuffled = tiny();
+        for (f, t, at) in events {
+            shuffled.record(f, t, at);
+        }
+        let mut sorted_w = tiny();
+        let mut sorted = events;
+        sorted.sort_by_key(|(_, _, at)| *at);
+        for (f, t, at) in sorted {
+            sorted_w.record(f, t, at);
+        }
+        assert_eq!(shuffled.counts(), sorted_w.counts());
+        assert_eq!(shuffled.as_of(), Some(399));
+        assert_eq!(shuffled.recorded(), 5);
+        assert_eq!(shuffled.late_dropped(), 0);
+    }
+
+    #[test]
+    fn duplicate_timestamps_all_count() {
+        let mut w = tiny();
+        for _ in 0..5 {
+            assert!(w.record(R, B, 42));
+        }
+        assert_eq!(w.counts(), vec![(R, B, 5)]);
+        assert_eq!(w.recorded(), 5);
+    }
+
+    #[test]
+    fn far_future_outlier_then_backfill_accounts_every_drop() {
+        let mut w = tiny();
+        assert!(w.record(R, B, 100));
+        // An outlier slams the clock eight millennia forward; everything
+        // already held strands, and all backfill is now late.
+        assert!(w.record(B, B, 253_000_000_000));
+        for t in [150, 200, 250] {
+            assert!(!w.record(R, B, t), "t={t} must be late");
+        }
+        assert_eq!(w.late_dropped(), 3);
+        assert_eq!(w.counts(), vec![(B, B, 1)], "only the outlier is in-window");
+        // No silent loss: recorded + late_dropped covers every record call.
+        assert_eq!(w.recorded() + w.late_dropped(), 5);
+    }
+
+    #[test]
+    fn timestamp_extremes_do_not_panic() {
+        let mut w = tiny();
+        assert!(w.record(R, B, Timestamp::MIN));
+        assert!(w.record(R, B, Timestamp::MAX));
+        // After the jump to MAX, MIN-era events are late, not a crash.
+        assert!(!w.record(R, B, Timestamp::MIN + 1));
+        assert!(!w.record(R, B, 0));
+        assert_eq!(w.late_dropped(), 2);
+        assert_eq!(w.total(), 1, "only the MAX event is in-window");
+    }
+
+    #[test]
+    fn hostile_clock_preserves_count_conservation() {
+        // Every record call ends as exactly one of {recorded, late_dropped},
+        // under a deliberately nasty schedule of jumps and backfills.
+        let mut w = tiny();
+        let times = [
+            0, 10_000, 5, 10_050, 9_999, 10_050, 500_000, 499_700, 1, 500_399,
+        ];
+        for (i, t) in times.into_iter().enumerate() {
+            let from = if i % 2 == 0 { R } else { B };
+            w.record(from, B, t);
+        }
+        assert_eq!(
+            w.recorded() + w.late_dropped(),
+            times.len() as u64,
+            "no call vanished"
+        );
+        assert!(w.total() <= w.recorded());
     }
 
     #[test]

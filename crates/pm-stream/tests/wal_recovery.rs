@@ -1,0 +1,312 @@
+//! Kill-and-restart recovery parity for the ingest WAL.
+//!
+//! The property under test: after a process death at *any* point in the
+//! stream — including with a torn or corrupted segment tail — recovering
+//! from the WAL (newest checkpoint + replay of the clean batch prefix)
+//! yields an engine whose **entire serialized state is byte-identical** to
+//! an engine that ingested exactly that durably-logged prefix without ever
+//! crashing. Detector buffers, window ring, per-user clocks, quarantine
+//! tallies, and the re-mining stay buffer all participate via
+//! [`IngestEngine::state_bytes`].
+
+use pm_core::types::{Category, GpsPoint};
+use pm_geo::LocalPoint;
+use pm_stream::{
+    EngineConfig, IngestEngine, IngestRecord, StreamParams, Wal, WalConfig, WindowConfig,
+};
+use pm_synth::{corrupt_bytes, ByteCorruption};
+use proptest::prelude::*;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static DIR_ID: AtomicU64 = AtomicU64::new(0);
+
+fn scratch() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "pm-wal-recovery-{}-{}",
+        std::process::id(),
+        DIR_ID.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config() -> EngineConfig {
+    EngineConfig {
+        detector: StreamParams {
+            theta_d: 100.0,
+            theta_t: 300,
+            max_pending: 64,
+        },
+        window: WindowConfig {
+            window_secs: 86_400,
+            bucket_secs: 3_600,
+        },
+        max_users: 6,
+        user_ttl_secs: 50_000,
+        max_stay_buffer: 40,
+    }
+}
+
+/// Deterministic recognizer shared by every engine in these tests.
+fn recog(pos: LocalPoint) -> Option<Category> {
+    if !pos.x.is_finite() {
+        return None;
+    }
+    match (pos.x / 3_000.0) as i64 {
+        0 => Some(Category::Residence),
+        1 => Some(Category::Business),
+        2 => Some(Category::Shop),
+        _ => None,
+    }
+}
+
+type Batch = Vec<(String, IngestRecord)>;
+
+/// Expands proptest-generated tuples into batches of ingest records with a
+/// mostly-advancing global clock (occasional zero steps produce per-user
+/// duplicate timestamps — the quarantine path must replay exactly too).
+fn build_batches(raw: &[(u8, u8, u8, u16)], batch_size: usize) -> Vec<Batch> {
+    let mut t = 0i64;
+    let mut records = Vec::with_capacity(raw.len());
+    for &(user, is_stay, cell, dt) in raw {
+        t += dt as i64; // dt may be 0: same-user duplicates quarantine
+        let user = format!("user-{}", user % 5);
+        let point = GpsPoint::new(LocalPoint::new((cell % 4) as f64 * 3_000.0, 0.0), t);
+        let record = if is_stay == 1 {
+            IngestRecord::Stay(point)
+        } else {
+            IngestRecord::Fix(point)
+        };
+        records.push((user, record));
+    }
+    records
+        .chunks(batch_size.max(1))
+        .map(|c| c.to_vec())
+        .collect()
+}
+
+/// Writes `batches` through a WAL-fronted engine, checkpointing every
+/// `ckpt_every` batches, then "dies" (drops everything without shutdown).
+/// Returns how many batches the last checkpoint covered.
+fn run_and_die(dir: &PathBuf, batches: &[Batch], ckpt_every: usize) -> usize {
+    let (mut wal, rec) = Wal::open(WalConfig::new(dir)).expect("open fresh wal");
+    assert!(rec.batches.is_empty(), "dir must start empty");
+    let mut engine = IngestEngine::new(config()).expect("engine");
+    let mut covered = 0;
+    for (i, batch) in batches.iter().enumerate() {
+        wal.append_batch(batch).expect("append");
+        engine.ingest_batch(batch, recog);
+        if (i + 1) % ckpt_every == 0 {
+            wal.checkpoint(&engine.state_bytes()).expect("checkpoint");
+            covered = i + 1;
+        }
+    }
+    covered // wal and engine dropped here: the kill
+}
+
+/// Recovers an engine from the WAL directory: checkpoint state + replay.
+fn recover(dir: &PathBuf) -> (IngestEngine, pm_stream::Recovery) {
+    let (_wal, rec) = Wal::open(WalConfig::new(dir)).expect("reopen");
+    let mut engine = match &rec.checkpoint {
+        Some(state) => IngestEngine::from_state_bytes(state).expect("checkpoint state"),
+        None => IngestEngine::new(config()).expect("engine"),
+    };
+    for batch in &rec.batches {
+        engine.ingest_batch(batch, recog);
+    }
+    (engine, rec)
+}
+
+/// An engine that ingested `batches` start-to-finish, never crashing.
+fn uninterrupted(batches: &[Batch]) -> IngestEngine {
+    let mut engine = IngestEngine::new(config()).expect("engine");
+    for batch in batches {
+        engine.ingest_batch(batch, recog);
+    }
+    engine
+}
+
+/// The last segment file in the directory, by sequence number.
+fn last_segment(dir: &PathBuf) -> Option<PathBuf> {
+    fs::read_dir(dir)
+        .ok()?
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("seg-") && n.ends_with(".wal"))
+        })
+        .max()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Clean kill: everything appended is in the page cache (survives
+    /// process death), so recovery must reproduce the full stream's state
+    /// byte for byte.
+    #[test]
+    fn kill_and_restart_state_is_byte_identical(
+        raw in prop::collection::vec((0u8..5, 0u8..2, 0u8..6, 0u16..700), 1..120),
+        batch_size in 1usize..9,
+        ckpt_every in 1usize..5,
+    ) {
+        let dir = scratch();
+        let batches = build_batches(&raw, batch_size);
+        run_and_die(&dir, &batches, ckpt_every);
+        let (recovered, rec) = recover(&dir);
+        prop_assert_eq!(rec.report.torn_frames, 0);
+        prop_assert_eq!(rec.report.corrupt_frames, 0);
+        let reference = uninterrupted(&batches);
+        prop_assert_eq!(recovered.state_bytes(), reference.state_bytes());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Torn/corrupted tail: recovery keeps the longest clean prefix of
+    /// batches, and its state is byte-identical to an uninterrupted run
+    /// over exactly that prefix.
+    #[test]
+    fn corrupted_tail_recovers_a_byte_identical_prefix(
+        raw in prop::collection::vec((0u8..5, 0u8..2, 0u8..6, 0u16..700), 8..120),
+        batch_size in 1usize..7,
+        ckpt_every in 2usize..6,
+        seed in 0u64..u64::MAX,
+        mode_idx in 0usize..4,
+    ) {
+        let mode = [
+            ByteCorruption::BitFlip,
+            ByteCorruption::Truncate,
+            ByteCorruption::GarbageRun,
+            ByteCorruption::TrailingGarbage,
+        ][mode_idx];
+        let dir = scratch();
+        let batches = build_batches(&raw, batch_size);
+        let covered = run_and_die(&dir, &batches, ckpt_every);
+        // Maul the newest segment (the post-checkpoint tail), if any.
+        if let Some(seg) = last_segment(&dir) {
+            let bytes = fs::read(&seg).expect("read segment");
+            fs::write(&seg, corrupt_bytes(&bytes, mode, seed)).expect("corrupt");
+        }
+        let (recovered, rec) = recover(&dir);
+        // Recovery yields checkpoint-covered batches + some clean prefix of
+        // what followed; never more than was written.
+        let n = covered + rec.batches.len();
+        prop_assert!(n <= batches.len(), "recovered {} of {}", n, batches.len());
+        let reference = uninterrupted(&batches[..n]);
+        prop_assert_eq!(recovered.state_bytes(), reference.state_bytes());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Idempotent re-send: per-user strictly-increasing clocks make the
+    /// already-ingested prefix quarantine on a full re-send, so "replay the
+    /// whole stream again after recovery" converges to the same live state
+    /// (window, users, clock, stay buffer) as a run that never crashed.
+    /// This is the invariant the CI crash-recovery smoke leans on.
+    #[test]
+    fn full_resend_after_recovery_converges(
+        raw in prop::collection::vec((0u8..5, 0u8..2, 0u8..6, 1u16..700), 8..80),
+        batch_size in 1usize..7,
+        ckpt_every in 2usize..5,
+    ) {
+        let dir = scratch();
+        let batches = build_batches(&raw, batch_size);
+        run_and_die(&dir, &batches, ckpt_every);
+        let (mut recovered, _) = recover(&dir);
+        for batch in &batches {
+            recovered.ingest_batch(batch, recog);
+        }
+        let mut reference = uninterrupted(&batches);
+        for batch in &batches {
+            reference.ingest_batch(batch, recog);
+        }
+        // Lifetime tallies legitimately differ (the recovered engine saw
+        // fewer duplicate sends), so compare the live state, not stats.
+        prop_assert_eq!(recovered.window().counts(), reference.window().counts());
+        prop_assert_eq!(recovered.users_len(), reference.users_len());
+        prop_assert_eq!(recovered.clock(), reference.clock());
+        prop_assert_eq!(recovered.stays_snapshot(), reference.stays_snapshot());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn recovery_without_checkpoint_replays_everything() {
+    let dir = scratch();
+    let raw: Vec<(u8, u8, u8, u16)> = (0..40)
+        .map(|i| (i % 5, u8::from(i % 3 == 0), i % 6, 90))
+        .collect();
+    let batches = build_batches(&raw, 4);
+    // ckpt_every larger than the batch count: no checkpoint is ever cut.
+    let covered = run_and_die(&dir, &batches, batches.len() + 1);
+    assert_eq!(covered, 0);
+    let (recovered, rec) = recover(&dir);
+    assert!(rec.checkpoint.is_none());
+    assert_eq!(rec.batches.len(), batches.len());
+    assert_eq!(
+        recovered.state_bytes(),
+        uninterrupted(&batches).state_bytes()
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn recovery_is_itself_crash_safe() {
+    // Recover, ingest more, die again, recover again: state still matches
+    // an uninterrupted run over the concatenated stream.
+    let dir = scratch();
+    let raw_a: Vec<(u8, u8, u8, u16)> = (0..30)
+        .map(|i| (i % 4, u8::from(i % 2 == 0), i % 5, 120))
+        .collect();
+    let batches_a = build_batches(&raw_a, 3);
+    run_and_die(&dir, &batches_a, 2);
+
+    // Second generation: recover, then keep streaming through a new WAL
+    // handle (same dir), checkpointing as it goes.
+    let (_wal_tmp, rec) = Wal::open(WalConfig::new(&dir)).expect("reopen");
+    drop(_wal_tmp);
+    let (mut engine, _) = {
+        let mut engine = match &rec.checkpoint {
+            Some(state) => IngestEngine::from_state_bytes(state).expect("state"),
+            None => IngestEngine::new(config()).expect("engine"),
+        };
+        for batch in &rec.batches {
+            engine.ingest_batch(batch, recog);
+        }
+        (engine, rec)
+    };
+    let mut t0 = 30 * 120 + 1;
+    let mut batches_b = Vec::new();
+    for k in 0..6 {
+        let mut batch = Vec::new();
+        for j in 0..4 {
+            t0 += 100;
+            batch.push((
+                format!("user-{}", (k + j) % 4),
+                IngestRecord::Stay(GpsPoint::new(
+                    LocalPoint::new(((j % 3) as f64) * 3_000.0, 0.0),
+                    t0,
+                )),
+            ));
+        }
+        batches_b.push(batch);
+    }
+    {
+        let (mut wal, _) = Wal::open(WalConfig::new(&dir)).expect("gen2 wal");
+        for (i, batch) in batches_b.iter().enumerate() {
+            wal.append_batch(batch).expect("append");
+            engine.ingest_batch(batch, recog);
+            if i == 2 {
+                wal.checkpoint(&engine.state_bytes()).expect("checkpoint");
+            }
+        }
+    } // die again
+
+    let (recovered, _) = recover(&dir);
+    let mut all = batches_a.clone();
+    all.extend(batches_b.iter().cloned());
+    assert_eq!(recovered.state_bytes(), uninterrupted(&all).state_bytes());
+    let _ = fs::remove_dir_all(&dir);
+}

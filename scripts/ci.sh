@@ -119,6 +119,103 @@ if command -v curl > /dev/null 2>&1; then
     wait "$serve_pid" 2> /dev/null || true
     trap - EXIT
     echo "    serve answered on $addr and shut down cleanly"
+
+    # Crash-recovery smoke: a WAL-backed server killed with -9 mid-replay
+    # must recover on restart from the same --wal-dir, and a full re-send
+    # of the journey file must converge byte-for-byte on what an
+    # uninterrupted server serves (per-user ordering clocks make re-sent
+    # records idempotent). Then the background re-miner has to publish a
+    # verified generation, and SIGTERM has to drain cleanly with a final
+    # checkpoint (the next boot replays zero batches).
+    echo "==> crash-recovery smoke (kill -9 mid-replay + WAL restart)"
+    bin="$workspace/target/release/pervasive-miner"
+    [ -x "$bin" ] || die "release binary missing at $bin"
+    wal_dir="$workspace/target/ci-wal"
+    gen_dir="$workspace/target/ci-generations"
+    rm -rf "$wal_dir" "$gen_dir"
+
+    # Boots the release binary directly (not via cargo run, so kill -9
+    # reaches the server itself) and waits for the announced address.
+    boot_serve() {
+        local log="$1"
+        shift
+        "$bin" serve --artifact "$artifact" --addr 127.0.0.1:0 "$@" 2> "$log" &
+        serve_pid=$!
+        trap 'kill -9 "$serve_pid" 2> /dev/null || true' EXIT
+        addr=""
+        for _ in $(seq 1 100); do
+            addr="$(sed -n 's/^listening on //p' "$log")"
+            [ -n "$addr" ] && break
+            kill -0 "$serve_pid" 2> /dev/null || die "serve exited: $(cat "$log")"
+            sleep 0.1
+        done
+        [ -n "$addr" ] || die "serve never announced its address: $(cat "$log")"
+    }
+
+    # Baseline: an uninterrupted server sees the full journey file once.
+    boot_serve "$workspace/target/ci-baseline.log"
+    "$bin" replay --journeys examples/data/journeys.csv --addr "$addr" \
+        2> /dev/null || die "baseline replay failed"
+    baseline="$(curl -fsS "http://$addr/v1/live/patterns")"
+    kill -9 "$serve_pid" 2> /dev/null || true
+    wait "$serve_pid" 2> /dev/null || true
+
+    # Crash run: same data into a WAL-backed server, killed mid-replay.
+    boot_serve "$workspace/target/ci-crash.log" --wal-dir "$wal_dir"
+    "$bin" replay --journeys examples/data/journeys.csv --addr "$addr" \
+        --rate 2000 2> /dev/null &
+    replay_pid=$!
+    sleep 1
+    kill -0 "$replay_pid" 2> /dev/null || die "replay finished before the crash"
+    kill -9 "$serve_pid" 2> /dev/null || die "server died before the crash"
+    wait "$replay_pid" 2> /dev/null || true # replay dies with its server
+
+    # Restart on the same WAL, then re-send the WHOLE file: recovery plus
+    # the idempotent re-send must land exactly on the baseline.
+    boot_serve "$workspace/target/ci-recover.log" --wal-dir "$wal_dir"
+    grep -q 'recovered' "$workspace/target/ci-recover.log" \
+        || die "restart did not report WAL recovery: $(cat "$workspace/target/ci-recover.log")"
+    "$bin" replay --journeys examples/data/journeys.csv --addr "$addr" \
+        2> /dev/null || die "post-recovery replay failed"
+    recovered="$(curl -fsS "http://$addr/v1/live/patterns")"
+    [ "$recovered" = "$baseline" ] || die "live patterns diverged after crash recovery
+baseline:  $baseline
+recovered: $recovered"
+
+    # Graceful shutdown: SIGTERM drains and cuts a final checkpoint.
+    kill -TERM "$serve_pid"
+    for _ in $(seq 1 100); do
+        kill -0 "$serve_pid" 2> /dev/null || break
+        sleep 0.1
+    done
+    kill -0 "$serve_pid" 2> /dev/null && die "server ignored SIGTERM"
+    wait "$serve_pid" 2> /dev/null || true
+    grep -q 'server stopped' "$workspace/target/ci-recover.log" \
+        || die "no clean-shutdown message after SIGTERM"
+
+    # Final boot proves the shutdown checkpoint covered everything (zero
+    # batches to replay) and lets the re-miner publish a generation from
+    # the recovered stay buffer; its status JSON is archived by CI.
+    boot_serve "$workspace/target/ci-remine.log" --wal-dir "$wal_dir" \
+        --remine-interval 1 --remine-dir "$gen_dir"
+    grep -q 'replayed 0 batches / 0 records' "$workspace/target/ci-remine.log" \
+        || die "graceful shutdown left batches to replay: $(cat "$workspace/target/ci-remine.log")"
+    for _ in $(seq 1 240); do
+        curl -fsS "http://$addr/v1/miner" > "$workspace/miner-status.json" || true
+        grep -Eq '"jobs_succeeded":[1-9]' "$workspace/miner-status.json" && break
+        kill -0 "$serve_pid" 2> /dev/null || die "re-mining server died: $(cat "$workspace/target/ci-remine.log")"
+        sleep 0.5
+    done
+    grep -Eq '"jobs_succeeded":[1-9]' "$workspace/miner-status.json" \
+        || die "re-miner never published a generation: $(cat "$workspace/miner-status.json")"
+    newest_gen="$(ls "$gen_dir" | grep '^gen-' | sort | tail -1)"
+    [ -n "$newest_gen" ] || die "no generation files in $gen_dir"
+    "$bin" artifact-check "$gen_dir/$newest_gen" > /dev/null \
+        || die "published generation failed verification"
+    kill -TERM "$serve_pid"
+    wait "$serve_pid" 2> /dev/null || true
+    trap - EXIT
+    echo "    crash recovery converged, re-miner published $newest_gen, SIGTERM drained cleanly"
 else
     echo "==> serve smoke test skipped (curl not found)"
 fi
