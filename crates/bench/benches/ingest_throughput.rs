@@ -142,10 +142,19 @@ fn main() {
     thread.join().expect("server thread").expect("serve");
 
     let fixes = records.len();
-    let fixes_per_sec = (fixes as f64 / (wall_ms / 1e3)) as u64;
+    // Guard the denominator: a sub-microsecond wall clock (tiny corpus, or a
+    // timer that failed to advance) would turn the naive division into
+    // infinity, and the old `as u64` cast silently saturated it into a
+    // nonsense 18-quintillion rate. Report a rounded rate, 0 when the
+    // elapsed time is too small to support one.
+    let fixes_per_sec = if wall_ms > 0.0 {
+        (fixes as f64 * 1e3 / wall_ms).round()
+    } else {
+        0.0
+    };
     assert!(stays > 0, "the replay must emit stays");
     eprintln!(
-        "  {fixes} fixes in {batches} batches: {:.1} ms total, {fixes_per_sec} fixes/s, {stays} stays, {transitions} transitions",
+        "  {fixes} fixes in {batches} batches: {:.1} ms total, {fixes_per_sec:.0} fixes/s, {stays} stays, {transitions} transitions",
         wall_ms
     );
 
@@ -154,7 +163,7 @@ fn main() {
     let _ = write!(section, ",\n    \"fixes\": {fixes}");
     let _ = write!(section, ",\n    \"batches\": {batches}");
     let _ = write!(section, ",\n    \"wall_ms\": {}", json::millis(wall_ms));
-    let _ = write!(section, ",\n    \"fixes_per_sec\": {fixes_per_sec}");
+    let _ = write!(section, ",\n    \"fixes_per_sec\": {fixes_per_sec:.0}");
     let _ = write!(section, ",\n    \"stays\": {stays}");
     let _ = write!(section, ",\n    \"transitions\": {transitions}");
     section.push_str("\n  }");

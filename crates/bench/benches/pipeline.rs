@@ -8,6 +8,11 @@
 //! Knobs (environment):
 //! - `PM_BENCH_SMOKE=1` — quick mode: tiny dataset, 3 iterations, seconds of
 //!   wall time. Anything else (or unset) runs the evaluation-scale dataset.
+//! - `PM_BENCH_FULL=1` — splice mode: run the evaluation-scale dataset and
+//!   splice the result into an existing report as a `"full"` section
+//!   (leaving the smoke stages in place), or write a standalone document
+//!   when none exists. This is how CI keeps *both* scales tracked in one
+//!   per-commit file; it takes precedence over `PM_BENCH_SMOKE`.
 //! - `PM_BENCH_OUT=<path>` — where to write the JSON (default:
 //!   `BENCH_pipeline.json` in the current directory).
 
@@ -43,31 +48,9 @@ fn time_ms(f: impl FnOnce()) -> f64 {
     start.elapsed().as_nanos() as f64 / 1e6
 }
 
-fn main() {
-    let smoke = std::env::var("PM_BENCH_SMOKE").is_ok_and(|v| v.trim() == "1");
-    let out_path =
-        std::env::var("PM_BENCH_OUT").unwrap_or_else(|_| "BENCH_pipeline.json".to_string());
-    let (ds, params, iters, mode) = if smoke {
-        (
-            pm_bench::timing_dataset(),
-            pm_bench::timing_params(),
-            3,
-            "smoke",
-        )
-    } else {
-        (
-            pm_bench::bench_dataset(),
-            pm_bench::bench_params(),
-            7,
-            "full",
-        )
-    };
-    eprintln!(
-        "pipeline bench ({mode}): {} POIs, {} trajectories, {iters} iteration(s)",
-        ds.pois.len(),
-        ds.trajectories.len()
-    );
-
+/// Times the three pipeline stages over `iters` iterations; samples come
+/// back sorted ascending.
+fn run_stages(ds: &Dataset, params: &MinerParams, iters: usize) -> [Stage; 3] {
     let stays = stay_points_of(&ds.trajectories);
     let mut build = Vec::new();
     let mut recognize = Vec::new();
@@ -75,18 +58,18 @@ fn main() {
     for i in 0..iters {
         let mut csd = None;
         build.push(time_ms(|| {
-            csd = Some(CitySemanticDiagram::build(&ds.pois, &stays, &params).expect("build"));
+            csd = Some(CitySemanticDiagram::build(&ds.pois, &stays, params).expect("build"));
         }));
         let csd = csd.expect("built");
         let mut recognized = None;
         recognize.push(time_ms(|| {
             recognized =
-                Some(recognize_all(&csd, ds.trajectories.clone(), &params).expect("recognize"));
+                Some(recognize_all(&csd, ds.trajectories.clone(), params).expect("recognize"));
         }));
         let recognized = recognized.expect("recognized");
         let mut patterns = None;
         extract.push(time_ms(|| {
-            patterns = Some(extract_patterns(&recognized, &params).expect("extract"));
+            patterns = Some(extract_patterns(&recognized, params).expect("extract"));
         }));
         eprintln!(
             "  iter {}: build {:.1} ms, recognize {:.1} ms, extract {:.1} ms ({} patterns)",
@@ -115,24 +98,97 @@ fn main() {
     for s in &mut stages {
         s.samples.sort_by(f64::total_cmp);
     }
+    stages
+}
 
-    let mut doc = String::from("{\n  \"schema\": \"pm-bench/1\"");
-    let _ = write!(doc, ",\n  \"mode\": \"{mode}\"");
-    let _ = write!(doc, ",\n  \"iters\": {iters}");
-    doc.push_str(",\n  \"stages\": [");
+/// Renders the stage array as a JSON fragment (no surrounding object).
+fn stages_json(stages: &[Stage], indent: &str) -> String {
+    let mut out = String::from("[");
     for (i, s) in stages.iter().enumerate() {
-        doc.push_str(if i == 0 { "\n    " } else { ",\n    " });
-        doc.push_str("{\"name\": ");
-        json::write_str(&mut doc, s.name);
+        let _ = write!(out, "{}{indent}  ", if i == 0 { "\n" } else { ",\n" });
+        out.push_str("{\"name\": ");
+        json::write_str(&mut out, s.name);
         let _ = write!(
-            doc,
+            out,
             ", \"median_ms\": {}, \"min_ms\": {}, \"max_ms\": {}}}",
             json::millis(s.median_ms()),
             json::millis(s.samples[0]),
             json::millis(s.samples[s.samples.len() - 1]),
         );
     }
-    doc.push_str("\n  ]\n}\n");
+    let _ = write!(out, "\n{indent}]");
+    out
+}
+
+fn main() {
+    let env_on = |name: &str| std::env::var(name).is_ok_and(|v| v.trim() == "1");
+    let out_path =
+        std::env::var("PM_BENCH_OUT").unwrap_or_else(|_| "BENCH_pipeline.json".to_string());
+
+    if env_on("PM_BENCH_FULL") {
+        // Splice mode: evaluation-scale stages recorded *alongside* an
+        // existing (typically smoke) report, mirroring how the serve and
+        // ingest benches attach their sections.
+        let (ds, params, iters) = (pm_bench::bench_dataset(), pm_bench::bench_params(), 5);
+        eprintln!(
+            "pipeline bench (full splice): {} POIs, {} trajectories, {iters} iteration(s)",
+            ds.pois.len(),
+            ds.trajectories.len()
+        );
+        let stages = run_stages(&ds, &params, iters);
+
+        let mut section = String::from("{\n    \"schema\": \"pm-bench-pipeline-full/1\"");
+        let _ = write!(section, ",\n    \"iters\": {iters}");
+        let _ = write!(
+            section,
+            ",\n    \"stages\": {}",
+            stages_json(&stages, "    ")
+        );
+        section.push_str("\n  }");
+
+        let spliced = std::fs::read_to_string(&out_path)
+            .ok()
+            .filter(|doc| doc.ends_with("\n}\n") && !doc.contains("\"full\""))
+            .map(|doc| {
+                let body = doc.trim_end_matches("\n}\n");
+                format!("{body},\n  \"full\": {section}\n}}\n")
+            });
+        let doc = spliced.unwrap_or_else(|| {
+            format!("{{\n  \"schema\": \"pm-bench/1\",\n  \"full\": {section}\n}}\n")
+        });
+        std::fs::write(&out_path, doc).expect("write bench report");
+        eprintln!("wrote {out_path}");
+        return;
+    }
+
+    let smoke = env_on("PM_BENCH_SMOKE");
+    let (ds, params, iters, mode) = if smoke {
+        (
+            pm_bench::timing_dataset(),
+            pm_bench::timing_params(),
+            3,
+            "smoke",
+        )
+    } else {
+        (
+            pm_bench::bench_dataset(),
+            pm_bench::bench_params(),
+            7,
+            "full",
+        )
+    };
+    eprintln!(
+        "pipeline bench ({mode}): {} POIs, {} trajectories, {iters} iteration(s)",
+        ds.pois.len(),
+        ds.trajectories.len()
+    );
+    let stages = run_stages(&ds, &params, iters);
+
+    let mut doc = String::from("{\n  \"schema\": \"pm-bench/1\"");
+    let _ = write!(doc, ",\n  \"mode\": \"{mode}\"");
+    let _ = write!(doc, ",\n  \"iters\": {iters}");
+    let _ = write!(doc, ",\n  \"stages\": {}", stages_json(&stages, "  "));
+    doc.push_str("\n}\n");
 
     std::fs::write(&out_path, doc).expect("write bench report");
     eprintln!("wrote {out_path}");

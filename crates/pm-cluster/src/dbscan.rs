@@ -1,5 +1,6 @@
 //! DBSCAN density-based clustering (Ester et al. 1996).
 
+use crate::neighborhoods::Neighborhoods;
 use crate::Clustering;
 use pm_geo::{GridIndex, LocalPoint};
 
@@ -77,15 +78,13 @@ pub fn dbscan(points: &[LocalPoint], params: DbscanParams) -> Clustering {
     // The seed-set expansion is sequential (labels depend on visit order),
     // but the O(n·q) range queries it issues are independent per point. With
     // more than one worker, compute every neighbourhood up front in
-    // parallel; each list is identical in content and order to what
-    // `range_into` would yield lazily, so the labelling is byte-identical.
-    let hoods: Option<Vec<Vec<usize>>> = (pm_runtime::resolve_threads(params.threads) > 1)
-        .then(|| pm_runtime::par_map(points, params.threads, |p| index.range(*p, params.eps)));
+    // parallel into one flat CSR slab; each list is identical in content and
+    // order to what `range_into` would yield lazily, so the labelling is
+    // byte-identical. (The grid compares squared distances against eps²
+    // internally — no `sqrt` anywhere on this path.)
+    let hoods = Neighborhoods::precompute(&index, points, params.eps, params.threads);
     let neighbours_of = |i: usize, buf: &mut Vec<usize>| match &hoods {
-        Some(h) => {
-            buf.clear();
-            buf.extend_from_slice(&h[i]);
-        }
+        Some(h) => h.copy_into(i, buf),
         None => index.range_into(points[i], params.eps, buf),
     };
 

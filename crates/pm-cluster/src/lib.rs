@@ -21,13 +21,14 @@ pub mod dbscan;
 pub mod kernel;
 pub mod kmeans;
 pub mod meanshift;
+pub(crate) mod neighborhoods;
 pub mod optics;
 
 pub use dbscan::{dbscan, DbscanParams};
 pub use kernel::{gaussian_coeff, GaussianKernel};
 pub use kmeans::{kmeans, KMeansParams, KMeansResult};
 pub use meanshift::{mean_shift, MeanShiftParams, MeanShiftResult};
-pub use optics::{Optics, OpticsParams};
+pub use optics::{Optics, OpticsParams, OpticsScratch};
 
 use pm_geo::LocalPoint;
 

@@ -14,7 +14,7 @@
 use crate::error::{Degradation, MinerError};
 use crate::params::MinerParams;
 use crate::types::{Category, SemanticTrajectory, StayPoint};
-use pm_cluster::{Optics, OpticsParams};
+use pm_cluster::{Optics, OpticsParams, OpticsScratch};
 use pm_geo::{centroid, den, LocalPoint};
 use pm_seqmine::{prefixspan, PrefixSpanParams};
 
@@ -154,12 +154,15 @@ pub fn extract_patterns_observed(
 
     // Algorithm 4 refines every coarse pattern independently (its OPTICS
     // runs and counterpart filtering read only that pattern's members), so
-    // the per-pattern work fans out over `params.threads` workers. Each
-    // worker appends to its own pattern-local list; flattening in coarse
+    // the per-pattern work fans out over `params.threads` workers — with
+    // work stealing, because pattern sizes are heavily skewed (one popular
+    // commute pattern can carry most of the occurrences) and a chunked
+    // split would serialize on whichever worker drew the giant. Each
+    // invocation fills its own pattern-local list; flattening in coarse
     // order reproduces the serial loop's emission order byte for byte.
     let span = obs.span("extract.counterpart");
     let per_pattern: Vec<Vec<FinePattern>> =
-        pm_runtime::par_map(&coarse, params.threads, |pattern| {
+        pm_runtime::par_map_stealing(&coarse, params.threads, |pattern| {
             let categories: Vec<Category> = pattern
                 .items
                 .iter()
@@ -216,11 +219,17 @@ fn counterpart_cluster(
     let stay = |mem: &Member, k: usize| -> &StayPoint { &db[mem.traj].stays[mem.stay_at[k]] };
 
     // Line 5–6: OPTICS clustering of the k-th points, one run per position.
+    // One scratch (coordinate columns, sweep buffers) and one input buffer
+    // serve all m positions — the per-position allocations would otherwise
+    // dominate small coarse patterns.
     let optics_params = OpticsParams::new(OPTICS_MAX_EPS, params.sigma);
+    let mut scratch = OpticsScratch::default();
+    let mut pts: Vec<LocalPoint> = Vec::with_capacity(members.len());
     let labels: Vec<Vec<Option<usize>>> = (0..m)
         .map(|k| {
-            let pts: Vec<LocalPoint> = members.iter().map(|mem| stay(mem, k).pos).collect();
-            Optics::run_obs(&pts, optics_params, obs)
+            pts.clear();
+            pts.extend(members.iter().map(|mem| stay(mem, k).pos));
+            Optics::run_obs_with_scratch(&pts, optics_params, obs, &mut scratch)
                 .extract_auto()
                 .labels
         })
@@ -229,10 +238,13 @@ fn counterpart_cluster(
     // Lines 7–20, with `pa` as a removal mask. The pseudo code iterates
     // "for each ST_i in pa" while deleting from pa; we take the first
     // remaining member as the next reference, which visits exactly the
-    // trajectories still in pa.
+    // trajectories still in pa. `cand` and the density-gate point buffer
+    // are reused across references.
     let mut in_pa = vec![true; members.len()];
+    let mut cand: Vec<usize> = Vec::with_capacity(members.len());
     while let Some(i) = in_pa.iter().position(|&alive| alive) {
-        let mut cand: Vec<usize> = (0..members.len()).filter(|&j| in_pa[j]).collect();
+        cand.clear();
+        cand.extend((0..members.len()).filter(|&j| in_pa[j]));
         let mut valid = true;
         #[allow(clippy::needless_range_loop)] // k indexes stays and labels in lockstep
         for k in 0..m {
@@ -247,7 +259,8 @@ fn counterpart_cluster(
                 });
             }
             // Lines 13–14: density gate on the positional group.
-            let pts: Vec<LocalPoint> = cand.iter().map(|&j| stay(&members[j], k).pos).collect();
+            pts.clear();
+            pts.extend(cand.iter().map(|&j| stay(&members[j], k).pos));
             if den(&pts) < params.rho {
                 for &j in &cand {
                     in_pa[j] = false;

@@ -336,6 +336,37 @@ mod tests {
     }
 
     #[test]
+    fn near_zero_cell_on_coincident_clusters_is_exact() {
+        // A denormal-adjacent cell request (1e-300 m) over clustered data
+        // with coincident points: the build must stay bounded (memory cap)
+        // and every query must still be exact at the *requested* radius —
+        // including radius 0, which matches exactly the coincident copies.
+        let venue = LocalPoint::new(250.0, -80.0);
+        let mut points = vec![venue; 6];
+        for i in 0..40 {
+            points.push(LocalPoint::new(
+                (i % 8) as f64 * 30.0,
+                (i / 8) as f64 * 25.0,
+            ));
+        }
+        let idx = GridIndex::build(&points, 1e-300);
+        assert_eq!(idx.requested_cell_size(), 1e-300);
+        assert!(idx.cell_size_inflated());
+
+        let mut got = idx.range(venue, 0.0);
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3, 4, 5], "coincident copies at r = 0");
+        for r in [0.0, 1.0, 40.0, 500.0] {
+            for center in [venue, LocalPoint::ORIGIN, LocalPoint::new(105.0, 60.0)] {
+                let mut got = idx.range(center, r);
+                got.sort_unstable();
+                assert_eq!(got, brute_force(&points, center, r), "r = {r}");
+                assert_eq!(idx.count_in_range(center, r), got.len());
+            }
+        }
+    }
+
+    #[test]
     fn generous_cell_size_is_not_inflated() {
         // 100 points over a ~30m extent with 30m cells: the ~4-cells-per-
         // point cap (20 cells per axis here) is far from binding.

@@ -28,6 +28,7 @@ pub mod point;
 pub mod polyline;
 pub mod projection;
 pub mod rtree;
+pub mod soa;
 pub mod stats;
 
 pub use bbox::BoundingBox;
@@ -37,4 +38,5 @@ pub use kdtree::KdTree;
 pub use point::{GeoPoint, LocalPoint};
 pub use projection::Projection;
 pub use rtree::RTree;
+pub use soa::SoaPoints;
 pub use stats::{centroid, den, mean_pairwise_distance, spatial_variance};

@@ -139,6 +139,64 @@ where
         .collect()
 }
 
+/// Parallel map over a slice with **work stealing**: `out[i] = f(&items[i])`.
+///
+/// [`par_map`] hands each worker one contiguous chunk, which is optimal for
+/// uniform per-item cost but serializes on the slowest chunk when costs are
+/// skewed (one giant coarse pattern among many small ones). Here workers
+/// instead claim the next unclaimed index from a shared atomic counter, so a
+/// worker stuck on an expensive item never blocks the cheap ones behind it.
+///
+/// The determinism contract is unchanged: output slot `i` is written exactly
+/// once, by whichever worker claimed index `i`, with the value `f(&items[i])`
+/// — scheduling moves *which thread* computes an item, never *what* is
+/// computed, so the result is bit-identical for every thread count.
+pub fn par_map_stealing<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let threads = resolve_threads(threads).min(items.len());
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let n = items.len();
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+
+    /// Shared base pointer into the output slots. Each index is claimed by
+    /// exactly one worker via `fetch_add`, so writes through it are disjoint.
+    struct Slots<R>(*mut Option<R>);
+    unsafe impl<R: Send> Sync for Slots<R> {}
+
+    let slots = Slots(out.as_mut_ptr());
+    let next = AtomicUsize::new(0);
+    let (f, next, slots) = (&f, &next, &slots);
+    std::thread::scope(|scope| {
+        for w in 0..threads {
+            scope.spawn(move || {
+                in_worker(w, || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = f(&items[i]);
+                    // SAFETY: `i < n` and the atomic counter hands each index
+                    // to exactly one worker, so this slot is written once and
+                    // never aliased; the scope join publishes the write.
+                    unsafe { *slots.0.add(i) = Some(r) };
+                });
+            });
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("slot filled"))
+        .collect()
+}
+
 /// Parallel map over an index range: `out[i] = f(i)` for `i in 0..n`.
 ///
 /// The index-driven twin of [`par_map`], for producers that index shared
@@ -249,6 +307,48 @@ mod tests {
             let parallel = par_map(&items, threads, |x| x * x + 1);
             assert_eq!(parallel, serial, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn par_map_stealing_matches_serial_map() {
+        let items: Vec<u64> = (0..1000).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * 3 + 7).collect();
+        for threads in [1, 2, 3, 4, 8, 64] {
+            let parallel = par_map_stealing(&items, threads, |x| x * 3 + 7);
+            assert_eq!(parallel, serial, "threads = {threads}");
+        }
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map_stealing(&empty, 4, |x| *x).is_empty());
+        assert_eq!(par_map_stealing(&[9u32], 16, |x| *x), vec![9]);
+    }
+
+    #[test]
+    fn par_map_stealing_handles_skewed_work() {
+        // One item 1000x more expensive than the rest: stealing must still
+        // fill every slot with the right value (and, unlike chunked par_map,
+        // lets the other workers drain the cheap tail meanwhile).
+        let items: Vec<u64> = (0..64).collect();
+        let out = par_map_stealing(&items, 4, |&x| {
+            let spins = if x == 0 { 100_000 } else { 100 };
+            let mut acc = x;
+            for i in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            (x, acc).0
+        });
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn par_map_stealing_worker_panic_propagates() {
+        let items: Vec<usize> = (0..64).collect();
+        let result = std::panic::catch_unwind(|| {
+            par_map_stealing(&items, 4, |&x| {
+                assert!(x != 63, "boom");
+                x
+            })
+        });
+        assert!(result.is_err(), "panic in a worker must propagate");
     }
 
     #[test]

@@ -44,10 +44,34 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
 # Cargo runs bench binaries from the package directory, so pin the output
 # to the workspace root explicitly.
 echo "==> cargo bench -p pm-bench --bench pipeline (PM_BENCH_SMOKE=1)"
-PM_BENCH_SMOKE=1 PM_BENCH_OUT="$workspace/BENCH_pipeline.json" \
+# The committed report is the baseline; capture its smoke extract median
+# BEFORE the bench overwrites the file on disk.
+baseline_extract="$( { git show HEAD:BENCH_pipeline.json 2> /dev/null || true; } \
+    | sed -n 's/.*"name": "extract", "median_ms": \([0-9.]*\).*/\1/p' | head -1)"
+# PM_BENCH_FULL is pinned off here: full mode takes precedence inside the
+# bench, and a CI environment exporting PM_BENCH_FULL=1 must not turn the
+# smoke run into a second full run (the gated step below handles full).
+PM_BENCH_FULL=0 PM_BENCH_SMOKE=1 PM_BENCH_OUT="$workspace/BENCH_pipeline.json" \
     cargo bench -p pm-bench --bench pipeline
-[ -s BENCH_pipeline.json ] \
-    || die "bench smoke did not write BENCH_pipeline.json"
+grep -q '"mode": "smoke"' BENCH_pipeline.json \
+    || die "bench smoke did not write smoke stages to BENCH_pipeline.json"
+
+# Perf regression guard. Warning only — never a failure: CI runners are
+# shared and noisy, and a red build over a timing blip would teach people
+# to ignore red builds. A real regression shows up as the warning
+# persisting across commits.
+new_extract="$(sed -n 's/.*"name": "extract", "median_ms": \([0-9.]*\).*/\1/p' \
+    BENCH_pipeline.json | head -1)"
+if [ -n "$baseline_extract" ] && [ -n "$new_extract" ]; then
+    if awk -v n="$new_extract" -v b="$baseline_extract" 'BEGIN { exit !(n > b * 1.2) }'; then
+        echo "ci.sh: WARNING: smoke extract median $new_extract ms is >20% slower" \
+            "than the committed baseline $baseline_extract ms" >&2
+    else
+        echo "    extract median $new_extract ms (committed baseline $baseline_extract ms)"
+    fi
+else
+    echo "    extract baseline comparison skipped (no committed BENCH_pipeline.json)"
+fi
 
 # Serve smoke: loopback request latencies, spliced into the same report.
 echo "==> cargo bench -p pm-bench --bench serve_latency (PM_BENCH_SMOKE=1)"
@@ -62,6 +86,19 @@ PM_BENCH_SMOKE=1 PM_BENCH_OUT="$workspace/BENCH_pipeline.json" \
     cargo bench -p pm-bench --bench ingest_throughput
 grep -q '"ingest"' BENCH_pipeline.json \
     || die "ingest bench did not splice into BENCH_pipeline.json"
+
+# Full-scale pipeline section: evaluation-scale stage medians spliced into
+# the same report, so the per-commit record tracks both scales. Minutes,
+# not seconds — opt-in via PM_BENCH_FULL=1 (the CI workflow sets it).
+if [ "${PM_BENCH_FULL:-0}" = "1" ]; then
+    echo "==> cargo bench -p pm-bench --bench pipeline (PM_BENCH_FULL=1)"
+    PM_BENCH_FULL=1 PM_BENCH_OUT="$workspace/BENCH_pipeline.json" \
+        cargo bench -p pm-bench --bench pipeline
+    grep -q '"full"' BENCH_pipeline.json \
+        || die "full-mode bench did not splice into BENCH_pipeline.json"
+else
+    echo "==> full-scale pipeline bench skipped (set PM_BENCH_FULL=1 to run)"
+fi
 
 # Artifact round trip: mine the committed example data into a pm-store
 # artifact, then prove it reloads and re-serializes byte-identically.

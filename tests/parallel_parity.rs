@@ -221,6 +221,75 @@ fn small_corpus() -> (Vec<Poi>, Vec<SemanticTrajectory>) {
     (pois, trajectories)
 }
 
+/// FNV-1a (64-bit) over the fingerprint string — a stable scalar identity
+/// for a whole pipeline result.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in s.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[test]
+fn golden_fingerprints_pin_the_exact_output_bytes() {
+    // These hashes were captured from the original straightforward kernels
+    // (AoS distances, real-meter comparisons, `BinaryHeap` OPTICS queue,
+    // no grid/sweep split). Every optimisation since — squared-distance
+    // kernels, struct-of-arrays layout, dense sweep, warm-started
+    // selection, decrease-key heap, parallel fan-out — claims to be
+    // *bit-identical*, and this test holds it to that claim: a changed
+    // hash means the "optimisation" changed the mined patterns. Update a
+    // hash only with an argument for why the new bytes are the right ones.
+    const GOLDEN_CLEAN: [(u64, u64); 3] = [
+        (2026, 0x6e6f8962e12a43be),
+        (7, 0x7674d018b1e2a565),
+        (123, 0x27a1028f7ef53d11),
+    ];
+    for (seed, want) in GOLDEN_CLEAN {
+        let ds = Dataset::generate(&CityConfig::tiny(seed));
+        let params = MinerParams {
+            sigma: 20,
+            ..MinerParams::default()
+        };
+        for threads in [1, 4] {
+            let (p, e) = run_pipeline(&ds.pois, ds.trajectories.clone(), &params, threads);
+            let got = fnv1a(&fingerprint(&p, &e));
+            assert_eq!(
+                got, want,
+                "clean corpus seed {seed}, threads {threads}: got {got:#018x}, want {want:#018x}"
+            );
+        }
+    }
+
+    // Fault-injection sweep: same contract under every corruption mode.
+    const GOLDEN_FAULTS: [u64; 5] = [
+        0x0cdf0007a2761201,
+        0xd99208198e8e3b54,
+        0x8025470b58a72a5b,
+        0xd99208198e8e3b54,
+        0xd99208198e8e3b54,
+    ];
+    for (mode, &want) in GOLDEN_FAULTS.iter().enumerate() {
+        let (pois, mut trajectories) = small_corpus();
+        let corruption = Corruption::standard_suite(0.5)[mode];
+        corrupt_trajectories(&mut trajectories, &corruption, 99);
+        let params = MinerParams {
+            sigma: 10,
+            ..MinerParams::default()
+        };
+        for threads in [1, 4] {
+            let (p, e) = run_pipeline(&pois, trajectories.clone(), &params, threads);
+            let got = fnv1a(&fingerprint(&p, &e));
+            assert_eq!(
+                got, want,
+                "corruption mode {mode}, threads {threads}: got {got:#018x}, want {want:#018x}"
+            );
+        }
+    }
+}
+
 proptest! {
     /// Whatever the corruption or thread count: serial and parallel runs
     /// agree byte for byte.
