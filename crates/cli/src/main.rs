@@ -5,8 +5,10 @@
 //!                        [--pois FILE --journeys FILE] [--lenient]
 //!                        [--artifact FILE] [--top N]
 //! pervasive-miner serve  --artifact FILE [--addr HOST:PORT] [--threads N]
-//!                        [--wal-dir DIR] [--remine-interval SECS] [--remine-dir DIR]
+//!                        [--shards N] [--wal-dir DIR]
+//!                        [--remine-interval SECS] [--remine-dir DIR]
 //! pervasive-miner replay --journeys FILE [--addr HOST:PORT] [--rate N] [--batch N]
+//!                        [--users N]
 //! pervasive-miner artifact-check <FILE>
 //! pervasive-miner fig    <6|9|10|11|12|13|14>  [--scale ..] [--seed N] [--csv DIR]
 //! pervasive-miner table  <1|3>                 [--scale ..] [--seed N]
@@ -71,6 +73,8 @@ struct Args {
     wal_dir: Option<PathBuf>,
     remine_interval: u64,
     remine_dir: Option<PathBuf>,
+    shards: Option<usize>,
+    users: Option<usize>,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -104,6 +108,8 @@ fn parse_args() -> Result<Args, String> {
         wal_dir: None,
         remine_interval: 0,
         remine_dir: None,
+        shards: None,
+        users: None,
     };
     let mut positional = Vec::new();
     while let Some(a) = argv.next() {
@@ -176,6 +182,28 @@ fn parse_args() -> Result<Args, String> {
                     argv.next().ok_or("--remine-dir needs a dir")?,
                 ))
             }
+            "--shards" => {
+                args.shards = Some(
+                    argv.next()
+                        .ok_or("--shards needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --shards: {e}"))?,
+                );
+                if args.shards == Some(0) {
+                    return Err("--shards must be at least 1".into());
+                }
+            }
+            "--users" => {
+                args.users = Some(
+                    argv.next()
+                        .ok_or("--users needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --users: {e}"))?,
+                );
+                if args.users == Some(0) {
+                    return Err("--users must be at least 1".into());
+                }
+            }
             "--rate" => {
                 args.rate = argv
                     .next()
@@ -207,7 +235,7 @@ fn usage() -> String {
      [--pois FILE --journeys FILE] [--lenient] [--threads N] \
      [--report FILE] [--report-format json|text] \
      [--artifact FILE] [--top N] [--addr HOST:PORT] [--rate N] [--batch N] \
-     [--wal-dir DIR] [--remine-interval SECS] [--remine-dir DIR]\n\
+     [--users N] [--shards N] [--wal-dir DIR] [--remine-interval SECS] [--remine-dir DIR]\n\
      --pois/--journeys: mine real CSV data instead of a synthetic city\n\
      --lenient: quarantine malformed input lines instead of aborting on the \
      first one; a dropped-records summary goes to stderr\n\
@@ -223,6 +251,11 @@ fn usage() -> String {
      --addr: `serve` listen address (default 127.0.0.1:8080; port 0 picks \
      an ephemeral port, announced on stderr); for `replay`, the server to \
      stream into\n\
+     --shards: with `serve`, split the live ingest engine into N user-keyed \
+     shards, each with its own worker thread and WAL segment stream \
+     (default: the PM_SHARDS environment variable, else 1). Merged live \
+     reads are byte-identical at every shard count; a WAL dir remembers \
+     its shard count and refuses to reopen with a different one\n\
      --wal-dir: with `serve`, write-ahead-log accepted ingest batches into \
      DIR and recover the live engine state from it on startup — a killed \
      server restarts where it left off; SIGINT/SIGTERM cut a final \
@@ -236,8 +269,10 @@ fn usage() -> String {
      generation found here\n\
      replay --journeys FILE: stream a journey CSV into a running server's \
      POST /v1/ingest as live stay records; --rate caps records/second \
-     (0 = unthrottled), --batch sets records per request (default 256); \
-     overload answers are retried honoring the server's Retry-After\n\
+     (0 = unthrottled), --batch sets records per request (default 256), \
+     --users folds the stream onto N synthetic user ids (u0..uN-1) to \
+     exercise a chosen user cardinality; overload answers are retried \
+     honoring the server's Retry-After\n\
      artifact-check <FILE>: reload an artifact and verify it re-serializes \
      byte-identically"
         .into()
@@ -484,7 +519,7 @@ mod signals {
 fn serve_command(args: &Args) -> Result<(), String> {
     use pervasive_miner::serve::{RemineConfig, Reminer};
     use pervasive_miner::store::GenerationStore;
-    use pervasive_miner::stream::{IngestEngine, Wal, WalConfig};
+    use pervasive_miner::stream::{Recognizer, ShardConfig, ShardedEngine, WalConfig};
 
     let path = args
         .artifact
@@ -528,52 +563,51 @@ fn serve_command(args: &Args) -> Result<(), String> {
     let snapshot =
         Arc::new(Snapshot::new(artifact).map_err(|e| format!("{}: {e}", path.display()))?);
 
-    // With a WAL, restore the live engine: checkpoint first, then replay
-    // every batch that survived with frames intact. Recovery tallies land
-    // on the same wal.* counters /v1/stats exposes.
-    let mut wal = None;
-    let engine = match &args.wal_dir {
-        Some(dir) => {
-            let (w, recovery) = Wal::open(WalConfig::new(dir))
-                .map_err(|e| format!("wal {}: {e}", dir.display()))?;
-            let mut engine = match &recovery.checkpoint {
-                Some(bytes) => IngestEngine::from_state_bytes(bytes)
-                    .map_err(|e| format!("wal {}: checkpoint: {e}", dir.display()))?,
-                None => IngestEngine::new(engine_config).map_err(|e| e.to_string())?,
-            };
-            for batch in &recovery.batches {
-                engine.ingest_batch(batch, |pos| snapshot.primary_category(pos));
-            }
-            let r = &recovery.report;
-            obs.incr("wal.replayed_batches", r.replayed_batches);
-            obs.incr("wal.replayed_records", r.replayed_records);
-            obs.incr("wal.torn_frames", r.torn_frames);
-            obs.incr("wal.corrupt_frames", r.corrupt_frames);
-            eprintln!(
-                "wal {}: recovered {} (replayed {} batches / {} records, \
-                 {} torn + {} corrupt frames dropped)",
-                dir.display(),
-                if recovery.checkpoint.is_some() {
-                    "from checkpoint"
-                } else {
-                    "from empty"
-                },
-                r.replayed_batches,
-                r.replayed_records,
-                r.torn_frames,
-                r.corrupt_frames,
-            );
-            wal = Some(w);
-            engine
-        }
-        None => IngestEngine::new(engine_config).map_err(|e| e.to_string())?,
-    };
-
-    let mut state = ServeState::with_engine(Arc::clone(&snapshot), engine).with_reload_path(path);
-    if let Some(wal) = wal {
-        state = state.with_wal(wal, obs.clone());
+    // The live ingest engine: N user-keyed shards (--shards, PM_SHARDS,
+    // else 1), each with its own worker and — with --wal-dir — its own WAL
+    // segment stream. Opening restores every shard (checkpoint first, then
+    // sealed replay of intact frames); recovery tallies land on the same
+    // wal.* counters /v1/stats exposes.
+    let shards = args.shards.unwrap_or_else(pm_runtime::default_shards);
+    let mut shard_config = ShardConfig::new(shards, engine_config);
+    if let Some(dir) = &args.wal_dir {
+        shard_config = shard_config.with_wal(WalConfig::new(dir));
     }
-    let state = Arc::new(state);
+    let recognize: Recognizer = {
+        let snapshot = Arc::clone(&snapshot);
+        Arc::new(move |pos| snapshot.primary_category(pos))
+    };
+    let (engine, recovery) =
+        ShardedEngine::open(shard_config, &recognize).map_err(|e| match &args.wal_dir {
+            Some(dir) => format!("wal {}: {e}", dir.display()),
+            None => format!("engine: {e}"),
+        })?;
+    if shards > 1 {
+        eprintln!("ingest sharded across {shards} user-keyed shards");
+    }
+    if let Some(dir) = &args.wal_dir {
+        let r = &recovery.report;
+        obs.incr("wal.replayed_batches", r.replayed_batches);
+        obs.incr("wal.replayed_records", r.replayed_records);
+        obs.incr("wal.torn_frames", r.torn_frames);
+        obs.incr("wal.corrupt_frames", r.corrupt_frames);
+        eprintln!(
+            "wal {}: recovered {}/{shards} shards from checkpoints (replayed {} batches / \
+             {} records, {} torn + {} corrupt frames dropped)",
+            dir.display(),
+            recovery.checkpoints_restored,
+            r.replayed_batches,
+            r.replayed_records,
+            r.torn_frames,
+            r.corrupt_frames,
+        );
+    }
+
+    let state = Arc::new(
+        ServeState::with_engine(Arc::clone(&snapshot), engine)
+            .with_reload_path(path)
+            .with_obs(obs.clone()),
+    );
 
     let config = ServeConfig {
         threads: args.threads.unwrap_or(0),
@@ -651,15 +685,21 @@ fn replay_command(args: &Args) -> Result<(), String> {
         .map_err(|e| format!("bad --addr {}: {e}", args.addr))?;
     let projection = pervasive_miner::io::default_projection();
 
-    // (user, x, y, t) stay records, lazily drawn from the CSV.
+    // (user, x, y, t) stay records, lazily drawn from the CSV. With
+    // --users N the stream folds onto N synthetic ids (u0..uN-1) so a
+    // small CSV can exercise any user cardinality.
+    let fold_users = args.users;
     let mut skipped = 0usize;
     let records = pervasive_miner::io::JourneyStream::new(&text, &projection)
         .enumerate()
         .filter_map(|(i, parsed)| match parsed {
             Ok(j) => {
-                let user = match j.card {
-                    Some(card) => format!("card-{card}"),
-                    None => format!("anon-{i}"),
+                let user = match fold_users {
+                    Some(n) => format!("u{}", i % n),
+                    None => match j.card {
+                        Some(card) => format!("card-{card}"),
+                        None => format!("anon-{i}"),
+                    },
                 };
                 Some([(user.clone(), j.pickup), (user, j.dropoff)])
             }

@@ -12,6 +12,8 @@
 //! - [`WorkerPool`]: a fixed pool of long-lived workers over a **bounded**
 //!   job queue, for online services that must shed load instead of queueing
 //!   without bound (see [`pool`]).
+//! - [`ShardPool`]: one dedicated worker per shard with per-shard FIFO
+//!   ordering and exclusivity, for user-keyed sharded state (see [`shard`]).
 //! - [`supervise`]: time-free supervision primitives — capped exponential
 //!   [`Backoff`] with deterministic jitter and a consecutive-failure
 //!   [`CircuitBreaker`] — for background loops that must retry without
@@ -40,13 +42,20 @@ use std::cell::Cell;
 use std::num::NonZeroUsize;
 
 pub mod pool;
+pub mod shard;
 pub mod supervise;
 
 pub use pool::{SubmitError, WorkerPool};
+pub use shard::ShardPool;
 pub use supervise::{Backoff, CircuitBreaker, CircuitState};
 
 /// Environment variable read by [`default_threads`].
 pub const THREADS_ENV: &str = "PM_THREADS";
+
+/// Environment variable read by [`default_shards`]: how many user-keyed
+/// ingest shards services should run when no explicit knob is given
+/// (`scripts/ci.sh` sweeps the test suite at `PM_SHARDS=1` and `8`).
+pub const SHARDS_ENV: &str = "PM_SHARDS";
 
 thread_local! {
     static WORKER_SLOT: Cell<Option<usize>> = const { Cell::new(None) };
@@ -92,6 +101,24 @@ pub fn threads_from_env() -> Option<usize> {
 /// knob: `PM_THREADS` when set, otherwise `1` (serial).
 pub fn default_threads() -> usize {
     threads_from_env().unwrap_or(1)
+}
+
+/// The shard count requested through the `PM_SHARDS` environment variable,
+/// if set and parseable to a positive integer.
+pub fn shards_from_env() -> Option<usize> {
+    std::env::var(SHARDS_ENV)
+        .ok()?
+        .trim()
+        .parse()
+        .ok()
+        .filter(|&s| s >= 1)
+}
+
+/// Default shard count for services that expose no explicit knob:
+/// `PM_SHARDS` when set, otherwise `1` (a single shard — the sharded path
+/// degenerates to the classic single-engine behaviour byte for byte).
+pub fn default_shards() -> usize {
+    shards_from_env().unwrap_or(1)
 }
 
 /// Splits `n` items over `threads` workers in contiguous chunks. Returns the

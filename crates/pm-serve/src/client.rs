@@ -19,15 +19,18 @@ pub fn request(
     let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(10))?;
     stream.set_read_timeout(Some(Duration::from_secs(30)))?;
     stream.set_write_timeout(Some(Duration::from_secs(30)))?;
-    let mut head = format!("{method} {target} HTTP/1.1\r\nHost: pm-serve\r\n");
+    stream.set_nodelay(true)?;
+    let mut req = format!("{method} {target} HTTP/1.1\r\nHost: pm-serve\r\n");
     if let Some(body) = body {
-        head.push_str(&format!("Content-Length: {}\r\n", body.len()));
+        req.push_str(&format!("Content-Length: {}\r\n", body.len()));
     }
-    head.push_str("Connection: close\r\n\r\n");
-    stream.write_all(head.as_bytes())?;
+    req.push_str("Connection: close\r\n\r\n");
     if let Some(body) = body {
-        stream.write_all(body.as_bytes())?;
+        req.push_str(body);
     }
+    // One write per request: a head-then-body write pair trips the classic
+    // Nagle/delayed-ACK interaction (~40ms per request) on loopback too.
+    stream.write_all(req.as_bytes())?;
     let mut raw = Vec::new();
     stream.read_to_end(&mut raw)?;
     let text = String::from_utf8_lossy(&raw);
@@ -65,6 +68,7 @@ impl Conn {
         let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(10))?;
         stream.set_read_timeout(Some(Duration::from_secs(30)))?;
         stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_nodelay(true)?;
         Ok(Conn {
             reader: BufReader::new(stream),
             retry_after: None,
@@ -87,16 +91,18 @@ impl Conn {
         target: &str,
         body: Option<&str>,
     ) -> std::io::Result<(u16, String)> {
-        let mut head = format!("{method} {target} HTTP/1.1\r\nHost: pm-serve\r\n");
+        let mut req = format!("{method} {target} HTTP/1.1\r\nHost: pm-serve\r\n");
         if let Some(body) = body {
-            head.push_str(&format!("Content-Length: {}\r\n", body.len()));
+            req.push_str(&format!("Content-Length: {}\r\n", body.len()));
         }
-        head.push_str("\r\n");
+        req.push_str("\r\n");
+        if let Some(body) = body {
+            req.push_str(body);
+        }
+        // One write per request (see `request`): split head/body writes
+        // stall ~40ms each behind Nagle + delayed ACK.
         let stream = self.reader.get_mut();
-        stream.write_all(head.as_bytes())?;
-        if let Some(body) = body {
-            stream.write_all(body.as_bytes())?;
-        }
+        stream.write_all(req.as_bytes())?;
         stream.flush()?;
         self.read_response()
     }

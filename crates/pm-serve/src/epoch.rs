@@ -1,0 +1,153 @@
+//! Lock-free epoch-pinned snapshot reads for the hot path.
+//!
+//! Every request needs the current [`Snapshot`] `Arc` plus the epoch it
+//! belongs to. Behind a plain `RwLock` that is one lock acquisition per
+//! request — cheap until tens of thousands of ingest batches per second
+//! all cross it. [`EpochCell`] makes the steady state lock-free:
+//!
+//! - the epoch lives in an `AtomicU64` that swaps bump *after* publishing;
+//! - each worker thread caches `(cell id, epoch, Arc)` in a thread-local;
+//! - a read first loads the epoch (Acquire). On a cache hit — same cell,
+//!   same epoch — it clones the cached `Arc` and never touches the lock.
+//!   Only the first read after a swap (per thread) takes the read lock,
+//!   re-reads the epoch *under* the lock (so the cached pair is
+//!   consistent), and refreshes the cache.
+//!
+//! Swaps are as rare as `/v1/reload` and re-miner publishes, so in the
+//! steady state the hot read path is two atomic loads and an `Arc` clone.
+//!
+//! Trade-off, stated plainly: a thread that never reads again keeps the
+//! previous `Arc` alive in its cache until its next read. That pins at
+//! most one stale snapshot per worker thread — bounded, and the worker
+//! pool is small and long-lived.
+
+use crate::snapshot::Snapshot;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Distinguishes cells in the per-thread cache, so two servers in one
+/// process (the test suites do this constantly) never cross-pollinate.
+static NEXT_CELL_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static CACHED: RefCell<Option<(u64, u64, Arc<Snapshot>)>> = const { RefCell::new(None) };
+}
+
+/// An epoch-versioned `Arc<Snapshot>` slot with lock-free steady-state
+/// reads. See the module docs for the protocol.
+#[derive(Debug)]
+pub struct EpochCell {
+    id: u64,
+    epoch: AtomicU64,
+    slow: RwLock<Arc<Snapshot>>,
+}
+
+impl EpochCell {
+    /// Wraps the initial snapshot at epoch 0.
+    pub fn new(snapshot: Arc<Snapshot>) -> EpochCell {
+        EpochCell {
+            id: NEXT_CELL_ID.fetch_add(1, Ordering::Relaxed),
+            epoch: AtomicU64::new(0),
+            slow: RwLock::new(snapshot),
+        }
+    }
+
+    /// The current epoch (0 until the first swap).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// The current snapshot and its epoch, pinned together. Lock-free
+    /// whenever this thread has already seen this epoch.
+    pub fn load(&self) -> (Arc<Snapshot>, u64) {
+        let epoch = self.epoch.load(Ordering::Acquire);
+        let hit = CACHED.with(|c| {
+            c.borrow()
+                .as_ref()
+                .and_then(|(id, e, arc)| (*id == self.id && *e == epoch).then(|| Arc::clone(arc)))
+        });
+        if let Some(snapshot) = hit {
+            return (snapshot, epoch);
+        }
+        // Slow path (first read of a new epoch on this thread): take the
+        // read lock and re-read the epoch under it, so the (epoch, Arc)
+        // pair we cache is the one a swap published together.
+        let (snapshot, epoch) = {
+            let guard = self.slow.read().unwrap_or_else(|e| e.into_inner());
+            (Arc::clone(&guard), self.epoch.load(Ordering::Acquire))
+        };
+        CACHED.with(|c| *c.borrow_mut() = Some((self.id, epoch, Arc::clone(&snapshot))));
+        (snapshot, epoch)
+    }
+
+    /// Publishes a new snapshot and returns the new epoch. In-flight
+    /// readers keep the `Arc` they already cloned; each thread picks up
+    /// the new epoch on its next [`EpochCell::load`].
+    pub fn swap(&self, snapshot: Arc<Snapshot>) -> u64 {
+        let guard = &mut *self.slow.write().unwrap_or_else(|e| e.into_inner());
+        *guard = snapshot;
+        // Bumped while still holding the write lock: a slow-path reader
+        // can never pair the new epoch with the old Arc or vice versa.
+        self.epoch.fetch_add(1, Ordering::Release) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_core::prelude::*;
+    use pm_store::Artifact;
+
+    fn snapshot() -> Arc<Snapshot> {
+        let params = MinerParams::default();
+        let csd = CitySemanticDiagram::build(&[], &[], &params).expect("build");
+        Arc::new(Snapshot::new(Artifact::new(csd, Vec::new(), params)).expect("snapshot"))
+    }
+
+    #[test]
+    fn load_pins_snapshot_and_epoch_together() {
+        let cell = EpochCell::new(snapshot());
+        let (first, e0) = cell.load();
+        assert_eq!(e0, 0);
+        let (again, _) = cell.load();
+        assert!(Arc::ptr_eq(&first, &again), "cache hit returns same Arc");
+        assert_eq!(cell.swap(snapshot()), 1);
+        let (fresh, e1) = cell.load();
+        assert_eq!(e1, 1);
+        assert!(!Arc::ptr_eq(&first, &fresh));
+        // The pre-swap Arc stays fully usable.
+        assert!(first.healthz_json().contains("\"status\""));
+    }
+
+    #[test]
+    fn two_cells_on_one_thread_do_not_cross_pollinate() {
+        let a = EpochCell::new(snapshot());
+        let b = EpochCell::new(snapshot());
+        let (from_a, _) = a.load();
+        let (from_b, _) = b.load();
+        assert!(!Arc::ptr_eq(&from_a, &from_b));
+        let (from_a_again, _) = a.load();
+        assert!(Arc::ptr_eq(&from_a, &from_a_again));
+    }
+
+    #[test]
+    fn swaps_are_visible_across_threads() {
+        let cell = Arc::new(EpochCell::new(snapshot()));
+        let seen = {
+            let cell = Arc::clone(&cell);
+            std::thread::spawn(move || cell.load().1)
+        }
+        .join()
+        .expect("reader thread");
+        assert_eq!(seen, 0);
+        cell.swap(snapshot());
+        let seen = {
+            let cell = Arc::clone(&cell);
+            std::thread::spawn(move || cell.load().1)
+        }
+        .join()
+        .expect("reader thread");
+        assert_eq!(seen, 1);
+    }
+}

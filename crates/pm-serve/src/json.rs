@@ -167,11 +167,23 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                 *pos += 1;
             }
             Some(_) => {
-                // Consume one UTF-8 scalar, however many bytes it spans.
-                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|_| "non-UTF8 string")?;
-                let c = rest.chars().next().ok_or("unterminated string")?;
-                out.push(c);
-                *pos += c.len_utf8();
+                // Consume the whole run of plain characters up to the next
+                // quote or escape in one slice. Scanning bytes is sound:
+                // every byte of a multi-byte UTF-8 scalar is >= 0x80, so it
+                // can never collide with '"' (0x22) or '\\' (0x5C) — and
+                // validating only the run keeps the parser O(n) overall
+                // (validating the *remainder* per character made large
+                // ingest bodies quadratic).
+                let start = *pos;
+                while let Some(&b) = bytes.get(*pos) {
+                    if b == b'"' || b == b'\\' {
+                        break;
+                    }
+                    *pos += 1;
+                }
+                let run =
+                    std::str::from_utf8(&bytes[start..*pos]).map_err(|_| "non-UTF8 string")?;
+                out.push_str(run);
             }
         }
     }

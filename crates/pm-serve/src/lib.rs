@@ -36,26 +36,29 @@
 //! ## Serving model
 //!
 //! The artifact is loaded into an immutable [`Snapshot`]; a [`ServeState`]
-//! publishes it behind an epoch-versioned `RwLock<Arc<..>>` so
-//! `POST /v1/reload` can hot-swap a revalidated artifact while in-flight
-//! requests finish on the snapshot they started with. Query responses are
-//! bit-deterministic for a given artifact — the integration tests compare
-//! bytes served over the socket against the snapshot's in-process output.
-//! The live side (`/v1/ingest` → `/v1/live/patterns`) runs the pm-stream
-//! incremental detector + transition window behind the same state.
+//! publishes it behind an epoch-versioned [`epoch::EpochCell`] — lock-free
+//! steady-state reads — so `POST /v1/reload` can hot-swap a revalidated
+//! artifact while in-flight requests finish on the snapshot they started
+//! with. Query responses are bit-deterministic for a given artifact — the
+//! integration tests compare bytes served over the socket against the
+//! snapshot's in-process output. The live side (`/v1/ingest` →
+//! `/v1/live/patterns`) runs a user-keyed [`pm_stream::ShardedEngine`]
+//! behind the same state: batches fan out to per-shard engines and worker
+//! threads, and merged reads are byte-identical at any shard count.
 //!
 //! ## Online loop
 //!
-//! With a [`pm_stream::Wal`] attached ([`ServeState::with_wal`]), accepted
-//! ingest batches are logged before the engine sees them and engine state
-//! is checkpointed periodically — a killed process recovers its exact live
-//! state on restart. A [`Reminer`] supervises periodic background re-mining
+//! With a WAL configured ([`pm_stream::ShardConfig::with_wal`]), each
+//! shard logs its slice of every accepted batch before its engine sees it
+//! and checkpoints its state periodically — a killed process recovers its
+//! exact live state on restart. A [`Reminer`] supervises periodic background re-mining
 //! over the accumulated stays: panic-isolated, deadline-bounded jobs whose
 //! artifacts publish through a read-back-verified [`pm_store::GenerationStore`]
 //! before the serving snapshot swaps. Miner failures back off exponentially
 //! and trip a circuit breaker; the serving path never 5xxs because of them.
 
 pub mod client;
+pub mod epoch;
 pub mod http;
 pub mod json;
 pub mod miner;
@@ -63,6 +66,7 @@ pub mod server;
 pub mod snapshot;
 pub mod state;
 
+pub use epoch::EpochCell;
 pub use miner::{FailureKind, InjectedFault, MinerStatus, RemineConfig, Reminer};
 pub use server::{ServeConfig, Server, ShutdownHandle};
 pub use snapshot::Snapshot;

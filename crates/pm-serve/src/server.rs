@@ -167,7 +167,8 @@ impl Server {
     ) -> std::io::Result<Server> {
         let engine = EngineConfig::from_miner(&snapshot.artifact().params);
         let state = ServeState::new(snapshot, engine)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?;
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?
+            .with_obs(obs.clone());
         Server::bind_with_state(addr, Arc::new(state), config, obs)
     }
 
@@ -276,6 +277,10 @@ impl Server {
 fn handle_connection(stream: TcpStream, state: &ServeState, obs: &Obs, config: &ServeConfig) {
     let _ = stream.set_read_timeout(Some(config.read_timeout));
     let _ = stream.set_write_timeout(Some(config.write_timeout));
+    // Small request/response pairs on a keep-alive connection are exactly
+    // the pattern Nagle + delayed ACK turns into ~40ms stalls; responses
+    // must leave as soon as they are written.
+    let _ = stream.set_nodelay(true);
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
@@ -317,18 +322,16 @@ fn handle_connection(stream: TcpStream, state: &ServeState, obs: &Obs, config: &
     }
 }
 
-/// Folds one ingest batch outcome into the observability counters.
+/// Folds one ingest batch outcome into the observability counters and
+/// refreshes the engine gauges. The counter names live in
+/// [`crate::state::outcome_counters`], shared with the settled-read paths.
 fn record_outcome(obs: &Obs, state: &ServeState, outcome: &BatchOutcome) {
-    obs.incr("stream.fixes_accepted", outcome.accepted);
-    obs.incr("stream.stays_emitted", outcome.stays);
-    obs.incr("stream.transitions_recorded", outcome.transitions);
-    obs.incr("stream.transitions_late", outcome.late_transitions);
-    obs.incr("stream.users_evicted", outcome.evicted);
-    obs.incr("quarantine.stream_out_of_order", outcome.quarantined);
-    obs.incr(
-        "degradation.stream_dropped_fixes",
-        outcome.dropped_non_finite,
-    );
+    crate::state::outcome_counters(obs, outcome);
+    refresh_gauges(obs, state);
+}
+
+/// Reads the (settled) engine gauges into pm-obs.
+fn refresh_gauges(obs: &Obs, state: &ServeState) {
     let (users, buffered) = state.engine_gauges();
     obs.gauge("stream.users_active", users as f64);
     obs.gauge("stream.buffered_fixes", buffered as f64);
@@ -378,7 +381,14 @@ fn route(
             Ok((query, limit)) => (200, snapshot.patterns_json(&query, limit), "patterns"),
             Err(m) => (400, error_body(&m), "patterns"),
         },
-        ("GET", "/v1/stats") => (200, obs.report().to_json(), "stats"),
+        ("GET", "/v1/stats") => {
+            // Settle the sharded engine first: deferred TTL sweeps land in
+            // the counters (via the state's obs) and the gauges read as a
+            // single engine would at the same clock — so the counter and
+            // gauge sections are shard-count independent.
+            refresh_gauges(obs, state);
+            (200, obs.report().to_json(), "stats")
+        }
         ("POST", "/v1/ingest") => match parse_body(req)
             .map_err(|m| (400u16, m))
             .and_then(|body| state.ingest_json(&body, config.max_batch_records))

@@ -1,27 +1,39 @@
 //! Mutable service state: the epoch-versioned snapshot and the live
-//! ingestion engine.
+//! sharded ingestion engine.
 //!
 //! ## Epoch / hot-swap invariants
 //!
-//! The current [`Snapshot`] lives behind `RwLock<Arc<Snapshot>>` with a
-//! monotonically increasing epoch:
+//! The current [`Snapshot`] lives in an [`EpochCell`] — an atomic-epoch,
+//! thread-cached `Arc` slot whose steady-state read is lock-free (see
+//! [`crate::epoch`]):
 //!
-//! - every request clones the `Arc` **once** at routing time, so an
-//!   in-flight request keeps answering from the snapshot (and epoch) it
-//!   started on, even if a swap lands mid-request;
-//! - [`ServeState::swap`] takes the write lock only long enough to publish
-//!   the new `Arc` and bump the epoch — it never waits on request work, so
-//!   a reload cannot stall or drop already-accepted requests;
+//! - every request loads the `(Arc, epoch)` pair **once** at routing time,
+//!   so an in-flight request keeps answering from the snapshot (and epoch)
+//!   it started on, even if a swap lands mid-request;
+//! - [`ServeState::swap`] publishes the new `Arc` and bumps the epoch
+//!   without waiting on request work, so a reload cannot stall or drop
+//!   already-accepted requests;
 //! - `/v1/reload` fully validates the candidate artifact (a byte-identity
 //!   round-trip via [`Artifact::read_file_verified`], then snapshot
-//!   construction) *before* touching the lock: a bad file is a `4xx` and
-//!   the old epoch keeps serving.
+//!   construction) *before* publishing: a bad file is a `4xx` and the old
+//!   epoch keeps serving.
 //!
 //! The ingest engine is snapshot-independent on purpose: detector state
 //! (open dwell windows, per-user ordering clocks) survives a swap, and only
 //! *recognition* of newly emitted stays uses the new artifact — the
 //! streaming analogue of re-annotating against a refreshed CSD.
+//!
+//! ## Sharding and counter accounting
+//!
+//! The engine is a [`ShardedEngine`]: ingest batches fan out to user-keyed
+//! shards, and shards a batch does not touch defer their TTL sweep until
+//! the next settled read. Every deferred sweep still happens-and-counts:
+//! read paths absorb the advance outcome into this state's [`Obs`] (see
+//! [`ServeState::with_obs`] — wire the *server's* obs here, or those
+//! tallies vanish), and `wal.*` counters come from the engine's logical
+//! [`pm_stream::WalTick`] so they read identically at any shard count.
 
+use crate::epoch::EpochCell;
 use crate::json::{self, Json};
 use crate::miner::MinerStatus;
 use crate::snapshot::Snapshot;
@@ -30,49 +42,64 @@ use pm_geo::GeoPoint;
 use pm_geo::LocalPoint;
 use pm_obs::Obs;
 use pm_store::Artifact;
-use pm_stream::{BatchOutcome, EngineConfig, IngestEngine, IngestRecord, StreamError, Wal};
+use pm_stream::{
+    BatchOutcome, EngineConfig, IngestRecord, Recognizer, ShardConfig, ShardedEngine, StreamError,
+};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
+
+/// Folds one batch outcome into the stream-layer observability counters —
+/// shared by the per-request ingest path and the settled-read paths so the
+/// two can never drift apart in naming.
+pub(crate) fn outcome_counters(obs: &Obs, outcome: &BatchOutcome) {
+    obs.incr("stream.fixes_accepted", outcome.accepted);
+    obs.incr("stream.stays_emitted", outcome.stays);
+    obs.incr("stream.transitions_recorded", outcome.transitions);
+    obs.incr("stream.transitions_late", outcome.late_transitions);
+    obs.incr("stream.users_evicted", outcome.evicted);
+    obs.incr("quarantine.stream_out_of_order", outcome.quarantined);
+    obs.incr(
+        "degradation.stream_dropped_fixes",
+        outcome.dropped_non_finite,
+    );
+}
 
 /// The shared, swappable state behind one server.
 #[derive(Debug)]
 pub struct ServeState {
-    snapshot: RwLock<Arc<Snapshot>>,
-    epoch: AtomicU64,
-    engine: Mutex<IngestEngine>,
+    snapshot: EpochCell,
+    engine: ShardedEngine,
     /// Default artifact path for `/v1/reload` bodies without a `path`.
     reload_path: Option<PathBuf>,
-    /// Crash-safety: when present, every accepted ingest batch is appended
-    /// here *before* it reaches the engine, and engine state is checkpointed
-    /// at the WAL's cadence. WAL trouble degrades (counted, never a 5xx).
-    wal: Option<Mutex<Wal>>,
-    /// Counter sink for WAL activity (`wal.*`); no-op until a WAL attaches.
-    wal_obs: Obs,
+    /// Counter sink for `wal.*` activity and deferred-sweep outcomes; no-op
+    /// until [`ServeState::with_obs`] wires the server's obs in.
+    obs: Obs,
     /// Live status of the background re-miner, when one is attached.
     miner: RwLock<Option<Arc<Mutex<MinerStatus>>>>,
 }
 
 impl ServeState {
-    /// Wraps an initial snapshot at epoch 0 with a fresh ingest engine.
+    /// Wraps an initial snapshot at epoch 0 with a fresh WAL-less engine,
+    /// sharded per `PM_SHARDS` (default 1).
     pub fn new(snapshot: Arc<Snapshot>, engine: EngineConfig) -> Result<ServeState, StreamError> {
-        Ok(ServeState::with_engine(
-            snapshot,
-            IngestEngine::new(engine)?,
-        ))
+        let config = ShardConfig::new(pm_runtime::default_shards(), engine);
+        let recognize: Recognizer = {
+            let snapshot = Arc::clone(&snapshot);
+            Arc::new(move |pos| snapshot.primary_category(pos))
+        };
+        let (engine, _) = ShardedEngine::open(config, &recognize)?;
+        Ok(ServeState::with_engine(snapshot, engine))
     }
 
-    /// Wraps an initial snapshot around an already-built engine — the WAL
-    /// recovery path, where the engine was restored from a checkpoint and
+    /// Wraps an initial snapshot around an already-opened engine — the WAL
+    /// recovery path, where shards were restored from checkpoints and
     /// replay rather than built fresh.
-    pub fn with_engine(snapshot: Arc<Snapshot>, engine: IngestEngine) -> ServeState {
+    pub fn with_engine(snapshot: Arc<Snapshot>, engine: ShardedEngine) -> ServeState {
         ServeState {
-            snapshot: RwLock::new(snapshot),
-            epoch: AtomicU64::new(0),
-            engine: Mutex::new(engine),
+            snapshot: EpochCell::new(snapshot),
+            engine,
             reload_path: None,
-            wal: None,
-            wal_obs: Obs::noop(),
+            obs: Obs::noop(),
             miner: RwLock::new(None),
         }
     }
@@ -83,13 +110,28 @@ impl ServeState {
         self
     }
 
-    /// Attaches a write-ahead log: from now on every ingest batch is logged
-    /// before the engine sees it, and checkpoints are cut at the WAL's
-    /// configured cadence. `obs` receives the `wal.*` counters.
-    pub fn with_wal(mut self, wal: Wal, obs: Obs) -> ServeState {
-        self.wal = Some(Mutex::new(wal));
-        self.wal_obs = obs;
+    /// Wires in the counter sink for `wal.*` activity and for stream
+    /// outcomes discovered on settled reads (deferred TTL sweeps of shards
+    /// an ingest batch didn't touch). Pass the same [`Obs`] the server
+    /// runs with, or those tallies are silently dropped.
+    pub fn with_obs(mut self, obs: Obs) -> ServeState {
+        self.obs = obs;
         self
+    }
+
+    /// The recognizer for newly emitted stays: always the *current*
+    /// snapshot, so hot-swaps take effect at the next batch.
+    fn recognizer(&self) -> Recognizer {
+        let (snapshot, _) = self.snapshot.load();
+        Arc::new(move |pos| snapshot.primary_category(pos))
+    }
+
+    /// Counts an advance outcome (evictions etc. from catching up shards
+    /// the last batches didn't touch) exactly like an ingest outcome.
+    fn absorb_advance(&self, outcome: &BatchOutcome) {
+        if *outcome != BatchOutcome::default() {
+            outcome_counters(&self.obs, outcome);
+        }
     }
 
     /// Publishes the re-miner's live status for `GET /v1/miner`.
@@ -107,62 +149,57 @@ impl ServeState {
         }
     }
 
-    /// A snapshot of the stays accumulated for re-mining (non-draining).
+    /// A snapshot of the stays accumulated for re-mining (non-draining),
+    /// merged across shards in shard order after settling the engine.
     pub fn stays_snapshot(&self) -> Vec<(String, StayPoint)> {
-        self.engine
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .stays_snapshot()
+        let (stays, advance) = self.engine.stays_snapshot(&self.recognizer());
+        self.absorb_advance(&advance);
+        stays
     }
 
-    /// Cuts a WAL checkpoint of the current engine state right now — the
+    /// Cuts a WAL checkpoint of every shard's engine state right now — the
     /// graceful-shutdown path (a restart then recovers without replay).
-    /// No-op without a WAL. Returns whether a checkpoint was written.
+    /// No-op without a WAL. Returns whether checkpoints were written.
     pub fn checkpoint_now(&self) -> bool {
-        let Some(wal) = &self.wal else {
+        if self.engine.config().wal.is_none() {
             return false;
-        };
-        let state = self
-            .engine
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .state_bytes();
-        let mut wal = wal.lock().unwrap_or_else(|e| e.into_inner());
-        match wal.checkpoint(&state) {
+        }
+        match self.engine.checkpoint_all() {
             Ok(()) => {
-                self.wal_obs.incr("wal.checkpoints", 1);
+                self.obs.incr("wal.checkpoints", 1);
                 true
             }
             Err(_) => {
-                self.wal_obs.incr("wal.checkpoint_errors", 1);
+                self.obs.incr("wal.checkpoint_errors", 1);
                 false
             }
         }
     }
 
-    /// The current snapshot and its epoch, read atomically together.
+    /// The current snapshot and its epoch, read atomically together
+    /// (lock-free in the steady state; see [`crate::epoch`]).
     pub fn snapshot(&self) -> (Arc<Snapshot>, u64) {
-        let guard = self.snapshot.read().unwrap_or_else(|e| e.into_inner());
-        (Arc::clone(&guard), self.epoch.load(Ordering::SeqCst))
+        self.snapshot.load()
     }
 
     /// The current epoch (0 until the first swap).
     pub fn epoch(&self) -> u64 {
-        self.epoch.load(Ordering::SeqCst)
+        self.snapshot.epoch()
     }
 
     /// Publishes a new snapshot; in-flight requests keep their old `Arc`.
     /// Returns the new epoch.
     pub fn swap(&self, snapshot: Arc<Snapshot>) -> u64 {
-        let mut guard = self.snapshot.write().unwrap_or_else(|e| e.into_inner());
-        *guard = snapshot;
-        self.epoch.fetch_add(1, Ordering::SeqCst) + 1
+        self.snapshot.swap(snapshot)
     }
 
-    /// `(tracked users, buffered fixes)` — the live gauges.
+    /// `(tracked users, buffered fixes)` — the live gauges, read after
+    /// settling so any deferred per-shard TTL sweep has landed (and been
+    /// counted).
     pub fn engine_gauges(&self) -> (usize, usize) {
-        let engine = self.engine.lock().unwrap_or_else(|e| e.into_inner());
-        (engine.users_len(), engine.buffered_fixes())
+        let (gauges, advance) = self.engine.gauges(&self.recognizer());
+        self.absorb_advance(&advance);
+        gauges
     }
 
     /// `POST /v1/ingest`: parses `{"fixes":[...]}` and/or `{"stays":[...]}`
@@ -204,37 +241,20 @@ impl ServeState {
                 "body must be {\"fixes\":[...]} and/or {\"stays\":[...]}".to_string(),
             ));
         }
-        // Crash safety: the batch hits the log before the engine. An append
-        // failure is counted and tolerated — losing durability for one batch
-        // degrades recovery, but must never turn ingest into a 5xx.
-        if let Some(wal) = &self.wal {
-            let mut wal = wal.lock().unwrap_or_else(|e| e.into_inner());
-            match wal.append_batch(&records) {
-                Ok(info) => {
-                    self.wal_obs.incr("wal.appended_batches", 1);
-                    self.wal_obs
-                        .incr("wal.appended_records", records.len() as u64);
-                    if info.rolled {
-                        self.wal_obs.incr("wal.segments_rolled", 1);
-                    }
-                }
-                Err(_) => self.wal_obs.incr("wal.append_errors", 1),
-            }
-        }
-        let outcome = {
-            let mut engine = self.engine.lock().unwrap_or_else(|e| e.into_inner());
-            engine.ingest_batch(&records, |pos| snapshot.primary_category(pos))
-        };
-        // Periodic checkpoint at the WAL's cadence. The engine and WAL locks
-        // are taken strictly one at a time (state first, then the log), so
-        // this cannot deadlock against concurrent ingests; two threads
-        // racing here at worst cut one redundant checkpoint.
-        let due = self.wal.as_ref().is_some_and(|w| {
-            w.lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .should_checkpoint()
-        });
-        if due {
+        // Crash safety: the batch hits each touched shard's log before its
+        // engine (inside `ingest_batch`). The tick is logical — one batch,
+        // however many shard logs it fanned to — and an append failure is
+        // counted and tolerated: losing durability for one batch degrades
+        // recovery, but must never turn ingest into a 5xx.
+        let recognize: Recognizer = Arc::new(move |pos| snapshot.primary_category(pos));
+        let (outcome, tick) = self.engine.ingest_batch(records, &recognize);
+        self.obs.incr("wal.appended_batches", tick.appended_batches);
+        self.obs.incr("wal.appended_records", tick.appended_records);
+        self.obs.incr("wal.segments_rolled", tick.segments_rolled);
+        self.obs.incr("wal.append_errors", tick.append_errors);
+        // Periodic checkpoint at the WAL's cadence; two threads racing here
+        // at worst cut one redundant checkpoint.
+        if self.engine.should_checkpoint() {
             self.checkpoint_now();
         }
         let body = format!(
@@ -250,25 +270,22 @@ impl ServeState {
         Ok((body, outcome))
     }
 
-    /// `GET /v1/live/patterns`: the sliding-window transition counts.
+    /// `GET /v1/live/patterns`: the sliding-window transition counts,
+    /// merged deterministically across shards — the body is byte-identical
+    /// for shards=1 and shards=N over the same logical record stream.
     pub fn live_patterns_json(&self) -> String {
-        let engine = self.engine.lock().unwrap_or_else(|e| e.into_inner());
-        let window = engine.window();
-        let stats = engine.stats();
+        let (view, advance) = self.engine.live_view(&self.recognizer());
+        self.absorb_advance(&advance);
         let mut out = format!("{{\"epoch\":{}", self.epoch());
-        match window.as_of() {
+        match view.as_of {
             Some(t) => out.push_str(&format!(",\"as_of\":{t}")),
             None => out.push_str(",\"as_of\":null"),
         }
         out.push_str(&format!(
             ",\"window_secs\":{},\"users\":{},\"stays\":{},\"total\":{},\"late_dropped\":{},\"transitions\":[",
-            window.config().window_secs,
-            engine.users_len(),
-            stats.stays,
-            window.total(),
-            window.late_dropped(),
+            view.window_secs, view.users, view.stays, view.total, view.late_dropped,
         ));
-        for (i, (from, to, count)) in window.counts().iter().enumerate() {
+        for (i, (from, to, count)) in view.transitions.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }

@@ -15,7 +15,7 @@ use pm_serve::{
     client, InjectedFault, RemineConfig, Reminer, ServeConfig, ServeState, Server, Snapshot,
 };
 use pm_store::{Artifact, GenerationStore};
-use pm_stream::{EngineConfig, Wal, WalConfig};
+use pm_stream::{EngineConfig, WalConfig};
 use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -401,30 +401,41 @@ fn overload_answers_carry_retry_after() {
 #[test]
 fn graceful_shutdown_cuts_a_final_wal_checkpoint() {
     let wal_dir = scratch("wal");
-    let (wal, recovery) = Wal::open(WalConfig::new(&wal_dir)).expect("wal");
-    assert!(recovery.batches.is_empty());
+    let recognize: pm_stream::Recognizer = {
+        let snap = snapshot();
+        Arc::new(move |pos| snap.primary_category(pos))
+    };
+    // Two shards so the checkpoint/recovery path exercises the WAL fan-out,
+    // not just a single log.
+    let shard_config = || {
+        pm_stream::ShardConfig::new(2, EngineConfig::from_miner(&artifact().params))
+            .with_wal(WalConfig::new(&wal_dir))
+    };
 
     let obs = Obs::enabled();
-    let state = Arc::new(
-        ServeState::new(snapshot(), EngineConfig::from_miner(&artifact().params))
-            .expect("state")
-            .with_wal(wal, obs.clone()),
-    );
+    let (engine, recovery) =
+        pm_stream::ShardedEngine::open(shard_config(), &recognize).expect("open");
+    assert_eq!(recovery.report.replayed_batches, 0);
+    let state = Arc::new(ServeState::with_engine(snapshot(), engine).with_obs(obs.clone()));
     let server = start_state(Arc::clone(&state), ServeConfig::default());
     seed_stays(server.addr);
     let (_, live_before) = client::get(server.addr, "/v1/live/patterns").expect("live");
-    server.stop(); // graceful: drains, then checkpoints
+    server.stop(); // graceful: drains, then checkpoints every shard
 
     assert!(obs.counter("wal.appended_batches") >= 1);
     assert_eq!(obs.counter("wal.checkpoints"), 1);
 
-    // Recovery needs no replay — the checkpoint covers everything — and
+    // Recovery needs no replay — the checkpoints cover everything — and
     // restores the exact live state.
-    let (_wal, recovery) = Wal::open(WalConfig::new(&wal_dir)).expect("reopen");
-    assert_eq!(recovery.batches.len(), 0, "checkpoint must cover the log");
-    let checkpoint = recovery.checkpoint.expect("final checkpoint");
-    let engine = pm_stream::IngestEngine::from_state_bytes(&checkpoint).expect("restore");
-    assert_eq!(engine.users_len(), 2);
+    let (engine, recovery) =
+        pm_stream::ShardedEngine::open(shard_config(), &recognize).expect("reopen");
+    assert_eq!(
+        recovery.report.replayed_batches, 0,
+        "checkpoints must cover the logs"
+    );
+    assert!(recovery.checkpoints_restored >= 1);
+    let ((users, _), _) = engine.gauges(&recognize);
+    assert_eq!(users, 2);
     let restored = Arc::new(ServeState::with_engine(snapshot(), engine));
     let server = start_state(restored, ServeConfig::default());
     let (status, live_after) = client::get(server.addr, "/v1/live/patterns").expect("live");

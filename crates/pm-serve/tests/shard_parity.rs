@@ -1,0 +1,398 @@
+//! Shard-count independence of the online path, end to end over real
+//! sockets.
+//!
+//! The property: a logical record stream POSTed to `/v1/ingest` produces
+//! **byte-identical** `GET /v1/live/patterns` bodies — and byte-identical
+//! counter/gauge sections of `GET /v1/stats` — whether the server runs one
+//! inline engine (`shards=1`) or fans the stream across N user-keyed
+//! shards. The sealed-batch clock, exact TTL eviction, and deterministic
+//! shard-merge are exactly the machinery this pins down. A second property
+//! covers the crash path: killing a WAL-backed sharded engine without a
+//! checkpoint, tearing one shard's newest segment, recovering, and
+//! re-sending the whole stream must converge on the single-shard answer.
+
+use pm_core::prelude::*;
+use pm_core::recognize::stay_points_of;
+use pm_core::types::GpsPoint;
+use pm_geo::{GeoPoint, LocalPoint};
+use pm_obs::Obs;
+use pm_serve::{client, ServeConfig, ServeState, Server, Snapshot};
+use pm_store::Artifact;
+use pm_stream::{
+    EngineConfig, IngestRecord, Recognizer, ShardConfig, ShardedEngine, StreamParams, WalConfig,
+    WindowConfig,
+};
+use proptest::prelude::*;
+use std::fmt::Write as _;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Shanghai anchor used across the repo's examples.
+const ORIGIN: (f64, f64) = (121.4737, 31.2304);
+
+/// One mined, geo-anchored artifact (same fixture as serve_stream.rs).
+fn artifact() -> &'static Artifact {
+    static ART: OnceLock<Artifact> = OnceLock::new();
+    ART.get_or_init(|| {
+        let ds = pm_eval::Dataset::generate(&pm_synth::CityConfig::tiny(42));
+        let params = MinerParams {
+            sigma: 20,
+            ..MinerParams::default()
+        };
+        let stays = stay_points_of(&ds.trajectories);
+        let csd = CitySemanticDiagram::build(&ds.pois, &stays, &params).expect("build");
+        let recognized = recognize_all(&csd, ds.trajectories, &params).expect("recognize");
+        let patterns = extract_patterns(&recognized, &params).expect("extract");
+        let artifact =
+            Artifact::new(csd, patterns, params).with_projection(GeoPoint::new(ORIGIN.0, ORIGIN.1));
+        Artifact::from_bytes(&artifact.to_bytes()).expect("store round-trip")
+    })
+}
+
+fn snapshot() -> Arc<Snapshot> {
+    Arc::new(Snapshot::new(artifact().clone()).expect("snapshot"))
+}
+
+/// Two unit centers the snapshot recognizes as tagged, plus one far-away
+/// point it does not — the three places a generated record can land.
+fn positions() -> [LocalPoint; 3] {
+    let s = snapshot();
+    let centers: Vec<LocalPoint> = s
+        .artifact()
+        .csd
+        .units()
+        .iter()
+        .map(|u| u.center)
+        .filter(|&c| s.primary_category(c).is_some())
+        .take(2)
+        .collect();
+    assert!(centers.len() == 2, "fixture must yield two tagged units");
+    [centers[0], centers[1], LocalPoint::new(5.0e6, 5.0e6)]
+}
+
+static DIR_ID: AtomicU64 = AtomicU64::new(0);
+
+fn scratch() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "pm-shard-parity-{}-{}",
+        std::process::id(),
+        DIR_ID.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// TTL covering the window (required at shards > 1), limits far above
+/// anything a generated case reaches — capacity eviction and stay-buffer
+/// shedding are governed by *per-shard* budgets and excluded here.
+fn engine_config() -> EngineConfig {
+    EngineConfig {
+        detector: StreamParams {
+            theta_d: 100.0,
+            theta_t: 300,
+            max_pending: 64,
+        },
+        window: WindowConfig {
+            window_secs: 86_400,
+            bucket_secs: 3_600,
+        },
+        max_users: 1_000,
+        user_ttl_secs: 86_400,
+        max_stay_buffer: 10_000,
+    }
+}
+
+fn recognizer() -> Recognizer {
+    let snap = snapshot();
+    Arc::new(move |pos| snap.primary_category(pos))
+}
+
+struct Running {
+    addr: SocketAddr,
+    handle: pm_serve::ShutdownHandle,
+    thread: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+/// Boots a server around an explicitly sharded engine on an ephemeral port.
+fn boot(engine: ShardedEngine) -> Running {
+    let obs = Obs::enabled();
+    let state = ServeState::with_engine(snapshot(), engine).with_obs(obs.clone());
+    let server = Server::bind_with_state(
+        "127.0.0.1:0",
+        Arc::new(state),
+        ServeConfig {
+            max_requests_per_conn: usize::MAX,
+            ..ServeConfig::default()
+        },
+        obs,
+    )
+    .expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = server.shutdown_handle().expect("handle");
+    let thread = std::thread::spawn(move || server.run());
+    Running {
+        addr,
+        handle,
+        thread,
+    }
+}
+
+fn open_shards(shards: usize) -> ShardedEngine {
+    let (engine, _) = ShardedEngine::open(ShardConfig::new(shards, engine_config()), &recognizer())
+        .expect("open sharded engine");
+    engine
+}
+
+impl Running {
+    fn stop(self) {
+        self.handle.shutdown();
+        self.thread.join().expect("server thread").expect("run");
+    }
+}
+
+/// One generated record: user id, fix-vs-stay, landing spot, event time.
+type Rec = (String, bool, LocalPoint, i64);
+
+/// Expands proptest tuples into batches. The global clock strictly
+/// advances, so every user's own stream is strictly time-ordered (and a
+/// full re-send quarantines record for record).
+fn build_batches(raw: &[(u8, u8, u8, u16)], batch_size: usize) -> Vec<Vec<Rec>> {
+    let spots = positions();
+    let mut t = 1_000i64;
+    let mut records = Vec::with_capacity(raw.len());
+    for &(user, is_stay, cell, dt) in raw {
+        t += 1 + dt as i64;
+        records.push((
+            format!("user-{}", user % 7),
+            is_stay == 1,
+            spots[(cell % 3) as usize],
+            t,
+        ));
+    }
+    records
+        .chunks(batch_size.max(1))
+        .map(|c| c.to_vec())
+        .collect()
+}
+
+/// Renders a batch as the ingest body: fixes and stays keep their relative
+/// order inside each array (the server processes fixes then stays — the
+/// same order on every shard layout).
+fn body_of(batch: &[Rec]) -> String {
+    let mut body = String::from("{");
+    for (key, want_stay) in [("fixes", false), ("stays", true)] {
+        if body.len() > 1 {
+            body.push(',');
+        }
+        let _ = write!(body, "\"{key}\":[");
+        let mut first = true;
+        for (user, is_stay, pos, t) in batch {
+            if *is_stay != want_stay {
+                continue;
+            }
+            if !first {
+                body.push(',');
+            }
+            first = false;
+            let _ = write!(
+                body,
+                "{{\"user\":\"{user}\",\"x\":{},\"y\":{},\"t\":{t}}}",
+                pos.x, pos.y
+            );
+        }
+        body.push(']');
+    }
+    body.push('}');
+    body
+}
+
+/// Sends every batch on one keep-alive connection; all must be accepted.
+fn send_all(addr: SocketAddr, batches: &[Vec<Rec>]) {
+    let mut conn = client::Conn::open(addr).expect("connect");
+    for batch in batches {
+        if batch.is_empty() {
+            continue;
+        }
+        let (status, reply) = conn.post("/v1/ingest", &body_of(batch)).expect("ingest");
+        assert_eq!(status, 200, "{reply}");
+    }
+}
+
+fn live_body(addr: SocketAddr) -> String {
+    let (status, body) = client::get(addr, "/v1/live/patterns").expect("live");
+    assert_eq!(status, 200, "{body}");
+    body
+}
+
+/// The deterministic tail of `/v1/stats`: counters, degradations,
+/// quarantine, and gauges. The span section above it carries wall-clock
+/// timings and is legitimately different run to run.
+fn stats_tail(addr: SocketAddr) -> String {
+    let (status, body) = client::get(addr, "/v1/stats").expect("stats");
+    assert_eq!(status, 200, "{body}");
+    let at = body.find("\"counters\"").expect("stats carries counters");
+    body[at..].to_string()
+}
+
+/// Direct (no-HTTP) ingest of batches into a sharded engine — the crash
+/// half of the recovery property, where the engine dies before any server
+/// would answer queries.
+fn ingest_direct(engine: &ShardedEngine, batches: &[Vec<Rec>], recognize: &Recognizer) {
+    for batch in batches {
+        // Mirror the HTTP ingest body's record order: `ingest_json` walks
+        // the `fixes` array before `stays`, so a direct feed must apply the
+        // same fixes-first reorder per batch for crash/re-send runs to
+        // converge on the all-HTTP reference.
+        let mut batch: Vec<Rec> = batch.clone();
+        batch.sort_by_key(|(_, is_stay, _, _)| *is_stay);
+        let records: Vec<(String, IngestRecord)> = batch
+            .iter()
+            .map(|(user, is_stay, pos, t)| {
+                let point = GpsPoint::new(*pos, *t);
+                let record = if *is_stay {
+                    IngestRecord::Stay(point)
+                } else {
+                    IngestRecord::Fix(point)
+                };
+                (user.clone(), record)
+            })
+            .collect();
+        engine.ingest_batch(records, recognize);
+    }
+}
+
+/// Tears the newest WAL segment of one shard: drops a tail chunk so replay
+/// hits a torn frame (or a clean frame boundary) partway in.
+fn tear_one_shard(wal_dir: &std::path::Path, shard: usize, cut: usize) {
+    let shard_dir = wal_dir.join(format!("shard-{shard:03}"));
+    let newest = std::fs::read_dir(&shard_dir)
+        .ok()
+        .into_iter()
+        .flatten()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("seg-") && n.ends_with(".wal"))
+        })
+        .max();
+    let Some(seg) = newest else {
+        return; // the shard never saw a record: nothing to tear
+    };
+    let bytes = std::fs::read(&seg).expect("read segment");
+    if bytes.len() < 16 {
+        return;
+    }
+    let keep = bytes.len() - 1 - cut % (bytes.len() / 2);
+    std::fs::write(&seg, &bytes[..keep]).expect("tear segment");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// An interleaved multi-user stream answers byte-for-byte the same
+    /// through 1 shard and through N, on both read endpoints.
+    #[test]
+    fn live_bodies_are_shard_count_independent(
+        raw in prop::collection::vec((0u8..7, 0u8..2, 0u8..3, 0u16..400), 1..80),
+        batch_size in 1usize..9,
+        shard_pick in 0usize..3,
+    ) {
+        let shards = [2, 4, 8][shard_pick];
+        let batches = build_batches(&raw, batch_size);
+        let one = boot(open_shards(1));
+        let many = boot(open_shards(shards));
+        send_all(one.addr, &batches);
+        send_all(many.addr, &batches);
+        prop_assert_eq!(live_body(one.addr), live_body(many.addr));
+        prop_assert_eq!(stats_tail(one.addr), stats_tail(many.addr));
+        one.stop();
+        many.stop();
+    }
+
+    /// Crash recovery with one torn shard: kill a WAL-backed shards=4
+    /// engine without a checkpoint, tear one shard's newest segment,
+    /// recover, and re-send the whole stream. Per-user ordering clocks
+    /// quarantine everything already recovered and re-admit exactly the
+    /// torn-off suffix — the live window must land byte-for-byte on a
+    /// single-shard server fed the stream (plus the same full re-send).
+    #[test]
+    fn torn_shard_recovery_converges_on_the_single_shard_answer(
+        raw in prop::collection::vec((0u8..7, 0u8..2, 0u8..3, 0u16..400), 8..80),
+        batch_size in 1usize..7,
+        torn_shard in 0usize..4,
+        cut in 0usize..4_096,
+    ) {
+        let batches = build_batches(&raw, batch_size);
+        let recognize = recognizer();
+        let wal_dir = scratch();
+        let config = ShardConfig::new(4, engine_config())
+            .with_wal(WalConfig::new(&wal_dir));
+
+        // Crash run: stream in, die without a checkpoint.
+        {
+            let (engine, _) = ShardedEngine::open(config.clone(), &recognize).expect("open");
+            ingest_direct(&engine, &batches, &recognize);
+        } // dropped: the kill -9
+        tear_one_shard(&wal_dir, torn_shard, cut);
+
+        let (recovered, _) = ShardedEngine::open(config, &recognize).expect("recover");
+        let many = boot(recovered);
+        let one = boot(open_shards(1));
+        // Reference: the stream twice (the second pass fully quarantines).
+        send_all(one.addr, &batches);
+        send_all(one.addr, &batches);
+        // Recovered: one full re-send tops up whatever the tear dropped.
+        send_all(many.addr, &batches);
+        prop_assert_eq!(live_body(one.addr), live_body(many.addr));
+        one.stop();
+        many.stop();
+        let _ = std::fs::remove_dir_all(&wal_dir);
+    }
+}
+
+/// TTL eviction parity, deterministically: two users transition early and
+/// go quiet; a third keeps the clock moving until the first two age out.
+/// Eviction tallies and the final live window must match across layouts —
+/// the evictions land on *different shards at different batches*, yet the
+/// settled answer is identical.
+#[test]
+fn ttl_eviction_parity_across_layouts() {
+    let [a, b, _] = positions();
+    let mut batches: Vec<Vec<Rec>> = Vec::new();
+    // u1/u2: a->b->a early (2 transitions each), then silence.
+    for (i, t) in [(0usize, 1_000i64), (1, 2_000), (2, 3_000)] {
+        let pos = if i % 2 == 0 { a } else { b };
+        batches.push(vec![
+            ("u1".into(), true, pos, t),
+            ("u2".into(), true, pos, t + 1),
+        ]);
+    }
+    // u3 walks the clock far past u1/u2's TTL horizon (86_400), then
+    // transitions inside the final window.
+    for t in [50_000i64, 95_000, 100_000] {
+        batches.push(vec![("u3".into(), true, a, t)]);
+    }
+    batches.push(vec![("u3".into(), true, b, 101_000)]);
+    batches.push(vec![("u3".into(), true, a, 102_000)]);
+
+    let one = boot(open_shards(1));
+    let many = boot(open_shards(3));
+    send_all(one.addr, &batches);
+    send_all(many.addr, &batches);
+
+    let (live_one, live_many) = (live_body(one.addr), live_body(many.addr));
+    assert_eq!(live_one, live_many);
+    assert!(live_one.contains("\"users\":1"), "{live_one}");
+    let (stats_one, stats_many) = (stats_tail(one.addr), stats_tail(many.addr));
+    assert_eq!(stats_one, stats_many);
+    assert!(
+        stats_one.contains("\"stream.users_evicted\": 2"),
+        "u1 and u2 must age out: {stats_one}"
+    );
+    one.stop();
+    many.stop();
+}

@@ -31,7 +31,7 @@ use pm_core::params::MinerParams;
 use pm_core::types::{Category, GpsPoint, StayPoint, Tags, Timestamp};
 use pm_geo::LocalPoint;
 use pm_store::bytes::{ByteReader, ByteWriter};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 
 /// Magic prefix of a serialized engine state blob (see
 /// [`IngestEngine::state_bytes`]).
@@ -180,6 +180,21 @@ pub struct BatchOutcome {
     pub stays_shed: u64,
 }
 
+impl BatchOutcome {
+    /// Folds another outcome in (all fields are additive tallies); sharded
+    /// engines use this to merge per-shard outcomes of one logical batch.
+    pub fn absorb(&mut self, o: &BatchOutcome) {
+        self.accepted += o.accepted;
+        self.quarantined += o.quarantined;
+        self.dropped_non_finite += o.dropped_non_finite;
+        self.stays += o.stays;
+        self.transitions += o.transitions;
+        self.late_transitions += o.late_transitions;
+        self.evicted += o.evicted;
+        self.stays_shed += o.stays_shed;
+    }
+}
+
 /// Cumulative engine tallies — the pm-obs counter sources.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
@@ -227,6 +242,16 @@ pub struct IngestEngine {
     /// Bounded FIFO of emitted stays (tagged with their user), kept for
     /// background re-mining. Oldest first.
     stay_buffer: VecDeque<(String, StayPoint)>,
+    /// Eviction index: every tracked user keyed by `(last_seen, id)`, so
+    /// both capacity eviction (pop the minimum) and TTL sweeps (pop while
+    /// stale) are `O(log n)` instead of a full-map scan per batch. Derived
+    /// state — rebuilt on restore, never serialized.
+    by_idle: BTreeSet<(Timestamp, String)>,
+    /// Running total of fixes buffered across all per-user detectors —
+    /// maintained on every mutation so the gauge read stays `O(1)` (the
+    /// serve loop reads it per batch; a map scan would be `O(users)`).
+    /// Derived state — recomputed on restore, never serialized.
+    buffered: usize,
 }
 
 impl IngestEngine {
@@ -240,6 +265,8 @@ impl IngestEngine {
             clock: None,
             stats: EngineStats::default(),
             stay_buffer: VecDeque::new(),
+            by_idle: BTreeSet::new(),
+            buffered: 0,
         })
     }
 
@@ -263,14 +290,72 @@ impl IngestEngine {
         outcome
     }
 
+    /// Ingests one batch under a pre-computed **sealed clock**: the engine
+    /// and window clocks advance to `seal` *before* any record is
+    /// processed, so lateness and TTL verdicts depend only on each user's
+    /// own subsequence and the seal — never on which other records happen
+    /// to share the engine. This is what makes a user-partitioned
+    /// [`ShardedEngine`](crate::ShardedEngine) byte-equivalent to a single
+    /// engine: both see every record under the same clock.
+    ///
+    /// `seal` must be `max(previous global clock, max event time in the
+    /// full logical batch)`; a quarantined record's time never exceeds that
+    /// maximum (its time is bounded by an already-admitted record), so the
+    /// seal can be computed over all records without admission logic.
+    pub fn ingest_batch_sealed<R>(
+        &mut self,
+        records: &[(String, IngestRecord)],
+        seal: Timestamp,
+        recognize: R,
+    ) -> BatchOutcome
+    where
+        R: Fn(LocalPoint) -> Option<Category>,
+    {
+        let mut outcome = BatchOutcome::default();
+        self.advance_clock(seal);
+        for (user, record) in records {
+            self.process(user, record, &recognize, &mut outcome);
+        }
+        self.evict_stale(&recognize, &mut outcome);
+        self.stats.absorb(&outcome);
+        outcome
+    }
+
+    /// Advances the engine to sealed clock `to` without ingesting anything:
+    /// bumps the clocks and runs the TTL sweep they imply. Because exact
+    /// TTL eviction is memoryless (the evicted set is always `{last_seen <
+    /// clock - ttl}`), catching a shard up lazily at read time yields the
+    /// same state as advancing it on every batch. No-op when the engine is
+    /// already at or past `to`.
+    pub fn advance_to<R>(&mut self, to: Timestamp, recognize: R) -> BatchOutcome
+    where
+        R: Fn(LocalPoint) -> Option<Category>,
+    {
+        let mut outcome = BatchOutcome::default();
+        if self.clock.is_some_and(|c| c >= to) {
+            return outcome;
+        }
+        self.advance_clock(to);
+        self.evict_stale(&recognize, &mut outcome);
+        self.stats.absorb(&outcome);
+        outcome
+    }
+
+    /// Moves the engine-wide and window clocks forward to `to` (monotone).
+    fn advance_clock(&mut self, to: Timestamp) {
+        self.clock = Some(self.clock.map_or(to, |c| c.max(to)));
+        self.window.advance(to);
+    }
+
     /// Currently tracked users.
     pub fn users_len(&self) -> usize {
         self.users.len()
     }
 
-    /// Fixes buffered across all per-user detectors.
+    /// Fixes buffered across all per-user detectors (`O(1)`: a running
+    /// total maintained across ingest, eviction, and restore).
     pub fn buffered_fixes(&self) -> usize {
-        self.users.values().map(|s| s.detector.pending_len()).sum()
+        self.buffered
     }
 
     /// The shared transition window.
@@ -529,6 +614,14 @@ impl IngestEngine {
             ));
         }
         r.finish("engine state").map_err(corrupt)?;
+        // The eviction index and buffered-fix total are derived state:
+        // rebuild them rather than trust (or spend bytes on) a serialized
+        // copy.
+        let by_idle = users
+            .iter()
+            .map(|(id, s)| (s.last_seen, id.clone()))
+            .collect();
+        let buffered = users.values().map(|s| s.detector.pending_len()).sum();
         Ok(IngestEngine {
             config,
             users,
@@ -536,6 +629,8 @@ impl IngestEngine {
             clock,
             stats,
             stay_buffer,
+            by_idle,
+            buffered,
         })
     }
 
@@ -561,14 +656,17 @@ impl IngestEngine {
                     last_seen: point.time,
                 },
             );
+            self.by_idle.insert((point.time, user.to_string()));
         }
+        let prior_seen = self.users.get(user).map(|s| s.last_seen);
         let mut emitted = Vec::new();
         let admitted = {
             let state = match self.users.get_mut(user) {
                 Some(s) => s,
                 None => return, // unreachable: inserted above
             };
-            match record {
+            let pending_before = state.detector.pending_len();
+            let admitted = match record {
                 IngestRecord::Fix(p) => match state.detector.push(*p, &mut emitted) {
                     FixStatus::Accepted => {
                         outcome.accepted += 1;
@@ -600,10 +698,22 @@ impl IngestEngine {
                         true
                     }
                 }
-            }
+            };
+            // Fold the pending-buffer delta (push, emit, overflow, rescan —
+            // whatever the detector did) into the running gauge total.
+            let pending_after = state.detector.pending_len();
+            self.buffered = self.buffered + pending_after - pending_before;
+            admitted
         };
         if admitted {
             self.clock = Some(self.clock.map_or(point.time, |c| c.max(point.time)));
+        }
+        // Re-key the eviction index if this record moved the user's clock.
+        if let (Some(old), Some(new)) = (prior_seen, self.users.get(user).map(|s| s.last_seen)) {
+            if new != old {
+                self.by_idle.remove(&(old, user.to_string()));
+                self.by_idle.insert((new, user.to_string()));
+            }
         }
         if !emitted.is_empty() {
             let prev = self.users.get(user).and_then(|s| s.last_primary);
@@ -654,22 +764,21 @@ impl IngestEngine {
         prev
     }
 
-    /// Evicts the stalest user — deterministic tie-break on the user id.
+    /// Evicts the stalest user — deterministic tie-break on the user id
+    /// (the index is ordered by `(last_seen, id)`).
     fn evict_one<R>(&mut self, recognize: &R, outcome: &mut BatchOutcome)
     where
         R: Fn(LocalPoint) -> Option<Category>,
     {
-        let victim = self
-            .users
-            .iter()
-            .min_by(|(ka, a), (kb, b)| (a.last_seen, ka.as_str()).cmp(&(b.last_seen, kb.as_str())))
-            .map(|(k, _)| k.clone());
-        if let Some(key) = victim {
+        if let Some((_, key)) = self.by_idle.first().cloned() {
             self.remove_user(&key, recognize, outcome);
         }
     }
 
-    /// Evicts every user idle past the TTL, in deterministic order.
+    /// Evicts every user idle past the TTL, stalest first (ties broken on
+    /// the user id). Pops the ordered index instead of scanning the map, so
+    /// a quiet batch costs `O(evictions)` — not `O(users)` — even with
+    /// millions of tracked users.
     fn evict_stale<R>(&mut self, recognize: &R, outcome: &mut BatchOutcome)
     where
         R: Fn(LocalPoint) -> Option<Category>,
@@ -678,14 +787,10 @@ impl IngestEngine {
             return;
         };
         let cutoff = clock.saturating_sub(self.config.user_ttl_secs);
-        let mut stale: Vec<String> = self
-            .users
-            .iter()
-            .filter(|(_, s)| s.last_seen < cutoff)
-            .map(|(k, _)| k.clone())
-            .collect();
-        stale.sort_unstable();
-        for key in stale {
+        while let Some((seen, key)) = self.by_idle.first().cloned() {
+            if seen >= cutoff {
+                break;
+            }
             self.remove_user(&key, recognize, outcome);
         }
     }
@@ -698,6 +803,8 @@ impl IngestEngine {
         let Some(mut state) = self.users.remove(key) else {
             return;
         };
+        self.by_idle.remove(&(state.last_seen, key.to_string()));
+        self.buffered -= state.detector.pending_len();
         let mut tail = Vec::new();
         state.detector.flush(&mut tail);
         self.settle(key, state.last_primary, &tail, recognize, outcome);
@@ -786,6 +893,72 @@ mod tests {
             e.window().counts(),
             vec![(Category::Residence, Category::Business, 1)]
         );
+    }
+
+    #[test]
+    fn sealed_ingest_is_partition_independent() {
+        // One engine takes the whole batch; a pair of engines split it by
+        // user under the same seal. Verdicts, tallies, and merged window
+        // counts must agree — the property ShardedEngine is built on.
+        let records = vec![
+            stay("a", 0.0, 1_000),
+            stay("b", 9_000.0, 2_000),
+            stay("a", 9_000.0, 3_000),
+            stay("b", 10.0, 3_500),
+            stay("a", 9_000.0, 3_000), // duplicate: quarantined
+        ];
+        let seal = 3_500;
+        let mut whole = IngestEngine::new(config()).expect("engine");
+        let ow = whole.ingest_batch_sealed(&records, seal, recog);
+
+        let mut ea = IngestEngine::new(config()).expect("engine");
+        let mut eb = IngestEngine::new(config()).expect("engine");
+        let part_a: Vec<_> = records.iter().filter(|(u, _)| u == "a").cloned().collect();
+        let part_b: Vec<_> = records.iter().filter(|(u, _)| u == "b").cloned().collect();
+        let oa = ea.ingest_batch_sealed(&part_a, seal, recog);
+        let ob = eb.ingest_batch_sealed(&part_b, seal, recog);
+
+        assert_eq!(ow.accepted, oa.accepted + ob.accepted);
+        assert_eq!(ow.quarantined, oa.quarantined + ob.quarantined);
+        assert_eq!(ow.transitions, oa.transitions + ob.transitions);
+        assert_eq!(ow.stays, oa.stays + ob.stays);
+        assert_eq!(ea.clock(), Some(seal));
+        assert_eq!(eb.clock(), Some(seal));
+
+        let mut merged: Vec<(Category, Category, u64)> = ea.window().counts();
+        for (f, t, c) in eb.window().counts() {
+            match merged.iter_mut().find(|(mf, mt, _)| (*mf, *mt) == (f, t)) {
+                Some(slot) => slot.2 += c,
+                None => merged.push((f, t, c)),
+            }
+        }
+        merged.sort_by_key(|&(f, t, _)| (f as usize, t as usize));
+        assert_eq!(whole.window().counts(), merged);
+    }
+
+    #[test]
+    fn advance_to_runs_the_ttl_sweep_lazily() {
+        // Engine A sees the late batch that moves the clock; engine B is an
+        // untouched shard caught up via advance_to. Both must evict the
+        // stale user and agree on users_len and evicted tallies.
+        let cfg = config();
+        let ttl = cfg.user_ttl_secs;
+        let mut eager = IngestEngine::new(cfg).expect("engine");
+        let mut lazy = IngestEngine::new(config()).expect("engine");
+        for e in [&mut eager, &mut lazy] {
+            e.ingest_batch_sealed(&[stay("old", 0.0, 1_000)], 1_000, recog);
+        }
+        let seal = 1_000 + ttl + 1_000;
+        let o_eager = eager.ingest_batch_sealed(&[stay("new", 0.0, seal)], seal, recog);
+        let o_lazy = lazy.advance_to(seal, recog);
+        assert_eq!(o_eager.evicted, 1);
+        assert_eq!(o_lazy.evicted, 1);
+        assert_eq!(eager.users_len(), 1); // "new" survives
+        assert_eq!(lazy.users_len(), 0);
+        assert_eq!(lazy.clock(), Some(seal));
+        // Advancing again is a no-op.
+        let again = lazy.advance_to(seal, recog);
+        assert_eq!(again.evicted, 0);
     }
 
     #[test]

@@ -25,6 +25,10 @@
 //!   crash-safe — batches are logged before they touch the engine, engine
 //!   state is checkpointed periodically, and [`Wal::open`] recovers the
 //!   longest clean prefix after a kill (see [`wal`]).
+//! - [`ShardedEngine`]: N user-keyed engine shards behind one logical front
+//!   door — per-shard WAL segment streams, per-shard worker threads, and a
+//!   sealed global clock that keeps shards=1 and shards=N byte-identical
+//!   on every merged read (see [`sharded`]).
 //!
 //! Everything is std-only, panic-free on untrusted input, and deterministic:
 //! the same record sequence produces the same stays, the same window
@@ -34,11 +38,15 @@
 pub mod detector;
 pub mod engine;
 pub mod error;
+pub mod sharded;
 pub mod wal;
 pub mod window;
 
 pub use detector::{DetectorStats, FixStatus, StayPointDetector, StreamParams};
 pub use engine::{BatchOutcome, EngineConfig, EngineStats, IngestEngine, IngestRecord};
 pub use error::StreamError;
-pub use wal::{AppendInfo, Recovery, RecoveryReport, Wal, WalConfig};
+pub use sharded::{
+    shard_of, LiveView, Recognizer, ShardConfig, ShardRecovery, ShardedEngine, WalTick,
+};
+pub use wal::{AppendInfo, Recovery, RecoveryReport, SealedBatch, Wal, WalConfig};
 pub use window::{TransitionWindow, WindowConfig};

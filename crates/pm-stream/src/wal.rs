@@ -12,10 +12,15 @@
 //!
 //! A WAL directory holds two kinds of files:
 //!
-//! - `seg-<seq>.wal` — an 8-byte magic (`PMWAL01\n`) followed by frames
+//! - `seg-<seq>.wal` — an 8-byte magic (`PMWAL02\n`) followed by frames
 //!   `[payload len: u32 LE][crc32(payload): u32 LE][payload]`. One frame is
-//!   one ingested batch; the payload is a little-endian record list
-//!   (user id, fix/stay kind, x/y as IEEE-754 bits, timestamp).
+//!   one ingested batch; the payload is the batch's **sealed clock** (the
+//!   global event clock the batch was ingested under — see
+//!   [`crate::IngestEngine::ingest_batch_sealed`]) followed by a
+//!   little-endian record list (user id, fix/stay kind, x/y as IEEE-754
+//!   bits, timestamp). Recording the seal matters for sharded engines: a
+//!   shard's sub-batch must replay under the clock the *whole* logical
+//!   batch established, which the shard's own records cannot reconstruct.
 //! - `ckpt-<seq>.walck` — the same magic + one CRC frame whose payload is
 //!   an engine state blob. The `<seq>` names the **next** segment: the
 //!   state already covers every segment numbered below it.
@@ -44,7 +49,7 @@
 
 use crate::engine::IngestRecord;
 use crate::error::StreamError;
-use pm_core::types::GpsPoint;
+use pm_core::types::{GpsPoint, Timestamp};
 use pm_geo::LocalPoint;
 use pm_store::bytes::{ByteReader, ByteWriter};
 use pm_store::crc::crc32;
@@ -53,7 +58,9 @@ use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 
 /// Magic prefix of every WAL file (segments and checkpoints alike).
-const WAL_MAGIC: &[u8; 8] = b"PMWAL01\n";
+/// `PMWAL02` added the per-batch sealed clock; v1 logs are not readable
+/// (their segments fail the magic check and recover as torn-at-zero).
+const WAL_MAGIC: &[u8; 8] = b"PMWAL02\n";
 
 /// Upper bound on one frame's payload; a length field above this is
 /// corruption, not a batch (the serve layer caps request bodies at 1 MiB,
@@ -117,14 +124,24 @@ pub struct RecoveryReport {
     pub corrupt_checkpoints: u64,
 }
 
+/// One logged batch: the records plus the sealed clock they were ingested
+/// under (see [`crate::IngestEngine::ingest_batch_sealed`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SealedBatch {
+    /// The global event clock sealed for this batch.
+    pub seal: Timestamp,
+    /// The batch's records, in ingest order.
+    pub records: Vec<(String, IngestRecord)>,
+}
+
 /// Everything recovered from the directory: the newest valid engine state
 /// checkpoint (if any), the clean batches appended after it, and tallies.
 #[derive(Debug, Default)]
 pub struct Recovery {
     /// Engine state bytes from the newest valid checkpoint.
     pub checkpoint: Option<Vec<u8>>,
-    /// Batches after the checkpoint, in append order.
-    pub batches: Vec<Vec<(String, IngestRecord)>>,
+    /// Sealed batches after the checkpoint, in append order.
+    pub batches: Vec<SealedBatch>,
     /// What the scan saw.
     pub report: RecoveryReport,
 }
@@ -134,7 +151,10 @@ pub struct Recovery {
 pub struct AppendInfo {
     /// Payload + framing bytes written.
     pub bytes: u64,
-    /// Whether the append started a new segment.
+    /// Whether the append closed a segment that hit the size bound and
+    /// rolled to a fresh one. Opening the *first* segment of a process
+    /// generation does not count: that would inflate roll tallies N-fold
+    /// under N-shard WAL fan-out without any segment actually filling.
     pub rolled: bool,
 }
 
@@ -209,7 +229,7 @@ impl Wal {
             clean = replay_segment(path, &mut batches, &mut report)?;
         }
         report.replayed_batches = batches.len() as u64;
-        report.replayed_records = batches.iter().map(|b| b.len() as u64).sum();
+        report.replayed_records = batches.iter().map(|b| b.records.len() as u64).sum();
 
         let max_seen = segments
             .last()
@@ -232,23 +252,24 @@ impl Wal {
         ))
     }
 
-    /// Appends one batch as a single CRC frame. The batch is in the OS
-    /// page cache when this returns (on disk too if `sync_on_append`).
+    /// Appends one sealed batch as a single CRC frame. The batch is in the
+    /// OS page cache when this returns (on disk too if `sync_on_append`).
     pub fn append_batch(
         &mut self,
+        seal: Timestamp,
         records: &[(String, IngestRecord)],
     ) -> Result<AppendInfo, StreamError> {
-        let payload = encode_batch(records);
+        let payload = encode_batch(seal, records);
         let frame_len = 8 + payload.len() as u64;
         let mut rolled = false;
         if let Some((_, _, bytes)) = &self.active {
             if bytes + frame_len > self.config.segment_max_bytes {
                 self.close_active(true)?;
+                rolled = true;
             }
         }
         if self.active.is_none() {
             self.open_segment()?;
-            rolled = true;
         }
         let (_, file, bytes) = self.active.as_mut().expect("segment opened above");
         let mut frame = Vec::with_capacity(8 + payload.len());
@@ -388,8 +409,9 @@ fn sync_dir(dir: &Path) -> Result<(), StreamError> {
     Ok(())
 }
 
-fn encode_batch(records: &[(String, IngestRecord)]) -> Vec<u8> {
+fn encode_batch(seal: Timestamp, records: &[(String, IngestRecord)]) -> Vec<u8> {
     let mut w = ByteWriter::new();
+    w.i64(seal);
     w.count(records.len());
     for (user, record) in records {
         let name = user.as_bytes();
@@ -407,9 +429,10 @@ fn encode_batch(records: &[(String, IngestRecord)]) -> Vec<u8> {
     w.into_bytes()
 }
 
-fn decode_batch(payload: &[u8]) -> Result<Vec<(String, IngestRecord)>, StreamError> {
+fn decode_batch(payload: &[u8]) -> Result<SealedBatch, StreamError> {
     let corrupt = |e: pm_store::StoreError| StreamError::corrupt(e.to_string());
     let mut r = ByteReader::new(payload);
+    let seal = r.i64("wal batch seal").map_err(corrupt)?;
     let n = r.count(27, "wal batch records").map_err(corrupt)?;
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
@@ -437,14 +460,14 @@ fn decode_batch(payload: &[u8]) -> Result<Vec<(String, IngestRecord)>, StreamErr
         out.push((user, record));
     }
     r.finish("wal batch").map_err(corrupt)?;
-    Ok(out)
+    Ok(SealedBatch { seal, records: out })
 }
 
 /// Replays one segment. Returns `true` when the whole segment framed
 /// cleanly, `false` (after counting the reason) at the first bad frame.
 fn replay_segment(
     path: &Path,
-    batches: &mut Vec<Vec<(String, IngestRecord)>>,
+    batches: &mut Vec<SealedBatch>,
     report: &mut RecoveryReport,
 ) -> Result<bool, StreamError> {
     let mut bytes = Vec::new();
@@ -564,16 +587,18 @@ mod tests {
         let b2 = vec![fix("alice", f64::NAN, 300)]; // NaN bits survive
         {
             let (mut wal, _) = Wal::open(WalConfig::new(&dir)).expect("open");
-            wal.append_batch(&b1).expect("append");
-            wal.append_batch(&b2).expect("append");
+            wal.append_batch(200, &b1).expect("append");
+            wal.append_batch(300, &b2).expect("append");
         }
         let (_, rec) = Wal::open(WalConfig::new(&dir)).expect("reopen");
         assert!(rec.checkpoint.is_none());
         assert_eq!(rec.batches.len(), 2);
-        assert_eq!(rec.batches[0], b1);
+        assert_eq!(rec.batches[0].seal, 200);
+        assert_eq!(rec.batches[0].records, b1);
         assert_eq!(rec.report.replayed_records, 3);
         // NaN position: compare bits, not values.
-        match rec.batches[1][0].1 {
+        assert_eq!(rec.batches[1].seal, 300);
+        match rec.batches[1].records[0].1 {
             IngestRecord::Fix(p) => assert!(p.pos.x.is_nan()),
             _ => panic!("kind changed"),
         }
@@ -585,9 +610,9 @@ mod tests {
         let dir = scratch("ckpt");
         {
             let (mut wal, _) = Wal::open(WalConfig::new(&dir)).expect("open");
-            wal.append_batch(&[fix("u", 0.0, 1)]).expect("append");
+            wal.append_batch(1, &[fix("u", 0.0, 1)]).expect("append");
             wal.checkpoint(b"engine-state-1").expect("checkpoint");
-            wal.append_batch(&[fix("u", 0.0, 2)]).expect("append");
+            wal.append_batch(2, &[fix("u", 0.0, 2)]).expect("append");
         }
         let segs = fs::read_dir(&dir)
             .expect("ls")
@@ -606,11 +631,11 @@ mod tests {
         let dir = scratch("ckpt-fallback");
         {
             let (mut wal, _) = Wal::open(WalConfig::new(&dir)).expect("open");
-            wal.append_batch(&[fix("u", 0.0, 1)]).expect("append");
+            wal.append_batch(1, &[fix("u", 0.0, 1)]).expect("append");
             wal.checkpoint(b"state-old").expect("checkpoint");
-            wal.append_batch(&[fix("u", 0.0, 2)]).expect("append");
+            wal.append_batch(2, &[fix("u", 0.0, 2)]).expect("append");
             wal.checkpoint(b"state-new").expect("checkpoint");
-            wal.append_batch(&[fix("u", 0.0, 3)]).expect("append");
+            wal.append_batch(3, &[fix("u", 0.0, 3)]).expect("append");
         }
         // Corrupt the newest checkpoint: recovery must fall back to the
         // older one — except GC already removed it, so fall back to empty.
@@ -643,8 +668,8 @@ mod tests {
         let dir = scratch("torn");
         {
             let (mut wal, _) = Wal::open(WalConfig::new(&dir)).expect("open");
-            wal.append_batch(&[fix("u", 0.0, 1)]).expect("append");
-            wal.append_batch(&[fix("u", 0.0, 2)]).expect("append");
+            wal.append_batch(1, &[fix("u", 0.0, 1)]).expect("append");
+            wal.append_batch(2, &[fix("u", 0.0, 2)]).expect("append");
         }
         let seg = fs::read_dir(&dir)
             .expect("ls")
@@ -671,7 +696,7 @@ mod tests {
         {
             let (mut wal, _) = Wal::open(WalConfig::new(&dir)).expect("open");
             for t in 1..=3 {
-                wal.append_batch(&[fix("user-with-a-long-name", 0.0, t)])
+                wal.append_batch(t, &[fix("user-with-a-long-name", 0.0, t)])
                     .expect("append");
             }
         }
@@ -705,7 +730,7 @@ mod tests {
         let (mut wal, _) = Wal::open(cfg.clone()).expect("open");
         let mut rolls = 0;
         for t in 0..10 {
-            let info = wal.append_batch(&[fix("u", 0.0, t)]).expect("append");
+            let info = wal.append_batch(t, &[fix("u", 0.0, t)]).expect("append");
             if info.rolled {
                 rolls += 1;
             }
@@ -723,10 +748,10 @@ mod tests {
         let mut cfg = WalConfig::new(&dir);
         cfg.checkpoint_every_records = 3;
         let (mut wal, _) = Wal::open(cfg).expect("open");
-        wal.append_batch(&[fix("u", 0.0, 1), fix("u", 0.0, 2)])
+        wal.append_batch(2, &[fix("u", 0.0, 1), fix("u", 0.0, 2)])
             .expect("append");
         assert!(!wal.should_checkpoint());
-        wal.append_batch(&[fix("u", 0.0, 3)]).expect("append");
+        wal.append_batch(3, &[fix("u", 0.0, 3)]).expect("append");
         assert!(wal.should_checkpoint());
         wal.checkpoint(b"s").expect("checkpoint");
         assert!(!wal.should_checkpoint());

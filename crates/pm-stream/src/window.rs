@@ -121,6 +121,18 @@ impl TransitionWindow {
         true
     }
 
+    /// Advances the stream clock to `to` without recording anything (a
+    /// no-op when the clock is already at or past `to`).
+    ///
+    /// Equivalent to the clock movement a record at time `to` would cause:
+    /// [`TransitionWindow::counts`] excludes slots by *age at read time* and
+    /// [`TransitionWindow::record`] lazily reclaims stale slots, so bumping
+    /// the clock alone is all a pure time advance needs. Sharded engines use
+    /// this to bring untouched shards up to a batch's sealed clock.
+    pub fn advance(&mut self, to: Timestamp) {
+        self.clock = Some(self.clock.map_or(to, |c| c.max(to)));
+    }
+
     /// Non-zero `(from, to, count)` triples currently inside the window,
     /// sorted by `(from, to)` index. Slots stranded by a clock jump are
     /// excluded without being touched.
@@ -403,6 +415,27 @@ mod tests {
             "no call vanished"
         );
         assert!(w.total() <= w.recorded());
+    }
+
+    #[test]
+    fn advance_matches_a_recorded_clock_movement() {
+        // Two windows, same events; one learns the final clock from a
+        // recorded event, the other from advance(). Same visible counts,
+        // same as_of.
+        let mut by_record = tiny();
+        let mut by_advance = tiny();
+        for w in [&mut by_record, &mut by_advance] {
+            w.record(R, B, 100);
+            w.record(R, B, 150);
+        }
+        by_record.record(B, R, 5_000);
+        by_advance.advance(5_000);
+        by_advance.record(B, R, 5_000);
+        assert_eq!(by_record.counts(), by_advance.counts());
+        assert_eq!(by_record.as_of(), by_advance.as_of());
+        // Advancing backwards is a no-op.
+        by_advance.advance(10);
+        assert_eq!(by_advance.as_of(), Some(5_000));
     }
 
     #[test]

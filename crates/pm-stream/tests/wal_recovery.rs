@@ -64,6 +64,20 @@ fn recog(pos: LocalPoint) -> Option<Category> {
 
 type Batch = Vec<(String, IngestRecord)>;
 
+/// The sealed clock a batch is logged under: the running maximum event
+/// time. These tests replay with the classic record-by-record clock on
+/// both sides, so the seal only has to be well-formed, not load-bearing.
+fn seal_of(prev: Option<i64>, batch: &Batch) -> i64 {
+    let mut seal = prev.unwrap_or(i64::MIN);
+    for (_, r) in batch {
+        let t = match r {
+            IngestRecord::Fix(p) | IngestRecord::Stay(p) => p.time,
+        };
+        seal = seal.max(t);
+    }
+    seal
+}
+
 /// Expands proptest-generated tuples into batches of ingest records with a
 /// mostly-advancing global clock (occasional zero steps produce per-user
 /// duplicate timestamps — the quarantine path must replay exactly too).
@@ -95,8 +109,11 @@ fn run_and_die(dir: &PathBuf, batches: &[Batch], ckpt_every: usize) -> usize {
     assert!(rec.batches.is_empty(), "dir must start empty");
     let mut engine = IngestEngine::new(config()).expect("engine");
     let mut covered = 0;
+    let mut seal = None;
     for (i, batch) in batches.iter().enumerate() {
-        wal.append_batch(batch).expect("append");
+        let s = seal_of(seal, batch);
+        seal = Some(s);
+        wal.append_batch(s, batch).expect("append");
         engine.ingest_batch(batch, recog);
         if (i + 1) % ckpt_every == 0 {
             wal.checkpoint(&engine.state_bytes()).expect("checkpoint");
@@ -114,7 +131,7 @@ fn recover(dir: &PathBuf) -> (IngestEngine, pm_stream::Recovery) {
         None => IngestEngine::new(config()).expect("engine"),
     };
     for batch in &rec.batches {
-        engine.ingest_batch(batch, recog);
+        engine.ingest_batch(&batch.records, recog);
     }
     (engine, rec)
 }
@@ -273,7 +290,7 @@ fn recovery_is_itself_crash_safe() {
             None => IngestEngine::new(config()).expect("engine"),
         };
         for batch in &rec.batches {
-            engine.ingest_batch(batch, recog);
+            engine.ingest_batch(&batch.records, recog);
         }
         (engine, rec)
     };
@@ -295,8 +312,11 @@ fn recovery_is_itself_crash_safe() {
     }
     {
         let (mut wal, _) = Wal::open(WalConfig::new(&dir)).expect("gen2 wal");
+        let mut seal = engine.clock();
         for (i, batch) in batches_b.iter().enumerate() {
-            wal.append_batch(batch).expect("append");
+            let s = seal_of(seal, batch);
+            seal = Some(s);
+            wal.append_batch(s, batch).expect("append");
             engine.ingest_batch(batch, recog);
             if i == 2 {
                 wal.checkpoint(&engine.state_bytes()).expect("checkpoint");

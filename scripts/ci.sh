@@ -33,21 +33,84 @@ for threads in 1 4; do
     PM_THREADS=$threads cargo test -q
 done
 
+# The online path must likewise be shard-count independent (DESIGN.md §15):
+# the stream and serve suites run once inline (PM_SHARDS=1) and once fanned
+# across 8 user-keyed shards, so every ingest/serve test — not just the
+# dedicated parity ones — exercises both layouts.
+for shards in 1 8; do
+    echo "==> cargo test -q -p pm-stream -p pm-serve (PM_SHARDS=$shards)"
+    PM_SHARDS=$shards cargo test -q -p pm-stream -p pm-serve
+done
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
 echo "==> cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
 
+# --- Bench metric plumbing ---------------------------------------------------
+# Reads one metric out of a BENCH_pipeline.json document as real JSON (the
+# old line-anchored sed broke the moment the emitter reflowed a line, and
+# broke *silently* — the comparison just vanished). Selectors:
+#   bench_metric FILE stages NAME FIELD   -> .stages[name == NAME].FIELD
+#   bench_metric FILE serve  NAME FIELD   -> .serve.endpoints[name == NAME].FIELD
+#   bench_metric FILE SECTION -    FIELD  -> .SECTION.FIELD
+# Prints the value; returns non-zero (with a stderr diagnostic) when the
+# document is unreadable or the path is absent.
+bench_metric() {
+    python3 - "$1" "$2" "$3" "$4" <<'PY'
+import json, sys
+path, section, name, field = sys.argv[1:5]
+try:
+    with open(path) as f:
+        doc = json.load(f)
+except (OSError, ValueError) as e:
+    print(f"bench_metric: {path}: unreadable JSON: {e}", file=sys.stderr)
+    sys.exit(2)
+try:
+    if section == "stages":
+        value = next(s[field] for s in doc["stages"] if s.get("name") == name)
+    elif section == "serve":
+        value = next(e[field] for e in doc["serve"]["endpoints"] if e.get("name") == name)
+    else:
+        value = doc[section][field]
+except (KeyError, StopIteration, TypeError):
+    print(f"bench_metric: {path}: no {section}/{name}/{field}", file=sys.stderr)
+    sys.exit(3)
+print(value)
+PY
+}
+
+# The committed report is the baseline; materialize it BEFORE the benches
+# overwrite the working copy. A missing python3 disables every comparison
+# below — loudly, not silently.
+baseline_json="$workspace/target/ci-bench-baseline.json"
+mkdir -p "$workspace/target"
+have_baseline=0
+if ! command -v python3 > /dev/null 2>&1; then
+    echo "ci.sh: WARNING: python3 not found — bench baseline comparisons disabled" >&2
+elif git show HEAD:BENCH_pipeline.json > "$baseline_json" 2> /dev/null; then
+    have_baseline=1
+else
+    echo "    no committed BENCH_pipeline.json at HEAD — baseline comparisons skipped"
+fi
+
+# Baseline metrics up front, so a malformed committed report dies here with
+# a diagnostic instead of quietly skipping the regression guards.
+if [ "$have_baseline" = 1 ]; then
+    baseline_extract="$(bench_metric "$baseline_json" stages extract median_ms)" \
+        || die "committed BENCH_pipeline.json lacks the extract stage median — \
+rerun 'cargo bench -p pm-bench --bench pipeline' and commit the report"
+    baseline_ingest="$(bench_metric "$baseline_json" ingest - fixes_per_sec)" \
+        || die "committed BENCH_pipeline.json lacks ingest fixes_per_sec — \
+rerun 'cargo bench -p pm-bench --bench ingest_throughput' and commit the report"
+fi
+
 # Perf smoke: the whole-pipeline bench in quick mode (seconds, not minutes).
 # Its BENCH_pipeline.json is the per-commit performance record CI archives.
 # Cargo runs bench binaries from the package directory, so pin the output
 # to the workspace root explicitly.
 echo "==> cargo bench -p pm-bench --bench pipeline (PM_BENCH_SMOKE=1)"
-# The committed report is the baseline; capture its smoke extract median
-# BEFORE the bench overwrites the file on disk.
-baseline_extract="$( { git show HEAD:BENCH_pipeline.json 2> /dev/null || true; } \
-    | sed -n 's/.*"name": "extract", "median_ms": \([0-9.]*\).*/\1/p' | head -1)"
 # PM_BENCH_FULL is pinned off here: full mode takes precedence inside the
 # bench, and a CI environment exporting PM_BENCH_FULL=1 must not turn the
 # smoke run into a second full run (the gated step below handles full).
@@ -60,17 +123,15 @@ grep -q '"mode": "smoke"' BENCH_pipeline.json \
 # shared and noisy, and a red build over a timing blip would teach people
 # to ignore red builds. A real regression shows up as the warning
 # persisting across commits.
-new_extract="$(sed -n 's/.*"name": "extract", "median_ms": \([0-9.]*\).*/\1/p' \
-    BENCH_pipeline.json | head -1)"
-if [ -n "$baseline_extract" ] && [ -n "$new_extract" ]; then
+if [ "$have_baseline" = 1 ]; then
+    new_extract="$(bench_metric BENCH_pipeline.json stages extract median_ms)" \
+        || die "pipeline bench wrote no extract stage median to BENCH_pipeline.json"
     if awk -v n="$new_extract" -v b="$baseline_extract" 'BEGIN { exit !(n > b * 1.2) }'; then
         echo "ci.sh: WARNING: smoke extract median $new_extract ms is >20% slower" \
             "than the committed baseline $baseline_extract ms" >&2
     else
         echo "    extract median $new_extract ms (committed baseline $baseline_extract ms)"
     fi
-else
-    echo "    extract baseline comparison skipped (no committed BENCH_pipeline.json)"
 fi
 
 # Serve smoke: loopback request latencies, spliced into the same report.
@@ -86,6 +147,78 @@ PM_BENCH_SMOKE=1 PM_BENCH_OUT="$workspace/BENCH_pipeline.json" \
     cargo bench -p pm-bench --bench ingest_throughput
 grep -q '"ingest"' BENCH_pipeline.json \
     || die "ingest bench did not splice into BENCH_pipeline.json"
+
+# Throughput regression guard for the streaming path — non-fatal, like the
+# extract guard above (higher is better here, so the alarm is a *drop*).
+if [ "$have_baseline" = 1 ]; then
+    new_ingest="$(bench_metric BENCH_pipeline.json ingest - fixes_per_sec)" \
+        || die "ingest bench wrote no fixes_per_sec to BENCH_pipeline.json"
+    if awk -v n="$new_ingest" -v b="$baseline_ingest" 'BEGIN { exit !(n < b * 0.8) }'; then
+        echo "ci.sh: WARNING: smoke ingest throughput $new_ingest fixes/s is >20% below" \
+            "the committed baseline $baseline_ingest fixes/s" >&2
+    else
+        echo "    ingest $new_ingest fixes/s (committed baseline $baseline_ingest fixes/s)"
+    fi
+fi
+
+# Loadgen smoke: the sharded-ingest load generator (shards=8), spliced into
+# the same report. The committed loadgen section is the full 1M-user run,
+# so no smoke-vs-full delta is computed — the ingest guard above covers
+# throughput regressions at matched scale.
+echo "==> cargo bench -p pm-bench --bench loadgen (PM_BENCH_SMOKE=1)"
+PM_BENCH_SMOKE=1 PM_BENCH_OUT="$workspace/BENCH_pipeline.json" \
+    cargo bench -p pm-bench --bench loadgen
+grep -q '"loadgen"' BENCH_pipeline.json \
+    || die "loadgen bench did not splice into BENCH_pipeline.json"
+
+# Bench comparison table — markdown for the GitHub Actions step summary
+# when running under Actions, plain stdout otherwise. Latencies alarm when
+# slower than baseline; throughputs when faster is *lost*.
+if [ "$have_baseline" = 1 ]; then
+    summary_table() {
+        echo ""
+        echo "### Bench smoke vs committed baseline"
+        echo ""
+        echo "| metric | baseline | current | delta |"
+        echo "|---|---:|---:|---:|"
+        # metric selector-args unit direction
+        for row in \
+            "construct (csd_build)|stages csd_build median_ms|ms|lower" \
+            "recognize|stages recognize median_ms|ms|lower" \
+            "extract|stages extract median_ms|ms|lower" \
+            "serve /v1/patterns|serve patterns median_ms|ms|lower" \
+            "ingest|ingest - fixes_per_sec|fixes/s|higher"; do
+            label="${row%%|*}"
+            rest="${row#*|}"
+            selector="${rest%%|*}"
+            rest="${rest#*|}"
+            unit="${rest%%|*}"
+            direction="${rest#*|}"
+            # shellcheck disable=SC2086 # selector is a fixed 3-word list
+            old="$(bench_metric "$baseline_json" $selector 2> /dev/null)" || old=""
+            # shellcheck disable=SC2086
+            new="$(bench_metric BENCH_pipeline.json $selector 2> /dev/null)" || new=""
+            if [ -n "$old" ] && [ -n "$new" ]; then
+                delta="$(awk -v n="$new" -v b="$old" -v dir="$direction" 'BEGIN {
+                    if (b == 0) { print "n/a"; exit }
+                    pct = (n - b) / b * 100
+                    worse = (dir == "lower") ? (pct > 0) : (pct < 0)
+                    printf "%s%.1f%%%s", (pct >= 0 ? "+" : ""), pct, (worse ? " ⚠" : "")
+                }')"
+                echo "| $label | $old $unit | $new $unit | $delta |"
+            else
+                echo "| $label | n/a | ${new:-n/a} $unit | n/a |"
+            fi
+        done
+        echo ""
+    }
+    if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
+        summary_table >> "$GITHUB_STEP_SUMMARY"
+        echo "    bench comparison table written to the Actions step summary"
+    else
+        summary_table
+    fi
+fi
 
 # Full-scale pipeline section: evaluation-scale stage medians spliced into
 # the same report, so the per-commit record tracks both scales. Minutes,
