@@ -9,6 +9,8 @@
 //!                        [--remine-interval SECS] [--remine-dir DIR]
 //! pervasive-miner replay --journeys FILE [--addr HOST:PORT] [--rate N] [--batch N]
 //!                        [--users N]
+//! pervasive-miner motifs --artifact FILE [--journeys FILE] [--scale ..] [--seed N]
+//!                        [--top N] [--out FILE]
 //! pervasive-miner artifact-check <FILE>
 //! pervasive-miner fig    <6|9|10|11|12|13|14>  [--scale ..] [--seed N] [--csv DIR]
 //! pervasive-miner table  <1|3>                 [--scale ..] [--seed N]
@@ -34,6 +36,12 @@
 //! `POST /v1/reload`); `replay` streams a journey CSV into a running
 //! server's ingest endpoint at a configurable rate; `artifact-check`
 //! verifies an artifact on disk re-serializes byte-identically.
+//!
+//! `motifs` mines the daily mobility-motif distribution of a trajectory
+//! corpus (a journeys CSV, or the synthetic city named by `--scale`/
+//! `--seed`) against a stored artifact's CSD, prints the ranked classes,
+//! and writes the table back into the artifact as its optional motif
+//! section — served at `GET /v1/motifs` by `serve`.
 
 use pervasive_miner::core::construct::ConstructionOptions;
 use pervasive_miner::core::recognize::stay_points_of;
@@ -230,7 +238,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: pervasive-miner <mine|serve|replay|artifact-check|fig|table|all|svg> [target] \
+    "usage: pervasive-miner <mine|serve|replay|motifs|artifact-check|fig|table|all|svg> [target] \
      [--scale tiny|small|paper] [--seed N] [--sigma N] [--csv DIR] [--out FILE] \
      [--pois FILE --journeys FILE] [--lenient] [--threads N] \
      [--report FILE] [--report-format json|text] \
@@ -274,7 +282,11 @@ fn usage() -> String {
      exercise a chosen user cardinality; overload answers are retried \
      honoring the server's Retry-After\n\
      artifact-check <FILE>: reload an artifact and verify it re-serializes \
-     byte-identically"
+     byte-identically\n\
+     motifs --artifact FILE: mine daily mobility motifs (per-user-per-day \
+     unit-transition graphs, canonicalized) from --journeys CSV or the \
+     synthetic --scale/--seed city, print the --top ranked classes, and \
+     write the table into the artifact (--out writes elsewhere)"
         .into()
 }
 
@@ -314,8 +326,8 @@ fn run() -> Result<(), String> {
     if args.report.is_some() && args.command != "mine" {
         return Err("--report only applies to the `mine` command".into());
     }
-    if args.artifact.is_some() && args.command != "mine" && args.command != "serve" {
-        return Err("--artifact only applies to the `mine` and `serve` commands".into());
+    if args.artifact.is_some() && !matches!(args.command.as_str(), "mine" | "serve" | "motifs") {
+        return Err("--artifact only applies to the `mine`, `serve`, and `motifs` commands".into());
     }
 
     // Commands that operate on a stored artifact never need a synthetic
@@ -324,6 +336,7 @@ fn run() -> Result<(), String> {
         "serve" => return serve_command(&args),
         "replay" => return replay_command(&args),
         "artifact-check" => return artifact_check(&args),
+        "motifs" => return motifs_command(&args, &params),
         _ => {}
     }
 
@@ -798,6 +811,120 @@ fn replay_command(args: &Args) -> Result<(), String> {
     eprintln!(
         "replayed {sent} records in {batches} batches ({skipped} malformed lines skipped): \
          {accepted} accepted, {quarantined} quarantined, {stays} stays, {transitions} transitions"
+    );
+    Ok(())
+}
+
+/// Mines the daily mobility-motif distribution of a trajectory corpus
+/// against a stored artifact's CSD and writes the ranked table back into
+/// the artifact as its optional motif section.
+///
+/// Nodes are *semantic units* (Algorithm 3's nearest recognized unit per
+/// stay), unlike the live `/v1/live/motifs` path where nodes are primary
+/// categories — the batch side sees the full CSD, the live side only the
+/// recognizer's category vote. Each trajectory is one user; its stays
+/// bucket into absolute days, each day's transition graph canonicalizes
+/// via `pm-motif`, and the population distribution over canonical forms is
+/// the motif table.
+fn motifs_command(args: &Args, params: &MinerParams) -> Result<(), String> {
+    use pervasive_miner::cluster::GaussianKernel;
+    use pervasive_miner::core::recognize::recognize_stay_point_unit;
+    use pervasive_miner::motif::{DayGraphBuilder, MotifAggregator};
+    use pervasive_miner::stream::DAY_SECS;
+
+    let path = args
+        .artifact
+        .as_ref()
+        .ok_or("motifs needs --artifact FILE (produce one with `mine --artifact`)")?;
+    let artifact = Artifact::read_file(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    eprintln!("loaded {}: {}", path.display(), artifact.describe());
+
+    // The trajectory corpus: a journeys CSV when given, otherwise the
+    // synthetic city `--scale`/`--seed` describe.
+    let trajectories = match &args.journeys {
+        Some(journeys_path) => {
+            let projection = pervasive_miner::io::default_projection();
+            let text = std::fs::read_to_string(journeys_path)
+                .map_err(|e| format!("{}: {e}", journeys_path.display()))?;
+            let mode = if args.lenient {
+                IngestMode::Lenient
+            } else {
+                IngestMode::Strict
+            };
+            let (journeys, report) =
+                read_journeys_observed(&text, &projection, mode, params.threads, &Obs::noop())
+                    .map_err(|e| {
+                        format!(
+                            "{}: {e} (use --lenient to quarantine bad lines)",
+                            journeys_path.display()
+                        )
+                    })?;
+            report_quarantine(journeys_path, &report);
+            journeys_to_trajectories(&journeys)
+        }
+        None => {
+            let cfg = config(&args.scale, args.seed)?;
+            eprintln!(
+                "generating {} city (seed {}) as the motif corpus ...",
+                args.scale, args.seed
+            );
+            Dataset::generate(&cfg).trajectories
+        }
+    };
+
+    let kernel = GaussianKernel::new(artifact.params.r3sigma);
+    let mut agg = MotifAggregator::new();
+    let mut unrecognized = 0u64;
+    for traj in &trajectories {
+        let mut current: Option<(i64, DayGraphBuilder)> = None;
+        for sp in &traj.stays {
+            let (unit, _tags, primary) = recognize_stay_point_unit(&artifact.csd, &kernel, sp.pos);
+            let Some(unit) = unit else {
+                unrecognized += 1;
+                continue;
+            };
+            let day = sp.time.div_euclid(DAY_SECS);
+            match &mut current {
+                Some((d, builder)) if *d == day => builder.visit(unit as u64, primary),
+                slot => {
+                    if let Some((_, builder)) = slot.take() {
+                        agg.record(&builder.finish());
+                    }
+                    let mut builder = DayGraphBuilder::new();
+                    builder.visit(unit as u64, primary);
+                    *slot = Some((day, builder));
+                }
+            }
+        }
+        if let Some((_, builder)) = current {
+            agg.record(&builder.finish());
+        }
+    }
+
+    let table = agg.table();
+    println!(
+        "{} motif classes over {} user-days ({} oversize days, {} unrecognized stays skipped)",
+        table.classes.len(),
+        table.total_days,
+        table.oversize_days,
+        unrecognized,
+    );
+    for class in table.classes.iter().take(args.top) {
+        println!(
+            "  #{:<3} form {:#018x}  {} nodes / {} edges  {:>6} days  share {:.4}",
+            class.id, class.form, class.nodes, class.edges, class.days, class.share
+        );
+    }
+
+    let out = args.out.as_ref().unwrap_or(path);
+    let artifact = artifact.with_motifs(table);
+    artifact
+        .write_file(out)
+        .map_err(|e| format!("{}: {e}", out.display()))?;
+    eprintln!(
+        "wrote motif-bearing artifact to {} ({})",
+        out.display(),
+        artifact.describe()
     );
     Ok(())
 }

@@ -14,6 +14,8 @@
 //!   figures.
 //! - [`io`]: CSV ingestion/serialization for POI tables and journey logs,
 //!   with strict and lenient (quarantining) modes.
+//! - [`motif`]: daily mobility motifs — per-user-per-day transition graphs
+//!   over semantic units, canonicalized and ranked by population share.
 //! - [`obs`]: observability — stage spans, counters/gauges, and
 //!   machine-readable run reports (see the CLI's `--report` flag).
 //! - [`store`]: versioned, checksummed binary artifacts persisting a
@@ -30,6 +32,7 @@ pub use pm_core as core;
 pub use pm_eval as eval;
 pub use pm_geo as geo;
 pub use pm_io as io;
+pub use pm_motif as motif;
 pub use pm_obs as obs;
 pub use pm_seqmine as seqmine;
 pub use pm_serve as serve;

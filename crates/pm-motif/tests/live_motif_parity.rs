@@ -1,0 +1,266 @@
+//! Shard-count independence of the live motif view, end to end over real
+//! sockets.
+//!
+//! The property: a logical record stream POSTed to `/v1/ingest` produces
+//! **byte-identical** `GET /v1/live/motifs` bodies whether the server runs
+//! one inline engine (`shards=1`) or fans the stream across 8 user-keyed
+//! shards. Day closures land on different shards at different batches —
+//! some eagerly when a later day's stay arrives, some lazily when a TTL
+//! sweep evicts a quiet user at the next settled read — yet the merged
+//! in-window classes and the closure tallies must not depend on the
+//! layout. Records deliberately span several day boundaries so day graphs
+//! actually close; the stream stays inside the 7-day motif window so
+//! nothing ages out mid-comparison.
+
+use pm_core::prelude::*;
+use pm_core::recognize::stay_points_of;
+use pm_geo::{GeoPoint, LocalPoint};
+use pm_obs::Obs;
+use pm_serve::{client, ServeConfig, ServeState, Server, Snapshot};
+use pm_store::Artifact;
+use pm_stream::{
+    EngineConfig, Recognizer, ShardConfig, ShardedEngine, StreamParams, WindowConfig, DAY_SECS,
+};
+use proptest::prelude::*;
+use std::fmt::Write as _;
+use std::net::SocketAddr;
+use std::sync::{Arc, OnceLock};
+
+/// Shanghai anchor used across the repo's examples.
+const ORIGIN: (f64, f64) = (121.4737, 31.2304);
+
+/// One mined, geo-anchored artifact (same fixture as the pm-serve parity
+/// suite, so the two suites pin the same serving stack).
+fn artifact() -> &'static Artifact {
+    static ART: OnceLock<Artifact> = OnceLock::new();
+    ART.get_or_init(|| {
+        let ds = pm_eval::Dataset::generate(&pm_synth::CityConfig::tiny(42));
+        let params = MinerParams {
+            sigma: 20,
+            ..MinerParams::default()
+        };
+        let stays = stay_points_of(&ds.trajectories);
+        let csd = CitySemanticDiagram::build(&ds.pois, &stays, &params).expect("build");
+        let recognized = recognize_all(&csd, ds.trajectories, &params).expect("recognize");
+        let patterns = extract_patterns(&recognized, &params).expect("extract");
+        let artifact =
+            Artifact::new(csd, patterns, params).with_projection(GeoPoint::new(ORIGIN.0, ORIGIN.1));
+        Artifact::from_bytes(&artifact.to_bytes()).expect("store round-trip")
+    })
+}
+
+fn snapshot() -> Arc<Snapshot> {
+    Arc::new(Snapshot::new(artifact().clone()).expect("snapshot"))
+}
+
+/// Two unit centers recognized as *distinct* primary categories (live
+/// motif nodes are category-keyed, so identical categories would collapse
+/// to one node), plus one far-away point the snapshot does not recognize —
+/// unrecognized stays must not contribute motif nodes.
+fn positions() -> [LocalPoint; 3] {
+    let s = snapshot();
+    let mut centers: Vec<LocalPoint> = Vec::new();
+    let mut seen = Vec::new();
+    for u in s.artifact().csd.units() {
+        let Some(cat) = s.primary_category(u.center) else {
+            continue;
+        };
+        if !seen.contains(&cat) {
+            seen.push(cat);
+            centers.push(u.center);
+        }
+        if centers.len() == 2 {
+            break;
+        }
+    }
+    assert!(
+        centers.len() == 2,
+        "fixture must yield two distinctly tagged units"
+    );
+    [centers[0], centers[1], LocalPoint::new(5.0e6, 5.0e6)]
+}
+
+/// TTL covering the transition window (required at shards > 1). Evictions
+/// of quiet users *do* happen across day gaps — closing their pending day
+/// graphs — which is exactly the cross-shard timing the parity property
+/// must absorb.
+fn engine_config() -> EngineConfig {
+    EngineConfig {
+        detector: StreamParams {
+            theta_d: 100.0,
+            theta_t: 300,
+            max_pending: 64,
+        },
+        window: WindowConfig {
+            window_secs: 86_400,
+            bucket_secs: 3_600,
+        },
+        max_users: 1_000,
+        user_ttl_secs: 86_400,
+        max_stay_buffer: 10_000,
+    }
+}
+
+fn recognizer() -> Recognizer {
+    let snap = snapshot();
+    Arc::new(move |pos| snap.primary_category(pos))
+}
+
+struct Running {
+    addr: SocketAddr,
+    handle: pm_serve::ShutdownHandle,
+    thread: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+fn boot(shards: usize) -> Running {
+    let (engine, _) = ShardedEngine::open(ShardConfig::new(shards, engine_config()), &recognizer())
+        .expect("open sharded engine");
+    let obs = Obs::enabled();
+    let state = ServeState::with_engine(snapshot(), engine).with_obs(obs.clone());
+    let server = Server::bind_with_state(
+        "127.0.0.1:0",
+        Arc::new(state),
+        ServeConfig {
+            max_requests_per_conn: usize::MAX,
+            ..ServeConfig::default()
+        },
+        obs,
+    )
+    .expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = server.shutdown_handle().expect("handle");
+    let thread = std::thread::spawn(move || server.run());
+    Running {
+        addr,
+        handle,
+        thread,
+    }
+}
+
+impl Running {
+    fn stop(self) {
+        self.handle.shutdown();
+        self.thread.join().expect("server thread").expect("run");
+    }
+}
+
+/// One stay record: user id, landing spot, event time.
+type Rec = (String, LocalPoint, i64);
+
+/// Sends every batch on one keep-alive connection; all must be accepted.
+fn send_all(addr: SocketAddr, batches: &[Vec<Rec>]) {
+    let mut conn = client::Conn::open(addr).expect("connect");
+    for batch in batches {
+        if batch.is_empty() {
+            continue;
+        }
+        let mut body = String::from("{\"stays\":[");
+        for (i, (user, pos, t)) in batch.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            let _ = write!(
+                body,
+                "{{\"user\":\"{user}\",\"x\":{},\"y\":{},\"t\":{t}}}",
+                pos.x, pos.y
+            );
+        }
+        body.push_str("]}");
+        let (status, reply) = conn.post("/v1/ingest", &body).expect("ingest");
+        assert_eq!(status, 200, "{reply}");
+    }
+}
+
+fn live_motifs(addr: SocketAddr) -> String {
+    let (status, body) = client::get(addr, "/v1/live/motifs").expect("live motifs");
+    assert_eq!(status, 200, "{body}");
+    body
+}
+
+/// A deterministic three-day stream for 5 users: day 0 closes as a 2-node
+/// loop when day 1 begins, day 1 as a 1-node graph when day 2 begins, and
+/// day 2 stays pending (invisible). Bodies must be byte-identical at
+/// shards=1 and shards=8 — and across two consecutive reads of the same
+/// server, which pins read-path determinism (no hidden draining).
+#[test]
+fn three_day_stream_is_shard_count_independent() {
+    let [a, b, _] = positions();
+    let mut batches: Vec<Vec<Rec>> = Vec::new();
+    for d in 0..3i64 {
+        for u in 0..5u8 {
+            let user = format!("u{u}");
+            let t0 = d * DAY_SECS + 1_000 + (u as i64) * 10;
+            batches.push(match d {
+                0 => vec![
+                    (user.clone(), a, t0),
+                    (user.clone(), b, t0 + 400),
+                    (user, a, t0 + 800),
+                ],
+                1 => vec![(user, a, t0)],
+                _ => vec![(user.clone(), b, t0), (user, a, t0 + 400)],
+            });
+        }
+    }
+
+    let one = boot(1);
+    let many = boot(8);
+    send_all(one.addr, &batches);
+    send_all(many.addr, &batches);
+
+    let body_one = live_motifs(one.addr);
+    let body_many = live_motifs(many.addr);
+    assert_eq!(body_one, body_many);
+    // Reads are settled and non-draining: asking twice answers the same.
+    assert_eq!(body_one, live_motifs(one.addr));
+    assert_eq!(body_many, live_motifs(many.addr));
+
+    // 5 users × 2 closed days each; day 2 is pending and invisible.
+    assert!(body_one.contains("\"days_closed\":10"), "{body_one}");
+    assert!(body_one.contains("\"total_days\":10"), "{body_one}");
+    // Both closed shapes surface as classes: the a→b→a loop and the
+    // single-visit day.
+    assert_eq!(body_one.matches("\"id\":").count(), 2, "{body_one}");
+    assert!(body_one.contains("\"nodes\":2"), "{body_one}");
+    assert!(body_one.contains("\"nodes\":1"), "{body_one}");
+    one.stop();
+    many.stop();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Generated streams with inter-record gaps up to ~half a day cross
+    /// day boundaries (closing graphs eagerly) and TTL horizons (closing
+    /// them via eviction on whatever shard the user landed on) — the
+    /// merged live-motif body must still be byte-identical at 1 and 8
+    /// shards.
+    #[test]
+    fn generated_streams_are_shard_count_independent(
+        raw in prop::collection::vec((0u8..7, 0u8..3, 0u32..40_000), 1..60),
+        batch_size in 1usize..9,
+    ) {
+        let spots = positions();
+        let mut t = 1_000i64;
+        let mut records: Vec<Rec> = Vec::with_capacity(raw.len());
+        for &(user, cell, dt) in &raw {
+            t += 1 + dt as i64;
+            records.push((
+                format!("user-{}", user % 7),
+                spots[(cell % 3) as usize],
+                t,
+            ));
+        }
+        let batches: Vec<Vec<Rec>> = records
+            .chunks(batch_size)
+            .map(|c| c.to_vec())
+            .collect();
+
+        let one = boot(1);
+        let many = boot(8);
+        send_all(one.addr, &batches);
+        send_all(many.addr, &batches);
+        prop_assert_eq!(live_motifs(one.addr), live_motifs(many.addr));
+        one.stop();
+        many.stop();
+    }
+}

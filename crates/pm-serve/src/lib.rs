@@ -20,9 +20,11 @@
 //! | `GET /v1/semantic`  | `x`,`y` (meters) or `lat`,`lon` (geo artifacts) |
 //! | `POST /v1/annotate` | `{"points":[{"x":..,"y":..,"t":..}, ...]}`      |
 //! | `GET /v1/patterns`  | `from`, `to`, `involving`, `min_support`, `min_len`, `max_len`, `bucket`, `near=x,y,r`, `near_ll=lon,lat,r`, `limit` |
+//! | `GET /v1/motifs`    | `min_nodes`, `max_nodes`, `category`, `top` — ranked motif classes from the artifact (`404` when it has none) |
 //! | `GET /v1/stats`     | — (pm-obs run report)                           |
 //! | `POST /v1/ingest`   | `{"fixes":[{"user":..,"x":..,"y":..,"t":..},..],"stays":[..]}` — live trajectory stream |
 //! | `GET /v1/live/patterns` | — (sliding-window semantic transition counts) |
+//! | `GET /v1/live/motifs` | — (sliding 7-day mobility-motif classes, shard-merge deterministic) |
 //! | `POST /v1/reload`   | `{"path":..}` (optional) — validate + hot-swap the artifact |
 //! | `GET /v1/miner`     | — (background re-miner status: circuit state, failure tallies, generations) |
 //!
@@ -69,5 +71,5 @@ pub mod state;
 pub use epoch::EpochCell;
 pub use miner::{FailureKind, InjectedFault, MinerStatus, RemineConfig, Reminer};
 pub use server::{ServeConfig, Server, ShutdownHandle};
-pub use snapshot::Snapshot;
+pub use snapshot::{MotifQuery, Snapshot};
 pub use state::ServeState;

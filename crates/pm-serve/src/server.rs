@@ -99,14 +99,16 @@ pub struct Server {
 }
 
 /// Endpoint labels used for `serve.requests.*` / `serve.errors.*` counters.
-const ENDPOINTS: [&str; 11] = [
+const ENDPOINTS: [&str; 13] = [
     "healthz",
     "semantic",
     "annotate",
     "patterns",
+    "motifs",
     "stats",
     "ingest",
     "live_patterns",
+    "live_motifs",
     "reload",
     "miner",
     "bad_request",
@@ -129,8 +131,11 @@ const STREAM_COUNTERS: [&str; 8] = [
 
 /// Online-loop robustness counters, pre-registered at zero so the failure
 /// schema is visible in `/v1/stats` before anything ever fails. `wal.*`
-/// tracks the ingest write-ahead log; `miner.*` the supervised re-miner.
-const ROBUSTNESS_COUNTERS: [&str; 21] = [
+/// tracks the ingest write-ahead log; `miner.*` the supervised re-miner;
+/// `motif.*` the live day-graph closures behind `/v1/live/motifs`.
+const ROBUSTNESS_COUNTERS: [&str; 23] = [
+    "motif.days_closed",
+    "motif.days_oversize",
     "wal.appended_batches",
     "wal.appended_records",
     "wal.append_errors",
@@ -381,6 +386,17 @@ fn route(
             Ok((query, limit)) => (200, snapshot.patterns_json(&query, limit), "patterns"),
             Err(m) => (400, error_body(&m), "patterns"),
         },
+        ("GET", "/v1/motifs") => match crate::snapshot::MotifQuery::from_params(&req.query) {
+            Ok(query) => match snapshot.motifs_json(&query) {
+                Some(body) => (200, body, "motifs"),
+                None => (
+                    404,
+                    error_body("artifact has no motif table; mine one with the motifs command"),
+                    "motifs",
+                ),
+            },
+            Err(m) => (400, error_body(&m), "motifs"),
+        },
         ("GET", "/v1/stats") => {
             // Settle the sharded engine first: deferred TTL sweeps land in
             // the counters (via the state's obs) and the gauges read as a
@@ -400,6 +416,7 @@ fn route(
             Err((status, m)) => (status, error_body(&m), "ingest"),
         },
         ("GET", "/v1/live/patterns") => (200, state.live_patterns_json(), "live_patterns"),
+        ("GET", "/v1/live/motifs") => (200, state.live_motifs_json(), "live_motifs"),
         ("GET", "/v1/miner") => (200, state.miner_json(), "miner"),
         ("POST", "/v1/reload") => match parse_body(req)
             .map_err(|m| (400u16, m))
@@ -414,8 +431,9 @@ fn route(
         },
         (
             _,
-            "/healthz" | "/v1/semantic" | "/v1/annotate" | "/v1/patterns" | "/v1/stats"
-            | "/v1/ingest" | "/v1/live/patterns" | "/v1/reload" | "/v1/miner",
+            "/healthz" | "/v1/semantic" | "/v1/annotate" | "/v1/patterns" | "/v1/motifs"
+            | "/v1/stats" | "/v1/ingest" | "/v1/live/patterns" | "/v1/live/motifs" | "/v1/reload"
+            | "/v1/miner",
         ) => (
             405,
             error_body(&format!("{} not allowed here", req.method)),

@@ -14,6 +14,7 @@ use pm_core::recognize::{detect_stay_points, recognize_stay_point_unit};
 use pm_core::types::{Category, GpsPoint, GpsTrajectory, StayPoint, Tags, WeekBucket};
 use pm_geo::{GeoPoint, LocalPoint, Projection};
 use pm_io::parse_category;
+use pm_motif::{MotifClass, MAX_NODES};
 use pm_store::Artifact;
 
 /// Default (and maximum) number of patterns one query returns.
@@ -295,6 +296,41 @@ impl Snapshot {
         out
     }
 
+    // -- /v1/motifs --------------------------------------------------------
+
+    /// The `/v1/motifs` body for a parsed [`MotifQuery`], or `None` when the
+    /// artifact carries no motif table (the route answers `404` — the
+    /// section is optional, so pre-motif artifacts serve everything else).
+    pub fn motifs_json(&self, query: &MotifQuery) -> Option<String> {
+        let table = self.artifact.motifs.as_ref()?;
+        let matched: Vec<&MotifClass> = table
+            .classes
+            .iter()
+            .filter(|c| {
+                c.nodes >= query.min_nodes
+                    && c.nodes <= query.max_nodes
+                    && query
+                        .category
+                        .is_none_or(|cat| c.category_counts[cat as usize] > 0)
+            })
+            .collect();
+        let mut out = format!(
+            "{{\"total_days\":{},\"oversize_days\":{},\"total_classes\":{},\"returned\":{},\"classes\":[",
+            table.total_days,
+            table.oversize_days,
+            matched.len(),
+            matched.len().min(query.top),
+        );
+        for (i, class) in matched.iter().take(query.top).enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_motif_class(&mut out, class);
+        }
+        out.push_str("]}");
+        Some(out)
+    }
+
     // -- rendering helpers -------------------------------------------------
 
     /// A position object; includes `lat`/`lon` when the artifact is
@@ -339,6 +375,108 @@ impl Snapshot {
         }
         out.push('}');
     }
+}
+
+/// A parsed `/v1/motifs` query: node-count band, category involvement, and
+/// result cap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MotifQuery {
+    /// Keep classes with at least this many nodes.
+    pub min_nodes: u8,
+    /// Keep classes with at most this many nodes.
+    pub max_nodes: u8,
+    /// Keep classes where at least one day-graph node carried this primary
+    /// category.
+    pub category: Option<Category>,
+    /// Classes returned (they are already ranked by days, descending).
+    pub top: usize,
+}
+
+impl Default for MotifQuery {
+    fn default() -> MotifQuery {
+        MotifQuery {
+            min_nodes: 1,
+            max_nodes: MAX_NODES as u8,
+            category: None,
+            top: DEFAULT_PATTERN_LIMIT,
+        }
+    }
+}
+
+impl MotifQuery {
+    /// Builds a query from decoded parameters. Unknown parameters are
+    /// rejected so typos fail loudly, mirroring
+    /// [`Snapshot::pattern_query_from_params`].
+    pub fn from_params(params: &[(String, String)]) -> Result<MotifQuery, String> {
+        let mut q = MotifQuery::default();
+        for (key, value) in params {
+            match key.as_str() {
+                "min_nodes" => q.min_nodes = parse_nodes(key, value)?,
+                "max_nodes" => q.max_nodes = parse_nodes(key, value)?,
+                "category" => q.category = Some(parse_cat(value)?),
+                "top" => q.top = parse_usize(key, value)?.min(DEFAULT_PATTERN_LIMIT),
+                other => return Err(format!("unknown parameter {other:?}")),
+            }
+        }
+        if q.min_nodes > q.max_nodes {
+            return Err(format!(
+                "min_nodes {} exceeds max_nodes {}",
+                q.min_nodes, q.max_nodes
+            ));
+        }
+        Ok(q)
+    }
+}
+
+fn parse_nodes(key: &str, value: &str) -> Result<u8, String> {
+    let n: u8 = value
+        .parse()
+        .map_err(|_| format!("{key} is not a small integer: {value:?}"))?;
+    if (1..=MAX_NODES as u8).contains(&n) {
+        Ok(n)
+    } else {
+        Err(format!("{key} must be between 1 and {MAX_NODES}"))
+    }
+}
+
+/// One ranked motif class as JSON — shared by the artifact-backed
+/// `/v1/motifs` body and the live `/v1/live/motifs` body so the two render
+/// identically. The canonical form is a hex *string*: it is a full `u64`
+/// and must survive JSON parsers that read numbers as `f64`.
+pub(crate) fn push_motif_class(out: &mut String, class: &MotifClass) {
+    out.push_str(&format!(
+        "{{\"id\":{},\"form\":\"{:#x}\",\"nodes\":{},\"edges\":{},\"days\":{},\"share\":{}",
+        class.id,
+        class.form,
+        class.nodes,
+        class.edges,
+        class.days,
+        json::num(class.share),
+    ));
+    out.push_str(",\"categories\":{");
+    let mut first = true;
+    for (i, &count) in class.category_counts.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        json::push_str_lit(out, Category::from_index(i).name());
+        out.push_str(&format!(":{count}"));
+    }
+    out.push_str(&format!(
+        "}},\"untagged_nodes\":{},\"exemplar\":[",
+        class.untagged_nodes
+    ));
+    for (k, (a, b)) in class.exemplar_edges().iter().enumerate() {
+        if k > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("[{a},{b}]"));
+    }
+    out.push_str("]}");
 }
 
 fn parse_cat(value: &str) -> Result<Category, String> {
@@ -498,6 +636,103 @@ mod tests {
             let p = vec![(bad.0.to_string(), bad.1.to_string())];
             assert!(s.pattern_query_from_params(&p).is_err(), "{bad:?}");
         }
+    }
+
+    #[test]
+    fn motif_query_parser_covers_every_knob() {
+        let params: Vec<(String, String)> = [
+            ("min_nodes", "2"),
+            ("max_nodes", "4"),
+            ("category", "residence"),
+            ("top", "3"),
+        ]
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+        let q = MotifQuery::from_params(&params).expect("parse");
+        assert_eq!(
+            q,
+            MotifQuery {
+                min_nodes: 2,
+                max_nodes: 4,
+                category: Some(Category::Residence),
+                top: 3
+            }
+        );
+
+        for bad in [
+            ("min_nodes", "0"),
+            ("min_nodes", "9"),
+            ("max_nodes", "x"),
+            ("category", "castle"),
+            ("top", "-1"),
+            ("nope", "1"),
+        ] {
+            let p = vec![(bad.0.to_string(), bad.1.to_string())];
+            assert!(MotifQuery::from_params(&p).is_err(), "{bad:?}");
+        }
+        // A crossed band is rejected at parse time, not served as empty.
+        let p: Vec<(String, String)> = [("min_nodes", "5"), ("max_nodes", "2")]
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        assert!(MotifQuery::from_params(&p).is_err());
+    }
+
+    #[test]
+    fn motifs_json_is_none_without_a_table_and_filters_with_one() {
+        let s = empty_snapshot();
+        assert!(s.motifs_json(&MotifQuery::default()).is_none());
+
+        // Two classes: a 1-node residence day and a 2-node loop day.
+        let mut agg = pm_motif::MotifAggregator::new();
+        let mut one = pm_motif::DayGraphBuilder::new();
+        one.visit(7, Some(Category::Residence));
+        agg.record(&one.finish());
+        let mut two = pm_motif::DayGraphBuilder::new();
+        two.visit(1, Some(Category::Residence));
+        two.visit(2, Some(Category::Business));
+        two.visit(1, Some(Category::Residence));
+        agg.record(&two.finish());
+
+        let params = MinerParams::default();
+        let csd = CitySemanticDiagram::build(&[], &[], &params).expect("build");
+        let artifact = Artifact::new(csd, Vec::new(), params).with_motifs(agg.table());
+        let s = Snapshot::new(artifact).expect("snapshot");
+
+        let body = s.motifs_json(&MotifQuery::default()).expect("table");
+        assert!(
+            body.starts_with("{\"total_days\":2,\"oversize_days\":0,"),
+            "{body}"
+        );
+        assert!(
+            body.contains("\"total_classes\":2,\"returned\":2,"),
+            "{body}"
+        );
+        assert!(body.contains("\"Residence\":"), "{body}");
+
+        // Node-band and category filters narrow the class list.
+        let q = MotifQuery {
+            min_nodes: 2,
+            ..MotifQuery::default()
+        };
+        let body = s.motifs_json(&q).expect("table");
+        assert!(body.contains("\"total_classes\":1,"), "{body}");
+        let q = MotifQuery {
+            category: Some(Category::Business),
+            ..MotifQuery::default()
+        };
+        let body = s.motifs_json(&q).expect("table");
+        assert!(body.contains("\"total_classes\":1,"), "{body}");
+        let q = MotifQuery {
+            category: Some(Category::Medical),
+            ..MotifQuery::default()
+        };
+        let body = s.motifs_json(&q).expect("table");
+        assert!(
+            body.contains("\"total_classes\":0,\"returned\":0,\"classes\":[]}"),
+            "{body}"
+        );
     }
 
     #[test]

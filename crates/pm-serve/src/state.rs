@@ -62,6 +62,8 @@ pub(crate) fn outcome_counters(obs: &Obs, outcome: &BatchOutcome) {
         "degradation.stream_dropped_fixes",
         outcome.dropped_non_finite,
     );
+    obs.incr("motif.days_closed", outcome.motif_days_closed);
+    obs.incr("motif.days_oversize", outcome.motif_days_oversize);
 }
 
 /// The shared, swappable state behind one server.
@@ -258,7 +260,7 @@ impl ServeState {
             self.checkpoint_now();
         }
         let body = format!(
-            "{{\"epoch\":{epoch},\"accepted\":{},\"quarantined\":{},\"dropped\":{},\"stays\":{},\"transitions\":{},\"late_transitions\":{},\"evicted\":{}}}",
+            "{{\"epoch\":{epoch},\"accepted\":{},\"quarantined\":{},\"dropped\":{},\"stays\":{},\"transitions\":{},\"late_transitions\":{},\"evicted\":{},\"motif_days_closed\":{},\"motif_days_oversize\":{}}}",
             outcome.accepted,
             outcome.quarantined,
             outcome.dropped_non_finite,
@@ -266,6 +268,8 @@ impl ServeState {
             outcome.transitions,
             outcome.late_transitions,
             outcome.evicted,
+            outcome.motif_days_closed,
+            outcome.motif_days_oversize,
         );
         Ok((body, outcome))
     }
@@ -294,6 +298,38 @@ impl ServeState {
             out.push_str(",\"to\":");
             json::push_str_lit(&mut out, to.name());
             out.push_str(&format!(",\"count\":{count}}}"));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// `GET /v1/live/motifs`: the in-window mobility-motif classes, merged
+    /// deterministically across shards. Only in-window content and the
+    /// lifetime closure tallies are exposed — never the window-internal
+    /// late/recorded split, which can legitimately differ between eager
+    /// (shards=1) and lazily-swept (shards=N) layouts — so the body is
+    /// byte-identical at any shard count over the same logical stream.
+    pub fn live_motifs_json(&self) -> String {
+        let (view, advance) = self.engine.live_motifs(&self.recognizer());
+        self.absorb_advance(&advance);
+        let mut out = format!("{{\"epoch\":{}", self.epoch());
+        match view.as_of {
+            Some(t) => out.push_str(&format!(",\"as_of\":{t}")),
+            None => out.push_str(",\"as_of\":null"),
+        }
+        out.push_str(&format!(
+            ",\"window_days\":{},\"days_closed\":{},\"days_oversize\":{},\"total_days\":{},\"oversize_days\":{},\"classes\":[",
+            view.window_days,
+            view.days_closed,
+            view.days_oversize,
+            view.table.total_days,
+            view.table.oversize_days,
+        ));
+        for (i, class) in view.table.classes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            crate::snapshot::push_motif_class(&mut out, class);
         }
         out.push_str("]}");
         out
@@ -421,6 +457,16 @@ mod tests {
         let body = s.live_patterns_json();
         assert!(body.contains("\"as_of\":null"), "{body}");
         assert!(body.ends_with("\"transitions\":[]}"), "{body}");
+    }
+
+    #[test]
+    fn live_motifs_render_on_empty_engine() {
+        let s = state();
+        assert_eq!(
+            s.live_motifs_json(),
+            "{\"epoch\":0,\"as_of\":null,\"window_days\":7,\"days_closed\":0,\
+             \"days_oversize\":0,\"total_days\":0,\"oversize_days\":0,\"classes\":[]}"
+        );
     }
 
     #[test]

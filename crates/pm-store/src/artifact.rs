@@ -31,6 +31,7 @@
 //! | `STAT` | CSD construction statistics                               |
 //! | `DEGR` | degradations tolerated during the run                     |
 //! | `PATS` | the mined fine-grained pattern set                        |
+//! | `motf` | *optional* — the daily mobility-motif table ([`MotifTable`]) |
 //!
 //! ## Forward compatibility
 //!
@@ -50,6 +51,7 @@ use pm_core::extract::FinePattern;
 use pm_core::params::MinerParams;
 use pm_core::types::{Category, Poi, StayPoint, Tags};
 use pm_geo::{GeoPoint, LocalPoint};
+use pm_motif::MotifTable;
 use std::path::Path;
 
 /// File magic: the first eight bytes of every artifact.
@@ -66,6 +68,9 @@ const TAG_UNIT: [u8; 4] = *b"UNIT";
 const TAG_STAT: [u8; 4] = *b"STAT";
 const TAG_DEGR: [u8; 4] = *b"DEGR";
 const TAG_PATS: [u8; 4] = *b"PATS";
+/// Lowercase first byte: optional — readers that predate motifs verify the
+/// CRC and skip the payload (the forward-compat path proven in tests).
+const TAG_MOTF: [u8; 4] = *b"motf";
 
 /// A complete, self-describing mining run: everything the online query
 /// service needs to answer semantic lookups, annotate trajectories, and
@@ -82,6 +87,10 @@ pub struct Artifact {
     pub csd: CitySemanticDiagram,
     /// The mined fine-grained pattern set, in the miner's output order.
     pub patterns: Vec<FinePattern>,
+    /// The daily mobility-motif table, when the `motifs` command computed
+    /// one. Persisted as the optional `motf` section: readers that predate
+    /// it skip the section instead of rejecting the artifact.
+    pub motifs: Option<MotifTable>,
 }
 
 impl Artifact {
@@ -92,6 +101,7 @@ impl Artifact {
             projection: None,
             csd,
             patterns,
+            motifs: None,
         }
     }
 
@@ -103,10 +113,18 @@ impl Artifact {
         self
     }
 
+    /// Attaches a mobility-motif table, persisted as the optional `motf`
+    /// section.
+    #[must_use]
+    pub fn with_motifs(mut self, motifs: MotifTable) -> Self {
+        self.motifs = Some(motifs);
+        self
+    }
+
     /// One-line human-readable summary (for CLI logging).
     pub fn describe(&self) -> String {
         format!(
-            "{} POIs, {} units, {} patterns{}",
+            "{} POIs, {} units, {} patterns{}{}",
             self.csd.pois().len(),
             self.csd.units().len(),
             self.patterns.len(),
@@ -114,6 +132,10 @@ impl Artifact {
                 ", geo-anchored"
             } else {
                 ""
+            },
+            match &self.motifs {
+                Some(t) => format!(", {} motif classes", t.classes.len()),
+                None => String::new(),
             }
         )
     }
@@ -148,6 +170,9 @@ impl Artifact {
         sections.push((TAG_STAT, write_stats(self.csd.stats())));
         sections.push((TAG_DEGR, write_degradations(self.csd.degradations())));
         sections.push((TAG_PATS, write_patterns(&self.patterns)));
+        if let Some(motifs) = &self.motifs {
+            sections.push((TAG_MOTF, write_motifs(motifs)));
+        }
 
         out.u32(sections.len() as u32);
         for (tag, payload) in sections {
@@ -190,6 +215,7 @@ impl Artifact {
         let mut stats: Option<BuildStats> = None;
         let mut degr: Option<Vec<Degradation>> = None;
         let mut pats: Option<Vec<FinePattern>> = None;
+        let mut motifs: Option<MotifTable> = None;
 
         let mut seen: Vec<[u8; 4]> = Vec::new();
         for _ in 0..n_sections {
@@ -243,6 +269,7 @@ impl Artifact {
                 TAG_STAT => stats = Some(read_stats(p)?),
                 TAG_DEGR => degr = Some(read_degradations(p)?),
                 TAG_PATS => pats = Some(read_patterns(p)?),
+                TAG_MOTF => motifs = Some(read_motifs(p)?),
                 unknown if unknown[0].is_ascii_lowercase() => {
                     // Optional section from a newer writer: CRC verified
                     // above, content skipped.
@@ -284,6 +311,7 @@ impl Artifact {
             projection: proj,
             csd,
             patterns,
+            motifs,
         })
     }
 
@@ -650,6 +678,47 @@ fn read_patterns(mut r: ByteReader<'_>) -> Result<Vec<FinePattern>, StoreError> 
     Ok(patterns)
 }
 
+/// Bytes of one serialized motif class: form + days + per-category node
+/// counts + untagged nodes.
+const MOTIF_CLASS_BYTES: usize = 8 + 8 + Category::COUNT * 8 + 8;
+
+fn write_motifs(table: &MotifTable) -> ByteWriter {
+    let mut w = ByteWriter::new();
+    w.u64(table.total_days);
+    w.u64(table.oversize_days);
+    w.count(table.classes.len());
+    for c in &table.classes {
+        w.u64(c.form);
+        w.u64(c.days);
+        for &n in &c.category_counts {
+            w.u64(n);
+        }
+        w.u64(c.untagged_nodes);
+    }
+    w
+}
+
+fn read_motifs(mut r: ByteReader<'_>) -> Result<MotifTable, StoreError> {
+    let total_days = r.u64("motif total days")?;
+    let oversize_days = r.u64("motif oversize days")?;
+    let n = r.count(MOTIF_CLASS_BYTES, "motif class count")?;
+    let mut parts = Vec::with_capacity(n);
+    for _ in 0..n {
+        let form = r.u64("motif form")?;
+        let days = r.u64("motif days")?;
+        let mut category_counts = [0u64; Category::COUNT];
+        for c in &mut category_counts {
+            *c = r.u64("motif category count")?;
+        }
+        let untagged_nodes = r.u64("motif untagged nodes")?;
+        parts.push((form, days, category_counts, untagged_nodes));
+    }
+    r.finish("motf")?;
+    // `id`, node/edge counts, and shares are derived deterministically from
+    // the stored parts, so the round trip stays byte-identical.
+    Ok(MotifTable::from_parts(total_days, oversize_days, parts))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -811,5 +880,109 @@ mod tests {
     fn missing_file_is_io_error() {
         let err = Artifact::read_file("/nonexistent/definitely/not/here.pmstore").unwrap_err();
         assert!(matches!(err, StoreError::Io { .. }));
+    }
+
+    /// A small motif table with two ranked classes.
+    fn motif_table() -> MotifTable {
+        let mut agg = pm_motif::MotifAggregator::new();
+        for keys in [&[1u64, 2, 1][..], &[3, 4, 3], &[5]] {
+            let mut day = pm_motif::DayGraphBuilder::new();
+            for &k in keys {
+                day.visit(k, Some(Category::Residence));
+            }
+            agg.record(&day.finish());
+        }
+        agg.table()
+    }
+
+    /// Appends one raw section frame (tag + length + CRC + payload) and
+    /// bumps the header's section count — the shape a *newer* writer's
+    /// unknown extension would take.
+    fn splice_section(bytes: &[u8], tag: [u8; 4], payload: &[u8]) -> Vec<u8> {
+        let mut out = bytes.to_vec();
+        let count = u32::from_le_bytes(out[12..16].try_into().unwrap());
+        out[12..16].copy_from_slice(&(count + 1).to_le_bytes());
+        out.extend_from_slice(&tag);
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&crc32(payload).to_le_bytes());
+        out.extend_from_slice(payload);
+        out
+    }
+
+    #[test]
+    fn motif_section_roundtrips_byte_identically() {
+        let (csd, patterns, params) = mined_run();
+        let artifact = Artifact::new(csd, patterns, params).with_motifs(motif_table());
+        let bytes = artifact.to_bytes();
+        let reloaded = Artifact::from_bytes_verified(&bytes).expect("verified load");
+        assert!(reloaded.describe().contains("motif classes"));
+        let table = reloaded.motifs.expect("motif section present");
+        assert_eq!(table, motif_table());
+        assert_eq!(table.classes[0].days, 2);
+    }
+
+    #[test]
+    fn pre_motif_artifact_loads_with_no_motifs() {
+        let (csd, patterns, params) = mined_run();
+        // The exact bytes a writer predating the motf section produced.
+        let bytes = Artifact::new(csd, patterns, params).to_bytes();
+        let reloaded = Artifact::from_bytes_verified(&bytes).expect("load");
+        assert!(reloaded.motifs.is_none());
+    }
+
+    #[test]
+    fn unknown_optional_section_is_skipped_and_known_sections_survive() {
+        let (csd, patterns, params) = mined_run();
+        let original = Artifact::new(csd, patterns, params).to_bytes();
+        let spliced = splice_section(&original, *b"zukn", b"future payload this reader ignores");
+
+        // The reader skips the unknown optional section...
+        let reloaded = Artifact::from_bytes(&spliced).expect("skip unknown optional");
+        // ...and re-serializes the known sections byte-identically.
+        assert_eq!(reloaded.to_bytes(), original);
+        // The *verified* reader refuses exactly because the skip is lossy —
+        // the gate /v1/reload applies before trusting an artifact.
+        assert!(Artifact::from_bytes_verified(&spliced).is_err());
+        // A corrupted unknown section still fails its CRC: optional means
+        // ignorable, not unchecked.
+        let mut corrupt = spliced.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0x40;
+        assert!(matches!(
+            Artifact::from_bytes(&corrupt).unwrap_err(),
+            StoreError::ChecksumMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn motif_bearing_artifact_loads_where_the_feature_is_unknown() {
+        let (csd, patterns, params) = mined_run();
+        let plain = Artifact::new(csd.clone(), patterns.clone(), params).to_bytes();
+        let mut with_motifs = Artifact::new(csd, patterns, params)
+            .with_motifs(motif_table())
+            .to_bytes();
+
+        // Simulate a reader that predates motifs by renaming the motf tag
+        // to one no reader knows: walk the frames to the last section (the
+        // writer appends motf after the critical ones) and rewrite its tag.
+        let mut at = 16;
+        loop {
+            let len = u64::from_le_bytes(with_motifs[at + 4..at + 12].try_into().unwrap()) as usize;
+            let next = at + 16 + len;
+            if next == with_motifs.len() {
+                break;
+            }
+            at = next;
+        }
+        assert_eq!(&with_motifs[at..at + 4], b"motf");
+        with_motifs[at..at + 4].copy_from_slice(b"zotf");
+
+        let reloaded = Artifact::from_bytes(&with_motifs).expect("skip unknown motif section");
+        assert!(reloaded.motifs.is_none());
+        assert_eq!(
+            reloaded.to_bytes(),
+            plain,
+            "known sections must re-serialize exactly as the pre-motif artifact"
+        );
     }
 }

@@ -26,16 +26,20 @@
 
 use crate::detector::{DetectorStats, FixStatus, StayPointDetector, StreamParams};
 use crate::error::StreamError;
+use crate::motif::{MotifCell, MotifWindow, DAY_SECS, MOTIF_WINDOW_DAYS};
 use crate::window::{TransitionWindow, WindowConfig};
 use pm_core::params::MinerParams;
 use pm_core::types::{Category, GpsPoint, StayPoint, Tags, Timestamp};
 use pm_geo::LocalPoint;
+use pm_motif::DayGraphBuilder;
 use pm_store::bytes::{ByteReader, ByteWriter};
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 /// Magic prefix of a serialized engine state blob (see
-/// [`IngestEngine::state_bytes`]).
-const STATE_MAGIC: &[u8; 8] = b"PMENG01\n";
+/// [`IngestEngine::state_bytes`]). `02` added the motif window and the
+/// per-user pending day graphs; `01` blobs are refused, not migrated —
+/// the WAL replays the stream that built them.
+const STATE_MAGIC: &[u8; 8] = b"PMENG02\n";
 
 fn corrupt(e: pm_store::StoreError) -> StreamError {
     StreamError::corrupt(e.to_string())
@@ -178,6 +182,12 @@ pub struct BatchOutcome {
     pub evicted: u64,
     /// Accumulated stays shed by the `max_stay_buffer` bound.
     pub stays_shed: u64,
+    /// Per-user day graphs closed (a later day began, or the user was
+    /// evicted) and handed to the motif window.
+    pub motif_days_closed: u64,
+    /// Closed days that exceeded the motif node cap (bucketed, not
+    /// classified).
+    pub motif_days_oversize: u64,
 }
 
 impl BatchOutcome {
@@ -192,6 +202,8 @@ impl BatchOutcome {
         self.late_transitions += o.late_transitions;
         self.evicted += o.evicted;
         self.stays_shed += o.stays_shed;
+        self.motif_days_closed += o.motif_days_closed;
+        self.motif_days_oversize += o.motif_days_oversize;
     }
 }
 
@@ -206,6 +218,8 @@ pub struct EngineStats {
     pub late_transitions: u64,
     pub evicted: u64,
     pub stays_shed: u64,
+    pub motif_days_closed: u64,
+    pub motif_days_oversize: u64,
 }
 
 impl EngineStats {
@@ -218,6 +232,8 @@ impl EngineStats {
         self.late_transitions += o.late_transitions;
         self.evicted += o.evicted;
         self.stays_shed += o.stays_shed;
+        self.motif_days_closed += o.motif_days_closed;
+        self.motif_days_oversize += o.motif_days_oversize;
     }
 }
 
@@ -228,6 +244,11 @@ struct UserState {
     last_primary: Option<Category>,
     /// Last admitted event time — the eviction key.
     last_seen: Timestamp,
+    /// The in-progress day graph: `(absolute day, builder)`. Nodes are
+    /// primary categories (the live recognizer yields nothing finer); the
+    /// day closes when a recognized stay lands in a later day, or on
+    /// eviction.
+    day_graph: Option<(Timestamp, DayGraphBuilder)>,
 }
 
 /// The multi-user streaming front door.
@@ -236,6 +257,8 @@ pub struct IngestEngine {
     config: EngineConfig,
     users: HashMap<String, UserState>,
     window: TransitionWindow,
+    /// Sliding per-day motif-class counts over closed user-days.
+    motifs: MotifWindow,
     /// Maximum admitted event time across all users.
     clock: Option<Timestamp>,
     stats: EngineStats,
@@ -260,6 +283,7 @@ impl IngestEngine {
         config.validate()?;
         Ok(IngestEngine {
             window: TransitionWindow::new(config.window)?,
+            motifs: MotifWindow::new(),
             config,
             users: HashMap::new(),
             clock: None,
@@ -345,6 +369,7 @@ impl IngestEngine {
     fn advance_clock(&mut self, to: Timestamp) {
         self.clock = Some(self.clock.map_or(to, |c| c.max(to)));
         self.window.advance(to);
+        self.motifs.advance(to);
     }
 
     /// Currently tracked users.
@@ -361,6 +386,11 @@ impl IngestEngine {
     /// The shared transition window.
     pub fn window(&self) -> &TransitionWindow {
         &self.window
+    }
+
+    /// The sliding motif window over closed user-days.
+    pub fn motifs(&self) -> &MotifWindow {
+        &self.motifs
     }
 
     /// Cumulative tallies.
@@ -420,6 +450,8 @@ impl IngestEngine {
             self.stats.late_transitions,
             self.stats.evicted,
             self.stats.stays_shed,
+            self.stats.motif_days_closed,
+            self.stats.motif_days_oversize,
         ] {
             w.u64(v);
         }
@@ -435,6 +467,25 @@ impl IngestEngine {
         for slot in buckets {
             for &c in slot {
                 w.u64(c);
+            }
+        }
+        // Motif window ring. Slots are BTreeMaps, so iteration — and the
+        // blob — is deterministic.
+        let (mclasses, moversize, mperiods, mclock, mlate, mrecorded) = self.motifs.parts();
+        write_opt_i64(&mut w, mclock);
+        w.u64(mlate);
+        w.u64(mrecorded);
+        for slot in 0..MOTIF_WINDOW_DAYS {
+            w.i64(mperiods[slot]);
+            w.u64(moversize[slot]);
+            w.count(mclasses[slot].len());
+            for (form, cell) in &mclasses[slot] {
+                w.u64(*form);
+                w.u64(cell.days);
+                for &c in &cell.category_counts {
+                    w.u64(c);
+                }
+                w.u64(cell.untagged_nodes);
             }
         }
         // Users, sorted by id for determinism.
@@ -464,6 +515,23 @@ impl IngestEngine {
                 w.f64(fix.pos.x);
                 w.f64(fix.pos.y);
                 w.i64(fix.time);
+            }
+            match &state.day_graph {
+                None => w.u8(0),
+                Some((day, builder)) => {
+                    w.u8(1);
+                    w.i64(*day);
+                    let (keys, categories, adj, last, visits, oversize) = builder.parts();
+                    w.count(keys.len());
+                    for (k, c) in keys.iter().zip(categories) {
+                        w.u64(*k);
+                        w.u8(category_byte(*c));
+                    }
+                    w.u64(adj);
+                    w.u8(last.unwrap_or(0xFF));
+                    w.u64(visits);
+                    w.u8(u8::from(oversize));
+                }
             }
         }
         // Stay buffer, oldest first.
@@ -508,7 +576,7 @@ impl IngestEngine {
         };
         config.validate()?;
         let clock = read_opt_i64(&mut r, "engine clock")?;
-        let mut tallies = [0u64; 8];
+        let mut tallies = [0u64; 10];
         for (i, t) in tallies.iter_mut().enumerate() {
             *t = r.u64(&format!("engine tally {i}")).map_err(corrupt)?;
         }
@@ -521,6 +589,8 @@ impl IngestEngine {
             late_transitions: tallies[5],
             evicted: tallies[6],
             stays_shed: tallies[7],
+            motif_days_closed: tallies[8],
+            motif_days_oversize: tallies[9],
         };
         // Window ring.
         let wclock = read_opt_i64(&mut r, "window clock")?;
@@ -548,6 +618,48 @@ impl IngestEngine {
             late_dropped,
             recorded,
         )?;
+        // Motif window ring.
+        let mclock = read_opt_i64(&mut r, "motif clock")?;
+        let mlate = r.u64("motif late_days").map_err(corrupt)?;
+        let mrecorded = r.u64("motif recorded_days").map_err(corrupt)?;
+        let mut mclasses = Vec::with_capacity(MOTIF_WINDOW_DAYS);
+        let mut moversize = Vec::with_capacity(MOTIF_WINDOW_DAYS);
+        let mut mperiods = Vec::with_capacity(MOTIF_WINDOW_DAYS);
+        for _ in 0..MOTIF_WINDOW_DAYS {
+            mperiods.push(r.i64("motif slot day").map_err(corrupt)?);
+            moversize.push(r.u64("motif slot oversize").map_err(corrupt)?);
+            let n_forms = r
+                .count(16 + Category::COUNT * 8 + 8, "motif slot classes")
+                .map_err(corrupt)?;
+            let mut forms = BTreeMap::new();
+            for _ in 0..n_forms {
+                let form = r.u64("motif form").map_err(corrupt)?;
+                let days = r.u64("motif class days").map_err(corrupt)?;
+                let mut category_counts = [0u64; Category::COUNT];
+                for c in category_counts.iter_mut() {
+                    *c = r.u64("motif category count").map_err(corrupt)?;
+                }
+                let untagged_nodes = r.u64("motif untagged nodes").map_err(corrupt)?;
+                if forms
+                    .insert(
+                        form,
+                        MotifCell {
+                            days,
+                            category_counts,
+                            untagged_nodes,
+                        },
+                    )
+                    .is_some()
+                {
+                    return Err(StreamError::corrupt(format!(
+                        "motif form {form:#x} repeats within a slot"
+                    )));
+                }
+            }
+            mclasses.push(forms);
+        }
+        let motifs =
+            MotifWindow::from_parts(mclasses, moversize, mperiods, mclock, mlate, mrecorded)?;
         // Users.
         let n_users = r.count(16, "users").map_err(corrupt)?;
         let mut users = HashMap::with_capacity(n_users);
@@ -577,6 +689,46 @@ impl IngestEngine {
                 let t = r.i64("fix time").map_err(corrupt)?;
                 pending.push_back(GpsPoint::new(LocalPoint::new(x, y), t));
             }
+            let day_graph = match r.u8("day graph flag").map_err(corrupt)? {
+                0 => None,
+                1 => {
+                    let day = r.i64("day graph day").map_err(corrupt)?;
+                    let n_nodes = r.count(9, "day graph nodes").map_err(corrupt)?;
+                    let mut keys = Vec::with_capacity(n_nodes);
+                    let mut categories = Vec::with_capacity(n_nodes);
+                    for _ in 0..n_nodes {
+                        keys.push(r.u64("day graph key").map_err(corrupt)?);
+                        categories.push(read_category(&mut r, "day graph category")?);
+                    }
+                    let adj = r.u64("day graph adjacency").map_err(corrupt)?;
+                    let last = match r.u8("day graph last").map_err(corrupt)? {
+                        0xFF => None,
+                        l => Some(l),
+                    };
+                    let visits = r.u64("day graph visits").map_err(corrupt)?;
+                    let oversize = match r.u8("day graph oversize").map_err(corrupt)? {
+                        0 => false,
+                        1 => true,
+                        flag => {
+                            return Err(StreamError::corrupt(format!(
+                                "day graph oversize flag {flag} is neither 0 nor 1"
+                            )))
+                        }
+                    };
+                    let builder =
+                        DayGraphBuilder::from_parts(keys, categories, adj, last, visits, oversize)
+                            .map_err(StreamError::corrupt)?;
+                    if builder.is_empty() {
+                        return Err(StreamError::corrupt("pending day graph is empty"));
+                    }
+                    Some((day, builder))
+                }
+                flag => {
+                    return Err(StreamError::corrupt(format!(
+                        "day graph flag {flag} is neither 0 nor 1"
+                    )))
+                }
+            };
             users.insert(
                 id,
                 UserState {
@@ -588,6 +740,7 @@ impl IngestEngine {
                     ),
                     last_primary,
                     last_seen,
+                    day_graph,
                 },
             );
         }
@@ -626,6 +779,7 @@ impl IngestEngine {
             config,
             users,
             window,
+            motifs,
             clock,
             stats,
             stay_buffer,
@@ -654,6 +808,7 @@ impl IngestEngine {
                     detector: StayPointDetector::new(self.config.detector),
                     last_primary: None,
                     last_seen: point.time,
+                    day_graph: None,
                 },
             );
             self.by_idle.insert((point.time, user.to_string()));
@@ -707,6 +862,7 @@ impl IngestEngine {
         };
         if admitted {
             self.clock = Some(self.clock.map_or(point.time, |c| c.max(point.time)));
+            self.motifs.advance(point.time);
         }
         // Re-key the eviction index if this record moved the user's clock.
         if let (Some(old), Some(new)) = (prior_seen, self.users.get(user).map(|s| s.last_seen)) {
@@ -716,21 +872,27 @@ impl IngestEngine {
             }
         }
         if !emitted.is_empty() {
-            let prev = self.users.get(user).and_then(|s| s.last_primary);
-            let last = self.settle(user, prev, &emitted, recognize, outcome);
+            let (prev, mut day_graph) = match self.users.get_mut(user) {
+                Some(s) => (s.last_primary, s.day_graph.take()),
+                None => (None, None),
+            };
+            let last = self.settle(user, prev, &mut day_graph, &emitted, recognize, outcome);
             if let Some(state) = self.users.get_mut(user) {
                 state.last_primary = last;
+                state.day_graph = day_graph;
             }
         }
     }
 
-    /// Recognizes emitted stays, records per-user transitions, and
+    /// Recognizes emitted stays, records per-user transitions, grows the
+    /// user's pending day graph (closing it when a later day begins), and
     /// accumulates the stays (bounded) for background re-mining. Returns
     /// the user's new `last_primary`.
     fn settle<R>(
         &mut self,
         user: &str,
         mut prev: Option<Category>,
+        day_graph: &mut Option<(Timestamp, DayGraphBuilder)>,
         stays: &[StayPoint],
         recognize: &R,
         outcome: &mut BatchOutcome,
@@ -749,7 +911,8 @@ impl IngestEngine {
             }
             let Some(cur) = recognize(sp.pos) else {
                 // Unrecognized ground: counted as a stay, but it neither
-                // forms nor resets a transition edge.
+                // forms nor resets a transition edge, and it does not join
+                // the day graph (mirrored on the batch motif path).
                 continue;
             };
             if let Some(p) = prev {
@@ -760,8 +923,32 @@ impl IngestEngine {
                 }
             }
             prev = Some(cur);
+            // Per-user stay times are monotone, so `day` never regresses:
+            // a day mismatch always means the pending day is over.
+            let day = sp.time.div_euclid(DAY_SECS);
+            match &mut *day_graph {
+                Some((d, builder)) if *d == day => builder.visit(cur as u64, Some(cur)),
+                slot => {
+                    if let Some((d, builder)) = slot.take() {
+                        self.close_day(d, &builder, outcome);
+                    }
+                    let mut builder = DayGraphBuilder::new();
+                    builder.visit(cur as u64, Some(cur));
+                    *slot = Some((day, builder));
+                }
+            }
         }
         prev
+    }
+
+    /// Hands one closed user-day to the motif window and tallies it.
+    fn close_day(&mut self, day: Timestamp, builder: &DayGraphBuilder, outcome: &mut BatchOutcome) {
+        let graph = builder.finish();
+        outcome.motif_days_closed += 1;
+        if graph.form.is_none() {
+            outcome.motif_days_oversize += 1;
+        }
+        self.motifs.record(day, &graph);
     }
 
     /// Evicts the stalest user — deterministic tie-break on the user id
@@ -807,7 +994,19 @@ impl IngestEngine {
         self.buffered -= state.detector.pending_len();
         let mut tail = Vec::new();
         state.detector.flush(&mut tail);
-        self.settle(key, state.last_primary, &tail, recognize, outcome);
+        let mut day_graph = state.day_graph.take();
+        self.settle(
+            key,
+            state.last_primary,
+            &mut day_graph,
+            &tail,
+            recognize,
+            outcome,
+        );
+        // The user is gone; whatever day was still open closes with them.
+        if let Some((day, builder)) = day_graph {
+            self.close_day(day, &builder, outcome);
+        }
         outcome.evicted += 1;
     }
 }
@@ -1056,6 +1255,85 @@ mod tests {
         assert_eq!(o.stays, 1);
         assert_eq!(o.stays_shed, 0);
         assert_eq!(e.stays_buffered(), 0);
+    }
+
+    #[test]
+    fn day_graphs_close_when_the_next_day_begins() {
+        let mut e = IngestEngine::new(config()).expect("engine");
+        // Day 0: home -> work -> home. Day 1: one stay, which closes day 0
+        // but itself stays pending.
+        let o = e.ingest_batch(
+            &[
+                stay("u", 0.0, 1_000),
+                stay("u", 9_000.0, 40_000),
+                stay("u", 10.0, 80_000),
+                stay("u", 10.0, 86_400 + 1_000),
+            ],
+            recog,
+        );
+        assert_eq!(o.motif_days_closed, 1);
+        assert_eq!(o.motif_days_oversize, 0);
+        let table = e.motifs().table();
+        assert_eq!(table.total_days, 1, "day 1 is still pending");
+        assert_eq!(table.classes.len(), 1);
+        assert_eq!(table.classes[0].nodes, 2, "two categories visited");
+        assert_eq!(table.classes[0].edges, 2, "R->B and B->R");
+        assert_eq!(
+            table.classes[0].category_counts[Category::Residence as usize],
+            1
+        );
+        assert_eq!(
+            table.classes[0].category_counts[Category::Business as usize],
+            1
+        );
+    }
+
+    #[test]
+    fn eviction_closes_the_pending_day() {
+        let mut e = IngestEngine::new(config()).expect("engine");
+        e.ingest_batch(&[stay("old", 0.0, 1_000)], recog);
+        // Two days later, a new user's record TTL-evicts "old" (ttl is one
+        // day); the flushed day is still inside the 7-day motif window.
+        let o = e.ingest_batch(&[stay("new", 0.0, 2 * 86_400 + 10)], recog);
+        assert_eq!(o.evicted, 1);
+        assert_eq!(o.motif_days_closed, 1);
+        assert_eq!(e.stats().motif_days_closed, 1);
+        let table = e.motifs().table();
+        assert_eq!(table.total_days, 1);
+        assert_eq!(table.classes[0].nodes, 1, "a single-place day");
+    }
+
+    #[test]
+    fn motif_state_survives_a_roundtrip() {
+        let mut e = IngestEngine::new(config()).expect("engine");
+        // Closed days in the window, plus pending day graphs: the blob
+        // must carry both.
+        let mut records = Vec::new();
+        for (i, u) in ["alice", "bob"].iter().enumerate() {
+            let base = i as i64 * 100;
+            records.push(stay(u, 0.0, base + 1_000));
+            records.push(stay(u, 9_000.0, base + 40_000));
+            records.push(stay(u, 10.0, 86_400 + base + 1_000));
+            records.push(stay(u, 9_000.0, 86_400 + base + 40_000));
+        }
+        let o = e.ingest_batch(&records, recog);
+        assert_eq!(o.motif_days_closed, 2);
+        let bytes = e.state_bytes();
+        let restored = IngestEngine::from_state_bytes(&bytes).expect("restore");
+        assert_eq!(restored.state_bytes(), bytes, "roundtrip is exact");
+        assert_eq!(restored.motifs().table(), e.motifs().table());
+        // Driving both forward closes the pending days identically.
+        let more: Vec<_> = vec![
+            stay("alice", 0.0, 2 * 86_400 + 1_000),
+            stay("bob", 0.0, 2 * 86_400 + 1_000),
+        ];
+        let mut a = e;
+        let mut b = restored;
+        let oa = a.ingest_batch(&more, recog);
+        let ob = b.ingest_batch(&more, recog);
+        assert_eq!(oa, ob);
+        assert_eq!(oa.motif_days_closed, 2);
+        assert_eq!(a.state_bytes(), b.state_bytes());
     }
 
     #[test]

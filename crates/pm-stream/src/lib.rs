@@ -29,6 +29,12 @@
 //!   door — per-shard WAL segment streams, per-shard worker threads, and a
 //!   sealed global clock that keeps shards=1 and shards=N byte-identical
 //!   on every merged read (see [`sharded`]).
+//! - [`MotifWindow`]: a sliding ring of daily mobility-motif counts. Each
+//!   user's recognized stays accumulate into a per-day transition graph
+//!   (nodes are primary categories on the live path); the day closes when
+//!   a later day begins or the user is evicted, and the closed graph's
+//!   canonical form (via `pm-motif`) lands in the window. Merged across
+//!   shards as [`LiveMotifs`] — the payload of `GET /v1/live/motifs`.
 //!
 //! Everything is std-only, panic-free on untrusted input, and deterministic:
 //! the same record sequence produces the same stays, the same window
@@ -38,6 +44,7 @@
 pub mod detector;
 pub mod engine;
 pub mod error;
+pub mod motif;
 pub mod sharded;
 pub mod wal;
 pub mod window;
@@ -45,8 +52,9 @@ pub mod window;
 pub use detector::{DetectorStats, FixStatus, StayPointDetector, StreamParams};
 pub use engine::{BatchOutcome, EngineConfig, EngineStats, IngestEngine, IngestRecord};
 pub use error::StreamError;
+pub use motif::{MotifCell, MotifWindow, DAY_SECS, MOTIF_WINDOW_DAYS};
 pub use sharded::{
-    shard_of, LiveView, Recognizer, ShardConfig, ShardRecovery, ShardedEngine, WalTick,
+    shard_of, LiveMotifs, LiveView, Recognizer, ShardConfig, ShardRecovery, ShardedEngine, WalTick,
 };
 pub use wal::{AppendInfo, Recovery, RecoveryReport, SealedBatch, Wal, WalConfig};
 pub use window::{TransitionWindow, WindowConfig};

@@ -1,0 +1,351 @@
+//! A deterministic sliding window of daily mobility-motif counts.
+//!
+//! The window is a ring of absolute-day-aligned buckets, one per calendar
+//! day of event time (`day = t.div_euclid(86_400)`), spanning the last
+//! [`MOTIF_WINDOW_DAYS`] days. It follows the [`TransitionWindow`]
+//! discipline exactly — lazy event-driven rotation, read-time age
+//! exclusion, no wall clock — but each slot holds a form-keyed map of
+//! motif-class cells rather than a dense category matrix, because
+//! canonical forms are sparse.
+//!
+//! Days are closed (and recorded here) by the engine when a user's stream
+//! reaches a later day, or when the user is evicted. A day older than the
+//! window at closure time is counted late, never inserted. The in-window
+//! *content* is shard-layout independent: a day judged late on a lazily
+//! caught-up shard would have aged out of an eagerly advanced shard's ring
+//! by the time any settled read observes it, so merged views agree even
+//! though the internal `late_days`/`recorded_days` split may not — which
+//! is why only content and closure tallies are ever surfaced.
+//!
+//! [`TransitionWindow`]: crate::window::TransitionWindow
+
+use crate::error::StreamError;
+use pm_core::types::{Category, Timestamp};
+use pm_motif::{DayGraph, MotifTable};
+use std::collections::BTreeMap;
+
+/// Seconds per motif day bucket — days are fixed UTC-aligned buckets of
+/// event time, matching the batch pipeline's per-trajectory day split.
+pub const DAY_SECS: Timestamp = 86_400;
+
+/// Span of the live motif window, in day buckets. Fixed rather than
+/// configured: the motif analytic is "shape of recent days", and seven of
+/// them match the default transition window's week-scale retention.
+pub const MOTIF_WINDOW_DAYS: usize = 7;
+
+/// One motif class's in-window accumulation: day count plus the node
+/// category breakdown summed over those days.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MotifCell {
+    /// User-days in the window that collapsed to this form.
+    pub days: u64,
+    /// Node occurrences per primary category across those days.
+    pub category_counts: [u64; Category::COUNT],
+    /// Node occurrences with no recognized primary category.
+    pub untagged_nodes: u64,
+}
+
+impl Default for MotifCell {
+    fn default() -> MotifCell {
+        MotifCell {
+            days: 0,
+            category_counts: [0; Category::COUNT],
+            untagged_nodes: 0,
+        }
+    }
+}
+
+impl MotifCell {
+    pub(crate) fn absorb(&mut self, other: &MotifCell) {
+        self.days += other.days;
+        for (i, n) in other.category_counts.iter().enumerate() {
+            self.category_counts[i] += n;
+        }
+        self.untagged_nodes += other.untagged_nodes;
+    }
+}
+
+/// Sliding per-form day counts over the last [`MOTIF_WINDOW_DAYS`] days of
+/// event time.
+#[derive(Debug, Clone)]
+pub struct MotifWindow {
+    /// Per-slot form-keyed class cells (sparse: most days share few forms).
+    classes: Vec<BTreeMap<u64, MotifCell>>,
+    /// Per-slot count of oversize days (more than `pm_motif::MAX_NODES`
+    /// distinct places — bucketed, never silently dropped).
+    oversize: Vec<u64>,
+    /// The absolute day each slot currently holds.
+    periods: Vec<Timestamp>,
+    /// Maximum event time observed, in raw seconds — the stream clock.
+    clock: Option<Timestamp>,
+    late_days: u64,
+    recorded_days: u64,
+}
+
+impl Default for MotifWindow {
+    fn default() -> MotifWindow {
+        MotifWindow::new()
+    }
+}
+
+impl MotifWindow {
+    /// An empty window.
+    pub fn new() -> MotifWindow {
+        MotifWindow {
+            classes: vec![BTreeMap::new(); MOTIF_WINDOW_DAYS],
+            oversize: vec![0; MOTIF_WINDOW_DAYS],
+            // i64::MIN doubles as "never written", as in TransitionWindow.
+            periods: vec![Timestamp::MIN; MOTIF_WINDOW_DAYS],
+            clock: None,
+            late_days: 0,
+            recorded_days: 0,
+        }
+    }
+
+    /// Records one closed day graph under absolute day `day`. Returns
+    /// `false` when the day is already older than the window (counted
+    /// late, not recorded).
+    pub fn record(&mut self, day: Timestamp, graph: &DayGraph) -> bool {
+        // A closed day implies the clock reached at least that day's start.
+        self.advance(day.saturating_mul(DAY_SECS));
+        let clock_day = self.clock.map_or(day, |c| c.div_euclid(DAY_SECS)).max(day);
+        let n = MOTIF_WINDOW_DAYS as i64;
+        if clock_day.saturating_sub(day) >= n {
+            self.late_days += 1;
+            return false;
+        }
+        let slot = day.rem_euclid(n) as usize;
+        if self.periods[slot] != day {
+            // The slot last held a day at least one full rotation ago.
+            self.classes[slot].clear();
+            self.oversize[slot] = 0;
+            self.periods[slot] = day;
+        }
+        match graph.form {
+            None => self.oversize[slot] += 1,
+            Some(form) => {
+                let cell = self.classes[slot].entry(form).or_default();
+                cell.days += 1;
+                for (i, c) in graph.category_counts.iter().enumerate() {
+                    cell.category_counts[i] += c;
+                }
+                cell.untagged_nodes += graph.untagged_nodes;
+            }
+        }
+        self.recorded_days += 1;
+        true
+    }
+
+    /// Advances the stream clock to `to` seconds without recording
+    /// anything (a no-op when the clock is already at or past `to`).
+    pub fn advance(&mut self, to: Timestamp) {
+        self.clock = Some(self.clock.map_or(to, |c| c.max(to)));
+    }
+
+    /// The stream clock: the latest event time seen, in seconds.
+    pub fn as_of(&self) -> Option<Timestamp> {
+        self.clock
+    }
+
+    /// The merged in-window content: form-keyed cells plus the oversize
+    /// day count, with stale slots excluded by age at read time. This is
+    /// the shard-merge unit — maps from several windows sum cell-wise into
+    /// the same view one window over the union stream would hold.
+    pub fn in_window(&self) -> (BTreeMap<u64, MotifCell>, u64) {
+        let mut cells: BTreeMap<u64, MotifCell> = BTreeMap::new();
+        let mut oversize = 0u64;
+        let Some(clock) = self.clock else {
+            return (cells, oversize);
+        };
+        let clock_day = clock.div_euclid(DAY_SECS);
+        let n = MOTIF_WINDOW_DAYS as i64;
+        for (slot, forms) in self.classes.iter().enumerate() {
+            let age = clock_day.saturating_sub(self.periods[slot]);
+            if !(0..n).contains(&age) {
+                continue;
+            }
+            for (form, cell) in forms {
+                cells.entry(*form).or_default().absorb(cell);
+            }
+            oversize += self.oversize[slot];
+        }
+        (cells, oversize)
+    }
+
+    /// The in-window content ranked into a [`MotifTable`] —
+    /// `total_days` covers oversize days, classes rank by
+    /// `(days desc, form asc)`, exactly like the batch aggregator.
+    pub fn table(&self) -> MotifTable {
+        let (cells, oversize) = self.in_window();
+        rank_cells(cells, oversize)
+    }
+
+    /// Persistence view: per-slot cells, per-slot oversize counts,
+    /// per-slot days, clock, and the two lifetime tallies, in that order.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn parts(
+        &self,
+    ) -> (
+        &[BTreeMap<u64, MotifCell>],
+        &[u64],
+        &[Timestamp],
+        Option<Timestamp>,
+        u64,
+        u64,
+    ) {
+        (
+            &self.classes,
+            &self.oversize,
+            &self.periods,
+            self.clock,
+            self.late_days,
+            self.recorded_days,
+        )
+    }
+
+    /// Rebuilds a window from persisted parts, re-validating the slot
+    /// geometry so corrupt state cannot index out of bounds later.
+    pub(crate) fn from_parts(
+        classes: Vec<BTreeMap<u64, MotifCell>>,
+        oversize: Vec<u64>,
+        periods: Vec<Timestamp>,
+        clock: Option<Timestamp>,
+        late_days: u64,
+        recorded_days: u64,
+    ) -> Result<MotifWindow, StreamError> {
+        if classes.len() != MOTIF_WINDOW_DAYS
+            || oversize.len() != MOTIF_WINDOW_DAYS
+            || periods.len() != MOTIF_WINDOW_DAYS
+        {
+            return Err(StreamError::corrupt(format!(
+                "motif window has {}/{}/{} slots, expected {MOTIF_WINDOW_DAYS}",
+                classes.len(),
+                oversize.len(),
+                periods.len()
+            )));
+        }
+        Ok(MotifWindow {
+            classes,
+            oversize,
+            periods,
+            clock,
+            late_days,
+            recorded_days,
+        })
+    }
+}
+
+/// Ranks merged in-window cells into a [`MotifTable`] — shared by the
+/// single-window read and the sharded merge so both views are built by
+/// the same code path.
+pub fn rank_cells(cells: BTreeMap<u64, MotifCell>, oversize_days: u64) -> MotifTable {
+    let total_days = cells.values().map(|c| c.days).sum::<u64>() + oversize_days;
+    let mut ranked: Vec<(u64, MotifCell)> = cells.into_iter().collect();
+    ranked.sort_by(|(fa, a), (fb, b)| b.days.cmp(&a.days).then(fa.cmp(fb)));
+    MotifTable::from_parts(
+        total_days,
+        oversize_days,
+        ranked
+            .into_iter()
+            .map(|(form, c)| (form, c.days, c.category_counts, c.untagged_nodes))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_motif::DayGraphBuilder;
+
+    fn day_graph(keys: &[u64]) -> DayGraph {
+        let mut b = DayGraphBuilder::new();
+        for &k in keys {
+            b.visit(k, Some(Category::Residence));
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn days_accumulate_and_expire() {
+        let mut w = MotifWindow::new();
+        assert!(w.record(0, &day_graph(&[1, 2, 1])));
+        assert!(w.record(1, &day_graph(&[1, 2, 1])));
+        let t = w.table();
+        assert_eq!(t.total_days, 2);
+        assert_eq!(t.classes.len(), 1);
+        // Advancing a week past day 0 ages it out; day 1 stays visible
+        // until the clock passes its own horizon.
+        w.advance(7 * DAY_SECS);
+        assert_eq!(w.table().total_days, 1);
+        w.advance(8 * DAY_SECS);
+        assert_eq!(w.table().total_days, 0);
+    }
+
+    #[test]
+    fn late_days_are_dropped_not_inserted() {
+        let mut w = MotifWindow::new();
+        w.advance(20 * DAY_SECS);
+        assert!(!w.record(2, &day_graph(&[1])));
+        assert_eq!(w.table().total_days, 0);
+        assert!(w.record(19, &day_graph(&[1])));
+        assert_eq!(w.table().total_days, 1);
+    }
+
+    #[test]
+    fn oversize_days_are_counted_in_the_denominator() {
+        let mut w = MotifWindow::new();
+        let mut nine = DayGraphBuilder::new();
+        for k in 0..9u64 {
+            nine.visit(k, None);
+        }
+        assert!(w.record(0, &nine.finish()));
+        assert!(w.record(0, &day_graph(&[1, 2, 1])));
+        let t = w.table();
+        assert_eq!(t.total_days, 2);
+        assert_eq!(t.oversize_days, 1);
+        assert_eq!(t.classes.len(), 1);
+        assert_eq!(t.classes[0].share, 0.5);
+    }
+
+    #[test]
+    fn slot_reclaim_zeroes_the_stranded_day() {
+        let mut w = MotifWindow::new();
+        assert!(w.record(0, &day_graph(&[1])));
+        // Day 7 maps onto day 0's ring slot after a clock jump.
+        w.advance(7 * DAY_SECS);
+        assert!(w.record(7, &day_graph(&[1, 2, 1])));
+        let t = w.table();
+        assert_eq!(t.total_days, 1);
+        assert_eq!(t.classes[0].nodes, 2, "only day 7's class remains");
+    }
+
+    #[test]
+    fn merge_matches_the_union_window() {
+        // Two windows over disjoint halves of a day stream merge to the
+        // same view one window over everything holds.
+        let days: Vec<(Timestamp, Vec<u64>)> = vec![
+            (0, vec![1, 2, 1]),
+            (1, vec![1]),
+            (1, vec![3, 4, 3]),
+            (2, vec![5, 6, 7]),
+        ];
+        let mut whole = MotifWindow::new();
+        let mut a = MotifWindow::new();
+        let mut b = MotifWindow::new();
+        for (i, (day, keys)) in days.iter().enumerate() {
+            whole.record(*day, &day_graph(keys));
+            let part = if i % 2 == 0 { &mut a } else { &mut b };
+            part.record(*day, &day_graph(keys));
+        }
+        for w in [&mut a, &mut b] {
+            w.advance(whole.as_of().unwrap_or(0));
+        }
+        let (mut cells, mut oversize) = a.in_window();
+        let (cells_b, over_b) = b.in_window();
+        for (form, cell) in &cells_b {
+            cells.entry(*form).or_default().absorb(cell);
+        }
+        oversize += over_b;
+        assert_eq!(rank_cells(cells, oversize), whole.table());
+    }
+}

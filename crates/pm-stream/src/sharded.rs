@@ -57,10 +57,13 @@
 
 use crate::engine::{BatchOutcome, EngineConfig, EngineStats, IngestEngine, IngestRecord};
 use crate::error::StreamError;
+use crate::motif::{rank_cells, MotifCell, MOTIF_WINDOW_DAYS};
 use crate::wal::{RecoveryReport, Wal, WalConfig};
 use pm_core::types::{Category, StayPoint, Timestamp};
 use pm_geo::LocalPoint;
+use pm_motif::MotifTable;
 use pm_runtime::ShardPool;
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Shared recognizer closure: maps a stay position onto its primary
@@ -202,6 +205,26 @@ pub struct LiveView {
     pub late_dropped: u64,
     /// Merged `(from, to, count)` triples, sorted by category index.
     pub transitions: Vec<(Category, Category, u64)>,
+}
+
+/// A merged, read-consistent view of the live motif state — the payload
+/// of `GET /v1/live/motifs`, shard-count independent. Only in-window
+/// content is exposed: closure-time lateness verdicts can differ between
+/// eager and lazily caught-up shards, but a day they disagree on has
+/// always aged out of the eager ring by the time any settled read runs,
+/// so the merged table is identical either way.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LiveMotifs {
+    /// The sealed global clock every shard was settled to.
+    pub as_of: Option<Timestamp>,
+    /// The window span in day buckets.
+    pub window_days: usize,
+    /// Lifetime user-days closed into the motif path.
+    pub days_closed: u64,
+    /// Lifetime closed days that exceeded the motif node cap.
+    pub days_oversize: u64,
+    /// The ranked in-window motif classes.
+    pub table: MotifTable,
 }
 
 struct Shard {
@@ -488,6 +511,35 @@ impl ShardedEngine {
         })
     }
 
+    /// The merged live motif view — byte-identical across shard counts
+    /// for the same logical record stream.
+    pub fn live_motifs(&self, recognize: &Recognizer) -> (LiveMotifs, BatchOutcome) {
+        self.with_settled(recognize, |guards| {
+            let mut cells: BTreeMap<u64, MotifCell> = BTreeMap::new();
+            let mut oversize = 0u64;
+            let mut as_of = None;
+            let mut days_closed = 0u64;
+            let mut days_oversize = 0u64;
+            for g in guards.iter() {
+                let (shard_cells, shard_oversize) = g.motifs().in_window();
+                for (form, cell) in &shard_cells {
+                    cells.entry(*form).or_default().absorb(cell);
+                }
+                oversize += shard_oversize;
+                as_of = as_of.max(g.motifs().as_of());
+                days_closed += g.stats().motif_days_closed;
+                days_oversize += g.stats().motif_days_oversize;
+            }
+            LiveMotifs {
+                as_of,
+                window_days: MOTIF_WINDOW_DAYS,
+                days_closed,
+                days_oversize,
+                table: rank_cells(cells, oversize),
+            }
+        })
+    }
+
     /// `(tracked users, buffered detector fixes)` across all shards, after
     /// settling — so gauge reads agree with what a single engine would
     /// report at the same clock.
@@ -513,6 +565,8 @@ impl ShardedEngine {
             out.late_transitions += s.late_transitions;
             out.evicted += s.evicted;
             out.stays_shed += s.stays_shed;
+            out.motif_days_closed += s.motif_days_closed;
+            out.motif_days_oversize += s.motif_days_oversize;
         }
         out
     }
@@ -754,6 +808,46 @@ mod tests {
         for shards in [2, 3, 8] {
             let (many, stats_many) = run(shards, &batches);
             assert_eq!(one, many, "live view @ {shards} shards");
+            assert_eq!(stats_one, stats_many, "stats @ {shards} shards");
+        }
+    }
+
+    #[test]
+    fn merged_motifs_are_shard_count_independent() {
+        // Multi-day per-user streams: every user's day 0 and day 1 close
+        // (a later day begins), day 2 stays pending and must not leak into
+        // any view. The merged LiveMotifs must not depend on the layout.
+        let mut batches = Vec::new();
+        for day in 0..3i64 {
+            let mut batch = Vec::new();
+            for u in 0..17 {
+                let base = day * 86_400 + 1_000 + u;
+                batch.push(stay(&format!("user-{u}"), 0.0, base));
+                if (day + u) % 2 == 0 {
+                    batch.push(stay(&format!("user-{u}"), 9_000.0, base + 30_000));
+                    batch.push(stay(&format!("user-{u}"), 0.0, base + 60_000));
+                }
+            }
+            batches.push(batch);
+        }
+        let view = |shards: usize| {
+            let recog = recognizer();
+            let (engine, _) =
+                ShardedEngine::open(ShardConfig::new(shards, engine_config()), &recog)
+                    .expect("open");
+            for batch in &batches {
+                engine.ingest_batch(batch.clone(), &recog);
+            }
+            let (motifs, _) = engine.live_motifs(&recog);
+            (motifs, engine.stats())
+        };
+        let (one, stats_one) = view(1);
+        assert_eq!(one.days_closed, 2 * 17, "two closed days per user");
+        assert_eq!(one.table.total_days, 2 * 17);
+        assert_eq!(one.table.classes.len(), 2, "loop days and stay-home days");
+        for shards in [2, 8] {
+            let (many, stats_many) = view(shards);
+            assert_eq!(one, many, "live motifs @ {shards} shards");
             assert_eq!(stats_one, stats_many, "stats @ {shards} shards");
         }
     }

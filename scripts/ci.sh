@@ -34,12 +34,12 @@ for threads in 1 4; do
 done
 
 # The online path must likewise be shard-count independent (DESIGN.md §15):
-# the stream and serve suites run once inline (PM_SHARDS=1) and once fanned
-# across 8 user-keyed shards, so every ingest/serve test — not just the
-# dedicated parity ones — exercises both layouts.
+# the stream, serve, and motif suites run once inline (PM_SHARDS=1) and once
+# fanned across 8 user-keyed shards, so every ingest/serve/live-motif test —
+# not just the dedicated parity ones — exercises both layouts.
 for shards in 1 8; do
-    echo "==> cargo test -q -p pm-stream -p pm-serve (PM_SHARDS=$shards)"
-    PM_SHARDS=$shards cargo test -q -p pm-stream -p pm-serve
+    echo "==> cargo test -q -p pm-stream -p pm-serve -p pm-motif (PM_SHARDS=$shards)"
+    PM_SHARDS=$shards cargo test -q -p pm-stream -p pm-serve -p pm-motif
 done
 
 echo "==> cargo clippy --all-targets -- -D warnings"
@@ -161,6 +161,14 @@ if [ "$have_baseline" = 1 ]; then
     fi
 fi
 
+# Motif smoke: batch motif mining (day graphs -> canonical forms -> ranked
+# table), spliced into the same report.
+echo "==> cargo bench -p pm-bench --bench motif_bench (PM_BENCH_SMOKE=1)"
+PM_BENCH_SMOKE=1 PM_BENCH_OUT="$workspace/BENCH_pipeline.json" \
+    cargo bench -p pm-bench --bench motif_bench
+grep -q '"motifs"' BENCH_pipeline.json \
+    || die "motif bench did not splice into BENCH_pipeline.json"
+
 # Loadgen smoke: the sharded-ingest load generator (shards=8), spliced into
 # the same report. The committed loadgen section is the full 1M-user run,
 # so no smoke-vs-full delta is computed — the ingest guard above covers
@@ -187,7 +195,8 @@ if [ "$have_baseline" = 1 ]; then
             "recognize|stages recognize median_ms|ms|lower" \
             "extract|stages extract median_ms|ms|lower" \
             "serve /v1/patterns|serve patterns median_ms|ms|lower" \
-            "ingest|ingest - fixes_per_sec|fixes/s|higher"; do
+            "ingest|ingest - fixes_per_sec|fixes/s|higher" \
+            "motif mining|motifs - build_ms|ms|lower"; do
             label="${row%%|*}"
             rest="${row#*|}"
             selector="${rest%%|*}"
@@ -244,6 +253,23 @@ cargo run --release -q -p pm-cli -- mine \
 [ -s "$artifact" ] || die "mine --artifact wrote nothing"
 cargo run --release -q -p pm-cli -- artifact-check "$artifact"
 
+# Motif mining: run the motifs command twice over the same corpus and
+# demand byte-identical reports, then prove the motif-bearing artifact
+# still round-trips. The serve smoke below boots from this artifact, so
+# /v1/motifs answers from a real table.
+echo "==> motif mining (motifs command, determinism + round trip)"
+cargo run --release -q -p pm-cli -- motifs \
+    --artifact "$artifact" --journeys examples/data/journeys.csv --lenient \
+    > "$workspace/target/ci-motifs-1.txt"
+cargo run --release -q -p pm-cli -- motifs \
+    --artifact "$artifact" --journeys examples/data/journeys.csv --lenient \
+    > "$workspace/target/ci-motifs-2.txt"
+cmp -s "$workspace/target/ci-motifs-1.txt" "$workspace/target/ci-motifs-2.txt" \
+    || die "motifs output differs across identical runs"
+grep -q 'motif classes over' "$workspace/target/ci-motifs-1.txt" \
+    || die "motifs mined no classes"
+cargo run --release -q -p pm-cli -- artifact-check "$artifact"
+
 # Serve smoke test: boot the query service on an ephemeral port, hit it
 # with curl, and shut it down cleanly. Skipped when curl is unavailable.
 if command -v curl > /dev/null 2>&1; then
@@ -267,6 +293,12 @@ if command -v curl > /dev/null 2>&1; then
         | grep -q '"query"' || die "semantic lookup failed"
     curl -fsS "http://$addr/v1/patterns?limit=3" | grep -q '"total"' \
         || die "pattern query failed"
+    curl -fsS "http://$addr/v1/motifs?top=5" > "$workspace/target/ci-motifs-a.json"
+    grep -q '"total_days"' "$workspace/target/ci-motifs-a.json" \
+        || die "motif query failed"
+    curl -fsS "http://$addr/v1/motifs?top=5" > "$workspace/target/ci-motifs-b.json"
+    cmp -s "$workspace/target/ci-motifs-a.json" "$workspace/target/ci-motifs-b.json" \
+        || die "motif responses differ across identical queries"
 
     # Ingest smoke: replay the committed journeys against the live server
     # (throttled so it is still running when the reload lands), hot-swap
@@ -283,6 +315,8 @@ if command -v curl > /dev/null 2>&1; then
         || die "replay failed: $(cat "$workspace/target/ci-replay.log")"
     curl -fsS "http://$addr/v1/live/patterns" | grep -q '"from":' \
         || die "live patterns stayed empty after replay"
+    curl -fsS "http://$addr/v1/live/motifs" | grep -q '"window_days":7' \
+        || die "live motifs endpoint failed"
     curl -fsS "http://$addr/v1/stats" | grep -q '"serve.swap_epoch": 1' \
         || die "epoch swap not visible in the run-report counters"
     kill "$serve_pid"
