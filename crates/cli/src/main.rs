@@ -42,6 +42,12 @@
 //! `--seed`) against a stored artifact's CSD, prints the ranked classes,
 //! and writes the table back into the artifact as its optional motif
 //! section — served at `GET /v1/motifs` by `serve`.
+//!
+//! `cohorts` embeds every user of such a corpus as a sparse semantic-unit
+//! visit/transition vector, clusters the population into life-pattern
+//! cohorts (`--k` fixes the count, `--k-min` the k-anonymity floor), and
+//! writes the table back as the optional cohort section — served at
+//! `GET /v1/cohorts` and the per-user endpoints.
 
 use pervasive_miner::core::construct::ConstructionOptions;
 use pervasive_miner::core::recognize::stay_points_of;
@@ -55,6 +61,7 @@ use pervasive_miner::prelude::*;
 use pervasive_miner::serve::{ServeConfig, ServeState, Server, Snapshot};
 use pervasive_miner::store::Artifact;
 use pervasive_miner::stream::EngineConfig;
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -83,6 +90,8 @@ struct Args {
     remine_dir: Option<PathBuf>,
     shards: Option<usize>,
     users: Option<usize>,
+    k: usize,
+    k_min: u32,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -118,6 +127,8 @@ fn parse_args() -> Result<Args, String> {
         remine_dir: None,
         shards: None,
         users: None,
+        k: 0,
+        k_min: pervasive_miner::cohort::DEFAULT_K_MIN,
     };
     let mut positional = Vec::new();
     while let Some(a) = argv.next() {
@@ -219,6 +230,23 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad --rate: {e}"))?
             }
+            "--k" => {
+                args.k = argv
+                    .next()
+                    .ok_or("--k needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --k: {e}"))?
+            }
+            "--k-min" => {
+                args.k_min = argv
+                    .next()
+                    .ok_or("--k-min needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --k-min: {e}"))?;
+                if args.k_min == 0 {
+                    return Err("--k-min must be at least 1".into());
+                }
+            }
             "--batch" => {
                 args.batch = argv
                     .next()
@@ -238,7 +266,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: pervasive-miner <mine|serve|replay|motifs|artifact-check|fig|table|all|svg> [target] \
+    "usage: pervasive-miner <mine|serve|replay|motifs|cohorts|artifact-check|fig|table|all|svg> [target] \
      [--scale tiny|small|paper] [--seed N] [--sigma N] [--csv DIR] [--out FILE] \
      [--pois FILE --journeys FILE] [--lenient] [--threads N] \
      [--report FILE] [--report-format json|text] \
@@ -281,12 +309,18 @@ fn usage() -> String {
      --users folds the stream onto N synthetic user ids (u0..uN-1) to \
      exercise a chosen user cardinality; overload answers are retried \
      honoring the server's Retry-After\n\
-     artifact-check <FILE>: reload an artifact and verify it re-serializes \
-     byte-identically\n\
+     artifact-check <FILE>: reload an artifact, verify it re-serializes \
+     byte-identically, and report which optional sections it carries\n\
      motifs --artifact FILE: mine daily mobility motifs (per-user-per-day \
      unit-transition graphs, canonicalized) from --journeys CSV or the \
      synthetic --scale/--seed city, print the --top ranked classes, and \
-     write the table into the artifact (--out writes elsewhere)"
+     write the table into the artifact (--out writes elsewhere)\n\
+     cohorts --artifact FILE: embed each user's semantic-unit visit/\
+     transition profile, cluster users into life-pattern cohorts, and \
+     write the table into the artifact (--out writes elsewhere; corpus \
+     from --journeys CSV or the synthetic --scale/--seed city); --k fixes \
+     the cohort count (0 = auto), --k-min sets the k-anonymity floor \
+     below which cohort aggregates are suppressed (default 5)"
         .into()
 }
 
@@ -326,8 +360,16 @@ fn run() -> Result<(), String> {
     if args.report.is_some() && args.command != "mine" {
         return Err("--report only applies to the `mine` command".into());
     }
-    if args.artifact.is_some() && !matches!(args.command.as_str(), "mine" | "serve" | "motifs") {
-        return Err("--artifact only applies to the `mine`, `serve`, and `motifs` commands".into());
+    if args.artifact.is_some()
+        && !matches!(
+            args.command.as_str(),
+            "mine" | "serve" | "motifs" | "cohorts"
+        )
+    {
+        return Err(
+            "--artifact only applies to the `mine`, `serve`, `motifs`, and `cohorts` commands"
+                .into(),
+        );
     }
 
     // Commands that operate on a stored artifact never need a synthetic
@@ -337,6 +379,7 @@ fn run() -> Result<(), String> {
         "replay" => return replay_command(&args),
         "artifact-check" => return artifact_check(&args),
         "motifs" => return motifs_command(&args, &params),
+        "cohorts" => return cohorts_command(&args, &params),
         _ => {}
     }
 
@@ -839,38 +882,7 @@ fn motifs_command(args: &Args, params: &MinerParams) -> Result<(), String> {
     let artifact = Artifact::read_file(path).map_err(|e| format!("{}: {e}", path.display()))?;
     eprintln!("loaded {}: {}", path.display(), artifact.describe());
 
-    // The trajectory corpus: a journeys CSV when given, otherwise the
-    // synthetic city `--scale`/`--seed` describe.
-    let trajectories = match &args.journeys {
-        Some(journeys_path) => {
-            let projection = pervasive_miner::io::default_projection();
-            let text = std::fs::read_to_string(journeys_path)
-                .map_err(|e| format!("{}: {e}", journeys_path.display()))?;
-            let mode = if args.lenient {
-                IngestMode::Lenient
-            } else {
-                IngestMode::Strict
-            };
-            let (journeys, report) =
-                read_journeys_observed(&text, &projection, mode, params.threads, &Obs::noop())
-                    .map_err(|e| {
-                        format!(
-                            "{}: {e} (use --lenient to quarantine bad lines)",
-                            journeys_path.display()
-                        )
-                    })?;
-            report_quarantine(journeys_path, &report);
-            journeys_to_trajectories(&journeys)
-        }
-        None => {
-            let cfg = config(&args.scale, args.seed)?;
-            eprintln!(
-                "generating {} city (seed {}) as the motif corpus ...",
-                args.scale, args.seed
-            );
-            Dataset::generate(&cfg).trajectories
-        }
-    };
+    let trajectories = trajectory_corpus(args, params, "motif")?;
 
     let kernel = GaussianKernel::new(artifact.params.r3sigma);
     let mut agg = MotifAggregator::new();
@@ -929,8 +941,157 @@ fn motifs_command(args: &Args, params: &MinerParams) -> Result<(), String> {
     Ok(())
 }
 
-/// Reloads an artifact and proves it re-serializes byte-identically —
-/// the on-disk integrity check scripts run after `mine --artifact`.
+/// The trajectory corpus a mining command works over: a journeys CSV when
+/// given, otherwise the synthetic city `--scale`/`--seed` describe.
+fn trajectory_corpus(
+    args: &Args,
+    params: &MinerParams,
+    what: &str,
+) -> Result<Vec<SemanticTrajectory>, String> {
+    match &args.journeys {
+        Some(journeys_path) => {
+            let projection = pervasive_miner::io::default_projection();
+            let text = std::fs::read_to_string(journeys_path)
+                .map_err(|e| format!("{}: {e}", journeys_path.display()))?;
+            let mode = if args.lenient {
+                IngestMode::Lenient
+            } else {
+                IngestMode::Strict
+            };
+            let (journeys, report) =
+                read_journeys_observed(&text, &projection, mode, params.threads, &Obs::noop())
+                    .map_err(|e| {
+                        format!(
+                            "{}: {e} (use --lenient to quarantine bad lines)",
+                            journeys_path.display()
+                        )
+                    })?;
+            report_quarantine(journeys_path, &report);
+            Ok(journeys_to_trajectories(&journeys))
+        }
+        None => {
+            let cfg = config(&args.scale, args.seed)?;
+            eprintln!(
+                "generating {} city (seed {}) as the {what} corpus ...",
+                args.scale, args.seed
+            );
+            Ok(Dataset::generate(&cfg).trajectories)
+        }
+    }
+}
+
+/// `cohorts`: embed every user in the corpus as a semantic-unit
+/// visit/transition vector, cluster the population into life-pattern
+/// cohorts, and write the resulting [`pervasive_miner::cohort::CohortTable`] into the
+/// artifact as its optional `coho` section (served at `GET /v1/cohorts`,
+/// `GET /v1/users/:id/patterns`, and `GET /v1/users/:id/similar`).
+fn cohorts_command(args: &Args, params: &MinerParams) -> Result<(), String> {
+    use pervasive_miner::cluster::GaussianKernel;
+    use pervasive_miner::cohort::{embed_users, CohortParams, CohortTable, UserStay};
+    use pervasive_miner::core::recognize::recognize_stay_point_unit;
+
+    let path = args
+        .artifact
+        .as_ref()
+        .ok_or("cohorts needs --artifact FILE (produce one with `mine --artifact`)")?;
+    let artifact = Artifact::read_file(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    eprintln!("loaded {}: {}", path.display(), artifact.describe());
+
+    let trajectories = trajectory_corpus(args, params, "cohort")?;
+
+    // One user per carded passenger ("card-N"); anonymous trajectories
+    // each stand alone ("uIDX" by corpus position) — the same identity
+    // rule the replay command applies to the live stream.
+    let kernel = GaussianKernel::new(artifact.params.r3sigma);
+    let mut unrecognized = 0u64;
+    let mut groups: BTreeMap<String, Vec<UserStay>> = BTreeMap::new();
+    for (i, traj) in trajectories.iter().enumerate() {
+        let user = match traj.passenger {
+            Some(card) => format!("card-{card}"),
+            None => format!("u{i}"),
+        };
+        let stays = groups.entry(user).or_default();
+        for sp in &traj.stays {
+            let (unit, _tags, primary) = recognize_stay_point_unit(&artifact.csd, &kernel, sp.pos);
+            let Some(unit) = unit else {
+                unrecognized += 1;
+                continue;
+            };
+            stays.push(UserStay {
+                unit: unit as u64,
+                category: primary,
+                time: sp.time,
+            });
+        }
+    }
+    groups.retain(|_, stays| !stays.is_empty());
+    let groups: Vec<(String, Vec<UserStay>)> = groups.into_iter().collect();
+
+    let cohort_params = CohortParams {
+        k: args.k,
+        seed: args.seed,
+        k_min: args.k_min,
+        threads: params.threads,
+        ..CohortParams::default()
+    };
+    let embeddings = embed_users(&groups, cohort_params.threads);
+    let table = CohortTable::mine(embeddings, &cohort_params);
+
+    let hidden = table
+        .cohorts
+        .iter()
+        .filter(|c| table.suppressed(c.size))
+        .count();
+    println!(
+        "{} users in {} cohorts ({} below the k-anonymity floor of {}) via {} ({} unrecognized stays skipped)",
+        table.users.len(),
+        table.cohorts.len(),
+        hidden,
+        table.k_min,
+        table.method.name(),
+        unrecognized,
+    );
+    for cohort in &table.cohorts {
+        if table.suppressed(cohort.size) {
+            println!(
+                "  cohort {:<3} suppressed (size < {})",
+                cohort.id, table.k_min
+            );
+            continue;
+        }
+        let dominant = cohort
+            .dominant_category()
+            .map(|c| c.name())
+            .unwrap_or("untagged");
+        println!(
+            "  cohort {:<3} {:>6} users  dominant {:<20} avg {:.1} active days / {:.1} stays",
+            cohort.id, cohort.size, dominant, cohort.mean_active_days, cohort.mean_stays
+        );
+    }
+    for user in table.users.iter().take(args.top) {
+        println!(
+            "  user {}  cohort {}  stays {}  active-days {}",
+            user.user, user.cohort, user.stays, user.active_days
+        );
+    }
+
+    let out = args.out.as_ref().unwrap_or(path);
+    let artifact = artifact.with_cohorts(table);
+    artifact
+        .write_file(out)
+        .map_err(|e| format!("{}: {e}", out.display()))?;
+    eprintln!(
+        "wrote cohort-bearing artifact to {} ({})",
+        out.display(),
+        artifact.describe()
+    );
+    Ok(())
+}
+
+/// Reloads an artifact, proves it re-serializes byte-identically — the
+/// on-disk integrity check scripts run after `mine --artifact` — and
+/// reports the section layout, naming which optional sections (motifs,
+/// cohorts) are present.
 fn artifact_check(args: &Args) -> Result<(), String> {
     let path = args
         .target
@@ -947,6 +1108,29 @@ fn artifact_check(args: &Args) -> Result<(), String> {
         bytes.len(),
         artifact.describe()
     );
+    let sections = pervasive_miner::store::section_summary(&bytes)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut optional = Vec::new();
+    for s in &sections {
+        println!(
+            "  section {}  {:>12} bytes{}",
+            s.tag_str(),
+            s.payload_bytes,
+            if s.optional { "  (optional)" } else { "" }
+        );
+        if s.optional {
+            optional.push(match s.tag_str().as_str() {
+                "motf" => "motifs".to_string(),
+                "coho" => "cohorts".to_string(),
+                other => other.to_string(),
+            });
+        }
+    }
+    if optional.is_empty() {
+        println!("  optional sections: none");
+    } else {
+        println!("  optional sections: {}", optional.join(", "));
+    }
     Ok(())
 }
 

@@ -16,6 +16,8 @@
 //!   with strict and lenient (quarantining) modes.
 //! - [`motif`]: daily mobility motifs — per-user-per-day transition graphs
 //!   over semantic units, canonicalized and ranked by population share.
+//! - [`cohort`]: per-user pattern embeddings, life-pattern cohort
+//!   clustering, and k-anonymous similar-user search.
 //! - [`obs`]: observability — stage spans, counters/gauges, and
 //!   machine-readable run reports (see the CLI's `--report` flag).
 //! - [`store`]: versioned, checksummed binary artifacts persisting a
@@ -28,6 +30,7 @@
 
 pub use pm_baselines as baselines;
 pub use pm_cluster as cluster;
+pub use pm_cohort as cohort;
 pub use pm_core as core;
 pub use pm_eval as eval;
 pub use pm_geo as geo;

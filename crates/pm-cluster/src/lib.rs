@@ -16,11 +16,15 @@
 //!
 //! [`kernel`] holds the Gaussian distribution coefficient of the paper's
 //! Eq. 2, shared by popularity estimation and semantic recognition.
+//! [`ndim`] generalizes K-Means and Mean Shift to N-dimensional rows for
+//! the user-embedding spaces of pm-cohort, with the same seeded
+//! determinism discipline as the 2-D variants.
 
 pub mod dbscan;
 pub mod kernel;
 pub mod kmeans;
 pub mod meanshift;
+pub mod ndim;
 pub(crate) mod neighborhoods;
 pub mod optics;
 
@@ -28,6 +32,9 @@ pub use dbscan::{dbscan, DbscanParams};
 pub use kernel::{gaussian_coeff, GaussianKernel};
 pub use kmeans::{kmeans, KMeansParams, KMeansResult};
 pub use meanshift::{mean_shift, MeanShiftParams, MeanShiftResult};
+pub use ndim::{
+    kmeans_nd, mean_shift_nd, KMeansNdParams, KMeansNdResult, MeanShiftNdParams, MeanShiftNdResult,
+};
 pub use optics::{Optics, OpticsParams, OpticsScratch};
 
 use pm_geo::LocalPoint;

@@ -1,0 +1,407 @@
+//! N-dimensional K-Means and Mean Shift over flat row-major data.
+//!
+//! The 2-D variants in [`mod@crate::kmeans`] and [`crate::meanshift`] operate on
+//! [`pm_geo::LocalPoint`] — the right shape for the paper's spatial
+//! substrate, and deliberately so. User-embedding spaces (pm-cohort's
+//! category-transition profiles) are higher-dimensional, so this module
+//! generalizes both algorithms to `dims`-dimensional rows stored flat
+//! (`data[i * dims .. (i + 1) * dims]` is point `i`), keeping the exact
+//! determinism discipline of the 2-D code: ChaCha8-seeded k-means++
+//! initialization, fixed iteration order, and non-finite rows masked out as
+//! noise instead of poisoning every centroid.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Parameters for [`kmeans_nd`].
+#[derive(Clone, Copy, Debug)]
+pub struct KMeansNdParams {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iter: usize,
+    /// Convergence tolerance on total centroid movement (Euclidean).
+    pub tol: f64,
+    /// RNG seed for k-means++ initialization (deterministic runs).
+    pub seed: u64,
+}
+
+impl KMeansNdParams {
+    /// Parameter set with the same defaults as the 2-D variant
+    /// (100 iterations, 1e-4 tolerance, seed 0).
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        Self {
+            k,
+            max_iter: 100,
+            tol: 1e-4,
+            seed: 0,
+        }
+    }
+
+    /// Overrides the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Result of an N-dimensional K-Means run.
+#[derive(Debug, Clone)]
+pub struct KMeansNdResult {
+    /// Per-row cluster assignment; rows with non-finite coordinates are
+    /// labelled `None`, everything else `Some(0..n_clusters)`.
+    pub labels: Vec<Option<usize>>,
+    /// Number of clusters actually produced (≤ `k`, clamped to the number
+    /// of finite rows).
+    pub n_clusters: usize,
+    /// Final centroids, row-major (`n_clusters * dims` values).
+    pub centroids: Vec<f64>,
+    /// Sum of squared distances of finite rows to their centroid.
+    pub inertia: f64,
+}
+
+/// Lloyd's algorithm with k-means++ seeding over `dims`-dimensional rows.
+///
+/// `data.len()` must be a multiple of `dims`. Deterministic for a given
+/// (data, params) pair: the RNG is seeded, ties in the assignment step go to
+/// the lowest centroid index, and accumulation order is the row order.
+pub fn kmeans_nd(data: &[f64], dims: usize, params: KMeansNdParams) -> KMeansNdResult {
+    assert!(dims >= 1, "dims must be at least 1");
+    assert_eq!(data.len() % dims, 0, "data must be whole rows");
+    let n = data.len() / dims;
+    let finite: Vec<usize> = (0..n)
+        .filter(|&i| row(data, dims, i).iter().all(|v| v.is_finite()))
+        .collect();
+    let k = params.k.min(finite.len());
+    if k == 0 {
+        return KMeansNdResult {
+            labels: vec![None; n],
+            n_clusters: 0,
+            centroids: Vec::new(),
+            inertia: 0.0,
+        };
+    }
+
+    let mut centroids = plus_plus_init_nd(data, dims, &finite, k, params.seed);
+    let mut assign = vec![0usize; finite.len()];
+
+    for _ in 0..params.max_iter {
+        for (slot, &i) in assign.iter_mut().zip(&finite) {
+            *slot = nearest_row(row(data, dims, i), &centroids, dims);
+        }
+        let mut sums = vec![0.0; k * dims];
+        let mut counts = vec![0usize; k];
+        for (slot, &i) in assign.iter().zip(&finite) {
+            let p = row(data, dims, i);
+            for (s, v) in sums[slot * dims..(slot + 1) * dims].iter_mut().zip(p) {
+                *s += v;
+            }
+            counts[*slot] += 1;
+        }
+        let mut movement = 0.0;
+        for c in 0..k {
+            if counts[c] == 0 {
+                continue; // keep the old centroid for empty clusters
+            }
+            let inv = 1.0 / counts[c] as f64;
+            let mut d_sq = 0.0;
+            for d in 0..dims {
+                let next = sums[c * dims + d] * inv;
+                let delta = next - centroids[c * dims + d];
+                d_sq += delta * delta;
+                centroids[c * dims + d] = next;
+            }
+            movement += d_sq.sqrt();
+        }
+        if movement < params.tol {
+            break;
+        }
+    }
+
+    let mut labels = vec![None; n];
+    let mut inertia = 0.0;
+    for &i in &finite {
+        let p = row(data, dims, i);
+        let c = nearest_row(p, &centroids, dims);
+        labels[i] = Some(c);
+        inertia += dist_sq(p, &centroids[c * dims..(c + 1) * dims]);
+    }
+
+    KMeansNdResult {
+        labels,
+        n_clusters: k,
+        centroids,
+        inertia,
+    }
+}
+
+/// Parameters for [`mean_shift_nd`].
+#[derive(Clone, Copy, Debug)]
+pub struct MeanShiftNdParams {
+    /// Flat-kernel radius (Euclidean) for the mean computation.
+    pub bandwidth: f64,
+    /// Convergence tolerance on per-point shift distance.
+    pub tol: f64,
+    /// Maximum shift iterations per point.
+    pub max_iter: usize,
+}
+
+impl MeanShiftNdParams {
+    /// Parameter set with the 2-D variant's defaults (1e-3 tolerance,
+    /// 300 iterations).
+    pub fn new(bandwidth: f64) -> Self {
+        assert!(
+            bandwidth.is_finite() && bandwidth > 0.0,
+            "bandwidth must be positive"
+        );
+        Self {
+            bandwidth,
+            tol: 1e-3,
+            max_iter: 300,
+        }
+    }
+}
+
+/// Result of an N-dimensional Mean Shift run.
+#[derive(Debug, Clone)]
+pub struct MeanShiftNdResult {
+    /// Per-row mode assignment; non-finite rows are `None`.
+    pub labels: Vec<Option<usize>>,
+    /// Number of distinct modes found.
+    pub n_modes: usize,
+    /// Converged modes, row-major (`n_modes * dims` values), in order of
+    /// first discovery (lowest contributing row index first).
+    pub modes: Vec<f64>,
+}
+
+/// Flat-kernel Mean Shift over `dims`-dimensional rows.
+///
+/// Each finite row hill-climbs to the mean of its bandwidth neighborhood
+/// until the shift falls under `tol`; converged positions merge into one
+/// mode when within `bandwidth / 2` of an earlier one (first-come order, so
+/// the result is deterministic). Neighborhoods are exact O(n²) scans — this
+/// is the small-population fallback, not the bulk path.
+pub fn mean_shift_nd(data: &[f64], dims: usize, params: MeanShiftNdParams) -> MeanShiftNdResult {
+    assert!(dims >= 1, "dims must be at least 1");
+    assert_eq!(data.len() % dims, 0, "data must be whole rows");
+    let n = data.len() / dims;
+    let finite: Vec<usize> = (0..n)
+        .filter(|&i| row(data, dims, i).iter().all(|v| v.is_finite()))
+        .collect();
+    let bw_sq = params.bandwidth * params.bandwidth;
+    let tol_sq = params.tol * params.tol;
+
+    // Shift every finite row to its local mode.
+    let mut shifted = vec![0.0; finite.len() * dims];
+    for (s, &i) in finite.iter().enumerate() {
+        let mut pos = row(data, dims, i).to_vec();
+        for _ in 0..params.max_iter {
+            let mut mean = vec![0.0; dims];
+            let mut count = 0usize;
+            for &j in &finite {
+                let q = row(data, dims, j);
+                if dist_sq(&pos, q) <= bw_sq {
+                    for (m, v) in mean.iter_mut().zip(q) {
+                        *m += v;
+                    }
+                    count += 1;
+                }
+            }
+            if count == 0 {
+                break; // isolated point: it is its own mode
+            }
+            let inv = 1.0 / count as f64;
+            for m in mean.iter_mut() {
+                *m *= inv;
+            }
+            let moved = dist_sq(&pos, &mean);
+            pos.copy_from_slice(&mean);
+            if moved <= tol_sq {
+                break;
+            }
+        }
+        shifted[s * dims..(s + 1) * dims].copy_from_slice(&pos);
+    }
+
+    // Merge converged positions into modes, first-come order.
+    let merge_sq = bw_sq / 4.0;
+    let mut modes: Vec<f64> = Vec::new();
+    let mut n_modes = 0usize;
+    let mut labels = vec![None; n];
+    for (s, &i) in finite.iter().enumerate() {
+        let pos = &shifted[s * dims..(s + 1) * dims];
+        let mut assigned = None;
+        for m in 0..n_modes {
+            if dist_sq(pos, &modes[m * dims..(m + 1) * dims]) <= merge_sq {
+                assigned = Some(m);
+                break;
+            }
+        }
+        let m = assigned.unwrap_or_else(|| {
+            modes.extend_from_slice(pos);
+            n_modes += 1;
+            n_modes - 1
+        });
+        labels[i] = Some(m);
+    }
+
+    MeanShiftNdResult {
+        labels,
+        n_modes,
+        modes,
+    }
+}
+
+#[inline]
+fn row(data: &[f64], dims: usize, i: usize) -> &[f64] {
+    &data[i * dims..(i + 1) * dims]
+}
+
+#[inline]
+fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc
+}
+
+fn nearest_row(p: &[f64], centroids: &[f64], dims: usize) -> usize {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (c, m) in centroids.chunks_exact(dims).enumerate() {
+        let d = dist_sq(p, m);
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    best
+}
+
+/// k-means++ seeding over the finite rows, mirroring the 2-D implementation.
+fn plus_plus_init_nd(data: &[f64], dims: usize, finite: &[usize], k: usize, seed: u64) -> Vec<f64> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut centroids = Vec::with_capacity(k * dims);
+    let first = finite[rng.gen_range(0..finite.len())];
+    centroids.extend_from_slice(row(data, dims, first));
+    let mut d_sq: Vec<f64> = finite
+        .iter()
+        .map(|&i| dist_sq(row(data, dims, i), &centroids[..dims]))
+        .collect();
+    while centroids.len() < k * dims {
+        let total: f64 = d_sq.iter().sum();
+        let next = if total <= f64::EPSILON {
+            // All remaining rows coincide with existing centroids.
+            finite[rng.gen_range(0..finite.len())]
+        } else {
+            let mut target = rng.gen_range(0.0..total);
+            let mut chosen = finite.len() - 1;
+            for (i, &d) in d_sq.iter().enumerate() {
+                if target < d {
+                    chosen = i;
+                    break;
+                }
+                target -= d;
+            }
+            finite[chosen]
+        };
+        let next_row = row(data, dims, next).to_vec();
+        for (slot, &i) in d_sq.iter_mut().zip(finite) {
+            *slot = slot.min(dist_sq(row(data, dims, i), &next_row));
+        }
+        centroids.extend_from_slice(&next_row);
+    }
+    centroids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two well-separated 3-D blobs around (0,0,0) and (100,100,100).
+    fn blobs() -> Vec<f64> {
+        let mut data = Vec::new();
+        for i in 0..40 {
+            let t = i as f64 * 0.37;
+            let (base, r) = if i < 20 { (0.0, 3.0) } else { (100.0, 3.0) };
+            data.extend_from_slice(&[
+                base + r * t.sin(),
+                base + r * t.cos(),
+                base + r * (t * 0.7).sin(),
+            ]);
+        }
+        data
+    }
+
+    #[test]
+    fn kmeans_nd_separates_blobs() {
+        let data = blobs();
+        let r = kmeans_nd(&data, 3, KMeansNdParams::new(2).with_seed(7));
+        assert_eq!(r.n_clusters, 2);
+        let l0 = r.labels[0];
+        assert!(r.labels[..20].iter().all(|l| *l == l0));
+        assert!(r.labels[20..].iter().all(|l| *l != l0));
+        assert!(r.inertia.is_finite());
+    }
+
+    #[test]
+    fn kmeans_nd_deterministic_given_seed() {
+        let data = blobs();
+        let a = kmeans_nd(&data, 3, KMeansNdParams::new(3).with_seed(42));
+        let b = kmeans_nd(&data, 3, KMeansNdParams::new(3).with_seed(42));
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.centroids, b.centroids);
+        assert_eq!(a.inertia.to_bits(), b.inertia.to_bits());
+    }
+
+    #[test]
+    fn kmeans_nd_clamps_k_and_handles_empty() {
+        let r = kmeans_nd(&[1.0, 2.0], 2, KMeansNdParams::new(5));
+        assert_eq!(r.n_clusters, 1);
+        assert!(r.inertia < 1e-12);
+        let e = kmeans_nd(&[], 4, KMeansNdParams::new(3));
+        assert_eq!(e.n_clusters, 0);
+        assert!(e.labels.is_empty());
+    }
+
+    #[test]
+    fn kmeans_nd_masks_non_finite_rows() {
+        let mut data = blobs();
+        data.extend_from_slice(&[f64::NAN, 0.0, 0.0]);
+        let r = kmeans_nd(&data, 3, KMeansNdParams::new(2).with_seed(7));
+        assert_eq!(r.labels.last().copied().flatten(), None);
+        let clean = kmeans_nd(&blobs(), 3, KMeansNdParams::new(2).with_seed(7));
+        assert_eq!(&r.labels[..40], &clean.labels[..]);
+        assert_eq!(r.centroids, clean.centroids);
+    }
+
+    #[test]
+    fn mean_shift_nd_finds_two_modes() {
+        let data = blobs();
+        let r = mean_shift_nd(&data, 3, MeanShiftNdParams::new(20.0));
+        assert_eq!(r.n_modes, 2);
+        let l0 = r.labels[0];
+        assert!(r.labels[..20].iter().all(|l| *l == l0));
+        assert!(r.labels[20..].iter().all(|l| *l != l0));
+    }
+
+    #[test]
+    fn mean_shift_nd_deterministic() {
+        let data = blobs();
+        let a = mean_shift_nd(&data, 3, MeanShiftNdParams::new(20.0));
+        let b = mean_shift_nd(&data, 3, MeanShiftNdParams::new(20.0));
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.modes, b.modes);
+    }
+
+    #[test]
+    fn mean_shift_nd_single_point_is_its_own_mode() {
+        let r = mean_shift_nd(&[5.0, 5.0], 2, MeanShiftNdParams::new(1.0));
+        assert_eq!(r.n_modes, 1);
+        assert_eq!(r.labels, vec![Some(0)]);
+    }
+}

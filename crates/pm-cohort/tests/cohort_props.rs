@@ -1,0 +1,92 @@
+//! Determinism properties of the cohort pipeline: embeddings, cohort
+//! assignment, and similar-user rankings must be byte-identical at every
+//! thread count and invariant under input order, and rankings must obey
+//! the documented (similarity desc, user asc) total order.
+
+use pm_cohort::{embed_users, CohortIndex, CohortParams, CohortTable, SimilarScope, UserStay};
+use pm_core::types::Category;
+use proptest::prelude::*;
+
+/// A drawn population: per-user stay lists over a small unit pool, with
+/// categories and times covering a few days.
+fn population() -> impl Strategy<Value = Vec<Vec<UserStay>>> {
+    let stay =
+        (0u64..10, 0usize..Category::COUNT, 0i64..259_200).prop_map(|(unit, cat, time)| UserStay {
+            unit,
+            category: Some(Category::from_index(cat)),
+            time,
+        });
+    prop::collection::vec(prop::collection::vec(stay, 1..12), 2..32)
+}
+
+fn named(stays: Vec<Vec<UserStay>>) -> Vec<(String, Vec<UserStay>)> {
+    stays
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| (format!("u{i:03}"), s))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The whole batch path — embed, cluster, rank — is identical at one
+    /// worker thread and four.
+    #[test]
+    fn pipeline_is_thread_count_invariant(stays in population(), k_min in 1u32..6) {
+        let groups = named(stays);
+        let params = CohortParams { k_min, ..CohortParams::default() };
+
+        let sequential = embed_users(&groups, 1);
+        let parallel = embed_users(&groups, 4);
+        prop_assert_eq!(&sequential, &parallel);
+
+        let table_seq = CohortTable::mine(sequential, &params);
+        let table_par = CohortTable::mine(parallel, &params);
+        prop_assert_eq!(&table_seq, &table_par);
+
+        let index = CohortIndex::build(&table_seq);
+        for query in 0..table_seq.users.len() {
+            for scope in [SimilarScope::Cohort, SimilarScope::All] {
+                let a = table_seq.k_nearest(&index, query, 5, scope);
+                let b = table_par.k_nearest(&index, query, 5, scope);
+                prop_assert_eq!(a, b);
+            }
+        }
+    }
+
+    /// Mining sorts by user id, so the table cannot depend on the order
+    /// the corpus delivered trajectories in.
+    #[test]
+    fn table_is_input_order_invariant(stays in population()) {
+        let groups = named(stays);
+        let mut reversed = groups.clone();
+        reversed.reverse();
+        let params = CohortParams::default();
+        let forward = CohortTable::mine(embed_users(&groups, 1), &params);
+        let backward = CohortTable::mine(embed_users(&reversed, 1), &params);
+        prop_assert_eq!(forward, backward);
+    }
+
+    /// Rankings follow the documented total order — similarity strictly
+    /// non-increasing, ties broken by ascending user index — and never
+    /// include the query user.
+    #[test]
+    fn rankings_are_totally_ordered(stays in population()) {
+        let groups = named(stays);
+        let table = CohortTable::mine(embed_users(&groups, 1), &CohortParams::default());
+        let index = CohortIndex::build(&table);
+        for query in 0..table.users.len() {
+            for scope in [SimilarScope::Cohort, SimilarScope::All] {
+                let neighbors = table.k_nearest(&index, query, table.users.len(), scope);
+                for pair in neighbors.windows(2) {
+                    let ordered = pair[0].similarity > pair[1].similarity
+                        || (pair[0].similarity == pair[1].similarity
+                            && pair[0].user < pair[1].user);
+                    prop_assert!(ordered, "{:?} before {:?}", pair[0], pair[1]);
+                }
+                prop_assert!(neighbors.iter().all(|n| n.user as usize != query));
+            }
+        }
+    }
+}

@@ -391,6 +391,12 @@ mod tests {
             "quarantine.stream_out_of_order",
             "degradation.stream_dropped_fixes",
             "serve.swap_epoch",
+            "cohort.cohorts_served",
+            "cohort.patterns_served",
+            "cohort.similar_served",
+            "cohort.suppressed_aggregates",
+            "cohort.unknown_user",
+            "cohort.missing_section",
         ] {
             obs.incr(name, 0);
         }
@@ -400,6 +406,7 @@ mod tests {
         let r = obs.report();
         assert_eq!(r.counters.get("stream.fixes_accepted"), Some(&0));
         assert_eq!(r.counters.get("serve.swap_epoch"), Some(&0));
+        assert_eq!(r.counters.get("cohort.suppressed_aggregates"), Some(&0));
         assert_eq!(r.quarantine.get("stream_out_of_order"), Some(&0));
         assert_eq!(r.degradations.get("stream_dropped_fixes"), Some(&0));
         let json = r.to_json();
@@ -413,6 +420,12 @@ mod tests {
             "serve.epoch",
             "stream.users_active",
             "stream.buffered_fixes",
+            "cohort.cohorts_served",
+            "cohort.patterns_served",
+            "cohort.similar_served",
+            "cohort.suppressed_aggregates",
+            "cohort.unknown_user",
+            "cohort.missing_section",
         ] {
             assert!(json.contains(name), "{name} missing from report JSON");
         }

@@ -21,6 +21,9 @@
 //! | `POST /v1/annotate` | `{"points":[{"x":..,"y":..,"t":..}, ...]}`      |
 //! | `GET /v1/patterns`  | `from`, `to`, `involving`, `min_support`, `min_len`, `max_len`, `bucket`, `near=x,y,r`, `near_ll=lon,lat,r`, `limit` |
 //! | `GET /v1/motifs`    | `min_nodes`, `max_nodes`, `category`, `top` — ranked motif classes from the artifact (`404` when it has none) |
+//! | `GET /v1/cohorts`   | `category`, `min_size`, `top` — life-pattern cohort aggregates; sub-`k_min` cohorts render `suppressed` (`404` when the artifact has no cohort index) |
+//! | `GET /v1/users/:id/patterns` | — one user's pattern record from the cohort index (`404` without the section or user) |
+//! | `GET /v1/users/:id/similar` | `k`, `scope=cohort\|all` — ranked similar users; the neighborhood aggregate is suppressed below `k_min` |
 //! | `GET /v1/stats`     | — (pm-obs run report)                           |
 //! | `POST /v1/ingest`   | `{"fixes":[{"user":..,"x":..,"y":..,"t":..},..],"stays":[..]}` — live trajectory stream |
 //! | `GET /v1/live/patterns` | — (sliding-window semantic transition counts) |
@@ -71,5 +74,5 @@ pub mod state;
 pub use epoch::EpochCell;
 pub use miner::{FailureKind, InjectedFault, MinerStatus, RemineConfig, Reminer};
 pub use server::{ServeConfig, Server, ShutdownHandle};
-pub use snapshot::{MotifQuery, Snapshot};
+pub use snapshot::{CohortLookup, CohortQuery, MotifQuery, SimilarQuery, Snapshot};
 pub use state::ServeState;

@@ -99,12 +99,15 @@ pub struct Server {
 }
 
 /// Endpoint labels used for `serve.requests.*` / `serve.errors.*` counters.
-const ENDPOINTS: [&str; 13] = [
+const ENDPOINTS: [&str; 16] = [
     "healthz",
     "semantic",
     "annotate",
     "patterns",
     "motifs",
+    "cohorts",
+    "user_patterns",
+    "user_similar",
     "stats",
     "ingest",
     "live_patterns",
@@ -113,6 +116,18 @@ const ENDPOINTS: [&str; 13] = [
     "miner",
     "bad_request",
     "not_found",
+];
+
+/// Cohort-layer counters pre-registered at zero so the `/v1/stats` schema
+/// is stable before the first per-user query: per-endpoint serve tallies,
+/// k-anonymity suppressions, and the two 404 causes.
+const COHORT_COUNTERS: [&str; 6] = [
+    "cohort.cohorts_served",
+    "cohort.patterns_served",
+    "cohort.similar_served",
+    "cohort.suppressed_aggregates",
+    "cohort.unknown_user",
+    "cohort.missing_section",
 ];
 
 /// Stream-layer counters pre-registered at zero (see the pm-obs naming
@@ -196,6 +211,9 @@ impl Server {
             obs.incr(name, 0);
         }
         for name in ROBUSTNESS_COUNTERS {
+            obs.incr(name, 0);
+        }
+        for name in COHORT_COUNTERS {
             obs.incr(name, 0);
         }
         obs.incr("serve.shed", 0);
@@ -397,6 +415,26 @@ fn route(
             },
             Err(m) => (400, error_body(&m), "motifs"),
         },
+        ("GET", "/v1/cohorts") => match crate::snapshot::CohortQuery::from_params(&req.query) {
+            Ok(query) => match snapshot.cohorts_json(&query) {
+                Some((body, suppressed)) => {
+                    obs.incr("cohort.cohorts_served", 1);
+                    obs.incr("cohort.suppressed_aggregates", suppressed);
+                    (200, body, "cohorts")
+                }
+                None => {
+                    obs.incr("cohort.missing_section", 1);
+                    (
+                        404,
+                        error_body(
+                            "artifact has no cohort index; mine one with the cohorts command",
+                        ),
+                        "cohorts",
+                    )
+                }
+            },
+            Err(m) => (400, error_body(&m), "cohorts"),
+        },
         ("GET", "/v1/stats") => {
             // Settle the sharded engine first: deferred TTL sweeps land in
             // the counters (via the state's obs) and the gauges read as a
@@ -429,16 +467,96 @@ fn route(
             }
             Err((status, m)) => (status, error_body(&m), "reload"),
         },
+        (method, path) if path.starts_with("/v1/users/") => {
+            route_user(method, path, &snapshot, obs, req)
+        }
         (
             _,
             "/healthz" | "/v1/semantic" | "/v1/annotate" | "/v1/patterns" | "/v1/motifs"
-            | "/v1/stats" | "/v1/ingest" | "/v1/live/patterns" | "/v1/live/motifs" | "/v1/reload"
-            | "/v1/miner",
+            | "/v1/cohorts" | "/v1/stats" | "/v1/ingest" | "/v1/live/patterns" | "/v1/live/motifs"
+            | "/v1/reload" | "/v1/miner",
         ) => (
             405,
             error_body(&format!("{} not allowed here", req.method)),
             "bad_request",
         ),
         _ => (404, error_body("no such endpoint"), "not_found"),
+    }
+}
+
+/// The `/v1/users/:id/patterns` and `/v1/users/:id/similar` routes: the
+/// user id is a path segment, so these match by prefix instead of the
+/// literal table above.
+fn route_user(
+    method: &str,
+    path: &str,
+    snapshot: &Snapshot,
+    obs: &Obs,
+    req: &Request,
+) -> (u16, String, &'static str) {
+    let rest = &path["/v1/users/".len()..];
+    let Some((user, action)) = rest.rsplit_once('/') else {
+        return (404, error_body("no such endpoint"), "not_found");
+    };
+    let endpoint = match action {
+        "patterns" => "user_patterns",
+        "similar" => "user_similar",
+        _ => return (404, error_body("no such endpoint"), "not_found"),
+    };
+    if user.is_empty() {
+        return (404, error_body("no such endpoint"), "not_found");
+    }
+    if method != "GET" {
+        return (
+            405,
+            error_body(&format!("{method} not allowed here")),
+            "bad_request",
+        );
+    }
+    let rendered = match action {
+        "patterns" => {
+            if let Some((key, _)) = req.query.first() {
+                return (
+                    400,
+                    error_body(&format!("unknown parameter {key:?}")),
+                    endpoint,
+                );
+            }
+            snapshot.user_patterns_json(user)
+        }
+        _ => match crate::snapshot::SimilarQuery::from_params(&req.query) {
+            Ok(query) => snapshot.user_similar_json(user, &query),
+            Err(m) => return (400, error_body(&m), endpoint),
+        },
+    };
+    match rendered {
+        Ok((body, suppressed)) => {
+            obs.incr(
+                if action == "patterns" {
+                    "cohort.patterns_served"
+                } else {
+                    "cohort.similar_served"
+                },
+                1,
+            );
+            obs.incr("cohort.suppressed_aggregates", suppressed);
+            (200, body, endpoint)
+        }
+        Err(crate::snapshot::CohortLookup::NoSection) => {
+            obs.incr("cohort.missing_section", 1);
+            (
+                404,
+                error_body("artifact has no cohort index; mine one with the cohorts command"),
+                endpoint,
+            )
+        }
+        Err(crate::snapshot::CohortLookup::UnknownUser) => {
+            obs.incr("cohort.unknown_user", 1);
+            (
+                404,
+                error_body(&format!("no such user {user:?} in the cohort index")),
+                endpoint,
+            )
+        }
     }
 }

@@ -9,6 +9,7 @@
 
 use crate::json::{self, Json};
 use pm_cluster::GaussianKernel;
+use pm_cohort::{Cohort, CohortIndex, CohortTable, SimilarScope, UserRecord};
 use pm_core::query::PatternQuery;
 use pm_core::recognize::{detect_stay_points, recognize_stay_point_unit};
 use pm_core::types::{Category, GpsPoint, GpsTrajectory, StayPoint, Tags, WeekBucket};
@@ -28,6 +29,10 @@ pub struct Snapshot {
     artifact: Artifact,
     kernel: GaussianKernel,
     projection: Option<Projection>,
+    /// Per-cohort member lists, derived once at freeze time when the
+    /// artifact carries a cohort index — the immutable side structure the
+    /// per-user endpoints search against.
+    cohort_index: Option<CohortIndex>,
 }
 
 impl Snapshot {
@@ -39,9 +44,11 @@ impl Snapshot {
             return Err(format!("artifact r3sigma {r3sigma} is not a valid radius"));
         }
         let projection = artifact.projection.map(Projection::new);
+        let cohort_index = artifact.cohorts.as_ref().map(CohortIndex::build);
         Ok(Snapshot {
             kernel: GaussianKernel::new(r3sigma),
             projection,
+            cohort_index,
             artifact,
         })
     }
@@ -331,6 +338,165 @@ impl Snapshot {
         Some(out)
     }
 
+    // -- /v1/cohorts and /v1/users/:id/* -----------------------------------
+
+    /// The cohort table, when the artifact carries one.
+    pub fn cohort_table(&self) -> Option<&CohortTable> {
+        self.artifact.cohorts.as_ref()
+    }
+
+    /// The `/v1/cohorts` body plus the number of suppressed aggregates in
+    /// it, or `None` when the artifact has no cohort index (the route
+    /// answers `404`, mirroring the motif contract).
+    ///
+    /// Cohorts render in id order. Entries at or above the table's `k_min`
+    /// carry full aggregates and honour the query's category/size filters;
+    /// smaller cohorts always render as an explicit `{"suppressed":true}`
+    /// marker — they are never silently dropped, and filters cannot touch
+    /// them because filtering on hidden attributes would leak them.
+    pub fn cohorts_json(&self, query: &CohortQuery) -> Option<(String, u64)> {
+        let table = self.artifact.cohorts.as_ref()?;
+        let mut suppressed = 0u64;
+        let mut entries = String::new();
+        let mut returned = 0usize;
+        let mut first = true;
+        for cohort in &table.cohorts {
+            if table.suppressed(cohort.size) {
+                suppressed += 1;
+                if !first {
+                    entries.push(',');
+                }
+                first = false;
+                entries.push_str(&format!("{{\"id\":{},\"suppressed\":true}}", cohort.id));
+                continue;
+            }
+            let dominant = cohort.dominant_category();
+            let category_ok = query.category.is_none_or(|cat| dominant == Some(cat));
+            if !category_ok || cohort.size < query.min_size || returned >= query.top {
+                continue;
+            }
+            returned += 1;
+            if !first {
+                entries.push(',');
+            }
+            first = false;
+            entries.push_str(&format!(
+                "{{\"id\":{},\"size\":{},\"mean_active_days\":{},\"mean_stays\":{},\"dominant\":",
+                cohort.id,
+                cohort.size,
+                json::num(cohort.mean_active_days),
+                json::num(cohort.mean_stays),
+            ));
+            push_primary(&mut entries, dominant);
+            entries.push_str(",\"mix\":");
+            push_mix(&mut entries, &cohort.category_mix);
+            entries.push('}');
+        }
+        let body = format!(
+            "{{\"k_min\":{},\"method\":\"{}\",\"total_users\":{},\"total_cohorts\":{},\"returned\":{returned},\"suppressed\":{suppressed},\"cohorts\":[{entries}]}}",
+            table.k_min,
+            table.method.name(),
+            table.users.len(),
+            table.cohorts.len(),
+        );
+        Some((body, suppressed))
+    }
+
+    /// The `/v1/users/:id/patterns` body plus its suppressed-aggregate
+    /// count. The per-user record is the endpoint's subject and renders in
+    /// full; the *cohort cross-reference* is a group aggregate, so it is
+    /// suppressed when the user's cohort is smaller than `k_min`.
+    pub fn user_patterns_json(&self, user: &str) -> Result<(String, u64), CohortLookup> {
+        let table = self
+            .artifact
+            .cohorts
+            .as_ref()
+            .ok_or(CohortLookup::NoSection)?;
+        let idx = table.find_user(user).ok_or(CohortLookup::UnknownUser)?;
+        let record = &table.users[idx];
+        let mut out = String::from("{\"user\":");
+        json::push_str_lit(&mut out, &record.user);
+        out.push_str(&format!(
+            ",\"stays\":{},\"active_days\":{},\"transitions\":{},\"categories\":",
+            record.stays, record.active_days, record.transitions
+        ));
+        push_category_counts(&mut out, &record.category_visits);
+        out.push_str(",\"top_units\":[");
+        for (i, &(unit, visits)) in record.top_units.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"unit\":{unit},\"visits\":{visits}}}"));
+        }
+        out.push_str("],\"cohort\":");
+        let suppressed = push_cohort_ref(&mut out, table, &table.cohorts[record.cohort as usize]);
+        out.push('}');
+        Ok((out, suppressed))
+    }
+
+    /// The `/v1/users/:id/similar` body plus its suppressed-aggregate
+    /// count: the ranked neighbor list (individual records, not an
+    /// aggregate) and a neighborhood-level aggregate that is suppressed
+    /// whenever fewer than `k_min` neighbors back it.
+    pub fn user_similar_json(
+        &self,
+        user: &str,
+        query: &SimilarQuery,
+    ) -> Result<(String, u64), CohortLookup> {
+        let table = self
+            .artifact
+            .cohorts
+            .as_ref()
+            .ok_or(CohortLookup::NoSection)?;
+        let index = self.cohort_index.as_ref().ok_or(CohortLookup::NoSection)?;
+        let idx = table.find_user(user).ok_or(CohortLookup::UnknownUser)?;
+        let neighbors = table.k_nearest(index, idx, query.k, query.scope);
+
+        let mut out = String::from("{\"user\":");
+        json::push_str_lit(&mut out, user);
+        out.push_str(&format!(
+            ",\"k\":{},\"scope\":\"{}\",\"returned\":{},\"neighbors\":[",
+            query.k,
+            match query.scope {
+                SimilarScope::All => "all",
+                SimilarScope::Cohort => "cohort",
+            },
+            neighbors.len()
+        ));
+        let mut sim_sum = 0.0;
+        let mut visits = [0u64; Category::COUNT];
+        for (i, n) in neighbors.iter().enumerate() {
+            let record: &UserRecord = &table.users[n.user as usize];
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"user\":");
+            json::push_str_lit(&mut out, &record.user);
+            out.push_str(&format!(",\"similarity\":{}}}", json::num(n.similarity)));
+            sim_sum += n.similarity;
+            for (slot, &v) in visits.iter_mut().zip(&record.category_visits) {
+                *slot += v;
+            }
+        }
+        out.push_str("],\"aggregate\":");
+        let suppressed = if table.suppressed(neighbors.len() as u64) {
+            out.push_str("{\"suppressed\":true}");
+            1
+        } else {
+            let mean = sim_sum / neighbors.len() as f64;
+            out.push_str(&format!(
+                "{{\"size\":{},\"mean_similarity\":{},\"categories\":",
+                neighbors.len(),
+                json::num(mean)
+            ));
+            push_category_counts(&mut out, &visits);
+            out.push('}');
+            0
+        };
+        out.push('}');
+        Ok((out, suppressed))
+    }
+
     // -- rendering helpers -------------------------------------------------
 
     /// A position object; includes `lat`/`lon` when the artifact is
@@ -426,6 +592,156 @@ impl MotifQuery {
         }
         Ok(q)
     }
+}
+
+/// Why a per-user or cohort query could not be answered. Both cases route
+/// to `404`, with different hints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CohortLookup {
+    /// The artifact carries no `coho` section.
+    NoSection,
+    /// The section exists but the user id is not in the index.
+    UnknownUser,
+}
+
+/// A parsed `/v1/cohorts` query: category/size filters and a result cap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CohortQuery {
+    /// Keep cohorts whose dominant category is this one.
+    pub category: Option<Category>,
+    /// Keep cohorts with at least this many members.
+    pub min_size: u64,
+    /// Full cohort entries returned (suppressed markers are not capped —
+    /// they carry no aggregates).
+    pub top: usize,
+}
+
+impl Default for CohortQuery {
+    fn default() -> CohortQuery {
+        CohortQuery {
+            category: None,
+            min_size: 0,
+            top: DEFAULT_PATTERN_LIMIT,
+        }
+    }
+}
+
+impl CohortQuery {
+    /// Builds a query from decoded parameters; unknown parameters are
+    /// rejected so typos fail loudly.
+    pub fn from_params(params: &[(String, String)]) -> Result<CohortQuery, String> {
+        let mut q = CohortQuery::default();
+        for (key, value) in params {
+            match key.as_str() {
+                "category" => q.category = Some(parse_cat(value)?),
+                "min_size" => q.min_size = parse_usize(key, value)? as u64,
+                "top" => q.top = parse_usize(key, value)?.min(DEFAULT_PATTERN_LIMIT),
+                other => return Err(format!("unknown parameter {other:?}")),
+            }
+        }
+        Ok(q)
+    }
+}
+
+/// A parsed `/v1/users/:id/similar` query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimilarQuery {
+    /// Neighbors requested (1 to [`DEFAULT_PATTERN_LIMIT`]).
+    pub k: usize,
+    /// Candidate set: the user's cohort (the pruned fast path, default) or
+    /// an exact scan over everyone.
+    pub scope: SimilarScope,
+}
+
+impl Default for SimilarQuery {
+    fn default() -> SimilarQuery {
+        SimilarQuery {
+            k: 10,
+            scope: SimilarScope::Cohort,
+        }
+    }
+}
+
+impl SimilarQuery {
+    /// Builds a query from decoded parameters; unknown parameters are
+    /// rejected so typos fail loudly.
+    pub fn from_params(params: &[(String, String)]) -> Result<SimilarQuery, String> {
+        let mut q = SimilarQuery::default();
+        for (key, value) in params {
+            match key.as_str() {
+                "k" => {
+                    let k = parse_usize(key, value)?;
+                    if k == 0 {
+                        return Err("k must be at least 1".into());
+                    }
+                    q.k = k.min(DEFAULT_PATTERN_LIMIT);
+                }
+                "scope" => {
+                    q.scope = match value.as_str() {
+                        "all" => SimilarScope::All,
+                        "cohort" => SimilarScope::Cohort,
+                        other => return Err(format!("unknown scope {other:?} (all or cohort)")),
+                    }
+                }
+                other => return Err(format!("unknown parameter {other:?}")),
+            }
+        }
+        Ok(q)
+    }
+}
+
+/// Non-zero category counts as an object, Table 3 order.
+fn push_category_counts(out: &mut String, counts: &[u64; Category::COUNT]) {
+    out.push('{');
+    let mut first = true;
+    for (i, &count) in counts.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        json::push_str_lit(out, Category::from_index(i).name());
+        out.push_str(&format!(":{count}"));
+    }
+    out.push('}');
+}
+
+/// Non-zero category-mix shares as an object, Table 3 order.
+fn push_mix(out: &mut String, mix: &[f64; Category::COUNT]) {
+    out.push('{');
+    let mut first = true;
+    for (i, &share) in mix.iter().enumerate() {
+        if share == 0.0 {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        json::push_str_lit(out, Category::from_index(i).name());
+        out.push(':');
+        out.push_str(&json::num(share));
+    }
+    out.push('}');
+}
+
+/// The cohort cross-reference on a per-user record: full aggregate at or
+/// above `k_min`, explicit suppression marker below. Returns how many
+/// aggregates were suppressed (0 or 1).
+fn push_cohort_ref(out: &mut String, table: &CohortTable, cohort: &Cohort) -> u64 {
+    if table.suppressed(cohort.size) {
+        out.push_str(&format!("{{\"id\":{},\"suppressed\":true}}", cohort.id));
+        return 1;
+    }
+    out.push_str(&format!(
+        "{{\"id\":{},\"size\":{},\"dominant\":",
+        cohort.id, cohort.size
+    ));
+    push_primary(out, cohort.dominant_category());
+    out.push('}');
+    0
 }
 
 fn parse_nodes(key: &str, value: &str) -> Result<u8, String> {
@@ -752,5 +1068,197 @@ mod tests {
             s.patterns_json(&q, limit),
             "{\"total\":0,\"returned\":0,\"patterns\":[]}"
         );
+    }
+
+    /// Eight users in two behavior groups — five residence-dwellers and
+    /// three shoppers — mined at `k_min: 4` so the shopper cohort is below
+    /// the anonymity floor.
+    fn cohort_snapshot() -> Snapshot {
+        let mut embeddings = Vec::new();
+        for u in 0..8 {
+            let cat = if u < 5 {
+                Category::Residence
+            } else {
+                Category::Shop
+            };
+            let unit0 = if u < 5 { 0 } else { 40 };
+            let stays: Vec<pm_cohort::UserStay> = (0..6)
+                .map(|i| pm_cohort::UserStay {
+                    unit: unit0 + (i % 2) as u64,
+                    category: Some(cat),
+                    time: (i * 30_000) as i64,
+                })
+                .collect();
+            embeddings.push(pm_cohort::embed_user(format!("user-{u:02}"), &stays));
+        }
+        let table = CohortTable::mine(
+            embeddings,
+            &pm_cohort::CohortParams {
+                k_min: 4,
+                ..pm_cohort::CohortParams::default()
+            },
+        );
+        let params = MinerParams::default();
+        let csd = CitySemanticDiagram::build(&[], &[], &params).expect("build");
+        Snapshot::new(Artifact::new(csd, Vec::new(), params).with_cohorts(table)).expect("snapshot")
+    }
+
+    #[test]
+    fn cohort_query_parser_covers_every_knob() {
+        let params: Vec<(String, String)> =
+            [("category", "residence"), ("min_size", "2"), ("top", "3")]
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect();
+        let q = CohortQuery::from_params(&params).expect("parse");
+        assert_eq!(q.category, Some(Category::Residence));
+        assert_eq!((q.min_size, q.top), (2, 3));
+
+        for bad in [("category", "castle"), ("min_size", "-1"), ("nope", "1")] {
+            let p = vec![(bad.0.to_string(), bad.1.to_string())];
+            assert!(CohortQuery::from_params(&p).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn similar_query_parser_covers_every_knob() {
+        let params: Vec<(String, String)> = [("k", "5"), ("scope", "all")]
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        let q = SimilarQuery::from_params(&params).expect("parse");
+        assert_eq!(q.k, 5);
+        assert_eq!(q.scope, SimilarScope::All);
+        assert_eq!(SimilarQuery::default().scope, SimilarScope::Cohort);
+
+        // Oversized k clamps to the serving cap rather than erroring.
+        let p = vec![("k".to_string(), "51".to_string())];
+        assert_eq!(SimilarQuery::from_params(&p).expect("clamp").k, 50);
+
+        for bad in [("k", "0"), ("scope", "city"), ("nope", "1")] {
+            let p = vec![(bad.0.to_string(), bad.1.to_string())];
+            assert!(SimilarQuery::from_params(&p).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn cohorts_json_suppresses_and_filters() {
+        assert!(empty_snapshot()
+            .cohorts_json(&CohortQuery::default())
+            .is_none());
+
+        let s = cohort_snapshot();
+        let (body, suppressed) = s.cohorts_json(&CohortQuery::default()).expect("table");
+        assert_eq!(suppressed, 1);
+        assert!(
+            body.starts_with("{\"k_min\":4,\"method\":\"meanshift\",\"total_users\":8,"),
+            "{body}"
+        );
+        // The majority cohort renders in full; the 3-shopper cohort is an
+        // id-only suppression marker with no size or mix.
+        assert!(body.contains("\"id\":0,\"size\":5,"), "{body}");
+        assert!(body.contains("{\"id\":1,\"suppressed\":true}"), "{body}");
+        assert!(!body.contains("\"size\":3"), "{body}");
+        assert!(body.contains("\"dominant\":\"Residence\""), "{body}");
+
+        // Filters narrow unsuppressed entries but never unhide suppressed
+        // ones: a min_size no cohort meets still lists the marker.
+        let q = CohortQuery {
+            min_size: 6,
+            ..CohortQuery::default()
+        };
+        let (body, _) = s.cohorts_json(&q).expect("table");
+        assert!(body.contains("\"returned\":0,"), "{body}");
+        assert!(body.contains("{\"id\":1,\"suppressed\":true}"), "{body}");
+        let q = CohortQuery {
+            category: Some(Category::Shop),
+            ..CohortQuery::default()
+        };
+        let (body, _) = s.cohorts_json(&q).expect("table");
+        assert!(body.contains("\"returned\":0,"), "{body}");
+    }
+
+    #[test]
+    fn user_patterns_json_full_record_with_suppressed_cross_reference() {
+        assert_eq!(
+            empty_snapshot().user_patterns_json("user-00").unwrap_err(),
+            CohortLookup::NoSection
+        );
+        let s = cohort_snapshot();
+        assert_eq!(
+            s.user_patterns_json("nobody").unwrap_err(),
+            CohortLookup::UnknownUser
+        );
+
+        // A majority-cohort member gets the full cohort cross-reference.
+        let (body, suppressed) = s.user_patterns_json("user-00").expect("known");
+        assert_eq!(suppressed, 0);
+        assert!(
+            body.starts_with("{\"user\":\"user-00\",\"stays\":6,"),
+            "{body}"
+        );
+        assert!(body.contains("\"Residence\":6"), "{body}");
+        assert!(body.contains("\"cohort\":{\"id\":0,\"size\":5,"), "{body}");
+
+        // A shopper's own record still renders in full — the user is the
+        // endpoint subject — but the cohort aggregate is suppressed.
+        let (body, suppressed) = s.user_patterns_json("user-07").expect("known");
+        assert_eq!(suppressed, 1);
+        assert!(body.contains("\"Shop & Market\":6"), "{body}");
+        assert!(
+            body.contains("\"cohort\":{\"id\":1,\"suppressed\":true}"),
+            "{body}"
+        );
+    }
+
+    #[test]
+    fn user_similar_json_ranks_and_suppresses_small_aggregates() {
+        assert_eq!(
+            empty_snapshot()
+                .user_similar_json("user-00", &SimilarQuery::default())
+                .unwrap_err(),
+            CohortLookup::NoSection
+        );
+        let s = cohort_snapshot();
+        assert_eq!(
+            s.user_similar_json("nobody", &SimilarQuery::default())
+                .unwrap_err(),
+            CohortLookup::UnknownUser
+        );
+
+        // Cohort scope over the 5-residence cohort: 4 neighbors, aggregate
+        // at the floor, not suppressed.
+        let (body, suppressed) = s
+            .user_similar_json("user-00", &SimilarQuery::default())
+            .expect("known");
+        assert_eq!(suppressed, 0);
+        assert!(
+            body.contains("\"scope\":\"cohort\",\"returned\":4,"),
+            "{body}"
+        );
+        assert!(body.contains("\"aggregate\":{\"size\":4,"), "{body}");
+
+        // A shopper's cohort-scoped neighborhood has 2 members — below
+        // k_min, so the aggregate is an explicit suppression marker.
+        let (body, suppressed) = s
+            .user_similar_json("user-07", &SimilarQuery::default())
+            .expect("known");
+        assert_eq!(suppressed, 1);
+        assert!(body.contains("\"returned\":2,"), "{body}");
+        assert!(
+            body.contains("\"aggregate\":{\"suppressed\":true}"),
+            "{body}"
+        );
+
+        // Exact scan ranks in-group users above the other behavior group.
+        let q = SimilarQuery {
+            k: 7,
+            scope: SimilarScope::All,
+        };
+        let (body, _) = s.user_similar_json("user-00", &q).expect("known");
+        assert!(body.contains("\"scope\":\"all\",\"returned\":7,"), "{body}");
+        let first = body.find("\"user\":\"user-0").expect("neighbor");
+        let shopper = body.find("\"user\":\"user-07\"").expect("shopper ranked");
+        assert!(first < shopper, "{body}");
     }
 }

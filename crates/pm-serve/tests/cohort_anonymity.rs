@@ -1,0 +1,95 @@
+//! The k-anonymity floor as a property over *rendered responses*: for
+//! random populations and floors, no JSON body the cohort endpoints
+//! produce may surface a group aggregate backed by fewer than `k_min`
+//! users — suppression is an explicit marker, never a silent drop.
+
+use pm_cohort::{embed_users, CohortParams, CohortTable, SimilarScope, UserStay};
+use pm_core::prelude::*;
+use pm_serve::{json, CohortQuery, SimilarQuery, Snapshot};
+use pm_store::Artifact;
+use proptest::prelude::*;
+
+fn population() -> impl Strategy<Value = Vec<Vec<UserStay>>> {
+    let stay =
+        (0u64..8, 0usize..Category::COUNT, 0i64..259_200).prop_map(|(unit, cat, time)| UserStay {
+            unit,
+            category: Some(Category::from_index(cat)),
+            time,
+        });
+    prop::collection::vec(prop::collection::vec(stay, 1..10), 2..24)
+}
+
+fn snapshot_of(stays: Vec<Vec<UserStay>>, k_min: u32) -> Snapshot {
+    let groups: Vec<(String, Vec<UserStay>)> = stays
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| (format!("u{i:03}"), s))
+        .collect();
+    let table = CohortTable::mine(
+        embed_users(&groups, 1),
+        &CohortParams {
+            k_min,
+            ..CohortParams::default()
+        },
+    );
+    let params = MinerParams::default();
+    let csd = CitySemanticDiagram::build(&[], &[], &params).expect("build");
+    Snapshot::new(Artifact::new(csd, Vec::new(), params).with_cohorts(table)).expect("snapshot")
+}
+
+/// Every `"size"` field reachable in a parsed body must be >= `k_min` —
+/// any smaller group has to have been replaced by a suppression marker.
+fn assert_no_small_groups(body: &str, k_min: u32) -> Result<(), TestCaseError> {
+    let parsed = json::parse(body).expect("body parses");
+    let mut stack = vec![&parsed];
+    while let Some(value) = stack.pop() {
+        match value {
+            json::Json::Array(items) => stack.extend(items.iter()),
+            json::Json::Object(entries) => {
+                for (key, child) in entries {
+                    if key == "size" {
+                        let size = child.as_i64().expect("size is a number");
+                        prop_assert!(
+                            size >= i64::from(k_min),
+                            "group of {size} < k_min {k_min} surfaced in {body}"
+                        );
+                    }
+                    stack.push(child);
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn no_rendered_body_surfaces_a_group_below_k_min(
+        stays in population(),
+        k_min in 1u32..8,
+    ) {
+        let snapshot = snapshot_of(stays, k_min);
+        let table = snapshot.cohort_table().expect("table");
+
+        let (body, _) = snapshot.cohorts_json(&CohortQuery::default()).expect("table");
+        assert_no_small_groups(&body, k_min)?;
+        // Suppressed cohorts are explicit markers, never silent drops.
+        let markers = body.matches("\"suppressed\":true").count();
+        let hidden = table.cohorts.iter().filter(|c| table.suppressed(c.size)).count();
+        prop_assert_eq!(markers, hidden, "{}", body);
+
+        let users: Vec<String> = table.users.iter().map(|u| u.user.clone()).collect();
+        for user in &users {
+            let (body, _) = snapshot.user_patterns_json(user).expect("known user");
+            assert_no_small_groups(&body, k_min)?;
+            for scope in [SimilarScope::Cohort, SimilarScope::All] {
+                let query = SimilarQuery { k: 5, scope };
+                let (body, _) = snapshot.user_similar_json(user, &query).expect("known user");
+                assert_no_small_groups(&body, k_min)?;
+            }
+        }
+    }
+}

@@ -154,6 +154,172 @@ fn endpoints_match_in_process_byte_for_byte() {
     server.stop();
 }
 
+/// The mined artifact with a cohort section stitched on: one synthetic
+/// user per behavior group — five residence-dwellers, three shoppers —
+/// mined at `k_min: 4` so the shopper cohort sits below the anonymity
+/// floor. Round-tripped through pm-store like the base artifact.
+fn cohort_snapshot() -> Arc<Snapshot> {
+    static SNAP: OnceLock<Arc<Snapshot>> = OnceLock::new();
+    SNAP.get_or_init(|| {
+        let mut embeddings = Vec::new();
+        for u in 0..8 {
+            let cat = if u < 5 {
+                Category::Residence
+            } else {
+                Category::Shop
+            };
+            let unit0 = if u < 5 { 0 } else { 40 };
+            let stays: Vec<pm_cohort::UserStay> = (0..6)
+                .map(|i| pm_cohort::UserStay {
+                    unit: unit0 + (i % 2) as u64,
+                    category: Some(cat),
+                    time: (i * 30_000) as i64,
+                })
+                .collect();
+            embeddings.push(pm_cohort::embed_user(format!("user-{u:02}"), &stays));
+        }
+        let table = pm_cohort::CohortTable::mine(
+            embeddings,
+            &pm_cohort::CohortParams {
+                k_min: 4,
+                ..pm_cohort::CohortParams::default()
+            },
+        );
+        let bytes = artifact().clone().with_cohorts(table).to_bytes();
+        let artifact = Artifact::from_bytes(&bytes).expect("store round-trip");
+        Arc::new(Snapshot::new(artifact).expect("snapshot"))
+    })
+    .clone()
+}
+
+#[test]
+fn cohort_endpoints_match_in_process_and_suppress() {
+    let s = cohort_snapshot();
+    let obs = Obs::enabled();
+    let server = Server::bind(
+        "127.0.0.1:0",
+        s.clone(),
+        ServeConfig::default(),
+        obs.clone(),
+    )
+    .expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = server.shutdown_handle().expect("handle");
+    let thread = std::thread::spawn(move || server.run());
+
+    // Wire bytes equal the in-process snapshot output, twice (the body is
+    // deterministic for a given artifact).
+    let expected = s
+        .cohorts_json(&pm_serve::CohortQuery::default())
+        .expect("table")
+        .0;
+    for _ in 0..2 {
+        let (status, body) = client::get(addr, "/v1/cohorts").unwrap();
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(body, expected);
+    }
+    assert!(
+        expected.contains("{\"id\":1,\"suppressed\":true}"),
+        "{expected}"
+    );
+
+    let (status, body) = client::get(addr, "/v1/users/user-03/patterns").unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(body, s.user_patterns_json("user-03").expect("known").0);
+
+    let (status, body) = client::get(addr, "/v1/users/user-03/similar?k=4&scope=all").unwrap();
+    assert_eq!(status, 200, "{body}");
+    let q = pm_serve::SimilarQuery::from_params(&[
+        ("k".to_string(), "4".to_string()),
+        ("scope".to_string(), "all".to_string()),
+    ])
+    .expect("query");
+    assert_eq!(body, s.user_similar_json("user-03", &q).expect("known").0);
+
+    // A shopper's cohort-scoped neighborhood is below k_min: the neighbor
+    // list renders, the aggregate is an explicit suppression marker.
+    let (status, body) = client::get(addr, "/v1/users/user-07/similar").unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert!(
+        body.contains("\"aggregate\":{\"suppressed\":true}"),
+        "{body}"
+    );
+
+    // Typed error paths: unknown user, bad action, unknown parameter.
+    for (target, expect) in [
+        ("/v1/users/nobody/patterns", 404),
+        ("/v1/users/user-03/nope", 404),
+        ("/v1/users/user-03/patterns?x=1", 400),
+        ("/v1/users/user-03/similar?k=0", 400),
+        ("/v1/cohorts?category=castle", 400),
+    ] {
+        let (status, body) = client::get(addr, target).unwrap();
+        assert_eq!(status, expect, "{target}: {body}");
+        assert!(body.starts_with("{\"error\":"), "{target}: {body}");
+    }
+
+    // Counters tally the traffic, including every suppressed aggregate:
+    // one marker in each of the two /v1/cohorts bodies plus the shopper's
+    // suppressed similar-neighborhood aggregate.
+    let report = obs.report();
+    let count = |name: &str| report.counters.get(name).copied().unwrap_or(0);
+    assert_eq!(count("cohort.cohorts_served"), 2);
+    assert_eq!(count("cohort.patterns_served"), 1);
+    assert_eq!(count("cohort.similar_served"), 2);
+    assert_eq!(count("cohort.suppressed_aggregates"), 3);
+    assert_eq!(count("cohort.unknown_user"), 1);
+    assert_eq!(count("cohort.missing_section"), 0);
+
+    handle.shutdown();
+    thread.join().expect("server thread").expect("run");
+}
+
+#[test]
+fn cohort_endpoints_404_with_hint_on_pre_cohort_artifacts() {
+    // The default artifact has no cohort section: every cohort endpoint
+    // answers 404 with a hint naming the mining command, and the counters
+    // are pre-registered at zero before any traffic.
+    let server = start(ServeConfig::default());
+    let (status, body) = client::get(server.addr, "/v1/stats").unwrap();
+    assert_eq!(status, 200);
+    let parsed = pm_serve::json::parse(&body).expect("stats JSON parses");
+    let counters = parsed.get("counters").expect("counters object");
+    for name in [
+        "cohort.cohorts_served",
+        "cohort.patterns_served",
+        "cohort.similar_served",
+        "cohort.suppressed_aggregates",
+        "cohort.unknown_user",
+        "cohort.missing_section",
+    ] {
+        assert_eq!(
+            counters.get(name).and_then(|v| v.as_i64()),
+            Some(0),
+            "{name} must be pre-registered"
+        );
+    }
+
+    for target in [
+        "/v1/cohorts",
+        "/v1/users/user-00/patterns",
+        "/v1/users/user-00/similar",
+    ] {
+        let (status, body) = client::get(server.addr, target).unwrap();
+        assert_eq!(status, 404, "{target}: {body}");
+        assert!(body.contains("cohorts command"), "{target}: {body}");
+    }
+    assert_eq!(
+        server
+            .obs
+            .report()
+            .counters
+            .get("cohort.missing_section")
+            .copied(),
+        Some(3)
+    );
+    server.stop();
+}
+
 #[test]
 fn error_paths_are_typed_not_5xx() {
     let server = start(ServeConfig::default());

@@ -32,6 +32,7 @@
 //! | `DEGR` | degradations tolerated during the run                     |
 //! | `PATS` | the mined fine-grained pattern set                        |
 //! | `motf` | *optional* — the daily mobility-motif table ([`MotifTable`]) |
+//! | `coho` | *optional* — the per-user cohort index ([`CohortTable`])  |
 //!
 //! ## Forward compatibility
 //!
@@ -45,6 +46,7 @@
 use crate::bytes::{ByteReader, ByteWriter};
 use crate::crc::crc32;
 use crate::error::StoreError;
+use pm_cohort::{Cohort, CohortTable, UserRecord};
 use pm_core::construct::{BuildStats, CitySemanticDiagram, SemanticUnit};
 use pm_core::error::Degradation;
 use pm_core::extract::FinePattern;
@@ -71,6 +73,9 @@ const TAG_PATS: [u8; 4] = *b"PATS";
 /// Lowercase first byte: optional — readers that predate motifs verify the
 /// CRC and skip the payload (the forward-compat path proven in tests).
 const TAG_MOTF: [u8; 4] = *b"motf";
+/// Lowercase first byte: optional — the per-user cohort index is skipped by
+/// readers that predate it, exactly like `motf`.
+const TAG_COHO: [u8; 4] = *b"coho";
 
 /// A complete, self-describing mining run: everything the online query
 /// service needs to answer semantic lookups, annotate trajectories, and
@@ -91,6 +96,10 @@ pub struct Artifact {
     /// one. Persisted as the optional `motf` section: readers that predate
     /// it skip the section instead of rejecting the artifact.
     pub motifs: Option<MotifTable>,
+    /// The per-user cohort index, when the `cohorts` command mined one.
+    /// Persisted as the optional `coho` section under the same
+    /// forward-compatibility contract as `motf`.
+    pub cohorts: Option<CohortTable>,
 }
 
 impl Artifact {
@@ -102,6 +111,7 @@ impl Artifact {
             csd,
             patterns,
             motifs: None,
+            cohorts: None,
         }
     }
 
@@ -121,10 +131,18 @@ impl Artifact {
         self
     }
 
+    /// Attaches a per-user cohort index, persisted as the optional `coho`
+    /// section.
+    #[must_use]
+    pub fn with_cohorts(mut self, cohorts: CohortTable) -> Self {
+        self.cohorts = Some(cohorts);
+        self
+    }
+
     /// One-line human-readable summary (for CLI logging).
     pub fn describe(&self) -> String {
         format!(
-            "{} POIs, {} units, {} patterns{}{}",
+            "{} POIs, {} units, {} patterns{}{}{}",
             self.csd.pois().len(),
             self.csd.units().len(),
             self.patterns.len(),
@@ -135,6 +153,10 @@ impl Artifact {
             },
             match &self.motifs {
                 Some(t) => format!(", {} motif classes", t.classes.len()),
+                None => String::new(),
+            },
+            match &self.cohorts {
+                Some(t) => format!(", {} cohorts over {} users", t.cohorts.len(), t.users.len()),
                 None => String::new(),
             }
         )
@@ -172,6 +194,9 @@ impl Artifact {
         sections.push((TAG_PATS, write_patterns(&self.patterns)));
         if let Some(motifs) = &self.motifs {
             sections.push((TAG_MOTF, write_motifs(motifs)));
+        }
+        if let Some(cohorts) = &self.cohorts {
+            sections.push((TAG_COHO, write_cohorts(cohorts)));
         }
 
         out.u32(sections.len() as u32);
@@ -216,6 +241,7 @@ impl Artifact {
         let mut degr: Option<Vec<Degradation>> = None;
         let mut pats: Option<Vec<FinePattern>> = None;
         let mut motifs: Option<MotifTable> = None;
+        let mut cohorts: Option<CohortTable> = None;
 
         let mut seen: Vec<[u8; 4]> = Vec::new();
         for _ in 0..n_sections {
@@ -270,6 +296,7 @@ impl Artifact {
                 TAG_DEGR => degr = Some(read_degradations(p)?),
                 TAG_PATS => pats = Some(read_patterns(p)?),
                 TAG_MOTF => motifs = Some(read_motifs(p)?),
+                TAG_COHO => cohorts = Some(read_cohorts(p)?),
                 unknown if unknown[0].is_ascii_lowercase() => {
                     // Optional section from a newer writer: CRC verified
                     // above, content skipped.
@@ -312,6 +339,7 @@ impl Artifact {
             csd,
             patterns,
             motifs,
+            cohorts,
         })
     }
 
@@ -719,6 +747,195 @@ fn read_motifs(mut r: ByteReader<'_>) -> Result<MotifTable, StoreError> {
     Ok(MotifTable::from_parts(total_days, oversize_days, parts))
 }
 
+fn write_str(w: &mut ByteWriter, s: &str) {
+    w.count(s.len());
+    w.bytes(s.as_bytes());
+}
+
+fn read_str(r: &mut ByteReader<'_>, context: &str) -> Result<String, StoreError> {
+    let n = r.count(1, context)?;
+    let bytes = r.bytes(n, context)?;
+    String::from_utf8(bytes.to_vec())
+        .map_err(|_| StoreError::malformed(format!("{context} is not UTF-8")))
+}
+
+fn write_cohorts(table: &CohortTable) -> ByteWriter {
+    let mut w = ByteWriter::new();
+    w.u32(table.k_min);
+    w.u64(table.seed);
+    w.u8(table.method.as_u8());
+    w.count(table.cohorts.len());
+    for c in &table.cohorts {
+        w.u64(c.size);
+        w.f64(c.mean_active_days);
+        w.f64(c.mean_stays);
+        for &v in &c.category_mix {
+            w.f64(v);
+        }
+    }
+    w.count(table.users.len());
+    for u in &table.users {
+        write_str(&mut w, &u.user);
+        w.u32(u.cohort);
+        w.u64(u.stays);
+        w.u64(u.active_days);
+        w.u64(u.transitions);
+        for &v in &u.category_visits {
+            w.u64(v);
+        }
+        w.count(u.top_units.len());
+        for &(unit, visits) in &u.top_units {
+            w.u64(unit);
+            w.u64(visits);
+        }
+        w.count(u.features.len());
+        for &(key, weight) in &u.features {
+            w.u64(key);
+            w.f64(weight);
+        }
+    }
+    w
+}
+
+/// Bytes of one serialized cohort aggregate: size + two means + the mix.
+const COHORT_BYTES: usize = 8 + 8 + 8 + Category::COUNT * 8;
+/// Minimal serialized user record: empty id + cohort + three counters +
+/// category visits + two empty lists.
+const USER_RECORD_MIN_BYTES: usize = 8 + 4 + 3 * 8 + Category::COUNT * 8 + 8 + 8;
+
+fn read_cohorts(mut r: ByteReader<'_>) -> Result<CohortTable, StoreError> {
+    let k_min = r.u32("cohort k_min")?;
+    let seed = r.u64("cohort seed")?;
+    let method = r.u8("cohort method")?;
+    let n_cohorts = r.count(COHORT_BYTES, "cohort count")?;
+    let mut cohorts = Vec::with_capacity(n_cohorts);
+    for id in 0..n_cohorts {
+        let size = r.u64("cohort size")?;
+        let mean_active_days = r.f64("cohort mean active days")?;
+        let mean_stays = r.f64("cohort mean stays")?;
+        let mut category_mix = [0.0; Category::COUNT];
+        for v in &mut category_mix {
+            *v = r.f64("cohort category mix")?;
+        }
+        cohorts.push(Cohort {
+            id: id as u32,
+            size,
+            category_mix,
+            mean_active_days,
+            mean_stays,
+        });
+    }
+    let n_users = r.count(USER_RECORD_MIN_BYTES, "cohort user count")?;
+    let mut users = Vec::with_capacity(n_users);
+    for _ in 0..n_users {
+        let user = read_str(&mut r, "cohort user id")?;
+        let cohort = r.u32("cohort membership")?;
+        let stays = r.u64("cohort user stays")?;
+        let active_days = r.u64("cohort user active days")?;
+        let transitions = r.u64("cohort user transitions")?;
+        let mut category_visits = [0u64; Category::COUNT];
+        for v in &mut category_visits {
+            *v = r.u64("cohort user category visits")?;
+        }
+        let n_top = r.count(16, "cohort top-unit count")?;
+        let mut top_units = Vec::with_capacity(n_top);
+        for _ in 0..n_top {
+            let unit = r.u64("cohort top unit")?;
+            let visits = r.u64("cohort top unit visits")?;
+            top_units.push((unit, visits));
+        }
+        let n_features = r.count(16, "cohort feature count")?;
+        let mut features = Vec::with_capacity(n_features);
+        for _ in 0..n_features {
+            let key = r.u64("cohort feature key")?;
+            let weight = r.f64("cohort feature weight")?;
+            features.push((key, weight));
+        }
+        users.push(UserRecord {
+            user,
+            cohort,
+            stays,
+            active_days,
+            transitions,
+            category_visits,
+            top_units,
+            features,
+        });
+    }
+    r.finish("coho")?;
+    CohortTable::from_parts(k_min, seed, method, cohorts, users)
+        .map_err(|e| StoreError::malformed(format!("cohort table invalid: {e}")))
+}
+
+/// One section frame of a serialized artifact, as reported by
+/// [`section_summary`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SectionSummary {
+    /// The four-byte tag, e.g. `PATS` or `motf`.
+    pub tag: [u8; 4],
+    /// Payload size in bytes (excluding the 16-byte frame header).
+    pub payload_bytes: u64,
+    /// Whether the tag is optional (lowercase first byte): skippable by
+    /// readers that do not know it.
+    pub optional: bool,
+}
+
+impl SectionSummary {
+    /// The tag as a printable string.
+    pub fn tag_str(&self) -> String {
+        String::from_utf8_lossy(&self.tag).into_owned()
+    }
+}
+
+/// Walks the section frames of a serialized artifact without decoding the
+/// payloads (CRCs are still verified), reporting each section's tag, size,
+/// and optionality — the `artifact-check` CLI's section report.
+pub fn section_summary(bytes: &[u8]) -> Result<Vec<SectionSummary>, StoreError> {
+    let mut r = ByteReader::new(bytes);
+    if r.bytes(MAGIC.len(), "magic")? != MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    let version = r.u32("format version")?;
+    if version != VERSION {
+        return Err(StoreError::UnsupportedVersion { found: version });
+    }
+    let n_sections = r.u32("section count")? as usize;
+    if n_sections > r.remaining() / 16 {
+        return Err(StoreError::malformed(format!(
+            "section count {n_sections} exceeds what {} remaining byte(s) can hold",
+            r.remaining()
+        )));
+    }
+    let mut out = Vec::with_capacity(n_sections);
+    for _ in 0..n_sections {
+        let tag_bytes = r.bytes(4, "section tag")?;
+        let tag = [tag_bytes[0], tag_bytes[1], tag_bytes[2], tag_bytes[3]];
+        let len = r.u64("section length")?;
+        if len > r.remaining().saturating_sub(4) as u64 {
+            return Err(StoreError::truncated(format!(
+                "section {} payload",
+                String::from_utf8_lossy(&tag)
+            )));
+        }
+        let stored_crc = r.u32("section crc")?;
+        let payload = r.bytes(len as usize, "section payload")?;
+        if crc32(payload) != stored_crc {
+            return Err(StoreError::ChecksumMismatch { section: tag });
+        }
+        out.push(SectionSummary {
+            tag,
+            payload_bytes: len,
+            optional: tag[0].is_ascii_lowercase(),
+        });
+    }
+    if !r.is_exhausted() {
+        return Err(StoreError::TrailingBytes {
+            count: r.remaining(),
+        });
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -984,5 +1201,125 @@ mod tests {
             plain,
             "known sections must re-serialize exactly as the pre-motif artifact"
         );
+    }
+
+    /// A small cohort table over two behavioral groups.
+    fn cohort_table() -> CohortTable {
+        let mut embeddings = Vec::new();
+        for u in 0..8 {
+            let cat = if u < 5 {
+                Category::Residence
+            } else {
+                Category::Shop
+            };
+            let unit0 = if u < 5 { 0 } else { 40 };
+            let stays: Vec<pm_cohort::UserStay> = (0..6)
+                .map(|i| pm_cohort::UserStay {
+                    unit: unit0 + (i % 2) as u64,
+                    category: Some(cat),
+                    time: (i * 30_000) as i64,
+                })
+                .collect();
+            embeddings.push(pm_cohort::embed_user(format!("user-{u:02}"), &stays));
+        }
+        CohortTable::mine(
+            embeddings,
+            &pm_cohort::CohortParams {
+                k_min: 3,
+                ..pm_cohort::CohortParams::default()
+            },
+        )
+    }
+
+    #[test]
+    fn cohort_section_roundtrips_byte_identically() {
+        let (csd, patterns, params) = mined_run();
+        let artifact = Artifact::new(csd, patterns, params).with_cohorts(cohort_table());
+        let bytes = artifact.to_bytes();
+        let reloaded = Artifact::from_bytes_verified(&bytes).expect("verified load");
+        assert!(reloaded.describe().contains("cohorts over"));
+        let table = reloaded.cohorts.expect("cohort section present");
+        assert_eq!(table, cohort_table());
+        assert_eq!(table.k_min, 3);
+        assert_eq!(table.users.len(), 8);
+    }
+
+    #[test]
+    fn pre_cohort_artifact_loads_with_no_cohorts() {
+        let (csd, patterns, params) = mined_run();
+        let bytes = Artifact::new(csd, patterns, params).to_bytes();
+        let reloaded = Artifact::from_bytes_verified(&bytes).expect("load");
+        assert!(reloaded.cohorts.is_none());
+    }
+
+    #[test]
+    fn cohort_bearing_artifact_loads_where_the_feature_is_unknown() {
+        let (csd, patterns, params) = mined_run();
+        let plain = Artifact::new(csd.clone(), patterns.clone(), params).to_bytes();
+        let mut with_cohorts = Artifact::new(csd, patterns, params)
+            .with_cohorts(cohort_table())
+            .to_bytes();
+
+        // Rename the trailing coho tag so the reader treats it as an
+        // unknown optional section — the motf forward-compat contract.
+        let mut at = 16;
+        loop {
+            let len =
+                u64::from_le_bytes(with_cohorts[at + 4..at + 12].try_into().unwrap()) as usize;
+            let next = at + 16 + len;
+            if next == with_cohorts.len() {
+                break;
+            }
+            at = next;
+        }
+        assert_eq!(&with_cohorts[at..at + 4], b"coho");
+        with_cohorts[at..at + 4].copy_from_slice(b"zoho");
+
+        let reloaded = Artifact::from_bytes(&with_cohorts).expect("skip unknown cohort section");
+        assert!(reloaded.cohorts.is_none());
+        assert_eq!(reloaded.to_bytes(), plain);
+    }
+
+    #[test]
+    fn corrupt_cohort_payload_is_rejected() {
+        let (csd, patterns, params) = mined_run();
+        let mut table = cohort_table();
+        table.cohorts[0].size += 1; // inconsistent member count
+        let bytes = Artifact::new(csd, patterns, params)
+            .with_cohorts(table)
+            .to_bytes();
+        assert!(matches!(
+            Artifact::from_bytes(&bytes).unwrap_err(),
+            StoreError::Malformed { .. }
+        ));
+    }
+
+    #[test]
+    fn section_summary_reports_optional_sections() {
+        let (csd, patterns, params) = mined_run();
+        let plain = Artifact::new(csd.clone(), patterns.clone(), params).to_bytes();
+        let summary = section_summary(&plain).expect("summary");
+        assert!(summary.iter().all(|s| !s.optional));
+        assert!(summary.iter().any(|s| s.tag == TAG_PATS));
+
+        let full = Artifact::new(csd, patterns, params)
+            .with_motifs(motif_table())
+            .with_cohorts(cohort_table())
+            .to_bytes();
+        let summary = section_summary(&full).expect("summary");
+        let motf = summary.iter().find(|s| s.tag == TAG_MOTF).expect("motf");
+        let coho = summary.iter().find(|s| s.tag == TAG_COHO).expect("coho");
+        assert!(motf.optional && coho.optional);
+        assert!(coho.payload_bytes > 0);
+        assert_eq!(coho.tag_str(), "coho");
+
+        // A CRC flip is still caught without decoding payloads.
+        let mut corrupt = full.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0x01;
+        assert!(matches!(
+            section_summary(&corrupt).unwrap_err(),
+            StoreError::ChecksumMismatch { .. }
+        ));
     }
 }

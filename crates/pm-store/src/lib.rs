@@ -44,6 +44,6 @@ pub mod crc;
 pub mod error;
 pub mod publish;
 
-pub use artifact::{Artifact, MAGIC, VERSION};
+pub use artifact::{section_summary, Artifact, SectionSummary, MAGIC, VERSION};
 pub use error::StoreError;
 pub use publish::{write_file_atomic, GenerationStore, PublishReceipt};

@@ -169,6 +169,14 @@ PM_BENCH_SMOKE=1 PM_BENCH_OUT="$workspace/BENCH_pipeline.json" \
 grep -q '"motifs"' BENCH_pipeline.json \
     || die "motif bench did not splice into BENCH_pipeline.json"
 
+# Cohort smoke: per-user embedding, cohort clustering, and similar-user
+# queries (pruned cohort scope vs exact scan), spliced into the same report.
+echo "==> cargo bench -p pm-bench --bench cohort_bench (PM_BENCH_SMOKE=1)"
+PM_BENCH_SMOKE=1 PM_BENCH_OUT="$workspace/BENCH_pipeline.json" \
+    cargo bench -p pm-bench --bench cohort_bench
+grep -q '"cohorts"' BENCH_pipeline.json \
+    || die "cohort bench did not splice into BENCH_pipeline.json"
+
 # Loadgen smoke: the sharded-ingest load generator (shards=8), spliced into
 # the same report. The committed loadgen section is the full 1M-user run,
 # so no smoke-vs-full delta is computed — the ingest guard above covers
@@ -196,7 +204,9 @@ if [ "$have_baseline" = 1 ]; then
             "extract|stages extract median_ms|ms|lower" \
             "serve /v1/patterns|serve patterns median_ms|ms|lower" \
             "ingest|ingest - fixes_per_sec|fixes/s|higher" \
-            "motif mining|motifs - build_ms|ms|lower"; do
+            "motif mining|motifs - build_ms|ms|lower" \
+            "cohort clustering|cohorts - cluster_ms|ms|lower" \
+            "similar query p50 (cohort scope)|cohorts - cohort_scope_p50_ms|ms|lower"; do
             label="${row%%|*}"
             rest="${row#*|}"
             selector="${rest%%|*}"
@@ -270,6 +280,29 @@ grep -q 'motif classes over' "$workspace/target/ci-motifs-1.txt" \
     || die "motifs mined no classes"
 cargo run --release -q -p pm-cli -- artifact-check "$artifact"
 
+# Cohort mining: run the cohorts command twice over the same corpus and
+# demand byte-identical stdout AND a byte-identical artifact on disk, then
+# prove the (motif + cohort)-bearing artifact still round-trips and
+# reports both optional sections. The serve smoke below boots from this
+# artifact, so the cohort endpoints answer from a real table.
+echo "==> cohort mining (cohorts command, determinism + round trip)"
+cargo run --release -q -p pm-cli -- cohorts \
+    --artifact "$artifact" --journeys examples/data/journeys.csv --lenient \
+    > "$workspace/target/ci-cohorts-1.txt"
+cp "$artifact" "$workspace/target/ci-city-cohorts-1.pmstore"
+cargo run --release -q -p pm-cli -- cohorts \
+    --artifact "$artifact" --journeys examples/data/journeys.csv --lenient \
+    > "$workspace/target/ci-cohorts-2.txt"
+cmp -s "$workspace/target/ci-cohorts-1.txt" "$workspace/target/ci-cohorts-2.txt" \
+    || die "cohorts output differs across identical runs"
+cmp -s "$artifact" "$workspace/target/ci-city-cohorts-1.pmstore" \
+    || die "cohort-bearing artifact differs across identical runs"
+grep -q 'users in' "$workspace/target/ci-cohorts-1.txt" \
+    || die "cohorts mined no users"
+cargo run --release -q -p pm-cli -- artifact-check "$artifact" \
+    | grep -q 'optional sections: motifs, cohorts' \
+    || die "artifact-check does not report both optional sections"
+
 # Serve smoke test: boot the query service on an ephemeral port, hit it
 # with curl, and shut it down cleanly. Skipped when curl is unavailable.
 if command -v curl > /dev/null 2>&1; then
@@ -299,6 +332,29 @@ if command -v curl > /dev/null 2>&1; then
     curl -fsS "http://$addr/v1/motifs?top=5" > "$workspace/target/ci-motifs-b.json"
     cmp -s "$workspace/target/ci-motifs-a.json" "$workspace/target/ci-motifs-b.json" \
         || die "motif responses differ across identical queries"
+
+    # Cohort endpoints: deterministic bodies from the cohort-bearing
+    # artifact, double-fetched, plus the per-user index on a real user id
+    # taken from the cohorts command output.
+    curl -fsS "http://$addr/v1/cohorts" > "$workspace/target/ci-cohorts-a.json"
+    grep -q '"k_min"' "$workspace/target/ci-cohorts-a.json" \
+        || die "cohort query failed"
+    curl -fsS "http://$addr/v1/cohorts" > "$workspace/target/ci-cohorts-b.json"
+    cmp -s "$workspace/target/ci-cohorts-a.json" "$workspace/target/ci-cohorts-b.json" \
+        || die "cohort responses differ across identical queries"
+    cohort_user="$(sed -n 's/^  user \([^ ]*\).*/\1/p' \
+        "$workspace/target/ci-cohorts-1.txt" | head -1)"
+    [ -n "$cohort_user" ] || die "cohorts output listed no users"
+    curl -fsS "http://$addr/v1/users/$cohort_user/patterns" \
+        | grep -q '"cohort"' || die "user pattern query failed"
+    curl -fsS "http://$addr/v1/users/$cohort_user/similar?k=5" \
+        > "$workspace/target/ci-similar-a.json"
+    grep -q '"neighbors"' "$workspace/target/ci-similar-a.json" \
+        || die "similar-user query failed"
+    curl -fsS "http://$addr/v1/users/$cohort_user/similar?k=5" \
+        > "$workspace/target/ci-similar-b.json"
+    cmp -s "$workspace/target/ci-similar-a.json" "$workspace/target/ci-similar-b.json" \
+        || die "similar-user responses differ across identical queries"
 
     # Ingest smoke: replay the committed journeys against the live server
     # (throttled so it is still running when the reload lands), hot-swap
